@@ -1,0 +1,186 @@
+//! Criterion timing benches backing the experiment harness:
+//!
+//! * `naive_vs_worlds` (E4/E7) — naïve evaluation vs possible-world ground
+//!   truth on the same query, as the number of nulls grows;
+//! * `worlds_scaling` (E7) — ground-truth cost alone, exhibiting the
+//!   exponential blow-up;
+//! * `three_valued_vs_naive` (E1/E2) — SQL 3VL evaluation vs naïve evaluation
+//!   on the orders/payments workload at increasing scale;
+//! * `homomorphism` (E9) — homomorphism / strong-onto-homomorphism checks used
+//!   by the information orderings;
+//! * `racwa_naive` (E11) — division queries evaluated naïvely vs their CWA
+//!   ground truth;
+//! * `ctable_algebra` (E6) — the Imieliński–Lipski algebra vs naïve
+//!   evaluation for the difference query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use certain_core::homomorphism::{find_homomorphism, HomKind};
+use ctables::algebra::eval_ctable;
+use ctables::ctable::ConditionalDatabase;
+use datagen::{orders_database, random_database, random_division_query, OrdersConfig, QueryGenConfig, RandomDbConfig};
+use qparser::parse;
+use relmodel::{DatabaseBuilder, Semantics, Value};
+use releval::naive::{certain_answer_naive, eval_naive};
+use releval::three_valued::eval_3vl;
+use releval::worlds::{certain_answer_worlds, WorldOptions};
+
+/// Database with `n` nulls in S, used by the scaling benches.
+fn scaling_db(nulls: usize) -> relmodel::Database {
+    let mut b = DatabaseBuilder::new().relation("R", &["a", "b"]).relation("S", &["b"]);
+    for i in 0..6i64 {
+        b = b.ints("R", &[i, i + 10]);
+    }
+    b = b.ints("S", &[10]).ints("S", &[11]);
+    for i in 0..nulls {
+        b = b.tuple("S", vec![Value::null(i as u64)]);
+    }
+    b.build()
+}
+
+fn bench_naive_vs_worlds(c: &mut Criterion) {
+    let q = parse("project[#0](select[#1 = #2](product(R, S)))").expect("query parses");
+    let mut group = c.benchmark_group("naive_vs_worlds");
+    for nulls in [1usize, 2, 3, 4] {
+        let db = scaling_db(nulls);
+        group.bench_with_input(BenchmarkId::new("naive", nulls), &db, |b, db| {
+            b.iter(|| certain_answer_naive(&q, db).expect("evaluation succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("worlds", nulls), &db, |b, db| {
+            b.iter(|| {
+                certain_answer_worlds(&q, db, Semantics::Cwa, &WorldOptions::default())
+                    .expect("within budget")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_worlds_scaling(c: &mut Criterion) {
+    let q = parse("project[#1](R)").expect("query parses");
+    let mut group = c.benchmark_group("worlds_scaling");
+    for nulls in [1usize, 3, 5] {
+        let db = scaling_db(nulls);
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
+            b.iter(|| {
+                certain_answer_worlds(&q, db, Semantics::Cwa, &WorldOptions::default())
+                    .expect("within budget")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_three_valued_vs_naive(c: &mut Criterion) {
+    let unpaid = parse("project[#0](Order) minus project[#1](Pay)").expect("query parses");
+    let mut group = c.benchmark_group("three_valued_vs_naive");
+    for orders in [50usize, 200, 800] {
+        let db = orders_database(&OrdersConfig {
+            orders,
+            payments: orders,
+            null_rate: 0.1,
+            ..OrdersConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("sql_3vl", orders), &db, |b, db| {
+            b.iter(|| eval_3vl(&unpaid, db).expect("evaluation succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", orders), &db, |b, db| {
+            b.iter(|| eval_naive(&unpaid, db).expect("evaluation succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_homomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homomorphism");
+    for tuples in [4usize, 8, 12] {
+        let db = random_database(&RandomDbConfig {
+            tuples_per_relation: tuples,
+            distinct_nulls: 3,
+            seed: 7,
+            ..Default::default()
+        });
+        let domain = relmodel::semantics::adequate_domain(&db, &Default::default(), 3);
+        let world = relmodel::semantics::enumerate_cwa_worlds(&db, &domain)
+            .into_iter()
+            .next()
+            .expect("at least one world");
+        group.bench_with_input(BenchmarkId::new("plain", tuples), &(&db, &world), |b, (db, world)| {
+            b.iter(|| find_homomorphism(db, world, HomKind::Any).is_some())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("strong_onto", tuples),
+            &(&db, &world),
+            |b, (db, world)| b.iter(|| find_homomorphism(db, world, HomKind::StrongOnto).is_some()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_racwa_naive(c: &mut Criterion) {
+    let schema = datagen::random::random_schema();
+    let mut group = c.benchmark_group("racwa_naive");
+    for seed in [0u64, 1, 2] {
+        let db = random_database(&RandomDbConfig {
+            tuples_per_relation: 4,
+            distinct_nulls: 2,
+            seed,
+            ..Default::default()
+        });
+        let q = random_division_query(&schema, &QueryGenConfig { seed, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("naive", seed), &db, |b, db| {
+            b.iter(|| certain_answer_naive(&q, db).expect("evaluation succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("worlds", seed), &db, |b, db| {
+            b.iter(|| {
+                certain_answer_worlds(&q, db, Semantics::Cwa, &WorldOptions::default())
+                    .expect("within budget")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctable_algebra(c: &mut Criterion) {
+    let q = parse("R minus S").expect("query parses");
+    let mut group = c.benchmark_group("ctable_algebra");
+    for tuples in [4usize, 8, 16] {
+        let mut b = DatabaseBuilder::new().relation("R", &["a"]).relation("S", &["a"]);
+        for i in 0..tuples as i64 {
+            b = b.ints("R", &[i]);
+        }
+        b = b.tuple("S", vec![Value::null(0)]).tuple("S", vec![Value::null(1)]);
+        let db = b.build();
+        let cdb = ConditionalDatabase::from_database(&db);
+        group.bench_with_input(BenchmarkId::new("ctable", tuples), &cdb, |bch, cdb| {
+            bch.iter(|| eval_ctable(&q, cdb).expect("c-table evaluation succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", tuples), &db, |bch, db| {
+            bch.iter(|| eval_naive(&q, db).expect("evaluation succeeds"))
+        });
+    }
+    group.finish();
+}
+
+/// Keep per-benchmark time modest: the interesting comparisons are orders of
+/// magnitude (naïve vs exponential world enumeration), not single-digit
+/// percentages, so 10 samples over ~1.5s of measurement suffice.
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets =
+        bench_naive_vs_worlds,
+        bench_worlds_scaling,
+        bench_three_valued_vs_naive,
+        bench_homomorphism,
+        bench_racwa_naive,
+        bench_ctable_algebra
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs every experiment (E1-E12) and prints the combined report; the output
+//! is recorded in EXPERIMENTS.md.
+fn main() {
+    print!("{}", bench::run_all());
+}

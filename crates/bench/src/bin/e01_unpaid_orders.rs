@@ -1,0 +1,4 @@
+//! Experiment E1: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e01_unpaid_orders());
+}

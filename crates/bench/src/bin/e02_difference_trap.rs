@@ -1,0 +1,4 @@
+//! Experiment E2: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e02_difference_trap());
+}

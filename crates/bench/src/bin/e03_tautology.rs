@@ -1,0 +1,4 @@
+//! Experiment E3: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e03_tautology());
+}

@@ -1,0 +1,4 @@
+//! Experiment E4: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e04_naive_ucq());
+}

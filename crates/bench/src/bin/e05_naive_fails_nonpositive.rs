@@ -1,0 +1,4 @@
+//! Experiment E5: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e05_naive_fails_nonpositive());
+}

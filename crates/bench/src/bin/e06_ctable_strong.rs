@@ -1,0 +1,4 @@
+//! Experiment E6: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e06_ctable_strong());
+}

@@ -1,0 +1,4 @@
+//! Experiment E7: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e07_complexity());
+}

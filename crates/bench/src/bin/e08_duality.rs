@@ -1,0 +1,4 @@
+//! Experiment E8: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e08_duality());
+}

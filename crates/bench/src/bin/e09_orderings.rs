@@ -1,0 +1,4 @@
+//! Experiment E9: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e09_orderings());
+}

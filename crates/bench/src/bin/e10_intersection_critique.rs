@@ -1,0 +1,4 @@
+//! Experiment E10: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e10_intersection_critique());
+}

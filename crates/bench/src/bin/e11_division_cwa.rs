@@ -1,0 +1,4 @@
+//! Experiment E11: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e11_division_cwa());
+}

@@ -1,0 +1,4 @@
+//! Experiment E12: see DESIGN.md and the report printed below.
+fn main() {
+    print!("{}", bench::e12_exchange());
+}

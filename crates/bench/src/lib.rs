@@ -1,0 +1,16 @@
+//! # bench — the experiment harness
+//!
+//! The paper is a theory keynote with no measured tables or figures; its
+//! "results" are worked examples and formal claims. Each function in
+//! [`experiments`] regenerates one of them (E1–E12 in DESIGN.md) and returns a
+//! textual report stating the paper's claim and what this implementation
+//! measures. The binaries in `src/bin/` print individual reports;
+//! `all_experiments` prints the full set (EXPERIMENTS.md is its output).
+//! Timing benches live in `benches/paper.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,347 @@
+//! Certain information as an **object**: greatest lower bounds under the
+//! information orderings, and the unified certain-answer API.
+//!
+//! Section 5.3 of the paper defines `certainO(X) = ⋀X`: the most informative
+//! object that is below every member of `X`. Section 6 then shows that for
+//! monotone generic queries `certainO(Q, x) = Q(x)` — the naïvely evaluated
+//! answer *is* the object-level certain answer. This module provides:
+//!
+//! * checking that a candidate is a lower bound / greatest lower bound of a
+//!   finite set of answers ([`is_lower_bound`], [`is_glb`]);
+//! * the direct-product construction [`glb_owa`], which computes `a ⋀ b`
+//!   under `⪯_owa` for two databases;
+//! * [`CertainAnswers`], a façade tying together naïve evaluation, the
+//!   classical intersection answer, possible-world ground truth, and the
+//!   object/knowledge notions of certainty.
+
+use std::collections::BTreeMap;
+
+use relalgebra::ast::RaExpr;
+use relalgebra::fo::Formula;
+use relmodel::value::{NullId, Value};
+use relmodel::{Database, Relation, Schema, Semantics, Tuple};
+use releval::naive::{certain_answer_naive, eval_naive};
+use releval::worlds::{certain_answer_worlds, possible_answers, WorldOptions};
+use releval::EvalError;
+
+use crate::knowledge::certain_knowledge;
+use crate::ordering::{less_informative, InfoOrdering};
+
+/// Name of the relation used when a query answer is viewed as a database
+/// object (so that the information orderings apply to it).
+pub const ANSWER_RELATION: &str = "Ans";
+
+/// Wraps a relation as a single-relation database named [`ANSWER_RELATION`],
+/// so query answers can be compared in the information orderings.
+pub fn answer_database(rel: &Relation) -> Database {
+    let attrs: Vec<String> = (0..rel.arity()).map(|i| format!("c{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let schema = Schema::builder().relation(ANSWER_RELATION, &attr_refs).build();
+    let mut db = Database::new(schema);
+    for t in rel.iter() {
+        db.insert(ANSWER_RELATION, t.clone()).expect("arity matches by construction");
+    }
+    db
+}
+
+/// Is `candidate ⪯ x` for every `x` in `set`?
+pub fn is_lower_bound(candidate: &Database, set: &[Database], ordering: InfoOrdering) -> bool {
+    set.iter().all(|x| less_informative(candidate, x, ordering))
+}
+
+/// Is `candidate` a greatest lower bound of `set` *relative to the given
+/// competitors*: a lower bound such that every competitor that is also a lower
+/// bound is `⪯ candidate`?
+///
+/// A true glb check would quantify over all objects; restricting to an
+/// explicit finite set of competitors is what makes the property checkable,
+/// and is exactly how experiment E10 exhibits that the intersection-based
+/// answer fails to be a glb under CWA while the naïve answer is one.
+pub fn is_glb(
+    candidate: &Database,
+    set: &[Database],
+    competitors: &[Database],
+    ordering: InfoOrdering,
+) -> bool {
+    if !is_lower_bound(candidate, set, ordering) {
+        return false;
+    }
+    competitors
+        .iter()
+        .filter(|c| is_lower_bound(c, set, ordering))
+        .all(|c| less_informative(c, candidate, ordering))
+}
+
+/// The greatest lower bound of two databases under `⪯_owa`, computed by the
+/// direct-product construction: tuples are paired position-wise; a pair of
+/// equal constants stays that constant, every other pair becomes a marked
+/// null (the same pair always becoming the same null).
+pub fn glb_owa(a: &Database, b: &Database) -> Result<Database, EvalError> {
+    let schema = a.schema().merge(b.schema()).map_err(EvalError::Model)?;
+    let mut out = Database::new(schema.clone());
+    let mut pair_nulls: BTreeMap<(Value, Value), NullId> = BTreeMap::new();
+    let mut next_null = 0u64;
+    for rs in schema.iter() {
+        let (Some(ra), Some(rb)) = (a.relation(&rs.name), b.relation(&rs.name)) else {
+            continue;
+        };
+        for ta in ra.iter() {
+            for tb in rb.iter() {
+                let paired: Tuple = ta
+                    .values()
+                    .iter()
+                    .zip(tb.values().iter())
+                    .map(|(x, y)| {
+                        if x == y && x.is_const() {
+                            x.clone()
+                        } else {
+                            let id = *pair_nulls.entry((x.clone(), y.clone())).or_insert_with(|| {
+                                let id = NullId(next_null);
+                                next_null += 1;
+                                id
+                            });
+                            Value::Null(id)
+                        }
+                    })
+                    .collect();
+                out.insert(&rs.name, paired).map_err(EvalError::Model)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A façade bundling the different notions of "answer to a query over an
+/// incomplete database" that the paper contrasts.
+#[derive(Debug, Clone)]
+pub struct CertainAnswers {
+    /// Which possible-world semantics governs the input database.
+    pub semantics: Semantics,
+    /// Options for the possible-world ground truth.
+    pub world_options: WorldOptions,
+}
+
+impl CertainAnswers {
+    /// Creates the façade for a semantics with default world options.
+    pub fn new(semantics: Semantics) -> Self {
+        CertainAnswers { semantics, world_options: WorldOptions::default() }
+    }
+
+    /// Sets custom world-enumeration options.
+    pub fn with_world_options(mut self, opts: WorldOptions) -> Self {
+        self.world_options = opts;
+        self
+    }
+
+    /// `certainO(Q, D) = Q(D)`: the object-level certain answer, i.e. the
+    /// naïvely evaluated answer (correct for monotone generic queries by the
+    /// paper's main theorem; use [`CertainAnswers::naive_is_correct`] to check
+    /// a particular query empirically).
+    pub fn certain_object(&self, query: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+        eval_naive(query, db)
+    }
+
+    /// The classical, intersection-style certain tuples computed naïvely:
+    /// `Q(D)_cmpl` (equation (4) of the paper).
+    pub fn certain_tuples(&self, query: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+        certain_answer_naive(query, db)
+    }
+
+    /// `certainK(Q, D)`: the knowledge-level certain answer, as a logical
+    /// formula (the diagram of the naïve answer under the answer semantics).
+    pub fn certain_knowledge(&self, query: &RaExpr, db: &Database) -> Result<Formula, EvalError> {
+        certain_knowledge(query, db, self.semantics)
+    }
+
+    /// The possible-world ground truth for the classical certain answer —
+    /// exponential in the number of nulls.
+    pub fn ground_truth(&self, query: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+        certain_answer_worlds(query, db, self.semantics, &self.world_options)
+    }
+
+    /// All answers over the enumerated possible worlds, as database objects
+    /// (for ordering-based analyses).
+    pub fn answer_objects(&self, query: &RaExpr, db: &Database) -> Result<Vec<Database>, EvalError> {
+        Ok(possible_answers(query, db, self.semantics, &self.world_options)?
+            .iter()
+            .map(answer_database)
+            .collect())
+    }
+
+    /// Does naïve evaluation compute the classical certain answer for this
+    /// query on this database (checked against ground truth)?
+    pub fn naive_is_correct(&self, query: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+        Ok(self.certain_tuples(query, db)? == self.ground_truth(query, db)?)
+    }
+
+    /// Is the naïve answer `Q(D)` a greatest lower bound of the possible
+    /// answers `Q([[D]])` under the ordering matching the semantics, when
+    /// compared against the natural competitors (the classical intersection
+    /// answer and every individual possible answer)?
+    pub fn naive_answer_is_glb(&self, query: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+        let ordering = InfoOrdering::for_semantics(self.semantics);
+        let answers = self.answer_objects(query, db)?;
+        let candidate = answer_database(&self.certain_object(query, db)?);
+        let mut competitors = vec![answer_database(&self.ground_truth(query, db)?)];
+        competitors.extend(answers.iter().cloned());
+        Ok(is_glb(&candidate, &answers, &competitors, ordering))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::builder::{difference_example, orders_and_payments_example};
+    use relmodel::DatabaseBuilder;
+
+    #[test]
+    fn answer_database_wraps_relations() {
+        let rel = Relation::from_tuples(2, vec![Tuple::ints(&[1, 2])]);
+        let db = answer_database(&rel);
+        assert_eq!(db.relation(ANSWER_RELATION).unwrap().len(), 1);
+        assert_eq!(db.schema().relation(ANSWER_RELATION).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn lower_bounds_and_glb_checks() {
+        let a = answer_database(&Relation::from_tuples(1, vec![Tuple::ints(&[1])]));
+        let b = answer_database(&Relation::from_tuples(
+            1,
+            vec![Tuple::ints(&[1]), Tuple::ints(&[2])],
+        ));
+        let empty = answer_database(&Relation::new(1));
+        // Under OWA, ∅ ⪯ a ⪯ b.
+        assert!(is_lower_bound(&empty, &[a.clone(), b.clone()], InfoOrdering::Owa));
+        assert!(is_lower_bound(&a, &[a.clone(), b.clone()], InfoOrdering::Owa));
+        assert!(is_glb(
+            &a,
+            &[a.clone(), b.clone()],
+            &[empty.clone(), a.clone(), b.clone()],
+            InfoOrdering::Owa
+        ));
+        assert!(!is_glb(
+            &empty,
+            &[a.clone(), b.clone()],
+            &[empty.clone(), a.clone(), b.clone()],
+            InfoOrdering::Owa
+        ));
+        // Under CWA, a is NOT below b (no strong onto homomorphism).
+        assert!(!is_lower_bound(&a, &[b.clone()], InfoOrdering::Cwa));
+    }
+
+    #[test]
+    fn glb_owa_product_construction() {
+        // glb of {(1)} and {(1),(2)} under ⪯_owa is (up to equivalence) {(1)} —
+        // with a couple of null tuples from non-matching pairs, which do not add
+        // information.
+        let a = answer_database(&Relation::from_tuples(1, vec![Tuple::ints(&[1])]));
+        let b = answer_database(&Relation::from_tuples(
+            1,
+            vec![Tuple::ints(&[1]), Tuple::ints(&[2])],
+        ));
+        let g = glb_owa(&a, &b).unwrap();
+        assert!(is_lower_bound(&g, &[a.clone(), b.clone()], InfoOrdering::Owa));
+        // and it is above the plain {(1)} candidate? Both are lower bounds and
+        // must be equivalent as glbs:
+        assert!(less_informative(&a, &g, InfoOrdering::Owa) || less_informative(&g, &a, InfoOrdering::Owa));
+    }
+
+    #[test]
+    fn intersection_answer_fails_to_be_glb_under_cwa() {
+        // The §6 example: D has R = {(1,2),(2,⊥)}, Q returns R.
+        // The intersection answer {(1,2)} is *not* below the possible answers
+        // under ⪯_cwa; the naïve answer R itself is.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .build();
+        let q = RaExpr::relation("R");
+        let ca = CertainAnswers::new(Semantics::Cwa);
+        let answers = ca.answer_objects(&q, &db).unwrap();
+        let intersection = answer_database(&ca.ground_truth(&q, &db).unwrap());
+        let naive = answer_database(&ca.certain_object(&q, &db).unwrap());
+        assert!(!is_lower_bound(&intersection, &answers, InfoOrdering::Cwa));
+        assert!(is_lower_bound(&naive, &answers, InfoOrdering::Cwa));
+        assert!(ca.naive_answer_is_glb(&q, &db).unwrap());
+        // Under OWA the intersection answer *is* a lower bound.
+        let ca_owa = CertainAnswers::new(Semantics::Owa);
+        let answers_owa = ca_owa.answer_objects(&q, &db).unwrap();
+        assert!(is_lower_bound(&intersection, &answers_owa, InfoOrdering::Owa));
+    }
+
+    #[test]
+    fn facade_on_positive_queries() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Order").project(vec![0]);
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let ca = CertainAnswers::new(semantics);
+            assert!(ca.naive_is_correct(&q, &db).unwrap());
+            assert!(ca.naive_answer_is_glb(&q, &db).unwrap());
+            assert_eq!(ca.certain_tuples(&q, &db).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn facade_detects_naive_failure() {
+        // π_A(R − S) with R={(1,⊥0)}, S={(1,⊥1)}: naïve answer {1}, certain ∅.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("S", vec![Value::int(1), Value::null(1)])
+            .build();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        let ca = CertainAnswers::new(Semantics::Cwa);
+        assert!(!ca.naive_is_correct(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn division_query_is_correct_under_cwa_only() {
+        // R(a,b) with a null; q = R ÷ S (division by a base relation).
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .ints("S", &[10])
+            .ints("S", &[20])
+            .build();
+        let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        let cwa = CertainAnswers::new(Semantics::Cwa);
+        assert!(cwa.naive_is_correct(&q, &db).unwrap());
+        let tuples = cwa.certain_tuples(&q, &db).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert!(tuples.contains(&Tuple::ints(&[1])));
+    }
+
+    #[test]
+    fn tautology_query_certain_knowledge_and_truth() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Pay")
+            .select(
+                Predicate::eq(Operand::col(1), Operand::str("oid1"))
+                    .or(Predicate::neq(Operand::col(1), Operand::str("oid1"))),
+            )
+            .project(vec![0]);
+        let ca = CertainAnswers::new(Semantics::Cwa);
+        // Ground truth says pid1 is a certain answer; naïve evaluation agrees
+        // because the query's naive evaluation keeps the row. (The query is not
+        // positive, but on this instance naïve evaluation happens to coincide.)
+        let truth = ca.ground_truth(&q, &db).unwrap();
+        assert_eq!(truth.len(), 1);
+        let knowledge = ca.certain_knowledge(&q, &db).unwrap();
+        assert!(knowledge.is_sentence());
+    }
+
+    #[test]
+    fn difference_example_objects() {
+        let db = difference_example();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        let ca = CertainAnswers::new(Semantics::Cwa);
+        // naive answer {1,2}; ground truth ∅ — and indeed naive is not correct here
+        assert!(!ca.naive_is_correct(&q, &db).unwrap());
+    }
+}

@@ -1,0 +1,295 @@
+//! Homomorphisms between naïve databases.
+//!
+//! A homomorphism `h : D → D'` maps the nulls of `D` to values (constants or
+//! nulls) of `D'`, is the identity on constants, and sends every tuple of
+//! every relation of `D` to a tuple of the same relation of `D'`.
+//! Homomorphisms characterise the information orderings of Section 5.2:
+//!
+//! * `D ⪯_owa D'` iff there is a homomorphism `D → D'`;
+//! * `D ⪯_cwa D'` iff there is a **strong onto** homomorphism (`h(D) = D'`);
+//! * the weak-CWA ordering uses **onto** homomorphisms
+//!   (`h(adom(D)) ⊇ adom(D')`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use relmodel::value::{NullId, Value};
+use relmodel::{Database, Tuple};
+
+/// Which surjectivity requirement a homomorphism must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HomKind {
+    /// No surjectivity requirement (characterises `⪯_owa`).
+    Any,
+    /// `h(adom(D))` must cover `adom(D')` (characterises the weak-CWA
+    /// ordering).
+    Onto,
+    /// `h(D) = D'`: every tuple of `D'` is the image of a tuple of `D`
+    /// (characterises `⪯_cwa`).
+    StrongOnto,
+}
+
+/// A homomorphism, represented by its action on nulls (constants are fixed).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Homomorphism {
+    /// The mapping on nulls.
+    pub mapping: BTreeMap<NullId, Value>,
+}
+
+impl Homomorphism {
+    /// Applies the homomorphism to a value.
+    pub fn apply_value(&self, v: &Value) -> Value {
+        match v {
+            Value::Const(_) => v.clone(),
+            Value::Null(n) => self.mapping.get(n).cloned().unwrap_or_else(|| v.clone()),
+        }
+    }
+
+    /// Applies the homomorphism to a tuple.
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.values().iter().map(|v| self.apply_value(v)).collect()
+    }
+
+    /// Applies the homomorphism to a whole database.
+    pub fn apply(&self, db: &Database) -> Database {
+        let mut f = |n: NullId| self.mapping.get(&n).cloned().unwrap_or(Value::Null(n));
+        db.map_nulls(&mut f)
+    }
+
+    /// Composes two homomorphisms: `(other ∘ self)(x) = other(self(x))`.
+    pub fn then(&self, other: &Homomorphism) -> Homomorphism {
+        let mut mapping = BTreeMap::new();
+        for (n, v) in &self.mapping {
+            mapping.insert(*n, other.apply_value(v));
+        }
+        for (n, v) in &other.mapping {
+            mapping.entry(*n).or_insert_with(|| v.clone());
+        }
+        Homomorphism { mapping }
+    }
+}
+
+/// Is there a homomorphism of the given kind from `from` to `to`?
+pub fn is_homomorphic(from: &Database, to: &Database, kind: HomKind) -> bool {
+    find_homomorphism(from, to, kind).is_some()
+}
+
+/// Finds a homomorphism of the given kind from `from` to `to`, if one exists.
+///
+/// The search backtracks over the tuples of `from`, matching each against the
+/// tuples of the same relation in `to`; it prunes as soon as a partial
+/// assignment is inconsistent. The surjectivity requirements of
+/// [`HomKind::Onto`] and [`HomKind::StrongOnto`] are checked on complete
+/// assignments, with backtracking on failure.
+pub fn find_homomorphism(from: &Database, to: &Database, kind: HomKind) -> Option<Homomorphism> {
+    // Collect the source tuples as (relation, tuple) pairs, most constrained
+    // (fewest candidate targets) first to cut the search space.
+    let mut source: Vec<(&str, &Tuple)> = Vec::new();
+    for (name, rel) in from.iter() {
+        for t in rel.iter() {
+            source.push((name, t));
+        }
+    }
+    source.sort_by_key(|(name, _)| to.relation(name).map_or(0, |r| r.len()));
+
+    // Constants of `from` must already appear consistently: a tuple whose
+    // constants cannot match anything in `to` makes the search fail quickly in
+    // the recursion below, so no special pre-check is needed.
+    let mut assignment: BTreeMap<NullId, Value> = BTreeMap::new();
+    if search(&source, 0, from, to, kind, &mut assignment) {
+        Some(Homomorphism { mapping: assignment })
+    } else {
+        None
+    }
+}
+
+fn search(
+    source: &[(&str, &Tuple)],
+    idx: usize,
+    from: &Database,
+    to: &Database,
+    kind: HomKind,
+    assignment: &mut BTreeMap<NullId, Value>,
+) -> bool {
+    if idx == source.len() {
+        return surjectivity_ok(from, to, kind, assignment);
+    }
+    let (rel_name, tuple) = source[idx];
+    let Some(target_rel) = to.relation(rel_name) else {
+        return false;
+    };
+    for candidate in target_rel.iter() {
+        let mut added: Vec<NullId> = Vec::new();
+        let mut ok = true;
+        for (s, t) in tuple.values().iter().zip(candidate.values().iter()) {
+            match s {
+                Value::Const(_) => {
+                    if s != t {
+                        ok = false;
+                        break;
+                    }
+                }
+                Value::Null(n) => match assignment.get(n) {
+                    Some(existing) => {
+                        if existing != t {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*n, t.clone());
+                        added.push(*n);
+                    }
+                },
+            }
+        }
+        if ok && search(source, idx + 1, from, to, kind, assignment) {
+            return true;
+        }
+        for n in added {
+            assignment.remove(&n);
+        }
+    }
+    false
+}
+
+fn surjectivity_ok(
+    from: &Database,
+    to: &Database,
+    kind: HomKind,
+    assignment: &BTreeMap<NullId, Value>,
+) -> bool {
+    match kind {
+        HomKind::Any => true,
+        HomKind::Onto => {
+            let hom = Homomorphism { mapping: assignment.clone() };
+            let image: BTreeSet<Value> =
+                from.active_domain().iter().map(|v| hom.apply_value(v)).collect();
+            to.active_domain().is_subset(&image)
+        }
+        HomKind::StrongOnto => {
+            let hom = Homomorphism { mapping: assignment.clone() };
+            let image = hom.apply(from);
+            // h(D) must equal D' relation by relation.
+            to.iter().all(|(name, rel)| {
+                image.relation(name).is_some_and(|img| img == rel)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::builder::tableau_example;
+    use relmodel::{DatabaseBuilder, Value};
+
+    fn db_r(tuples: Vec<Vec<Value>>) -> Database {
+        let mut b = DatabaseBuilder::new().relation("R", &["a", "b"]);
+        for t in tuples {
+            b = b.tuple("R", t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identity_and_valuation_homomorphisms() {
+        let d = tableau_example();
+        // every database maps homomorphically to itself
+        assert!(is_homomorphic(&d, &d, HomKind::Any));
+        assert!(is_homomorphic(&d, &d, HomKind::StrongOnto));
+        // instantiating the null gives a homomorphic image
+        let world = db_r(vec![
+            vec![Value::int(1), Value::int(7)],
+            vec![Value::int(7), Value::int(2)],
+        ]);
+        let hom = find_homomorphism(&d, &world, HomKind::Any).unwrap();
+        assert_eq!(hom.apply(&d), world);
+        assert!(is_homomorphic(&d, &world, HomKind::StrongOnto));
+        // but not in the other direction: constants cannot move
+        assert!(!is_homomorphic(&world, &d, HomKind::Any));
+    }
+
+    #[test]
+    fn extra_tuples_break_strong_onto_but_not_plain() {
+        let d = tableau_example();
+        let bigger = db_r(vec![
+            vec![Value::int(1), Value::int(7)],
+            vec![Value::int(7), Value::int(2)],
+            vec![Value::int(100), Value::int(200)],
+        ]);
+        assert!(is_homomorphic(&d, &bigger, HomKind::Any));
+        assert!(!is_homomorphic(&d, &bigger, HomKind::StrongOnto));
+    }
+
+    #[test]
+    fn nulls_can_collapse() {
+        // {(⊥0, ⊥1)} maps onto {(5, 5)}.
+        let d = db_r(vec![vec![Value::null(0), Value::null(1)]]);
+        let target = db_r(vec![vec![Value::int(5), Value::int(5)]]);
+        assert!(is_homomorphic(&d, &target, HomKind::StrongOnto));
+        // and also onto another null pattern
+        let pattern = db_r(vec![vec![Value::null(9), Value::null(9)]]);
+        assert!(is_homomorphic(&d, &pattern, HomKind::Any));
+        // the reverse needs to map one null to two distinct values — impossible.
+        assert!(!is_homomorphic(&pattern, &db_r(vec![vec![Value::int(1), Value::int(2)]]), HomKind::Any));
+    }
+
+    #[test]
+    fn onto_requires_domain_coverage() {
+        let d = db_r(vec![vec![Value::null(0), Value::null(0)]]);
+        let target = db_r(vec![
+            vec![Value::int(1), Value::int(1)],
+            vec![Value::int(2), Value::int(2)],
+        ]);
+        // plain homomorphism exists (map ⊥0 to 1)…
+        assert!(is_homomorphic(&d, &target, HomKind::Any));
+        // …but it cannot cover both 1 and 2, so no onto homomorphism.
+        assert!(!is_homomorphic(&d, &target, HomKind::Onto));
+        assert!(!is_homomorphic(&d, &target, HomKind::StrongOnto));
+    }
+
+    #[test]
+    fn strong_onto_may_require_backtracking_over_targets() {
+        // D = {(⊥0, 1), (⊥1, 1)}, D' = {(1,1), (2,1)}: a strong onto
+        // homomorphism must send ⊥0, ⊥1 to 1 and 2 in some order; a greedy
+        // first match (both to 1) fails.
+        let d = db_r(vec![
+            vec![Value::null(0), Value::int(1)],
+            vec![Value::null(1), Value::int(1)],
+        ]);
+        let target = db_r(vec![
+            vec![Value::int(1), Value::int(1)],
+            vec![Value::int(2), Value::int(1)],
+        ]);
+        let hom = find_homomorphism(&d, &target, HomKind::StrongOnto).unwrap();
+        let image = hom.apply(&d);
+        assert_eq!(image, target);
+    }
+
+    #[test]
+    fn missing_relation_in_target_fails() {
+        let d = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        let other = DatabaseBuilder::new().relation("S", &["a"]).ints("S", &[1]).build();
+        assert!(!is_homomorphic(&d, &other, HomKind::Any));
+    }
+
+    #[test]
+    fn composition() {
+        let d = db_r(vec![vec![Value::null(0), Value::int(2)]]);
+        let mid = db_r(vec![vec![Value::null(5), Value::int(2)]]);
+        let end = db_r(vec![vec![Value::int(9), Value::int(2)]]);
+        let h1 = find_homomorphism(&d, &mid, HomKind::Any).unwrap();
+        let h2 = find_homomorphism(&mid, &end, HomKind::Any).unwrap();
+        let composed = h1.then(&h2);
+        assert_eq!(composed.apply(&d), end);
+    }
+
+    #[test]
+    fn empty_database_maps_anywhere() {
+        let empty = DatabaseBuilder::new().relation("R", &["a", "b"]).build();
+        let d = tableau_example();
+        assert!(is_homomorphic(&empty, &d, HomKind::Any));
+        assert!(!is_homomorphic(&empty, &d, HomKind::StrongOnto));
+        assert!(is_homomorphic(&empty, &empty, HomKind::StrongOnto));
+    }
+}

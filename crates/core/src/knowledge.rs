@@ -1,0 +1,129 @@
+//! Certain information as **knowledge**: `certainK(X)` is a formula whose
+//! models are exactly the models of the theory `Th(X)` (equations (6) and (8)
+//! of the paper). For query answering, `certainK(Q, x) = δ_{Q(x)}` — the
+//! diagram of the naïvely evaluated answer under the answer semantics —
+//! whenever the query is monotone and generic (equation (10)).
+
+use relalgebra::ast::RaExpr;
+use relalgebra::diagram::{cwa_theory, owa_theory};
+use relalgebra::fo::Formula;
+use relmodel::{Database, Semantics};
+use releval::fo::satisfies;
+use releval::naive::eval_naive;
+use releval::worlds::{possible_answers, WorldOptions};
+use releval::EvalError;
+
+use crate::certainty::answer_database;
+
+/// The knowledge-level certain answer `certainK(Q, D)`: the theory `δ_A` of
+/// the naïvely evaluated answer `A = Q(D)`, under the given answer semantics.
+pub fn certain_knowledge(
+    query: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+) -> Result<Formula, EvalError> {
+    let answer = eval_naive(query, db)?;
+    let answer_db = answer_database(&answer);
+    Ok(match semantics {
+        Semantics::Owa => owa_theory(&answer_db),
+        Semantics::Cwa => cwa_theory(&answer_db),
+    })
+}
+
+/// The theory `δ_x` of an arbitrary database object under a semantics.
+pub fn theory_of(db: &Database, semantics: Semantics) -> Formula {
+    match semantics {
+        Semantics::Owa => owa_theory(db),
+        Semantics::Cwa => cwa_theory(db),
+    }
+}
+
+/// Checks the defining property of certain knowledge on the enumerable
+/// fragment of `Q([[D]])`: every possible answer (as a complete database
+/// object) must be a model of `certainK(Q, D)`.
+///
+/// For monotone generic queries this holds by the paper's equation (10); for
+/// non-monotone queries it can fail, which the tests exhibit.
+pub fn knowledge_holds_in_all_worlds(
+    query: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<bool, EvalError> {
+    let formula = certain_knowledge(query, db, semantics)?;
+    let answers = possible_answers(query, db, semantics, opts)?;
+    Ok(answers.iter().all(|a| satisfies(&answer_database(a), &formula)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::builder::{orders_and_payments_example, tableau_example};
+    use relmodel::{DatabaseBuilder, Value};
+
+    #[test]
+    fn certain_knowledge_of_identity_query() {
+        // Q = R over the §6 example {(1,2),(2,⊥)}: certainK must hold in every
+        // possible answer under both semantics.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .build();
+        let q = RaExpr::relation("R");
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let k = certain_knowledge(&q, &db, semantics).unwrap();
+            assert!(k.is_sentence());
+            assert!(
+                knowledge_holds_in_all_worlds(&q, &db, semantics, &WorldOptions::default())
+                    .unwrap(),
+                "certainK must hold in all answers under {semantics}"
+            );
+        }
+    }
+
+    #[test]
+    fn owa_knowledge_is_existential_positive_cwa_is_guarded() {
+        let db = tableau_example();
+        let q = RaExpr::relation("R");
+        let owa = certain_knowledge(&q, &db, Semantics::Owa).unwrap();
+        assert!(owa.is_existential_positive());
+        let cwa = certain_knowledge(&q, &db, Semantics::Cwa).unwrap();
+        assert!(cwa.is_pos_forall_g());
+        assert!(!cwa.is_existential_positive());
+    }
+
+    #[test]
+    fn knowledge_fails_for_nonmonotone_query_under_cwa() {
+        // π_A(R − S) with R = {(1,⊥0)}, S = {(1,⊥1)}: the naïve answer is {1},
+        // so certainK claims Ans(1) — but in worlds where ⊥0 = ⊥1 the answer is
+        // empty, falsifying the claim.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("S", vec![Value::int(1), Value::null(1)])
+            .build();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        assert!(!knowledge_holds_in_all_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn knowledge_for_projection_query() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Pay").project(vec![1]);
+        let k = certain_knowledge(&q, &db, Semantics::Owa).unwrap();
+        // the answer is a single null, so the knowledge is ∃n0 Ans(n0)
+        assert!(k.to_string().contains("Ans(n0)"));
+        assert!(knowledge_holds_in_all_worlds(&q, &db, Semantics::Owa, &WorldOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn theory_of_matches_diagrams() {
+        let db = tableau_example();
+        assert!(theory_of(&db, Semantics::Owa).is_existential_positive());
+        assert!(theory_of(&db, Semantics::Cwa).is_pos_forall_g());
+    }
+}

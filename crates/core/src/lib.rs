@@ -1,0 +1,50 @@
+//! # certain-core — the paper's framework for certainty over incomplete data
+//!
+//! This crate implements the primary contribution of Libkin's PODS 2014
+//! keynote (Sections 5 and 6): a principled notion of certain answers built
+//! from three ingredients,
+//!
+//! 1. **representation systems** — objects, complete objects, and a semantics
+//!    `[[·]]` assigning to each object the complete objects it denotes
+//!    ([`representation`]);
+//! 2. **the logical-theory view** — each object `x` has a formula `δ_x` with
+//!    `Mod_C(δ_x) = [[x]]` ([`knowledge`], building on `relalgebra::diagram`);
+//! 3. **information orderings** — `x ⪯ y  ⇔  [[y]] ⊆ [[x]]`, characterised for
+//!    relational databases by homomorphisms (plain for OWA, strong onto for
+//!    CWA) ([`ordering`], [`homomorphism`]).
+//!
+//! From these it derives the two notions of certainty of Section 5.3:
+//!
+//! * `certainO(X) = ⋀X` — certain information **as an object**: the greatest
+//!   lower bound of a set of objects under `⪯` ([`certainty`]);
+//! * `certainK(X)` — certain information **as knowledge**: a formula whose
+//!   models are exactly the models of `Th(X)` ([`knowledge`]);
+//!
+//! and the headline theorem of Section 6: for monotone generic queries,
+//! `certainO(Q, x) = Q(x)` — *naïve evaluation works* — which
+//! [`naive_theorem`] verifies empirically against possible-world ground truth
+//! and predicts syntactically from the query class.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certainty;
+pub mod homomorphism;
+pub mod knowledge;
+pub mod naive_theorem;
+pub mod ordering;
+pub mod representation;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::certainty::{glb_owa, is_glb, is_lower_bound, CertainAnswers};
+    pub use crate::homomorphism::{find_homomorphism, is_homomorphic, HomKind, Homomorphism};
+    pub use crate::knowledge::{certain_knowledge, knowledge_holds_in_all_worlds};
+    pub use crate::naive_theorem::{naive_evaluation_works, NaiveEvaluationReport};
+    pub use crate::ordering::{equivalent, less_informative, InfoOrdering};
+    pub use crate::representation::{CwaSystem, OwaSystem, RepresentationSystem};
+}
+
+pub use certainty::CertainAnswers;
+pub use homomorphism::{find_homomorphism, HomKind, Homomorphism};
+pub use ordering::{less_informative, InfoOrdering};

@@ -1,0 +1,176 @@
+//! Operational form of the paper's main theorem: *naïve evaluation works for
+//! monotone generic queries* (Section 6), with the two concrete corollaries
+//!
+//! * OWA-naïve evaluation works for UCQs (positive relational algebra), and
+//! * CWA-naïve evaluation works for `RA_cwa` (= `Pos∀G`).
+//!
+//! The module predicts correctness from the query's syntactic class, checks it
+//! empirically against possible-world ground truth, and offers an empirical
+//! monotonicity check under the information orderings.
+
+use relalgebra::ast::RaExpr;
+use relalgebra::classify::{classify, QueryClass};
+use relmodel::{Database, Relation, Semantics};
+use releval::naive::{certain_answer_naive, eval_naive};
+use releval::worlds::{certain_answer_worlds, WorldOptions};
+use releval::EvalError;
+
+use crate::certainty::answer_database;
+use crate::ordering::{less_informative, InfoOrdering};
+
+/// The outcome of checking naïve evaluation on a concrete query and database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveEvaluationReport {
+    /// Syntactic class of the query.
+    pub class: QueryClass,
+    /// Whether the paper's theorems guarantee correctness for this class under
+    /// the chosen semantics.
+    pub guaranteed: bool,
+    /// The classical certain answer computed naïvely (`Q(D)_cmpl`).
+    pub naive_certain: Relation,
+    /// The possible-world ground truth.
+    pub ground_truth: Relation,
+    /// Did they agree on this instance?
+    pub agrees: bool,
+}
+
+impl NaiveEvaluationReport {
+    /// True when the guarantee and the observation are consistent: a
+    /// guaranteed query must agree with ground truth (an unguaranteed one may
+    /// or may not).
+    pub fn consistent_with_theory(&self) -> bool {
+        !self.guaranteed || self.agrees
+    }
+}
+
+/// Checks whether naïve evaluation computes the classical certain answer for
+/// `query` on `db` under `semantics`, and relates the observation to the
+/// syntactic guarantee.
+pub fn naive_evaluation_works(
+    query: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<NaiveEvaluationReport, EvalError> {
+    let class = classify(query);
+    let guaranteed = class.naive_evaluation_sound(semantics);
+    let naive_certain = certain_answer_naive(query, db)?;
+    let ground_truth = certain_answer_worlds(query, db, semantics, opts)?;
+    let agrees = naive_certain == ground_truth;
+    Ok(NaiveEvaluationReport { class, guaranteed, naive_certain, ground_truth, agrees })
+}
+
+/// Empirically checks monotonicity of a query between two databases ordered by
+/// the information ordering of the semantics: if `a ⪯ b` then the naïve
+/// answers must satisfy `Q(a) ⪯ Q(b)` (the "more informative inputs give more
+/// informative outputs" principle of Section 6).
+///
+/// Returns `None` if `a ⪯ b` does not hold (nothing to check), and otherwise
+/// whether the implication's conclusion holds.
+pub fn monotone_on_pair(
+    query: &RaExpr,
+    a: &Database,
+    b: &Database,
+    semantics: Semantics,
+) -> Result<Option<bool>, EvalError> {
+    let ordering = InfoOrdering::for_semantics(semantics);
+    if !less_informative(a, b, ordering) {
+        return Ok(None);
+    }
+    let qa = answer_database(&eval_naive(query, a)?);
+    let qb = answer_database(&eval_naive(query, b)?);
+    Ok(Some(less_informative(&qa, &qb, ordering)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::builder::{difference_example, orders_and_payments_example};
+    use relmodel::valuation::Valuation;
+    use relmodel::value::{Constant, NullId};
+    use relmodel::{DatabaseBuilder, Value};
+
+    #[test]
+    fn positive_queries_are_guaranteed_and_agree() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Order")
+            .product(RaExpr::relation("Pay"))
+            .select(Predicate::eq(Operand::col(0), Operand::col(3)))
+            .project(vec![0, 2]);
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let report = naive_evaluation_works(&q, &db, semantics, &WorldOptions::default()).unwrap();
+            assert_eq!(report.class, QueryClass::Positive);
+            assert!(report.guaranteed);
+            assert!(report.agrees);
+            assert!(report.consistent_with_theory());
+        }
+    }
+
+    #[test]
+    fn difference_query_fails_and_is_unguaranteed() {
+        let db = difference_example();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        let report =
+            naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert_eq!(report.class, QueryClass::FullRa);
+        assert!(!report.guaranteed);
+        assert!(!report.agrees, "naïve evaluation overclaims {{1,2}} while certain answer is ∅");
+        assert!(report.consistent_with_theory());
+    }
+
+    #[test]
+    fn division_is_guaranteed_under_cwa_but_not_owa() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .ints("S", &[10])
+            .ints("S", &[20])
+            .build();
+        let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        let cwa = naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert_eq!(cwa.class, QueryClass::RaCwa);
+        assert!(cwa.guaranteed);
+        assert!(cwa.agrees);
+        let owa = naive_evaluation_works(
+            &q,
+            &db,
+            Semantics::Owa,
+            &WorldOptions::with_owa_extra(1),
+        )
+        .unwrap();
+        assert!(!owa.guaranteed);
+        // Under OWA with extra tuples, the division certain answer shrinks: the
+        // naïve answer need not agree (and on this instance it does not, since
+        // adding a new S-value can break membership).
+        assert!(!owa.agrees);
+        assert!(owa.consistent_with_theory());
+    }
+
+    #[test]
+    fn monotonicity_of_positive_queries_between_db_and_world() {
+        let db = orders_and_payments_example();
+        let v = Valuation::from_pairs(vec![(NullId(0), Constant::Str("oid1".into()))]);
+        let world = db.apply(&v).unwrap();
+        let q = RaExpr::relation("Pay").project(vec![1]);
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            assert_eq!(monotone_on_pair(&q, &db, &world, semantics).unwrap(), Some(true));
+        }
+        // A non-monotone query violates the principle under CWA on this pair:
+        let nonmono = RaExpr::relation("Order")
+            .project(vec![0])
+            .difference(RaExpr::relation("Pay").project(vec![1]));
+        assert_eq!(monotone_on_pair(&nonmono, &db, &world, Semantics::Cwa).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn monotone_on_unrelated_pair_returns_none() {
+        let a = DatabaseBuilder::new().relation("R", &["x"]).ints("R", &[1]).build();
+        let b = DatabaseBuilder::new().relation("R", &["x"]).ints("R", &[2]).build();
+        let q = RaExpr::relation("R");
+        assert_eq!(monotone_on_pair(&q, &a, &b, Semantics::Owa).unwrap(), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Information orderings on incomplete databases.
+//!
+//! `x ⪯ y` reads "`y` is at least as informative as `x`" and is defined
+//! semantically by `[[y]] ⊆ [[x]]`. For relational databases the orderings are
+//! characterised by homomorphisms (Section 5.2 of the paper):
+//!
+//! * `D ⪯_owa D'` ⇔ there is a homomorphism `D → D'`;
+//! * `D ⪯_cwa D'` ⇔ there is a strong onto homomorphism `D → D'`;
+//! * `D ⪯_wcwa D'` ⇔ there is an onto homomorphism `D → D'` (the weak-CWA
+//!   ordering of Reiter's domain-closure semantics).
+
+use relmodel::{Database, Semantics};
+
+use crate::homomorphism::{is_homomorphic, HomKind};
+
+/// The information orderings implemented by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InfoOrdering {
+    /// `⪯_owa`: homomorphism existence.
+    Owa,
+    /// `⪯_cwa`: strong onto homomorphism existence.
+    Cwa,
+    /// The weak-CWA ordering: onto homomorphism existence.
+    WeakCwa,
+}
+
+impl InfoOrdering {
+    /// The homomorphism kind characterising this ordering.
+    pub fn hom_kind(self) -> HomKind {
+        match self {
+            InfoOrdering::Owa => HomKind::Any,
+            InfoOrdering::Cwa => HomKind::StrongOnto,
+            InfoOrdering::WeakCwa => HomKind::Onto,
+        }
+    }
+
+    /// The ordering matching a possible-world semantics.
+    pub fn for_semantics(semantics: Semantics) -> InfoOrdering {
+        match semantics {
+            Semantics::Owa => InfoOrdering::Owa,
+            Semantics::Cwa => InfoOrdering::Cwa,
+        }
+    }
+}
+
+impl std::fmt::Display for InfoOrdering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InfoOrdering::Owa => write!(f, "⪯_owa"),
+            InfoOrdering::Cwa => write!(f, "⪯_cwa"),
+            InfoOrdering::WeakCwa => write!(f, "⪯_wcwa"),
+        }
+    }
+}
+
+/// Is `a ⪯ b` — is `b` at least as informative as `a` — under the ordering?
+pub fn less_informative(a: &Database, b: &Database, ordering: InfoOrdering) -> bool {
+    is_homomorphic(a, b, ordering.hom_kind())
+}
+
+/// Are `a` and `b` equivalent (each at least as informative as the other)
+/// under the ordering? Equivalent objects have the same semantics `[[·]]`.
+pub fn equivalent(a: &Database, b: &Database, ordering: InfoOrdering) -> bool {
+    less_informative(a, b, ordering) && less_informative(b, a, ordering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::builder::tableau_example;
+    use relmodel::semantics::enumerate_cwa_worlds;
+    use relmodel::value::Constant;
+    use relmodel::{DatabaseBuilder, Value};
+
+    #[test]
+    fn worlds_are_more_informative_than_their_source() {
+        // Every CWA world of D is ⪰ D under both orderings — condition 2 of the
+        // definition of a representation system.
+        let d = tableau_example();
+        let domain = vec![Constant::Int(1), Constant::Int(2), Constant::Int(9)];
+        for world in enumerate_cwa_worlds(&d, &domain) {
+            assert!(less_informative(&d, &world, InfoOrdering::Owa));
+            assert!(less_informative(&d, &world, InfoOrdering::Cwa));
+            assert!(less_informative(&d, &world, InfoOrdering::WeakCwa));
+        }
+    }
+
+    #[test]
+    fn owa_is_coarser_than_cwa() {
+        let d = tableau_example();
+        let mut bigger = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 9])
+            .ints("R", &[9, 2])
+            .build();
+        // The instantiated-and-extended database is above d for OWA…
+        bigger.insert("R", relmodel::Tuple::ints(&[50, 60])).unwrap();
+        assert!(less_informative(&d, &bigger, InfoOrdering::Owa));
+        // …but not for CWA (the extra tuple has no preimage).
+        assert!(!less_informative(&d, &bigger, InfoOrdering::Cwa));
+    }
+
+    #[test]
+    fn orderings_are_reflexive_and_transitive_on_examples() {
+        let d = tableau_example();
+        let less = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::null(7), Value::null(8)])
+            .build();
+        for ord in [InfoOrdering::Owa, InfoOrdering::Cwa, InfoOrdering::WeakCwa] {
+            assert!(less_informative(&d, &d, ord), "reflexivity under {ord}");
+        }
+        // `less` (a single fully-null tuple) is below d under OWA and WeakCwa.
+        assert!(less_informative(&less, &d, InfoOrdering::Owa));
+        // transitivity: less ⪯ d ⪯ world ⇒ less ⪯ world
+        let world = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 3])
+            .ints("R", &[3, 2])
+            .build();
+        assert!(less_informative(&d, &world, InfoOrdering::Owa));
+        assert!(less_informative(&less, &world, InfoOrdering::Owa));
+    }
+
+    #[test]
+    fn equivalence_identifies_renamings() {
+        let a = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::null(0), Value::int(1)])
+            .build();
+        let b = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::null(42), Value::int(1)])
+            .build();
+        for ord in [InfoOrdering::Owa, InfoOrdering::Cwa] {
+            assert!(equivalent(&a, &b, ord));
+        }
+        let c = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[2, 1])
+            .build();
+        assert!(!equivalent(&a, &c, InfoOrdering::Owa));
+        assert!(less_informative(&a, &c, InfoOrdering::Owa));
+    }
+
+    #[test]
+    fn ordering_for_semantics() {
+        assert_eq!(InfoOrdering::for_semantics(Semantics::Owa), InfoOrdering::Owa);
+        assert_eq!(InfoOrdering::for_semantics(Semantics::Cwa), InfoOrdering::Cwa);
+        assert_eq!(InfoOrdering::Owa.to_string(), "⪯_owa");
+    }
+}

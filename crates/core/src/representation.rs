@@ -1,0 +1,135 @@
+//! Representation systems (Section 5.1–5.2 of the paper): the triple of
+//! objects, complete objects and semantics, together with a class of formulas
+//! that can define the semantics of every object and respect the information
+//! ordering.
+//!
+//! Two concrete systems are provided for relational databases:
+//!
+//! * [`OwaSystem`] — semantics `[[·]]_owa`, formulas: unions of conjunctive
+//!   queries (existential positive); `δ_D = ∃x̄ PosDiag(D)`.
+//! * [`CwaSystem`] — semantics `[[·]]_cwa`, formulas: `Pos∀G`;
+//!   `δ_D` additionally asserts domain closure.
+//!
+//! The trait exposes the pieces needed by the rest of the crate and by the
+//! experiment harness: the defining formula `δ_x`, membership of a formula in
+//! the system's class, the matching information ordering, and finite checks of
+//! the representation-system axioms.
+
+use relalgebra::fo::Formula;
+use relmodel::{Database, Semantics};
+use releval::fo::satisfies;
+
+use crate::knowledge::theory_of;
+use crate::ordering::{less_informative, InfoOrdering};
+
+/// A representation system for relational databases under a fixed semantics.
+pub trait RepresentationSystem {
+    /// The possible-world semantics of the system.
+    fn semantics(&self) -> Semantics;
+
+    /// The information ordering associated with the semantics.
+    fn ordering(&self) -> InfoOrdering {
+        InfoOrdering::for_semantics(self.semantics())
+    }
+
+    /// The defining formula `δ_x` of an object, with `Mod_C(δ_x) = [[x]]`.
+    fn delta(&self, db: &Database) -> Formula {
+        theory_of(db, self.semantics())
+    }
+
+    /// Is a formula in the system's formula class?
+    fn formula_in_class(&self, formula: &Formula) -> bool;
+
+    /// Axiom check on concrete complete objects: every complete database in
+    /// the (enumerated fragment of the) semantics of `db` must (a) satisfy
+    /// `δ_db` and (b) be at least as informative as `db`. Returns `true` when
+    /// both hold for every provided world.
+    fn worlds_respect_axioms(&self, db: &Database, worlds: &[Database]) -> bool {
+        let delta = self.delta(db);
+        worlds.iter().all(|w| {
+            satisfies(w, &delta) && less_informative(db, w, self.ordering())
+        })
+    }
+}
+
+/// The OWA representation system `⟨D_owa(σ), UCQ⟩`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OwaSystem;
+
+impl RepresentationSystem for OwaSystem {
+    fn semantics(&self) -> Semantics {
+        Semantics::Owa
+    }
+
+    fn formula_in_class(&self, formula: &Formula) -> bool {
+        formula.is_existential_positive()
+    }
+}
+
+/// The CWA representation system `⟨D_cwa(σ), Pos∀G⟩`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CwaSystem;
+
+impl RepresentationSystem for CwaSystem {
+    fn semantics(&self) -> Semantics {
+        Semantics::Cwa
+    }
+
+    fn formula_in_class(&self, formula: &Formula) -> bool {
+        formula.is_pos_forall_g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::builder::tableau_example;
+    use relmodel::semantics::{enumerate_cwa_worlds, enumerate_owa_worlds};
+    use relmodel::value::Constant;
+
+    #[test]
+    fn deltas_are_in_their_formula_class() {
+        let db = tableau_example();
+        let owa = OwaSystem;
+        let cwa = CwaSystem;
+        assert!(owa.formula_in_class(&owa.delta(&db)));
+        assert!(cwa.formula_in_class(&cwa.delta(&db)));
+        // The CWA delta is not existential positive; the OWA delta is in Pos∀G
+        // (the classes are nested).
+        assert!(!owa.formula_in_class(&cwa.delta(&db)));
+        assert!(cwa.formula_in_class(&owa.delta(&db)));
+    }
+
+    #[test]
+    fn axioms_hold_on_enumerated_worlds() {
+        let db = tableau_example();
+        let domain = vec![Constant::Int(1), Constant::Int(2), Constant::Int(9)];
+        let cwa_worlds = enumerate_cwa_worlds(&db, &domain);
+        assert!(CwaSystem.worlds_respect_axioms(&db, &cwa_worlds));
+        let owa_worlds = enumerate_owa_worlds(&db, &domain, 1);
+        assert!(OwaSystem.worlds_respect_axioms(&db, &owa_worlds));
+    }
+
+    #[test]
+    fn owa_axioms_fail_for_cwa_system_on_extended_worlds() {
+        // A world with an extra tuple is an OWA world but not a CWA world: the
+        // CWA axioms must reject it.
+        let db = tableau_example();
+        let domain = vec![Constant::Int(1), Constant::Int(2), Constant::Int(9)];
+        let extended = enumerate_owa_worlds(&db, &domain, 1)
+            .into_iter()
+            .filter(|w| w.total_tuples() > 2)
+            .collect::<Vec<_>>();
+        assert!(!extended.is_empty());
+        assert!(!CwaSystem.worlds_respect_axioms(&db, &extended));
+        assert!(OwaSystem.worlds_respect_axioms(&db, &extended));
+    }
+
+    #[test]
+    fn orderings_match_semantics() {
+        assert_eq!(OwaSystem.ordering(), InfoOrdering::Owa);
+        assert_eq!(CwaSystem.ordering(), InfoOrdering::Cwa);
+        assert_eq!(OwaSystem.semantics(), Semantics::Owa);
+        assert_eq!(CwaSystem.semantics(), Semantics::Cwa);
+    }
+}

@@ -1,0 +1,337 @@
+//! Conditions of conditional tables: Boolean combinations of equalities
+//! between values (constants and nulls).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use relmodel::valuation::Valuation;
+use relmodel::value::{NullId, Value};
+
+/// A condition attached to a conditional tuple or table.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Condition {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Equality of two values (each a constant or a null).
+    Eq(Value, Value),
+    /// Inequality of two values.
+    Neq(Value, Value),
+    /// Conjunction (empty conjunction is `True`).
+    And(Vec<Condition>),
+    /// Disjunction (empty disjunction is `False`).
+    Or(Vec<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// `a = b`.
+    pub fn eq(a: Value, b: Value) -> Self {
+        Condition::Eq(a, b)
+    }
+
+    /// `a ≠ b`.
+    pub fn neq(a: Value, b: Value) -> Self {
+        Condition::Neq(a, b)
+    }
+
+    /// Conjunction, flattening nested conjunctions and absorbing `True`.
+    pub fn and(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::True, c) | (c, Condition::True) => c,
+            (Condition::False, _) | (_, Condition::False) => Condition::False,
+            (Condition::And(mut a), Condition::And(b)) => {
+                a.extend(b);
+                Condition::And(a)
+            }
+            (Condition::And(mut a), c) => {
+                a.push(c);
+                Condition::And(a)
+            }
+            (c, Condition::And(mut b)) => {
+                b.insert(0, c);
+                Condition::And(b)
+            }
+            (a, b) => Condition::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction, flattening nested disjunctions and absorbing `False`.
+    pub fn or(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::False, c) | (c, Condition::False) => c,
+            (Condition::True, _) | (_, Condition::True) => Condition::True,
+            (Condition::Or(mut a), Condition::Or(b)) => {
+                a.extend(b);
+                Condition::Or(a)
+            }
+            (Condition::Or(mut a), c) => {
+                a.push(c);
+                Condition::Or(a)
+            }
+            (c, Condition::Or(mut b)) => {
+                b.insert(0, c);
+                Condition::Or(b)
+            }
+            (a, b) => Condition::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation, with double-negation elimination and De Morgan on the
+    /// constants.
+    pub fn negate(self) -> Condition {
+        match self {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Eq(a, b) => Condition::Neq(a, b),
+            Condition::Neq(a, b) => Condition::Eq(a, b),
+            Condition::Not(inner) => *inner,
+            other => Condition::Not(Box::new(other)),
+        }
+    }
+
+    /// The equality `t = s` of two tuples, component-wise.
+    pub fn tuples_equal(t: &relmodel::Tuple, s: &relmodel::Tuple) -> Condition {
+        assert_eq!(t.arity(), s.arity(), "tuple equality of different arities");
+        t.values()
+            .iter()
+            .zip(s.values().iter())
+            .fold(Condition::True, |acc, (a, b)| acc.and(Condition::eq(a.clone(), b.clone())))
+    }
+
+    /// Nulls mentioned anywhere in the condition.
+    pub fn null_ids(&self) -> BTreeSet<NullId> {
+        let mut out = BTreeSet::new();
+        self.collect_nulls(&mut out);
+        out
+    }
+
+    fn collect_nulls(&self, out: &mut BTreeSet<NullId>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Eq(a, b) | Condition::Neq(a, b) => {
+                if let Value::Null(n) = a {
+                    out.insert(*n);
+                }
+                if let Value::Null(n) = b {
+                    out.insert(*n);
+                }
+            }
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_nulls(out);
+                }
+            }
+            Condition::Not(c) => c.collect_nulls(out),
+        }
+    }
+
+    /// Evaluates the condition under a valuation. Nulls not covered by the
+    /// valuation are compared syntactically (this matters only for partial
+    /// valuations; the c-table semantics always applies total valuations).
+    pub fn eval(&self, v: &Valuation) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Eq(a, b) => v.apply_value(a) == v.apply_value(b),
+            Condition::Neq(a, b) => v.apply_value(a) != v.apply_value(b),
+            Condition::And(cs) => cs.iter().all(|c| c.eval(v)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval(v)),
+            Condition::Not(c) => !c.eval(v),
+        }
+    }
+
+    /// Structural simplification: constant folding of ground (in)equalities,
+    /// flattening, absorption of `True`/`False`, double-negation elimination.
+    /// Does not attempt full satisfiability reasoning.
+    pub fn simplify(&self) -> Condition {
+        match self {
+            Condition::True => Condition::True,
+            Condition::False => Condition::False,
+            Condition::Eq(a, b) => {
+                if a == b {
+                    Condition::True
+                } else if a.is_const() && b.is_const() {
+                    Condition::False
+                } else {
+                    Condition::Eq(a.clone(), b.clone())
+                }
+            }
+            Condition::Neq(a, b) => {
+                if a == b {
+                    Condition::False
+                } else if a.is_const() && b.is_const() {
+                    Condition::True
+                } else {
+                    Condition::Neq(a.clone(), b.clone())
+                }
+            }
+            Condition::And(cs) => {
+                let mut parts = Vec::new();
+                for c in cs {
+                    match c.simplify() {
+                        Condition::True => {}
+                        Condition::False => return Condition::False,
+                        Condition::And(inner) => parts.extend(inner),
+                        other => parts.push(other),
+                    }
+                }
+                parts.sort();
+                parts.dedup();
+                match parts.len() {
+                    0 => Condition::True,
+                    1 => parts.into_iter().next().expect("len checked"),
+                    _ => Condition::And(parts),
+                }
+            }
+            Condition::Or(cs) => {
+                let mut parts = Vec::new();
+                for c in cs {
+                    match c.simplify() {
+                        Condition::False => {}
+                        Condition::True => return Condition::True,
+                        Condition::Or(inner) => parts.extend(inner),
+                        other => parts.push(other),
+                    }
+                }
+                parts.sort();
+                parts.dedup();
+                match parts.len() {
+                    0 => Condition::False,
+                    1 => parts.into_iter().next().expect("len checked"),
+                    _ => Condition::Or(parts),
+                }
+            }
+            Condition::Not(c) => match c.simplify() {
+                Condition::True => Condition::False,
+                Condition::False => Condition::True,
+                Condition::Eq(a, b) => Condition::Neq(a, b),
+                Condition::Neq(a, b) => Condition::Eq(a, b),
+                Condition::Not(inner) => *inner,
+                other => Condition::Not(Box::new(other)),
+            },
+        }
+    }
+
+    /// A rough size measure (number of atoms), used to report how unwieldy
+    /// c-table answers become (the paper's "hardly meaningful to humans").
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Condition::True | Condition::False | Condition::Eq(_, _) | Condition::Neq(_, _) => 1,
+            Condition::And(cs) | Condition::Or(cs) => cs.iter().map(Condition::atom_count).sum(),
+            Condition::Not(c) => c.atom_count(),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "true"),
+            Condition::False => write!(f, "false"),
+            Condition::Eq(a, b) => write!(f, "{a} = {b}"),
+            Condition::Neq(a, b) => write!(f, "{a} ≠ {b}"),
+            Condition::And(cs) => {
+                if cs.is_empty() {
+                    return write!(f, "true");
+                }
+                let parts: Vec<String> = cs.iter().map(|c| format!("({c})")).collect();
+                write!(f, "{}", parts.join(" ∧ "))
+            }
+            Condition::Or(cs) => {
+                if cs.is_empty() {
+                    return write!(f, "false");
+                }
+                let parts: Vec<String> = cs.iter().map(|c| format!("({c})")).collect();
+                write!(f, "{}", parts.join(" ∨ "))
+            }
+            Condition::Not(c) => write!(f, "¬({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::value::Constant;
+    use relmodel::Tuple;
+
+    #[test]
+    fn building_and_absorption() {
+        let c = Condition::True.and(Condition::eq(Value::null(0), Value::int(1)));
+        assert_eq!(c, Condition::eq(Value::null(0), Value::int(1)));
+        let c = Condition::False.and(Condition::eq(Value::null(0), Value::int(1)));
+        assert_eq!(c, Condition::False);
+        let c = Condition::True.or(Condition::eq(Value::null(0), Value::int(1)));
+        assert_eq!(c, Condition::True);
+        let c = Condition::False.or(Condition::eq(Value::null(0), Value::int(1)));
+        assert_eq!(c, Condition::eq(Value::null(0), Value::int(1)));
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(Condition::True.negate(), Condition::False);
+        assert_eq!(
+            Condition::eq(Value::null(0), Value::int(1)).negate(),
+            Condition::neq(Value::null(0), Value::int(1))
+        );
+        let c = Condition::eq(Value::null(0), Value::int(1))
+            .and(Condition::eq(Value::null(1), Value::int(2)));
+        assert_eq!(c.clone().negate().negate(), c);
+    }
+
+    #[test]
+    fn evaluation_under_valuations() {
+        let c = Condition::eq(Value::null(0), Value::int(1))
+            .or(Condition::eq(Value::null(0), Value::int(0)));
+        let v1 = Valuation::from_pairs(vec![(NullId(0), Constant::Int(1))]);
+        let v2 = Valuation::from_pairs(vec![(NullId(0), Constant::Int(5))]);
+        assert!(c.eval(&v1));
+        assert!(!c.eval(&v2));
+        let neg = c.clone().negate();
+        assert!(!neg.eval(&v1));
+        assert!(neg.eval(&v2));
+    }
+
+    #[test]
+    fn tuple_equality_condition() {
+        let t = Tuple::new(vec![Value::int(1), Value::null(0)]);
+        let s = Tuple::new(vec![Value::int(1), Value::int(2)]);
+        let c = Condition::tuples_equal(&t, &s).simplify();
+        assert_eq!(c, Condition::eq(Value::null(0), Value::int(2)));
+        let v = Valuation::from_pairs(vec![(NullId(0), Constant::Int(2))]);
+        assert!(c.eval(&v));
+    }
+
+    #[test]
+    fn simplification_folds_ground_atoms() {
+        let c = Condition::eq(Value::int(1), Value::int(1))
+            .and(Condition::eq(Value::null(0), Value::int(2)));
+        assert_eq!(c.simplify(), Condition::eq(Value::null(0), Value::int(2)));
+        let c = Condition::eq(Value::int(1), Value::int(2)).or(Condition::neq(Value::int(1), Value::int(2)));
+        assert_eq!(c.simplify(), Condition::True);
+        let c = Condition::Not(Box::new(Condition::Not(Box::new(Condition::True))));
+        assert_eq!(c.simplify(), Condition::True);
+        // duplicate conjuncts are removed
+        let atom = Condition::eq(Value::null(0), Value::int(1));
+        let c = atom.clone().and(atom.clone()).simplify();
+        assert_eq!(c, atom);
+    }
+
+    #[test]
+    fn nulls_and_atom_count() {
+        let c = Condition::eq(Value::null(0), Value::int(1))
+            .and(Condition::neq(Value::null(3), Value::null(0)));
+        assert_eq!(c.null_ids().len(), 2);
+        assert_eq!(c.atom_count(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let c = Condition::eq(Value::null(0), Value::int(1))
+            .or(Condition::neq(Value::null(0), Value::int(2)));
+        assert_eq!(c.to_string(), "(⊥0 = 1) ∨ (⊥0 ≠ 2)");
+    }
+}

@@ -1,0 +1,397 @@
+//! Conditional tuples, tables and databases, with their closed-world
+//! possible-world semantics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use relmodel::valuation::{domain_with_fresh, ValuationEnumerator};
+use relmodel::value::{Constant, NullId};
+use relmodel::{Database, Relation, Schema, Tuple};
+
+use crate::condition::Condition;
+
+/// A tuple together with the condition under which it is present.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConditionalTuple {
+    /// The tuple (may contain nulls).
+    pub tuple: Tuple,
+    /// The local condition.
+    pub condition: Condition,
+}
+
+impl ConditionalTuple {
+    /// Creates a conditional tuple.
+    pub fn new(tuple: Tuple, condition: Condition) -> Self {
+        ConditionalTuple { tuple, condition }
+    }
+
+    /// A tuple present unconditionally.
+    pub fn always(tuple: Tuple) -> Self {
+        ConditionalTuple { tuple, condition: Condition::True }
+    }
+}
+
+impl fmt::Display for ConditionalTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}  if  {}", self.tuple, self.condition)
+    }
+}
+
+/// A conditional table: a list of conditional tuples of the same arity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConditionalTable {
+    arity: usize,
+    rows: Vec<ConditionalTuple>,
+}
+
+impl ConditionalTable {
+    /// Creates an empty conditional table of the given arity.
+    pub fn new(arity: usize) -> Self {
+        ConditionalTable { arity, rows: Vec::new() }
+    }
+
+    /// Builds a conditional table from rows (arity checked).
+    pub fn from_rows(arity: usize, rows: Vec<ConditionalTuple>) -> Self {
+        for r in &rows {
+            assert_eq!(r.tuple.arity(), arity, "conditional tuple arity mismatch");
+        }
+        ConditionalTable { arity, rows }
+    }
+
+    /// Lifts an ordinary (naïve) relation: every tuple gets condition `true`.
+    pub fn from_relation(rel: &Relation) -> Self {
+        ConditionalTable {
+            arity: rel.arity(),
+            rows: rel.iter().map(|t| ConditionalTuple::always(t.clone())).collect(),
+        }
+    }
+
+    /// The arity of the table.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The rows of the table.
+    pub fn rows(&self) -> &[ConditionalTuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty (no rows at all)?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds a row (arity checked).
+    pub fn push(&mut self, row: ConditionalTuple) {
+        assert_eq!(row.tuple.arity(), self.arity, "conditional tuple arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// All nulls mentioned by tuples or conditions.
+    pub fn null_ids(&self) -> BTreeSet<NullId> {
+        let mut out = BTreeSet::new();
+        for r in &self.rows {
+            out.extend(r.tuple.null_ids());
+            out.extend(r.condition.null_ids());
+        }
+        out
+    }
+
+    /// All constants mentioned by tuples.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.rows.iter().flat_map(|r| r.tuple.constants()).collect()
+    }
+
+    /// Simplifies every row condition and drops rows whose condition is
+    /// definitely false.
+    pub fn simplify(&self) -> ConditionalTable {
+        ConditionalTable {
+            arity: self.arity,
+            rows: self
+                .rows
+                .iter()
+                .filter_map(|r| {
+                    let c = r.condition.simplify();
+                    if c == Condition::False {
+                        None
+                    } else {
+                        Some(ConditionalTuple::new(r.tuple.clone(), c))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The instance of the table in the world described by the valuation:
+    /// tuples whose condition holds, with nulls replaced.
+    pub fn instantiate(&self, v: &relmodel::Valuation) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for r in &self.rows {
+            if r.condition.eval(v) {
+                out.insert(r.tuple.apply(v));
+            }
+        }
+        out
+    }
+
+    /// Total number of condition atoms across all rows (a measure of how
+    /// unwieldy the representation is).
+    pub fn condition_atoms(&self) -> usize {
+        self.rows.iter().map(|r| r.condition.atom_count()).sum()
+    }
+}
+
+impl fmt::Display for ConditionalTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rows {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A conditional database: one conditional table per relation of the schema,
+/// plus a global condition (the paper's example uses a global condition to
+/// encode a disjunction `⊥ = 0 ∨ ⊥ = 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConditionalDatabase {
+    schema: Schema,
+    tables: std::collections::BTreeMap<String, ConditionalTable>,
+    /// Global condition: worlds are generated only by valuations satisfying it.
+    pub global: Condition,
+}
+
+impl ConditionalDatabase {
+    /// Creates an empty conditional database over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let tables = schema
+            .iter()
+            .map(|rs| (rs.name.clone(), ConditionalTable::new(rs.arity())))
+            .collect();
+        ConditionalDatabase { schema, tables, global: Condition::True }
+    }
+
+    /// Lifts an ordinary (naïve) database: every tuple gets condition `true`.
+    pub fn from_database(db: &Database) -> Self {
+        let mut out = ConditionalDatabase::new(db.schema().clone());
+        for (name, rel) in db.iter() {
+            out.tables.insert(name.to_owned(), ConditionalTable::from_relation(rel));
+        }
+        out
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Looks up a table by relation name.
+    pub fn table(&self, name: &str) -> Option<&ConditionalTable> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access to a table by relation name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut ConditionalTable> {
+        self.tables.get_mut(name)
+    }
+
+    /// Replaces a table wholesale.
+    pub fn set_table(&mut self, name: &str, table: ConditionalTable) {
+        self.tables.insert(name.to_owned(), table);
+    }
+
+    /// Sets the global condition.
+    pub fn with_global(mut self, condition: Condition) -> Self {
+        self.global = condition;
+        self
+    }
+
+    /// Iterates over `(name, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ConditionalTable)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// All nulls mentioned anywhere (tuples, local conditions, global
+    /// condition).
+    pub fn null_ids(&self) -> BTreeSet<NullId> {
+        let mut out: BTreeSet<NullId> =
+            self.tables.values().flat_map(ConditionalTable::null_ids).collect();
+        out.extend(self.global.null_ids());
+        out
+    }
+
+    /// All constants mentioned by tuples.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.tables.values().flat_map(ConditionalTable::constants).collect()
+    }
+
+    /// The world described by a valuation satisfying the global condition, or
+    /// `None` if the valuation violates it.
+    pub fn instantiate(&self, v: &relmodel::Valuation) -> Option<Database> {
+        if !self.global.eval(v) {
+            return None;
+        }
+        let mut db = Database::new(self.schema.clone());
+        for (name, table) in &self.tables {
+            db.set_relation(name, table.instantiate(v))
+                .expect("table arities match the schema");
+        }
+        Some(db)
+    }
+
+    /// Enumerates the closed-world possible worlds over the given constant
+    /// domain, deduplicated.
+    pub fn worlds(&self, domain: &[Constant]) -> Vec<Database> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for v in ValuationEnumerator::new(self.null_ids(), domain.to_vec()) {
+            if let Some(world) = self.instantiate(&v) {
+                let key = world.to_string();
+                if seen.insert(key) {
+                    out.push(world);
+                }
+            }
+        }
+        out
+    }
+
+    /// A valuation domain adequate for comparing this conditional database
+    /// with a query answer: its constants, the supplied extras, and `fresh`
+    /// fresh constants.
+    pub fn adequate_domain(&self, extra: &BTreeSet<Constant>, fresh: usize) -> Vec<Constant> {
+        let mut base = self.constants();
+        base.extend(extra.iter().cloned());
+        domain_with_fresh(&base, fresh)
+    }
+
+    /// Simplifies all conditions.
+    pub fn simplify(&self) -> ConditionalDatabase {
+        ConditionalDatabase {
+            schema: self.schema.clone(),
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, t)| (n.clone(), t.simplify()))
+                .collect(),
+            global: self.global.simplify(),
+        }
+    }
+}
+
+impl fmt::Display for ConditionalDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, table) in self.iter() {
+            writeln!(f, "{name}:")?;
+            write!(f, "{table}")?;
+        }
+        if self.global != Condition::True {
+            writeln!(f, "global: {}", self.global)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::value::Value;
+    use relmodel::{DatabaseBuilder, Valuation};
+
+    /// The paper's §2 example: a table that contains 1 if ⊥ = 1 and 0 if
+    /// ⊥ = 0, under the global condition (⊥ = 0) ∨ (⊥ = 1). Its semantics is
+    /// {{0}, {1}} — a disjunction encoded as a c-table.
+    fn disjunction_ctable() -> ConditionalDatabase {
+        let schema = Schema::builder().relation("C", &["a"]).build();
+        let mut cdb = ConditionalDatabase::new(schema);
+        let mut table = ConditionalTable::new(1);
+        table.push(ConditionalTuple::new(
+            Tuple::ints(&[1]),
+            Condition::eq(Value::null(0), Value::int(1)),
+        ));
+        table.push(ConditionalTuple::new(
+            Tuple::ints(&[0]),
+            Condition::eq(Value::null(0), Value::int(0)),
+        ));
+        cdb.set_table("C", table);
+        cdb.with_global(
+            Condition::eq(Value::null(0), Value::int(0))
+                .or(Condition::eq(Value::null(0), Value::int(1))),
+        )
+    }
+
+    #[test]
+    fn disjunction_example_has_two_worlds() {
+        let cdb = disjunction_ctable();
+        let domain = cdb.adequate_domain(&BTreeSet::new(), 2);
+        let worlds = cdb.worlds(&domain);
+        assert_eq!(worlds.len(), 2);
+        let sizes: BTreeSet<Vec<String>> = worlds
+            .iter()
+            .map(|w| w.relation("C").unwrap().iter().map(|t| t.to_string()).collect())
+            .collect();
+        assert!(sizes.contains(&vec!["(0)".to_string()]));
+        assert!(sizes.contains(&vec!["(1)".to_string()]));
+    }
+
+    #[test]
+    fn instantiate_respects_global_condition() {
+        let cdb = disjunction_ctable();
+        let bad = Valuation::from_pairs(vec![(NullId(0), Constant::Int(7))]);
+        assert!(cdb.instantiate(&bad).is_none());
+        let good = Valuation::from_pairs(vec![(NullId(0), Constant::Int(1))]);
+        let world = cdb.instantiate(&good).unwrap();
+        assert_eq!(world.relation("C").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn lifting_a_naive_database() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .tuple("R", vec![Value::null(0)])
+            .build();
+        let cdb = ConditionalDatabase::from_database(&db);
+        assert_eq!(cdb.table("R").unwrap().len(), 2);
+        assert!(cdb.table("R").unwrap().rows().iter().all(|r| r.condition == Condition::True));
+        // Its worlds coincide with the naïve database's CWA worlds.
+        let domain = cdb.adequate_domain(&BTreeSet::new(), 2);
+        let worlds = cdb.worlds(&domain);
+        let expected = relmodel::semantics::enumerate_cwa_worlds(&db, &domain);
+        assert_eq!(worlds.len(), expected.len());
+    }
+
+    #[test]
+    fn simplify_drops_false_rows() {
+        let mut table = ConditionalTable::new(1);
+        table.push(ConditionalTuple::new(
+            Tuple::ints(&[1]),
+            Condition::eq(Value::int(1), Value::int(2)),
+        ));
+        table.push(ConditionalTuple::always(Tuple::ints(&[2])));
+        let simplified = table.simplify();
+        assert_eq!(simplified.len(), 1);
+        assert_eq!(simplified.rows()[0].tuple, Tuple::ints(&[2]));
+    }
+
+    #[test]
+    fn null_and_constant_collection() {
+        let cdb = disjunction_ctable();
+        assert_eq!(cdb.null_ids().len(), 1);
+        assert!(cdb.constants().contains(&Constant::Int(0)));
+        assert!(cdb.constants().contains(&Constant::Int(1)));
+        assert_eq!(cdb.table("C").unwrap().condition_atoms(), 2);
+    }
+
+    #[test]
+    fn display_mentions_conditions() {
+        let cdb = disjunction_ctable();
+        let s = cdb.to_string();
+        assert!(s.contains("if"));
+        assert!(s.contains("global:"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Expansion-based verification of the strong representation property:
+//! `[[eval_ctable(Q, D)]]_cwa = Q([[D]]_cwa)` over a finite constant domain.
+//!
+//! This is the machinery behind experiment E6 and the property tests: it makes
+//! the abstract claim "conditional tables are a strong representation system
+//! for relational algebra under CWA" checkable on concrete inputs.
+
+use std::collections::BTreeSet;
+
+use relalgebra::ast::RaExpr;
+use relmodel::value::Constant;
+use relmodel::Relation;
+use releval::complete::eval_complete;
+use releval::EvalError;
+
+use crate::algebra::eval_ctable;
+use crate::ctable::ConditionalDatabase;
+
+/// The two sides of the strong-representation equation, as sets of complete
+/// relations (canonically ordered for comparison).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepresentationCheck {
+    /// `[[A]]_cwa` where `A = eval_ctable(Q, D)`: the possible worlds of the
+    /// conditional answer table.
+    pub answer_worlds: BTreeSet<Relation>,
+    /// `Q([[D]]_cwa)`: the query evaluated in every possible world of `D`.
+    pub query_of_worlds: BTreeSet<Relation>,
+}
+
+impl RepresentationCheck {
+    /// Does the strong representation property hold on this domain?
+    pub fn holds(&self) -> bool {
+        self.answer_worlds == self.query_of_worlds
+    }
+}
+
+/// Performs the strong-representation check for a query over a conditional
+/// database, using the database's constants, the query's constants, and
+/// `fresh` additional fresh constants as the valuation domain.
+pub fn check_strong_representation(
+    expr: &RaExpr,
+    cdb: &ConditionalDatabase,
+    fresh: usize,
+) -> Result<RepresentationCheck, EvalError> {
+    let domain: Vec<Constant> = cdb.adequate_domain(&expr.constants(), fresh);
+
+    // Left-hand side: worlds of the conditional answer. The answer table's
+    // rows/conditions still refer to the *database's* nulls and are governed by
+    // the same global condition, so we instantiate the answer under every
+    // valuation admitted by the database.
+    let answer = eval_ctable(expr, cdb)?;
+    let mut answer_worlds = BTreeSet::new();
+    for v in relmodel::valuation::ValuationEnumerator::new(
+        cdb.null_ids().into_iter().chain(answer.null_ids()),
+        domain.clone(),
+    ) {
+        if !cdb.global.eval(&v) {
+            continue;
+        }
+        answer_worlds.insert(answer.instantiate(&v));
+    }
+
+    // Right-hand side: evaluate the query in every possible world of the
+    // conditional database.
+    let mut query_of_worlds = BTreeSet::new();
+    for world in cdb.worlds(&domain) {
+        query_of_worlds.insert(eval_complete(expr, &world)?);
+    }
+
+    Ok(RepresentationCheck { answer_worlds, query_of_worlds })
+}
+
+/// Convenience wrapper returning just the Boolean outcome.
+pub fn strong_representation_holds(
+    expr: &RaExpr,
+    cdb: &ConditionalDatabase,
+    fresh: usize,
+) -> Result<bool, EvalError> {
+    Ok(check_strong_representation(expr, cdb, fresh)?.holds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::builder::{difference_example, orders_and_payments_example, tableau_example};
+
+    #[test]
+    fn difference_example_is_strongly_represented() {
+        let cdb = ConditionalDatabase::from_database(&difference_example());
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        let check = check_strong_representation(&q, &cdb, 2).unwrap();
+        assert!(check.holds());
+        // The paper lists exactly three possible answers: {1,2}, {1}, {2}.
+        assert_eq!(check.query_of_worlds.len(), 3);
+    }
+
+    #[test]
+    fn positive_and_nonpositive_queries_hold() {
+        let cdb = ConditionalDatabase::from_database(&tableau_example());
+        let queries = vec![
+            RaExpr::relation("R"),
+            RaExpr::relation("R").project(vec![0]),
+            RaExpr::relation("R").select(Predicate::eq(Operand::col(0), Operand::int(1))),
+            RaExpr::relation("R").difference(
+                RaExpr::relation("R").select(Predicate::eq(Operand::col(1), Operand::int(2))),
+            ),
+            RaExpr::relation("R")
+                .project(vec![0])
+                .intersection(RaExpr::relation("R").project(vec![1])),
+        ];
+        for q in queries {
+            assert!(
+                strong_representation_holds(&q, &cdb, 2).unwrap(),
+                "strong representation failed for {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn division_query_is_strongly_represented() {
+        let cdb = ConditionalDatabase::from_database(&orders_and_payments_example());
+        // Orders × paid-orders ÷ paid-orders — a contrived but type-correct division.
+        let q = RaExpr::relation("Order")
+            .project(vec![0])
+            .product(RaExpr::relation("Pay").project(vec![1]))
+            .divide(RaExpr::relation("Pay").project(vec![1]));
+        assert!(strong_representation_holds(&q, &cdb, 2).unwrap());
+    }
+
+    #[test]
+    fn unpaid_orders_query_is_strongly_represented() {
+        let cdb = ConditionalDatabase::from_database(&orders_and_payments_example());
+        let q = RaExpr::relation("Order")
+            .project(vec![0])
+            .difference(RaExpr::relation("Pay").project(vec![1]));
+        let check = check_strong_representation(&q, &cdb, 2).unwrap();
+        assert!(check.holds());
+        // In every world at least one order is unpaid.
+        assert!(check.query_of_worlds.iter().all(|r| !r.is_empty()));
+        // But the intersection over worlds is empty — the classical certain
+        // answer loses that information.
+        let mut iter = check.query_of_worlds.iter();
+        let first = iter.next().unwrap().clone();
+        let intersection = iter.fold(first, |acc, r| acc.intersection(r));
+        assert!(intersection.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # datagen — synthetic workloads for the experiments
+//!
+//! The paper has no accompanying datasets (it is a theory keynote), so the
+//! benchmark harness generates synthetic ones:
+//!
+//! * [`orders`] — the orders/payments schema of the paper's introduction, at
+//!   configurable scale and null rate;
+//! * [`random`] — random incomplete databases over simple schemas, with a
+//!   controlled number of marked nulls (the parameter that drives the
+//!   exponential cost of possible-world enumeration);
+//! * [`queries`] — random positive (UCQ-style) queries and division queries,
+//!   used to validate naïve evaluation broadly rather than on hand-picked
+//!   examples.
+//!
+//! All generators are deterministic given a seed (they use `StdRng`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod orders;
+pub mod queries;
+pub mod random;
+
+pub use orders::{orders_database, OrdersConfig};
+pub use queries::{random_division_query, random_positive_query, QueryGenConfig};
+pub use random::{random_database, RandomDbConfig};

@@ -1,0 +1,104 @@
+//! Generator for the paper's orders/payments scenario at scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmodel::{Database, Schema, Tuple, Value};
+
+/// Configuration for [`orders_database`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdersConfig {
+    /// Number of orders.
+    pub orders: usize,
+    /// Number of payments (each references a random order).
+    pub payments: usize,
+    /// Probability that a payment's `order` attribute is a null (SQL-style
+    /// missing value).
+    pub null_rate: f64,
+    /// Number of distinct products.
+    pub products: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrdersConfig {
+    fn default() -> Self {
+        OrdersConfig { orders: 100, payments: 80, null_rate: 0.1, products: 20, seed: 42 }
+    }
+}
+
+/// The orders/payments schema: `Order(o_id, product)`, `Pay(p_id, order, amount)`.
+pub fn orders_schema() -> Schema {
+    Schema::builder()
+        .relation("Order", &["o_id", "product"])
+        .relation("Pay", &["p_id", "order", "amount"])
+        .build()
+}
+
+/// Generates an orders/payments database. Payments reference random orders;
+/// with probability `null_rate` the referenced order is replaced by a fresh
+/// marked null (a Codd-style missing value).
+pub fn orders_database(config: &OrdersConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new(orders_schema());
+    for i in 0..config.orders {
+        let product = rng.gen_range(0..config.products.max(1));
+        db.insert(
+            "Order",
+            Tuple::new(vec![Value::str(format!("oid{i}")), Value::str(format!("pr{product}"))]),
+        )
+        .expect("order tuples match the schema");
+    }
+    let mut next_null = 0u64;
+    for i in 0..config.payments {
+        let order_ref = if config.orders > 0 && rng.gen_bool(1.0 - config.null_rate.clamp(0.0, 1.0))
+        {
+            Value::str(format!("oid{}", rng.gen_range(0..config.orders)))
+        } else {
+            let v = Value::null(next_null);
+            next_null += 1;
+            v
+        };
+        let amount = rng.gen_range(1..=500);
+        db.insert(
+            "Pay",
+            Tuple::new(vec![Value::str(format!("pid{i}")), order_ref, Value::int(amount)]),
+        )
+        .expect("payment tuples match the schema");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let cfg = OrdersConfig { orders: 10, payments: 7, null_rate: 0.5, products: 3, seed: 1 };
+        let db = orders_database(&cfg);
+        assert_eq!(db.relation("Order").unwrap().len(), 10);
+        assert_eq!(db.relation("Pay").unwrap().len(), 7);
+        assert!(db.is_codd(), "payment nulls are all distinct (Codd-style)");
+    }
+
+    #[test]
+    fn null_rate_zero_and_one() {
+        let none = orders_database(&OrdersConfig { null_rate: 0.0, ..OrdersConfig::default() });
+        assert!(none.is_complete());
+        let all = orders_database(&OrdersConfig {
+            payments: 20,
+            null_rate: 1.0,
+            ..OrdersConfig::default()
+        });
+        assert_eq!(all.null_ids().len(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = orders_database(&OrdersConfig::default());
+        let b = orders_database(&OrdersConfig::default());
+        assert_eq!(a, b);
+        let c = orders_database(&OrdersConfig { seed: 7, ..OrdersConfig::default() });
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,142 @@
+//! Random query generators: positive (UCQ-style) queries and division
+//! (`RA_cwa`) queries over the [`crate::random::random_schema`] vocabulary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relalgebra::ast::RaExpr;
+use relalgebra::predicate::{Operand, Predicate};
+use relmodel::Schema;
+
+/// Configuration for the random query generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryGenConfig {
+    /// Maximum number of relation atoms joined by products.
+    pub max_atoms: usize,
+    /// Maximum number of disjuncts unioned together.
+    pub max_union: usize,
+    /// Size of the constant pool used in selection predicates.
+    pub constant_pool: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig { max_atoms: 2, max_union: 2, constant_pool: 5, seed: 0 }
+    }
+}
+
+/// Generates a random *positive* relational algebra query (select, project,
+/// product, union with equality-only predicates) over the given schema.
+/// The output arity is 1.
+pub fn random_positive_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let disjuncts = rng.gen_range(1..=config.max_union.max(1));
+    let mut exprs: Vec<RaExpr> = Vec::new();
+    for _ in 0..disjuncts {
+        exprs.push(random_spj_block(schema, &mut rng, config));
+    }
+    let mut iter = exprs.into_iter();
+    let first = iter.next().expect("at least one disjunct");
+    iter.fold(first, |acc, e| acc.union(e))
+}
+
+/// Generates one select-project-join block of arity 1.
+fn random_spj_block(schema: &Schema, rng: &mut StdRng, config: &QueryGenConfig) -> RaExpr {
+    let relations: Vec<&relmodel::RelationSchema> = schema.iter().collect();
+    let atoms = rng.gen_range(1..=config.max_atoms.max(1));
+    let mut expr: Option<RaExpr> = None;
+    let mut arities: Vec<usize> = Vec::new();
+    for _ in 0..atoms {
+        let rel = relations[rng.gen_range(0..relations.len())];
+        arities.push(rel.arity());
+        let base = RaExpr::relation(rel.name.clone());
+        expr = Some(match expr {
+            None => base,
+            Some(e) => e.product(base),
+        });
+    }
+    let total_arity: usize = arities.iter().sum();
+    let mut expr = expr.expect("at least one atom");
+    // Add a random join condition (equality of two columns) when possible, and
+    // sometimes a constant selection.
+    let mut predicate = Predicate::True;
+    if total_arity >= 2 && rng.gen_bool(0.7) {
+        let a = rng.gen_range(0..total_arity);
+        let mut b = rng.gen_range(0..total_arity);
+        if a == b {
+            b = (b + 1) % total_arity;
+        }
+        predicate = predicate.and(Predicate::eq(Operand::col(a), Operand::col(b)));
+    }
+    if rng.gen_bool(0.5) {
+        let col = rng.gen_range(0..total_arity);
+        let value = rng.gen_range(0..config.constant_pool.max(1));
+        predicate = predicate.and(Predicate::eq(Operand::col(col), Operand::int(value)));
+    }
+    if predicate != Predicate::True {
+        expr = expr.select(predicate);
+    }
+    let out_col = rng.gen_range(0..total_arity);
+    expr.project(vec![out_col])
+}
+
+/// Generates a random `RA_cwa` query: a positive block of arity 2 divided by a
+/// unary base relation (division by a base relation is the paper's emblematic
+/// `RA_cwa` operator).
+pub fn random_division_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e3779b9));
+    // Dividend: a binary base relation, possibly with a selection.
+    let binary: Vec<&relmodel::RelationSchema> =
+        schema.iter().filter(|r| r.arity() == 2).collect();
+    let unary: Vec<&relmodel::RelationSchema> =
+        schema.iter().filter(|r| r.arity() == 1).collect();
+    assert!(
+        !binary.is_empty() && !unary.is_empty(),
+        "division generator needs a binary and a unary relation in the schema"
+    );
+    let dividend_rel = binary[rng.gen_range(0..binary.len())];
+    let divisor_rel = unary[rng.gen_range(0..unary.len())];
+    let mut dividend = RaExpr::relation(dividend_rel.name.clone());
+    if rng.gen_bool(0.3) {
+        let value = rng.gen_range(0..config.constant_pool.max(1));
+        dividend = dividend.select(Predicate::eq(Operand::col(0), Operand::int(value)));
+    }
+    dividend.divide(RaExpr::relation(divisor_rel.name.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_schema;
+    use relalgebra::classify::{classify, QueryClass};
+    use relalgebra::typecheck::output_arity;
+
+    #[test]
+    fn positive_queries_are_positive_and_well_typed() {
+        let schema = random_schema();
+        for seed in 0..30 {
+            let q = random_positive_query(&schema, &QueryGenConfig { seed, ..Default::default() });
+            assert_eq!(classify(&q), QueryClass::Positive, "seed {seed} produced {q}");
+            assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
+        }
+    }
+
+    #[test]
+    fn division_queries_are_racwa_and_well_typed() {
+        let schema = random_schema();
+        for seed in 0..30 {
+            let q = random_division_query(&schema, &QueryGenConfig { seed, ..Default::default() });
+            assert_eq!(classify(&q), QueryClass::RaCwa, "seed {seed} produced {q}");
+            assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let schema = random_schema();
+        let cfg = QueryGenConfig { seed: 3, ..Default::default() };
+        assert_eq!(random_positive_query(&schema, &cfg), random_positive_query(&schema, &cfg));
+        assert_eq!(random_division_query(&schema, &cfg), random_division_query(&schema, &cfg));
+    }
+}

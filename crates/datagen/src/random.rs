@@ -1,0 +1,109 @@
+//! Random incomplete databases over a simple binary/unary schema.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmodel::{Database, Schema, Tuple, Value};
+
+/// Configuration for [`random_database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDbConfig {
+    /// Tuples per relation.
+    pub tuples_per_relation: usize,
+    /// Size of the constant pool values are drawn from.
+    pub domain_size: usize,
+    /// Number of distinct marked nulls available; each value position is a
+    /// null with probability `null_rate_percent`/100, drawn from this pool
+    /// (so nulls repeat, making the database naïve rather than Codd).
+    pub distinct_nulls: usize,
+    /// Per-position probability (in percent) of placing a null.
+    pub null_rate_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDbConfig {
+    fn default() -> Self {
+        RandomDbConfig {
+            tuples_per_relation: 8,
+            domain_size: 5,
+            distinct_nulls: 2,
+            null_rate_percent: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// The schema used by the random generator: `R(a, b)`, `S(a)`, `T(a, b)`.
+pub fn random_schema() -> Schema {
+    Schema::builder()
+        .relation("R", &["a", "b"])
+        .relation("S", &["a"])
+        .relation("T", &["a", "b"])
+        .build()
+}
+
+/// Generates a random incomplete database over [`random_schema`].
+pub fn random_database(config: &RandomDbConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = random_schema();
+    let mut db = Database::new(schema.clone());
+    for rs in schema.iter() {
+        for _ in 0..config.tuples_per_relation {
+            let tuple: Tuple = (0..rs.arity())
+                .map(|_| random_value(&mut rng, config))
+                .collect();
+            db.insert(&rs.name, tuple).expect("generated tuples match the schema");
+        }
+    }
+    db
+}
+
+fn random_value(rng: &mut StdRng, config: &RandomDbConfig) -> Value {
+    let use_null = config.distinct_nulls > 0
+        && rng.gen_range(0..100u32) < config.null_rate_percent.min(100);
+    if use_null {
+        Value::null(rng.gen_range(0..config.distinct_nulls as u64))
+    } else {
+        Value::int(rng.gen_range(0..config.domain_size.max(1) as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_sizes_and_null_pool() {
+        let cfg = RandomDbConfig { tuples_per_relation: 10, distinct_nulls: 3, ..Default::default() };
+        let db = random_database(&cfg);
+        // Set semantics may merge duplicates, so sizes are at most the request.
+        assert!(db.relation("R").unwrap().len() <= 10);
+        assert!(db.null_ids().len() <= 3);
+        assert!(db.null_ids().iter().all(|n| n.0 < 3));
+    }
+
+    #[test]
+    fn zero_null_rate_gives_complete_database() {
+        let cfg = RandomDbConfig { null_rate_percent: 0, ..Default::default() };
+        assert!(random_database(&cfg).is_complete());
+    }
+
+    #[test]
+    fn all_nulls_when_rate_is_full() {
+        let cfg = RandomDbConfig { null_rate_percent: 100, distinct_nulls: 4, ..Default::default() };
+        let db = random_database(&cfg);
+        assert!(db.constants().is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            random_database(&RandomDbConfig::default()),
+            random_database(&RandomDbConfig::default())
+        );
+        assert_ne!(
+            random_database(&RandomDbConfig::default()),
+            random_database(&RandomDbConfig { seed: 99, ..Default::default() })
+        );
+    }
+}

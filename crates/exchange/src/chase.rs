@@ -1,0 +1,208 @@
+//! The naïve (oblivious) chase for source-to-target tgds: computes the
+//! canonical target instance, introducing a fresh marked null for every
+//! existential variable of every trigger.
+
+use std::collections::BTreeMap;
+
+use relalgebra::cq::{Atom, Term};
+use relmodel::value::{NullId, Value};
+use relmodel::{Database, Tuple};
+
+use crate::mapping::SchemaMapping;
+
+/// The result of chasing a source instance with a schema mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaseResult {
+    /// The canonical target instance (contains marked nulls).
+    pub target: Database,
+    /// How many tgd triggers fired.
+    pub triggers_fired: usize,
+    /// How many fresh nulls were introduced.
+    pub nulls_introduced: u64,
+}
+
+/// Chases a (complete or incomplete) source instance with the mapping's
+/// st-tgds, producing the canonical target instance.
+///
+/// Source nulls are allowed: a body variable may bind to a source null, which
+/// is then copied into the target (this is how incompleteness composes across
+/// exchange steps). Fresh nulls for existential variables are numbered from
+/// `max(source null id) + 1` so they never collide with copied nulls.
+pub fn chase(source: &Database, mapping: &SchemaMapping) -> ChaseResult {
+    let mut target = Database::new(mapping.target.clone());
+    let mut next_null = source.max_null_id().map_or(0, |m| m + 1);
+    let mut triggers = 0usize;
+    let start_null = next_null;
+
+    for tgd in &mapping.tgds {
+        for binding in all_matches(&tgd.body, source) {
+            triggers += 1;
+            // Fresh nulls for the existential variables of this trigger.
+            let mut assignment: BTreeMap<u64, Value> = binding.clone();
+            for var in tgd.existential_vars() {
+                assignment.insert(var, Value::Null(NullId(next_null)));
+                next_null += 1;
+            }
+            for atom in &tgd.head {
+                let tuple: Tuple = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Value::Const(c.clone()),
+                        Term::Var(v) => assignment
+                            .get(v)
+                            .cloned()
+                            .expect("head variables are universal or existential"),
+                    })
+                    .collect();
+                target
+                    .insert(&atom.relation, tuple)
+                    .expect("mapping validation guarantees head atoms fit the target schema");
+            }
+        }
+    }
+
+    ChaseResult { target, triggers_fired: triggers, nulls_introduced: next_null - start_null }
+}
+
+/// Enumerates all homomorphic matches of a conjunction of atoms into a
+/// database, binding variables to the database's values (constants or nulls).
+pub fn all_matches(atoms: &[Atom], db: &Database) -> Vec<BTreeMap<u64, Value>> {
+    let mut out = Vec::new();
+    let mut assignment = BTreeMap::new();
+    match_rec(atoms, 0, db, &mut assignment, &mut out);
+    out
+}
+
+fn match_rec(
+    atoms: &[Atom],
+    idx: usize,
+    db: &Database,
+    assignment: &mut BTreeMap<u64, Value>,
+    out: &mut Vec<BTreeMap<u64, Value>>,
+) {
+    if idx == atoms.len() {
+        out.push(assignment.clone());
+        return;
+    }
+    let atom = &atoms[idx];
+    let Some(rel) = db.relation(&atom.relation) else {
+        return;
+    };
+    for tuple in rel.iter() {
+        if tuple.arity() != atom.terms.len() {
+            continue;
+        }
+        let mut added: Vec<u64> = Vec::new();
+        let mut ok = true;
+        for (term, value) in atom.terms.iter().zip(tuple.values().iter()) {
+            match term {
+                Term::Const(c) => {
+                    if Value::Const(c.clone()) != *value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(existing) => {
+                        if existing != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*v, value.clone());
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            match_rec(atoms, idx + 1, db, assignment, out);
+        }
+        for v in added {
+            assignment.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::DatabaseBuilder;
+
+    fn source() -> Database {
+        DatabaseBuilder::new()
+            .relation("Order", &["o_id", "product"])
+            .strs("Order", &["oid1", "pr1"])
+            .strs("Order", &["oid2", "pr2"])
+            .build()
+    }
+
+    #[test]
+    fn paper_example_chase() {
+        // Order(oid1,pr1), Order(oid2,pr2) chased with
+        // Order(i,p) → ∃x Cust(x) ∧ Pref(x,p) produces Cust(⊥), Pref(⊥,pr1),
+        // Cust(⊥'), Pref(⊥',pr2) with two distinct fresh nulls.
+        let mapping = SchemaMapping::order_to_customer_example();
+        let result = chase(&source(), &mapping);
+        assert_eq!(result.triggers_fired, 2);
+        assert_eq!(result.nulls_introduced, 2);
+        let cust = result.target.relation("Cust").unwrap();
+        let pref = result.target.relation("Pref").unwrap();
+        assert_eq!(cust.len(), 2);
+        assert_eq!(pref.len(), 2);
+        assert_eq!(result.target.null_ids().len(), 2);
+        // Each Pref tuple pairs a null with the right product, and the null in
+        // Cust matches the null in Pref (marked nulls!).
+        for t in pref.iter() {
+            assert!(t.values()[0].is_null());
+            assert!(t.values()[1].is_const());
+            assert!(cust.contains(&Tuple::new(vec![t.values()[0].clone()])));
+        }
+    }
+
+    #[test]
+    fn chase_of_empty_source_is_empty() {
+        let mapping = SchemaMapping::order_to_customer_example();
+        let empty = Database::new(mapping.source.clone());
+        let result = chase(&empty, &mapping);
+        assert_eq!(result.triggers_fired, 0);
+        assert_eq!(result.target.total_tuples(), 0);
+    }
+
+    #[test]
+    fn chase_copies_source_nulls() {
+        let mapping = SchemaMapping::order_to_customer_example();
+        let src = DatabaseBuilder::new()
+            .relation("Order", &["o_id", "product"])
+            .tuple("Order", vec![Value::str("oid1"), Value::null(0)])
+            .build();
+        let result = chase(&src, &mapping);
+        // The product null ⊥0 is copied into Pref, and the fresh customer null
+        // gets a new identifier (≥ 1).
+        let pref = result.target.relation("Pref").unwrap();
+        assert_eq!(pref.len(), 1);
+        let t = pref.iter().next().unwrap();
+        assert_eq!(t.values()[1], Value::null(0));
+        assert!(t.values()[0].as_null().unwrap().0 >= 1);
+    }
+
+    #[test]
+    fn all_matches_enumerates_joins() {
+        // body: Order(x, y) ∧ Order(z, y) over two orders with distinct products
+        // matches only the diagonal pairs.
+        let atoms = vec![
+            Atom::new("Order", vec![Term::var(0), Term::var(1)]),
+            Atom::new("Order", vec![Term::var(2), Term::var(1)]),
+        ];
+        let matches = all_matches(&atoms, &source());
+        assert_eq!(matches.len(), 2);
+        // constants in the body restrict matches
+        let atoms = vec![Atom::new("Order", vec![Term::var(0), Term::str("pr1")])];
+        assert_eq!(all_matches(&atoms, &source()).len(), 1);
+        // unknown relation yields no matches
+        let atoms = vec![Atom::new("Nope", vec![Term::var(0)])];
+        assert!(all_matches(&atoms, &source()).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # exchange — schema mappings and data exchange
+//!
+//! The paper's introduction points out that incompleteness "inevitably arises
+//! when we move data between applications": schema mappings generate target
+//! instances with *marked nulls*. This crate provides that substrate:
+//!
+//! * [`tgd`] — source-to-target tuple-generating dependencies
+//!   `∀x̄ (φ(x̄) → ∃ȳ ψ(x̄, ȳ))`, written with the conjunctive-query atoms of
+//!   `relalgebra`;
+//! * [`mapping`] — schema mappings (source schema, target schema, st-tgds);
+//! * [`chase`] — the naïve chase, producing the canonical target instance
+//!   with fresh marked nulls for existential variables;
+//! * [`solutions`] — solution and universal-solution checks, and certain
+//!   answers to target queries via naïve evaluation over the chased instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod mapping;
+pub mod solutions;
+pub mod tgd;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::chase::{chase, ChaseResult};
+    pub use crate::mapping::SchemaMapping;
+    pub use crate::solutions::{certain_answer_exchange, is_solution, is_universal_for};
+    pub use crate::tgd::Tgd;
+}
+
+pub use chase::{chase, ChaseResult};
+pub use mapping::SchemaMapping;
+pub use tgd::Tgd;

@@ -1,0 +1,138 @@
+//! Schema mappings: a source schema, a target schema, and a set of
+//! source-to-target tgds.
+
+use std::fmt;
+
+use relmodel::Schema;
+
+use crate::tgd::Tgd;
+
+/// A schema mapping `M = (σ_s, σ_t, Σ_st)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaMapping {
+    /// The source schema.
+    pub source: Schema,
+    /// The target schema.
+    pub target: Schema,
+    /// The source-to-target dependencies.
+    pub tgds: Vec<Tgd>,
+}
+
+/// Errors raised when validating a schema mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A tgd body mentions a relation that is not in the source schema.
+    BodyNotInSource(String),
+    /// A tgd head mentions a relation that is not in the target schema.
+    HeadNotInTarget(String),
+    /// An atom's arity does not match the schema.
+    ArityMismatch(String),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::BodyNotInSource(r) => {
+                write!(f, "tgd body uses relation `{r}` not in the source schema")
+            }
+            MappingError::HeadNotInTarget(r) => {
+                write!(f, "tgd head uses relation `{r}` not in the target schema")
+            }
+            MappingError::ArityMismatch(r) => {
+                write!(f, "atom over `{r}` has the wrong arity for its schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+impl SchemaMapping {
+    /// Creates and validates a schema mapping.
+    pub fn new(source: Schema, target: Schema, tgds: Vec<Tgd>) -> Result<Self, MappingError> {
+        for tgd in &tgds {
+            for atom in &tgd.body {
+                let rs = source
+                    .relation(&atom.relation)
+                    .ok_or_else(|| MappingError::BodyNotInSource(atom.relation.clone()))?;
+                if rs.arity() != atom.terms.len() {
+                    return Err(MappingError::ArityMismatch(atom.relation.clone()));
+                }
+            }
+            for atom in &tgd.head {
+                let rs = target
+                    .relation(&atom.relation)
+                    .ok_or_else(|| MappingError::HeadNotInTarget(atom.relation.clone()))?;
+                if rs.arity() != atom.terms.len() {
+                    return Err(MappingError::ArityMismatch(atom.relation.clone()));
+                }
+            }
+        }
+        Ok(SchemaMapping { source, target, tgds })
+    }
+
+    /// The paper's running example: copy the `Order` relation into a
+    /// customers-and-preferences target via
+    /// `Order(i, p) → ∃x Cust(x) ∧ Pref(x, p)`.
+    pub fn order_to_customer_example() -> SchemaMapping {
+        let source = Schema::builder().relation("Order", &["o_id", "product"]).build();
+        let target = Schema::builder()
+            .relation("Cust", &["cust"])
+            .relation("Pref", &["cust", "product"])
+            .build();
+        SchemaMapping::new(source, target, vec![Tgd::order_to_customer_example()])
+            .expect("the canned example is valid")
+    }
+}
+
+impl fmt::Display for SchemaMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for tgd in &self.tgds {
+            writeln!(f, "{tgd}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::cq::{Atom, Term};
+
+    #[test]
+    fn example_mapping_validates() {
+        let m = SchemaMapping::order_to_customer_example();
+        assert_eq!(m.tgds.len(), 1);
+        assert!(m.to_string().contains("Order(x0, x1)"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let source = Schema::builder().relation("R", &["a"]).build();
+        let target = Schema::builder().relation("T", &["a"]).build();
+        let bad_body = Tgd::new(
+            vec![Atom::new("Nope", vec![Term::var(0)])],
+            vec![Atom::new("T", vec![Term::var(0)])],
+        );
+        assert!(matches!(
+            SchemaMapping::new(source.clone(), target.clone(), vec![bad_body]),
+            Err(MappingError::BodyNotInSource(_))
+        ));
+        let bad_head = Tgd::new(
+            vec![Atom::new("R", vec![Term::var(0)])],
+            vec![Atom::new("Nope", vec![Term::var(0)])],
+        );
+        assert!(matches!(
+            SchemaMapping::new(source.clone(), target.clone(), vec![bad_head]),
+            Err(MappingError::HeadNotInTarget(_))
+        ));
+        let bad_arity = Tgd::new(
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("T", vec![Term::var(0)])],
+        );
+        assert!(matches!(
+            SchemaMapping::new(source, target, vec![bad_arity]),
+            Err(MappingError::ArityMismatch(_))
+        ));
+    }
+}

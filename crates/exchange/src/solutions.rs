@@ -1,0 +1,203 @@
+//! Solutions, universal solutions, and certain answers in data exchange.
+//!
+//! A target instance `J` is a *solution* for a source `I` under a mapping `M`
+//! if every tgd is satisfied: every match of a body in `I` extends to a match
+//! of the head in `J`. The chase result is a *universal* solution: it maps
+//! homomorphically into every solution, which is exactly why certain answers
+//! to UCQs over the target can be computed by naïve evaluation on it (the
+//! standard data-exchange result the paper's applications section refers to).
+
+use std::collections::BTreeMap;
+
+use certain_core::homomorphism::{is_homomorphic, HomKind};
+use relalgebra::ast::RaExpr;
+use relalgebra::cq::Term;
+use relmodel::value::Value;
+use relmodel::{Database, Relation};
+use releval::naive::certain_answer_naive;
+use releval::EvalError;
+
+use crate::chase::{all_matches, chase};
+use crate::mapping::SchemaMapping;
+
+/// Is `target` a solution for `source` under the mapping — does it satisfy all
+/// st-tgds?
+pub fn is_solution(source: &Database, target: &Database, mapping: &SchemaMapping) -> bool {
+    for tgd in &mapping.tgds {
+        for binding in all_matches(&tgd.body, source) {
+            // The head, with universal variables bound, must have at least one
+            // match in the target extending the binding.
+            let head_matches = all_matches_with_seed(&tgd.head, target, &binding);
+            if head_matches.is_empty() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn all_matches_with_seed(
+    atoms: &[relalgebra::cq::Atom],
+    db: &Database,
+    seed: &BTreeMap<u64, Value>,
+) -> Vec<BTreeMap<u64, Value>> {
+    // Substitute the seed into the atoms, then enumerate matches of the rest.
+    let substituted: Vec<relalgebra::cq::Atom> = atoms
+        .iter()
+        .map(|a| {
+            relalgebra::cq::Atom::new(
+                a.relation.clone(),
+                a.terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => match seed.get(v) {
+                            Some(Value::Const(c)) => Term::Const(c.clone()),
+                            // A null bound by the seed cannot be written as a CQ
+                            // constant; keep it a variable and filter below.
+                            Some(Value::Null(_)) | None => t.clone(),
+                        },
+                        c => c.clone(),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    all_matches(&substituted, db)
+        .into_iter()
+        .filter(|m| {
+            // any variable the seed bound to a null must be matched to exactly
+            // that null in the target
+            seed.iter().all(|(v, val)| match val {
+                Value::Null(_) => m.get(v).map_or(true, |found| found == val),
+                Value::Const(_) => true,
+            })
+        })
+        .collect()
+}
+
+/// Is `candidate` universal for the given set of solutions — does it map
+/// homomorphically into each of them?
+pub fn is_universal_for(candidate: &Database, solutions: &[Database]) -> bool {
+    solutions.iter().all(|s| is_homomorphic(candidate, s, HomKind::Any))
+}
+
+/// Certain answers to a target query in data exchange: chase the source, then
+/// evaluate the query naïvely over the canonical target instance and keep the
+/// null-free tuples. Correct for unions of conjunctive queries (the classical
+/// Fagin–Kolaitis–Miller–Popa result).
+pub fn certain_answer_exchange(
+    source: &Database,
+    mapping: &SchemaMapping,
+    query: &RaExpr,
+) -> Result<Relation, EvalError> {
+    let chased = chase(source, mapping);
+    certain_answer_naive(query, &chased.target)
+}
+
+/// A convenience bundle: the chased target plus the certain answer to a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeAnswer {
+    /// The canonical (universal) target instance.
+    pub canonical_target: Database,
+    /// The certain answer computed over it.
+    pub certain: Relation,
+    /// The naïve (object-level) answer, nulls included.
+    pub naive_object: Relation,
+}
+
+/// Runs the full pipeline: chase, naïve evaluation, certain answer.
+pub fn exchange_and_answer(
+    source: &Database,
+    mapping: &SchemaMapping,
+    query: &RaExpr,
+) -> Result<ExchangeAnswer, EvalError> {
+    let chased = chase(source, mapping);
+    let naive_object = releval::naive::eval_naive(query, &chased.target)?;
+    let certain = naive_object.complete_part();
+    Ok(ExchangeAnswer { canonical_target: chased.target, certain, naive_object })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::{DatabaseBuilder, Tuple};
+
+    fn source() -> Database {
+        DatabaseBuilder::new()
+            .relation("Order", &["o_id", "product"])
+            .strs("Order", &["oid1", "pr1"])
+            .strs("Order", &["oid2", "pr2"])
+            .build()
+    }
+
+    #[test]
+    fn chase_result_is_a_solution_and_universal() {
+        let mapping = SchemaMapping::order_to_customer_example();
+        let src = source();
+        let canonical = chase(&src, &mapping).target;
+        assert!(is_solution(&src, &canonical, &mapping));
+
+        // Another solution: a single concrete customer for both products.
+        let other = DatabaseBuilder::new()
+            .relation("Cust", &["cust"])
+            .relation("Pref", &["cust", "product"])
+            .strs("Cust", &["alice"])
+            .strs("Pref", &["alice", "pr1"])
+            .strs("Pref", &["alice", "pr2"])
+            .build();
+        assert!(is_solution(&src, &other, &mapping));
+        assert!(is_universal_for(&canonical, &[other.clone()]));
+        // The concrete solution is NOT universal: constants cannot be mapped away.
+        assert!(!is_universal_for(&other, &[canonical]));
+    }
+
+    #[test]
+    fn non_solution_detected() {
+        let mapping = SchemaMapping::order_to_customer_example();
+        let src = source();
+        let missing_pref = DatabaseBuilder::new()
+            .relation("Cust", &["cust"])
+            .relation("Pref", &["cust", "product"])
+            .strs("Cust", &["alice"])
+            .strs("Pref", &["alice", "pr1"])
+            .build();
+        assert!(!is_solution(&src, &missing_pref, &mapping));
+    }
+
+    #[test]
+    fn certain_answers_over_exchange() {
+        let mapping = SchemaMapping::order_to_customer_example();
+        let src = source();
+        // "Which products does some customer prefer?" — certain: pr1, pr2.
+        let q = RaExpr::relation("Pref").project(vec![1]);
+        let certain = certain_answer_exchange(&src, &mapping, &q).unwrap();
+        assert_eq!(certain.len(), 2);
+        // "Which customers exist?" — none certain (they are all nulls).
+        let q = RaExpr::relation("Cust");
+        let certain = certain_answer_exchange(&src, &mapping, &q).unwrap();
+        assert!(certain.is_empty());
+        // But the object-level answer retains the two marked nulls.
+        let full = exchange_and_answer(&src, &mapping, &RaExpr::relation("Cust")).unwrap();
+        assert_eq!(full.naive_object.len(), 2);
+        assert!(full.certain.is_empty());
+    }
+
+    #[test]
+    fn join_query_over_exchange_uses_marked_nulls() {
+        // "Pairs of products preferred by the same customer": thanks to marked
+        // nulls, pr1 is certainly co-preferred with pr1 (trivially), and the
+        // join respects null identity across Cust/Pref.
+        let mapping = SchemaMapping::order_to_customer_example();
+        let src = source();
+        let q = RaExpr::relation("Pref")
+            .product(RaExpr::relation("Pref"))
+            .select(Predicate::eq(Operand::col(0), Operand::col(2)))
+            .project(vec![1, 3]);
+        let ans = certain_answer_exchange(&src, &mapping, &q).unwrap();
+        assert!(ans.contains(&Tuple::strs(&["pr1", "pr1"])));
+        assert!(ans.contains(&Tuple::strs(&["pr2", "pr2"])));
+        // pr1/pr2 are *not* certainly co-preferred (different unknown customers).
+        assert!(!ans.contains(&Tuple::strs(&["pr1", "pr2"])));
+    }
+}

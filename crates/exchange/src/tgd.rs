@@ -1,0 +1,126 @@
+//! Tuple-generating dependencies (tgds).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use relalgebra::cq::{Atom, Term};
+
+/// A source-to-target tuple-generating dependency
+/// `∀x̄ (body(x̄) → ∃ȳ head(x̄, ȳ))`.
+///
+/// Variables occurring in the head but not in the body are existentially
+/// quantified; the chase instantiates them with fresh marked nulls. The
+/// paper's example `Order(i, p) → Cust(x), Pref(x, p)` has `i, p` universal
+/// and `x` existential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    /// Body atoms, over the source schema.
+    pub body: Vec<Atom>,
+    /// Head atoms, over the target schema.
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Creates a tgd. The body must be nonempty (a standard requirement that
+    /// keeps the chase well-behaved).
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        assert!(!body.is_empty(), "tgd body must be nonempty");
+        assert!(!head.is_empty(), "tgd head must be nonempty");
+        Tgd { body, head }
+    }
+
+    /// Variables occurring in the body (the universally quantified ones).
+    pub fn universal_vars(&self) -> BTreeSet<u64> {
+        self.body.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// Variables occurring only in the head (the existentially quantified
+    /// ones, instantiated with fresh nulls by the chase).
+    pub fn existential_vars(&self) -> BTreeSet<u64> {
+        let universal = self.universal_vars();
+        self.head
+            .iter()
+            .flat_map(|a| a.variables())
+            .filter(|v| !universal.contains(v))
+            .collect()
+    }
+
+    /// Is the tgd *full* (no existential variables)?
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Relation names used in the body.
+    pub fn body_relations(&self) -> BTreeSet<String> {
+        self.body.iter().map(|a| a.relation.clone()).collect()
+    }
+
+    /// Relation names used in the head.
+    pub fn head_relations(&self) -> BTreeSet<String> {
+        self.head.iter().map(|a| a.relation.clone()).collect()
+    }
+
+    /// The paper's running example mapping:
+    /// `Order(i, p) → ∃x Cust(x) ∧ Pref(x, p)`.
+    pub fn order_to_customer_example() -> Tgd {
+        Tgd::new(
+            vec![Atom::new("Order", vec![Term::var(0), Term::var(1)])],
+            vec![
+                Atom::new("Cust", vec![Term::var(2)]),
+                Atom::new("Pref", vec![Term::var(2), Term::var(1)]),
+            ],
+        )
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        let head: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
+        let existential: Vec<String> =
+            self.existential_vars().iter().map(|v| format!("x{v}")).collect();
+        if existential.is_empty() {
+            write!(f, "{} → {}", body.join(" ∧ "), head.join(" ∧ "))
+        } else {
+            write!(f, "{} → ∃{} {}", body.join(" ∧ "), existential.join(","), head.join(" ∧ "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_classification() {
+        let tgd = Tgd::order_to_customer_example();
+        assert_eq!(tgd.universal_vars().len(), 2);
+        assert_eq!(tgd.existential_vars(), vec![2u64].into_iter().collect());
+        assert!(!tgd.is_full());
+        assert_eq!(tgd.body_relations().len(), 1);
+        assert_eq!(tgd.head_relations().len(), 2);
+    }
+
+    #[test]
+    fn full_tgd() {
+        let tgd = Tgd::new(
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("T", vec![Term::var(1), Term::var(0)])],
+        );
+        assert!(tgd.is_full());
+        assert!(tgd.to_string().contains("→"));
+        assert!(!tgd.to_string().contains("∃"));
+    }
+
+    #[test]
+    fn display_shows_existentials() {
+        let tgd = Tgd::order_to_customer_example();
+        assert!(tgd.to_string().contains("∃x2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "body must be nonempty")]
+    fn empty_body_rejected() {
+        Tgd::new(vec![], vec![Atom::new("T", vec![Term::var(0)])]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Tokenizer for the query language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier (relation name or keyword, lowercased keywords are
+    /// distinguished by the parser).
+    Ident(String),
+    /// An integer literal.
+    Number(i64),
+    /// A single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `#` — column marker.
+    Hash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Hash => write!(f, "#"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "!="),
+        }
+    }
+}
+
+/// A lexing error with the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '#' => {
+                tokens.push(Token::Hash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(LexError { position: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(LexError { position: i, message: "expected '>' after '<'".into() });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\'' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(LexError { position: i, message: "unterminated string literal".into() });
+                }
+                tokens.push(Token::Str(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    position: start,
+                    message: format!("invalid number `{text}`"),
+                })?;
+                tokens.push(Token::Number(value));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize("project[#0](Order) minus project[#1](Pay)").unwrap();
+        assert_eq!(toks[0], Token::Ident("project".into()));
+        assert_eq!(toks[1], Token::LBracket);
+        assert_eq!(toks[2], Token::Hash);
+        assert_eq!(toks[3], Token::Number(0));
+        assert!(toks.contains(&Token::Ident("minus".into())));
+    }
+
+    #[test]
+    fn strings_numbers_operators() {
+        let toks = tokenize("select[#1 = 'oid1' or #2 != -5](Pay)").unwrap();
+        assert!(toks.contains(&Token::Str("oid1".into())));
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::Number(-5)));
+        let toks = tokenize("#0 <> 3").unwrap();
+        assert!(toks.contains(&Token::NotEq));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a < b").is_err());
+        assert!(tokenize("a $ b").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for t in tokenize("select[#0 = 1](R)").unwrap() {
+            assert!(!t.to_string().is_empty());
+        }
+        assert!(LexError { position: 0, message: "x".into() }.to_string().contains("byte 0"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Classification of relational algebra expressions into the fragments whose
+//! behaviour over incomplete data the paper characterises.
+//!
+//! * [`QueryClass::Positive`] — positive relational algebra (σ, π, ×, ∪, ∩
+//!   with positive selection conditions). Equivalent to unions of conjunctive
+//!   queries; **OWA- and CWA-naïve evaluation is correct** for this class.
+//! * [`QueryClass::RaCwa`] — `RA_cwa`: positive algebra extended with division
+//!   `Q ÷ Q'` where the divisor `Q'` belongs to `RA(Δ, π, ×, ∪)`. This class
+//!   coincides with the logical fragment `Pos∀G` (positive formulas with
+//!   universal guards); **CWA-naïve evaluation is correct** for it, but
+//!   OWA-naïve evaluation is not.
+//! * [`QueryClass::FullRa`] — full relational algebra (difference, negated or
+//!   inequality conditions). Naïve evaluation is not correct in general;
+//!   certain answers are coNP-hard under CWA and undecidable under OWA.
+
+use std::fmt;
+
+use crate::ast::RaExpr;
+
+/// The query fragments relevant to the paper's naïve-evaluation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryClass {
+    /// Positive relational algebra = unions of conjunctive queries.
+    Positive,
+    /// Positive algebra plus division by an `RA(Δ,π,×,∪)` expression
+    /// (= `Pos∀G`).
+    RaCwa,
+    /// Full relational algebra.
+    FullRa,
+}
+
+impl QueryClass {
+    /// Is naïve evaluation guaranteed to compute certain answers for this
+    /// class under the given semantics?
+    pub fn naive_evaluation_sound(self, semantics: relmodel::Semantics) -> bool {
+        match (self, semantics) {
+            (QueryClass::Positive, _) => true,
+            (QueryClass::RaCwa, relmodel::Semantics::Cwa) => true,
+            (QueryClass::RaCwa, relmodel::Semantics::Owa) => false,
+            (QueryClass::FullRa, _) => false,
+        }
+    }
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryClass::Positive => write!(f, "positive (UCQ)"),
+            QueryClass::RaCwa => write!(f, "RA_cwa (Pos∀G)"),
+            QueryClass::FullRa => write!(f, "full relational algebra"),
+        }
+    }
+}
+
+/// Classifies an expression into the *smallest* fragment containing it
+/// (syntactically — no semantic equivalences are attempted).
+pub fn classify(expr: &RaExpr) -> QueryClass {
+    match expr {
+        RaExpr::Relation(_) | RaExpr::Delta => QueryClass::Positive,
+        RaExpr::Values(rel) => {
+            // A literal relation behaves like a (constant) positive query.
+            let _ = rel;
+            QueryClass::Positive
+        }
+        RaExpr::Select(e, p) => {
+            let inner = classify(e);
+            if p.is_positive() {
+                inner
+            } else {
+                QueryClass::FullRa
+            }
+        }
+        RaExpr::Project(e, _) => classify(e),
+        RaExpr::Product(a, b) | RaExpr::Union(a, b) | RaExpr::Intersection(a, b) => {
+            classify(a).max(classify(b))
+        }
+        RaExpr::Difference(_, _) => QueryClass::FullRa,
+        RaExpr::Divide(a, b) => {
+            let dividend = classify(a);
+            if dividend <= QueryClass::RaCwa && is_divisor_class(b) {
+                dividend.max(QueryClass::RaCwa)
+            } else {
+                QueryClass::FullRa
+            }
+        }
+    }
+}
+
+/// Is the expression in `RA(Δ, π, ×, ∪)` — the class of admissible divisors in
+/// `RA_cwa` (base relations and `Δ`, closed under projection, product and
+/// union; no selection, difference or division)?
+pub fn is_divisor_class(expr: &RaExpr) -> bool {
+    match expr {
+        RaExpr::Relation(_) | RaExpr::Delta => true,
+        RaExpr::Values(rel) => rel.is_complete(),
+        RaExpr::Project(e, _) => is_divisor_class(e),
+        RaExpr::Product(a, b) | RaExpr::Union(a, b) => is_divisor_class(a) && is_divisor_class(b),
+        RaExpr::Select(_, _)
+        | RaExpr::Intersection(_, _)
+        | RaExpr::Difference(_, _)
+        | RaExpr::Divide(_, _) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Operand, Predicate};
+    use relmodel::{Relation, Semantics, Tuple, Value};
+
+    #[test]
+    fn positive_queries() {
+        let q = RaExpr::relation("R")
+            .select(Predicate::eq(Operand::col(0), Operand::int(1)))
+            .project(vec![0])
+            .union(RaExpr::relation("S"));
+        assert_eq!(classify(&q), QueryClass::Positive);
+        assert!(classify(&q).naive_evaluation_sound(Semantics::Owa));
+        assert!(classify(&q).naive_evaluation_sound(Semantics::Cwa));
+        assert_eq!(classify(&RaExpr::relation("R").intersection(RaExpr::relation("R"))), QueryClass::Positive);
+    }
+
+    #[test]
+    fn difference_and_negation_are_full_ra() {
+        let diff = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        assert_eq!(classify(&diff), QueryClass::FullRa);
+        assert!(!classify(&diff).naive_evaluation_sound(Semantics::Cwa));
+
+        let neg = RaExpr::relation("R")
+            .select(Predicate::neq(Operand::col(0), Operand::int(1)));
+        assert_eq!(classify(&neg), QueryClass::FullRa);
+
+        let not = RaExpr::relation("R")
+            .select(Predicate::eq(Operand::col(0), Operand::int(1)).negate());
+        assert_eq!(classify(&not), QueryClass::FullRa);
+    }
+
+    #[test]
+    fn division_by_base_relation_is_racwa() {
+        let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        assert_eq!(classify(&q), QueryClass::RaCwa);
+        assert!(classify(&q).naive_evaluation_sound(Semantics::Cwa));
+        assert!(!classify(&q).naive_evaluation_sound(Semantics::Owa));
+    }
+
+    #[test]
+    fn division_by_ra_delta_projection_union_is_racwa() {
+        let divisor = RaExpr::relation("S")
+            .project(vec![0])
+            .union(RaExpr::Delta.project(vec![0]));
+        assert!(is_divisor_class(&divisor));
+        let q = RaExpr::relation("R").divide(divisor);
+        assert_eq!(classify(&q), QueryClass::RaCwa);
+    }
+
+    #[test]
+    fn division_by_selected_relation_is_full_ra() {
+        let divisor =
+            RaExpr::relation("S").select(Predicate::eq(Operand::col(0), Operand::int(1)));
+        assert!(!is_divisor_class(&divisor));
+        let q = RaExpr::relation("R").divide(divisor);
+        assert_eq!(classify(&q), QueryClass::FullRa);
+    }
+
+    #[test]
+    fn values_divisor_must_be_complete() {
+        let complete = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[1])]));
+        assert!(is_divisor_class(&complete));
+        let with_null = RaExpr::values(Relation::from_tuples(
+            1,
+            vec![Tuple::new(vec![Value::null(0)])],
+        ));
+        assert!(!is_divisor_class(&with_null));
+    }
+
+    #[test]
+    fn nesting_divisions() {
+        // (R ÷ S) ÷ T : dividend is RA_cwa, divisor is a base relation — stays RA_cwa.
+        let q = RaExpr::relation("R")
+            .divide(RaExpr::relation("S"))
+            .divide(RaExpr::relation("T"));
+        assert_eq!(classify(&q), QueryClass::RaCwa);
+        // Division nested inside a difference is full RA.
+        let q2 = RaExpr::relation("R").difference(RaExpr::relation("R")).divide(RaExpr::relation("S"));
+        assert_eq!(classify(&q2), QueryClass::FullRa);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(QueryClass::Positive.to_string(), "positive (UCQ)");
+        assert_eq!(QueryClass::RaCwa.to_string(), "RA_cwa (Pos∀G)");
+        assert_eq!(QueryClass::FullRa.to_string(), "full relational algebra");
+    }
+}

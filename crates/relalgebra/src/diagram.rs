@@ -1,0 +1,152 @@
+//! The logical-theory view of an incomplete database (Section 4 of the
+//! paper): every naïve database `D` is described by a formula `δ_D` whose
+//! complete models are exactly `[[D]]`.
+//!
+//! * Under OWA, `δ_D = ∃x̄ PosDiag(D)` — the existentially closed *positive
+//!   diagram*, a conjunction of the atoms of `D` with nulls read as variables.
+//!   This is a (Boolean) conjunctive query, and `Mod_C(δ_D) = [[D]]_owa`.
+//! * Under CWA, `δ_D` additionally asserts domain closure for every relation:
+//!   `∀ȳ (R(ȳ) → ⋁_{t̄ ∈ R^D} ȳ = t̄)`. The resulting formula is in `Pos∀G`,
+//!   and `Mod_C(δ_D) = [[D]]_cwa`.
+
+use relmodel::value::Value;
+use relmodel::Database;
+
+use crate::fo::{FoTerm, Formula};
+
+/// Name used for the variable standing for null `⊥ᵢ` in diagram formulas.
+fn null_var(id: u64) -> String {
+    format!("n{id}")
+}
+
+fn value_term(v: &Value) -> FoTerm {
+    match v {
+        Value::Const(c) => FoTerm::Const(c.clone()),
+        Value::Null(n) => FoTerm::Var(null_var(n.0)),
+    }
+}
+
+/// The positive diagram `PosDiag(D)`: the conjunction of all atoms of `D`,
+/// with each null `⊥ᵢ` replaced by the variable `nᵢ`. Not quantified — use
+/// [`owa_theory`] for the existentially closed sentence.
+pub fn positive_diagram(db: &Database) -> Formula {
+    let mut conjuncts = Vec::new();
+    for (name, rel) in db.iter() {
+        for t in rel.iter() {
+            conjuncts.push(Formula::atom(
+                name,
+                t.values().iter().map(value_term).collect(),
+            ));
+        }
+    }
+    Formula::And(conjuncts)
+}
+
+/// The OWA theory of `D`: `δ_D = ∃x̄ PosDiag(D)`, satisfying
+/// `Mod_C(δ_D) = [[D]]_owa` (equation (5) of the paper).
+pub fn owa_theory(db: &Database) -> Formula {
+    let vars: Vec<String> = db.null_ids().iter().map(|n| null_var(n.0)).collect();
+    Formula::exists(vars, positive_diagram(db))
+}
+
+/// The domain-closure (guarded universal) part of the CWA theory for a single
+/// relation: `∀ȳ (R(ȳ) → ⋁_{t̄ ∈ R^D} ȳ = t̄)`.
+fn closure_for_relation(name: &str, db: &Database) -> Formula {
+    let rel = db.relation(name).expect("relation exists in the database");
+    let arity = rel.arity();
+    let vars: Vec<String> = (0..arity).map(|i| format!("y{i}")).collect();
+    let guard = Formula::atom(
+        name,
+        vars.iter().map(|v| FoTerm::Var(v.clone())).collect(),
+    );
+    let mut disjuncts = Vec::new();
+    for t in rel.iter() {
+        let eqs: Vec<Formula> = t
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Formula::Eq(FoTerm::Var(vars[i].clone()), value_term(v)))
+            .collect();
+        disjuncts.push(Formula::And(eqs));
+    }
+    let body = Formula::Or(disjuncts);
+    Formula::forall(vars, guard.implies(body))
+}
+
+/// The CWA theory of `D`:
+/// `∃x̄ ( PosDiag(D) ∧ ⋀_R ∀ȳ (R(ȳ) → ⋁_{t̄ ∈ R^D} ȳ = t̄) )`,
+/// a `Pos∀G` sentence with `Mod_C(δ_D) = [[D]]_cwa`.
+pub fn cwa_theory(db: &Database) -> Formula {
+    let vars: Vec<String> = db.null_ids().iter().map(|n| null_var(n.0)).collect();
+    let mut body = positive_diagram(db);
+    for rs in db.schema().iter() {
+        body = body.and(closure_for_relation(&rs.name, db));
+    }
+    Formula::exists(vars, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::builder::{difference_example, tableau_example};
+    use relmodel::DatabaseBuilder;
+
+    #[test]
+    fn positive_diagram_of_paper_example() {
+        // D with R = {(1,2), (2,⊥1), (⊥1,⊥2)} gives
+        // PosDiag(D) = R(1,2) ∧ R(2,n1) ∧ R(n1,n2).
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .tuple("R", vec![relmodel::Value::int(2), relmodel::Value::null(1)])
+            .tuple("R", vec![relmodel::Value::null(1), relmodel::Value::null(2)])
+            .build();
+        let diag = positive_diagram(&db);
+        match &diag {
+            Formula::And(conjuncts) => assert_eq!(conjuncts.len(), 3),
+            other => panic!("expected conjunction, got {other}"),
+        }
+        assert!(diag.is_existential_positive());
+        assert_eq!(diag.free_vars().len(), 2);
+    }
+
+    #[test]
+    fn owa_theory_is_an_existential_positive_sentence() {
+        let db = tableau_example();
+        let theory = owa_theory(&db);
+        assert!(theory.is_sentence());
+        assert!(theory.is_existential_positive());
+        assert!(theory.to_string().contains("R(1, n0)"));
+        assert!(theory.to_string().contains("R(n0, 2)"));
+    }
+
+    #[test]
+    fn cwa_theory_is_pos_forall_g_but_not_existential_positive() {
+        let db = tableau_example();
+        let theory = cwa_theory(&db);
+        assert!(theory.is_sentence());
+        assert!(theory.is_pos_forall_g(), "the CWA theory must be in Pos∀G");
+        assert!(
+            !theory.is_existential_positive(),
+            "domain closure uses a universal guard"
+        );
+    }
+
+    #[test]
+    fn cwa_theory_covers_every_relation() {
+        let db = difference_example();
+        let theory = cwa_theory(&db);
+        let s = theory.to_string();
+        assert!(s.contains("R(y0)"));
+        assert!(s.contains("S(y0)"));
+    }
+
+    #[test]
+    fn complete_database_has_variable_free_owa_theory() {
+        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        let theory = owa_theory(&db);
+        assert!(theory.is_sentence());
+        // no nulls means no quantifier block
+        assert!(matches!(theory, Formula::And(_)));
+    }
+}

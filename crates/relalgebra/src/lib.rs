@@ -1,0 +1,53 @@
+//! # relalgebra — query languages over incomplete databases
+//!
+//! The query-language side of the reproduction of Libkin's PODS 2014 keynote.
+//! It provides:
+//!
+//! * [`ast`] — relational algebra expressions (σ, π, ×, ∪, −, ∩, ÷, Δ and
+//!   literal relations), with positional attributes;
+//! * [`predicate`] — selection conditions: Boolean combinations of equality
+//!   and inequality atoms over columns and constants;
+//! * [`typecheck`] — arity checking of expressions against a schema;
+//! * [`classify`] — the fragments the paper's results speak about:
+//!   positive relational algebra (= UCQ), `RA_cwa` (positive algebra plus
+//!   division by a `RA(Δ,π,×,∪)` relation, = the logical class `Pos∀G`), and
+//!   full relational algebra;
+//! * [`cq`] / [`ucq`] — conjunctive queries with their tableau representation,
+//!   homomorphism-based containment, and unions of conjunctive queries,
+//!   together with a translation from positive algebra expressions to UCQ;
+//! * [`fo`] — first-order formulas (relational calculus) with free variables,
+//!   used for positive diagrams and the `Pos∀G` fragment;
+//! * [`diagram`] — the logical-theory view of an incomplete database
+//!   (Section 4 of the paper): `δ_D` under OWA (`∃x̄ PosDiag(D)`) and under
+//!   CWA (the diagram plus domain-closure guards).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod classify;
+pub mod cq;
+pub mod diagram;
+pub mod fo;
+pub mod predicate;
+pub mod typecheck;
+pub mod ucq;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::ast::RaExpr;
+    pub use crate::classify::{classify, QueryClass};
+    pub use crate::cq::{Atom, ConjunctiveQuery, Term};
+    pub use crate::diagram::{cwa_theory, positive_diagram};
+    pub use crate::fo::Formula;
+    pub use crate::predicate::{Operand, Predicate};
+    pub use crate::typecheck::output_arity;
+    pub use crate::ucq::UnionOfCq;
+}
+
+pub use ast::RaExpr;
+pub use classify::QueryClass;
+pub use cq::ConjunctiveQuery;
+pub use fo::Formula;
+pub use predicate::Predicate;
+pub use ucq::UnionOfCq;

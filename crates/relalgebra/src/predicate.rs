@@ -1,0 +1,298 @@
+//! Selection predicates: Boolean combinations of (in)equality atoms over
+//! column positions and constants.
+//!
+//! The paper's fragments are defined over equality atoms; inequality (`≠`) and
+//! negation are what pushes a query out of the positive fragment, which is why
+//! the classifier in [`crate::classify`] inspects predicates.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use relmodel::value::{Constant, Value};
+use relmodel::Tuple;
+
+/// One side of a comparison: a column of the input tuple or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// The value in the given (0-based) column.
+    Column(usize),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Operand {
+    /// Convenience constructor for a column operand.
+    pub fn col(i: usize) -> Self {
+        Operand::Column(i)
+    }
+
+    /// Convenience constructor for an integer constant operand.
+    pub fn int(i: i64) -> Self {
+        Operand::Const(Constant::Int(i))
+    }
+
+    /// Convenience constructor for a string constant operand.
+    pub fn str(s: impl Into<String>) -> Self {
+        Operand::Const(Constant::Str(s.into()))
+    }
+
+    /// Resolves the operand against a tuple (columns out of range are a
+    /// programming error caught by the type checker; this panics).
+    pub fn resolve(&self, tuple: &Tuple) -> Value {
+        match self {
+            Operand::Column(i) => tuple[*i].clone(),
+            Operand::Const(c) => Value::Const(c.clone()),
+        }
+    }
+
+    /// The largest column index mentioned, if any.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Operand::Column(i) => Some(*i),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Constants mentioned by the operand.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        match self {
+            Operand::Column(_) => BTreeSet::new(),
+            Operand::Const(c) => std::iter::once(c.clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(i) => write!(f, "#{i}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A selection predicate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Equality of two operands.
+    Eq(Operand, Operand),
+    /// Inequality of two operands (not positive: pushes a query out of UCQ).
+    NotEq(Operand, Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (not positive).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `a = b`.
+    pub fn eq(a: Operand, b: Operand) -> Self {
+        Predicate::Eq(a, b)
+    }
+
+    /// `a ≠ b`.
+    pub fn neq(a: Operand, b: Operand) -> Self {
+        Predicate::NotEq(a, b)
+    }
+
+    /// Conjunction of two predicates.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction of two predicates.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation of a predicate.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Is the predicate *positive*: free of `Not` and `NotEq` (and `False`,
+    /// which is the negation of `True`)?
+    ///
+    /// Positive predicates keep selections inside the positive relational
+    /// algebra / UCQ fragment for which OWA-naïve evaluation is correct.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Predicate::True | Predicate::Eq(_, _) => true,
+            Predicate::False | Predicate::NotEq(_, _) | Predicate::Not(_) => false,
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.is_positive() && b.is_positive(),
+        }
+    }
+
+    /// The largest column index mentioned, if any. Used for arity checking.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Predicate::True | Predicate::False => None,
+            Predicate::Eq(a, b) | Predicate::NotEq(a, b) => {
+                a.max_column().into_iter().chain(b.max_column()).max()
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.max_column().into_iter().chain(b.max_column()).max()
+            }
+            Predicate::Not(p) => p.max_column(),
+        }
+    }
+
+    /// Constants mentioned anywhere in the predicate.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        match self {
+            Predicate::True | Predicate::False => BTreeSet::new(),
+            Predicate::Eq(a, b) | Predicate::NotEq(a, b) => {
+                let mut s = a.constants();
+                s.extend(b.constants());
+                s
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                let mut s = a.constants();
+                s.extend(b.constants());
+                s
+            }
+            Predicate::Not(p) => p.constants(),
+        }
+    }
+
+    /// Evaluates the predicate on a tuple of a **complete** database (or under
+    /// naïve evaluation, where nulls are treated as ordinary values and
+    /// equality is syntactic).
+    pub fn eval_naive(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Eq(a, b) => a.resolve(tuple) == b.resolve(tuple),
+            Predicate::NotEq(a, b) => a.resolve(tuple) != b.resolve(tuple),
+            Predicate::And(a, b) => a.eval_naive(tuple) && b.eval_naive(tuple),
+            Predicate::Or(a, b) => a.eval_naive(tuple) || b.eval_naive(tuple),
+            Predicate::Not(p) => !p.eval_naive(tuple),
+        }
+    }
+
+    /// Evaluates the predicate under SQL's three-valued logic: any comparison
+    /// touching a null is `Unknown`, and `Unknown` propagates through the
+    /// Kleene connectives.
+    pub fn eval_3vl(&self, tuple: &Tuple) -> relmodel::value::Truth {
+        use relmodel::value::Truth;
+        match self {
+            Predicate::True => Truth::True,
+            Predicate::False => Truth::False,
+            Predicate::Eq(a, b) => a.resolve(tuple).eq_3vl(&b.resolve(tuple)),
+            Predicate::NotEq(a, b) => a.resolve(tuple).eq_3vl(&b.resolve(tuple)).not(),
+            Predicate::And(a, b) => a.eval_3vl(tuple).and(b.eval_3vl(tuple)),
+            Predicate::Or(a, b) => a.eval_3vl(tuple).or(b.eval_3vl(tuple)),
+            Predicate::Not(p) => p.eval_3vl(tuple).not(),
+        }
+    }
+
+    /// Shifts every column reference by `offset`; used when a predicate
+    /// written against one operand of a product must apply to the
+    /// concatenated tuple.
+    pub fn shift_columns(&self, offset: usize) -> Predicate {
+        let shift_op = |o: &Operand| match o {
+            Operand::Column(i) => Operand::Column(i + offset),
+            c => c.clone(),
+        };
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::False => Predicate::False,
+            Predicate::Eq(a, b) => Predicate::Eq(shift_op(a), shift_op(b)),
+            Predicate::NotEq(a, b) => Predicate::NotEq(shift_op(a), shift_op(b)),
+            Predicate::And(a, b) => {
+                Predicate::And(Box::new(a.shift_columns(offset)), Box::new(b.shift_columns(offset)))
+            }
+            Predicate::Or(a, b) => {
+                Predicate::Or(Box::new(a.shift_columns(offset)), Box::new(b.shift_columns(offset)))
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.shift_columns(offset))),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Eq(a, b) => write!(f, "{a} = {b}"),
+            Predicate::NotEq(a, b) => write!(f, "{a} <> {b}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::value::Truth;
+
+    #[test]
+    fn positivity() {
+        let p = Predicate::eq(Operand::col(0), Operand::int(1));
+        assert!(p.is_positive());
+        assert!(p.clone().and(Predicate::True).is_positive());
+        assert!(p.clone().or(p.clone()).is_positive());
+        assert!(!p.clone().negate().is_positive());
+        assert!(!Predicate::neq(Operand::col(0), Operand::int(1)).is_positive());
+        assert!(!Predicate::False.is_positive());
+    }
+
+    #[test]
+    fn max_column_and_constants() {
+        let p = Predicate::eq(Operand::col(2), Operand::str("x"))
+            .and(Predicate::neq(Operand::col(5), Operand::int(3)));
+        assert_eq!(p.max_column(), Some(5));
+        assert_eq!(p.constants().len(), 2);
+        assert_eq!(Predicate::True.max_column(), None);
+    }
+
+    #[test]
+    fn naive_evaluation_is_syntactic() {
+        let t = Tuple::new(vec![Value::null(0), Value::null(0), Value::null(1)]);
+        let same_null = Predicate::eq(Operand::col(0), Operand::col(1));
+        let diff_null = Predicate::eq(Operand::col(0), Operand::col(2));
+        assert!(same_null.eval_naive(&t), "the same marked null is equal to itself");
+        assert!(!diff_null.eval_naive(&t), "distinct nulls are not naively equal");
+    }
+
+    #[test]
+    fn three_valued_evaluation_is_unknown_on_nulls() {
+        let t = Tuple::new(vec![Value::null(0), Value::int(1)]);
+        let p = Predicate::eq(Operand::col(0), Operand::col(1));
+        assert_eq!(p.eval_3vl(&t), Truth::Unknown);
+        let q = Predicate::eq(Operand::col(1), Operand::int(1));
+        assert_eq!(q.eval_3vl(&t), Truth::True);
+        // Tautology from the paper: col0 = 'oid1' OR col0 <> 'oid1' is Unknown on a null.
+        let taut = Predicate::eq(Operand::col(0), Operand::str("oid1"))
+            .or(Predicate::neq(Operand::col(0), Operand::str("oid1")));
+        assert_eq!(taut.eval_3vl(&t), Truth::Unknown);
+        assert!(taut.eval_naive(&t), "naïve evaluation sees the tautology as true");
+    }
+
+    #[test]
+    fn shift_columns() {
+        let p = Predicate::eq(Operand::col(0), Operand::col(1)).and(Predicate::neq(
+            Operand::col(2),
+            Operand::int(5),
+        ));
+        let shifted = p.shift_columns(3);
+        assert_eq!(shifted.max_column(), Some(5));
+        let t = Tuple::ints(&[9, 9, 9, 7, 7, 4]);
+        assert!(shifted.eval_naive(&t));
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::eq(Operand::col(0), Operand::str("a")).or(Predicate::True.negate());
+        assert_eq!(p.to_string(), "(#0 = a OR NOT (true))");
+    }
+}

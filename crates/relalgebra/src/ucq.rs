@@ -1,0 +1,594 @@
+//! Unions of conjunctive queries (UCQ), and the translation between positive
+//! relational algebra and UCQ.
+//!
+//! The positive fragment of relational algebra (σ, π, ×, ∪, ∩ with positive
+//! conditions) has exactly the expressive power of UCQ; the paper's
+//! naïve-evaluation result for OWA is stated for this class. The translation
+//! implemented here ([`UnionOfCq::from_positive_ra`]) is used by the tests and
+//! benchmarks to move between the algebraic and the logical view, and
+//! [`UnionOfCq::to_ra_expr`] goes back, so equivalences can be checked by
+//! evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use relmodel::value::Constant;
+use relmodel::Schema;
+
+use crate::ast::RaExpr;
+use crate::cq::{Atom, ConjunctiveQuery, Term};
+use crate::predicate::{Operand, Predicate};
+
+/// A union of conjunctive queries, all of the same arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionOfCq {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+/// Errors raised when translating relational algebra to UCQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslationError {
+    /// The expression is not in the positive fragment (contains difference,
+    /// division, or a non-positive predicate).
+    NotPositive(String),
+    /// A base relation is missing from the schema.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationError::NotPositive(what) => {
+                write!(f, "expression is not positive relational algebra: {what}")
+            }
+            TranslationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+impl UnionOfCq {
+    /// Creates a UCQ from disjuncts.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        UnionOfCq { disjuncts }
+    }
+
+    /// A UCQ with a single disjunct.
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        UnionOfCq { disjuncts: vec![cq] }
+    }
+
+    /// Output arity (0 if there are no disjuncts).
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, ConjunctiveQuery::arity)
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Is the union empty (the constantly-empty query)?
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Constants mentioned anywhere in the UCQ.
+    pub fn constants(&self) -> std::collections::BTreeSet<Constant> {
+        self.disjuncts.iter().flat_map(|q| q.constants()).collect()
+    }
+
+    /// UCQ containment: `self ⊆ other` iff every disjunct of `self` is
+    /// contained in some disjunct of `other` (sound and complete for UCQs).
+    pub fn contained_in(&self, other: &UnionOfCq) -> bool {
+        self.disjuncts
+            .iter()
+            .all(|q| other.disjuncts.iter().any(|p| q.contained_in(p)))
+    }
+
+    /// UCQ equivalence (mutual containment).
+    pub fn equivalent_to(&self, other: &UnionOfCq) -> bool {
+        self.contained_in(other) && other.contained_in(self)
+    }
+
+    /// Removes disjuncts that are contained in another disjunct (a cheap
+    /// equivalence-preserving simplification).
+    pub fn simplify(&self) -> UnionOfCq {
+        let mut kept: Vec<ConjunctiveQuery> = Vec::new();
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            let redundant = self.disjuncts.iter().enumerate().any(|(j, p)| {
+                if i == j {
+                    return false;
+                }
+                // keep the earlier of two equivalent disjuncts
+                q.contained_in(p) && (!p.contained_in(q) || j < i)
+            });
+            if !redundant {
+                kept.push(q.clone());
+            }
+        }
+        UnionOfCq { disjuncts: kept }
+    }
+
+    /// Translates a **positive** relational algebra expression into an
+    /// equivalent UCQ. Fails with [`TranslationError::NotPositive`] if the
+    /// expression uses difference, division, or non-positive predicates.
+    pub fn from_positive_ra(expr: &RaExpr, schema: &Schema) -> Result<UnionOfCq, TranslationError> {
+        translate(expr, schema).map(|disjuncts| UnionOfCq { disjuncts })
+    }
+
+    /// Converts the UCQ back into a relational algebra expression
+    /// (a union of select-project-product blocks). Disjuncts with an empty
+    /// body become literal relations and therefore must have constant heads.
+    pub fn to_ra_expr(&self) -> Result<RaExpr, TranslationError> {
+        let mut exprs: Vec<RaExpr> = Vec::new();
+        for cq in &self.disjuncts {
+            exprs.push(cq_to_ra(cq)?);
+        }
+        let mut iter = exprs.into_iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| TranslationError::NotPositive("empty union".to_owned()))?;
+        Ok(iter.fold(first, |acc, e| acc.union(e)))
+    }
+}
+
+impl fmt::Display for UnionOfCq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∪  ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a positive predicate into disjunctive normal form: a disjunction
+/// (outer `Vec`) of conjunctions (inner `Vec`) of equality atoms.
+fn positive_dnf(p: &Predicate) -> Result<Vec<Vec<(Operand, Operand)>>, TranslationError> {
+    match p {
+        Predicate::True => Ok(vec![vec![]]),
+        Predicate::Eq(a, b) => Ok(vec![vec![(a.clone(), b.clone())]]),
+        Predicate::And(a, b) => {
+            let da = positive_dnf(a)?;
+            let db = positive_dnf(b)?;
+            let mut out = Vec::new();
+            for ca in &da {
+                for cb in &db {
+                    let mut c = ca.clone();
+                    c.extend(cb.iter().cloned());
+                    out.push(c);
+                }
+            }
+            Ok(out)
+        }
+        Predicate::Or(a, b) => {
+            let mut out = positive_dnf(a)?;
+            out.extend(positive_dnf(b)?);
+            Ok(out)
+        }
+        Predicate::False | Predicate::NotEq(_, _) | Predicate::Not(_) => {
+            Err(TranslationError::NotPositive(format!("predicate {p}")))
+        }
+    }
+}
+
+/// Imposes the equality `t1 = t2` on a CQ by unification: substitutes a
+/// variable by the other term, or drops the CQ (returns `None`) if two
+/// distinct constants are equated.
+fn apply_equality(cq: ConjunctiveQuery, t1: &Term, t2: &Term) -> Option<ConjunctiveQuery> {
+    if t1 == t2 {
+        return Some(cq);
+    }
+    match (t1, t2) {
+        (Term::Var(v), other) | (other, Term::Var(v)) => {
+            let mut subst = BTreeMap::new();
+            subst.insert(*v, other.clone());
+            Some(cq.substitute(&subst))
+        }
+        (Term::Const(_), Term::Const(_)) => None,
+    }
+}
+
+fn resolve_operand(op: &Operand, head: &[Term]) -> Term {
+    match op {
+        Operand::Column(i) => head[*i].clone(),
+        Operand::Const(c) => Term::Const(c.clone()),
+    }
+}
+
+fn translate(expr: &RaExpr, schema: &Schema) -> Result<Vec<ConjunctiveQuery>, TranslationError> {
+    match expr {
+        RaExpr::Relation(name) => {
+            let rs = schema
+                .relation(name)
+                .ok_or_else(|| TranslationError::UnknownRelation(name.clone()))?;
+            let vars: Vec<Term> = (0..rs.arity() as u64).map(Term::Var).collect();
+            Ok(vec![ConjunctiveQuery::new(
+                vars.clone(),
+                vec![Atom::new(name.clone(), vars)],
+            )])
+        }
+        RaExpr::Values(rel) => Ok(rel
+            .iter()
+            .map(|t| {
+                let head: Vec<Term> = t
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        relmodel::Value::Const(c) => Term::Const(c.clone()),
+                        relmodel::Value::Null(n) => Term::Var(n.0),
+                    })
+                    .collect();
+                ConjunctiveQuery::new(head, Vec::new())
+            })
+            .collect()),
+        RaExpr::Delta => {
+            // Δ = {(a,a) | a ∈ adom(D)}: one disjunct per relation and position.
+            let mut out = Vec::new();
+            for rs in schema.iter() {
+                for pos in 0..rs.arity() {
+                    let vars: Vec<Term> = (0..rs.arity() as u64).map(Term::Var).collect();
+                    let head = vec![vars[pos].clone(), vars[pos].clone()];
+                    out.push(ConjunctiveQuery::new(head, vec![Atom::new(rs.name.clone(), vars)]));
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Select(e, p) => {
+            let inner = translate(e, schema)?;
+            let dnf = positive_dnf(p)?;
+            let mut out = Vec::new();
+            for cq in &inner {
+                for conjunct in &dnf {
+                    let mut current = Some(cq.clone());
+                    for (a, b) in conjunct {
+                        current = current.and_then(|c| {
+                            let ta = resolve_operand(a, &c.head);
+                            let tb = resolve_operand(b, &c.head);
+                            apply_equality(c, &ta, &tb)
+                        });
+                    }
+                    if let Some(c) = current {
+                        out.push(c);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Project(e, cols) => {
+            let inner = translate(e, schema)?;
+            Ok(inner
+                .into_iter()
+                .map(|cq| {
+                    let head = cols.iter().map(|&c| cq.head[c].clone()).collect();
+                    ConjunctiveQuery::new(head, cq.body)
+                })
+                .collect())
+        }
+        RaExpr::Product(a, b) => {
+            let left = translate(a, schema)?;
+            let right = translate(b, schema)?;
+            let mut out = Vec::new();
+            for l in &left {
+                for r in &right {
+                    let offset = l.max_var().map_or(0, |m| m + 1);
+                    let r = r.shift_vars(offset);
+                    let mut head = l.head.clone();
+                    head.extend(r.head.iter().cloned());
+                    let mut body = l.body.clone();
+                    body.extend(r.body);
+                    out.push(ConjunctiveQuery::new(head, body));
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union(a, b) => {
+            let mut out = translate(a, schema)?;
+            out.extend(translate(b, schema)?);
+            Ok(out)
+        }
+        RaExpr::Intersection(a, b) => {
+            let left = translate(a, schema)?;
+            let right = translate(b, schema)?;
+            let mut out = Vec::new();
+            for l in &left {
+                for r in &right {
+                    let offset = l.max_var().map_or(0, |m| m + 1);
+                    let r = r.shift_vars(offset);
+                    let mut body = l.body.clone();
+                    body.extend(r.body.clone());
+                    let mut current =
+                        Some(ConjunctiveQuery::new(l.head.clone(), body));
+                    for (lt, rt) in l.head.iter().zip(r.head.iter()) {
+                        current = current.and_then(|c| apply_equality(c, lt, rt));
+                    }
+                    if let Some(c) = current {
+                        out.push(c);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Difference(_, _) => {
+            Err(TranslationError::NotPositive("difference operator".to_owned()))
+        }
+        RaExpr::Divide(_, _) => {
+            Err(TranslationError::NotPositive("division operator".to_owned()))
+        }
+    }
+}
+
+/// Converts a single CQ to a select-project-product relational algebra block.
+fn cq_to_ra(cq: &ConjunctiveQuery) -> Result<RaExpr, TranslationError> {
+    if cq.body.is_empty() {
+        // Constant answer: the head must be fully constant.
+        let values: Option<Vec<relmodel::Value>> = cq
+            .head
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(relmodel::Value::Const(c.clone())),
+                Term::Var(_) => None,
+            })
+            .collect();
+        let values = values.ok_or_else(|| {
+            TranslationError::NotPositive("unsafe disjunct: variable head with empty body".into())
+        })?;
+        let arity = values.len();
+        return Ok(RaExpr::values(relmodel::Relation::from_tuples(
+            arity,
+            vec![relmodel::Tuple::new(values)],
+        )));
+    }
+    // Product of the body relations, in order.
+    let mut expr: Option<RaExpr> = None;
+    let mut var_positions: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut predicate = Predicate::True;
+    let mut offset = 0usize;
+    for atom in &cq.body {
+        let rel = RaExpr::relation(atom.relation.clone());
+        expr = Some(match expr {
+            None => rel,
+            Some(e) => e.product(rel),
+        });
+        for (i, term) in atom.terms.iter().enumerate() {
+            let col = offset + i;
+            match term {
+                Term::Const(c) => {
+                    let atom_pred =
+                        Predicate::eq(Operand::Column(col), Operand::Const(c.clone()));
+                    predicate = and(predicate, atom_pred);
+                }
+                Term::Var(v) => match var_positions.get(v) {
+                    Some(&first) => {
+                        let atom_pred =
+                            Predicate::eq(Operand::Column(first), Operand::Column(col));
+                        predicate = and(predicate, atom_pred);
+                    }
+                    None => {
+                        var_positions.insert(*v, col);
+                    }
+                },
+            }
+        }
+        offset += atom.terms.len();
+    }
+    let expr = expr.expect("nonempty body");
+    let selected = expr.select(predicate);
+    // Projection columns from the head.
+    let mut cols = Vec::with_capacity(cq.head.len());
+    let mut extra_predicates: Vec<(usize, Constant)> = Vec::new();
+    for t in &cq.head {
+        match t {
+            Term::Var(v) => {
+                let pos = var_positions.get(v).ok_or_else(|| {
+                    TranslationError::NotPositive(format!("unsafe head variable x{v}"))
+                })?;
+                cols.push(*pos);
+            }
+            Term::Const(c) => {
+                // Constant head column: project any column and pin it — simplest
+                // correct encoding is to add the constant via a one-tuple product.
+                extra_predicates.push((cols.len(), c.clone()));
+                cols.push(usize::MAX); // placeholder resolved below
+            }
+        }
+    }
+    if extra_predicates.is_empty() {
+        return Ok(selected.project(cols));
+    }
+    // Append a literal single-tuple relation carrying the constant head
+    // columns, then project from it.
+    let consts: Vec<relmodel::Value> = extra_predicates
+        .iter()
+        .map(|(_, c)| relmodel::Value::Const(c.clone()))
+        .collect();
+    let lit = RaExpr::values(relmodel::Relation::from_tuples(
+        consts.len(),
+        vec![relmodel::Tuple::new(consts)],
+    ));
+    let body_arity = offset;
+    let with_consts = selected.product(lit);
+    let mut const_idx = 0usize;
+    let cols: Vec<usize> = cols
+        .into_iter()
+        .map(|c| {
+            if c == usize::MAX {
+                let col = body_arity + const_idx;
+                const_idx += 1;
+                col
+            } else {
+                c
+            }
+        })
+        .collect();
+    Ok(with_consts.project(cols))
+}
+
+fn and(a: Predicate, b: Predicate) -> Predicate {
+    if a == Predicate::True {
+        b
+    } else if b == Predicate::True {
+        a
+    } else {
+        a.and(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, QueryClass};
+    use relmodel::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a"])
+            .build()
+    }
+
+    #[test]
+    fn base_relation_translates_to_identity_cq() {
+        let ucq = UnionOfCq::from_positive_ra(&RaExpr::relation("R"), &schema()).unwrap();
+        assert_eq!(ucq.len(), 1);
+        assert_eq!(ucq.arity(), 2);
+        assert_eq!(ucq.disjuncts[0].body.len(), 1);
+    }
+
+    #[test]
+    fn selection_with_constant_pins_variable() {
+        let q = RaExpr::relation("R").select(Predicate::eq(Operand::col(0), Operand::int(1)));
+        let ucq = UnionOfCq::from_positive_ra(&q, &schema()).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let cq = &ucq.disjuncts[0];
+        assert_eq!(cq.head[0], Term::int(1));
+        assert!(cq.constants().contains(&Constant::Int(1)));
+    }
+
+    #[test]
+    fn disjunctive_selection_produces_two_disjuncts() {
+        let p = Predicate::eq(Operand::col(0), Operand::int(1))
+            .or(Predicate::eq(Operand::col(0), Operand::int(2)));
+        let q = RaExpr::relation("R").select(p);
+        let ucq = UnionOfCq::from_positive_ra(&q, &schema()).unwrap();
+        assert_eq!(ucq.len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_selection_is_dropped() {
+        // σ[1 = 2](R) has no disjuncts.
+        let p = Predicate::Eq(Operand::int(1), Operand::int(2));
+        let q = RaExpr::relation("R").select(p);
+        let ucq = UnionOfCq::from_positive_ra(&q, &schema()).unwrap();
+        assert!(ucq.is_empty());
+    }
+
+    #[test]
+    fn join_as_product_plus_selection() {
+        // π_b(σ[#1 = #2](R × S)) — join R.b with S.a.
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+            .project(vec![1]);
+        let ucq = UnionOfCq::from_positive_ra(&q, &schema()).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let cq = &ucq.disjuncts[0];
+        assert_eq!(cq.arity(), 1);
+        assert_eq!(cq.body.len(), 2);
+        // the join variable is shared between the two atoms
+        let shared: Vec<u64> = cq.body[0]
+            .variables()
+            .intersection(&cq.body[1].variables())
+            .cloned()
+            .collect();
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let u = RaExpr::relation("S").union(RaExpr::relation("S"));
+        let ucq = UnionOfCq::from_positive_ra(&u, &schema()).unwrap();
+        assert_eq!(ucq.len(), 2);
+        assert_eq!(ucq.simplify().len(), 1, "identical disjuncts are merged");
+
+        let i = RaExpr::relation("S").intersection(RaExpr::relation("S"));
+        let ucq = UnionOfCq::from_positive_ra(&i, &schema()).unwrap();
+        assert_eq!(ucq.len(), 1);
+    }
+
+    #[test]
+    fn delta_expands_over_schema() {
+        let ucq = UnionOfCq::from_positive_ra(&RaExpr::Delta, &schema()).unwrap();
+        // R contributes two positions, S one.
+        assert_eq!(ucq.len(), 3);
+        assert!(ucq.disjuncts.iter().all(|q| q.arity() == 2));
+    }
+
+    #[test]
+    fn non_positive_is_rejected() {
+        let diff = RaExpr::relation("S").difference(RaExpr::relation("S"));
+        assert!(UnionOfCq::from_positive_ra(&diff, &schema()).is_err());
+        let div = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        assert!(UnionOfCq::from_positive_ra(&div, &schema()).is_err());
+        let neg = RaExpr::relation("S").select(Predicate::neq(Operand::col(0), Operand::int(1)));
+        assert!(UnionOfCq::from_positive_ra(&neg, &schema()).is_err());
+    }
+
+    #[test]
+    fn ucq_containment_and_equivalence() {
+        let s = UnionOfCq::from_positive_ra(&RaExpr::relation("S"), &schema()).unwrap();
+        let s_union = UnionOfCq::from_positive_ra(
+            &RaExpr::relation("S").union(
+                RaExpr::relation("S").select(Predicate::eq(Operand::col(0), Operand::int(1))),
+            ),
+            &schema(),
+        )
+        .unwrap();
+        // S ∪ σ[a=1](S) ≡ S
+        assert!(s_union.contained_in(&s));
+        assert!(s.contained_in(&s_union));
+        assert!(s.equivalent_to(&s_union));
+    }
+
+    #[test]
+    fn round_trip_to_ra_preserves_class() {
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+            .project(vec![0]);
+        let ucq = UnionOfCq::from_positive_ra(&q, &schema()).unwrap();
+        let back = ucq.to_ra_expr().unwrap();
+        assert_eq!(classify(&back), QueryClass::Positive);
+        // Translating again yields an equivalent UCQ.
+        let ucq2 = UnionOfCq::from_positive_ra(&back, &schema()).unwrap();
+        assert!(ucq.equivalent_to(&ucq2));
+    }
+
+    #[test]
+    fn constant_head_round_trip() {
+        // σ[a=1](S) projected to the (constant) column.
+        let q = RaExpr::relation("S")
+            .select(Predicate::eq(Operand::col(0), Operand::int(1)))
+            .project(vec![0]);
+        let ucq = UnionOfCq::from_positive_ra(&q, &schema()).unwrap();
+        assert_eq!(ucq.disjuncts[0].head[0], Term::int(1));
+        let back = ucq.to_ra_expr().unwrap();
+        let ucq2 = UnionOfCq::from_positive_ra(&back, &schema()).unwrap();
+        assert!(ucq.equivalent_to(&ucq2));
+    }
+
+    #[test]
+    fn display() {
+        let ucq = UnionOfCq::from_positive_ra(
+            &RaExpr::relation("S").union(RaExpr::relation("S")),
+            &schema(),
+        )
+        .unwrap();
+        assert!(ucq.to_string().contains("∪"));
+    }
+}

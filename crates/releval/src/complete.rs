@@ -1,0 +1,68 @@
+//! Evaluation over **complete** databases — the textbook evaluator.
+
+use relalgebra::ast::RaExpr;
+use relmodel::{Database, Relation};
+
+use crate::engine;
+use crate::error::EvalError;
+
+/// Evaluates a relational algebra expression over a complete database.
+///
+/// Returns [`EvalError::IncompleteInput`] if the database contains nulls: this
+/// evaluator models classical query evaluation, which is only *defined* on
+/// complete databases. Use [`crate::naive::eval_naive`] to run the same
+/// algorithm on incomplete inputs.
+pub fn eval_complete(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+    let nulls = db.null_ids().len();
+    if nulls > 0 {
+        return Err(EvalError::IncompleteInput { nulls });
+    }
+    engine::eval(expr, db)
+}
+
+/// Evaluates a Boolean query (arity-0 result) over a complete database,
+/// returning whether the answer is nonempty.
+pub fn eval_boolean_complete(expr: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+    Ok(!eval_complete(expr, db)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::{DatabaseBuilder, Tuple, Value};
+
+    #[test]
+    fn rejects_incomplete_input() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .tuple("R", vec![Value::null(0)])
+            .build();
+        assert!(matches!(
+            eval_complete(&RaExpr::relation("R"), &db),
+            Err(EvalError::IncompleteInput { nulls: 1 })
+        ));
+    }
+
+    #[test]
+    fn evaluates_complete_input() {
+        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).ints("R", &[2]).build();
+        let out = eval_complete(&RaExpr::relation("R"), &db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::ints(&[1])));
+    }
+
+    #[test]
+    fn boolean_evaluation() {
+        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        // ∃x R(x) ∧ x = 1, projected to arity 0.
+        let q = RaExpr::relation("R")
+            .select(Predicate::eq(Operand::col(0), Operand::int(1)))
+            .project(vec![]);
+        assert!(eval_boolean_complete(&q, &db).unwrap());
+        let q2 = RaExpr::relation("R")
+            .select(Predicate::eq(Operand::col(0), Operand::int(9)))
+            .project(vec![]);
+        assert!(!eval_boolean_complete(&q2, &db).unwrap());
+    }
+}

@@ -1,0 +1,187 @@
+//! The shared set-semantics evaluation engine.
+//!
+//! A single recursive evaluator serves both [`crate::complete`] (complete
+//! inputs) and [`crate::naive`] (inputs with nulls): naïve evaluation is *by
+//! definition* the standard evaluator applied verbatim to a database with
+//! marked nulls, comparing values syntactically.
+
+use relalgebra::ast::RaExpr;
+use relalgebra::typecheck::output_arity;
+use relmodel::{Database, Relation, Tuple};
+
+use crate::error::EvalError;
+
+/// Evaluates an expression over a database using syntactic value equality
+/// (nulls are treated as ordinary values). Arity constraints are checked via
+/// the type checker before evaluation.
+pub fn eval(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+    output_arity(expr, db.schema())?;
+    Ok(eval_unchecked(expr, db))
+}
+
+/// Evaluates without re-running the type checker (callers guarantee the
+/// expression type-checks against the database schema).
+pub fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
+    match expr {
+        RaExpr::Relation(name) => db
+            .relation(name)
+            .cloned()
+            .expect("type checker guarantees the relation exists"),
+        RaExpr::Values(rel) => rel.clone(),
+        RaExpr::Delta => {
+            let mut out = Relation::new(2);
+            for v in db.active_domain() {
+                out.insert(Tuple::new(vec![v.clone(), v]));
+            }
+            out
+        }
+        RaExpr::Select(e, p) => {
+            let input = eval_unchecked(e, db);
+            let mut out = Relation::new(input.arity());
+            for t in input.iter() {
+                if p.eval_naive(t) {
+                    out.insert(t.clone());
+                }
+            }
+            out
+        }
+        RaExpr::Project(e, cols) => {
+            let input = eval_unchecked(e, db);
+            let mut out = Relation::new(cols.len());
+            for t in input.iter() {
+                out.insert(t.project(cols));
+            }
+            out
+        }
+        RaExpr::Product(a, b) => {
+            let left = eval_unchecked(a, db);
+            let right = eval_unchecked(b, db);
+            let mut out = Relation::new(left.arity() + right.arity());
+            for l in left.iter() {
+                for r in right.iter() {
+                    out.insert(l.concat(r));
+                }
+            }
+            out
+        }
+        RaExpr::Union(a, b) => eval_unchecked(a, db).union(&eval_unchecked(b, db)),
+        RaExpr::Difference(a, b) => eval_unchecked(a, db).difference(&eval_unchecked(b, db)),
+        RaExpr::Intersection(a, b) => eval_unchecked(a, db).intersection(&eval_unchecked(b, db)),
+        RaExpr::Divide(a, b) => {
+            let dividend = eval_unchecked(a, db);
+            let divisor = eval_unchecked(b, db);
+            divide(&dividend, &divisor)
+        }
+    }
+}
+
+/// Relational division with syntactic equality: the result contains those
+/// prefix tuples `t` (of arity `dividend.arity() - divisor.arity()`) such that
+/// `(t, s)` is in the dividend for **every** `s` in the divisor.
+pub fn divide(dividend: &Relation, divisor: &Relation) -> Relation {
+    let prefix_arity = dividend.arity() - divisor.arity();
+    let prefix_cols: Vec<usize> = (0..prefix_arity).collect();
+    let mut out = Relation::new(prefix_arity);
+    // Candidate prefixes are the projections of the dividend.
+    let candidates: std::collections::BTreeSet<Tuple> =
+        dividend.iter().map(|t| t.project(&prefix_cols)).collect();
+    for candidate in candidates {
+        let all_present = divisor.iter().all(|s| dividend.contains(&candidate.concat(s)));
+        if all_present {
+            out.insert(candidate);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::{DatabaseBuilder, Value};
+
+    fn db() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .ints("R", &[1, 10])
+            .ints("R", &[2, 20])
+            .ints("R", &[1, 20])
+            .ints("S", &[10])
+            .ints("S", &[20])
+            .build()
+    }
+
+    #[test]
+    fn base_and_values() {
+        let r = eval(&RaExpr::relation("R"), &db()).unwrap();
+        assert_eq!(r.len(), 3);
+        let lit = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[7])]));
+        assert_eq!(eval(&lit, &db()).unwrap().len(), 1);
+        assert!(eval(&RaExpr::relation("T"), &db()).is_err());
+    }
+
+    #[test]
+    fn select_project_product() {
+        let q = RaExpr::relation("R")
+            .select(Predicate::eq(Operand::col(0), Operand::int(1)))
+            .project(vec![1]);
+        let out = eval(&q, &db()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::ints(&[10])));
+        assert!(out.contains(&Tuple::ints(&[20])));
+
+        let prod = RaExpr::relation("S").product(RaExpr::relation("S"));
+        assert_eq!(eval(&prod, &db()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn set_operators() {
+        let r1 = RaExpr::relation("R").project(vec![1]);
+        let union = r1.clone().union(RaExpr::relation("S"));
+        assert_eq!(eval(&union, &db()).unwrap().len(), 2);
+        let diff = RaExpr::relation("S").difference(r1.clone());
+        assert!(eval(&diff, &db()).unwrap().is_empty());
+        let inter = RaExpr::relation("S").intersection(r1);
+        assert_eq!(eval(&inter, &db()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn division_textbook_example() {
+        // R ÷ S: which a-values appear with every b of S? a=1 appears with 10 and 20,
+        // a=2 only with 20.
+        let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        let out = eval(&q, &db()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::ints(&[1])));
+    }
+
+    #[test]
+    fn division_by_empty_divisor_returns_all_prefixes() {
+        let mut d = db();
+        d.set_relation("S", Relation::new(1)).unwrap();
+        let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        let out = eval(&q, &d).unwrap();
+        assert_eq!(out.len(), 2, "∀ over an empty set holds for every candidate prefix");
+    }
+
+    #[test]
+    fn delta_is_the_diagonal_of_the_active_domain() {
+        let out = eval(&RaExpr::Delta, &db()).unwrap();
+        // adom = {1, 2, 10, 20}
+        assert_eq!(out.len(), 4);
+        assert!(out.contains(&Tuple::ints(&[10, 10])));
+    }
+
+    #[test]
+    fn delta_includes_nulls_under_naive_evaluation() {
+        let d = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .tuple("R", vec![Value::null(0)])
+            .ints("R", &[1])
+            .build();
+        let out = eval(&RaExpr::Delta, &d).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::new(vec![Value::null(0), Value::null(0)])));
+    }
+}

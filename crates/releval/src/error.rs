@@ -1,0 +1,73 @@
+//! Errors produced by the evaluators.
+
+use std::fmt;
+
+use relalgebra::typecheck::TypeError;
+use relmodel::ModelError;
+
+/// Errors raised during query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The query does not type-check against the database schema.
+    Type(TypeError),
+    /// A model-level error (unknown relation, arity mismatch) occurred.
+    Model(ModelError),
+    /// The evaluator requires a complete database but the input has nulls.
+    IncompleteInput {
+        /// Number of distinct nulls found.
+        nulls: usize,
+    },
+    /// World enumeration would exceed the configured budget.
+    WorldBudgetExceeded {
+        /// Number of worlds that would have to be enumerated.
+        worlds: u128,
+        /// The configured maximum.
+        budget: u128,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Type(e) => write!(f, "type error: {e}"),
+            EvalError::Model(e) => write!(f, "model error: {e}"),
+            EvalError::IncompleteInput { nulls } => {
+                write!(f, "evaluator requires a complete database, found {nulls} null(s)")
+            }
+            EvalError::WorldBudgetExceeded { worlds, budget } => {
+                write!(f, "world enumeration needs {worlds} worlds, exceeding the budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<TypeError> for EvalError {
+    fn from(e: TypeError) -> Self {
+        EvalError::Type(e)
+    }
+}
+
+impl From<ModelError> for EvalError {
+    fn from(e: ModelError) -> Self {
+        EvalError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EvalError = TypeError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("type error"));
+        let e: EvalError = ModelError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("model error"));
+        let e = EvalError::IncompleteInput { nulls: 3 };
+        assert!(e.to_string().contains("3 null"));
+        let e = EvalError::WorldBudgetExceeded { worlds: 100, budget: 10 };
+        assert!(e.to_string().contains("budget"));
+    }
+}

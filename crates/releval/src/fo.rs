@@ -1,0 +1,234 @@
+//! Model checking of first-order formulas over databases — the logical side
+//! of Section 4's duality.
+//!
+//! Quantifiers range over the *active domain* of the database extended with
+//! the constants mentioned in the formula (the standard active-domain
+//! semantics). Over a naïve database, nulls participate in the domain as
+//! ordinary values and equality is syntactic, which makes
+//! [`satisfies`]`(D, Q)` the "naïve satisfaction" `D ⊨ Q` the paper uses to
+//! characterise OWA certain answers of conjunctive queries.
+
+use std::collections::BTreeMap;
+
+use relalgebra::fo::{FoTerm, Formula};
+use relmodel::value::Value;
+use relmodel::{Database, Tuple};
+
+/// A variable assignment for free variables.
+pub type Environment = BTreeMap<String, Value>;
+
+/// Does the database satisfy the sentence? Panics if the formula has free
+/// variables (use [`satisfies_with`] for open formulas).
+pub fn eval_sentence(db: &Database, formula: &Formula) -> bool {
+    assert!(
+        formula.is_sentence(),
+        "eval_sentence requires a sentence; {formula} has free variables"
+    );
+    satisfies_with(db, formula, &Environment::new())
+}
+
+/// Alias for [`eval_sentence`], reading as `D ⊨ φ`.
+pub fn satisfies(db: &Database, formula: &Formula) -> bool {
+    eval_sentence(db, formula)
+}
+
+/// Evaluates a formula under an environment giving values to (at least) its
+/// free variables.
+pub fn satisfies_with(db: &Database, formula: &Formula, env: &Environment) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { relation, terms } => {
+            let tuple: Tuple = terms.iter().map(|t| resolve(t, env)).collect();
+            db.relation(relation).is_some_and(|rel| rel.contains(&tuple))
+        }
+        Formula::Eq(a, b) => resolve(a, env) == resolve(b, env),
+        Formula::Not(f) => !satisfies_with(db, f, env),
+        Formula::And(fs) => fs.iter().all(|f| satisfies_with(db, f, env)),
+        Formula::Or(fs) => fs.iter().any(|f| satisfies_with(db, f, env)),
+        Formula::Implies(a, b) => !satisfies_with(db, a, env) || satisfies_with(db, b, env),
+        Formula::Exists(vars, body) => {
+            quantify(db, formula, vars, body, env, /*existential=*/ true)
+        }
+        Formula::Forall(vars, body) => {
+            quantify(db, formula, vars, body, env, /*existential=*/ false)
+        }
+    }
+}
+
+/// The quantification domain: active domain of the database plus constants of
+/// the formula being checked.
+fn quantification_domain(db: &Database, formula: &Formula) -> Vec<Value> {
+    let mut domain: Vec<Value> = db.active_domain().into_iter().collect();
+    collect_constants(formula, &mut domain);
+    domain.sort();
+    domain.dedup();
+    domain
+}
+
+fn collect_constants(formula: &Formula, out: &mut Vec<Value>) {
+    match formula {
+        Formula::True | Formula::False => {}
+        Formula::Atom { terms, .. } => {
+            for t in terms {
+                if let FoTerm::Const(c) = t {
+                    out.push(Value::Const(c.clone()));
+                }
+            }
+        }
+        Formula::Eq(a, b) => {
+            for t in [a, b] {
+                if let FoTerm::Const(c) = t {
+                    out.push(Value::Const(c.clone()));
+                }
+            }
+        }
+        Formula::Not(f) => collect_constants(f, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for f in fs {
+                collect_constants(f, out);
+            }
+        }
+        Formula::Implies(a, b) => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+        Formula::Exists(_, f) | Formula::Forall(_, f) => collect_constants(f, out),
+    }
+}
+
+fn quantify(
+    db: &Database,
+    whole: &Formula,
+    vars: &[String],
+    body: &Formula,
+    env: &Environment,
+    existential: bool,
+) -> bool {
+    let domain = quantification_domain(db, whole);
+    // Enumerate assignments of the quantified block over the domain.
+    let mut stack: Vec<Environment> = vec![env.clone()];
+    for var in vars {
+        let mut next = Vec::with_capacity(stack.len() * domain.len());
+        for partial in &stack {
+            for value in &domain {
+                let mut extended = partial.clone();
+                extended.insert(var.clone(), value.clone());
+                next.push(extended);
+            }
+        }
+        stack = next;
+    }
+    if existential {
+        stack.iter().any(|e| satisfies_with(db, body, e))
+    } else {
+        stack.iter().all(|e| satisfies_with(db, body, e))
+    }
+}
+
+fn resolve(term: &FoTerm, env: &Environment) -> Value {
+    match term {
+        FoTerm::Const(c) => Value::Const(c.clone()),
+        FoTerm::Var(v) => env
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| panic!("unbound variable {v} during formula evaluation")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::diagram::{cwa_theory, owa_theory};
+    use relmodel::builder::tableau_example;
+    use relmodel::valuation::Valuation;
+    use relmodel::value::{Constant, NullId};
+    use relmodel::DatabaseBuilder;
+
+    #[test]
+    fn atoms_and_connectives() {
+        let db = DatabaseBuilder::new().relation("R", &["a", "b"]).ints("R", &[1, 2]).build();
+        let present = Formula::atom("R", vec![FoTerm::int(1), FoTerm::int(2)]);
+        let absent = Formula::atom("R", vec![FoTerm::int(2), FoTerm::int(1)]);
+        assert!(satisfies(&db, &present));
+        assert!(!satisfies(&db, &absent));
+        assert!(satisfies(&db, &present.clone().and(absent.clone().negate())));
+        assert!(satisfies(&db, &absent.clone().or(present.clone())));
+        assert!(satisfies(&db, &absent.clone().implies(Formula::False)));
+        assert!(satisfies(&db, &Formula::True));
+        assert!(!satisfies(&db, &Formula::False));
+    }
+
+    #[test]
+    fn quantifiers_over_active_domain() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .ints("R", &[2, 3])
+            .build();
+        // ∃x,y R(x,y) ∧ R(y, 3)
+        let f = Formula::exists(
+            vec!["x".into(), "y".into()],
+            Formula::atom("R", vec![FoTerm::var("x"), FoTerm::var("y")])
+                .and(Formula::atom("R", vec![FoTerm::var("y"), FoTerm::int(3)])),
+        );
+        assert!(satisfies(&db, &f));
+        // ∀x,y (R(x,y) → ∃z R(y,z)) fails: (2,3) has no successor of 3.
+        let g = Formula::forall(
+            vec!["x".into(), "y".into()],
+            Formula::atom("R", vec![FoTerm::var("x"), FoTerm::var("y")]).implies(Formula::exists(
+                vec!["z".into()],
+                Formula::atom("R", vec![FoTerm::var("y"), FoTerm::var("z")]),
+            )),
+        );
+        assert!(!satisfies(&db, &g));
+    }
+
+    #[test]
+    fn constants_outside_active_domain_are_included() {
+        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        // ∃x (x = 5) — 5 is not in the active domain but is a formula constant.
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::Eq(FoTerm::var("x"), FoTerm::int(5)),
+        );
+        assert!(satisfies(&db, &f));
+    }
+
+    #[test]
+    fn owa_theory_holds_in_owa_worlds() {
+        // The §4 duality: Mod_C(δ_D) ⊇ worlds obtained by valuations + extra tuples.
+        let d = tableau_example();
+        let theory = owa_theory(&d);
+        let v = Valuation::from_pairs(vec![(NullId(0), Constant::Int(7))]);
+        let mut world = d.apply(&v).unwrap();
+        assert!(satisfies(&world, &theory));
+        // adding tuples keeps an OWA model a model
+        world.insert("R", relmodel::Tuple::ints(&[100, 200])).unwrap();
+        assert!(satisfies(&world, &theory));
+        // but the CWA theory rejects the extended world
+        assert!(!satisfies(&world, &cwa_theory(&d)));
+    }
+
+    #[test]
+    fn cwa_theory_holds_exactly_in_cwa_worlds() {
+        let d = tableau_example();
+        let theory = cwa_theory(&d);
+        let v = Valuation::from_pairs(vec![(NullId(0), Constant::Int(7))]);
+        let world = d.apply(&v).unwrap();
+        assert!(satisfies(&world, &theory));
+        // a world that drops a tuple is not a CWA (nor OWA) model
+        let smaller = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 7])
+            .build();
+        assert!(!satisfies(&smaller, &theory));
+    }
+
+    #[test]
+    #[should_panic(expected = "free variables")]
+    fn sentences_only() {
+        let db = DatabaseBuilder::new().relation("R", &["a"]).build();
+        eval_sentence(&db, &Formula::atom("R", vec![FoTerm::var("x")]));
+    }
+}

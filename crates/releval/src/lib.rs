@@ -1,0 +1,46 @@
+//! # releval — query evaluation engines over incomplete databases
+//!
+//! Four ways of evaluating a relational algebra query over a database with
+//! nulls, corresponding to the positions the paper contrasts:
+//!
+//! * [`complete`] — the textbook set-semantics evaluator, defined only on
+//!   complete databases. This is "existing query evaluation technology".
+//! * [`naive`] — *naïve evaluation*: run the very same evaluator on a database
+//!   with marked nulls, treating nulls as ordinary values (syntactic
+//!   equality). By the paper's Section 6 results this computes certain answers
+//!   for UCQs under OWA and for `RA_cwa` under CWA.
+//! * [`three_valued`] — SQL's three-valued-logic evaluation (the "practice"
+//!   baseline): comparisons with nulls are `unknown`, `WHERE` keeps only
+//!   `true` rows, `NOT IN`-style difference drops rows whose membership is
+//!   unknown. This is the evaluator that produces the wrong answers of the
+//!   paper's introduction.
+//! * [`worlds`] — the ground truth: enumerate possible worlds over an adequate
+//!   finite domain, evaluate in each world, and intersect. Exponential in the
+//!   number of nulls; used to validate the other evaluators and to exhibit the
+//!   complexity gap.
+//!
+//! [`fo`] provides model checking of first-order formulas (the logical-theory
+//! view of Section 4) over complete and naïve databases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complete;
+pub mod engine;
+pub mod error;
+pub mod fo;
+pub mod naive;
+pub mod three_valued;
+pub mod worlds;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::complete::eval_complete;
+    pub use crate::error::EvalError;
+    pub use crate::fo::{eval_sentence, satisfies};
+    pub use crate::naive::{certain_answer_naive, eval_naive};
+    pub use crate::three_valued::eval_3vl;
+    pub use crate::worlds::{certain_answer_worlds, possible_answers, WorldOptions};
+}
+
+pub use error::EvalError;

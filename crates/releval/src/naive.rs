@@ -1,0 +1,140 @@
+//! Naïve evaluation: run the standard evaluator on a database with marked
+//! nulls, treating nulls as ordinary values.
+//!
+//! The paper's central positive result (Section 6) is that for monotone,
+//! generic queries — concretely, UCQs under OWA and `RA_cwa` under CWA —
+//! naïve evaluation *is* the certain answer when answers are given the right
+//! semantics (`certainO(Q, D) = Q(D)`), and the classical intersection-based
+//! certain answers are recovered by keeping the complete part of the result
+//! (`certain(Q, D) = Q(D)_cmpl`, equation (4)).
+
+use relalgebra::ast::RaExpr;
+use relalgebra::classify::{classify, QueryClass};
+use relmodel::{Database, Relation, Semantics};
+
+use crate::engine;
+use crate::error::EvalError;
+
+/// Evaluates an expression naïvely over an incomplete database: nulls are
+/// treated as ordinary values and compared syntactically.
+///
+/// The result is itself (in general) an incomplete relation; it is the
+/// `certainO` object-level certain answer for query classes where naïve
+/// evaluation is correct.
+pub fn eval_naive(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+    engine::eval(expr, db)
+}
+
+/// The classical (intersection-based) certain answer computed by naïve
+/// evaluation: evaluate naïvely, then keep only the null-free tuples
+/// (equation (4) of the paper). Correct exactly when naïve evaluation works
+/// for the query/semantics combination.
+pub fn certain_answer_naive(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+    Ok(eval_naive(expr, db)?.complete_part())
+}
+
+/// Evaluates a Boolean query naïvely, returning whether the answer is
+/// nonempty. For Boolean CQs under OWA this is exactly the certain answer
+/// (`D ⊨ Q` iff the certain answer is true — Section 4's duality).
+pub fn eval_boolean_naive(expr: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+    Ok(!eval_naive(expr, db)?.is_empty())
+}
+
+/// Result of [`certain_answer_checked`]: the answer plus a statement of
+/// whether the paper's theorems guarantee its correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckedAnswer {
+    /// The (classical, null-free) certain answer computed naïvely.
+    pub answer: Relation,
+    /// The syntactic class of the query.
+    pub class: QueryClass,
+    /// Whether naïve evaluation is guaranteed correct for this class under the
+    /// requested semantics.
+    pub guaranteed: bool,
+}
+
+/// Computes the naïve certain answer together with a correctness guarantee
+/// derived from the query's syntactic class (positive ⇒ both semantics,
+/// `RA_cwa` ⇒ CWA only, full RA ⇒ no guarantee).
+pub fn certain_answer_checked(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+) -> Result<CheckedAnswer, EvalError> {
+    let class = classify(expr);
+    let answer = certain_answer_naive(expr, db)?;
+    Ok(CheckedAnswer { answer, class, guaranteed: class.naive_evaluation_sound(semantics) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::builder::difference_example;
+    use relmodel::{DatabaseBuilder, Tuple, Value};
+
+    #[test]
+    fn naive_evaluation_treats_nulls_as_values() {
+        // π_A(R − S) with R = {(1,⊥0)}, S = {(1,⊥1)}: naïve evaluation returns {1}
+        // (the certain answer is actually ∅ — the paper's example of failure).
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("S", vec![Value::int(1), Value::null(1)])
+            .build();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        let naive = eval_naive(&q, &db).unwrap();
+        assert_eq!(naive.len(), 1);
+        assert!(naive.contains(&Tuple::ints(&[1])));
+    }
+
+    #[test]
+    fn certain_answer_keeps_complete_part() {
+        // Identity query over R = {(1,2), (2,⊥)}: naïve answer is R itself, the
+        // classical certain answer its complete part {(1,2)}.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .build();
+        let q = RaExpr::relation("R");
+        assert_eq!(eval_naive(&q, &db).unwrap().len(), 2);
+        let certain = certain_answer_naive(&q, &db).unwrap();
+        assert_eq!(certain.len(), 1);
+        assert!(certain.contains(&Tuple::ints(&[1, 2])));
+    }
+
+    #[test]
+    fn boolean_naive_evaluation_is_cq_satisfaction() {
+        // The §4 duality example: D = {R(1,⊥), R(⊥,2)}; Q = ∃x,y,z R(x,y) ∧ R(y,z).
+        let db = relmodel::builder::tableau_example();
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("R"))
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+            .project(vec![]);
+        assert!(eval_boolean_naive(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn checked_answer_reports_guarantees() {
+        let db = difference_example();
+        let positive = RaExpr::relation("R").union(RaExpr::relation("S"));
+        let checked = certain_answer_checked(&positive, &db, Semantics::Owa).unwrap();
+        assert!(checked.guaranteed);
+        assert_eq!(checked.class, QueryClass::Positive);
+
+        let full = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        let checked = certain_answer_checked(&full, &db, Semantics::Cwa).unwrap();
+        assert!(!checked.guaranteed);
+        assert_eq!(checked.class, QueryClass::FullRa);
+
+        let division = RaExpr::relation("R")
+            .product(RaExpr::relation("R"))
+            .divide(RaExpr::relation("S"));
+        let checked_cwa = certain_answer_checked(&division, &db, Semantics::Cwa).unwrap();
+        assert!(checked_cwa.guaranteed);
+        let checked_owa = certain_answer_checked(&division, &db, Semantics::Owa).unwrap();
+        assert!(!checked_owa.guaranteed);
+    }
+}

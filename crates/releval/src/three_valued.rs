@@ -1,0 +1,240 @@
+//! SQL-style three-valued-logic evaluation — the "practice" baseline whose
+//! failures the paper's introduction catalogues.
+//!
+//! The evaluator mirrors how SQL engines treat nulls:
+//!
+//! * comparisons involving a null evaluate to `unknown`;
+//! * `WHERE` keeps a row only if the condition is `true`;
+//! * `t NOT IN S` (our [`RaExpr::Difference`]) keeps `t` only if membership of
+//!   `t` in `S` is definitely `false` — if `S` contains a null in a compared
+//!   column, membership is `unknown` and the row is dropped;
+//! * `t IN S` (our [`RaExpr::Intersection`]) keeps `t` only if membership is
+//!   definitely `true`.
+//!
+//! This reproduces the paper's examples: the unpaid-orders query returns the
+//! empty answer, `R − S` is empty whenever `S` contains a null, and the
+//! tautological selection `order = 'oid1' OR order <> 'oid1'` drops rows with
+//! a null `order`.
+
+use relalgebra::ast::RaExpr;
+use relalgebra::typecheck::output_arity;
+use relmodel::value::Truth;
+use relmodel::{Database, Relation, Tuple};
+
+use crate::error::EvalError;
+
+/// Evaluates an expression under SQL's three-valued logic.
+pub fn eval_3vl(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
+    output_arity(expr, db.schema())?;
+    Ok(eval_unchecked(expr, db))
+}
+
+/// Evaluates a Boolean query under 3VL, returning whether the result is
+/// nonempty.
+pub fn eval_boolean_3vl(expr: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+    Ok(!eval_3vl(expr, db)?.is_empty())
+}
+
+fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
+    match expr {
+        RaExpr::Relation(name) => db
+            .relation(name)
+            .cloned()
+            .expect("type checker guarantees the relation exists"),
+        RaExpr::Values(rel) => rel.clone(),
+        RaExpr::Delta => {
+            let mut out = Relation::new(2);
+            for v in db.active_domain() {
+                out.insert(Tuple::new(vec![v.clone(), v]));
+            }
+            out
+        }
+        RaExpr::Select(e, p) => {
+            let input = eval_unchecked(e, db);
+            let mut out = Relation::new(input.arity());
+            for t in input.iter() {
+                if p.eval_3vl(t).is_true() {
+                    out.insert(t.clone());
+                }
+            }
+            out
+        }
+        RaExpr::Project(e, cols) => {
+            let input = eval_unchecked(e, db);
+            let mut out = Relation::new(cols.len());
+            for t in input.iter() {
+                out.insert(t.project(cols));
+            }
+            out
+        }
+        RaExpr::Product(a, b) => {
+            let left = eval_unchecked(a, db);
+            let right = eval_unchecked(b, db);
+            let mut out = Relation::new(left.arity() + right.arity());
+            for l in left.iter() {
+                for r in right.iter() {
+                    out.insert(l.concat(r));
+                }
+            }
+            out
+        }
+        RaExpr::Union(a, b) => eval_unchecked(a, db).union(&eval_unchecked(b, db)),
+        RaExpr::Difference(a, b) => {
+            // SQL's `NOT IN` semantics: keep a tuple only when its membership
+            // in the right-hand side is definitely false.
+            let left = eval_unchecked(a, db);
+            let right = eval_unchecked(b, db);
+            let mut out = Relation::new(left.arity());
+            for t in left.iter() {
+                if membership_3vl(t, &right) == Truth::False {
+                    out.insert(t.clone());
+                }
+            }
+            out
+        }
+        RaExpr::Intersection(a, b) => {
+            // SQL's `IN` semantics: keep a tuple only when membership is
+            // definitely true.
+            let left = eval_unchecked(a, db);
+            let right = eval_unchecked(b, db);
+            let mut out = Relation::new(left.arity());
+            for t in left.iter() {
+                if membership_3vl(t, &right) == Truth::True {
+                    out.insert(t.clone());
+                }
+            }
+            out
+        }
+        RaExpr::Divide(a, b) => {
+            let dividend = eval_unchecked(a, db);
+            let divisor = eval_unchecked(b, db);
+            let prefix_arity = dividend.arity() - divisor.arity();
+            let prefix_cols: Vec<usize> = (0..prefix_arity).collect();
+            let mut out = Relation::new(prefix_arity);
+            let candidates: std::collections::BTreeSet<Tuple> =
+                dividend.iter().map(|t| t.project(&prefix_cols)).collect();
+            for candidate in candidates {
+                let ok = divisor
+                    .iter()
+                    .all(|s| membership_3vl(&candidate.concat(s), &dividend) == Truth::True);
+                if ok {
+                    out.insert(candidate);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Three-valued membership of a tuple in a relation: the disjunction over the
+/// relation's tuples of the conjunction of column-wise 3VL equalities.
+pub fn membership_3vl(tuple: &Tuple, relation: &Relation) -> Truth {
+    let mut result = Truth::False;
+    for candidate in relation.iter() {
+        let mut row = Truth::True;
+        for (a, b) in tuple.values().iter().zip(candidate.values().iter()) {
+            row = row.and(a.eq_3vl(b));
+        }
+        result = result.or(row);
+        if result == Truth::True {
+            return Truth::True;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::builder::{difference_example, orders_and_payments_example};
+    use relmodel::{DatabaseBuilder, Value};
+
+    #[test]
+    fn membership_with_nulls_is_unknown() {
+        let rel = Relation::from_tuples(1, vec![Tuple::new(vec![Value::null(0)])]);
+        assert_eq!(membership_3vl(&Tuple::ints(&[1]), &rel), Truth::Unknown);
+        let rel2 = Relation::from_tuples(1, vec![Tuple::ints(&[1])]);
+        assert_eq!(membership_3vl(&Tuple::ints(&[1]), &rel2), Truth::True);
+        assert_eq!(membership_3vl(&Tuple::ints(&[2]), &rel2), Truth::False);
+        assert_eq!(membership_3vl(&Tuple::ints(&[2]), &Relation::new(1)), Truth::False);
+    }
+
+    #[test]
+    fn unpaid_orders_query_returns_empty_under_3vl() {
+        // SELECT o_id FROM Order WHERE o_id NOT IN (SELECT order FROM Pay)
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Order")
+            .project(vec![0])
+            .difference(RaExpr::relation("Pay").project(vec![1]));
+        let out = eval_3vl(&q, &db).unwrap();
+        assert!(
+            out.is_empty(),
+            "SQL tells us every order is paid, even though at most one can be"
+        );
+    }
+
+    #[test]
+    fn difference_trap_r_minus_s() {
+        // R = {1,2}, S = {⊥}: R − S is empty under 3VL although |R| > |S|.
+        let db = difference_example();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        assert!(eval_3vl(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tautology_selection_drops_null_rows() {
+        // SELECT p_id FROM Pay WHERE order = 'oid1' OR order <> 'oid1'
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Pay")
+            .select(
+                Predicate::eq(Operand::col(1), Operand::str("oid1"))
+                    .or(Predicate::neq(Operand::col(1), Operand::str("oid1"))),
+            )
+            .project(vec![0]);
+        let out = eval_3vl(&q, &db).unwrap();
+        assert!(out.is_empty(), "the tautology does not select the row with a null order");
+    }
+
+    #[test]
+    fn positive_queries_agree_with_naive_on_constants() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Order").project(vec![0]);
+        let three = eval_3vl(&q, &db).unwrap();
+        let naive = crate::naive::eval_naive(&q, &db).unwrap();
+        assert_eq!(three, naive);
+    }
+
+    #[test]
+    fn intersection_requires_definite_membership() {
+        let db = difference_example();
+        // R ∩ S: S = {⊥} so membership of 1 and 2 is unknown — empty answer.
+        let q = RaExpr::relation("R").intersection(RaExpr::relation("S"));
+        assert!(eval_3vl(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn division_under_3vl() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .ints("S", &[10])
+            .ints("S", &[20])
+            .build();
+        let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
+        let out = eval_3vl(&q, &db).unwrap();
+        // 1 is paired with 10 and 20 definitely; 2 only with an unknown value.
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::ints(&[1])));
+    }
+
+    #[test]
+    fn boolean_3vl() {
+        let db = difference_example();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![]);
+        assert!(!eval_boolean_3vl(&q, &db).unwrap());
+    }
+}

@@ -1,0 +1,262 @@
+//! Possible-world (ground-truth) certain answers.
+//!
+//! The classical definition (equation (1) of the paper) is
+//! `certain(Q, D) = ⋂ { Q(D') | D' ∈ [[D]] }`. This module computes it by
+//! explicit enumeration of possible worlds over an adequate finite constant
+//! domain — exponential in the number of nulls, which is precisely the
+//! complexity gap the paper discusses, and the reason this code serves as
+//! *ground truth* for validating the efficient evaluators rather than as a
+//! production algorithm.
+
+use relalgebra::ast::RaExpr;
+use relalgebra::typecheck::output_arity;
+use relmodel::semantics::{adequate_domain, enumerate_cwa_worlds, enumerate_owa_worlds};
+use relmodel::{Database, Relation, Semantics};
+
+use crate::complete::eval_complete;
+use crate::error::EvalError;
+
+/// Options controlling possible-world enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldOptions {
+    /// Number of fresh constants to add to the valuation domain; `None` means
+    /// "one per null plus one", which is adequate for generic queries.
+    pub extra_fresh: Option<usize>,
+    /// Under OWA, the maximum number of extra tuples added to each world.
+    /// Zero is adequate for monotone queries (adding tuples only grows their
+    /// answers); larger values let tests probe non-monotone queries.
+    pub max_owa_extra: usize,
+    /// Safety budget on the number of valuations enumerated.
+    pub max_worlds: u128,
+}
+
+impl Default for WorldOptions {
+    fn default() -> Self {
+        WorldOptions { extra_fresh: None, max_owa_extra: 0, max_worlds: 5_000_000 }
+    }
+}
+
+impl WorldOptions {
+    /// Options with a specific number of fresh constants.
+    pub fn with_fresh(fresh: usize) -> Self {
+        WorldOptions { extra_fresh: Some(fresh), ..WorldOptions::default() }
+    }
+
+    /// Options that extend OWA worlds with up to `extra` additional tuples.
+    pub fn with_owa_extra(extra: usize) -> Self {
+        WorldOptions { max_owa_extra: extra, ..WorldOptions::default() }
+    }
+}
+
+/// Builds the valuation domain used for world enumeration of `expr` over `db`.
+pub fn valuation_domain(
+    expr: &RaExpr,
+    db: &Database,
+    opts: &WorldOptions,
+) -> Vec<relmodel::value::Constant> {
+    let fresh = opts.extra_fresh.unwrap_or_else(|| db.null_ids().len() + 1);
+    adequate_domain(db, &expr.constants(), fresh)
+}
+
+/// Enumerates the possible worlds of `db` relevant to `expr` under the given
+/// semantics, respecting the world budget.
+pub fn enumerate_worlds(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<Vec<Database>, EvalError> {
+    let domain = valuation_domain(expr, db, opts);
+    let nulls = db.null_ids().len() as u32;
+    let world_count = (domain.len() as u128).saturating_pow(nulls);
+    if world_count > opts.max_worlds {
+        return Err(EvalError::WorldBudgetExceeded { worlds: world_count, budget: opts.max_worlds });
+    }
+    Ok(match semantics {
+        Semantics::Cwa => enumerate_cwa_worlds(db, &domain),
+        Semantics::Owa => enumerate_owa_worlds(db, &domain, opts.max_owa_extra),
+    })
+}
+
+/// The multiset `Q([[D]])` restricted to the enumerated worlds: the answer of
+/// the query in every possible world.
+pub fn possible_answers(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<Vec<Relation>, EvalError> {
+    let worlds = enumerate_worlds(expr, db, semantics, opts)?;
+    worlds.iter().map(|w| eval_complete(expr, w)).collect()
+}
+
+/// The classical intersection-based certain answer, computed from possible
+/// worlds (equation (1) of the paper). Ground truth, exponential in the
+/// number of nulls.
+pub fn certain_answer_worlds(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<Relation, EvalError> {
+    let arity = output_arity(expr, db.schema())?;
+    let answers = possible_answers(expr, db, semantics, opts)?;
+    let mut iter = answers.into_iter();
+    let first = match iter.next() {
+        Some(r) => r,
+        None => return Ok(Relation::new(arity)),
+    };
+    Ok(iter.fold(first, |acc, r| acc.intersection(&r)))
+}
+
+/// The certain answer to a Boolean query: true iff the query is nonempty in
+/// every possible world.
+pub fn certain_boolean_worlds(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<bool, EvalError> {
+    let answers = possible_answers(expr, db, semantics, opts)?;
+    Ok(!answers.is_empty() && answers.iter().all(|r| !r.is_empty()))
+}
+
+/// The *possible* (maybe) answers to a query: tuples that appear in the answer
+/// in at least one world. Used by examples to contrast certain and possible
+/// information.
+pub fn possible_answer_union(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<Relation, EvalError> {
+    let arity = output_arity(expr, db.schema())?;
+    let answers = possible_answers(expr, db, semantics, opts)?;
+    Ok(answers.into_iter().fold(Relation::new(arity), |acc, r| acc.union(&r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::builder::{difference_example, orders_and_payments_example};
+    use relmodel::{DatabaseBuilder, Tuple, Value};
+
+    #[test]
+    fn unpaid_orders_certain_answer_is_nonempty() {
+        // Ground truth for E1: in every world, at least one of oid1/oid2 is unpaid,
+        // but no single order is unpaid in all worlds — so the certain answer to
+        // "orders not in Pay" is empty, yet the Boolean query "is there an unpaid
+        // order" is certainly true.
+        let db = orders_and_payments_example();
+        let unpaid = RaExpr::relation("Order")
+            .project(vec![0])
+            .difference(RaExpr::relation("Pay").project(vec![1]));
+        let certain = certain_answer_worlds(&unpaid, &db, Semantics::Cwa, &WorldOptions::default())
+            .unwrap();
+        assert!(certain.is_empty());
+        let exists_unpaid = unpaid.clone().project(vec![]);
+        assert!(certain_boolean_worlds(&exists_unpaid, &db, Semantics::Cwa, &WorldOptions::default())
+            .unwrap());
+        // ... and the possible answers include both orders.
+        let possible =
+            possible_answer_union(&unpaid, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert_eq!(possible.len(), 2);
+    }
+
+    #[test]
+    fn difference_example_certain_answer() {
+        // R = {1,2}, S = {⊥}: certainly R − S contains at least one element, but
+        // no specific element is certain... except that ⊥ can only equal one of
+        // them, so the certain answer is empty; the Boolean version is true.
+        let db = difference_example();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        let certain =
+            certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert!(certain.is_empty());
+        let nonempty = q.project(vec![]);
+        assert!(certain_boolean_worlds(&nonempty, &db, Semantics::Cwa, &WorldOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn tautology_certain_answer_returns_pid1() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Pay")
+            .select(
+                Predicate::eq(Operand::col(1), Operand::str("oid1"))
+                    .or(Predicate::neq(Operand::col(1), Operand::str("oid1"))),
+            )
+            .project(vec![0]);
+        let certain =
+            certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert_eq!(certain.len(), 1);
+        assert!(certain.contains(&Tuple::strs(&["pid1"])));
+    }
+
+    #[test]
+    fn naive_failure_example_ground_truth() {
+        // π_A(R − S) with R = {(1,⊥0)}, S = {(1,⊥1)}: certain answer is ∅.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("S", vec![Value::int(1), Value::null(1)])
+            .build();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        let certain =
+            certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert!(certain.is_empty());
+    }
+
+    #[test]
+    fn positive_query_certain_answers_match_naive() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Order").project(vec![0]).union(
+            RaExpr::relation("Pay").project(vec![1]),
+        );
+        for semantics in [Semantics::Cwa, Semantics::Owa] {
+            let ground =
+                certain_answer_worlds(&q, &db, semantics, &WorldOptions::default()).unwrap();
+            let naive = crate::naive::certain_answer_naive(&q, &db).unwrap();
+            assert_eq!(ground, naive, "naïve evaluation must match ground truth under {semantics}");
+        }
+    }
+
+    #[test]
+    fn owa_with_extra_tuples_breaks_nonmonotone_queries() {
+        // Under OWA, a difference query has an empty certain answer as soon as
+        // worlds may contain extra tuples.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"])
+            .ints("R", &[1])
+            .build();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("S"));
+        let cwa = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        assert_eq!(cwa.len(), 1);
+        let owa = certain_answer_worlds(&q, &db, Semantics::Owa, &WorldOptions::with_owa_extra(1))
+            .unwrap();
+        assert!(owa.is_empty());
+    }
+
+    #[test]
+    fn world_budget_is_enforced() {
+        let mut builder = DatabaseBuilder::new().relation("R", &["a", "b"]);
+        for i in 0..10 {
+            builder = builder.tuple("R", vec![Value::null(i), Value::null(i + 10)]);
+        }
+        let db = builder.build();
+        let opts = WorldOptions { max_worlds: 100, ..WorldOptions::default() };
+        let err = certain_answer_worlds(&RaExpr::relation("R"), &db, Semantics::Cwa, &opts);
+        assert!(matches!(err, Err(EvalError::WorldBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn domain_includes_query_constants() {
+        let db = difference_example();
+        let q = RaExpr::relation("R").select(Predicate::eq(Operand::col(0), Operand::int(42)));
+        let domain = valuation_domain(&q, &db, &WorldOptions::default());
+        assert!(domain.contains(&relmodel::value::Constant::Int(42)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fluent construction of databases, and a tiny literal syntax for tests.
+
+use crate::database::Database;
+use crate::schema::{Schema, SchemaBuilder};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Fluent builder for [`Database`] instances.
+///
+/// ```
+/// use relmodel::builder::DatabaseBuilder;
+/// use relmodel::value::Value;
+///
+/// let db = DatabaseBuilder::new()
+///     .relation("R", &["a", "b"])
+///     .tuple("R", vec![Value::int(1), Value::null(0)])
+///     .tuple("R", vec![Value::null(0), Value::int(2)])
+///     .build();
+/// assert_eq!(db.relation("R").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DatabaseBuilder {
+    schema: SchemaBuilder,
+    tuples: Vec<(String, Tuple)>,
+}
+
+impl DatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DatabaseBuilder::default()
+    }
+
+    /// Declares a relation with named attributes.
+    pub fn relation(mut self, name: &str, attributes: &[&str]) -> Self {
+        self.schema = self.schema.relation(name, attributes);
+        self
+    }
+
+    /// Adds a tuple to a relation.
+    pub fn tuple(mut self, relation: &str, values: Vec<Value>) -> Self {
+        self.tuples.push((relation.to_owned(), Tuple::new(values)));
+        self
+    }
+
+    /// Adds a tuple of integer constants.
+    pub fn ints(self, relation: &str, values: &[i64]) -> Self {
+        self.tuple(relation, values.iter().map(|i| Value::int(*i)).collect())
+    }
+
+    /// Adds a tuple of string constants.
+    pub fn strs(self, relation: &str, values: &[&str]) -> Self {
+        self.tuple(relation, values.iter().map(|s| Value::str(*s)).collect())
+    }
+
+    /// Builds the database; panics on arity mismatches or unknown relations
+    /// (these are programming errors in literals).
+    pub fn build(self) -> Database {
+        let schema: Schema = self.schema.build();
+        let mut db = Database::new(schema);
+        for (rel, tuple) in self.tuples {
+            db.insert(&rel, tuple)
+                .unwrap_or_else(|e| panic!("invalid tuple for relation {rel}: {e}"));
+        }
+        db
+    }
+}
+
+/// Builds the paper's running example database: `Order(o_id, product)` with
+/// two orders and `Pay(p_id, order, amount)` with a single payment whose
+/// `order` attribute is null.
+pub fn orders_and_payments_example() -> Database {
+    DatabaseBuilder::new()
+        .relation("Order", &["o_id", "product"])
+        .relation("Pay", &["p_id", "order", "amount"])
+        .strs("Order", &["oid1", "pr1"])
+        .strs("Order", &["oid2", "pr2"])
+        .tuple("Pay", vec![Value::str("pid1"), Value::null(0), Value::int(100)])
+        .build()
+}
+
+/// Builds the §4 tableau example: `R = {(1,⊥), (⊥,2)}` with a *repeated* null.
+pub fn tableau_example() -> Database {
+    DatabaseBuilder::new()
+        .relation("R", &["a", "b"])
+        .tuple("R", vec![Value::int(1), Value::null(0)])
+        .tuple("R", vec![Value::null(0), Value::int(2)])
+        .build()
+}
+
+/// Builds the §2/§6 difference example: `R = {1,2}`, `S = {⊥}` over a single
+/// attribute each.
+pub fn difference_example() -> Database {
+    DatabaseBuilder::new()
+        .relation("R", &["a"])
+        .relation("S", &["a"])
+        .ints("R", &[1])
+        .ints("R", &[2])
+        .tuple("S", vec![Value::null(0)])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_schema_and_tuples() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .strs("R", &["x"])
+            .build();
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tuple")]
+    fn builder_panics_on_bad_arity() {
+        DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1, 2]).build();
+    }
+
+    #[test]
+    fn canned_examples() {
+        let orders = orders_and_payments_example();
+        assert_eq!(orders.total_tuples(), 3);
+        assert!(orders.is_codd());
+
+        let tableau = tableau_example();
+        assert_eq!(tableau.null_ids().len(), 1);
+        assert!(!tableau.is_codd());
+
+        let diff = difference_example();
+        assert_eq!(diff.relation("R").unwrap().len(), 2);
+        assert_eq!(diff.relation("S").unwrap().len(), 1);
+    }
+}

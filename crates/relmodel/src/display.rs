@@ -1,0 +1,132 @@
+//! Pretty-printing of relations and databases as aligned text tables, used by
+//! the examples and the experiment binaries.
+
+use crate::database::Database;
+use crate::relation::Relation;
+
+/// Renders a relation as an aligned ASCII table with the given header row.
+///
+/// The number of headers must match the arity (a 0-ary relation renders as a
+/// single cell stating whether it is empty — the Boolean convention).
+pub fn render_relation(headers: &[&str], relation: &Relation) -> String {
+    if relation.arity() == 0 {
+        return if relation.is_empty() {
+            "(empty — false)".to_owned()
+        } else {
+            "(nonempty — true)".to_owned()
+        };
+    }
+    assert_eq!(
+        headers.len(),
+        relation.arity(),
+        "header count must match relation arity"
+    );
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(relation.len() + 1);
+    rows.push(headers.iter().map(|h| (*h).to_owned()).collect());
+    for t in relation.iter() {
+        rows.push(t.values().iter().map(|v| v.to_string()).collect());
+    }
+    render_rows(&rows)
+}
+
+/// Renders a whole database, one table per relation, using the schema's
+/// attribute names as headers.
+pub fn render_database(db: &Database) -> String {
+    let mut out = String::new();
+    for (name, rel) in db.iter() {
+        let rs = db.schema().relation(name).expect("instance relations are in the schema");
+        let headers: Vec<&str> = rs.attributes.iter().map(String::as_str).collect();
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&render_relation(&headers, rel));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a generic grid of rows (first row is the header) with column
+/// alignment and a separator line under the header.
+pub fn render_rows(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            let pad = w - cell.chars().count();
+            line.push_str("| ");
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad + 1));
+        }
+        line.push('|');
+        out.push_str(&line);
+        out.push('\n');
+        if r == 0 {
+            let mut sep = String::new();
+            for w in &widths {
+                sep.push('|');
+                sep.push_str(&"-".repeat(w + 2));
+            }
+            sep.push('|');
+            out.push_str(&sep);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::orders_and_payments_example;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    #[test]
+    fn render_relation_aligns_columns() {
+        let rel = Relation::from_tuples(
+            2,
+            vec![
+                Tuple::new(vec![Value::str("long_value"), Value::int(1)]),
+                Tuple::new(vec![Value::int(2), Value::null(0)]),
+            ],
+        );
+        let s = render_relation(&["a", "b"], &rel);
+        assert!(s.contains("long_value"));
+        assert!(s.contains("⊥0"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, separator, two rows
+    }
+
+    #[test]
+    fn render_boolean_relation() {
+        let empty = Relation::new(0);
+        assert!(render_relation(&[], &empty).contains("false"));
+        let mut nonempty = Relation::new(0);
+        nonempty.insert(Tuple::empty());
+        assert!(render_relation(&[], &nonempty).contains("true"));
+    }
+
+    #[test]
+    fn render_database_lists_all_relations() {
+        let s = render_database(&orders_and_payments_example());
+        assert!(s.contains("Order"));
+        assert!(s.contains("Pay"));
+        assert!(s.contains("oid1"));
+        assert!(s.contains("⊥0"));
+    }
+
+    #[test]
+    fn render_rows_empty() {
+        assert_eq!(render_rows(&[]), "");
+    }
+}

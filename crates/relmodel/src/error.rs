@@ -1,0 +1,85 @@
+//! Error types for the relational model.
+
+use std::fmt;
+
+/// Errors raised when constructing or manipulating schemas, relations and
+/// databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A relation name was used that is not part of the schema.
+    UnknownRelation(String),
+    /// A tuple of the wrong arity was inserted into a relation.
+    ArityMismatch {
+        /// Relation involved.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A relation schema declared the same attribute twice.
+    DuplicateAttribute {
+        /// Relation involved.
+        relation: String,
+        /// The repeated attribute name.
+        attribute: String,
+    },
+    /// Two schemas disagree on a relation during a merge.
+    SchemaMismatch {
+        /// Relation involved.
+        relation: String,
+    },
+    /// An attribute name was referenced that the relation does not have.
+    UnknownAttribute {
+        /// Relation involved.
+        relation: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A valuation is not defined on a null that occurs in the database.
+    IncompleteValuation {
+        /// The null with no assigned constant.
+        null: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            ModelError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: schema declares {expected}, tuple has {actual}"
+            ),
+            ModelError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` declares attribute `{attribute}` more than once")
+            }
+            ModelError::SchemaMismatch { relation } => {
+                write!(f, "schemas disagree on relation `{relation}`")
+            }
+            ModelError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            ModelError::IncompleteValuation { null } => {
+                write!(f, "valuation does not assign a constant to null ⊥{null}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::ArityMismatch { relation: "R".into(), expected: 2, actual: 3 };
+        assert!(e.to_string().contains("arity mismatch"));
+        let e = ModelError::UnknownRelation("X".into());
+        assert!(e.to_string().contains("`X`"));
+        let e = ModelError::IncompleteValuation { null: 4 };
+        assert!(e.to_string().contains("⊥4"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Relational schemas: relation names with named, ordered attributes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ModelError;
+
+/// Schema of a single relation: its name and its attribute names (the arity is
+/// the number of attributes).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RelationSchema {
+    /// Relation name, e.g. `"Order"`.
+    pub name: String,
+    /// Ordered attribute names, e.g. `["o_id", "product"]`.
+    pub attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema from a name and attribute names.
+    ///
+    /// Attribute names must be pairwise distinct.
+    pub fn new(name: impl Into<String>, attributes: &[&str]) -> Result<Self, ModelError> {
+        let name = name.into();
+        let attrs: Vec<String> = attributes.iter().map(|a| (*a).to_owned()).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(ModelError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes: attrs })
+    }
+
+    /// Arity (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of an attribute by name.
+    pub fn attribute_index(&self, attr: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attr)
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+/// A relational schema: a set of relation names with associated arities (and
+/// attribute names).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    relations: BTreeMap<String, RelationSchema>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Starts building a schema fluently.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Adds a relation schema; replaces any previous relation of the same name.
+    pub fn add(&mut self, rel: RelationSchema) {
+        self.relations.insert(rel.name.clone(), rel);
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation schema by name, or returns an error.
+    pub fn require(&self, name: &str) -> Result<&RelationSchema, ModelError> {
+        self.relation(name).ok_or_else(|| ModelError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Does the schema contain a relation with this name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over the relation schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.relations.values()
+    }
+
+    /// Relation names in name order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations in the schema.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Builds the union of two schemas; relations present in both must agree.
+    pub fn merge(&self, other: &Schema) -> Result<Schema, ModelError> {
+        let mut out = self.clone();
+        for rel in other.iter() {
+            if let Some(existing) = out.relation(&rel.name) {
+                if existing != rel {
+                    return Err(ModelError::SchemaMismatch {
+                        relation: rel.name.clone(),
+                    });
+                }
+            } else {
+                out.add(rel.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for rel in self.iter() {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(f, "{rel}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug, Default, Clone)]
+pub struct SchemaBuilder {
+    relations: Vec<RelationSchema>,
+}
+
+impl SchemaBuilder {
+    /// Adds a relation with named attributes. Panics on duplicate attribute
+    /// names (a programming error in the schema literal).
+    pub fn relation(mut self, name: &str, attributes: &[&str]) -> Self {
+        let rel = RelationSchema::new(name, attributes)
+            .unwrap_or_else(|e| panic!("invalid relation schema {name}: {e}"));
+        self.relations.push(rel);
+        self
+    }
+
+    /// Finishes building the schema.
+    pub fn build(self) -> Schema {
+        let mut schema = Schema::new();
+        for rel in self.relations {
+            schema.add(rel);
+        }
+        schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let schema = Schema::builder()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .build();
+        assert_eq!(schema.len(), 2);
+        assert!(schema.contains("R"));
+        assert!(!schema.contains("T"));
+        assert_eq!(schema.relation("R").unwrap().arity(), 2);
+        assert_eq!(schema.relation("S").unwrap().arity(), 1);
+        assert_eq!(schema.relation("R").unwrap().attribute_index("b"), Some(1));
+        assert_eq!(schema.relation("R").unwrap().attribute_index("z"), None);
+        assert!(schema.require("T").is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(RelationSchema::new("R", &["a", "a"]).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let schema = Schema::builder().relation("Pay", &["p_id", "order", "amount"]).build();
+        assert_eq!(schema.to_string(), "Pay(p_id, order, amount)");
+    }
+
+    #[test]
+    fn merge_agreeing_schemas() {
+        let a = Schema::builder().relation("R", &["a"]).build();
+        let b = Schema::builder().relation("S", &["b"]).build();
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.len(), 2);
+
+        let conflicting = Schema::builder().relation("R", &["a", "b"]).build();
+        assert!(a.merge(&conflicting).is_err());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let schema = Schema::builder()
+            .relation("Z", &["a"])
+            .relation("A", &["a"])
+            .build();
+        let names: Vec<&str> = schema.names().collect();
+        assert_eq!(names, vec!["A", "Z"]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Possible-world semantics of incomplete databases: OWA and CWA.
+//!
+//! The semantics `[[D]]` of an incomplete database `D` is the set of complete
+//! databases it represents:
+//!
+//! * `[[D]]_cwa = { v(D) | v : Null(D) → Const }` — closed world;
+//! * `[[D]]_owa = { D' complete | D' ⊇ v(D) for some valuation v }` — open
+//!   world.
+//!
+//! Both sets are infinite because `Const` is. For *generic* queries it
+//! suffices to range over valuations into a finite domain containing the
+//! constants of interest plus enough fresh constants, and (for OWA) to bound
+//! the number of extra tuples added. [`enumerate_cwa_worlds`] and
+//! [`enumerate_owa_worlds`] implement exactly that; they are the ground truth
+//! used to validate naïve evaluation in the benchmarks and property tests.
+
+use std::collections::BTreeSet;
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::valuation::{domain_with_fresh, Valuation, ValuationEnumerator};
+use crate::value::{Constant, Value};
+
+/// Which semantics of incompleteness is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Semantics {
+    /// Open-world assumption: nulls are instantiated and new tuples may be
+    /// added.
+    Owa,
+    /// Closed-world assumption: nulls are instantiated, nothing is added.
+    Cwa,
+}
+
+impl Semantics {
+    /// A short lowercase name (`"owa"` / `"cwa"`), useful in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::Owa => "owa",
+            Semantics::Cwa => "cwa",
+        }
+    }
+}
+
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Returns a finite constant domain adequate for generic-query certain-answer
+/// computation over `db`: the constants of `db`, the supplied extra constants
+/// (e.g. constants mentioned by the query), plus `fresh` fresh constants.
+///
+/// For a generic query `Q` and database `D`, two valuations that agree up to a
+/// renaming of constants outside `Const(D) ∪ Const(Q)` produce isomorphic
+/// answers, so it is enough to have as many fresh constants as there are nulls
+/// (allowing all nulls to be pairwise distinct and distinct from every named
+/// constant).
+pub fn adequate_domain(db: &Database, query_constants: &BTreeSet<Constant>, fresh: usize) -> Vec<Constant> {
+    let mut base = db.constants();
+    base.extend(query_constants.iter().cloned());
+    domain_with_fresh(&base, fresh)
+}
+
+/// Enumerates all CWA possible worlds `v(D)` with valuations ranging over the
+/// given constant domain.
+///
+/// The number of worlds is `|domain|^|Null(D)|`; distinct valuations may yield
+/// equal worlds, which are deduplicated.
+pub fn enumerate_cwa_worlds(db: &Database, domain: &[Constant]) -> Vec<Database> {
+    let mut out: Vec<Database> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for v in ValuationEnumerator::new(db.null_ids(), domain.to_vec()) {
+        let world = db.apply(&v).expect("enumerator covers all nulls of the database");
+        let key = world.to_string();
+        if seen.insert(key) {
+            out.push(world);
+        }
+    }
+    out
+}
+
+/// Enumerates valuations of `db`'s nulls over the given domain, returning the
+/// valuation together with the induced world. (Worlds are *not* deduplicated,
+/// so the pairing with valuations is exact.)
+pub fn enumerate_cwa_valuations(db: &Database, domain: &[Constant]) -> Vec<(Valuation, Database)> {
+    ValuationEnumerator::new(db.null_ids(), domain.to_vec())
+        .map(|v| {
+            let world = db.apply(&v).expect("enumerator covers all nulls");
+            (v, world)
+        })
+        .collect()
+}
+
+/// Enumerates a *bounded* fragment of the OWA possible worlds: every CWA world
+/// extended with at most `max_extra` additional complete tuples drawn from the
+/// given constant domain.
+///
+/// The full OWA semantics is infinite; for monotone (positive) queries, the
+/// certain answer over this bounded fragment coincides with the certain answer
+/// over the full semantics because adding tuples can only grow the answer, so
+/// the intersection is attained at the minimal worlds `v(D)` (i.e.
+/// `max_extra = 0` already suffices). The bound exists so tests can also probe
+/// *non-monotone* queries and exhibit their failures.
+pub fn enumerate_owa_worlds(
+    db: &Database,
+    domain: &[Constant],
+    max_extra: usize,
+) -> Vec<Database> {
+    let base_worlds = enumerate_cwa_worlds(db, domain);
+    if max_extra == 0 {
+        return base_worlds;
+    }
+    let candidate_tuples = all_complete_tuples(db, domain);
+    let mut out: Vec<Database> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for world in &base_worlds {
+        for subset in bounded_subsets(&candidate_tuples, max_extra) {
+            let mut extended = world.clone();
+            for (rel, tuple) in subset {
+                extended.insert(&rel, tuple).expect("candidate tuples respect the schema");
+            }
+            let key = extended.to_string();
+            if seen.insert(key) {
+                out.push(extended);
+            }
+        }
+    }
+    out
+}
+
+/// All complete tuples over the domain, for every relation of the schema,
+/// tagged with the relation name. Exponential in the arity; intended for tiny
+/// schemas/domains in tests.
+fn all_complete_tuples(db: &Database, domain: &[Constant]) -> Vec<(String, Tuple)> {
+    let mut out = Vec::new();
+    for rs in db.schema().iter() {
+        let arity = rs.arity();
+        let mut counters = vec![0usize; arity];
+        if domain.is_empty() && arity > 0 {
+            continue;
+        }
+        loop {
+            let tuple: Tuple =
+                counters.iter().map(|&i| Value::Const(domain[i].clone())).collect();
+            out.push((rs.name.clone(), tuple));
+            // advance
+            let mut i = 0;
+            loop {
+                if i == arity {
+                    break;
+                }
+                counters[i] += 1;
+                if counters[i] < domain.len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+            if arity == 0 || counters.iter().all(|&c| c == 0) {
+                break;
+            }
+        }
+        if arity == 0 {
+            // a 0-ary relation has exactly one possible tuple, already pushed
+            continue;
+        }
+    }
+    out
+}
+
+/// All subsets of `items` of size at most `k` (including the empty subset).
+fn bounded_subsets<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    fn go<T: Clone>(items: &[T], start: usize, remaining: usize, current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+        out.push(current.clone());
+        if remaining == 0 {
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i].clone());
+            go(items, i + 1, remaining - 1, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(items, 0, k, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Intersects the instances of a named relation across a set of complete
+/// databases — the classical intersection-based certain answer for the
+/// identity query on that relation.
+pub fn intersect_relation(worlds: &[Database], relation: &str) -> Option<Relation> {
+    let mut iter = worlds.iter();
+    let first = iter.next()?.relation(relation)?.clone();
+    Some(iter.fold(first, |acc, w| match w.relation(relation) {
+        Some(r) => acc.intersection(r),
+        None => Relation::new(acc.arity()),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn single_null_db() -> Database {
+        let schema = Schema::builder().relation("S", &["a"]).build();
+        let mut db = Database::new(schema);
+        db.insert("S", Tuple::new(vec![Value::null(0)])).unwrap();
+        db
+    }
+
+    #[test]
+    fn adequate_domain_contains_db_query_and_fresh() {
+        let db = single_null_db();
+        let qc: BTreeSet<Constant> = vec![Constant::Int(9)].into_iter().collect();
+        let d = adequate_domain(&db, &qc, 2);
+        assert!(d.contains(&Constant::Int(9)));
+        assert_eq!(d.len(), 3); // no db constants, one query constant, two fresh
+    }
+
+    #[test]
+    fn cwa_worlds_of_single_null() {
+        let db = single_null_db();
+        let domain = vec![Constant::Int(1), Constant::Int(2)];
+        let worlds = enumerate_cwa_worlds(&db, &domain);
+        assert_eq!(worlds.len(), 2);
+        for w in &worlds {
+            assert!(w.is_complete());
+            assert_eq!(w.relation("S").unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn cwa_worlds_merge_tuples_when_nulls_collide() {
+        // R = {(⊥0), (⊥1)}: when both nulls map to the same constant the world
+        // has a single tuple.
+        let schema = Schema::builder().relation("R", &["a"]).build();
+        let mut db = Database::new(schema);
+        db.insert("R", Tuple::new(vec![Value::null(0)])).unwrap();
+        db.insert("R", Tuple::new(vec![Value::null(1)])).unwrap();
+        let domain = vec![Constant::Int(1), Constant::Int(2)];
+        let worlds = enumerate_cwa_worlds(&db, &domain);
+        // 4 valuations, but (1,1) and (2,2) give singleton worlds, (1,2) and (2,1)
+        // give the same two-tuple world => 3 distinct worlds.
+        assert_eq!(worlds.len(), 3);
+        assert!(worlds.iter().any(|w| w.relation("R").unwrap().len() == 1));
+        assert!(worlds.iter().any(|w| w.relation("R").unwrap().len() == 2));
+    }
+
+    #[test]
+    fn cwa_valuations_keep_duplicates() {
+        let db = single_null_db();
+        let domain = vec![Constant::Int(1), Constant::Int(2), Constant::Int(3)];
+        assert_eq!(enumerate_cwa_valuations(&db, &domain).len(), 3);
+    }
+
+    #[test]
+    fn owa_worlds_extend_cwa_worlds() {
+        let db = single_null_db();
+        let domain = vec![Constant::Int(1), Constant::Int(2)];
+        let cwa = enumerate_cwa_worlds(&db, &domain);
+        let owa = enumerate_owa_worlds(&db, &domain, 1);
+        assert!(owa.len() > cwa.len());
+        // every OWA world contains some CWA world
+        for w in &owa {
+            assert!(cwa.iter().any(|c| c.is_subinstance_of(w)));
+        }
+        // max_extra = 0 coincides with CWA enumeration
+        assert_eq!(enumerate_owa_worlds(&db, &domain, 0).len(), cwa.len());
+    }
+
+    #[test]
+    fn intersect_relation_computes_certain_tuples() {
+        // R = {(1), (⊥0)} under CWA over {1,2}: worlds {(1)}, {(1),(2)}.
+        // Intersection = {(1)}.
+        let schema = Schema::builder().relation("R", &["a"]).build();
+        let mut db = Database::new(schema);
+        db.insert("R", Tuple::ints(&[1])).unwrap();
+        db.insert("R", Tuple::new(vec![Value::null(0)])).unwrap();
+        let worlds = enumerate_cwa_worlds(&db, &[Constant::Int(1), Constant::Int(2)]);
+        let certain = intersect_relation(&worlds, "R").unwrap();
+        assert_eq!(certain.len(), 1);
+        assert!(certain.contains(&Tuple::ints(&[1])));
+    }
+
+    #[test]
+    fn bounded_subsets_counts() {
+        let items = vec![1, 2, 3];
+        assert_eq!(bounded_subsets(&items, 0).len(), 1);
+        assert_eq!(bounded_subsets(&items, 1).len(), 4);
+        assert_eq!(bounded_subsets(&items, 2).len(), 7);
+        assert_eq!(bounded_subsets(&items, 3).len(), 8);
+    }
+
+    #[test]
+    fn semantics_display() {
+        assert_eq!(Semantics::Owa.to_string(), "owa");
+        assert_eq!(Semantics::Cwa.name(), "cwa");
+    }
+}

@@ -1,0 +1,214 @@
+//! Tuples over `Const ∪ Null`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Index;
+
+use crate::valuation::Valuation;
+use crate::value::{Constant, NullId, Value};
+
+/// A tuple: an ordered sequence of [`Value`]s.
+///
+/// Tuples are ordered lexicographically, which gives relations (sets of
+/// tuples) a deterministic iteration order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// The empty (0-ary) tuple. Used for Boolean query answers.
+    pub fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Creates a tuple of integer constants — handy in tests and examples.
+    pub fn ints(values: &[i64]) -> Self {
+        Tuple(values.iter().map(|i| Value::int(*i)).collect())
+    }
+
+    /// Creates a tuple of string constants.
+    pub fn strs(values: &[&str]) -> Self {
+        Tuple(values.iter().map(|s| Value::str(*s)).collect())
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the 0-ary tuple?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The component values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Component at a position, if within bounds.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Does the tuple contain no nulls?
+    pub fn is_complete(&self) -> bool {
+        self.0.iter().all(Value::is_const)
+    }
+
+    /// The set of nulls occurring in the tuple.
+    pub fn null_ids(&self) -> BTreeSet<NullId> {
+        self.0.iter().filter_map(Value::as_null).collect()
+    }
+
+    /// The set of constants occurring in the tuple.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.0.iter().filter_map(|v| v.as_const().cloned()).collect()
+    }
+
+    /// Applies a valuation, replacing nulls by constants. Nulls the valuation
+    /// does not cover are left in place (total application is checked at the
+    /// database level).
+    pub fn apply(&self, v: &Valuation) -> Tuple {
+        Tuple(self.0.iter().map(|x| v.apply_value(x)).collect())
+    }
+
+    /// Projects the tuple onto the given positions (in the given order).
+    /// Positions out of bounds are a programming error and panic.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenates two tuples (used by products and joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = self.0.clone();
+        values.extend(other.0.iter().cloned());
+        Tuple(values)
+    }
+
+    /// Renames nulls according to the mapping; nulls not in the mapping are
+    /// unchanged. Used by the chase and by homomorphism application.
+    pub fn map_nulls(&self, f: &mut impl FnMut(NullId) -> Value) -> Tuple {
+        Tuple(
+            self.0
+                .iter()
+                .map(|v| match v {
+                    Value::Null(n) => f(*n),
+                    c => c.clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tuple::new(vec![Value::int(1), Value::null(0), Value::str("x")]);
+        assert_eq!(t.arity(), 3);
+        assert!(!t.is_complete());
+        assert_eq!(t.get(1), Some(&Value::null(0)));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t.null_ids().len(), 1);
+        assert_eq!(t.constants().len(), 2);
+        assert_eq!(Tuple::empty().arity(), 0);
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn helpers_ints_strs() {
+        assert_eq!(Tuple::ints(&[1, 2]).arity(), 2);
+        assert!(Tuple::ints(&[1, 2]).is_complete());
+        assert_eq!(Tuple::strs(&["a"]).values()[0], Value::str("a"));
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let t = Tuple::ints(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::ints(&[30, 10]));
+        assert_eq!(t.project(&[]), Tuple::empty());
+        let u = Tuple::ints(&[40]);
+        assert_eq!(t.concat(&u), Tuple::ints(&[10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn apply_valuation() {
+        let mut v = Valuation::new();
+        v.assign(NullId(0), Constant::Int(7));
+        let t = Tuple::new(vec![Value::null(0), Value::int(1), Value::null(1)]);
+        let applied = t.apply(&v);
+        assert_eq!(applied.values()[0], Value::int(7));
+        assert_eq!(applied.values()[1], Value::int(1));
+        // null 1 is untouched because the valuation does not cover it
+        assert_eq!(applied.values()[2], Value::null(1));
+    }
+
+    #[test]
+    fn map_nulls_renames() {
+        let t = Tuple::new(vec![Value::null(0), Value::int(5), Value::null(0)]);
+        let renamed = t.map_nulls(&mut |n| Value::Null(NullId(n.0 + 100)));
+        assert_eq!(renamed.values()[0], Value::null(100));
+        assert_eq!(renamed.values()[2], Value::null(100));
+        assert_eq!(renamed.values()[1], Value::int(5));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tuple::ints(&[1, 2]);
+        let b = Tuple::ints(&[1, 3]);
+        let c = Tuple::ints(&[2, 0]);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::int(1), Value::null(2)]);
+        assert_eq!(t.to_string(), "(1, ⊥2)");
+    }
+}

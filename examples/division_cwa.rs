@@ -1,0 +1,60 @@
+//! `RA_cwa` in action: relational division evaluated naïvely is correct under
+//! the closed-world assumption (paper §6.2).
+//!
+//! Scenario: suppliers supply parts, but some supply records have an unknown
+//! part. "Which suppliers supply *every* part in the catalogue?" is a division
+//! query — not expressible in positive algebra, yet CWA-naïve evaluation still
+//! computes its certain answer.
+//!
+//! Run with `cargo run --example division_cwa`.
+
+use incomplete_data::prelude::*;
+use relalgebra::ast::RaExpr;
+use relmodel::display::render_database;
+use relmodel::{DatabaseBuilder, Semantics, Value};
+use releval::worlds::WorldOptions;
+
+fn main() {
+    // Supplies(supplier, part); Part(part).
+    let db = DatabaseBuilder::new()
+        .relation("Supplies", &["supplier", "part"])
+        .relation("Part", &["part"])
+        .strs("Supplies", &["acme", "bolt"])
+        .strs("Supplies", &["acme", "nut"])
+        .strs("Supplies", &["bolts_r_us", "bolt"])
+        // Globex supplies bolt and *something* we could not read from the invoice:
+        .strs("Supplies", &["globex", "bolt"])
+        .tuple("Supplies", vec![Value::str("globex"), Value::null(0)])
+        .strs("Part", &["bolt"])
+        .strs("Part", &["nut"])
+        .build();
+    println!("Database:\n{}", render_database(&db));
+
+    // Q = Supplies ÷ Part : suppliers paired with every part.
+    let q = RaExpr::relation("Supplies").divide(RaExpr::relation("Part"));
+    println!("Query: {q}");
+    println!("Class: {}", relalgebra::classify::classify(&q));
+
+    let naive = eval_naive(&q, &db).unwrap();
+    let certain_naive = certain_answer_naive(&q, &db).unwrap();
+    let truth_cwa =
+        certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+    println!("naïve answer:                 {naive}");
+    println!("naïve certain answer:         {certain_naive}");
+    println!("ground truth (CWA):           {truth_cwa}");
+    println!(
+        "CWA-naïve evaluation correct: {}",
+        CertainAnswers::new(Semantics::Cwa).naive_is_correct(&q, &db).unwrap()
+    );
+
+    // Under OWA the same query loses its guarantee: new parts could appear.
+    let owa = CertainAnswers::new(Semantics::Owa)
+        .with_world_options(WorldOptions::with_owa_extra(1));
+    println!(
+        "OWA-naïve evaluation correct: {} (division is not preserved when worlds may grow)",
+        owa.naive_is_correct(&q, &db).unwrap()
+    );
+
+    println!("\nacme is a certain answer: it supplies bolt and nut outright.");
+    println!("globex is not: its unknown part might not be `nut`.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build an incomplete database, write a query, and compare the
+//! four ways of answering it (SQL 3VL, naïve, classical certain answers,
+//! possible-world ground truth).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use incomplete_data::prelude::*;
+use qparser::parse;
+use relmodel::builder::orders_and_payments_example;
+use relmodel::display::render_database;
+use relmodel::Semantics;
+use releval::worlds::WorldOptions;
+
+fn main() {
+    // The paper's running example: two orders, one payment whose `order`
+    // attribute is missing (a marked null ⊥0).
+    let db = orders_and_payments_example();
+    println!("Database:\n{}", render_database(&db));
+
+    // "Which orders have not been paid?" — the student query from the intro.
+    let unpaid = parse("project[#0](Order) minus project[#1](Pay)").unwrap();
+    println!("Query: {unpaid}");
+    println!("Class: {}", relalgebra::classify::classify(&unpaid));
+
+    // 1. What SQL does (three-valued logic): the empty answer.
+    let sql = eval_3vl(&unpaid, &db).unwrap();
+    println!("SQL 3VL answer:            {sql}");
+
+    // 2. Naïve evaluation (nulls as values), complete part only.
+    let naive = certain_answer_naive(&unpaid, &db).unwrap();
+    println!("naïve certain answer:      {naive}");
+
+    // 3. Ground truth by possible-world enumeration.
+    let truth =
+        certain_answer_worlds(&unpaid, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+    println!("ground-truth certain:      {truth}");
+
+    // 4. The Boolean question "is some order certainly unpaid?" is true even
+    //    though no specific order is a certain answer.
+    let exists_unpaid = unpaid.project(vec![]);
+    let certainly_unpaid = releval::worlds::certain_boolean_worlds(
+        &exists_unpaid,
+        &db,
+        Semantics::Cwa,
+        &WorldOptions::default(),
+    )
+    .unwrap();
+    println!("certainly ∃ unpaid order:  {certainly_unpaid}");
+
+    // A positive query, on the other hand, is safe to evaluate naïvely.
+    let products = parse("project[#1](Order)").unwrap();
+    let ca = CertainAnswers::new(Semantics::Cwa);
+    println!(
+        "products (naïve == ground truth): {}",
+        ca.naive_is_correct(&products, &db).unwrap()
+    );
+}

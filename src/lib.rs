@@ -1,0 +1,42 @@
+//! # incomplete-data
+//!
+//! Umbrella crate re-exporting the whole workspace: a from-scratch Rust
+//! implementation of certain-answer query evaluation over incomplete
+//! relational databases, reproducing Libkin's PODS 2014 keynote
+//! *"Incomplete Data: What Went Wrong, and How to Fix It"*.
+//!
+//! See the individual crates for details:
+//! - [`relmodel`]: relational model with marked (naïve) nulls and Codd tables
+//! - [`relalgebra`]: relational algebra, conjunctive queries, UCQ, `Pos∀G`/`RA_cwa`
+//! - [`releval`]: complete / naïve / SQL three-valued-logic evaluation, possible worlds
+//! - [`ctables`]: conditional tables and the Imielinski–Lipski algebra
+//! - [`certain_core`]: information orderings, homomorphisms, `certainO`/`certainK`
+//! - [`exchange`]: schema mappings, the chase, data exchange
+//! - [`qparser`]: a small textual query language
+//! - [`datagen`]: synthetic workload generators
+
+pub use certain_core;
+pub use ctables;
+pub use datagen;
+pub use exchange;
+pub use qparser;
+pub use relalgebra;
+pub use releval;
+pub use relmodel;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use certain_core::{
+        homomorphism::{find_homomorphism, HomKind},
+        ordering::InfoOrdering,
+        CertainAnswers,
+    };
+    pub use relalgebra::{ast::RaExpr, cq::ConjunctiveQuery, classify::QueryClass};
+    pub use releval::{
+        complete::eval_complete, naive::certain_answer_naive, naive::eval_naive,
+        three_valued::eval_3vl, worlds::certain_answer_worlds,
+    };
+    pub use relmodel::{
+        database::Database, relation::Relation, schema::Schema, tuple::Tuple, value::Value,
+    };
+}

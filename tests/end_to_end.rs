@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: parser → algebra → evaluation → certainty,
+//! and exchange → certain answers, exercised together the way a user of the
+//! umbrella crate would.
+
+use incomplete_data::prelude::*;
+use qparser::parse;
+use relalgebra::classify::classify;
+use relmodel::builder::{difference_example, orders_and_payments_example};
+use relmodel::{DatabaseBuilder, Semantics, Tuple, Value};
+use releval::worlds::{certain_boolean_worlds, WorldOptions};
+
+#[test]
+fn parsed_queries_evaluate_and_classify_consistently() {
+    let db = orders_and_payments_example();
+    let cases = [
+        ("project[#0](Order)", QueryClass::Positive, 2usize),
+        ("project[#1](Pay) intersect project[#0](Order)", QueryClass::Positive, 0),
+        ("project[#0](Order) minus project[#1](Pay)", QueryClass::FullRa, 0),
+    ];
+    for (text, class, certain_len) in cases {
+        let q = parse(text).unwrap();
+        assert_eq!(classify(&q), class, "classification of {text}");
+        let naive = certain_answer_naive(&q, &db).unwrap();
+        let truth = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        if class == QueryClass::Positive {
+            assert_eq!(naive, truth, "naïve evaluation must be exact for {text}");
+        }
+        assert_eq!(truth.len(), certain_len, "certain answer size for {text}");
+    }
+}
+
+#[test]
+fn the_paper_intro_story_end_to_end() {
+    let db = orders_and_payments_example();
+    // SQL says nobody is unpaid.
+    let unpaid = parse("project[#0](Order) minus project[#1](Pay)").unwrap();
+    assert!(eval_3vl(&unpaid, &db).unwrap().is_empty());
+    // But an unpaid order certainly exists.
+    assert!(certain_boolean_worlds(
+        &unpaid.clone().project(vec![]),
+        &db,
+        Semantics::Cwa,
+        &WorldOptions::default()
+    )
+    .unwrap());
+    // And the tautology query certainly returns pid1.
+    let taut = parse("project[#0](select[#1 = 'oid1' or #1 != 'oid1'](Pay))").unwrap();
+    let certain = certain_answer_worlds(&taut, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+    assert!(certain.contains(&Tuple::strs(&["pid1"])));
+    assert!(eval_3vl(&taut, &db).unwrap().is_empty());
+}
+
+#[test]
+fn certain_answers_facade_matches_standalone_functions() {
+    let db = difference_example();
+    let q = parse("R union S").unwrap();
+    let ca = CertainAnswers::new(Semantics::Cwa);
+    assert_eq!(ca.certain_tuples(&q, &db).unwrap(), certain_answer_naive(&q, &db).unwrap());
+    assert_eq!(
+        ca.ground_truth(&q, &db).unwrap(),
+        certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap()
+    );
+    assert!(ca.naive_is_correct(&q, &db).unwrap());
+    assert!(ca.naive_answer_is_glb(&q, &db).unwrap());
+    let k = ca.certain_knowledge(&q, &db).unwrap();
+    assert!(k.is_sentence());
+}
+
+#[test]
+fn exchange_then_query_certainly() {
+    use exchange::prelude::*;
+    let mapping = SchemaMapping::order_to_customer_example();
+    let source = DatabaseBuilder::new()
+        .relation("Order", &["o_id", "product"])
+        .strs("Order", &["o1", "widget"])
+        .strs("Order", &["o2", "widget"])
+        .build();
+    let q = parse("project[#1](Pref)").unwrap();
+    let certain = certain_answer_exchange(&source, &mapping, &q).unwrap();
+    assert_eq!(certain.len(), 1);
+    assert!(certain.contains(&Tuple::strs(&["widget"])));
+
+    // The chased target is a solution and is universal for a concrete solution.
+    let chased = chase(&source, &mapping).target;
+    assert!(is_solution(&source, &chased, &mapping));
+    let concrete = DatabaseBuilder::new()
+        .relation("Cust", &["cust"])
+        .relation("Pref", &["cust", "product"])
+        .strs("Cust", &["c1"])
+        .strs("Pref", &["c1", "widget"])
+        .build();
+    assert!(is_solution(&source, &concrete, &mapping));
+    assert!(is_universal_for(&chased, &[concrete]));
+}
+
+#[test]
+fn conditional_tables_agree_with_world_semantics_across_crates() {
+    use ctables::prelude::*;
+    let db = orders_and_payments_example();
+    let cdb = ConditionalDatabase::from_database(&db);
+    for text in [
+        "project[#0](Order) minus project[#1](Pay)",
+        "project[#1](Pay) intersect project[#0](Order)",
+        "project[#0](Order) union project[#1](Pay)",
+    ] {
+        let q = parse(text).unwrap();
+        assert!(
+            strong_representation_holds(&q, &cdb, 2).unwrap(),
+            "strong representation must hold for {text}"
+        );
+    }
+}
+
+#[test]
+fn three_valued_logic_is_sound_for_positive_queries() {
+    // For positive queries, every tuple SQL returns is a certain answer
+    // (no false positives); it may miss certain answers that involve nulls.
+    let db = DatabaseBuilder::new()
+        .relation("R", &["a", "b"])
+        .ints("R", &[1, 2])
+        .tuple("R", vec![Value::int(3), Value::null(0)])
+        .build();
+    let q = parse("project[#0](select[#1 = 2](R))").unwrap();
+    let sql = eval_3vl(&q, &db).unwrap();
+    let truth = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+    assert!(sql.is_subset(&truth));
+}
+
+#[test]
+fn division_story_end_to_end() {
+    let db = DatabaseBuilder::new()
+        .relation("Supplies", &["supplier", "part"])
+        .relation("Part", &["part"])
+        .strs("Supplies", &["acme", "bolt"])
+        .strs("Supplies", &["acme", "nut"])
+        .tuple("Supplies", vec![Value::str("globex"), Value::null(0)])
+        .strs("Supplies", &["globex", "bolt"])
+        .strs("Part", &["bolt"])
+        .strs("Part", &["nut"])
+        .build();
+    let q = parse("Supplies divide Part").unwrap();
+    assert_eq!(classify(&q), QueryClass::RaCwa);
+    let ca = CertainAnswers::new(Semantics::Cwa);
+    assert!(ca.naive_is_correct(&q, &db).unwrap());
+    let answer = ca.certain_tuples(&q, &db).unwrap();
+    assert_eq!(answer.len(), 1);
+    assert!(answer.contains(&Tuple::strs(&["acme"])));
+}

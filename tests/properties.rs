@@ -1,0 +1,125 @@
+//! Property-based tests (proptest) for the paper's core invariants, checked on
+//! randomly generated incomplete databases and queries.
+
+use proptest::prelude::*;
+
+use certain_core::homomorphism::{is_homomorphic, HomKind};
+use certain_core::naive_theorem::naive_evaluation_works;
+use certain_core::ordering::{less_informative, InfoOrdering};
+use ctables::ctable::ConditionalDatabase;
+use ctables::verify::strong_representation_holds;
+use datagen::{random_database, random_division_query, random_positive_query, QueryGenConfig, RandomDbConfig};
+use datagen::random::random_schema;
+use exchange::chase::chase;
+use exchange::mapping::SchemaMapping;
+use exchange::solutions::is_solution;
+use qparser::parse;
+use relalgebra::classify::{classify, QueryClass};
+use relmodel::{Database, Semantics};
+use releval::worlds::WorldOptions;
+
+/// A small random incomplete database, parameterised by seed; sizes are kept
+/// tiny so the possible-world ground truth stays cheap.
+fn small_db(seed: u64, nulls: usize) -> Database {
+    random_database(&RandomDbConfig {
+        tuples_per_relation: 3,
+        domain_size: 4,
+        distinct_nulls: nulls,
+        null_rate_percent: 30,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Equation (4): naïve evaluation computes certain answers for positive
+    /// queries, under both OWA and CWA.
+    #[test]
+    fn naive_evaluation_exact_for_positive_queries(seed in 0u64..500, qseed in 0u64..500) {
+        let db = small_db(seed, 2);
+        let q = random_positive_query(&random_schema(), &QueryGenConfig { seed: qseed, ..Default::default() });
+        prop_assert_eq!(classify(&q), QueryClass::Positive);
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let report = naive_evaluation_works(&q, &db, semantics, &WorldOptions::default()).unwrap();
+            prop_assert!(report.agrees, "naïve ≠ ground truth for {} under {}", q, semantics);
+        }
+    }
+
+    /// CWA-naïve evaluation works for RA_cwa division queries.
+    #[test]
+    fn naive_evaluation_exact_for_division_under_cwa(seed in 0u64..500, qseed in 0u64..500) {
+        let db = small_db(seed, 2);
+        let q = random_division_query(&random_schema(), &QueryGenConfig { seed: qseed, ..Default::default() });
+        prop_assert_eq!(classify(&q), QueryClass::RaCwa);
+        let report = naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        prop_assert!(report.agrees, "CWA-naïve ≠ ground truth for {}", q);
+    }
+
+    /// SQL's 3VL evaluation never returns a non-certain tuple for positive
+    /// queries (it is sound, just incomplete).
+    #[test]
+    fn three_valued_logic_sound_for_positive_queries(seed in 0u64..500, qseed in 0u64..500) {
+        let db = small_db(seed, 2);
+        let q = random_positive_query(&random_schema(), &QueryGenConfig { seed: qseed, ..Default::default() });
+        let sql = releval::three_valued::eval_3vl(&q, &db).unwrap();
+        let truth = releval::worlds::certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        prop_assert!(sql.complete_part().is_subset(&truth));
+    }
+
+    /// Every CWA world of a database is at least as informative as the
+    /// database, under both orderings (axiom 2 of representation systems).
+    #[test]
+    fn worlds_are_above_their_source(seed in 0u64..500) {
+        let db = small_db(seed, 2);
+        let domain = relmodel::semantics::adequate_domain(&db, &Default::default(), 2);
+        for world in relmodel::semantics::enumerate_cwa_worlds(&db, &domain).into_iter().take(3) {
+            prop_assert!(less_informative(&db, &world, InfoOrdering::Owa));
+            prop_assert!(less_informative(&db, &world, InfoOrdering::Cwa));
+        }
+    }
+
+    /// Homomorphism existence is transitive (the OWA ordering is a preorder).
+    #[test]
+    fn homomorphism_transitivity(seed in 0u64..500) {
+        let a = small_db(seed, 2);
+        let domain = relmodel::semantics::adequate_domain(&a, &Default::default(), 2);
+        let worlds = relmodel::semantics::enumerate_cwa_worlds(&a, &domain);
+        if let Some(b) = worlds.first() {
+            // a ⪯ b and b ⪯ b ∪ extra ⇒ a ⪯ b ∪ extra
+            let mut c = b.clone();
+            c.insert("S", relmodel::Tuple::ints(&[999])).unwrap();
+            prop_assert!(is_homomorphic(&a, b, HomKind::Any));
+            prop_assert!(is_homomorphic(b, &c, HomKind::Any));
+            prop_assert!(is_homomorphic(&a, &c, HomKind::Any));
+        }
+    }
+
+    /// Conditional tables are a strong representation system for relational
+    /// algebra under CWA, including difference and intersection.
+    #[test]
+    fn ctables_strong_representation(seed in 0u64..500) {
+        let db = small_db(seed, 2);
+        let cdb = ConditionalDatabase::from_database(&db);
+        for text in ["R minus T", "project[#0](R) intersect S", "project[#1](R) union S"] {
+            let q = parse(text).unwrap();
+            prop_assert!(strong_representation_holds(&q, &cdb, 2).unwrap(), "failed for {}", text);
+        }
+    }
+
+    /// The chase always produces a solution of the mapping, and applying it to
+    /// a larger source never fires fewer triggers.
+    #[test]
+    fn chase_produces_solutions(n_orders in 1usize..6) {
+        let mapping = SchemaMapping::order_to_customer_example();
+        let mut b = relmodel::DatabaseBuilder::new().relation("Order", &["o_id", "product"]);
+        for i in 0..n_orders {
+            b = b.strs("Order", &[&format!("o{i}"), &format!("p{}", i % 3)]);
+        }
+        let source = b.build();
+        let result = chase(&source, &mapping);
+        prop_assert!(is_solution(&source, &result.target, &mapping));
+        prop_assert_eq!(result.triggers_fired, n_orders);
+        prop_assert_eq!(result.nulls_introduced as usize, n_orders);
+    }
+}
