@@ -1,0 +1,63 @@
+//! Engine dispatch overhead (run with `cargo bench`).
+//!
+//! The front-door redesign routes every evaluation through
+//! `Engine::plan` — classify, select a strategy, execute, build a
+//! guarantee-carrying report. This bench measures what that dispatch costs
+//! relative to calling the naïve evaluator directly on the paper's
+//! orders/payments workload. Target: **< 5 % median overhead** at realistic
+//! sizes (the absolute cost is a few typecheck/classify traversals of a
+//! five-node expression plus report assembly, independent of data size).
+
+use std::time::Duration;
+
+use bench::harness::{fmt_duration, measure, Measurement};
+use datagen::{orders_database, OrdersConfig};
+use engine::Engine;
+use qparser::parse;
+use releval::naive::eval_naive;
+
+fn overhead_percent(direct: &Measurement, engine: &Measurement) -> f64 {
+    let d = direct.median_ns().max(1) as f64;
+    (engine.median_ns() as f64 - d) / d * 100.0
+}
+
+fn main() {
+    // A positive join query: the class the engine dispatches to NaiveExact,
+    // i.e. the exact path the paper recommends for production traffic.
+    let q = parse("project[#1](select[#0 = #4](product(Order, Pay)))").expect("query parses");
+    let budget = Duration::from_millis(500);
+
+    println!("## engine_dispatch_overhead");
+    println!(
+        "{:<10}  {:>12}  {:>12}  {:>9}",
+        "orders", "direct", "engine", "overhead"
+    );
+    for orders in [50usize, 200, 800] {
+        let db = orders_database(&OrdersConfig {
+            orders,
+            payments: orders,
+            null_rate: 0.1,
+            ..OrdersConfig::default()
+        });
+        // Direct path: the pre-redesign call sequence (typecheck + evaluate +
+        // keep the complete part). `eval_naive` is the engine-internal
+        // primitive the comparison is *about*, so it is called directly here.
+        let direct = measure(format!("direct/{orders}"), budget, || {
+            eval_naive(&q, &db)
+                .expect("evaluation succeeds")
+                .complete_part()
+        });
+        let engine = Engine::new(&db);
+        let dispatched = measure(format!("engine/{orders}"), budget, || {
+            engine.plan(&q).expect("evaluation succeeds")
+        });
+        println!(
+            "{:<10}  {:>12}  {:>12}  {:>8.2}%",
+            orders,
+            fmt_duration(direct.median),
+            fmt_duration(dispatched.median),
+            overhead_percent(&direct, &dispatched)
+        );
+    }
+    println!("\ntarget: < 5% median overhead at the 200- and 800-order sizes");
+}

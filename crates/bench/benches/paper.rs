@@ -1,4 +1,4 @@
-//! Criterion timing benches backing the experiment harness:
+//! Timing benches backing the experiment harness (run with `cargo bench`):
 //!
 //! * `naive_vs_worlds` (E4/E7) — naïve evaluation vs possible-world ground
 //!   truth on the same query, as the number of nulls grows;
@@ -12,22 +12,28 @@
 //!   ground truth;
 //! * `ctable_algebra` (E6) — the Imieliński–Lipski algebra vs naïve
 //!   evaluation for the difference query.
+//!
+//! All query evaluation goes through the [`engine::Engine`] front door; the
+//! harness is the `std`-only one in [`bench::harness`] (criterion is not
+//! available offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::harness::Group;
 use certain_core::homomorphism::{find_homomorphism, HomKind};
 use ctables::algebra::eval_ctable;
 use ctables::ctable::ConditionalDatabase;
-use datagen::{orders_database, random_database, random_division_query, OrdersConfig, QueryGenConfig, RandomDbConfig};
+use datagen::{
+    orders_database, random_database, random_division_query, OrdersConfig, QueryGenConfig,
+    RandomDbConfig,
+};
+use engine::{Engine, EngineOptions, StrategyKind};
 use qparser::parse;
-use relmodel::{DatabaseBuilder, Semantics, Value};
-use releval::naive::{certain_answer_naive, eval_naive};
-use releval::three_valued::eval_3vl;
-use releval::worlds::{certain_answer_worlds, WorldOptions};
+use relmodel::{DatabaseBuilder, Value};
 
 /// Database with `n` nulls in S, used by the scaling benches.
 fn scaling_db(nulls: usize) -> relmodel::Database {
-    let mut b = DatabaseBuilder::new().relation("R", &["a", "b"]).relation("S", &["b"]);
+    let mut b = DatabaseBuilder::new()
+        .relation("R", &["a", "b"])
+        .relation("S", &["b"]);
     for i in 0..6i64 {
         b = b.ints("R", &[i, i + 10]);
     }
@@ -38,42 +44,40 @@ fn scaling_db(nulls: usize) -> relmodel::Database {
     b.build()
 }
 
-fn bench_naive_vs_worlds(c: &mut Criterion) {
+fn bench_naive_vs_worlds() -> Group {
     let q = parse("project[#0](select[#1 = #2](product(R, S)))").expect("query parses");
-    let mut group = c.benchmark_group("naive_vs_worlds");
+    let mut group = Group::new("naive_vs_worlds");
     for nulls in [1usize, 2, 3, 4] {
         let db = scaling_db(nulls);
-        group.bench_with_input(BenchmarkId::new("naive", nulls), &db, |b, db| {
-            b.iter(|| certain_answer_naive(&q, db).expect("evaluation succeeds"))
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        group.bench(format!("naive/{nulls}"), || {
+            engine
+                .plan_with(StrategyKind::NaiveExact, &q)
+                .expect("evaluation succeeds")
         });
-        group.bench_with_input(BenchmarkId::new("worlds", nulls), &db, |b, db| {
-            b.iter(|| {
-                certain_answer_worlds(&q, db, Semantics::Cwa, &WorldOptions::default())
-                    .expect("within budget")
-            })
+        group.bench(format!("worlds/{nulls}"), || {
+            engine.ground_truth(&q).expect("within budget")
         });
     }
-    group.finish();
+    group
 }
 
-fn bench_worlds_scaling(c: &mut Criterion) {
+fn bench_worlds_scaling() -> Group {
     let q = parse("project[#1](R)").expect("query parses");
-    let mut group = c.benchmark_group("worlds_scaling");
+    let mut group = Group::new("worlds_scaling");
     for nulls in [1usize, 3, 5] {
         let db = scaling_db(nulls);
-        group.bench_with_input(BenchmarkId::from_parameter(nulls), &db, |b, db| {
-            b.iter(|| {
-                certain_answer_worlds(&q, db, Semantics::Cwa, &WorldOptions::default())
-                    .expect("within budget")
-            })
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        group.bench(format!("{nulls}"), || {
+            engine.ground_truth(&q).expect("within budget")
         });
     }
-    group.finish();
+    group
 }
 
-fn bench_three_valued_vs_naive(c: &mut Criterion) {
+fn bench_three_valued_vs_naive() -> Group {
     let unpaid = parse("project[#0](Order) minus project[#1](Pay)").expect("query parses");
-    let mut group = c.benchmark_group("three_valued_vs_naive");
+    let mut group = Group::new("three_valued_vs_naive");
     for orders in [50usize, 200, 800] {
         let db = orders_database(&OrdersConfig {
             orders,
@@ -81,18 +85,21 @@ fn bench_three_valued_vs_naive(c: &mut Criterion) {
             null_rate: 0.1,
             ..OrdersConfig::default()
         });
-        group.bench_with_input(BenchmarkId::new("sql_3vl", orders), &db, |b, db| {
-            b.iter(|| eval_3vl(&unpaid, db).expect("evaluation succeeds"))
+        let engine = Engine::new(&db);
+        group.bench(format!("sql_3vl/{orders}"), || {
+            engine.baseline_3vl(&unpaid).expect("evaluation succeeds")
         });
-        group.bench_with_input(BenchmarkId::new("naive", orders), &db, |b, db| {
-            b.iter(|| eval_naive(&unpaid, db).expect("evaluation succeeds"))
+        group.bench(format!("naive/{orders}"), || {
+            engine
+                .plan_with(StrategyKind::NaiveExact, &unpaid)
+                .expect("evaluation succeeds")
         });
     }
-    group.finish();
+    group
 }
 
-fn bench_homomorphism(c: &mut Criterion) {
-    let mut group = c.benchmark_group("homomorphism");
+fn bench_homomorphism() -> Group {
+    let mut group = Group::new("homomorphism");
     for tuples in [4usize, 8, 12] {
         let db = random_database(&RandomDbConfig {
             tuples_per_relation: tuples,
@@ -105,21 +112,19 @@ fn bench_homomorphism(c: &mut Criterion) {
             .into_iter()
             .next()
             .expect("at least one world");
-        group.bench_with_input(BenchmarkId::new("plain", tuples), &(&db, &world), |b, (db, world)| {
-            b.iter(|| find_homomorphism(db, world, HomKind::Any).is_some())
+        group.bench(format!("plain/{tuples}"), || {
+            find_homomorphism(&db, &world, HomKind::Any).is_some()
         });
-        group.bench_with_input(
-            BenchmarkId::new("strong_onto", tuples),
-            &(&db, &world),
-            |b, (db, world)| b.iter(|| find_homomorphism(db, world, HomKind::StrongOnto).is_some()),
-        );
+        group.bench(format!("strong_onto/{tuples}"), || {
+            find_homomorphism(&db, &world, HomKind::StrongOnto).is_some()
+        });
     }
-    group.finish();
+    group
 }
 
-fn bench_racwa_naive(c: &mut Criterion) {
+fn bench_racwa_naive() -> Group {
     let schema = datagen::random::random_schema();
-    let mut group = c.benchmark_group("racwa_naive");
+    let mut group = Group::new("racwa_naive");
     for seed in [0u64, 1, 2] {
         let db = random_database(&RandomDbConfig {
             tuples_per_relation: 4,
@@ -127,60 +132,64 @@ fn bench_racwa_naive(c: &mut Criterion) {
             seed,
             ..Default::default()
         });
-        let q = random_division_query(&schema, &QueryGenConfig { seed, ..Default::default() });
-        group.bench_with_input(BenchmarkId::new("naive", seed), &db, |b, db| {
-            b.iter(|| certain_answer_naive(&q, db).expect("evaluation succeeds"))
+        let q = random_division_query(
+            &schema,
+            &QueryGenConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        group.bench(format!("naive/{seed}"), || {
+            engine
+                .plan_with(StrategyKind::NaiveExact, &q)
+                .expect("evaluation succeeds")
         });
-        group.bench_with_input(BenchmarkId::new("worlds", seed), &db, |b, db| {
-            b.iter(|| {
-                certain_answer_worlds(&q, db, Semantics::Cwa, &WorldOptions::default())
-                    .expect("within budget")
-            })
+        group.bench(format!("worlds/{seed}"), || {
+            engine.ground_truth(&q).expect("within budget")
         });
     }
-    group.finish();
+    group
 }
 
-fn bench_ctable_algebra(c: &mut Criterion) {
+fn bench_ctable_algebra() -> Group {
     let q = parse("R minus S").expect("query parses");
-    let mut group = c.benchmark_group("ctable_algebra");
+    let mut group = Group::new("ctable_algebra");
     for tuples in [4usize, 8, 16] {
-        let mut b = DatabaseBuilder::new().relation("R", &["a"]).relation("S", &["a"]);
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"]);
         for i in 0..tuples as i64 {
             b = b.ints("R", &[i]);
         }
-        b = b.tuple("S", vec![Value::null(0)]).tuple("S", vec![Value::null(1)]);
+        b = b
+            .tuple("S", vec![Value::null(0)])
+            .tuple("S", vec![Value::null(1)]);
         let db = b.build();
         let cdb = ConditionalDatabase::from_database(&db);
-        group.bench_with_input(BenchmarkId::new("ctable", tuples), &cdb, |bch, cdb| {
-            bch.iter(|| eval_ctable(&q, cdb).expect("c-table evaluation succeeds"))
+        group.bench(format!("ctable/{tuples}"), || {
+            eval_ctable(&q, &cdb).expect("c-table evaluation succeeds")
         });
-        group.bench_with_input(BenchmarkId::new("naive", tuples), &db, |bch, db| {
-            bch.iter(|| eval_naive(&q, db).expect("evaluation succeeds"))
+        let engine = Engine::new(&db);
+        group.bench(format!("naive/{tuples}"), || {
+            engine
+                .plan_with(StrategyKind::NaiveExact, &q)
+                .expect("evaluation succeeds")
         });
     }
-    group.finish();
+    group
 }
 
-/// Keep per-benchmark time modest: the interesting comparisons are orders of
-/// magnitude (naïve vs exponential world enumeration), not single-digit
-/// percentages, so 10 samples over ~1.5s of measurement suffice.
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1500))
+fn main() {
+    let groups = [
+        bench_naive_vs_worlds(),
+        bench_worlds_scaling(),
+        bench_three_valued_vs_naive(),
+        bench_homomorphism(),
+        bench_racwa_naive(),
+        bench_ctable_algebra(),
+    ];
+    for group in groups {
+        println!("{}", group.render());
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets =
-        bench_naive_vs_worlds,
-        bench_worlds_scaling,
-        bench_three_valued_vs_naive,
-        bench_homomorphism,
-        bench_racwa_naive,
-        bench_ctable_algebra
-}
-criterion_main!(benches);

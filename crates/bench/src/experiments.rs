@@ -13,22 +13,30 @@ use ctables::prelude::*;
 use datagen::{
     random_database, random_division_query, random_positive_query, QueryGenConfig, RandomDbConfig,
 };
+use engine::{Engine, EngineOptions, StrategyKind};
 use exchange::prelude::*;
 use exchange::solutions::exchange_and_answer;
 use qparser::parse;
 use relalgebra::ast::RaExpr;
 use relalgebra::classify::{classify, QueryClass};
 use relalgebra::cq::ConjunctiveQuery;
+use releval::worlds::WorldOptions;
 use relmodel::builder::{difference_example, orders_and_payments_example, tableau_example};
 use relmodel::display::render_rows;
 use relmodel::{DatabaseBuilder, Relation, Semantics, Tuple, Value};
-use releval::naive::{certain_answer_naive, eval_boolean_naive};
-use releval::three_valued::eval_3vl;
-use releval::worlds::{certain_answer_worlds, certain_boolean_worlds, WorldOptions};
+
+/// Engine in exhaustive mode: ground truth within budget, CWA by default.
+fn exhaustive(db: &relmodel::Database) -> Engine<'_> {
+    Engine::new(db).options(EngineOptions::exhaustive())
+}
 
 fn fmt_rel(rel: &Relation) -> String {
     if rel.arity() == 0 {
-        return if rel.is_empty() { "false".into() } else { "true".into() };
+        return if rel.is_empty() {
+            "false".into()
+        } else {
+            "true".into()
+        };
     }
     rel.to_string()
 }
@@ -43,18 +51,30 @@ pub fn e01_unpaid_orders() -> String {
     let db = orders_and_payments_example();
     let unpaid = parse("project[#0](Order) minus project[#1](Pay)").expect("query parses");
     let exists_unpaid = unpaid.clone().project(vec![]);
-    let sql = eval_3vl(&unpaid, &db).expect("evaluation succeeds");
-    let certain = certain_answer_worlds(&unpaid, &db, Semantics::Cwa, &WorldOptions::default())
-        .expect("ground truth succeeds");
-    let certain_bool =
-        certain_boolean_worlds(&exists_unpaid, &db, Semantics::Cwa, &WorldOptions::default())
-            .expect("ground truth succeeds");
+    let engine = exhaustive(&db);
+    let sql = engine
+        .baseline_3vl(&unpaid)
+        .expect("evaluation succeeds")
+        .object_answer
+        .expect("the 3VL baseline reports its raw answer");
+    let certain = engine.plan(&unpaid).expect("ground truth succeeds").answers;
+    let certain_bool = engine
+        .plan(&exists_unpaid)
+        .expect("ground truth succeeds")
+        .certain_true()
+        == Some(true);
     let mut out = String::from("E1  Unpaid orders (paper §1)\n");
     out += &table(vec![
         vec!["evaluation".into(), "answer".into()],
         vec!["SQL 3VL (NOT IN)".into(), fmt_rel(&sql)],
-        vec!["certain tuples (ground truth, CWA)".into(), fmt_rel(&certain)],
-        vec!["certainly ∃ an unpaid order?".into(), certain_bool.to_string()],
+        vec![
+            "certain tuples (ground truth, CWA)".into(),
+            fmt_rel(&certain),
+        ],
+        vec![
+            "certainly ∃ an unpaid order?".into(),
+            certain_bool.to_string(),
+        ],
     ]);
     out += "paper claim: SQL returns the empty set although an unpaid order certainly exists.\n";
     out += &format!(
@@ -75,23 +95,27 @@ pub fn e02_difference_trap() -> String {
         "certainly nonempty?".to_string(),
     ]];
     for n in [1usize, 2, 4, 8] {
-        let mut b = DatabaseBuilder::new().relation("R", &["a"]).relation("S", &["a"]);
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"]);
         for i in 0..n {
             b = b.ints("R", &[i as i64]);
         }
         b = b.tuple("S", vec![Value::null(0)]);
         let db = b.build();
         let q = parse("R minus S").expect("query parses");
-        let sql = eval_3vl(&q, &db).expect("evaluation succeeds");
-        let certain = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
-            .expect("ground truth succeeds");
-        let nonempty = certain_boolean_worlds(
-            &q.clone().project(vec![]),
-            &db,
-            Semantics::Cwa,
-            &WorldOptions::default(),
-        )
-        .expect("ground truth succeeds");
+        let engine = exhaustive(&db);
+        let sql = engine
+            .baseline_3vl(&q)
+            .expect("evaluation succeeds")
+            .object_answer
+            .expect("the 3VL baseline reports its raw answer");
+        let certain = engine.plan(&q).expect("ground truth succeeds").answers;
+        let nonempty = engine
+            .plan(&q.clone().project(vec![]))
+            .expect("ground truth succeeds")
+            .certain_true()
+            == Some(true);
         rows.push(vec![
             n.to_string(),
             sql.len().to_string(),
@@ -109,16 +133,26 @@ pub fn e02_difference_trap() -> String {
 pub fn e03_tautology() -> String {
     let db = orders_and_payments_example();
     let q = parse("project[#0](select[#1 = 'oid1' or #1 != 'oid1'](Pay))").expect("query parses");
-    let sql = eval_3vl(&q, &db).expect("evaluation succeeds");
-    let certain = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
-        .expect("ground truth succeeds");
-    let naive = certain_answer_naive(&q, &db).expect("evaluation succeeds");
+    let engine = exhaustive(&db);
+    let sql = engine
+        .baseline_3vl(&q)
+        .expect("evaluation succeeds")
+        .object_answer
+        .expect("the 3VL baseline reports its raw answer");
+    let certain = engine.plan(&q).expect("ground truth succeeds").answers;
+    let naive = engine
+        .plan_with(StrategyKind::NaiveExact, &q)
+        .expect("evaluation succeeds")
+        .answers;
     let mut out = String::from("E3  Tautological selection (paper §1)\n");
     out += &table(vec![
         vec!["evaluation".into(), "answer".into()],
         vec!["SQL 3VL".into(), fmt_rel(&sql)],
         vec!["naïve evaluation, complete part".into(), fmt_rel(&naive)],
-        vec!["certain tuples (ground truth, CWA)".into(), fmt_rel(&certain)],
+        vec![
+            "certain tuples (ground truth, CWA)".into(),
+            fmt_rel(&certain),
+        ],
     ]);
     out += "paper claim: intuitively the answer is pid1, but 3VL returns the empty table.\n";
     out += &format!(
@@ -150,7 +184,10 @@ pub fn e04_naive_ucq() -> String {
             });
             let q = random_positive_query(
                 &datagen::random::random_schema(),
-                &QueryGenConfig { seed, ..Default::default() },
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
             );
             let report = naive_evaluation_works(&q, &db, semantics, &WorldOptions::default())
                 .expect("world enumeration within budget");
@@ -160,7 +197,11 @@ pub fn e04_naive_ucq() -> String {
                 agree += 1;
             }
         }
-        rows.push(vec![semantics.to_string(), total.to_string(), agree.to_string()]);
+        rows.push(vec![
+            semantics.to_string(),
+            total.to_string(),
+            agree.to_string(),
+        ]);
     }
     out += &table(rows);
     out += "paper claim: for unions of conjunctive queries, naïve evaluation yields certain answers under both OWA and CWA.\n";
@@ -177,18 +218,40 @@ pub fn e05_naive_fails_nonpositive() -> String {
         .tuple("S", vec![Value::int(1), Value::null(1)])
         .build();
     let q = parse("project[#0](R minus S)").expect("query parses");
-    let naive = certain_answer_naive(&q, &db).expect("evaluation succeeds");
-    let certain = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
-        .expect("ground truth succeeds");
-    let mut out = String::from("E5  Naïve evaluation fails beyond the positive fragment (paper §2)\n");
+    let engine = exhaustive(&db);
+    let naive = engine
+        .plan_with(StrategyKind::NaiveExact, &q)
+        .expect("evaluation succeeds")
+        .answers;
+    let certain = engine.plan(&q).expect("ground truth succeeds").answers;
+    // The production-posture engine (no world enumeration allowed) must not
+    // repeat the naïve over-report: its sound approximation returns ∅.
+    let dispatched = Engine::new(&db).plan(&q).expect("dispatch succeeds");
+    let mut out =
+        String::from("E5  Naïve evaluation fails beyond the positive fragment (paper §2)\n");
     out += &table(vec![
         vec!["evaluation".into(), "answer".into()],
         vec!["naïve evaluation".into(), fmt_rel(&naive)],
-        vec!["certain answer (ground truth, CWA)".into(), fmt_rel(&certain)],
+        vec![
+            "certain answer (ground truth, CWA)".into(),
+            fmt_rel(&certain),
+        ],
         vec!["query class".into(), classify(&q).to_string()],
+        vec![
+            format!(
+                "engine default dispatch ({}, {})",
+                dispatched.strategy, dispatched.guarantee
+            ),
+            fmt_rel(&dispatched.answers),
+        ],
     ]);
     out += "paper claim: naïve evaluation computes {1} while the certain answer is ∅.\n";
-    out += &format!("measured   : naïve = {}, certain = {}.\n", fmt_rel(&naive), fmt_rel(&certain));
+    out += &format!(
+        "measured   : naïve = {}, certain = {}; the engine's default dispatch stays sound ({}).\n",
+        fmt_rel(&naive),
+        fmt_rel(&certain),
+        fmt_rel(&dispatched.answers)
+    );
     out
 }
 
@@ -199,28 +262,45 @@ pub fn e06_ctable_strong() -> String {
     let cdb = ConditionalDatabase::from_database(&db);
     let q = parse("R minus S").expect("query parses");
     let answer = eval_ctable(&q, &cdb).expect("c-table evaluation succeeds");
-    let check = ctables::verify::check_strong_representation(&q, &cdb, 2)
-        .expect("expansion succeeds");
-    let mut out = String::from("E6  Conditional tables as a strong representation system (paper §2)\n");
+    let check =
+        ctables::verify::check_strong_representation(&q, &cdb, 2).expect("expansion succeeds");
+    let mut out =
+        String::from("E6  Conditional tables as a strong representation system (paper §2)\n");
     out += "conditional answer table:\n";
     out += &answer.to_string();
     out += &table(vec![
         vec!["quantity".into(), "value".into()],
-        vec!["possible answers Q([[D]]cwa)".into(), check.query_of_worlds.len().to_string()],
-        vec!["worlds of the c-table answer".into(), check.answer_worlds.len().to_string()],
-        vec!["strong representation holds".into(), check.holds().to_string()],
-        vec!["condition atoms in the answer".into(), answer.condition_atoms().to_string()],
+        vec![
+            "possible answers Q([[D]]cwa)".into(),
+            check.query_of_worlds.len().to_string(),
+        ],
+        vec![
+            "worlds of the c-table answer".into(),
+            check.answer_worlds.len().to_string(),
+        ],
+        vec![
+            "strong representation holds".into(),
+            check.holds().to_string(),
+        ],
+        vec![
+            "condition atoms in the answer".into(),
+            answer.condition_atoms().to_string(),
+        ],
     ]);
     out += "paper claim: the possible answers are {1,2}, {1}, {2}, representable by a c-table whose conditions mention the null.\n";
-    out += &format!("measured   : {} distinct possible answers, equality of both sides = {}.\n",
-        check.query_of_worlds.len(), check.holds());
+    out += &format!(
+        "measured   : {} distinct possible answers, equality of both sides = {}.\n",
+        check.query_of_worlds.len(),
+        check.holds()
+    );
     out
 }
 
 /// E7 — the complexity gap: possible-world enumeration is exponential in the
 /// number of nulls while naïve evaluation stays polynomial.
 pub fn e07_complexity() -> String {
-    let mut out = String::from("E7  Complexity: world enumeration vs naïve evaluation (paper §2/§6)\n");
+    let mut out =
+        String::from("E7  Complexity: world enumeration vs naïve evaluation (paper §2/§6)\n");
     let mut rows = vec![vec![
         "#nulls".to_string(),
         "worlds enumerated".to_string(),
@@ -230,7 +310,9 @@ pub fn e07_complexity() -> String {
     ]];
     let q = parse("project[#0](select[#1 = #2](product(R, S)))").expect("query parses");
     for nulls in [1usize, 2, 3, 4] {
-        let mut b = DatabaseBuilder::new().relation("R", &["a", "b"]).relation("S", &["b"]);
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"]);
         for i in 0..4i64 {
             b = b.ints("R", &[i, i + 10]);
         }
@@ -243,13 +325,19 @@ pub fn e07_complexity() -> String {
         let domain = releval::worlds::valuation_domain(&q, &db, &opts);
         let worlds = (domain.len() as u128).pow(nulls as u32);
 
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive().with_world_options(opts));
         let t0 = Instant::now();
-        let ground = certain_answer_worlds(&q, &db, Semantics::Cwa, &opts)
-            .expect("within world budget");
+        let ground = engine
+            .ground_truth(&q)
+            .expect("within world budget")
+            .answers;
         let t_ground = t0.elapsed().as_micros();
 
         let t1 = Instant::now();
-        let naive = certain_answer_naive(&q, &db).expect("evaluation succeeds");
+        let naive = engine
+            .plan_with(StrategyKind::NaiveExact, &q)
+            .expect("evaluation succeeds")
+            .answers;
         let t_naive = t1.elapsed().as_micros();
 
         rows.push(vec![
@@ -272,10 +360,23 @@ pub fn e08_duality() -> String {
     let db = tableau_example();
     // Q = ∃x,y,z R(x,y) ∧ R(y,z) — "there is a path of length 2". The Boolean
     // (arity-0) projection has no textual form, so build it with the API.
-    let q = parse("select[#1 = #2](product(R, R))").expect("query parses").project(vec![]);
-    let naive_sat = eval_boolean_naive(&q, &db).expect("evaluation succeeds");
-    let certain = certain_boolean_worlds(&q, &db, Semantics::Owa, &WorldOptions::default())
-        .expect("ground truth succeeds");
+    let q = parse("select[#1 = #2](product(R, R))")
+        .expect("query parses")
+        .project(vec![]);
+    let owa_engine = Engine::new(&db)
+        .semantics(Semantics::Owa)
+        .options(EngineOptions::exhaustive());
+    let naive_sat = !owa_engine
+        .plan_with(StrategyKind::NaiveExact, &q)
+        .expect("evaluation succeeds")
+        .object_answer
+        .expect("naive evaluation reports its object answer")
+        .is_empty();
+    let certain = owa_engine
+        .plan(&q)
+        .expect("ground truth succeeds")
+        .certain_true()
+        == Some(true);
     // Containment view: Q_D ⊆ Q where Q_D is the canonical query of D.
     let q_d = ConjunctiveQuery::canonical_query_of(&db);
     let q_cq = relalgebra::ucq::UnionOfCq::from_positive_ra(&q, db.schema())
@@ -287,11 +388,20 @@ pub fn e08_duality() -> String {
     out += &table(vec![
         vec!["quantity".into(), "value".into()],
         vec!["D ⊨ Q (naïve satisfaction)".into(), naive_sat.to_string()],
-        vec!["certain(Q, D) under OWA (ground truth)".into(), certain.to_string()],
-        vec!["Q_D ⊆ Q (containment of canonical query)".into(), contained.to_string()],
+        vec![
+            "certain(Q, D) under OWA (ground truth)".into(),
+            certain.to_string(),
+        ],
+        vec![
+            "Q_D ⊆ Q (containment of canonical query)".into(),
+            contained.to_string(),
+        ],
     ]);
     out += "paper claim: for Boolean CQs under OWA, the three notions coincide.\n";
-    out += &format!("measured   : all three equal = {}.\n", naive_sat == certain && certain == contained);
+    out += &format!(
+        "measured   : all three equal = {}.\n",
+        naive_sat == certain && certain == contained
+    );
     out
 }
 
@@ -310,7 +420,10 @@ pub fn e09_orderings() -> String {
             ..Default::default()
         });
         let domain = relmodel::semantics::adequate_domain(&db, &Default::default(), 2);
-        for world in relmodel::semantics::enumerate_cwa_worlds(&db, &domain).into_iter().take(4) {
+        for world in relmodel::semantics::enumerate_cwa_worlds(&db, &domain)
+            .into_iter()
+            .take(4)
+        {
             world_total += 1;
             if less_informative(&db, &world, InfoOrdering::Owa)
                 && less_informative(&db, &world, InfoOrdering::Cwa)
@@ -319,7 +432,9 @@ pub fn e09_orderings() -> String {
             }
             // An OWA-extension of the world is above db for OWA but usually not CWA.
             let mut extended = world.clone();
-            extended.insert("R", Tuple::ints(&[990, 991])).expect("schema has R(a,b)");
+            extended
+                .insert("R", Tuple::ints(&[990, 991]))
+                .expect("schema has R(a,b)");
             if is_homomorphic(&db, &extended, HomKind::Any)
                 && !is_homomorphic(&db, &extended, HomKind::StrongOnto)
             {
@@ -329,8 +444,14 @@ pub fn e09_orderings() -> String {
     }
     out += &table(vec![
         vec!["check".into(), "count".into()],
-        vec!["worlds ⪰ source under both orderings".into(), format!("{world_above}/{world_total}")],
-        vec!["extended worlds above for ⪯_owa but not ⪯_cwa".into(), format!("{owa_not_cwa}/{world_total}")],
+        vec![
+            "worlds ⪰ source under both orderings".into(),
+            format!("{world_above}/{world_total}"),
+        ],
+        vec![
+            "extended worlds above for ⪯_owa but not ⪯_cwa".into(),
+            format!("{owa_not_cwa}/{world_total}"),
+        ],
     ]);
     out += "paper claim: D ⪯_owa D' iff a homomorphism exists, D ⪯_cwa D' iff a strong onto homomorphism exists; every represented world is above its source.\n";
     out += &format!("measured   : {world_above}/{world_total} worlds above; adding tuples preserves only the OWA ordering in {owa_not_cwa}/{world_total} cases.\n");
@@ -347,27 +468,51 @@ pub fn e10_intersection_critique() -> String {
         .build();
     let q = RaExpr::relation("R");
     let ca_cwa = CertainAnswers::new(Semantics::Cwa);
-    let answers = ca_cwa.answer_objects(&q, &db).expect("world enumeration succeeds");
-    let intersection = answer_database(
-        &ca_cwa.ground_truth(&q, &db).expect("ground truth succeeds"),
-    );
+    let answers = ca_cwa
+        .answer_objects(&q, &db)
+        .expect("world enumeration succeeds");
+    let intersection =
+        answer_database(&ca_cwa.ground_truth(&q, &db).expect("ground truth succeeds"));
     let naive = answer_database(&ca_cwa.certain_object(&q, &db).expect("evaluation succeeds"));
     let inter_lb_cwa = is_lower_bound(&intersection, &answers, InfoOrdering::Cwa);
     let naive_lb_cwa = is_lower_bound(&naive, &answers, InfoOrdering::Cwa);
-    let naive_glb = ca_cwa.naive_answer_is_glb(&q, &db).expect("glb check succeeds");
+    let naive_glb = ca_cwa
+        .naive_answer_is_glb(&q, &db)
+        .expect("glb check succeeds");
     let ca_owa = CertainAnswers::new(Semantics::Owa);
-    let answers_owa = ca_owa.answer_objects(&q, &db).expect("world enumeration succeeds");
-    let inter_lb_owa = is_lower_bound(&intersection, &answers_owa, InfoOrdering::Owa);
-    let knowledge_ok = knowledge_holds_in_all_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
+    let answers_owa = ca_owa
+        .answer_objects(&q, &db)
         .expect("world enumeration succeeds");
+    let inter_lb_owa = is_lower_bound(&intersection, &answers_owa, InfoOrdering::Owa);
+    let knowledge_ok =
+        knowledge_holds_in_all_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
+            .expect("world enumeration succeeds");
     let mut out = String::from("E10  Are intersection-based certain answers certain? (paper §6)\n");
     out += &table(vec![
-        vec!["candidate answer for Q = R on {(1,2),(2,⊥)}".into(), "lower bound?".into()],
-        vec!["intersection {(1,2)} under ⪯_owa".into(), inter_lb_owa.to_string()],
-        vec!["intersection {(1,2)} under ⪯_cwa".into(), inter_lb_cwa.to_string()],
-        vec!["naïve answer R itself under ⪯_cwa".into(), naive_lb_cwa.to_string()],
-        vec!["naïve answer is the glb (certainO)".into(), naive_glb.to_string()],
-        vec!["certainK holds in every possible answer".into(), knowledge_ok.to_string()],
+        vec![
+            "candidate answer for Q = R on {(1,2),(2,⊥)}".into(),
+            "lower bound?".into(),
+        ],
+        vec![
+            "intersection {(1,2)} under ⪯_owa".into(),
+            inter_lb_owa.to_string(),
+        ],
+        vec![
+            "intersection {(1,2)} under ⪯_cwa".into(),
+            inter_lb_cwa.to_string(),
+        ],
+        vec![
+            "naïve answer R itself under ⪯_cwa".into(),
+            naive_lb_cwa.to_string(),
+        ],
+        vec![
+            "naïve answer is the glb (certainO)".into(),
+            naive_glb.to_string(),
+        ],
+        vec![
+            "certainK holds in every possible answer".into(),
+            knowledge_ok.to_string(),
+        ],
     ]);
     out += "paper claim: under CWA, {(1,2)} is not below any Q(R'), so calling it \"certain\" is mysterious; certainO(Q,R) = R.\n";
     out += &format!(
@@ -395,7 +540,13 @@ pub fn e11_division_cwa() -> String {
             seed,
             ..Default::default()
         });
-        let q = random_division_query(&schema, &QueryGenConfig { seed, ..Default::default() });
+        let q = random_division_query(
+            &schema,
+            &QueryGenConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         let cwa = naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default())
             .expect("within budget");
         let owa = naive_evaluation_works(&q, &db, Semantics::Owa, &WorldOptions::with_owa_extra(1))
@@ -424,8 +575,12 @@ pub fn e12_exchange() -> String {
         .strs("Order", &["oid2", "pr2"])
         .build();
     let chased = chase(&source, &mapping);
-    let products = exchange_and_answer(&source, &mapping, &parse("project[#1](Pref)").expect("parses"))
-        .expect("exchange succeeds");
+    let products = exchange_and_answer(
+        &source,
+        &mapping,
+        &parse("project[#1](Pref)").expect("parses"),
+    )
+    .expect("exchange succeeds");
     let customers = exchange_and_answer(&source, &mapping, &parse("Cust").expect("parses"))
         .expect("exchange succeeds");
     let mut out = String::from("E12  Incompleteness from data exchange (paper §1)\n");
@@ -435,35 +590,47 @@ pub fn e12_exchange() -> String {
     out += &table(vec![
         vec!["quantity".into(), "value".into()],
         vec!["triggers fired".into(), chased.triggers_fired.to_string()],
-        vec!["fresh marked nulls".into(), chased.nulls_introduced.to_string()],
-        vec!["certain preferred products".into(), fmt_rel(&products.certain)],
+        vec![
+            "fresh marked nulls".into(),
+            chased.nulls_introduced.to_string(),
+        ],
+        vec![
+            "certain preferred products".into(),
+            fmt_rel(&products.certain),
+        ],
         vec!["certain customers".into(), fmt_rel(&customers.certain)],
-        vec!["naïve customer objects (with nulls)".into(), fmt_rel(&customers.naive_object)],
+        vec![
+            "naïve customer objects (with nulls)".into(),
+            fmt_rel(&customers.naive_object),
+        ],
     ]);
     out += "paper claim: the mapping generates Cust(⊥), Pref(⊥,pr1), Cust(⊥'), Pref(⊥',pr2) with two distinct marked nulls.\n";
-    out += &format!("measured   : {} fresh nulls, products certain = {}.\n",
-        chased.nulls_introduced, fmt_rel(&products.certain));
+    out += &format!(
+        "measured   : {} fresh nulls, products certain = {}.\n",
+        chased.nulls_introduced,
+        fmt_rel(&products.certain)
+    );
     out
 }
 
 /// Runs every experiment and concatenates the reports.
 pub fn run_all() -> String {
-    let experiments: Vec<(&str, fn() -> String)> = vec![
-        ("E1", e01_unpaid_orders),
-        ("E2", e02_difference_trap),
-        ("E3", e03_tautology),
-        ("E4", e04_naive_ucq),
-        ("E5", e05_naive_fails_nonpositive),
-        ("E6", e06_ctable_strong),
-        ("E7", e07_complexity),
-        ("E8", e08_duality),
-        ("E9", e09_orderings),
-        ("E10", e10_intersection_critique),
-        ("E11", e11_division_cwa),
-        ("E12", e12_exchange),
+    let experiments: Vec<fn() -> String> = vec![
+        e01_unpaid_orders,
+        e02_difference_trap,
+        e03_tautology,
+        e04_naive_ucq,
+        e05_naive_fails_nonpositive,
+        e06_ctable_strong,
+        e07_complexity,
+        e08_duality,
+        e09_orderings,
+        e10_intersection_critique,
+        e11_division_cwa,
+        e12_exchange,
     ];
     let mut out = String::new();
-    for (_, f) in experiments {
+    for f in experiments {
         let _ = writeln!(out, "{}", f());
     }
     out

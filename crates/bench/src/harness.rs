@@ -1,0 +1,173 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The build environment has no network access, so `criterion` cannot be a
+//! dependency; this module provides the few pieces the benches need — warmup,
+//! repeated measurement, median/min statistics, and aligned table output —
+//! with `std` only. Benches using it are ordinary `harness = false` targets
+//! run by `cargo bench`.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's measurement: a label plus timing statistics over its runs.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// What was measured (e.g. `naive/800`).
+    pub label: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time.
+    pub min: Duration,
+    /// Number of measured iterations.
+    pub iters: usize,
+}
+
+impl Measurement {
+    /// Median time in nanoseconds (saturating).
+    pub fn median_ns(&self) -> u128 {
+        self.median.as_nanos()
+    }
+}
+
+/// Measures `f` by running it repeatedly: a short warmup, then timed
+/// iterations until both `min_iters` iterations and `target` total measuring
+/// time are reached. Returns median/min statistics.
+///
+/// The closure's result is passed through [`black_box`] so the optimiser
+/// cannot delete the work.
+pub fn measure<T>(
+    label: impl Into<String>,
+    target: Duration,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    const WARMUP: usize = 3;
+    const MIN_ITERS: usize = 10;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+    while samples.len() < MIN_ITERS || started.elapsed() < target {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    Measurement {
+        label: label.into(),
+        median,
+        min,
+        iters: samples.len(),
+    }
+}
+
+/// A named collection of measurements, printed as an aligned table.
+#[derive(Debug, Default)]
+pub struct Group {
+    /// Group name, printed as a heading.
+    pub name: String,
+    /// The measurements taken so far.
+    pub results: Vec<Measurement>,
+}
+
+impl Group {
+    /// A new, empty group.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f` under `label` with the default per-bench time budget and
+    /// records the result.
+    pub fn bench<T>(&mut self, label: impl Into<String>, f: impl FnMut() -> T) -> &Measurement {
+        let m = measure(label, Duration::from_millis(300), f);
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Renders the group as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!("## {}\n", self.name);
+        let width = self
+            .results
+            .iter()
+            .map(|m| m.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>12}  {:>12}  {:>7}",
+            "bench", "median", "min", "iters"
+        );
+        for m in &self.results {
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>12}  {:>12}  {:>7}",
+                m.label,
+                fmt_duration(m.median),
+                fmt_duration(m.min),
+                m.iters
+            );
+        }
+        out
+    }
+}
+
+/// Human-readable duration with three significant-ish digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_and_reports() {
+        let mut calls = 0usize;
+        let m = measure("noop", Duration::from_millis(1), || {
+            calls += 1;
+            calls
+        });
+        assert!(m.iters >= 10);
+        assert!(calls >= m.iters);
+        assert!(m.min <= m.median);
+    }
+
+    #[test]
+    fn group_renders_aligned_table() {
+        let mut g = Group::new("demo");
+        g.bench("a", || 1 + 1);
+        g.bench("bb", || 2 + 2);
+        let s = g.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("median"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains("s"));
+    }
+}

@@ -12,5 +12,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::*;

@@ -16,13 +16,13 @@
 
 use std::collections::BTreeMap;
 
+use engine::{Engine, EngineError, EngineOptions, StrategyKind};
 use relalgebra::ast::RaExpr;
 use relalgebra::fo::Formula;
+use releval::worlds::{possible_answers, WorldOptions};
+use releval::EvalError;
 use relmodel::value::{NullId, Value};
 use relmodel::{Database, Relation, Schema, Semantics, Tuple};
-use releval::naive::{certain_answer_naive, eval_naive};
-use releval::worlds::{certain_answer_worlds, possible_answers, WorldOptions};
-use releval::EvalError;
 
 use crate::knowledge::certain_knowledge;
 use crate::ordering::{less_informative, InfoOrdering};
@@ -36,10 +36,13 @@ pub const ANSWER_RELATION: &str = "Ans";
 pub fn answer_database(rel: &Relation) -> Database {
     let attrs: Vec<String> = (0..rel.arity()).map(|i| format!("c{i}")).collect();
     let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-    let schema = Schema::builder().relation(ANSWER_RELATION, &attr_refs).build();
+    let schema = Schema::builder()
+        .relation(ANSWER_RELATION, &attr_refs)
+        .build();
     let mut db = Database::new(schema);
     for t in rel.iter() {
-        db.insert(ANSWER_RELATION, t.clone()).expect("arity matches by construction");
+        db.insert(ANSWER_RELATION, t.clone())
+            .expect("arity matches by construction");
     }
     db
 }
@@ -95,11 +98,12 @@ pub fn glb_owa(a: &Database, b: &Database) -> Result<Database, EvalError> {
                         if x == y && x.is_const() {
                             x.clone()
                         } else {
-                            let id = *pair_nulls.entry((x.clone(), y.clone())).or_insert_with(|| {
-                                let id = NullId(next_null);
-                                next_null += 1;
-                                id
-                            });
+                            let id =
+                                *pair_nulls.entry((x.clone(), y.clone())).or_insert_with(|| {
+                                    let id = NullId(next_null);
+                                    next_null += 1;
+                                    id
+                                });
                             Value::Null(id)
                         }
                     })
@@ -113,6 +117,11 @@ pub fn glb_owa(a: &Database, b: &Database) -> Result<Database, EvalError> {
 
 /// A façade bundling the different notions of "answer to a query over an
 /// incomplete database" that the paper contrasts.
+///
+/// Since the engine redesign this façade no longer duplicates evaluator
+/// dispatch: every answer is obtained through [`engine::Engine`], with the
+/// strategy forced where the façade's contract names a specific notion
+/// (naïve evaluation for `certainO`, world enumeration for ground truth).
 #[derive(Debug, Clone)]
 pub struct CertainAnswers {
     /// Which possible-world semantics governs the input database.
@@ -124,7 +133,10 @@ pub struct CertainAnswers {
 impl CertainAnswers {
     /// Creates the façade for a semantics with default world options.
     pub fn new(semantics: Semantics) -> Self {
-        CertainAnswers { semantics, world_options: WorldOptions::default() }
+        CertainAnswers {
+            semantics,
+            world_options: WorldOptions::default(),
+        }
     }
 
     /// Sets custom world-enumeration options.
@@ -133,44 +145,60 @@ impl CertainAnswers {
         self
     }
 
+    /// The engine this façade evaluates through, borrowing `db`.
+    pub fn engine<'a>(&self, db: &'a Database) -> Engine<'a> {
+        Engine::new(db)
+            .semantics(self.semantics)
+            .options(EngineOptions::exhaustive().with_world_options(self.world_options))
+    }
+
     /// `certainO(Q, D) = Q(D)`: the object-level certain answer, i.e. the
     /// naïvely evaluated answer (correct for monotone generic queries by the
     /// paper's main theorem; use [`CertainAnswers::naive_is_correct`] to check
     /// a particular query empirically).
-    pub fn certain_object(&self, query: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
-        eval_naive(query, db)
+    pub fn certain_object(&self, query: &RaExpr, db: &Database) -> Result<Relation, EngineError> {
+        let report = self.engine(db).plan_with(StrategyKind::NaiveExact, query)?;
+        Ok(report
+            .object_answer
+            .expect("naïve evaluation always yields an object answer"))
     }
 
     /// The classical, intersection-style certain tuples computed naïvely:
     /// `Q(D)_cmpl` (equation (4) of the paper).
-    pub fn certain_tuples(&self, query: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
-        certain_answer_naive(query, db)
+    pub fn certain_tuples(&self, query: &RaExpr, db: &Database) -> Result<Relation, EngineError> {
+        Ok(self
+            .engine(db)
+            .plan_with(StrategyKind::NaiveExact, query)?
+            .answers)
     }
 
     /// `certainK(Q, D)`: the knowledge-level certain answer, as a logical
     /// formula (the diagram of the naïve answer under the answer semantics).
-    pub fn certain_knowledge(&self, query: &RaExpr, db: &Database) -> Result<Formula, EvalError> {
-        certain_knowledge(query, db, self.semantics)
+    pub fn certain_knowledge(&self, query: &RaExpr, db: &Database) -> Result<Formula, EngineError> {
+        Ok(certain_knowledge(query, db, self.semantics)?)
     }
 
     /// The possible-world ground truth for the classical certain answer —
     /// exponential in the number of nulls.
-    pub fn ground_truth(&self, query: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
-        certain_answer_worlds(query, db, self.semantics, &self.world_options)
+    pub fn ground_truth(&self, query: &RaExpr, db: &Database) -> Result<Relation, EngineError> {
+        Ok(self.engine(db).ground_truth(query)?.answers)
     }
 
     /// All answers over the enumerated possible worlds, as database objects
     /// (for ordering-based analyses).
-    pub fn answer_objects(&self, query: &RaExpr, db: &Database) -> Result<Vec<Database>, EvalError> {
-        Ok(possible_answers(query, db, self.semantics, &self.world_options)?
-            .iter()
-            .map(answer_database)
-            .collect())
+    pub fn answer_objects(
+        &self,
+        query: &RaExpr,
+        db: &Database,
+    ) -> Result<Vec<Database>, EngineError> {
+        let answers = possible_answers(query, db, self.semantics, &self.world_options)
+            .map_err(EngineError::from)?;
+        Ok(answers.iter().map(answer_database).collect())
     }
 
     /// Does naïve evaluation compute the classical certain answer for this
     /// query on this database (checked against ground truth)?
-    pub fn naive_is_correct(&self, query: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+    pub fn naive_is_correct(&self, query: &RaExpr, db: &Database) -> Result<bool, EngineError> {
         Ok(self.certain_tuples(query, db)? == self.ground_truth(query, db)?)
     }
 
@@ -178,7 +206,7 @@ impl CertainAnswers {
     /// answers `Q([[D]])` under the ordering matching the semantics, when
     /// compared against the natural competitors (the classical intersection
     /// answer and every individual possible answer)?
-    pub fn naive_answer_is_glb(&self, query: &RaExpr, db: &Database) -> Result<bool, EvalError> {
+    pub fn naive_answer_is_glb(&self, query: &RaExpr, db: &Database) -> Result<bool, EngineError> {
         let ordering = InfoOrdering::for_semantics(self.semantics);
         let answers = self.answer_objects(query, db)?;
         let candidate = answer_database(&self.certain_object(query, db)?);
@@ -212,8 +240,16 @@ mod tests {
         ));
         let empty = answer_database(&Relation::new(1));
         // Under OWA, ∅ ⪯ a ⪯ b.
-        assert!(is_lower_bound(&empty, &[a.clone(), b.clone()], InfoOrdering::Owa));
-        assert!(is_lower_bound(&a, &[a.clone(), b.clone()], InfoOrdering::Owa));
+        assert!(is_lower_bound(
+            &empty,
+            &[a.clone(), b.clone()],
+            InfoOrdering::Owa
+        ));
+        assert!(is_lower_bound(
+            &a,
+            &[a.clone(), b.clone()],
+            InfoOrdering::Owa
+        ));
         assert!(is_glb(
             &a,
             &[a.clone(), b.clone()],
@@ -227,7 +263,11 @@ mod tests {
             InfoOrdering::Owa
         ));
         // Under CWA, a is NOT below b (no strong onto homomorphism).
-        assert!(!is_lower_bound(&a, &[b.clone()], InfoOrdering::Cwa));
+        assert!(!is_lower_bound(
+            &a,
+            std::slice::from_ref(&b),
+            InfoOrdering::Cwa
+        ));
     }
 
     #[test]
@@ -241,10 +281,17 @@ mod tests {
             vec![Tuple::ints(&[1]), Tuple::ints(&[2])],
         ));
         let g = glb_owa(&a, &b).unwrap();
-        assert!(is_lower_bound(&g, &[a.clone(), b.clone()], InfoOrdering::Owa));
+        assert!(is_lower_bound(
+            &g,
+            &[a.clone(), b.clone()],
+            InfoOrdering::Owa
+        ));
         // and it is above the plain {(1)} candidate? Both are lower bounds and
         // must be equivalent as glbs:
-        assert!(less_informative(&a, &g, InfoOrdering::Owa) || less_informative(&g, &a, InfoOrdering::Owa));
+        assert!(
+            less_informative(&a, &g, InfoOrdering::Owa)
+                || less_informative(&g, &a, InfoOrdering::Owa)
+        );
     }
 
     #[test]
@@ -268,7 +315,11 @@ mod tests {
         // Under OWA the intersection answer *is* a lower bound.
         let ca_owa = CertainAnswers::new(Semantics::Owa);
         let answers_owa = ca_owa.answer_objects(&q, &db).unwrap();
-        assert!(is_lower_bound(&intersection, &answers_owa, InfoOrdering::Owa));
+        assert!(is_lower_bound(
+            &intersection,
+            &answers_owa,
+            InfoOrdering::Owa
+        ));
     }
 
     #[test]
@@ -292,7 +343,9 @@ mod tests {
             .tuple("R", vec![Value::int(1), Value::null(0)])
             .tuple("S", vec![Value::int(1), Value::null(1)])
             .build();
-        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        let q = RaExpr::relation("R")
+            .difference(RaExpr::relation("S"))
+            .project(vec![0]);
         let ca = CertainAnswers::new(Semantics::Cwa);
         assert!(!ca.naive_is_correct(&q, &db).unwrap());
     }

@@ -96,7 +96,9 @@ pub fn find_homomorphism(from: &Database, to: &Database, kind: HomKind) -> Optio
     // the recursion below, so no special pre-check is needed.
     let mut assignment: BTreeMap<NullId, Value> = BTreeMap::new();
     if search(&source, 0, from, to, kind, &mut assignment) {
-        Some(Homomorphism { mapping: assignment })
+        Some(Homomorphism {
+            mapping: assignment,
+        })
     } else {
         None
     }
@@ -161,18 +163,24 @@ fn surjectivity_ok(
     match kind {
         HomKind::Any => true,
         HomKind::Onto => {
-            let hom = Homomorphism { mapping: assignment.clone() };
-            let image: BTreeSet<Value> =
-                from.active_domain().iter().map(|v| hom.apply_value(v)).collect();
+            let hom = Homomorphism {
+                mapping: assignment.clone(),
+            };
+            let image: BTreeSet<Value> = from
+                .active_domain()
+                .iter()
+                .map(|v| hom.apply_value(v))
+                .collect();
             to.active_domain().is_subset(&image)
         }
         HomKind::StrongOnto => {
-            let hom = Homomorphism { mapping: assignment.clone() };
+            let hom = Homomorphism {
+                mapping: assignment.clone(),
+            };
             let image = hom.apply(from);
             // h(D) must equal D' relation by relation.
-            to.iter().all(|(name, rel)| {
-                image.relation(name).is_some_and(|img| img == rel)
-            })
+            to.iter()
+                .all(|(name, rel)| image.relation(name).is_some_and(|img| img == rel))
         }
     }
 }
@@ -231,7 +239,11 @@ mod tests {
         let pattern = db_r(vec![vec![Value::null(9), Value::null(9)]]);
         assert!(is_homomorphic(&d, &pattern, HomKind::Any));
         // the reverse needs to map one null to two distinct values — impossible.
-        assert!(!is_homomorphic(&pattern, &db_r(vec![vec![Value::int(1), Value::int(2)]]), HomKind::Any));
+        assert!(!is_homomorphic(
+            &pattern,
+            &db_r(vec![vec![Value::int(1), Value::int(2)]]),
+            HomKind::Any
+        ));
     }
 
     #[test]
@@ -268,8 +280,14 @@ mod tests {
 
     #[test]
     fn missing_relation_in_target_fails() {
-        let d = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
-        let other = DatabaseBuilder::new().relation("S", &["a"]).ints("S", &[1]).build();
+        let d = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .build();
+        let other = DatabaseBuilder::new()
+            .relation("S", &["a"])
+            .ints("S", &[1])
+            .build();
         assert!(!is_homomorphic(&d, &other, HomKind::Any));
     }
 

@@ -7,11 +7,11 @@
 use relalgebra::ast::RaExpr;
 use relalgebra::diagram::{cwa_theory, owa_theory};
 use relalgebra::fo::Formula;
-use relmodel::{Database, Semantics};
 use releval::fo::satisfies;
 use releval::naive::eval_naive;
 use releval::worlds::{possible_answers, WorldOptions};
 use releval::EvalError;
+use relmodel::{Database, Semantics};
 
 use crate::certainty::answer_database;
 
@@ -52,7 +52,9 @@ pub fn knowledge_holds_in_all_worlds(
 ) -> Result<bool, EvalError> {
     let formula = certain_knowledge(query, db, semantics)?;
     let answers = possible_answers(query, db, semantics, opts)?;
-    Ok(answers.iter().all(|a| satisfies(&answer_database(a), &formula)))
+    Ok(answers
+        .iter()
+        .all(|a| satisfies(&answer_database(a), &formula)))
 }
 
 #[cfg(test)]
@@ -104,9 +106,13 @@ mod tests {
             .tuple("R", vec![Value::int(1), Value::null(0)])
             .tuple("S", vec![Value::int(1), Value::null(1)])
             .build();
-        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
-        assert!(!knowledge_holds_in_all_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
-            .unwrap());
+        let q = RaExpr::relation("R")
+            .difference(RaExpr::relation("S"))
+            .project(vec![0]);
+        assert!(
+            !knowledge_holds_in_all_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default())
+                .unwrap()
+        );
     }
 
     #[test]
@@ -116,8 +122,10 @@ mod tests {
         let k = certain_knowledge(&q, &db, Semantics::Owa).unwrap();
         // the answer is a single null, so the knowledge is ∃n0 Ans(n0)
         assert!(k.to_string().contains("Ans(n0)"));
-        assert!(knowledge_holds_in_all_worlds(&q, &db, Semantics::Owa, &WorldOptions::default())
-            .unwrap());
+        assert!(
+            knowledge_holds_in_all_worlds(&q, &db, Semantics::Owa, &WorldOptions::default())
+                .unwrap()
+        );
     }
 
     #[test]

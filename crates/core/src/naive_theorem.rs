@@ -8,12 +8,11 @@
 //! empirically against possible-world ground truth, and offers an empirical
 //! monotonicity check under the information orderings.
 
+use engine::{Engine, EngineError, EngineOptions, StrategyKind};
 use relalgebra::ast::RaExpr;
 use relalgebra::classify::{classify, QueryClass};
+use releval::worlds::WorldOptions;
 use relmodel::{Database, Relation, Semantics};
-use releval::naive::{certain_answer_naive, eval_naive};
-use releval::worlds::{certain_answer_worlds, WorldOptions};
-use releval::EvalError;
 
 use crate::certainty::answer_database;
 use crate::ordering::{less_informative, InfoOrdering};
@@ -51,13 +50,22 @@ pub fn naive_evaluation_works(
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
-) -> Result<NaiveEvaluationReport, EvalError> {
+) -> Result<NaiveEvaluationReport, EngineError> {
     let class = classify(query);
     let guaranteed = class.naive_evaluation_sound(semantics);
-    let naive_certain = certain_answer_naive(query, db)?;
-    let ground_truth = certain_answer_worlds(query, db, semantics, opts)?;
+    let engine = Engine::new(db)
+        .semantics(semantics)
+        .options(EngineOptions::exhaustive().with_world_options(*opts));
+    let naive_certain = engine.plan_with(StrategyKind::NaiveExact, query)?.answers;
+    let ground_truth = engine.ground_truth(query)?.answers;
     let agrees = naive_certain == ground_truth;
-    Ok(NaiveEvaluationReport { class, guaranteed, naive_certain, ground_truth, agrees })
+    Ok(NaiveEvaluationReport {
+        class,
+        guaranteed,
+        naive_certain,
+        ground_truth,
+        agrees,
+    })
 }
 
 /// Empirically checks monotonicity of a query between two databases ordered by
@@ -72,13 +80,21 @@ pub fn monotone_on_pair(
     a: &Database,
     b: &Database,
     semantics: Semantics,
-) -> Result<Option<bool>, EvalError> {
+) -> Result<Option<bool>, EngineError> {
     let ordering = InfoOrdering::for_semantics(semantics);
     if !less_informative(a, b, ordering) {
         return Ok(None);
     }
-    let qa = answer_database(&eval_naive(query, a)?);
-    let qb = answer_database(&eval_naive(query, b)?);
+    let naive_object = |db: &Database| -> Result<Relation, EngineError> {
+        let report = Engine::new(db)
+            .semantics(semantics)
+            .plan_with(StrategyKind::NaiveExact, query)?;
+        Ok(report
+            .object_answer
+            .expect("naïve evaluation always yields an object answer"))
+    };
+    let qa = answer_database(&naive_object(a)?);
+    let qb = answer_database(&naive_object(b)?);
     Ok(Some(less_informative(&qa, &qb, ordering)))
 }
 
@@ -99,7 +115,8 @@ mod tests {
             .select(Predicate::eq(Operand::col(0), Operand::col(3)))
             .project(vec![0, 2]);
         for semantics in [Semantics::Owa, Semantics::Cwa] {
-            let report = naive_evaluation_works(&q, &db, semantics, &WorldOptions::default()).unwrap();
+            let report =
+                naive_evaluation_works(&q, &db, semantics, &WorldOptions::default()).unwrap();
             assert_eq!(report.class, QueryClass::Positive);
             assert!(report.guaranteed);
             assert!(report.agrees);
@@ -115,7 +132,10 @@ mod tests {
             naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
         assert_eq!(report.class, QueryClass::FullRa);
         assert!(!report.guaranteed);
-        assert!(!report.agrees, "naïve evaluation overclaims {{1,2}} while certain answer is ∅");
+        assert!(
+            !report.agrees,
+            "naïve evaluation overclaims {{1,2}} while certain answer is ∅"
+        );
         assert!(report.consistent_with_theory());
     }
 
@@ -131,17 +151,13 @@ mod tests {
             .ints("S", &[20])
             .build();
         let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
-        let cwa = naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        let cwa =
+            naive_evaluation_works(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
         assert_eq!(cwa.class, QueryClass::RaCwa);
         assert!(cwa.guaranteed);
         assert!(cwa.agrees);
-        let owa = naive_evaluation_works(
-            &q,
-            &db,
-            Semantics::Owa,
-            &WorldOptions::with_owa_extra(1),
-        )
-        .unwrap();
+        let owa = naive_evaluation_works(&q, &db, Semantics::Owa, &WorldOptions::with_owa_extra(1))
+            .unwrap();
         assert!(!owa.guaranteed);
         // Under OWA with extra tuples, the division certain answer shrinks: the
         // naïve answer need not agree (and on this instance it does not, since
@@ -157,19 +173,31 @@ mod tests {
         let world = db.apply(&v).unwrap();
         let q = RaExpr::relation("Pay").project(vec![1]);
         for semantics in [Semantics::Owa, Semantics::Cwa] {
-            assert_eq!(monotone_on_pair(&q, &db, &world, semantics).unwrap(), Some(true));
+            assert_eq!(
+                monotone_on_pair(&q, &db, &world, semantics).unwrap(),
+                Some(true)
+            );
         }
         // A non-monotone query violates the principle under CWA on this pair:
         let nonmono = RaExpr::relation("Order")
             .project(vec![0])
             .difference(RaExpr::relation("Pay").project(vec![1]));
-        assert_eq!(monotone_on_pair(&nonmono, &db, &world, Semantics::Cwa).unwrap(), Some(false));
+        assert_eq!(
+            monotone_on_pair(&nonmono, &db, &world, Semantics::Cwa).unwrap(),
+            Some(false)
+        );
     }
 
     #[test]
     fn monotone_on_unrelated_pair_returns_none() {
-        let a = DatabaseBuilder::new().relation("R", &["x"]).ints("R", &[1]).build();
-        let b = DatabaseBuilder::new().relation("R", &["x"]).ints("R", &[2]).build();
+        let a = DatabaseBuilder::new()
+            .relation("R", &["x"])
+            .ints("R", &[1])
+            .build();
+        let b = DatabaseBuilder::new()
+            .relation("R", &["x"])
+            .ints("R", &[2])
+            .build();
         let q = RaExpr::relation("R");
         assert_eq!(monotone_on_pair(&q, &a, &b, Semantics::Owa).unwrap(), None);
     }

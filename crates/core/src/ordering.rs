@@ -94,7 +94,9 @@ mod tests {
             .ints("R", &[9, 2])
             .build();
         // The instantiated-and-extended database is above d for OWA…
-        bigger.insert("R", relmodel::Tuple::ints(&[50, 60])).unwrap();
+        bigger
+            .insert("R", relmodel::Tuple::ints(&[50, 60]))
+            .unwrap();
         assert!(less_informative(&d, &bigger, InfoOrdering::Owa));
         // …but not for CWA (the extra tuple has no preimage).
         assert!(!less_informative(&d, &bigger, InfoOrdering::Cwa));
@@ -145,8 +147,14 @@ mod tests {
 
     #[test]
     fn ordering_for_semantics() {
-        assert_eq!(InfoOrdering::for_semantics(Semantics::Owa), InfoOrdering::Owa);
-        assert_eq!(InfoOrdering::for_semantics(Semantics::Cwa), InfoOrdering::Cwa);
+        assert_eq!(
+            InfoOrdering::for_semantics(Semantics::Owa),
+            InfoOrdering::Owa
+        );
+        assert_eq!(
+            InfoOrdering::for_semantics(Semantics::Cwa),
+            InfoOrdering::Cwa
+        );
         assert_eq!(InfoOrdering::Owa.to_string(), "⪯_owa");
     }
 }

@@ -16,8 +16,8 @@
 //! the representation-system axioms.
 
 use relalgebra::fo::Formula;
-use relmodel::{Database, Semantics};
 use releval::fo::satisfies;
+use relmodel::{Database, Semantics};
 
 use crate::knowledge::theory_of;
 use crate::ordering::{less_informative, InfoOrdering};
@@ -46,9 +46,9 @@ pub trait RepresentationSystem {
     /// both hold for every provided world.
     fn worlds_respect_axioms(&self, db: &Database, worlds: &[Database]) -> bool {
         let delta = self.delta(db);
-        worlds.iter().all(|w| {
-            satisfies(w, &delta) && less_informative(db, w, self.ordering())
-        })
+        worlds
+            .iter()
+            .all(|w| satisfies(w, &delta) && less_informative(db, w, self.ordering()))
     }
 }
 

@@ -5,9 +5,9 @@
 use relalgebra::ast::RaExpr;
 use relalgebra::predicate::{Operand, Predicate};
 use relalgebra::typecheck::output_arity;
+use releval::EvalError;
 use relmodel::value::Value;
 use relmodel::Tuple;
-use releval::EvalError;
 
 use crate::condition::Condition;
 use crate::ctable::{ConditionalDatabase, ConditionalTable, ConditionalTuple};
@@ -16,7 +16,10 @@ use crate::ctable::{ConditionalDatabase, ConditionalTable, ConditionalTuple};
 /// returning a conditional table `A` with `[[A]]_cwa = Q([[D]]_cwa)`
 /// (relative to the database's global condition, which continues to govern
 /// the answer's worlds).
-pub fn eval_ctable(expr: &RaExpr, cdb: &ConditionalDatabase) -> Result<ConditionalTable, EvalError> {
+pub fn eval_ctable(
+    expr: &RaExpr,
+    cdb: &ConditionalDatabase,
+) -> Result<ConditionalTable, EvalError> {
     output_arity(expr, cdb.schema())?;
     Ok(eval_unchecked(expr, cdb).simplify())
 }
@@ -62,7 +65,10 @@ fn eval_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable 
             let input = eval_unchecked(e, cdb);
             let mut out = ConditionalTable::new(cols.len());
             for row in input.rows() {
-                out.push(ConditionalTuple::new(row.tuple.project(cols), row.condition.clone()));
+                out.push(ConditionalTuple::new(
+                    row.tuple.project(cols),
+                    row.condition.clone(),
+                ));
             }
             out
         }
@@ -98,7 +104,10 @@ fn eval_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable 
                 // present *and equal to it*.
                 let mut cond = l.condition.clone();
                 for r in right.rows() {
-                    let clash = r.condition.clone().and(Condition::tuples_equal(&l.tuple, &r.tuple));
+                    let clash = r
+                        .condition
+                        .clone()
+                        .and(Condition::tuples_equal(&l.tuple, &r.tuple));
                     cond = cond.and(clash.negate());
                 }
                 out.push(ConditionalTuple::new(l.tuple.clone(), cond));
@@ -112,9 +121,10 @@ fn eval_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable 
             for l in left.rows() {
                 let mut membership = Condition::False;
                 for r in right.rows() {
-                    membership = membership.or(
-                        r.condition.clone().and(Condition::tuples_equal(&l.tuple, &r.tuple)),
-                    );
+                    membership = membership.or(r
+                        .condition
+                        .clone()
+                        .and(Condition::tuples_equal(&l.tuple, &r.tuple)));
                 }
                 out.push(ConditionalTuple::new(
                     l.tuple.clone(),
@@ -151,11 +161,10 @@ fn eval_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable 
                     let combined = prefix.concat(&s.tuple);
                     let mut exists = Condition::False;
                     for u in dividend.rows() {
-                        exists = exists.or(
-                            u.condition
-                                .clone()
-                                .and(Condition::tuples_equal(&u.tuple, &combined)),
-                        );
+                        exists = exists.or(u
+                            .condition
+                            .clone()
+                            .and(Condition::tuples_equal(&u.tuple, &combined)));
                     }
                     universal = universal.and(s.condition.clone().negate().or(exists));
                 }
@@ -229,7 +238,10 @@ mod tests {
         let q = RaExpr::relation("S").select(Predicate::eq(Operand::col(0), Operand::int(5)));
         let answer = eval_ctable(&q, &cdb).unwrap();
         assert_eq!(answer.len(), 1);
-        assert_eq!(answer.rows()[0].condition, Condition::eq(Value::null(0), Value::int(5)));
+        assert_eq!(
+            answer.rows()[0].condition,
+            Condition::eq(Value::null(0), Value::int(5))
+        );
     }
 
     #[test]
@@ -241,7 +253,9 @@ mod tests {
         let prod = eval_ctable(&q, &cdb).unwrap();
         assert_eq!(prod.len(), 2);
         assert_eq!(prod.arity(), 2);
-        let q = RaExpr::relation("R").product(RaExpr::relation("S")).project(vec![1]);
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .project(vec![1]);
         assert_eq!(eval_ctable(&q, &cdb).unwrap().arity(), 1);
     }
 
@@ -286,8 +300,11 @@ mod tests {
     fn delta_collects_adom_values() {
         let cdb = ConditionalDatabase::from_database(&difference_example());
         let answer = eval_ctable(&RaExpr::Delta, &cdb).unwrap();
-        let values: BTreeSet<Value> =
-            answer.rows().iter().map(|r| r.tuple.values()[0].clone()).collect();
+        let values: BTreeSet<Value> = answer
+            .rows()
+            .iter()
+            .map(|r| r.tuple.values()[0].clone())
+            .collect();
         assert!(values.contains(&Value::int(1)));
         assert!(values.contains(&Value::int(2)));
         assert!(values.contains(&Value::null(0)));

@@ -98,7 +98,9 @@ impl Condition {
         t.values()
             .iter()
             .zip(s.values().iter())
-            .fold(Condition::True, |acc, (a, b)| acc.and(Condition::eq(a.clone(), b.clone())))
+            .fold(Condition::True, |acc, (a, b)| {
+                acc.and(Condition::eq(a.clone(), b.clone()))
+            })
     }
 
     /// Nulls mentioned anywhere in the condition.
@@ -310,7 +312,8 @@ mod tests {
         let c = Condition::eq(Value::int(1), Value::int(1))
             .and(Condition::eq(Value::null(0), Value::int(2)));
         assert_eq!(c.simplify(), Condition::eq(Value::null(0), Value::int(2)));
-        let c = Condition::eq(Value::int(1), Value::int(2)).or(Condition::neq(Value::int(1), Value::int(2)));
+        let c = Condition::eq(Value::int(1), Value::int(2))
+            .or(Condition::neq(Value::int(1), Value::int(2)));
         assert_eq!(c.simplify(), Condition::True);
         let c = Condition::Not(Box::new(Condition::Not(Box::new(Condition::True))));
         assert_eq!(c.simplify(), Condition::True);

@@ -27,7 +27,10 @@ impl ConditionalTuple {
 
     /// A tuple present unconditionally.
     pub fn always(tuple: Tuple) -> Self {
-        ConditionalTuple { tuple, condition: Condition::True }
+        ConditionalTuple {
+            tuple,
+            condition: Condition::True,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ pub struct ConditionalTable {
 impl ConditionalTable {
     /// Creates an empty conditional table of the given arity.
     pub fn new(arity: usize) -> Self {
-        ConditionalTable { arity, rows: Vec::new() }
+        ConditionalTable {
+            arity,
+            rows: Vec::new(),
+        }
     }
 
     /// Builds a conditional table from rows (arity checked).
@@ -62,7 +68,10 @@ impl ConditionalTable {
     pub fn from_relation(rel: &Relation) -> Self {
         ConditionalTable {
             arity: rel.arity(),
-            rows: rel.iter().map(|t| ConditionalTuple::always(t.clone())).collect(),
+            rows: rel
+                .iter()
+                .map(|t| ConditionalTuple::always(t.clone()))
+                .collect(),
         }
     }
 
@@ -88,7 +97,11 @@ impl ConditionalTable {
 
     /// Adds a row (arity checked).
     pub fn push(&mut self, row: ConditionalTuple) {
-        assert_eq!(row.tuple.arity(), self.arity, "conditional tuple arity mismatch");
+        assert_eq!(
+            row.tuple.arity(),
+            self.arity,
+            "conditional tuple arity mismatch"
+        );
         self.rows.push(row);
     }
 
@@ -173,14 +186,19 @@ impl ConditionalDatabase {
             .iter()
             .map(|rs| (rs.name.clone(), ConditionalTable::new(rs.arity())))
             .collect();
-        ConditionalDatabase { schema, tables, global: Condition::True }
+        ConditionalDatabase {
+            schema,
+            tables,
+            global: Condition::True,
+        }
     }
 
     /// Lifts an ordinary (naïve) database: every tuple gets condition `true`.
     pub fn from_database(db: &Database) -> Self {
         let mut out = ConditionalDatabase::new(db.schema().clone());
         for (name, rel) in db.iter() {
-            out.tables.insert(name.to_owned(), ConditionalTable::from_relation(rel));
+            out.tables
+                .insert(name.to_owned(), ConditionalTable::from_relation(rel));
         }
         out
     }
@@ -219,15 +237,21 @@ impl ConditionalDatabase {
     /// All nulls mentioned anywhere (tuples, local conditions, global
     /// condition).
     pub fn null_ids(&self) -> BTreeSet<NullId> {
-        let mut out: BTreeSet<NullId> =
-            self.tables.values().flat_map(ConditionalTable::null_ids).collect();
+        let mut out: BTreeSet<NullId> = self
+            .tables
+            .values()
+            .flat_map(ConditionalTable::null_ids)
+            .collect();
         out.extend(self.global.null_ids());
         out
     }
 
     /// All constants mentioned by tuples.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.tables.values().flat_map(ConditionalTable::constants).collect()
+        self.tables
+            .values()
+            .flat_map(ConditionalTable::constants)
+            .collect()
     }
 
     /// The world described by a valuation satisfying the global condition, or
@@ -332,7 +356,13 @@ mod tests {
         assert_eq!(worlds.len(), 2);
         let sizes: BTreeSet<Vec<String>> = worlds
             .iter()
-            .map(|w| w.relation("C").unwrap().iter().map(|t| t.to_string()).collect())
+            .map(|w| {
+                w.relation("C")
+                    .unwrap()
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect()
+            })
             .collect();
         assert!(sizes.contains(&vec!["(0)".to_string()]));
         assert!(sizes.contains(&vec!["(1)".to_string()]));
@@ -357,7 +387,12 @@ mod tests {
             .build();
         let cdb = ConditionalDatabase::from_database(&db);
         assert_eq!(cdb.table("R").unwrap().len(), 2);
-        assert!(cdb.table("R").unwrap().rows().iter().all(|r| r.condition == Condition::True));
+        assert!(cdb
+            .table("R")
+            .unwrap()
+            .rows()
+            .iter()
+            .all(|r| r.condition == Condition::True));
         // Its worlds coincide with the naïve database's CWA worlds.
         let domain = cdb.adequate_domain(&BTreeSet::new(), 2);
         let worlds = cdb.worlds(&domain);

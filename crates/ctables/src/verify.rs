@@ -8,10 +8,10 @@
 use std::collections::BTreeSet;
 
 use relalgebra::ast::RaExpr;
-use relmodel::value::Constant;
-use relmodel::Relation;
 use releval::complete::eval_complete;
 use releval::EvalError;
+use relmodel::value::Constant;
+use relmodel::Relation;
 
 use crate::algebra::eval_ctable;
 use crate::ctable::ConditionalDatabase;
@@ -67,7 +67,10 @@ pub fn check_strong_representation(
         query_of_worlds.insert(eval_complete(expr, &world)?);
     }
 
-    Ok(RepresentationCheck { answer_worlds, query_of_worlds })
+    Ok(RepresentationCheck {
+        answer_worlds,
+        query_of_worlds,
+    })
 }
 
 /// Convenience wrapper returning just the Boolean outcome.

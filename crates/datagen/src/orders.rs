@@ -22,7 +22,13 @@ pub struct OrdersConfig {
 
 impl Default for OrdersConfig {
     fn default() -> Self {
-        OrdersConfig { orders: 100, payments: 80, null_rate: 0.1, products: 20, seed: 42 }
+        OrdersConfig {
+            orders: 100,
+            payments: 80,
+            null_rate: 0.1,
+            products: 20,
+            seed: 42,
+        }
     }
 }
 
@@ -44,7 +50,10 @@ pub fn orders_database(config: &OrdersConfig) -> Database {
         let product = rng.gen_range(0..config.products.max(1));
         db.insert(
             "Order",
-            Tuple::new(vec![Value::str(format!("oid{i}")), Value::str(format!("pr{product}"))]),
+            Tuple::new(vec![
+                Value::str(format!("oid{i}")),
+                Value::str(format!("pr{product}")),
+            ]),
         )
         .expect("order tuples match the schema");
     }
@@ -61,7 +70,11 @@ pub fn orders_database(config: &OrdersConfig) -> Database {
         let amount = rng.gen_range(1..=500);
         db.insert(
             "Pay",
-            Tuple::new(vec![Value::str(format!("pid{i}")), order_ref, Value::int(amount)]),
+            Tuple::new(vec![
+                Value::str(format!("pid{i}")),
+                order_ref,
+                Value::int(amount),
+            ]),
         )
         .expect("payment tuples match the schema");
     }
@@ -74,7 +87,13 @@ mod tests {
 
     #[test]
     fn generates_requested_sizes() {
-        let cfg = OrdersConfig { orders: 10, payments: 7, null_rate: 0.5, products: 3, seed: 1 };
+        let cfg = OrdersConfig {
+            orders: 10,
+            payments: 7,
+            null_rate: 0.5,
+            products: 3,
+            seed: 1,
+        };
         let db = orders_database(&cfg);
         assert_eq!(db.relation("Order").unwrap().len(), 10);
         assert_eq!(db.relation("Pay").unwrap().len(), 7);
@@ -83,7 +102,10 @@ mod tests {
 
     #[test]
     fn null_rate_zero_and_one() {
-        let none = orders_database(&OrdersConfig { null_rate: 0.0, ..OrdersConfig::default() });
+        let none = orders_database(&OrdersConfig {
+            null_rate: 0.0,
+            ..OrdersConfig::default()
+        });
         assert!(none.is_complete());
         let all = orders_database(&OrdersConfig {
             payments: 20,
@@ -98,7 +120,10 @@ mod tests {
         let a = orders_database(&OrdersConfig::default());
         let b = orders_database(&OrdersConfig::default());
         assert_eq!(a, b);
-        let c = orders_database(&OrdersConfig { seed: 7, ..OrdersConfig::default() });
+        let c = orders_database(&OrdersConfig {
+            seed: 7,
+            ..OrdersConfig::default()
+        });
         assert_ne!(a, c);
     }
 }

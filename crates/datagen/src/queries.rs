@@ -22,7 +22,12 @@ pub struct QueryGenConfig {
 
 impl Default for QueryGenConfig {
     fn default() -> Self {
-        QueryGenConfig { max_atoms: 2, max_union: 2, constant_pool: 5, seed: 0 }
+        QueryGenConfig {
+            max_atoms: 2,
+            max_union: 2,
+            constant_pool: 5,
+            seed: 0,
+        }
     }
 }
 
@@ -87,10 +92,8 @@ fn random_spj_block(schema: &Schema, rng: &mut StdRng, config: &QueryGenConfig) 
 pub fn random_division_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e3779b9));
     // Dividend: a binary base relation, possibly with a selection.
-    let binary: Vec<&relmodel::RelationSchema> =
-        schema.iter().filter(|r| r.arity() == 2).collect();
-    let unary: Vec<&relmodel::RelationSchema> =
-        schema.iter().filter(|r| r.arity() == 1).collect();
+    let binary: Vec<&relmodel::RelationSchema> = schema.iter().filter(|r| r.arity() == 2).collect();
+    let unary: Vec<&relmodel::RelationSchema> = schema.iter().filter(|r| r.arity() == 1).collect();
     assert!(
         !binary.is_empty() && !unary.is_empty(),
         "division generator needs a binary and a unary relation in the schema"
@@ -116,8 +119,18 @@ mod tests {
     fn positive_queries_are_positive_and_well_typed() {
         let schema = random_schema();
         for seed in 0..30 {
-            let q = random_positive_query(&schema, &QueryGenConfig { seed, ..Default::default() });
-            assert_eq!(classify(&q), QueryClass::Positive, "seed {seed} produced {q}");
+            let q = random_positive_query(
+                &schema,
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                classify(&q),
+                QueryClass::Positive,
+                "seed {seed} produced {q}"
+            );
             assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
         }
     }
@@ -126,7 +139,13 @@ mod tests {
     fn division_queries_are_racwa_and_well_typed() {
         let schema = random_schema();
         for seed in 0..30 {
-            let q = random_division_query(&schema, &QueryGenConfig { seed, ..Default::default() });
+            let q = random_division_query(
+                &schema,
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             assert_eq!(classify(&q), QueryClass::RaCwa, "seed {seed} produced {q}");
             assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
         }
@@ -135,8 +154,17 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         let schema = random_schema();
-        let cfg = QueryGenConfig { seed: 3, ..Default::default() };
-        assert_eq!(random_positive_query(&schema, &cfg), random_positive_query(&schema, &cfg));
-        assert_eq!(random_division_query(&schema, &cfg), random_division_query(&schema, &cfg));
+        let cfg = QueryGenConfig {
+            seed: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            random_positive_query(&schema, &cfg),
+            random_positive_query(&schema, &cfg)
+        );
+        assert_eq!(
+            random_division_query(&schema, &cfg),
+            random_division_query(&schema, &cfg)
+        );
     }
 }

@@ -52,15 +52,16 @@ pub fn random_database(config: &RandomDbConfig) -> Database {
             let tuple: Tuple = (0..rs.arity())
                 .map(|_| random_value(&mut rng, config))
                 .collect();
-            db.insert(&rs.name, tuple).expect("generated tuples match the schema");
+            db.insert(&rs.name, tuple)
+                .expect("generated tuples match the schema");
         }
     }
     db
 }
 
 fn random_value(rng: &mut StdRng, config: &RandomDbConfig) -> Value {
-    let use_null = config.distinct_nulls > 0
-        && rng.gen_range(0..100u32) < config.null_rate_percent.min(100);
+    let use_null =
+        config.distinct_nulls > 0 && rng.gen_range(0..100u32) < config.null_rate_percent.min(100);
     if use_null {
         Value::null(rng.gen_range(0..config.distinct_nulls as u64))
     } else {
@@ -74,7 +75,11 @@ mod tests {
 
     #[test]
     fn respects_sizes_and_null_pool() {
-        let cfg = RandomDbConfig { tuples_per_relation: 10, distinct_nulls: 3, ..Default::default() };
+        let cfg = RandomDbConfig {
+            tuples_per_relation: 10,
+            distinct_nulls: 3,
+            ..Default::default()
+        };
         let db = random_database(&cfg);
         // Set semantics may merge duplicates, so sizes are at most the request.
         assert!(db.relation("R").unwrap().len() <= 10);
@@ -84,13 +89,20 @@ mod tests {
 
     #[test]
     fn zero_null_rate_gives_complete_database() {
-        let cfg = RandomDbConfig { null_rate_percent: 0, ..Default::default() };
+        let cfg = RandomDbConfig {
+            null_rate_percent: 0,
+            ..Default::default()
+        };
         assert!(random_database(&cfg).is_complete());
     }
 
     #[test]
     fn all_nulls_when_rate_is_full() {
-        let cfg = RandomDbConfig { null_rate_percent: 100, distinct_nulls: 4, ..Default::default() };
+        let cfg = RandomDbConfig {
+            null_rate_percent: 100,
+            distinct_nulls: 4,
+            ..Default::default()
+        };
         let db = random_database(&cfg);
         assert!(db.constants().is_empty());
     }
@@ -103,7 +115,10 @@ mod tests {
         );
         assert_ne!(
             random_database(&RandomDbConfig::default()),
-            random_database(&RandomDbConfig { seed: 99, ..Default::default() })
+            random_database(&RandomDbConfig {
+                seed: 99,
+                ..Default::default()
+            })
         );
     }
 }

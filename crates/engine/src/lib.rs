@@ -1,0 +1,596 @@
+//! # engine — the single front door for certain-answer evaluation
+//!
+//! The paper's "how to fix it" message is a dispatch rule: **classify the
+//! query, then use naïve evaluation where it is provably exact** (UCQs under
+//! OWA and CWA, `RA_cwa` under CWA — Section 6) **and fall back to more
+//! expensive or explicitly approximate machinery elsewhere**. This crate is
+//! that rule as an API. Instead of hand-picking among `eval_naive`,
+//! `eval_3vl`, `certain_answer_worlds`, … at every call site, callers say:
+//!
+//! ```
+//! use engine::{Engine, Guarantee, StrategyKind};
+//! use relmodel::builder::orders_and_payments_example;
+//! use relmodel::Semantics;
+//!
+//! let db = orders_and_payments_example();
+//! let report = Engine::new(&db)
+//!     .semantics(Semantics::Cwa)
+//!     .plan_text("project[#0](Order)")
+//!     .unwrap();
+//! assert_eq!(report.strategy, StrategyKind::NaiveExact);
+//! assert_eq!(report.guarantee, Guarantee::Exact);
+//! assert_eq!(report.answers.len(), 2);
+//! ```
+//!
+//! and get back a [`CertainReport`]: the answers **plus** the strategy that
+//! produced them, the query's class, the guarantee the answers carry
+//! (exact / sound / complete / none), and per-phase timing. SQL's silent
+//! wrong answers — the failure gallery of the paper's introduction — become
+//! an explicitly requested baseline ([`Engine::baseline_3vl`]) whose report
+//! says `no-guarantee` out loud.
+//!
+//! ## Dispatch rule
+//!
+//! | class      | semantics | default strategy        | guarantee |
+//! |------------|-----------|-------------------------|-----------|
+//! | positive   | OWA / CWA | naïve evaluation        | exact     |
+//! | `RA_cwa`   | CWA       | naïve evaluation        | exact     |
+//! | `RA_cwa`   | OWA       | naïve evaluation        | complete  |
+//! | full RA    | CWA       | certain⁺ pair evaluation| sound     |
+//! | full RA    | OWA       | certain⁺ pair evaluation| none      |
+//!
+//! (`certain⁺` is [`releval::approx`]: under/over-approximating pair
+//! evaluation with null unification — polynomial, and sound under CWA where
+//! exact certain answers are coNP-hard.)
+//!
+//! In [`EngineOptions::exhaustive`] mode the three non-exact rows upgrade to
+//! possible-world enumeration while the database fits the `max_nulls` /
+//! `max_worlds` budget, and degrade back to the table above — with
+//! [`EngineStats::degraded`] set — when it does not. The planner is therefore
+//! never *accidentally* exponential. Enumeration is `exact` under CWA, where
+//! the worlds *are* `[[D]]_cwa`; under OWA only finitely many of the
+//! infinitely many supersets can be visited, so for non-monotone classes the
+//! enumerated intersection is an over-approximation and is reported as
+//! `complete`, not `exact`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod options;
+mod report;
+
+pub use options::EngineOptions;
+pub use report::{CertainReport, EngineStats, Guarantee, StrategyKind};
+
+use std::fmt;
+use std::time::Instant;
+
+use relalgebra::ast::RaExpr;
+use relalgebra::classify::QueryClass;
+use relalgebra::plan::PlannedQuery;
+use relalgebra::typecheck::TypeError;
+use releval::approx::eval_approx_unchecked;
+use releval::strategy::{NaiveEvaluation, Strategy, ThreeValuedEvaluation};
+use releval::worlds::{certain_answer_worlds_counted, estimated_world_count};
+use releval::EvalError;
+use relmodel::{Database, Semantics};
+
+/// Errors from the engine front door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A textual query failed to parse or typecheck.
+    Text(qparser::PlanTextError),
+    /// An expression failed to typecheck against the database schema.
+    Type(TypeError),
+    /// The selected strategy failed (world budget, incomplete input, …).
+    Eval(EvalError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Text(e) => write!(f, "{e}"),
+            EngineError::Type(e) => write!(f, "type error: {e}"),
+            EngineError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<qparser::PlanTextError> for EngineError {
+    fn from(e: qparser::PlanTextError) -> Self {
+        EngineError::Text(e)
+    }
+}
+
+impl From<TypeError> for EngineError {
+    fn from(e: TypeError) -> Self {
+        EngineError::Type(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+/// The classify-and-dispatch evaluation engine over one database.
+///
+/// Construction is free; the engine borrows the database and is configured by
+/// chaining [`Engine::semantics`] and [`Engine::options`].
+#[derive(Debug, Clone)]
+pub struct Engine<'db> {
+    db: &'db Database,
+    semantics: Semantics,
+    options: EngineOptions,
+}
+
+impl<'db> Engine<'db> {
+    /// An engine over `db`, defaulting to CWA semantics and the conservative
+    /// default [`EngineOptions`].
+    pub fn new(db: &'db Database) -> Self {
+        Engine {
+            db,
+            semantics: Semantics::Cwa,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Selects the possible-world semantics queries are answered under.
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Replaces the planner options.
+    pub fn options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The database the engine answers over.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Classifies, dispatches, executes, and reports on `query`.
+    pub fn plan(&self, query: &RaExpr) -> Result<CertainReport, EngineError> {
+        let started = Instant::now();
+        let plan = PlannedQuery::new(query.clone(), self.db.schema())?;
+        self.finish(plan, started)
+    }
+
+    /// [`Engine::plan`] for textual queries: parse, typecheck, classify,
+    /// dispatch, execute — one call from text to guaranteed answers.
+    pub fn plan_text(&self, query: &str) -> Result<CertainReport, EngineError> {
+        let started = Instant::now();
+        let plan = qparser::parse_and_plan(query, self.db.schema())?;
+        self.finish(plan, started)
+    }
+
+    /// [`Engine::plan`] for a query that is already typechecked against this
+    /// database's schema.
+    pub fn plan_prepared(&self, plan: &PlannedQuery) -> Result<CertainReport, EngineError> {
+        let started = Instant::now();
+        self.finish(plan.clone(), started)
+    }
+
+    /// Executes `query` with a caller-chosen strategy instead of the
+    /// planner's choice. The report's guarantee is still computed honestly
+    /// for the query's class — forcing [`StrategyKind::NaiveExact`] on a full
+    /// RA query yields `no-guarantee`, not `exact`.
+    pub fn plan_with(
+        &self,
+        strategy: StrategyKind,
+        query: &RaExpr,
+    ) -> Result<CertainReport, EngineError> {
+        let started = Instant::now();
+        let plan = PlannedQuery::new(query.clone(), self.db.schema())?;
+        let plan_time = started.elapsed();
+        let decision = Decision {
+            strategy,
+            guarantee: strategy.guarantee(plan.class(), self.semantics),
+            estimated_worlds: None,
+            degraded: false,
+        };
+        self.execute(plan, decision, plan_time, started)
+    }
+
+    /// The paper's "what SQL does" baseline through the front door: evaluates
+    /// under three-valued logic and reports it as such, with no guarantee.
+    pub fn baseline_3vl(&self, query: &RaExpr) -> Result<CertainReport, EngineError> {
+        self.plan_with(StrategyKind::ThreeValuedBaseline, query)
+    }
+
+    /// Possible-world ground truth through the front door (subject to the
+    /// engine's world budget — errs rather than degrading, since the caller
+    /// asked for the truth and nothing else).
+    pub fn ground_truth(&self, query: &RaExpr) -> Result<CertainReport, EngineError> {
+        self.plan_with(StrategyKind::WorldsGroundTruth, query)
+    }
+
+    /// The planner's decision for a query of the given class over this
+    /// database, without executing anything: which strategy would run, and
+    /// what guarantee the answer would carry.
+    pub fn select_strategy(&self, query: &RaExpr, class: QueryClass) -> (StrategyKind, Guarantee) {
+        let decision = self.decide(query, class);
+        (decision.strategy, decision.guarantee)
+    }
+
+    fn finish(&self, plan: PlannedQuery, started: Instant) -> Result<CertainReport, EngineError> {
+        let plan_time = started.elapsed();
+        let decision = self.decide(plan.expr(), plan.class());
+        self.execute(plan, decision, plan_time, started)
+    }
+
+    fn decide(&self, query: &RaExpr, class: QueryClass) -> Decision {
+        if class.naive_evaluation_sound(self.semantics) {
+            return Decision {
+                strategy: StrategyKind::NaiveExact,
+                guarantee: Guarantee::Exact,
+                estimated_worlds: None,
+                degraded: false,
+            };
+        }
+        let fallback = StrategyKind::SoundApproximation;
+        if !self.options.exhaustive {
+            return Decision {
+                strategy: fallback,
+                guarantee: fallback.guarantee(class, self.semantics),
+                estimated_worlds: None,
+                degraded: false,
+            };
+        }
+        let estimate = estimated_world_count(query, self.db, &self.options.world_options);
+        let within_budget = self.db.null_ids().len() <= self.options.max_nulls
+            && estimate <= self.options.world_options.max_worlds;
+        if within_budget {
+            Decision {
+                strategy: StrategyKind::WorldsGroundTruth,
+                guarantee: StrategyKind::WorldsGroundTruth.guarantee(class, self.semantics),
+                estimated_worlds: Some(estimate),
+                degraded: false,
+            }
+        } else {
+            // The explicit degradation the budget exists for: report the
+            // approximation instead of hanging on an exponential enumeration.
+            Decision {
+                strategy: fallback,
+                guarantee: fallback.guarantee(class, self.semantics),
+                estimated_worlds: Some(estimate),
+                degraded: true,
+            }
+        }
+    }
+
+    fn execute(
+        &self,
+        plan: PlannedQuery,
+        decision: Decision,
+        plan_time: std::time::Duration,
+        started: Instant,
+    ) -> Result<CertainReport, EngineError> {
+        let execute_started = Instant::now();
+        let mut worlds_enumerated = None;
+        let (answers, object_answer) = match decision.strategy {
+            StrategyKind::NaiveExact => {
+                let object = NaiveEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
+                (object.complete_part(), Some(object))
+            }
+            StrategyKind::ThreeValuedBaseline => {
+                let raw = ThreeValuedEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
+                (raw.complete_part(), Some(raw))
+            }
+            StrategyKind::WorldsGroundTruth => {
+                // Bypasses the `Strategy` facade for the one datum it cannot
+                // carry: the number of worlds actually enumerated.
+                let (answers, count) = certain_answer_worlds_counted(
+                    &plan,
+                    self.db,
+                    self.semantics,
+                    &self.options.world_options,
+                )?;
+                worlds_enumerated = Some(count);
+                (answers, None)
+            }
+            StrategyKind::SoundApproximation => {
+                if plan.class() == QueryClass::RaCwa && self.semantics == Semantics::Owa {
+                    // Naïve evaluation computes the CWA certain answer for
+                    // RA_cwa (Section 6.2), which contains the OWA one: a
+                    // provable over-approximation, reported as `complete`.
+                    let naive = NaiveEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
+                    (naive.complete_part(), Some(naive))
+                } else {
+                    // Pair evaluation: the certain⁺ under-approximation.
+                    let approx = eval_approx_unchecked(plan.expr(), self.db);
+                    (approx.certain.complete_part(), Some(approx.certain))
+                }
+            }
+        };
+        let execute_time = execute_started.elapsed();
+        Ok(CertainReport {
+            answers,
+            object_answer,
+            strategy: decision.strategy,
+            guarantee: decision.guarantee,
+            class: plan.class(),
+            semantics: self.semantics,
+            stats: EngineStats {
+                plan_time,
+                execute_time,
+                total_time: started.elapsed(),
+                nulls: self.db.null_ids().len(),
+                estimated_worlds: decision.estimated_worlds,
+                worlds_enumerated,
+                degraded: decision.degraded,
+            },
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    strategy: StrategyKind,
+    guarantee: Guarantee,
+    estimated_worlds: Option<u128>,
+    degraded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::builder::{difference_example, orders_and_payments_example};
+    use relmodel::{DatabaseBuilder, Tuple, Value};
+
+    #[test]
+    fn positive_queries_dispatch_to_naive_exact() {
+        let db = orders_and_payments_example();
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let report = Engine::new(&db)
+                .semantics(semantics)
+                .plan_text("project[#0](Order)")
+                .unwrap();
+            assert_eq!(report.strategy, StrategyKind::NaiveExact);
+            assert_eq!(report.guarantee, Guarantee::Exact);
+            assert_eq!(report.class, QueryClass::Positive);
+            assert_eq!(report.answers.len(), 2);
+            assert!(report.object_answer.is_some());
+        }
+    }
+
+    #[test]
+    fn division_is_exact_under_cwa_and_complete_under_owa() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .ints("S", &[10])
+            .ints("S", &[20])
+            .build();
+        let q = qparser::parse("R divide S").unwrap();
+        let cwa = Engine::new(&db).plan(&q).unwrap();
+        assert_eq!(cwa.strategy, StrategyKind::NaiveExact);
+        assert_eq!(cwa.guarantee, Guarantee::Exact);
+        assert!(cwa.answers.contains(&Tuple::ints(&[1])));
+
+        let owa = Engine::new(&db).semantics(Semantics::Owa).plan(&q).unwrap();
+        assert_eq!(owa.strategy, StrategyKind::SoundApproximation);
+        assert_eq!(owa.guarantee, Guarantee::Complete);
+    }
+
+    #[test]
+    fn full_ra_defaults_to_sound_approximation() {
+        let db = orders_and_payments_example();
+        let report = Engine::new(&db)
+            .plan_text("project[#0](Order) minus project[#1](Pay)")
+            .unwrap();
+        assert_eq!(report.class, QueryClass::FullRa);
+        assert_eq!(report.strategy, StrategyKind::SoundApproximation);
+        assert_eq!(report.guarantee, Guarantee::Sound);
+        // The certain answer here is ∅; sound means we must not over-report —
+        // unlike naïve evaluation, which would return both orders.
+        assert!(report.answers.is_empty());
+        assert!(report.object_answer.as_ref().unwrap().is_empty());
+        let naive = Engine::new(&db)
+            .plan_with(
+                StrategyKind::NaiveExact,
+                &qparser::parse("project[#0](Order) minus project[#1](Pay)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(naive.object_answer.unwrap().len(), 2);
+        assert_eq!(naive.guarantee, Guarantee::NoGuarantee);
+    }
+
+    #[test]
+    fn exhaustive_mode_upgrades_to_ground_truth_within_budget() {
+        let db = orders_and_payments_example();
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        let report = engine
+            .plan_text("project[#0](Order) minus project[#1](Pay)")
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert!(report.answers.is_empty());
+        assert!(report.stats.worlds_enumerated.is_some());
+        assert!(!report.stats.degraded);
+    }
+
+    #[test]
+    fn budget_degrades_explicitly_instead_of_hanging() {
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"]);
+        for i in 0..12u64 {
+            b = b.tuple("S", vec![Value::null(i)]);
+        }
+        b = b.ints("R", &[1]);
+        let db = b.build();
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive().with_max_nulls(4));
+        let report = engine.plan_text("R minus S").unwrap();
+        assert_eq!(report.strategy, StrategyKind::SoundApproximation);
+        assert!(report.stats.degraded);
+        assert!(report.stats.estimated_worlds.unwrap() > 1_000_000);
+        // The forced ground-truth path errs instead of degrading.
+        let q = qparser::parse("R minus S").unwrap();
+        let err = engine.ground_truth(&q).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Eval(EvalError::WorldBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn owa_enumeration_never_claims_exact_beyond_the_monotone_fragment() {
+        // Finite OWA enumeration visits only some of the infinitely many
+        // supersets, so for a non-monotone query its intersection may keep
+        // tuples the true certain answer loses: R = {1}, S = ∅ — a world may
+        // add 1 to S, so certain(R − S) = ∅ under OWA, yet minimal-world
+        // enumeration answers {1}. The report must say `complete`, not
+        // `exact`.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"])
+            .ints("R", &[1])
+            .build();
+        let engine = Engine::new(&db)
+            .semantics(Semantics::Owa)
+            .options(EngineOptions::exhaustive());
+        let report = engine.plan_text("R minus S").unwrap();
+        assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
+        assert_eq!(report.guarantee, Guarantee::Complete);
+        assert_eq!(report.answers.len(), 1);
+        // Letting worlds grow exposes the shrinkage the label must allow for.
+        let grown = Engine::new(&db)
+            .semantics(Semantics::Owa)
+            .options(
+                EngineOptions::exhaustive()
+                    .with_world_options(releval::worlds::WorldOptions::with_owa_extra(1)),
+            )
+            .plan_text("R minus S")
+            .unwrap();
+        assert!(grown.answers.is_empty());
+        // Positive queries stay exact: minimal worlds attain the intersection.
+        let pos = engine.plan_with(
+            StrategyKind::WorldsGroundTruth,
+            &qparser::parse("R").unwrap(),
+        );
+        assert_eq!(pos.unwrap().guarantee, Guarantee::Exact);
+    }
+
+    #[test]
+    fn worlds_enumerated_counts_distinct_worlds_not_valuations() {
+        // Two nulls over a one-constant-rich domain: many valuations collapse
+        // to the same world, and the report must count worlds, not
+        // valuations.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .tuple("R", vec![Value::null(0)])
+            .tuple("R", vec![Value::null(1)])
+            .build();
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        let report = engine.plan_text("R minus R").unwrap();
+        let enumerated = report.stats.worlds_enumerated.unwrap();
+        let estimated = report.stats.estimated_worlds.unwrap();
+        assert!(
+            enumerated < estimated,
+            "dedup must show: {enumerated} worlds from {estimated} valuations"
+        );
+    }
+
+    #[test]
+    fn baseline_reports_what_sql_would_say_with_no_guarantee() {
+        let db = orders_and_payments_example();
+        let q = qparser::parse("project[#0](select[#1 = 'oid1' or #1 != 'oid1'](Pay))").unwrap();
+        let report = Engine::new(&db).baseline_3vl(&q).unwrap();
+        assert_eq!(report.strategy, StrategyKind::ThreeValuedBaseline);
+        assert_eq!(report.guarantee, Guarantee::NoGuarantee);
+        assert!(
+            report.object_answer.unwrap().is_empty(),
+            "3VL drops the tautology row"
+        );
+        // Ground truth through the same door disagrees — and is labelled exact.
+        let truth = Engine::new(&db).ground_truth(&q).unwrap();
+        assert_eq!(truth.answers.len(), 1);
+        assert_eq!(truth.guarantee, Guarantee::Exact);
+    }
+
+    #[test]
+    fn forcing_naive_on_full_ra_reports_no_guarantee() {
+        let db = difference_example();
+        let q = qparser::parse("R minus S").unwrap();
+        let report = Engine::new(&db)
+            .plan_with(StrategyKind::NaiveExact, &q)
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::NaiveExact);
+        assert_eq!(report.guarantee, Guarantee::NoGuarantee);
+        assert_eq!(
+            report.answers.len(),
+            2,
+            "naïve over-reports, and the label warns about it"
+        );
+    }
+
+    #[test]
+    fn certain_true_respects_guarantees() {
+        let db = orders_and_payments_example();
+        // "Is some order certainly unpaid?" — Boolean query, ground truth: yes.
+        let q = qparser::parse("project[#0](Order) minus project[#1](Pay)")
+            .unwrap()
+            .project(vec![]);
+        let exhaustive = Engine::new(&db).options(EngineOptions::exhaustive());
+        assert_eq!(exhaustive.plan(&q).unwrap().certain_true(), Some(true));
+        // The sound approximation returns ∅ for this query: too weak to
+        // conclude either way, and the report says so.
+        assert_eq!(Engine::new(&db).plan(&q).unwrap().certain_true(), None);
+        // SQL's baseline can conclude nothing at all.
+        assert_eq!(
+            Engine::new(&db).baseline_3vl(&q).unwrap().certain_true(),
+            None
+        );
+    }
+
+    #[test]
+    fn select_strategy_previews_without_executing() {
+        let db = orders_and_payments_example();
+        let engine = Engine::new(&db);
+        let q = qparser::parse("project[#0](Order)").unwrap();
+        assert_eq!(
+            engine.select_strategy(&q, QueryClass::Positive),
+            (StrategyKind::NaiveExact, Guarantee::Exact)
+        );
+        let hard = qparser::parse("project[#0](Order) minus project[#1](Pay)").unwrap();
+        assert_eq!(
+            engine.select_strategy(&hard, QueryClass::FullRa),
+            (StrategyKind::SoundApproximation, Guarantee::Sound)
+        );
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        let db = orders_and_payments_example();
+        let engine = Engine::new(&db);
+        assert!(matches!(
+            engine.plan_text("project[#0]("),
+            Err(EngineError::Text(_))
+        ));
+        assert!(matches!(
+            engine.plan(&RaExpr::relation("Nope")),
+            Err(EngineError::Type(_))
+        ));
+        let e = engine.plan_text("Nope").unwrap_err();
+        assert!(e.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn stats_record_phases_and_nulls() {
+        let db = orders_and_payments_example();
+        let report = Engine::new(&db).plan_text("project[#0](Order)").unwrap();
+        assert_eq!(report.stats.nulls, 1);
+        assert!(report.stats.total_time >= report.stats.execute_time);
+        assert!(report.to_string().contains("naive-exact"));
+    }
+}

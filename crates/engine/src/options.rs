@@ -1,0 +1,89 @@
+//! Budgets and modes governing the planner's strategy choice.
+
+use releval::worlds::WorldOptions;
+
+/// Options controlling how far the engine may go for a query outside the
+/// theorem-backed fragment.
+///
+/// With the default options the engine is **never exponential**: it answers
+/// exactly where the paper proves naïve evaluation correct, and otherwise
+/// returns an explicitly-labelled approximation. Opting into
+/// [`EngineOptions::exhaustive`] allows possible-world enumeration as the
+/// ground truth for hard queries, *within* the `max_nulls` / `max_worlds`
+/// budget; when the budget would be blown, the planner degrades back to the
+/// sound approximation and says so ([`crate::EngineStats::degraded`]) rather
+/// than hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Allow possible-world enumeration for queries whose class has no naïve
+    /// guarantee. Off by default: enumeration is exponential in the number of
+    /// nulls, which is exactly the cost the paper's fix avoids.
+    pub exhaustive: bool,
+    /// Ground-truth budget: refuse enumeration when the database has more
+    /// distinct nulls than this.
+    pub max_nulls: usize,
+    /// Domain construction and world budget for enumeration, shared with
+    /// [`releval::worlds`]. Its `max_worlds` field is the second budget axis.
+    pub world_options: WorldOptions,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            exhaustive: false,
+            max_nulls: 8,
+            world_options: WorldOptions::default(),
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options allowing ground-truth enumeration (within the default budget).
+    pub fn exhaustive() -> Self {
+        EngineOptions {
+            exhaustive: true,
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Sets the maximum number of nulls for which enumeration is attempted.
+    pub fn with_max_nulls(mut self, max_nulls: usize) -> Self {
+        self.max_nulls = max_nulls;
+        self
+    }
+
+    /// Sets the world-count budget for enumeration.
+    pub fn with_max_worlds(mut self, max_worlds: u128) -> Self {
+        self.world_options.max_worlds = max_worlds;
+        self
+    }
+
+    /// Replaces the whole world-enumeration configuration.
+    pub fn with_world_options(mut self, opts: WorldOptions) -> Self {
+        self.world_options = opts;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_conservative() {
+        let opts = EngineOptions::default();
+        assert!(!opts.exhaustive);
+        assert!(opts.max_nulls >= 1);
+        assert_eq!(opts.world_options, WorldOptions::default());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let opts = EngineOptions::exhaustive()
+            .with_max_nulls(3)
+            .with_max_worlds(100);
+        assert!(opts.exhaustive);
+        assert_eq!(opts.max_nulls, 3);
+        assert_eq!(opts.world_options.max_worlds, 100);
+    }
+}

@@ -1,0 +1,207 @@
+//! Guarantee-carrying results: what the engine answered, how, and what the
+//! answer is worth.
+
+use std::fmt;
+use std::time::Duration;
+
+use relalgebra::classify::QueryClass;
+use relmodel::{Relation, Semantics};
+
+/// The strategy the engine dispatched a query to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Naïve evaluation on the fragment where the paper proves it exact
+    /// (UCQs under either semantics, `RA_cwa` under CWA).
+    NaiveExact,
+    /// Possible-world enumeration — the classical intersection-based certain
+    /// answer, exponential in the number of nulls. Selected automatically
+    /// only in [`crate::EngineOptions::exhaustive`] mode, within budget.
+    WorldsGroundTruth,
+    /// SQL's three-valued logic, as a *baseline*: what a SQL engine would
+    /// return. Never selected automatically; request it explicitly to
+    /// reproduce the paper's §1 failure gallery through the same front door.
+    ThreeValuedBaseline,
+    /// The polynomial fallback beyond the exact fragment: certain⁺/possible?
+    /// pair evaluation with null unification (`releval::approx`), sound under
+    /// CWA — or naïve evaluation alone where that yields a provable
+    /// over-approximation (`RA_cwa` under OWA).
+    SoundApproximation,
+}
+
+impl StrategyKind {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::NaiveExact => "naive-exact",
+            StrategyKind::WorldsGroundTruth => "worlds-ground-truth",
+            StrategyKind::ThreeValuedBaseline => "sql-3vl-baseline",
+            StrategyKind::SoundApproximation => "sound-approximation",
+        }
+    }
+
+    /// The guarantee this strategy can honestly attach to its answer for a
+    /// query of the given class under the given semantics.
+    pub fn guarantee(self, class: QueryClass, semantics: Semantics) -> Guarantee {
+        match self {
+            // Under CWA the enumerated worlds are exactly `[[D]]_cwa`, so the
+            // intersection is the certain answer by definition. Under OWA the
+            // enumeration visits finitely many of the infinitely many
+            // supersets: for monotone (positive) queries the minimal worlds
+            // already attain the intersection, but beyond that fragment
+            // intersecting *fewer* worlds can only over-approximate — no
+            // false negatives, hence `Complete`.
+            StrategyKind::WorldsGroundTruth => match (class, semantics) {
+                (_, Semantics::Cwa) | (QueryClass::Positive, Semantics::Owa) => Guarantee::Exact,
+                (_, Semantics::Owa) => Guarantee::Complete,
+            },
+            StrategyKind::ThreeValuedBaseline => Guarantee::NoGuarantee,
+            StrategyKind::NaiveExact => {
+                if class.naive_evaluation_sound(semantics) {
+                    Guarantee::Exact
+                } else if class == QueryClass::RaCwa && semantics == Semantics::Owa {
+                    // naïve = certain_cwa ⊇ certain_owa: an over-approximation.
+                    Guarantee::Complete
+                } else {
+                    Guarantee::NoGuarantee
+                }
+            }
+            StrategyKind::SoundApproximation => match (class, semantics) {
+                // naïve alone: certain_cwa over-approximates certain_owa.
+                (QueryClass::RaCwa, Semantics::Owa) => Guarantee::Complete,
+                // Under OWA, certain answers for full RA are undecidable; no
+                // finite evaluation can promise anything.
+                (QueryClass::FullRa, Semantics::Owa) => Guarantee::NoGuarantee,
+                // Exact fragment (under-claims: the answer is in fact exact
+                // before the ∩) and full RA under CWA.
+                _ => Guarantee::Sound,
+            },
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a [`CertainReport`]'s answer set is worth, relative to the classical
+/// certain answer `certain(Q, D)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guarantee {
+    /// `answers = certain(Q, D)`.
+    Exact,
+    /// `answers ⊆ certain(Q, D)`: no false positives, possibly incomplete.
+    Sound,
+    /// `answers ⊇ certain(Q, D)`: no false negatives, possibly over-full.
+    Complete,
+    /// No relationship promised (e.g. raw SQL 3VL output).
+    NoGuarantee,
+}
+
+impl Guarantee {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Guarantee::Exact => "exact",
+            Guarantee::Sound => "sound",
+            Guarantee::Complete => "complete",
+            Guarantee::NoGuarantee => "no-guarantee",
+        }
+    }
+
+    /// May a tuple in the answer set be trusted to be certain?
+    pub fn answers_are_certain(self) -> bool {
+        matches!(self, Guarantee::Exact | Guarantee::Sound)
+    }
+
+    /// Is every certain tuple guaranteed to appear in the answer set?
+    pub fn answers_are_complete(self) -> bool {
+        matches!(self, Guarantee::Exact | Guarantee::Complete)
+    }
+}
+
+impl fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-phase timing and planner telemetry for one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Time to parse (if textual), typecheck and classify the query.
+    pub plan_time: Duration,
+    /// Time spent executing the selected strategy.
+    pub execute_time: Duration,
+    /// End-to-end time of the engine call.
+    pub total_time: Duration,
+    /// Number of distinct marked nulls in the database.
+    pub nulls: usize,
+    /// The planner's `|domain|^|nulls|` world-count estimate, when ground
+    /// truth was considered.
+    pub estimated_worlds: Option<u128>,
+    /// Worlds actually enumerated, when the worlds strategy ran.
+    pub worlds_enumerated: Option<u128>,
+    /// True when exhaustive mode was requested but the budget forced the
+    /// planner to degrade to the sound approximation.
+    pub degraded: bool,
+}
+
+/// The engine's answer to a query: the tuples, the strategy that produced
+/// them, and the guarantee they carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertainReport {
+    /// The (classical, null-free) certain-answer estimate — exactly what the
+    /// [`Guarantee`] says it is.
+    pub answers: Relation,
+    /// The raw evaluator output, where the strategy has one: the object-level
+    /// naïve answer (nulls included) for [`StrategyKind::NaiveExact`], the
+    /// literal SQL answer for [`StrategyKind::ThreeValuedBaseline`].
+    pub object_answer: Option<Relation>,
+    /// Which evaluator answered.
+    pub strategy: StrategyKind,
+    /// What the answer set is worth.
+    pub guarantee: Guarantee,
+    /// The syntactic class the classifier assigned.
+    pub class: QueryClass,
+    /// The possible-world semantics the query was answered under.
+    pub semantics: Semantics,
+    /// Per-phase timing and planner telemetry.
+    pub stats: EngineStats,
+}
+
+impl CertainReport {
+    /// For Boolean (arity-0) queries: is the query certainly true / certainly
+    /// false, insofar as the guarantee allows concluding it?
+    ///
+    /// * `Some(true)` — the answer set is nonempty and carries no false
+    ///   positives, so the query holds in every world.
+    /// * `Some(false)` — the answer set is empty and carries no false
+    ///   negatives, so the query fails in some world.
+    /// * `None` — the guarantee is too weak to conclude either.
+    pub fn certain_true(&self) -> Option<bool> {
+        if !self.answers.is_empty() && self.guarantee.answers_are_certain() {
+            Some(true)
+        } else if self.answers.is_empty() && self.guarantee.answers_are_complete() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for CertainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} | {} | {} | {} tuple(s) in {:?}]",
+            self.answers,
+            self.strategy,
+            self.guarantee,
+            self.class,
+            self.answers.len(),
+            self.stats.total_time
+        )
+    }
+}

@@ -62,7 +62,11 @@ pub fn chase(source: &Database, mapping: &SchemaMapping) -> ChaseResult {
         }
     }
 
-    ChaseResult { target, triggers_fired: triggers, nulls_introduced: next_null - start_null }
+    ChaseResult {
+        target,
+        triggers_fired: triggers,
+        nulls_introduced: next_null - start_null,
+    }
 }
 
 /// Enumerates all homomorphic matches of a conjunction of atoms into a

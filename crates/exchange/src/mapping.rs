@@ -68,14 +68,20 @@ impl SchemaMapping {
                 }
             }
         }
-        Ok(SchemaMapping { source, target, tgds })
+        Ok(SchemaMapping {
+            source,
+            target,
+            tgds,
+        })
     }
 
     /// The paper's running example: copy the `Order` relation into a
     /// customers-and-preferences target via
     /// `Order(i, p) → ∃x Cust(x) ∧ Pref(x, p)`.
     pub fn order_to_customer_example() -> SchemaMapping {
-        let source = Schema::builder().relation("Order", &["o_id", "product"]).build();
+        let source = Schema::builder()
+            .relation("Order", &["o_id", "product"])
+            .build();
         let target = Schema::builder()
             .relation("Cust", &["cust"])
             .relation("Pref", &["cust", "product"])

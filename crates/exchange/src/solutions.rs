@@ -10,12 +10,11 @@
 use std::collections::BTreeMap;
 
 use certain_core::homomorphism::{is_homomorphic, HomKind};
+use engine::{Engine, EngineError, StrategyKind};
 use relalgebra::ast::RaExpr;
 use relalgebra::cq::Term;
 use relmodel::value::Value;
 use relmodel::{Database, Relation};
-use releval::naive::certain_answer_naive;
-use releval::EvalError;
 
 use crate::chase::{all_matches, chase};
 use crate::mapping::SchemaMapping;
@@ -68,7 +67,7 @@ fn all_matches_with_seed(
             // any variable the seed bound to a null must be matched to exactly
             // that null in the target
             seed.iter().all(|(v, val)| match val {
-                Value::Null(_) => m.get(v).map_or(true, |found| found == val),
+                Value::Null(_) => m.get(v).is_none_or(|found| found == val),
                 Value::Const(_) => true,
             })
         })
@@ -78,20 +77,22 @@ fn all_matches_with_seed(
 /// Is `candidate` universal for the given set of solutions — does it map
 /// homomorphically into each of them?
 pub fn is_universal_for(candidate: &Database, solutions: &[Database]) -> bool {
-    solutions.iter().all(|s| is_homomorphic(candidate, s, HomKind::Any))
+    solutions
+        .iter()
+        .all(|s| is_homomorphic(candidate, s, HomKind::Any))
 }
 
 /// Certain answers to a target query in data exchange: chase the source, then
 /// evaluate the query naïvely over the canonical target instance and keep the
 /// null-free tuples. Correct for unions of conjunctive queries (the classical
-/// Fagin–Kolaitis–Miller–Popa result).
+/// Fagin–Kolaitis–Miller–Popa result) — which is why the engine strategy is
+/// pinned to naïve evaluation here rather than left to the planner.
 pub fn certain_answer_exchange(
     source: &Database,
     mapping: &SchemaMapping,
     query: &RaExpr,
-) -> Result<Relation, EvalError> {
-    let chased = chase(source, mapping);
-    certain_answer_naive(query, &chased.target)
+) -> Result<Relation, EngineError> {
+    Ok(exchange_and_answer(source, mapping, query)?.certain)
 }
 
 /// A convenience bundle: the chased target plus the certain answer to a query.
@@ -105,16 +106,23 @@ pub struct ExchangeAnswer {
     pub naive_object: Relation,
 }
 
-/// Runs the full pipeline: chase, naïve evaluation, certain answer.
+/// Runs the full pipeline: chase, naïve evaluation through the engine,
+/// certain answer.
 pub fn exchange_and_answer(
     source: &Database,
     mapping: &SchemaMapping,
     query: &RaExpr,
-) -> Result<ExchangeAnswer, EvalError> {
+) -> Result<ExchangeAnswer, EngineError> {
     let chased = chase(source, mapping);
-    let naive_object = releval::naive::eval_naive(query, &chased.target)?;
-    let certain = naive_object.complete_part();
-    Ok(ExchangeAnswer { canonical_target: chased.target, certain, naive_object })
+    let report = Engine::new(&chased.target).plan_with(StrategyKind::NaiveExact, query)?;
+    let naive_object = report
+        .object_answer
+        .expect("naïve evaluation always yields an object answer");
+    Ok(ExchangeAnswer {
+        canonical_target: chased.target,
+        certain: report.answers,
+        naive_object,
+    })
 }
 
 #[cfg(test)]
@@ -147,7 +155,7 @@ mod tests {
             .strs("Pref", &["alice", "pr2"])
             .build();
         assert!(is_solution(&src, &other, &mapping));
-        assert!(is_universal_for(&canonical, &[other.clone()]));
+        assert!(is_universal_for(&canonical, std::slice::from_ref(&other)));
         // The concrete solution is NOT universal: constants cannot be mapped away.
         assert!(!is_universal_for(&other, &[canonical]));
     }

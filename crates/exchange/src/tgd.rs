@@ -77,12 +77,21 @@ impl fmt::Display for Tgd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
         let head: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
-        let existential: Vec<String> =
-            self.existential_vars().iter().map(|v| format!("x{v}")).collect();
+        let existential: Vec<String> = self
+            .existential_vars()
+            .iter()
+            .map(|v| format!("x{v}"))
+            .collect();
         if existential.is_empty() {
             write!(f, "{} → {}", body.join(" ∧ "), head.join(" ∧ "))
         } else {
-            write!(f, "{} → ∃{} {}", body.join(" ∧ "), existential.join(","), head.join(" ∧ "))
+            write!(
+                f,
+                "{} → ∃{} {}",
+                body.join(" ∧ "),
+                existential.join(","),
+                head.join(" ∧ ")
+            )
         }
     }
 }

@@ -107,7 +107,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::NotEq);
                     i += 2;
                 } else {
-                    return Err(LexError { position: i, message: "expected '=' after '!'".into() });
+                    return Err(LexError {
+                        position: i,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '<' => {
@@ -115,7 +118,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::NotEq);
                     i += 2;
                 } else {
-                    return Err(LexError { position: i, message: "expected '>' after '<'".into() });
+                    return Err(LexError {
+                        position: i,
+                        message: "expected '>' after '<'".into(),
+                    });
                 }
             }
             '\'' => {
@@ -125,7 +131,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == bytes.len() {
-                    return Err(LexError { position: i, message: "unterminated string literal".into() });
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
                 }
                 tokens.push(Token::Str(bytes[start..j].iter().collect()));
                 i = j + 1;
@@ -201,6 +210,11 @@ mod tests {
         for t in tokenize("select[#0 = 1](R)").unwrap() {
             assert!(!t.to_string().is_empty());
         }
-        assert!(LexError { position: 0, message: "x".into() }.to_string().contains("byte 0"));
+        assert!(LexError {
+            position: 0,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 0"));
     }
 }

@@ -36,6 +36,8 @@
 
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse, ParseError};
+pub use plan::{parse_and_plan, PlanTextError};

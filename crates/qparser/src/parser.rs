@@ -30,7 +30,9 @@ impl fmt::Display for ParseError {
             ParseError::Unexpected { found, expected } => {
                 write!(f, "unexpected `{found}`, expected {expected}")
             }
-            ParseError::TrailingInput(tok) => write!(f, "unexpected trailing input starting at `{tok}`"),
+            ParseError::TrailingInput(tok) => {
+                write!(f, "unexpected trailing input starting at `{tok}`")
+            }
         }
     }
 }
@@ -49,7 +51,9 @@ pub fn parse(input: &str) -> Result<RaExpr, ParseError> {
     let mut parser = Parser { tokens, pos: 0 };
     let expr = parser.expr()?;
     if parser.pos != parser.tokens.len() {
-        return Err(ParseError::TrailingInput(parser.tokens[parser.pos].to_string()));
+        return Err(ParseError::TrailingInput(
+            parser.tokens[parser.pos].to_string(),
+        ));
     }
     Ok(expr)
 }
@@ -238,7 +242,11 @@ impl Parser {
                     }
                 };
                 let right = self.operand()?;
-                Ok(if negated { Predicate::neq(left, right) } else { Predicate::eq(left, right) })
+                Ok(if negated {
+                    Predicate::neq(left, right)
+                } else {
+                    Predicate::eq(left, right)
+                })
             }
         }
     }

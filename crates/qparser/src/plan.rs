@@ -1,0 +1,107 @@
+//! Text straight to a typechecked plan: the parser-side entry point of the
+//! evaluation engine's front door.
+
+use std::fmt;
+
+use relalgebra::plan::PlannedQuery;
+use relalgebra::typecheck::TypeError;
+use relmodel::Schema;
+
+use crate::parser::{parse, ParseError};
+
+/// Errors from [`parse_and_plan`]: either the text does not parse, or the
+/// parsed expression does not typecheck against the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanTextError {
+    /// The input text is not a well-formed query.
+    Parse(ParseError),
+    /// The query is well-formed but ill-typed for the schema.
+    Type(TypeError),
+}
+
+impl fmt::Display for PlanTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanTextError::Parse(e) => write!(f, "parse error: {e}"),
+            PlanTextError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanTextError {}
+
+impl From<ParseError> for PlanTextError {
+    fn from(e: ParseError) -> Self {
+        PlanTextError::Parse(e)
+    }
+}
+
+impl From<TypeError> for PlanTextError {
+    fn from(e: TypeError) -> Self {
+        PlanTextError::Type(e)
+    }
+}
+
+/// Parses a textual query and immediately typechecks + classifies it against
+/// `schema`, producing a [`PlannedQuery`] ready for the evaluation engine.
+///
+/// This is the one-call path from user-facing text to an executable plan:
+///
+/// ```
+/// use qparser::parse_and_plan;
+/// use relalgebra::classify::QueryClass;
+/// use relmodel::Schema;
+///
+/// let schema = Schema::builder()
+///     .relation("Order", &["o_id", "product"])
+///     .relation("Pay", &["p_id", "order", "amount"])
+///     .build();
+/// let plan = parse_and_plan("project[#0](Order) minus project[#1](Pay)", &schema).unwrap();
+/// assert_eq!(plan.arity(), 1);
+/// assert_eq!(plan.class(), QueryClass::FullRa);
+/// ```
+pub fn parse_and_plan(input: &str, schema: &Schema) -> Result<PlannedQuery, PlanTextError> {
+    let expr = parse(input)?;
+    Ok(PlannedQuery::new(expr, schema)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::classify::QueryClass;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .build()
+    }
+
+    #[test]
+    fn text_to_plan() {
+        let plan = parse_and_plan("project[#1](R) union S", &schema()).unwrap();
+        assert_eq!(plan.arity(), 1);
+        assert_eq!(plan.class(), QueryClass::Positive);
+
+        let plan = parse_and_plan("R divide S", &schema()).unwrap();
+        assert_eq!(plan.arity(), 1);
+        assert_eq!(plan.class(), QueryClass::RaCwa);
+    }
+
+    #[test]
+    fn parse_errors_and_type_errors_are_distinguished() {
+        let err = parse_and_plan("project[#1](", &schema()).unwrap_err();
+        assert!(matches!(err, PlanTextError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("parse error"));
+
+        let err = parse_and_plan("R union S", &schema()).unwrap_err();
+        assert!(matches!(err, PlanTextError::Type(_)), "{err}");
+        assert!(err.to_string().contains("type error"));
+
+        let err = parse_and_plan("T", &schema()).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanTextError::Type(TypeError::UnknownRelation(_))
+        ));
+    }
+}

@@ -103,7 +103,11 @@ impl RaExpr {
                 crate::predicate::Operand::Column(*l),
                 crate::predicate::Operand::Column(left_arity + *r),
             );
-            pred = if pred == Predicate::True { atom } else { pred.and(atom) };
+            pred = if pred == Predicate::True {
+                atom
+            } else {
+                pred.and(atom)
+            };
         }
         self.product(other).select(pred)
     }

@@ -117,7 +117,10 @@ mod tests {
         assert_eq!(classify(&q), QueryClass::Positive);
         assert!(classify(&q).naive_evaluation_sound(Semantics::Owa));
         assert!(classify(&q).naive_evaluation_sound(Semantics::Cwa));
-        assert_eq!(classify(&RaExpr::relation("R").intersection(RaExpr::relation("R"))), QueryClass::Positive);
+        assert_eq!(
+            classify(&RaExpr::relation("R").intersection(RaExpr::relation("R"))),
+            QueryClass::Positive
+        );
     }
 
     #[test]
@@ -126,12 +129,11 @@ mod tests {
         assert_eq!(classify(&diff), QueryClass::FullRa);
         assert!(!classify(&diff).naive_evaluation_sound(Semantics::Cwa));
 
-        let neg = RaExpr::relation("R")
-            .select(Predicate::neq(Operand::col(0), Operand::int(1)));
+        let neg = RaExpr::relation("R").select(Predicate::neq(Operand::col(0), Operand::int(1)));
         assert_eq!(classify(&neg), QueryClass::FullRa);
 
-        let not = RaExpr::relation("R")
-            .select(Predicate::eq(Operand::col(0), Operand::int(1)).negate());
+        let not =
+            RaExpr::relation("R").select(Predicate::eq(Operand::col(0), Operand::int(1)).negate());
         assert_eq!(classify(&not), QueryClass::FullRa);
     }
 
@@ -155,8 +157,7 @@ mod tests {
 
     #[test]
     fn division_by_selected_relation_is_full_ra() {
-        let divisor =
-            RaExpr::relation("S").select(Predicate::eq(Operand::col(0), Operand::int(1)));
+        let divisor = RaExpr::relation("S").select(Predicate::eq(Operand::col(0), Operand::int(1)));
         assert!(!is_divisor_class(&divisor));
         let q = RaExpr::relation("R").divide(divisor);
         assert_eq!(classify(&q), QueryClass::FullRa);
@@ -181,7 +182,9 @@ mod tests {
             .divide(RaExpr::relation("T"));
         assert_eq!(classify(&q), QueryClass::RaCwa);
         // Division nested inside a difference is full RA.
-        let q2 = RaExpr::relation("R").difference(RaExpr::relation("R")).divide(RaExpr::relation("S"));
+        let q2 = RaExpr::relation("R")
+            .difference(RaExpr::relation("R"))
+            .divide(RaExpr::relation("S"));
         assert_eq!(classify(&q2), QueryClass::FullRa);
     }
 

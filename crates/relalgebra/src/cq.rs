@@ -66,7 +66,10 @@ pub struct Atom {
 impl Atom {
     /// Creates an atom.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 
     /// Variables occurring in the atom.
@@ -106,7 +109,10 @@ impl ConjunctiveQuery {
 
     /// Creates a Boolean conjunctive query (empty head).
     pub fn boolean(body: Vec<Atom>) -> Self {
-        ConjunctiveQuery { head: Vec::new(), body }
+        ConjunctiveQuery {
+            head: Vec::new(),
+            body,
+        }
     }
 
     /// Is the query Boolean?
@@ -142,7 +148,11 @@ impl ConjunctiveQuery {
     /// Constants mentioned by the query.
     pub fn constants(&self) -> BTreeSet<Constant> {
         let mut out = BTreeSet::new();
-        for t in self.head.iter().chain(self.body.iter().flat_map(|a| a.terms.iter())) {
+        for t in self
+            .head
+            .iter()
+            .chain(self.body.iter().flat_map(|a| a.terms.iter()))
+        {
             if let Term::Const(c) = t {
                 out.insert(c.clone());
             }
@@ -404,7 +414,10 @@ mod tests {
         assert_eq!(db.relation("R").unwrap().len(), 2);
         assert_eq!(db.null_ids().len(), 1);
         let back = ConjunctiveQuery::canonical_query_of(&db);
-        assert!(back.equivalent_to(&q), "tableau ↔ canonical query is an equivalence");
+        assert!(
+            back.equivalent_to(&q),
+            "tableau ↔ canonical query is an equivalence"
+        );
     }
 
     #[test]

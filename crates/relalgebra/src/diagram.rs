@@ -55,10 +55,7 @@ fn closure_for_relation(name: &str, db: &Database) -> Formula {
     let rel = db.relation(name).expect("relation exists in the database");
     let arity = rel.arity();
     let vars: Vec<String> = (0..arity).map(|i| format!("y{i}")).collect();
-    let guard = Formula::atom(
-        name,
-        vars.iter().map(|v| FoTerm::Var(v.clone())).collect(),
-    );
+    let guard = Formula::atom(name, vars.iter().map(|v| FoTerm::Var(v.clone())).collect());
     let mut disjuncts = Vec::new();
     for t in rel.iter() {
         let eqs: Vec<Formula> = t
@@ -99,7 +96,10 @@ mod tests {
             .relation("R", &["a", "b"])
             .ints("R", &[1, 2])
             .tuple("R", vec![relmodel::Value::int(2), relmodel::Value::null(1)])
-            .tuple("R", vec![relmodel::Value::null(1), relmodel::Value::null(2)])
+            .tuple(
+                "R",
+                vec![relmodel::Value::null(1), relmodel::Value::null(2)],
+            )
             .build();
         let diag = positive_diagram(&db);
         match &diag {
@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn complete_database_has_variable_free_owa_theory() {
-        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .build();
         let theory = owa_theory(&db);
         assert!(theory.is_sentence());
         // no nulls means no quantifier block

@@ -75,7 +75,10 @@ pub enum Formula {
 impl Formula {
     /// A relational atom.
     pub fn atom(relation: impl Into<String>, terms: Vec<FoTerm>) -> Self {
-        Formula::Atom { relation: relation.into(), terms }
+        Formula::Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 
     /// Conjunction of two formulas, flattening nested conjunctions.
@@ -169,9 +172,7 @@ impl Formula {
                 out
             }
             Formula::Not(f) => f.free_vars(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().flat_map(Formula::free_vars).collect()
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().flat_map(Formula::free_vars).collect(),
             Formula::Implies(a, b) => {
                 let mut out = a.free_vars();
                 out.extend(b.free_vars());
@@ -209,9 +210,7 @@ impl Formula {
         match self {
             Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => true,
             Formula::Not(_) | Formula::Implies(_, _) | Formula::Forall(_, _) => false,
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().all(Formula::is_existential_positive)
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_existential_positive),
             Formula::Exists(_, f) => f.is_existential_positive(),
         }
     }
@@ -316,7 +315,10 @@ mod tests {
         let closed = Formula::exists(vec!["x".into(), "y".into()], f);
         assert!(closed.is_sentence());
         let partially = Formula::exists(vec!["x".into()], atom_rxy());
-        assert_eq!(partially.free_vars(), vec!["y".to_string()].into_iter().collect());
+        assert_eq!(
+            partially.free_vars(),
+            vec!["y".to_string()].into_iter().collect()
+        );
     }
 
     #[test]
@@ -350,7 +352,10 @@ mod tests {
         let f = Formula::forall(vec!["x".into(), "y".into()], guard.implies(inner));
         assert!(f.is_pos_forall_g());
         assert!(!f.is_existential_positive());
-        assert!(!f.is_positive(), "implication is not part of the plain positive fragment");
+        assert!(
+            !f.is_positive(),
+            "implication is not part of the plain positive fragment"
+        );
     }
 
     #[test]

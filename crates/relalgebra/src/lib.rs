@@ -29,6 +29,7 @@ pub mod classify;
 pub mod cq;
 pub mod diagram;
 pub mod fo;
+pub mod plan;
 pub mod predicate;
 pub mod typecheck;
 pub mod ucq;
@@ -40,6 +41,7 @@ pub mod prelude {
     pub use crate::cq::{Atom, ConjunctiveQuery, Term};
     pub use crate::diagram::{cwa_theory, positive_diagram};
     pub use crate::fo::Formula;
+    pub use crate::plan::PlannedQuery;
     pub use crate::predicate::{Operand, Predicate};
     pub use crate::typecheck::output_arity;
     pub use crate::ucq::UnionOfCq;
@@ -49,5 +51,6 @@ pub use ast::RaExpr;
 pub use classify::QueryClass;
 pub use cq::ConjunctiveQuery;
 pub use fo::Formula;
+pub use plan::PlannedQuery;
 pub use predicate::Predicate;
 pub use ucq::UnionOfCq;

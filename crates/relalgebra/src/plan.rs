@@ -1,0 +1,112 @@
+//! Pre-typechecked, pre-classified query plans.
+//!
+//! A [`PlannedQuery`] bundles a relational algebra expression with the two
+//! facts every evaluator needs and that are wasteful to recompute per
+//! evaluator: its output arity against a fixed schema (the type check) and
+//! its syntactic [`QueryClass`]. The evaluation engine typechecks **once**
+//! when the plan is built; downstream strategies trust the plan and skip the
+//! checker.
+
+use std::fmt;
+
+use relmodel::Schema;
+
+use crate::ast::RaExpr;
+use crate::classify::{classify, QueryClass};
+use crate::typecheck::{output_arity, TypeError};
+
+/// A typechecked and classified query, bound to the schema it was checked
+/// against.
+///
+/// Construction is the only place arity errors can surface; every accessor is
+/// infallible afterwards. The expression is immutable once planned, so the
+/// recorded arity and class cannot go stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedQuery {
+    expr: RaExpr,
+    arity: usize,
+    class: QueryClass,
+}
+
+impl PlannedQuery {
+    /// Typechecks `expr` against `schema` and classifies it into the smallest
+    /// fragment of the paper's taxonomy.
+    pub fn new(expr: RaExpr, schema: &Schema) -> Result<Self, TypeError> {
+        let arity = output_arity(&expr, schema)?;
+        let class = classify(&expr);
+        Ok(PlannedQuery { expr, arity, class })
+    }
+
+    /// The planned expression.
+    pub fn expr(&self) -> &RaExpr {
+        &self.expr
+    }
+
+    /// The output arity established by the type check.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The syntactic query class (positive / `RA_cwa` / full RA).
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// Consumes the plan, returning the underlying expression.
+    pub fn into_expr(self) -> RaExpr {
+        self.expr
+    }
+}
+
+impl fmt::Display for PlannedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {} [{}]", self.expr, self.arity, self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .build()
+    }
+
+    #[test]
+    fn plans_record_arity_and_class() {
+        let s = schema();
+        let q = RaExpr::relation("R").project(vec![0]);
+        let plan = PlannedQuery::new(q.clone(), &s).unwrap();
+        assert_eq!(plan.arity(), 1);
+        assert_eq!(plan.class(), QueryClass::Positive);
+        assert_eq!(plan.expr(), &q);
+        assert_eq!(plan.clone().into_expr(), q);
+
+        let div =
+            PlannedQuery::new(RaExpr::relation("R").divide(RaExpr::relation("S")), &s).unwrap();
+        assert_eq!(div.arity(), 1);
+        assert_eq!(div.class(), QueryClass::RaCwa);
+
+        let diff =
+            PlannedQuery::new(RaExpr::relation("S").difference(RaExpr::relation("S")), &s).unwrap();
+        assert_eq!(diff.class(), QueryClass::FullRa);
+    }
+
+    #[test]
+    fn type_errors_surface_at_plan_time() {
+        let s = schema();
+        assert!(PlannedQuery::new(RaExpr::relation("T"), &s).is_err());
+        assert!(PlannedQuery::new(RaExpr::relation("S").project(vec![9]), &s).is_err());
+    }
+
+    #[test]
+    fn display_mentions_arity_and_class() {
+        let s = schema();
+        let plan = PlannedQuery::new(RaExpr::relation("S"), &s).unwrap();
+        assert!(plan.to_string().contains("positive"));
+    }
+}

@@ -192,6 +192,39 @@ impl Predicate {
         }
     }
 
+    /// Three-valued evaluation **aware of marked-null identity**: comparing a
+    /// marked null with *itself* is certainly `True` (every valuation sends it
+    /// to one value), while any other comparison touching a null is `Unknown`.
+    ///
+    /// This sits strictly between [`Predicate::eval_naive`] (which also calls
+    /// *distinct* nulls unequal) and [`Predicate::eval_3vl`] (which forgets
+    /// null identity entirely): its `True`s hold in every valuation and its
+    /// `False`s fail in every valuation, which is what the certain⁺/possible?
+    /// approximation evaluators need.
+    pub fn eval_3vl_marked(&self, tuple: &Tuple) -> relmodel::value::Truth {
+        use relmodel::value::Truth;
+        let eq = |a: &Operand, b: &Operand| {
+            let (x, y) = (a.resolve(tuple), b.resolve(tuple));
+            if x == y {
+                // Same constant or the *same* marked null.
+                Truth::True
+            } else if x.is_const() && y.is_const() {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        };
+        match self {
+            Predicate::True => Truth::True,
+            Predicate::False => Truth::False,
+            Predicate::Eq(a, b) => eq(a, b),
+            Predicate::NotEq(a, b) => eq(a, b).not(),
+            Predicate::And(a, b) => a.eval_3vl_marked(tuple).and(b.eval_3vl_marked(tuple)),
+            Predicate::Or(a, b) => a.eval_3vl_marked(tuple).or(b.eval_3vl_marked(tuple)),
+            Predicate::Not(p) => p.eval_3vl_marked(tuple).not(),
+        }
+    }
+
     /// Shifts every column reference by `offset`; used when a predicate
     /// written against one operand of a product must apply to the
     /// concatenated tuple.
@@ -205,12 +238,14 @@ impl Predicate {
             Predicate::False => Predicate::False,
             Predicate::Eq(a, b) => Predicate::Eq(shift_op(a), shift_op(b)),
             Predicate::NotEq(a, b) => Predicate::NotEq(shift_op(a), shift_op(b)),
-            Predicate::And(a, b) => {
-                Predicate::And(Box::new(a.shift_columns(offset)), Box::new(b.shift_columns(offset)))
-            }
-            Predicate::Or(a, b) => {
-                Predicate::Or(Box::new(a.shift_columns(offset)), Box::new(b.shift_columns(offset)))
-            }
+            Predicate::And(a, b) => Predicate::And(
+                Box::new(a.shift_columns(offset)),
+                Box::new(b.shift_columns(offset)),
+            ),
+            Predicate::Or(a, b) => Predicate::Or(
+                Box::new(a.shift_columns(offset)),
+                Box::new(b.shift_columns(offset)),
+            ),
             Predicate::Not(p) => Predicate::Not(Box::new(p.shift_columns(offset))),
         }
     }
@@ -260,8 +295,14 @@ mod tests {
         let t = Tuple::new(vec![Value::null(0), Value::null(0), Value::null(1)]);
         let same_null = Predicate::eq(Operand::col(0), Operand::col(1));
         let diff_null = Predicate::eq(Operand::col(0), Operand::col(2));
-        assert!(same_null.eval_naive(&t), "the same marked null is equal to itself");
-        assert!(!diff_null.eval_naive(&t), "distinct nulls are not naively equal");
+        assert!(
+            same_null.eval_naive(&t),
+            "the same marked null is equal to itself"
+        );
+        assert!(
+            !diff_null.eval_naive(&t),
+            "distinct nulls are not naively equal"
+        );
     }
 
     #[test]
@@ -275,15 +316,47 @@ mod tests {
         let taut = Predicate::eq(Operand::col(0), Operand::str("oid1"))
             .or(Predicate::neq(Operand::col(0), Operand::str("oid1")));
         assert_eq!(taut.eval_3vl(&t), Truth::Unknown);
-        assert!(taut.eval_naive(&t), "naïve evaluation sees the tautology as true");
+        assert!(
+            taut.eval_naive(&t),
+            "naïve evaluation sees the tautology as true"
+        );
+    }
+
+    #[test]
+    fn marked_three_valued_evaluation_knows_null_identity() {
+        let t = Tuple::new(vec![
+            Value::null(0),
+            Value::null(0),
+            Value::null(1),
+            Value::int(1),
+        ]);
+        let same = Predicate::eq(Operand::col(0), Operand::col(1));
+        assert_eq!(
+            same.eval_3vl_marked(&t),
+            Truth::True,
+            "⊥0 = ⊥0 certainly holds"
+        );
+        assert_eq!(same.negate().eval_3vl_marked(&t), Truth::False);
+        let cross = Predicate::eq(Operand::col(0), Operand::col(2));
+        assert_eq!(
+            cross.eval_3vl_marked(&t),
+            Truth::Unknown,
+            "⊥0 = ⊥1 depends on the valuation"
+        );
+        let vs_const = Predicate::eq(Operand::col(0), Operand::col(3));
+        assert_eq!(vs_const.eval_3vl_marked(&t), Truth::Unknown);
+        let consts = Predicate::eq(Operand::col(3), Operand::int(1));
+        assert_eq!(consts.eval_3vl_marked(&t), Truth::True);
+        assert_eq!(
+            Predicate::eq(Operand::col(3), Operand::int(2)).eval_3vl_marked(&t),
+            Truth::False
+        );
     }
 
     #[test]
     fn shift_columns() {
-        let p = Predicate::eq(Operand::col(0), Operand::col(1)).and(Predicate::neq(
-            Operand::col(2),
-            Operand::int(5),
-        ));
+        let p = Predicate::eq(Operand::col(0), Operand::col(1))
+            .and(Predicate::neq(Operand::col(2), Operand::int(5)));
         let shifted = p.shift_columns(3);
         assert_eq!(shifted.max_column(), Some(5));
         let t = Tuple::ints(&[9, 9, 9, 7, 7, 4]);

@@ -119,7 +119,11 @@ fn same_arity(
     let left = output_arity(a, schema)?;
     let right = output_arity(b, schema)?;
     if left != right {
-        return Err(TypeError::ArityMismatch { operator, left, right });
+        return Err(TypeError::ArityMismatch {
+            operator,
+            left,
+            right,
+        });
     }
     Ok(left)
 }
@@ -136,7 +140,10 @@ mod tests {
     use relmodel::{Relation, Tuple};
 
     fn schema() -> Schema {
-        Schema::builder().relation("R", &["a", "b"]).relation("S", &["a"]).build()
+        Schema::builder()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a"])
+            .build()
     }
 
     #[test]
@@ -157,7 +164,10 @@ mod tests {
             Ok(1)
         );
         assert_eq!(
-            output_arity(&RaExpr::values(Relation::from_tuples(3, vec![Tuple::ints(&[1, 2, 3])])), &s),
+            output_arity(
+                &RaExpr::values(Relation::from_tuples(3, vec![Tuple::ints(&[1, 2, 3])])),
+                &s
+            ),
             Ok(3)
         );
     }
@@ -194,9 +204,16 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = TypeError::ArityMismatch { operator: "union", left: 1, right: 2 };
+        let e = TypeError::ArityMismatch {
+            operator: "union",
+            left: 1,
+            right: 2,
+        };
         assert!(e.to_string().contains("union"));
-        let e = TypeError::InvalidDivision { dividend: 1, divisor: 1 };
+        let e = TypeError::InvalidDivision {
+            dividend: 1,
+            divisor: 1,
+        };
         assert!(e.to_string().contains("division"));
     }
 }

@@ -57,7 +57,9 @@ impl UnionOfCq {
 
     /// A UCQ with a single disjunct.
     pub fn single(cq: ConjunctiveQuery) -> Self {
-        UnionOfCq { disjuncts: vec![cq] }
+        UnionOfCq {
+            disjuncts: vec![cq],
+        }
     }
 
     /// Output arity (0 if there are no disjuncts).
@@ -234,7 +236,10 @@ fn translate(expr: &RaExpr, schema: &Schema) -> Result<Vec<ConjunctiveQuery>, Tr
                 for pos in 0..rs.arity() {
                     let vars: Vec<Term> = (0..rs.arity() as u64).map(Term::Var).collect();
                     let head = vec![vars[pos].clone(), vars[pos].clone()];
-                    out.push(ConjunctiveQuery::new(head, vec![Atom::new(rs.name.clone(), vars)]));
+                    out.push(ConjunctiveQuery::new(
+                        head,
+                        vec![Atom::new(rs.name.clone(), vars)],
+                    ));
                 }
             }
             Ok(out)
@@ -302,8 +307,7 @@ fn translate(expr: &RaExpr, schema: &Schema) -> Result<Vec<ConjunctiveQuery>, Tr
                     let r = r.shift_vars(offset);
                     let mut body = l.body.clone();
                     body.extend(r.body.clone());
-                    let mut current =
-                        Some(ConjunctiveQuery::new(l.head.clone(), body));
+                    let mut current = Some(ConjunctiveQuery::new(l.head.clone(), body));
                     for (lt, rt) in l.head.iter().zip(r.head.iter()) {
                         current = current.and_then(|c| apply_equality(c, lt, rt));
                     }
@@ -314,12 +318,12 @@ fn translate(expr: &RaExpr, schema: &Schema) -> Result<Vec<ConjunctiveQuery>, Tr
             }
             Ok(out)
         }
-        RaExpr::Difference(_, _) => {
-            Err(TranslationError::NotPositive("difference operator".to_owned()))
-        }
-        RaExpr::Divide(_, _) => {
-            Err(TranslationError::NotPositive("division operator".to_owned()))
-        }
+        RaExpr::Difference(_, _) => Err(TranslationError::NotPositive(
+            "difference operator".to_owned(),
+        )),
+        RaExpr::Divide(_, _) => Err(TranslationError::NotPositive(
+            "division operator".to_owned(),
+        )),
     }
 }
 
@@ -359,14 +363,12 @@ fn cq_to_ra(cq: &ConjunctiveQuery) -> Result<RaExpr, TranslationError> {
             let col = offset + i;
             match term {
                 Term::Const(c) => {
-                    let atom_pred =
-                        Predicate::eq(Operand::Column(col), Operand::Const(c.clone()));
+                    let atom_pred = Predicate::eq(Operand::Column(col), Operand::Const(c.clone()));
                     predicate = and(predicate, atom_pred);
                 }
                 Term::Var(v) => match var_positions.get(v) {
                     Some(&first) => {
-                        let atom_pred =
-                            Predicate::eq(Operand::Column(first), Operand::Column(col));
+                        let atom_pred = Predicate::eq(Operand::Column(first), Operand::Column(col));
                         predicate = and(predicate, atom_pred);
                     }
                     None => {

@@ -46,7 +46,11 @@ mod tests {
 
     #[test]
     fn evaluates_complete_input() {
-        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).ints("R", &[2]).build();
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .ints("R", &[2])
+            .build();
         let out = eval_complete(&RaExpr::relation("R"), &db).unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.contains(&Tuple::ints(&[1])));
@@ -54,7 +58,10 @@ mod tests {
 
     #[test]
     fn boolean_evaluation() {
-        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .build();
         // ∃x R(x) ∧ x = 1, projected to arity 0.
         let q = RaExpr::relation("R")
             .select(Predicate::eq(Operand::col(0), Operand::int(1)))

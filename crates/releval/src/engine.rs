@@ -4,6 +4,15 @@
 //! inputs) and [`crate::naive`] (inputs with nulls): naïve evaluation is *by
 //! definition* the standard evaluator applied verbatim to a database with
 //! marked nulls, comparing values syntactically.
+//!
+//! The evaluator is written against [`Cow<Relation>`] so that leaf
+//! expressions — base relations and literal `Values` — are **borrowed** from
+//! the database / the expression instead of cloned. A query like
+//! `Order minus Pay` therefore copies nothing until an operator actually has
+//! to materialise a new relation, and `π`/`×` materialisations reserve their
+//! output capacity up front.
+
+use std::borrow::Cow;
 
 use relalgebra::ast::RaExpr;
 use relalgebra::typecheck::output_arity;
@@ -16,24 +25,28 @@ use crate::error::EvalError;
 /// the type checker before evaluation.
 pub fn eval(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
     output_arity(expr, db.schema())?;
-    Ok(eval_unchecked(expr, db))
+    Ok(eval_unchecked(expr, db).into_owned())
 }
 
 /// Evaluates without re-running the type checker (callers guarantee the
 /// expression type-checks against the database schema).
-pub fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
+///
+/// Leaf expressions are returned as borrows: evaluating a bare base relation
+/// is free, and operators only pay for the relations they actually build.
+pub fn eval_unchecked<'a>(expr: &'a RaExpr, db: &'a Database) -> Cow<'a, Relation> {
     match expr {
-        RaExpr::Relation(name) => db
-            .relation(name)
-            .cloned()
-            .expect("type checker guarantees the relation exists"),
-        RaExpr::Values(rel) => rel.clone(),
+        RaExpr::Relation(name) => Cow::Borrowed(
+            db.relation(name)
+                .expect("type checker guarantees the relation exists"),
+        ),
+        RaExpr::Values(rel) => Cow::Borrowed(rel),
         RaExpr::Delta => {
-            let mut out = Relation::new(2);
-            for v in db.active_domain() {
-                out.insert(Tuple::new(vec![v.clone(), v]));
+            let domain = db.active_domain();
+            let mut out = Vec::with_capacity(domain.len());
+            for v in domain {
+                out.push(Tuple::new(vec![v.clone(), v]));
             }
-            out
+            Cow::Owned(Relation::from_tuples(2, out))
         }
         RaExpr::Select(e, p) => {
             let input = eval_unchecked(e, db);
@@ -43,34 +56,39 @@ pub fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
                     out.insert(t.clone());
                 }
             }
-            out
+            Cow::Owned(out)
         }
         RaExpr::Project(e, cols) => {
             let input = eval_unchecked(e, db);
-            let mut out = Relation::new(cols.len());
+            let mut out = Vec::with_capacity(input.len());
             for t in input.iter() {
-                out.insert(t.project(cols));
+                out.push(t.project(cols));
             }
-            out
+            Cow::Owned(Relation::from_tuples(cols.len(), out))
         }
         RaExpr::Product(a, b) => {
             let left = eval_unchecked(a, db);
             let right = eval_unchecked(b, db);
-            let mut out = Relation::new(left.arity() + right.arity());
+            let arity = left.arity() + right.arity();
+            let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
             for l in left.iter() {
                 for r in right.iter() {
-                    out.insert(l.concat(r));
+                    out.push(l.concat(r));
                 }
             }
-            out
+            Cow::Owned(Relation::from_tuples(arity, out))
         }
-        RaExpr::Union(a, b) => eval_unchecked(a, db).union(&eval_unchecked(b, db)),
-        RaExpr::Difference(a, b) => eval_unchecked(a, db).difference(&eval_unchecked(b, db)),
-        RaExpr::Intersection(a, b) => eval_unchecked(a, db).intersection(&eval_unchecked(b, db)),
+        RaExpr::Union(a, b) => Cow::Owned(eval_unchecked(a, db).union(&eval_unchecked(b, db))),
+        RaExpr::Difference(a, b) => {
+            Cow::Owned(eval_unchecked(a, db).difference(&eval_unchecked(b, db)))
+        }
+        RaExpr::Intersection(a, b) => {
+            Cow::Owned(eval_unchecked(a, db).intersection(&eval_unchecked(b, db)))
+        }
         RaExpr::Divide(a, b) => {
             let dividend = eval_unchecked(a, db);
             let divisor = eval_unchecked(b, db);
-            divide(&dividend, &divisor)
+            Cow::Owned(divide(&dividend, &divisor))
         }
     }
 }
@@ -86,7 +104,9 @@ pub fn divide(dividend: &Relation, divisor: &Relation) -> Relation {
     let candidates: std::collections::BTreeSet<Tuple> =
         dividend.iter().map(|t| t.project(&prefix_cols)).collect();
     for candidate in candidates {
-        let all_present = divisor.iter().all(|s| dividend.contains(&candidate.concat(s)));
+        let all_present = divisor
+            .iter()
+            .all(|s| dividend.contains(&candidate.concat(s)));
         if all_present {
             out.insert(candidate);
         }
@@ -119,6 +139,24 @@ mod tests {
         let lit = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[7])]));
         assert_eq!(eval(&lit, &db()).unwrap().len(), 1);
         assert!(eval(&RaExpr::relation("T"), &db()).is_err());
+    }
+
+    #[test]
+    fn leaf_evaluation_borrows_instead_of_cloning() {
+        let d = db();
+        let expr = RaExpr::relation("R");
+        let out = eval_unchecked(&expr, &d);
+        assert!(
+            matches!(out, Cow::Borrowed(_)),
+            "base relations must not be cloned"
+        );
+        assert!(std::ptr::eq(&*out, d.relation("R").unwrap()));
+
+        let lit = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[7])]));
+        assert!(matches!(eval_unchecked(&lit, &d), Cow::Borrowed(_)));
+
+        let op = RaExpr::relation("R").project(vec![0]);
+        assert!(matches!(eval_unchecked(&op, &d), Cow::Owned(_)));
     }
 
     #[test]
@@ -162,7 +200,11 @@ mod tests {
         d.set_relation("S", Relation::new(1)).unwrap();
         let q = RaExpr::relation("R").divide(RaExpr::relation("S"));
         let out = eval(&q, &d).unwrap();
-        assert_eq!(out.len(), 2, "∀ over an empty set holds for every candidate prefix");
+        assert_eq!(
+            out.len(),
+            2,
+            "∀ over an empty set holds for every candidate prefix"
+        );
     }
 
     #[test]

@@ -32,10 +32,16 @@ impl fmt::Display for EvalError {
             EvalError::Type(e) => write!(f, "type error: {e}"),
             EvalError::Model(e) => write!(f, "model error: {e}"),
             EvalError::IncompleteInput { nulls } => {
-                write!(f, "evaluator requires a complete database, found {nulls} null(s)")
+                write!(
+                    f,
+                    "evaluator requires a complete database, found {nulls} null(s)"
+                )
             }
             EvalError::WorldBudgetExceeded { worlds, budget } => {
-                write!(f, "world enumeration needs {worlds} worlds, exceeding the budget of {budget}")
+                write!(
+                    f,
+                    "world enumeration needs {worlds} worlds, exceeding the budget of {budget}"
+                )
             }
         }
     }
@@ -67,7 +73,10 @@ mod tests {
         assert!(e.to_string().contains("model error"));
         let e = EvalError::IncompleteInput { nulls: 3 };
         assert!(e.to_string().contains("3 null"));
-        let e = EvalError::WorldBudgetExceeded { worlds: 100, budget: 10 };
+        let e = EvalError::WorldBudgetExceeded {
+            worlds: 100,
+            budget: 10,
+        };
         assert!(e.to_string().contains("budget"));
     }
 }

@@ -40,7 +40,8 @@ pub fn satisfies_with(db: &Database, formula: &Formula, env: &Environment) -> bo
         Formula::False => false,
         Formula::Atom { relation, terms } => {
             let tuple: Tuple = terms.iter().map(|t| resolve(t, env)).collect();
-            db.relation(relation).is_some_and(|rel| rel.contains(&tuple))
+            db.relation(relation)
+                .is_some_and(|rel| rel.contains(&tuple))
         }
         Formula::Eq(a, b) => resolve(a, env) == resolve(b, env),
         Formula::Not(f) => !satisfies_with(db, f, env),
@@ -147,12 +148,18 @@ mod tests {
 
     #[test]
     fn atoms_and_connectives() {
-        let db = DatabaseBuilder::new().relation("R", &["a", "b"]).ints("R", &[1, 2]).build();
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .build();
         let present = Formula::atom("R", vec![FoTerm::int(1), FoTerm::int(2)]);
         let absent = Formula::atom("R", vec![FoTerm::int(2), FoTerm::int(1)]);
         assert!(satisfies(&db, &present));
         assert!(!satisfies(&db, &absent));
-        assert!(satisfies(&db, &present.clone().and(absent.clone().negate())));
+        assert!(satisfies(
+            &db,
+            &present.clone().and(absent.clone().negate())
+        ));
         assert!(satisfies(&db, &absent.clone().or(present.clone())));
         assert!(satisfies(&db, &absent.clone().implies(Formula::False)));
         assert!(satisfies(&db, &Formula::True));
@@ -186,7 +193,10 @@ mod tests {
 
     #[test]
     fn constants_outside_active_domain_are_included() {
-        let db = DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build();
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .build();
         // ∃x (x = 5) — 5 is not in the active domain but is a formula constant.
         let f = Formula::exists(
             vec!["x".into()],
@@ -204,7 +214,9 @@ mod tests {
         let mut world = d.apply(&v).unwrap();
         assert!(satisfies(&world, &theory));
         // adding tuples keeps an OWA model a model
-        world.insert("R", relmodel::Tuple::ints(&[100, 200])).unwrap();
+        world
+            .insert("R", relmodel::Tuple::ints(&[100, 200]))
+            .unwrap();
         assert!(satisfies(&world, &theory));
         // but the CWA theory rejects the extended world
         assert!(!satisfies(&world, &cwa_theory(&d)));

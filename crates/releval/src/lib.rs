@@ -19,17 +19,29 @@
 //!   number of nulls; used to validate the other evaluators and to exhibit the
 //!   complexity gap.
 //!
+//! Two additions support the dispatching engine built on top of this crate:
+//!
+//! * [`approx`] — certain⁺/possible? *pair evaluation* with marked-null
+//!   unification: a polynomial, CWA-sound approximation of certain answers
+//!   for **full** relational algebra, where naïve evaluation and 3VL are both
+//!   unsound;
+//! * [`strategy`] — the [`strategy::Strategy`] trait: all evaluators behind
+//!   one plan-driven interface, so an engine typechecks a query once and
+//!   dispatches freely.
+//!
 //! [`fo`] provides model checking of first-order formulas (the logical-theory
 //! view of Section 4) over complete and naïve databases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod complete;
 pub mod engine;
 pub mod error;
 pub mod fo;
 pub mod naive;
+pub mod strategy;
 pub mod three_valued;
 pub mod worlds;
 
@@ -39,6 +51,9 @@ pub mod prelude {
     pub use crate::error::EvalError;
     pub use crate::fo::{eval_sentence, satisfies};
     pub use crate::naive::{certain_answer_naive, eval_naive};
+    pub use crate::strategy::{
+        CompleteEvaluation, NaiveEvaluation, Strategy, ThreeValuedEvaluation, WorldEnumeration,
+    };
     pub use crate::three_valued::eval_3vl;
     pub use crate::worlds::{certain_answer_worlds, possible_answers, WorldOptions};
 }

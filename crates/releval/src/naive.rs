@@ -63,7 +63,11 @@ pub fn certain_answer_checked(
 ) -> Result<CheckedAnswer, EvalError> {
     let class = classify(expr);
     let answer = certain_answer_naive(expr, db)?;
-    Ok(CheckedAnswer { answer, class, guaranteed: class.naive_evaluation_sound(semantics) })
+    Ok(CheckedAnswer {
+        answer,
+        class,
+        guaranteed: class.naive_evaluation_sound(semantics),
+    })
 }
 
 #[cfg(test)]
@@ -83,7 +87,9 @@ mod tests {
             .tuple("R", vec![Value::int(1), Value::null(0)])
             .tuple("S", vec![Value::int(1), Value::null(1)])
             .build();
-        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        let q = RaExpr::relation("R")
+            .difference(RaExpr::relation("S"))
+            .project(vec![0]);
         let naive = eval_naive(&q, &db).unwrap();
         assert_eq!(naive.len(), 1);
         assert!(naive.contains(&Tuple::ints(&[1])));

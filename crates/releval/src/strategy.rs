@@ -1,0 +1,176 @@
+//! The [`Strategy`] trait: a uniform, plan-driven interface over the four
+//! evaluators of this crate.
+//!
+//! Each strategy takes a [`PlannedQuery`] — an expression that has already
+//! been typechecked and classified — so the dispatching engine runs the type
+//! checker exactly once per query, not once per evaluator it consults. The
+//! four implementations correspond to the positions the paper contrasts:
+//!
+//! | strategy                  | evaluator                | character |
+//! |---------------------------|--------------------------|-----------|
+//! | [`NaiveEvaluation`]       | [`crate::naive`]         | polynomial; certain answers for UCQ/OWA and `RA_cwa`/CWA |
+//! | [`ThreeValuedEvaluation`] | [`crate::three_valued`]  | what SQL does; no guarantee either way |
+//! | [`WorldEnumeration`]      | [`crate::worlds`]        | ground truth; exponential in #nulls |
+//! | [`CompleteEvaluation`]    | [`crate::complete`]      | textbook evaluation; defined only on complete inputs |
+
+use relalgebra::plan::PlannedQuery;
+use relmodel::{Database, Relation, Semantics};
+
+use crate::error::EvalError;
+use crate::worlds::WorldOptions;
+use crate::{engine, three_valued, worlds};
+
+/// A query evaluator usable by a dispatching engine: evaluates pre-typechecked
+/// plans without re-running the type checker.
+pub trait Strategy {
+    /// A short stable name for reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the plan over `db`. `semantics` is the possible-world
+    /// semantics governing the input; deterministic evaluators ignore it,
+    /// world enumeration honours it.
+    ///
+    /// Implementations must not re-typecheck: the plan carries the proof.
+    fn eval_unchecked(
+        &self,
+        plan: &PlannedQuery,
+        db: &Database,
+        semantics: Semantics,
+    ) -> Result<Relation, EvalError>;
+}
+
+/// Naïve evaluation — nulls treated as ordinary values, compared
+/// syntactically. Returns the *object-level* answer (nulls included).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveEvaluation;
+
+impl Strategy for NaiveEvaluation {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn eval_unchecked(
+        &self,
+        plan: &PlannedQuery,
+        db: &Database,
+        _semantics: Semantics,
+    ) -> Result<Relation, EvalError> {
+        Ok(engine::eval_unchecked(plan.expr(), db).into_owned())
+    }
+}
+
+/// SQL's three-valued-logic evaluation — the "practice" baseline whose
+/// failures the paper's introduction catalogues.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreeValuedEvaluation;
+
+impl Strategy for ThreeValuedEvaluation {
+    fn name(&self) -> &'static str {
+        "sql-3vl"
+    }
+
+    fn eval_unchecked(
+        &self,
+        plan: &PlannedQuery,
+        db: &Database,
+        _semantics: Semantics,
+    ) -> Result<Relation, EvalError> {
+        Ok(three_valued::eval_3vl_unchecked(plan.expr(), db))
+    }
+}
+
+/// Textbook evaluation over complete databases; errors on incomplete input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompleteEvaluation;
+
+impl Strategy for CompleteEvaluation {
+    fn name(&self) -> &'static str {
+        "complete"
+    }
+
+    fn eval_unchecked(
+        &self,
+        plan: &PlannedQuery,
+        db: &Database,
+        _semantics: Semantics,
+    ) -> Result<Relation, EvalError> {
+        let nulls = db.null_ids().len();
+        if nulls > 0 {
+            return Err(EvalError::IncompleteInput { nulls });
+        }
+        Ok(engine::eval_unchecked(plan.expr(), db).into_owned())
+    }
+}
+
+/// Possible-world enumeration: the classical intersection-based certain
+/// answer, exponential in the number of nulls and bounded by the carried
+/// [`WorldOptions`] budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldEnumeration(pub WorldOptions);
+
+impl Strategy for WorldEnumeration {
+    fn name(&self) -> &'static str {
+        "worlds"
+    }
+
+    fn eval_unchecked(
+        &self,
+        plan: &PlannedQuery,
+        db: &Database,
+        semantics: Semantics,
+    ) -> Result<Relation, EvalError> {
+        worlds::certain_answer_worlds_planned(plan, db, semantics, &self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::ast::RaExpr;
+    use relmodel::builder::orders_and_payments_example;
+
+    fn plan(expr: RaExpr, db: &Database) -> PlannedQuery {
+        PlannedQuery::new(expr, db.schema()).unwrap()
+    }
+
+    #[test]
+    fn strategies_share_one_interface() {
+        let db = orders_and_payments_example();
+        let q = plan(
+            RaExpr::relation("Order")
+                .project(vec![0])
+                .difference(RaExpr::relation("Pay").project(vec![1])),
+            &db,
+        );
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(NaiveEvaluation),
+            Box::new(ThreeValuedEvaluation),
+            Box::new(WorldEnumeration(WorldOptions::default())),
+        ];
+        let results: Vec<Relation> = strategies
+            .iter()
+            .map(|s| s.eval_unchecked(&q, &db, Semantics::Cwa).unwrap())
+            .collect();
+        // Naïve over-reports both orders, SQL under-reports nothing at all,
+        // ground truth is empty — the paper's introduction in three rows.
+        assert_eq!(results[0].len(), 2);
+        assert!(results[1].is_empty());
+        assert!(results[2].is_empty());
+        assert_eq!(
+            strategies.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            vec!["naive", "sql-3vl", "worlds"]
+        );
+    }
+
+    #[test]
+    fn complete_strategy_rejects_incomplete_input() {
+        let db = orders_and_payments_example();
+        let q = plan(RaExpr::relation("Order"), &db);
+        let err = CompleteEvaluation.eval_unchecked(&q, &db, Semantics::Cwa);
+        assert!(matches!(err, Err(EvalError::IncompleteInput { .. })));
+        let complete = db.complete_part();
+        assert!(CompleteEvaluation
+            .eval_unchecked(&q, &complete, Semantics::Cwa)
+            .is_ok());
+    }
+}

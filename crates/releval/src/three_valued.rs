@@ -26,7 +26,7 @@ use crate::error::EvalError;
 /// Evaluates an expression under SQL's three-valued logic.
 pub fn eval_3vl(expr: &RaExpr, db: &Database) -> Result<Relation, EvalError> {
     output_arity(expr, db.schema())?;
-    Ok(eval_unchecked(expr, db))
+    Ok(eval_3vl_unchecked(expr, db))
 }
 
 /// Evaluates a Boolean query under 3VL, returning whether the result is
@@ -35,7 +35,9 @@ pub fn eval_boolean_3vl(expr: &RaExpr, db: &Database) -> Result<bool, EvalError>
     Ok(!eval_3vl(expr, db)?.is_empty())
 }
 
-fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
+/// Evaluates under 3VL without re-running the type checker (callers guarantee
+/// the expression type-checks against the database schema).
+pub fn eval_3vl_unchecked(expr: &RaExpr, db: &Database) -> Relation {
     match expr {
         RaExpr::Relation(name) => db
             .relation(name)
@@ -50,7 +52,7 @@ fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
             out
         }
         RaExpr::Select(e, p) => {
-            let input = eval_unchecked(e, db);
+            let input = eval_3vl_unchecked(e, db);
             let mut out = Relation::new(input.arity());
             for t in input.iter() {
                 if p.eval_3vl(t).is_true() {
@@ -60,7 +62,7 @@ fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
             out
         }
         RaExpr::Project(e, cols) => {
-            let input = eval_unchecked(e, db);
+            let input = eval_3vl_unchecked(e, db);
             let mut out = Relation::new(cols.len());
             for t in input.iter() {
                 out.insert(t.project(cols));
@@ -68,8 +70,8 @@ fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
             out
         }
         RaExpr::Product(a, b) => {
-            let left = eval_unchecked(a, db);
-            let right = eval_unchecked(b, db);
+            let left = eval_3vl_unchecked(a, db);
+            let right = eval_3vl_unchecked(b, db);
             let mut out = Relation::new(left.arity() + right.arity());
             for l in left.iter() {
                 for r in right.iter() {
@@ -78,12 +80,12 @@ fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
             }
             out
         }
-        RaExpr::Union(a, b) => eval_unchecked(a, db).union(&eval_unchecked(b, db)),
+        RaExpr::Union(a, b) => eval_3vl_unchecked(a, db).union(&eval_3vl_unchecked(b, db)),
         RaExpr::Difference(a, b) => {
             // SQL's `NOT IN` semantics: keep a tuple only when its membership
             // in the right-hand side is definitely false.
-            let left = eval_unchecked(a, db);
-            let right = eval_unchecked(b, db);
+            let left = eval_3vl_unchecked(a, db);
+            let right = eval_3vl_unchecked(b, db);
             let mut out = Relation::new(left.arity());
             for t in left.iter() {
                 if membership_3vl(t, &right) == Truth::False {
@@ -95,8 +97,8 @@ fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
         RaExpr::Intersection(a, b) => {
             // SQL's `IN` semantics: keep a tuple only when membership is
             // definitely true.
-            let left = eval_unchecked(a, db);
-            let right = eval_unchecked(b, db);
+            let left = eval_3vl_unchecked(a, db);
+            let right = eval_3vl_unchecked(b, db);
             let mut out = Relation::new(left.arity());
             for t in left.iter() {
                 if membership_3vl(t, &right) == Truth::True {
@@ -106,8 +108,8 @@ fn eval_unchecked(expr: &RaExpr, db: &Database) -> Relation {
             out
         }
         RaExpr::Divide(a, b) => {
-            let dividend = eval_unchecked(a, db);
-            let divisor = eval_unchecked(b, db);
+            let dividend = eval_3vl_unchecked(a, db);
+            let divisor = eval_3vl_unchecked(b, db);
             let prefix_arity = dividend.arity() - divisor.arity();
             let prefix_cols: Vec<usize> = (0..prefix_arity).collect();
             let mut out = Relation::new(prefix_arity);
@@ -157,7 +159,10 @@ mod tests {
         let rel2 = Relation::from_tuples(1, vec![Tuple::ints(&[1])]);
         assert_eq!(membership_3vl(&Tuple::ints(&[1]), &rel2), Truth::True);
         assert_eq!(membership_3vl(&Tuple::ints(&[2]), &rel2), Truth::False);
-        assert_eq!(membership_3vl(&Tuple::ints(&[2]), &Relation::new(1)), Truth::False);
+        assert_eq!(
+            membership_3vl(&Tuple::ints(&[2]), &Relation::new(1)),
+            Truth::False
+        );
     }
 
     #[test]
@@ -193,7 +198,10 @@ mod tests {
             )
             .project(vec![0]);
         let out = eval_3vl(&q, &db).unwrap();
-        assert!(out.is_empty(), "the tautology does not select the row with a null order");
+        assert!(
+            out.is_empty(),
+            "the tautology does not select the row with a null order"
+        );
     }
 
     #[test]
@@ -234,7 +242,9 @@ mod tests {
     #[test]
     fn boolean_3vl() {
         let db = difference_example();
-        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![]);
+        let q = RaExpr::relation("R")
+            .difference(RaExpr::relation("S"))
+            .project(vec![]);
         assert!(!eval_boolean_3vl(&q, &db).unwrap());
     }
 }

@@ -9,6 +9,7 @@
 //! production algorithm.
 
 use relalgebra::ast::RaExpr;
+use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::output_arity;
 use relmodel::semantics::{adequate_domain, enumerate_cwa_worlds, enumerate_owa_worlds};
 use relmodel::{Database, Relation, Semantics};
@@ -32,19 +33,29 @@ pub struct WorldOptions {
 
 impl Default for WorldOptions {
     fn default() -> Self {
-        WorldOptions { extra_fresh: None, max_owa_extra: 0, max_worlds: 5_000_000 }
+        WorldOptions {
+            extra_fresh: None,
+            max_owa_extra: 0,
+            max_worlds: 5_000_000,
+        }
     }
 }
 
 impl WorldOptions {
     /// Options with a specific number of fresh constants.
     pub fn with_fresh(fresh: usize) -> Self {
-        WorldOptions { extra_fresh: Some(fresh), ..WorldOptions::default() }
+        WorldOptions {
+            extra_fresh: Some(fresh),
+            ..WorldOptions::default()
+        }
     }
 
     /// Options that extend OWA worlds with up to `extra` additional tuples.
     pub fn with_owa_extra(extra: usize) -> Self {
-        WorldOptions { max_owa_extra: extra, ..WorldOptions::default() }
+        WorldOptions {
+            max_owa_extra: extra,
+            ..WorldOptions::default()
+        }
     }
 }
 
@@ -58,6 +69,22 @@ pub fn valuation_domain(
     adequate_domain(db, &expr.constants(), fresh)
 }
 
+/// `|domain|^|nulls|`: the valuation count shared by the planner's estimate
+/// and the enumerator's budget check.
+fn valuation_count(domain_len: usize, nulls: usize) -> u128 {
+    (domain_len as u128).saturating_pow(nulls as u32)
+}
+
+/// The number of valuations world enumeration would have to visit for `expr`
+/// over `db` — `|domain|^|nulls|` — without enumerating anything. This is the
+/// planner-side cost estimate that lets callers decide *whether* to pay for
+/// ground truth before committing to it. (Enumeration itself rebuilds the
+/// domain; the duplicate scan is noise next to the enumeration it gates.)
+pub fn estimated_world_count(expr: &RaExpr, db: &Database, opts: &WorldOptions) -> u128 {
+    let domain = valuation_domain(expr, db, opts);
+    valuation_count(domain.len(), db.null_ids().len())
+}
+
 /// Enumerates the possible worlds of `db` relevant to `expr` under the given
 /// semantics, respecting the world budget.
 pub fn enumerate_worlds(
@@ -67,10 +94,12 @@ pub fn enumerate_worlds(
     opts: &WorldOptions,
 ) -> Result<Vec<Database>, EvalError> {
     let domain = valuation_domain(expr, db, opts);
-    let nulls = db.null_ids().len() as u32;
-    let world_count = (domain.len() as u128).saturating_pow(nulls);
+    let world_count = valuation_count(domain.len(), db.null_ids().len());
     if world_count > opts.max_worlds {
-        return Err(EvalError::WorldBudgetExceeded { worlds: world_count, budget: opts.max_worlds });
+        return Err(EvalError::WorldBudgetExceeded {
+            worlds: world_count,
+            budget: opts.max_worlds,
+        });
     }
     Ok(match semantics {
         Semantics::Cwa => enumerate_cwa_worlds(db, &domain),
@@ -101,12 +130,46 @@ pub fn certain_answer_worlds(
 ) -> Result<Relation, EvalError> {
     let arity = output_arity(expr, db.schema())?;
     let answers = possible_answers(expr, db, semantics, opts)?;
+    Ok(intersect_answers(arity, answers))
+}
+
+/// [`certain_answer_worlds`] for a pre-typechecked plan: skips the type
+/// checker and reads the output arity off the plan.
+pub fn certain_answer_worlds_planned(
+    plan: &PlannedQuery,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<Relation, EvalError> {
+    Ok(certain_answer_worlds_counted(plan, db, semantics, opts)?.0)
+}
+
+/// [`certain_answer_worlds_planned`] plus the number of worlds **actually**
+/// enumerated (after deduplication of valuations that produce the same
+/// world) — the honest figure for telemetry, as opposed to the
+/// [`estimated_world_count`] upper bound.
+pub fn certain_answer_worlds_counted(
+    plan: &PlannedQuery,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<(Relation, u128), EvalError> {
+    let worlds = enumerate_worlds(plan.expr(), db, semantics, opts)?;
+    let count = worlds.len() as u128;
+    let answers: Result<Vec<Relation>, EvalError> = worlds
+        .iter()
+        .map(|w| eval_complete(plan.expr(), w))
+        .collect();
+    Ok((intersect_answers(plan.arity(), answers?), count))
+}
+
+fn intersect_answers(arity: usize, answers: Vec<Relation>) -> Relation {
     let mut iter = answers.into_iter();
     let first = match iter.next() {
         Some(r) => r,
-        None => return Ok(Relation::new(arity)),
+        None => return Relation::new(arity),
     };
-    Ok(iter.fold(first, |acc, r| acc.intersection(&r)))
+    iter.fold(first, |acc, r| acc.intersection(&r))
 }
 
 /// The certain answer to a Boolean query: true iff the query is nonempty in
@@ -132,7 +195,9 @@ pub fn possible_answer_union(
 ) -> Result<Relation, EvalError> {
     let arity = output_arity(expr, db.schema())?;
     let answers = possible_answers(expr, db, semantics, opts)?;
-    Ok(answers.into_iter().fold(Relation::new(arity), |acc, r| acc.union(&r)))
+    Ok(answers
+        .into_iter()
+        .fold(Relation::new(arity), |acc, r| acc.union(&r)))
 }
 
 #[cfg(test)]
@@ -152,12 +217,17 @@ mod tests {
         let unpaid = RaExpr::relation("Order")
             .project(vec![0])
             .difference(RaExpr::relation("Pay").project(vec![1]));
-        let certain = certain_answer_worlds(&unpaid, &db, Semantics::Cwa, &WorldOptions::default())
-            .unwrap();
+        let certain =
+            certain_answer_worlds(&unpaid, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
         assert!(certain.is_empty());
         let exists_unpaid = unpaid.clone().project(vec![]);
-        assert!(certain_boolean_worlds(&exists_unpaid, &db, Semantics::Cwa, &WorldOptions::default())
-            .unwrap());
+        assert!(certain_boolean_worlds(
+            &exists_unpaid,
+            &db,
+            Semantics::Cwa,
+            &WorldOptions::default()
+        )
+        .unwrap());
         // ... and the possible answers include both orders.
         let possible =
             possible_answer_union(&unpaid, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
@@ -175,8 +245,10 @@ mod tests {
             certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
         assert!(certain.is_empty());
         let nonempty = q.project(vec![]);
-        assert!(certain_boolean_worlds(&nonempty, &db, Semantics::Cwa, &WorldOptions::default())
-            .unwrap());
+        assert!(
+            certain_boolean_worlds(&nonempty, &db, Semantics::Cwa, &WorldOptions::default())
+                .unwrap()
+        );
     }
 
     #[test]
@@ -203,7 +275,9 @@ mod tests {
             .tuple("R", vec![Value::int(1), Value::null(0)])
             .tuple("S", vec![Value::int(1), Value::null(1)])
             .build();
-        let q = RaExpr::relation("R").difference(RaExpr::relation("S")).project(vec![0]);
+        let q = RaExpr::relation("R")
+            .difference(RaExpr::relation("S"))
+            .project(vec![0]);
         let certain =
             certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
         assert!(certain.is_empty());
@@ -212,14 +286,17 @@ mod tests {
     #[test]
     fn positive_query_certain_answers_match_naive() {
         let db = orders_and_payments_example();
-        let q = RaExpr::relation("Order").project(vec![0]).union(
-            RaExpr::relation("Pay").project(vec![1]),
-        );
+        let q = RaExpr::relation("Order")
+            .project(vec![0])
+            .union(RaExpr::relation("Pay").project(vec![1]));
         for semantics in [Semantics::Cwa, Semantics::Owa] {
             let ground =
                 certain_answer_worlds(&q, &db, semantics, &WorldOptions::default()).unwrap();
             let naive = crate::naive::certain_answer_naive(&q, &db).unwrap();
-            assert_eq!(ground, naive, "naïve evaluation must match ground truth under {semantics}");
+            assert_eq!(
+                ground, naive,
+                "naïve evaluation must match ground truth under {semantics}"
+            );
         }
     }
 
@@ -247,7 +324,10 @@ mod tests {
             builder = builder.tuple("R", vec![Value::null(i), Value::null(i + 10)]);
         }
         let db = builder.build();
-        let opts = WorldOptions { max_worlds: 100, ..WorldOptions::default() };
+        let opts = WorldOptions {
+            max_worlds: 100,
+            ..WorldOptions::default()
+        };
         let err = certain_answer_worlds(&RaExpr::relation("R"), &db, Semantics::Cwa, &opts);
         assert!(matches!(err, Err(EvalError::WorldBudgetExceeded { .. })));
     }

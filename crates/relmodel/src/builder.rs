@@ -74,7 +74,10 @@ pub fn orders_and_payments_example() -> Database {
         .relation("Pay", &["p_id", "order", "amount"])
         .strs("Order", &["oid1", "pr1"])
         .strs("Order", &["oid2", "pr2"])
-        .tuple("Pay", vec![Value::str("pid1"), Value::null(0), Value::int(100)])
+        .tuple(
+            "Pay",
+            vec![Value::str("pid1"), Value::null(0), Value::int(100)],
+        )
         .build()
 }
 
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid tuple")]
     fn builder_panics_on_bad_arity() {
-        DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1, 2]).build();
+        DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1, 2])
+            .build();
     }
 
     #[test]

@@ -47,7 +47,8 @@ impl Database {
 
     /// Looks up a relation by name, or returns an error.
     pub fn require(&self, name: &str) -> Result<&Relation, ModelError> {
-        self.relation(name).ok_or_else(|| ModelError::UnknownRelation(name.to_owned()))
+        self.relation(name)
+            .ok_or_else(|| ModelError::UnknownRelation(name.to_owned()))
     }
 
     /// Mutable access to a relation by name.
@@ -138,18 +139,23 @@ impl Database {
 
     /// All nulls occurring in the database: `Null(D)`.
     pub fn null_ids(&self) -> BTreeSet<NullId> {
-        self.relations.values().flat_map(Relation::null_ids).collect()
+        self.relations
+            .values()
+            .flat_map(Relation::null_ids)
+            .collect()
     }
 
     /// All constants occurring in the database: `Const(D)`.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.relations.values().flat_map(Relation::constants).collect()
+        self.relations
+            .values()
+            .flat_map(Relation::constants)
+            .collect()
     }
 
     /// The active domain `adom(D) = Const(D) ∪ Null(D)` as values.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        let mut out: BTreeSet<Value> =
-            self.constants().into_iter().map(Value::Const).collect();
+        let mut out: BTreeSet<Value> = self.constants().into_iter().map(Value::Const).collect();
         out.extend(self.null_ids().into_iter().map(Value::Null));
         out
     }
@@ -183,7 +189,11 @@ impl Database {
     pub fn apply_partial(&self, v: &Valuation) -> Database {
         Database {
             schema: self.schema.clone(),
-            relations: self.relations.iter().map(|(n, r)| (n.clone(), r.apply(v))).collect(),
+            relations: self
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.apply(v)))
+                .collect(),
         }
     }
 
@@ -192,7 +202,11 @@ impl Database {
     pub fn map_nulls(&self, f: &mut impl FnMut(NullId) -> Value) -> Database {
         Database {
             schema: self.schema.clone(),
-            relations: self.relations.iter().map(|(n, r)| (n.clone(), r.map_nulls(f))).collect(),
+            relations: self
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.map_nulls(f)))
+                .collect(),
         }
     }
 
@@ -224,9 +238,9 @@ impl Database {
     /// relation also present in `other`)?
     pub fn is_subinstance_of(&self, other: &Database) -> bool {
         self.schema == other.schema
-            && self.iter().all(|(name, rel)| {
-                other.relation(name).is_some_and(|o| rel.is_subset(o))
-            })
+            && self
+                .iter()
+                .all(|(name, rel)| other.relation(name).is_some_and(|o| rel.is_subset(o)))
     }
 }
 
@@ -298,11 +312,16 @@ mod tests {
         naive
             .insert("R", Tuple::new(vec![Value::int(2), Value::null(0)]))
             .unwrap();
-        assert!(!naive.is_codd(), "repeated null ⊥0 makes this a naïve, non-Codd database");
+        assert!(
+            !naive.is_codd(),
+            "repeated null ⊥0 makes this a naïve, non-Codd database"
+        );
 
         let mut codd = Database::new(schema);
-        codd.insert("R", Tuple::new(vec![Value::null(0), Value::int(1)])).unwrap();
-        codd.insert("R", Tuple::new(vec![Value::int(2), Value::null(1)])).unwrap();
+        codd.insert("R", Tuple::new(vec![Value::null(0), Value::int(1)]))
+            .unwrap();
+        codd.insert("R", Tuple::new(vec![Value::int(2), Value::null(1)]))
+            .unwrap();
         assert!(codd.is_codd());
     }
 
@@ -338,7 +357,9 @@ mod tests {
     fn union_and_subinstance() {
         let db = orders_db();
         let mut bigger = db.clone();
-        bigger.insert("Order", Tuple::strs(&["oid3", "pr3"])).unwrap();
+        bigger
+            .insert("Order", Tuple::strs(&["oid3", "pr3"]))
+            .unwrap();
         assert!(db.is_subinstance_of(&bigger));
         assert!(!bigger.is_subinstance_of(&db));
         let u = db.union(&bigger).unwrap();

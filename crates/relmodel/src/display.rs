@@ -34,7 +34,10 @@ pub fn render_relation(headers: &[&str], relation: &Relation) -> String {
 pub fn render_database(db: &Database) -> String {
     let mut out = String::new();
     for (name, rel) in db.iter() {
-        let rs = db.schema().relation(name).expect("instance relations are in the schema");
+        let rs = db
+            .schema()
+            .relation(name)
+            .expect("instance relations are in the schema");
         let headers: Vec<&str> = rs.attributes.iter().map(String::as_str).collect();
         out.push_str(name);
         out.push('\n');

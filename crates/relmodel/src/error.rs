@@ -75,7 +75,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ModelError::ArityMismatch { relation: "R".into(), expected: 2, actual: 3 };
+        let e = ModelError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            actual: 3,
+        };
         assert!(e.to_string().contains("arity mismatch"));
         let e = ModelError::UnknownRelation("X".into());
         assert!(e.to_string().contains("`X`"));

@@ -31,7 +31,10 @@ impl RelationSchema {
                 });
             }
         }
-        Ok(RelationSchema { name, attributes: attrs })
+        Ok(RelationSchema {
+            name,
+            attributes: attrs,
+        })
     }
 
     /// Arity (number of attributes).
@@ -82,7 +85,8 @@ impl Schema {
 
     /// Looks up a relation schema by name, or returns an error.
     pub fn require(&self, name: &str) -> Result<&RelationSchema, ModelError> {
-        self.relation(name).ok_or_else(|| ModelError::UnknownRelation(name.to_owned()))
+        self.relation(name)
+            .ok_or_else(|| ModelError::UnknownRelation(name.to_owned()))
     }
 
     /// Does the schema contain a relation with this name?
@@ -195,7 +199,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let schema = Schema::builder().relation("Pay", &["p_id", "order", "amount"]).build();
+        let schema = Schema::builder()
+            .relation("Pay", &["p_id", "order", "amount"])
+            .build();
         assert_eq!(schema.to_string(), "Pay(p_id, order, amount)");
     }
 

@@ -58,7 +58,11 @@ impl std::fmt::Display for Semantics {
 /// answers, so it is enough to have as many fresh constants as there are nulls
 /// (allowing all nulls to be pairwise distinct and distinct from every named
 /// constant).
-pub fn adequate_domain(db: &Database, query_constants: &BTreeSet<Constant>, fresh: usize) -> Vec<Constant> {
+pub fn adequate_domain(
+    db: &Database,
+    query_constants: &BTreeSet<Constant>,
+    fresh: usize,
+) -> Vec<Constant> {
     let mut base = db.constants();
     base.extend(query_constants.iter().cloned());
     domain_with_fresh(&base, fresh)
@@ -73,7 +77,9 @@ pub fn enumerate_cwa_worlds(db: &Database, domain: &[Constant]) -> Vec<Database>
     let mut out: Vec<Database> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
     for v in ValuationEnumerator::new(db.null_ids(), domain.to_vec()) {
-        let world = db.apply(&v).expect("enumerator covers all nulls of the database");
+        let world = db
+            .apply(&v)
+            .expect("enumerator covers all nulls of the database");
         let key = world.to_string();
         if seen.insert(key) {
             out.push(world);
@@ -104,11 +110,7 @@ pub fn enumerate_cwa_valuations(db: &Database, domain: &[Constant]) -> Vec<(Valu
 /// the intersection is attained at the minimal worlds `v(D)` (i.e.
 /// `max_extra = 0` already suffices). The bound exists so tests can also probe
 /// *non-monotone* queries and exhibit their failures.
-pub fn enumerate_owa_worlds(
-    db: &Database,
-    domain: &[Constant],
-    max_extra: usize,
-) -> Vec<Database> {
+pub fn enumerate_owa_worlds(db: &Database, domain: &[Constant], max_extra: usize) -> Vec<Database> {
     let base_worlds = enumerate_cwa_worlds(db, domain);
     if max_extra == 0 {
         return base_worlds;
@@ -120,7 +122,9 @@ pub fn enumerate_owa_worlds(
         for subset in bounded_subsets(&candidate_tuples, max_extra) {
             let mut extended = world.clone();
             for (rel, tuple) in subset {
-                extended.insert(&rel, tuple).expect("candidate tuples respect the schema");
+                extended
+                    .insert(&rel, tuple)
+                    .expect("candidate tuples respect the schema");
             }
             let key = extended.to_string();
             if seen.insert(key) {
@@ -143,8 +147,10 @@ fn all_complete_tuples(db: &Database, domain: &[Constant]) -> Vec<(String, Tuple
             continue;
         }
         loop {
-            let tuple: Tuple =
-                counters.iter().map(|&i| Value::Const(domain[i].clone())).collect();
+            let tuple: Tuple = counters
+                .iter()
+                .map(|&i| Value::Const(domain[i].clone()))
+                .collect();
             out.push((rs.name.clone(), tuple));
             // advance
             let mut i = 0;
@@ -173,7 +179,13 @@ fn all_complete_tuples(db: &Database, domain: &[Constant]) -> Vec<(String, Tuple
 
 /// All subsets of `items` of size at most `k` (including the empty subset).
 fn bounded_subsets<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
-    fn go<T: Clone>(items: &[T], start: usize, remaining: usize, current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+    fn go<T: Clone>(
+        items: &[T],
+        start: usize,
+        remaining: usize,
+        current: &mut Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
         out.push(current.clone());
         if remaining == 0 {
             return;

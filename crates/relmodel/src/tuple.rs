@@ -73,7 +73,10 @@ impl Tuple {
 
     /// The set of constants occurring in the tuple.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.0.iter().filter_map(|v| v.as_const().cloned()).collect()
+        self.0
+            .iter()
+            .filter_map(|v| v.as_const().cloned())
+            .collect()
     }
 
     /// Applies a valuation, replacing nulls by constants. Nulls the valuation

@@ -33,7 +33,9 @@ impl Valuation {
 
     /// Creates a valuation from pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (NullId, Constant)>) -> Self {
-        Valuation { map: pairs.into_iter().collect() }
+        Valuation {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Assigns a constant to a null (overwriting any previous assignment).
@@ -135,7 +137,11 @@ impl ValuationEnumerator {
         } else {
             Some(vec![0; nulls.len()])
         };
-        ValuationEnumerator { nulls, domain, counter }
+        ValuationEnumerator {
+            nulls,
+            domain,
+            counter,
+        }
     }
 
     /// Total number of valuations that will be produced.
@@ -267,12 +273,17 @@ mod tests {
 
     #[test]
     fn fresh_domain_has_requested_size_and_no_collisions() {
-        let base: BTreeSet<Constant> =
-            vec![Constant::Int(1), Constant::Str("_fresh_0".into())].into_iter().collect();
+        let base: BTreeSet<Constant> = vec![Constant::Int(1), Constant::Str("_fresh_0".into())]
+            .into_iter()
+            .collect();
         let d = domain_with_fresh(&base, 3);
         assert_eq!(d.len(), 5);
         let set: BTreeSet<_> = d.iter().cloned().collect();
-        assert_eq!(set.len(), 5, "fresh constants must not collide with the base");
+        assert_eq!(
+            set.len(),
+            5,
+            "fresh constants must not collide with the base"
+        );
     }
 
     #[test]

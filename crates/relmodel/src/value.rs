@@ -234,6 +234,7 @@ impl Truth {
     }
 
     /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // `Truth` is not a `bool`; `!` would suggest two-valued logic
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,
@@ -338,7 +339,10 @@ mod tests {
         let c = Value::str("oid1");
         let t = x.eq_3vl(&c).or(x.eq_3vl(&c).not());
         assert_eq!(t, Truth::Unknown);
-        assert!(!t.is_true(), "SQL drops the row even though the condition is a tautology");
+        assert!(
+            !t.is_true(),
+            "SQL drops the row even though the condition is a tautology"
+        );
     }
 
     #[test]

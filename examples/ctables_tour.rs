@@ -21,11 +21,17 @@ fn main() {
     // possible answers at once.
     let answer = eval_ctable(&q, &cdb).unwrap();
     println!("Conditional answer table:\n{answer}");
-    println!("({} condition atoms for a two-tuple answer.)\n", answer.condition_atoms());
+    println!(
+        "({} condition atoms for a two-tuple answer.)\n",
+        answer.condition_atoms()
+    );
 
     // Its worlds are exactly Q([[D]]_cwa) = {{1,2}, {1}, {2}}.
     let check = ctables::verify::check_strong_representation(&q, &cdb, 2).unwrap();
-    println!("Possible answers of the query ({} of them):", check.query_of_worlds.len());
+    println!(
+        "Possible answers of the query ({} of them):",
+        check.query_of_worlds.len()
+    );
     for world in &check.query_of_worlds {
         println!("  {world}");
     }

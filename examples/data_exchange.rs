@@ -33,7 +33,10 @@ fn main() {
 
     // Certain answers over the exchanged data.
     for (question, text) in [
-        ("Which products does some customer prefer?", "project[#1](Pref)"),
+        (
+            "Which products does some customer prefer?",
+            "project[#1](Pref)",
+        ),
         ("Which customers do we know by name?", "Cust"),
         (
             "Which products are preferred by a customer who also prefers pr1?",
@@ -42,8 +45,14 @@ fn main() {
     ] {
         let q = parse(text).unwrap();
         let answer = exchange_and_answer(&source, &mapping, &q).unwrap();
-        println!("\nQ: {question}\n   query   = {text}\n   certain = {}", answer.certain);
-        println!("   naïve object answer (marked nulls preserved) = {}", answer.naive_object);
+        println!(
+            "\nQ: {question}\n   query   = {text}\n   certain = {}",
+            answer.certain
+        );
+        println!(
+            "   naïve object answer (marked nulls preserved) = {}",
+            answer.naive_object
+        );
     }
 
     println!("\nNote how the marked nulls let the join recognise that the customer of");

@@ -1,18 +1,19 @@
 //! `RA_cwa` in action: relational division evaluated naïvely is correct under
-//! the closed-world assumption (paper §6.2).
+//! the closed-world assumption (paper §6.2) — and the engine knows it.
 //!
 //! Scenario: suppliers supply parts, but some supply records have an unknown
 //! part. "Which suppliers supply *every* part in the catalogue?" is a division
 //! query — not expressible in positive algebra, yet CWA-naïve evaluation still
-//! computes its certain answer.
+//! computes its certain answer, so the engine dispatches it to `NaiveExact`
+//! with an `exact` guarantee. Under OWA the same query only carries a
+//! `complete` guarantee.
 //!
 //! Run with `cargo run --example division_cwa`.
 
 use incomplete_data::prelude::*;
-use relalgebra::ast::RaExpr;
-use relmodel::display::render_database;
-use relmodel::{DatabaseBuilder, Semantics, Value};
 use releval::worlds::WorldOptions;
+use relmodel::display::render_database;
+use relmodel::DatabaseBuilder;
 
 fn main() {
     // Supplies(supplier, part); Part(part).
@@ -31,29 +32,46 @@ fn main() {
     println!("Database:\n{}", render_database(&db));
 
     // Q = Supplies ÷ Part : suppliers paired with every part.
-    let q = RaExpr::relation("Supplies").divide(RaExpr::relation("Part"));
+    let q = parse("Supplies divide Part").unwrap();
     println!("Query: {q}");
-    println!("Class: {}", relalgebra::classify::classify(&q));
 
-    let naive = eval_naive(&q, &db).unwrap();
-    let certain_naive = certain_answer_naive(&q, &db).unwrap();
-    let truth_cwa =
-        certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
-    println!("naïve answer:                 {naive}");
-    println!("naïve certain answer:         {certain_naive}");
-    println!("ground truth (CWA):           {truth_cwa}");
+    // Under CWA the classifier sees RA_cwa and the theorem applies: naïve
+    // evaluation, exact, polynomial.
+    let cwa = Engine::new(&db).plan(&q).unwrap();
     println!(
-        "CWA-naïve evaluation correct: {}",
-        CertainAnswers::new(Semantics::Cwa).naive_is_correct(&q, &db).unwrap()
+        "CWA dispatch: class {}, strategy {}, guarantee {}",
+        cwa.class, cwa.strategy, cwa.guarantee
+    );
+    println!(
+        "naïve object answer:          {}",
+        cwa.object_answer.as_ref().unwrap()
+    );
+    println!("certain answer:               {}", cwa.answers);
+
+    // Cross-check against possible-world ground truth through the same door.
+    let truth = Engine::new(&db)
+        .options(EngineOptions::exhaustive())
+        .ground_truth(&q)
+        .unwrap();
+    println!("ground truth (CWA):           {}", truth.answers);
+    println!(
+        "naïve == ground truth:        {}",
+        cwa.answers == truth.answers
     );
 
-    // Under OWA the same query loses its guarantee: new parts could appear.
-    let owa = CertainAnswers::new(Semantics::Owa)
-        .with_world_options(WorldOptions::with_owa_extra(1));
+    // Under OWA the guarantee honestly weakens: new parts could appear, so
+    // the naïve answer only *contains* the certain one.
+    let owa = Engine::new(&db).semantics(Semantics::Owa).plan(&q).unwrap();
     println!(
-        "OWA-naïve evaluation correct: {} (division is not preserved when worlds may grow)",
-        owa.naive_is_correct(&q, &db).unwrap()
+        "OWA dispatch: strategy {}, guarantee {} → answers {}",
+        owa.strategy, owa.guarantee, owa.answers
     );
+    let owa_truth = Engine::new(&db)
+        .semantics(Semantics::Owa)
+        .options(EngineOptions::exhaustive().with_world_options(WorldOptions::with_owa_extra(1)))
+        .ground_truth(&q)
+        .unwrap();
+    println!("OWA ground truth (growing worlds): {}", owa_truth.answers);
 
     println!("\nacme is a certain answer: it supplies bolt and nut outright.");
     println!("globex is not: its unknown part might not be `nut`.");

@@ -1,0 +1,99 @@
+//! A tour of the [`Engine`] front door: one API, every evaluation strategy,
+//! guarantee-carrying reports.
+//!
+//! The paper's fix for incomplete data is a *dispatch rule* — classify the
+//! query, evaluate naïvely where that is provably exact, be explicit about
+//! the guarantee everywhere else. This example walks that rule end to end:
+//! text → plan → strategy → `CertainReport`.
+//!
+//! Run with `cargo run --example engine_tour`.
+
+use incomplete_data::prelude::*;
+use relmodel::builder::orders_and_payments_example;
+use relmodel::display::render_database;
+
+fn show(title: &str, report: &CertainReport) {
+    println!("— {title}");
+    println!("    class     : {}", report.class);
+    println!("    strategy  : {}", report.strategy);
+    println!("    guarantee : {}", report.guarantee);
+    println!("    answers   : {}", report.answers);
+    if let Some(object) = &report.object_answer {
+        println!("    object    : {object}");
+    }
+    let stats = &report.stats;
+    println!(
+        "    stats     : plan {:?}, execute {:?}, {} null(s){}{}",
+        stats.plan_time,
+        stats.execute_time,
+        stats.nulls,
+        stats
+            .estimated_worlds
+            .map(|w| format!(", ~{w} world(s) estimated"))
+            .unwrap_or_default(),
+        if stats.degraded {
+            ", DEGRADED to approximation"
+        } else {
+            ""
+        },
+    );
+}
+
+fn main() {
+    let db = orders_and_payments_example();
+    println!("Database:\n{}", render_database(&db));
+
+    // ── 1. Text to plan: parse_and_plan typechecks and classifies once. ────
+    let plan = parse_and_plan("project[#0](Order) minus project[#1](Pay)", db.schema()).unwrap();
+    println!("plan: {plan}\n");
+
+    // ── 2. The default engine: theorem-backed fast paths only. ─────────────
+    let engine = Engine::new(&db).semantics(Semantics::Cwa);
+    show(
+        "positive query → NaiveExact/exact",
+        &engine.plan_text("project[#1](Order)").unwrap(),
+    );
+    show(
+        "full RA → SoundApproximation/sound",
+        &engine.plan_prepared(&plan).unwrap(),
+    );
+
+    // ── 3. Exhaustive mode: ground truth, within an explicit budget. ───────
+    let exhaustive = Engine::new(&db).options(EngineOptions::exhaustive());
+    show(
+        "full RA, exhaustive → WorldsGroundTruth/exact",
+        &exhaustive.plan_prepared(&plan).unwrap(),
+    );
+
+    // ── 4. Budgets degrade explicitly instead of hanging. ──────────────────
+    let starved = Engine::new(&db).options(EngineOptions::exhaustive().with_max_worlds(1));
+    show(
+        "full RA, starved budget → degraded",
+        &starved.plan_prepared(&plan).unwrap(),
+    );
+
+    // ── 5. The SQL baseline goes through the same door, labelled honestly. ─
+    let taut = parse("project[#0](select[#1 = 'oid1' or #1 != 'oid1'](Pay))").unwrap();
+    show(
+        "SQL 3VL baseline on the §1 tautology",
+        &exhaustive.baseline_3vl(&taut).unwrap(),
+    );
+    show(
+        "…and what is actually certain",
+        &exhaustive.plan(&taut).unwrap(),
+    );
+
+    // ── 6. Boolean certainty, guarantee-aware. ─────────────────────────────
+    let exists_unpaid = plan.expr().clone().project(vec![]);
+    let report = exhaustive.plan(&exists_unpaid).unwrap();
+    println!(
+        "\n∃ an unpaid order, certainly? {:?}",
+        report.certain_true()
+    );
+    let weak = engine.plan(&exists_unpaid).unwrap();
+    println!(
+        "same question, default engine: {:?} (a {} answer cannot settle it)",
+        weak.certain_true(),
+        weak.guarantee
+    );
+}

@@ -1,15 +1,12 @@
-//! Quickstart: build an incomplete database, write a query, and compare the
-//! four ways of answering it (SQL 3VL, naïve, classical certain answers,
-//! possible-world ground truth).
+//! Quickstart: build an incomplete database, write a query, and let the
+//! [`Engine`] front door classify it, pick an evaluation strategy, and report
+//! what guarantee the answer carries.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use incomplete_data::prelude::*;
-use qparser::parse;
 use relmodel::builder::orders_and_payments_example;
 use relmodel::display::render_database;
-use relmodel::Semantics;
-use releval::worlds::WorldOptions;
 
 fn main() {
     // The paper's running example: two orders, one payment whose `order`
@@ -20,38 +17,44 @@ fn main() {
     // "Which orders have not been paid?" — the student query from the intro.
     let unpaid = parse("project[#0](Order) minus project[#1](Pay)").unwrap();
     println!("Query: {unpaid}");
-    println!("Class: {}", relalgebra::classify::classify(&unpaid));
 
-    // 1. What SQL does (three-valued logic): the empty answer.
-    let sql = eval_3vl(&unpaid, &db).unwrap();
-    println!("SQL 3VL answer:            {sql}");
+    // One engine, CWA semantics, ground truth allowed within budget.
+    let engine = Engine::new(&db).options(EngineOptions::exhaustive());
 
-    // 2. Naïve evaluation (nulls as values), complete part only.
-    let naive = certain_answer_naive(&unpaid, &db).unwrap();
-    println!("naïve certain answer:      {naive}");
-
-    // 3. Ground truth by possible-world enumeration.
-    let truth =
-        certain_answer_worlds(&unpaid, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
-    println!("ground-truth certain:      {truth}");
-
-    // 4. The Boolean question "is some order certainly unpaid?" is true even
-    //    though no specific order is a certain answer.
-    let exists_unpaid = unpaid.project(vec![]);
-    let certainly_unpaid = releval::worlds::certain_boolean_worlds(
-        &exists_unpaid,
-        &db,
-        Semantics::Cwa,
-        &WorldOptions::default(),
-    )
-    .unwrap();
-    println!("certainly ∃ unpaid order:  {certainly_unpaid}");
-
-    // A positive query, on the other hand, is safe to evaluate naïvely.
-    let products = parse("project[#1](Order)").unwrap();
-    let ca = CertainAnswers::new(Semantics::Cwa);
+    // 1. What SQL does (three-valued logic): the empty answer — and the
+    //    report labels it `no-guarantee` out loud.
+    let sql = engine.baseline_3vl(&unpaid).unwrap();
     println!(
-        "products (naïve == ground truth): {}",
-        ca.naive_is_correct(&products, &db).unwrap()
+        "SQL 3VL baseline:          {} [{}]",
+        sql.object_answer.as_ref().unwrap(),
+        sql.guarantee
+    );
+
+    // 2. The engine's own dispatch: full RA, exhaustive mode → ground truth.
+    let report = engine.plan(&unpaid).unwrap();
+    println!(
+        "engine dispatch:           {} [class {}, strategy {}, {}]",
+        report.answers, report.class, report.strategy, report.guarantee
+    );
+
+    // 3. The Boolean question "is some order certainly unpaid?" is true even
+    //    though no specific order is a certain answer.
+    let exists = engine.plan(&unpaid.clone().project(vec![])).unwrap();
+    println!("certainly ∃ unpaid order:  {:?}", exists.certain_true());
+
+    // 4. A positive query, on the other hand, dispatches straight to naïve
+    //    evaluation: polynomial, and guaranteed exact by the paper's theorem.
+    let products = engine.plan_text("project[#1](Order)").unwrap();
+    println!(
+        "products:                  {} [strategy {}, {}]",
+        products.answers, products.strategy, products.guarantee
+    );
+
+    // 5. Without exhaustive mode the engine never enumerates worlds: the hard
+    //    query degrades to an explicitly sound approximation.
+    let prod = Engine::new(&db).plan(&unpaid).unwrap();
+    println!(
+        "production engine:         {} [strategy {}, {}]",
+        prod.answers, prod.strategy, prod.guarantee
     );
 }

@@ -1,28 +1,74 @@
 //! # incomplete-data
 //!
-//! Umbrella crate re-exporting the whole workspace: a from-scratch Rust
-//! implementation of certain-answer query evaluation over incomplete
-//! relational databases, reproducing Libkin's PODS 2014 keynote
-//! *"Incomplete Data: What Went Wrong, and How to Fix It"*.
+//! Umbrella crate for a from-scratch Rust implementation of certain-answer
+//! query evaluation over incomplete relational databases, reproducing
+//! Libkin's PODS 2014 keynote *"Incomplete Data: What Went Wrong, and How to
+//! Fix It"*.
 //!
-//! See the individual crates for details:
+//! ## The front door: [`Engine`]
+//!
+//! The paper's fix is a dispatch rule — classify the query, evaluate naïvely
+//! where that is provably exact, be explicit about the guarantee everywhere
+//! else. The [`Engine`] is that rule as an API, and the recommended way to
+//! use this workspace:
+//!
+//! ```
+//! use incomplete_data::prelude::*;
+//!
+//! let db = incomplete_data::relmodel::builder::orders_and_payments_example();
+//! let engine = Engine::new(&db).semantics(Semantics::Cwa);
+//!
+//! // A positive query: dispatched to naïve evaluation, guaranteed exact.
+//! let products = engine.plan_text("project[#1](Order)").unwrap();
+//! assert_eq!(products.guarantee, Guarantee::Exact);
+//! assert_eq!(products.strategy, StrategyKind::NaiveExact);
+//! assert_eq!(products.answers.len(), 2);
+//!
+//! // The unpaid-orders query of the paper's introduction is full RA: the
+//! // default engine returns a *sound* approximation and says so …
+//! let unpaid = engine.plan_text("project[#0](Order) minus project[#1](Pay)").unwrap();
+//! assert_eq!(unpaid.guarantee, Guarantee::Sound);
+//!
+//! // … while exhaustive mode buys ground truth within an explicit budget.
+//! let truth = Engine::new(&db)
+//!     .options(EngineOptions::exhaustive())
+//!     .plan_text("project[#0](Order) minus project[#1](Pay)")
+//!     .unwrap();
+//! assert_eq!(truth.guarantee, Guarantee::Exact);
+//! assert_eq!(truth.strategy, StrategyKind::WorldsGroundTruth);
+//! ```
+//!
+//! Every answer comes back as a [`engine::CertainReport`]: the tuples, the
+//! strategy that produced them, the query's class, the guarantee they carry
+//! (`exact` / `sound` / `complete` / `no-guarantee`), and per-phase timing.
+//!
+//! ## The crates underneath
+//!
 //! - [`relmodel`]: relational model with marked (naïve) nulls and Codd tables
-//! - [`relalgebra`]: relational algebra, conjunctive queries, UCQ, `Pos∀G`/`RA_cwa`
-//! - [`releval`]: complete / naïve / SQL three-valued-logic evaluation, possible worlds
+//! - [`relalgebra`]: relational algebra, CQ/UCQ, `Pos∀G`/`RA_cwa`,
+//!   classification and typechecked plans
+//! - [`releval`]: the four evaluation strategies (complete / naïve / SQL 3VL /
+//!   possible worlds) behind a common [`releval::strategy::Strategy`] trait
+//! - [`engine`]: the classify-and-dispatch front door re-exported above
 //! - [`ctables`]: conditional tables and the Imielinski–Lipski algebra
-//! - [`certain_core`]: information orderings, homomorphisms, `certainO`/`certainK`
+//! - [`certain_core`]: information orderings, homomorphisms,
+//!   `certainO`/`certainK` (rebuilt on top of the engine)
 //! - [`exchange`]: schema mappings, the chase, data exchange
-//! - [`qparser`]: a small textual query language
+//! - [`qparser`]: a small textual query language; `parse_and_plan` feeds the
+//!   engine directly
 //! - [`datagen`]: synthetic workload generators
 
 pub use certain_core;
 pub use ctables;
 pub use datagen;
+pub use engine;
 pub use exchange;
 pub use qparser;
 pub use relalgebra;
 pub use releval;
 pub use relmodel;
+
+pub use engine::{CertainReport, Engine, EngineError, EngineOptions, Guarantee, StrategyKind};
 
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
@@ -31,12 +77,15 @@ pub mod prelude {
         ordering::InfoOrdering,
         CertainAnswers,
     };
-    pub use relalgebra::{ast::RaExpr, cq::ConjunctiveQuery, classify::QueryClass};
-    pub use releval::{
-        complete::eval_complete, naive::certain_answer_naive, naive::eval_naive,
-        three_valued::eval_3vl, worlds::certain_answer_worlds,
+    pub use engine::{
+        CertainReport, Engine, EngineError, EngineOptions, EngineStats, Guarantee, StrategyKind,
+    };
+    pub use qparser::{parse, parse_and_plan};
+    pub use relalgebra::{
+        ast::RaExpr, classify::QueryClass, cq::ConjunctiveQuery, plan::PlannedQuery,
     };
     pub use relmodel::{
-        database::Database, relation::Relation, schema::Schema, tuple::Tuple, value::Value,
+        database::Database, relation::Relation, schema::Schema, semantics::Semantics, tuple::Tuple,
+        value::Value,
     };
 }

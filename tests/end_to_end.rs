@@ -1,64 +1,145 @@
-//! Cross-crate integration tests: parser → algebra → evaluation → certainty,
-//! and exchange → certain answers, exercised together the way a user of the
-//! umbrella crate would.
+//! Cross-crate integration tests: parser → engine → certainty, and
+//! exchange → certain answers, exercised together the way a user of the
+//! umbrella crate would — every certain answer obtained through the
+//! [`Engine`] front door.
 
 use incomplete_data::prelude::*;
-use qparser::parse;
-use relalgebra::classify::classify;
 use relmodel::builder::{difference_example, orders_and_payments_example};
-use relmodel::{DatabaseBuilder, Semantics, Tuple, Value};
-use releval::worlds::{certain_boolean_worlds, WorldOptions};
+use relmodel::DatabaseBuilder;
+
+/// Exhaustive engine over `db` (ground truth allowed within budget).
+fn exhaustive(db: &Database) -> Engine<'_> {
+    Engine::new(db).options(EngineOptions::exhaustive())
+}
 
 #[test]
 fn parsed_queries_evaluate_and_classify_consistently() {
     let db = orders_and_payments_example();
+    let engine = exhaustive(&db);
     let cases = [
         ("project[#0](Order)", QueryClass::Positive, 2usize),
-        ("project[#1](Pay) intersect project[#0](Order)", QueryClass::Positive, 0),
-        ("project[#0](Order) minus project[#1](Pay)", QueryClass::FullRa, 0),
+        (
+            "project[#1](Pay) intersect project[#0](Order)",
+            QueryClass::Positive,
+            0,
+        ),
+        (
+            "project[#0](Order) minus project[#1](Pay)",
+            QueryClass::FullRa,
+            0,
+        ),
     ];
     for (text, class, certain_len) in cases {
-        let q = parse(text).unwrap();
-        assert_eq!(classify(&q), class, "classification of {text}");
-        let naive = certain_answer_naive(&q, &db).unwrap();
-        let truth = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+        let plan = parse_and_plan(text, db.schema()).unwrap();
+        assert_eq!(plan.class(), class, "classification of {text}");
+        let report = engine.plan_prepared(&plan).unwrap();
+        assert_eq!(
+            report.answers.len(),
+            certain_len,
+            "certain answer size for {text}"
+        );
+        assert_eq!(
+            report.guarantee,
+            Guarantee::Exact,
+            "exhaustive mode is exact for {text}"
+        );
         if class == QueryClass::Positive {
+            assert_eq!(
+                report.strategy,
+                StrategyKind::NaiveExact,
+                "dispatch for {text}"
+            );
+            // Naïve evaluation must agree with ground truth on this class.
+            let q = plan.expr();
+            let naive = engine
+                .plan_with(StrategyKind::NaiveExact, q)
+                .unwrap()
+                .answers;
+            let truth = engine.ground_truth(q).unwrap().answers;
             assert_eq!(naive, truth, "naïve evaluation must be exact for {text}");
+        } else {
+            assert_eq!(
+                report.strategy,
+                StrategyKind::WorldsGroundTruth,
+                "dispatch for {text}"
+            );
         }
-        assert_eq!(truth.len(), certain_len, "certain answer size for {text}");
+    }
+}
+
+#[test]
+fn default_engine_guarantee_is_exact_iff_naive_evaluation_sound() {
+    // The acceptance criterion of the redesign: with default options, the
+    // report claims `exact` precisely when the paper's theorem applies to the
+    // query/semantics pair.
+    let db = orders_and_payments_example();
+    let division_db = DatabaseBuilder::new()
+        .relation("Supplies", &["supplier", "part"])
+        .relation("Part", &["part"])
+        .strs("Supplies", &["acme", "bolt"])
+        .strs("Part", &["bolt"])
+        .build();
+    let cases: [(&Database, &str); 4] = [
+        (&db, "project[#0](Order)"),
+        (&db, "project[#1](Pay) intersect project[#0](Order)"),
+        (&db, "project[#0](Order) minus project[#1](Pay)"),
+        (&division_db, "Supplies divide Part"),
+    ];
+    for (database, text) in cases {
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let report = Engine::new(database)
+                .semantics(semantics)
+                .plan_text(text)
+                .unwrap();
+            assert_eq!(
+                report.guarantee == Guarantee::Exact,
+                report.class.naive_evaluation_sound(semantics),
+                "guarantee/theorem mismatch for {text} under {semantics}"
+            );
+        }
     }
 }
 
 #[test]
 fn the_paper_intro_story_end_to_end() {
     let db = orders_and_payments_example();
-    // SQL says nobody is unpaid.
+    let engine = exhaustive(&db);
+    // SQL says nobody is unpaid — and the engine labels that answer as worthless.
     let unpaid = parse("project[#0](Order) minus project[#1](Pay)").unwrap();
-    assert!(eval_3vl(&unpaid, &db).unwrap().is_empty());
+    let sql = engine.baseline_3vl(&unpaid).unwrap();
+    assert!(sql.object_answer.unwrap().is_empty());
+    assert_eq!(sql.guarantee, Guarantee::NoGuarantee);
     // But an unpaid order certainly exists.
-    assert!(certain_boolean_worlds(
-        &unpaid.clone().project(vec![]),
-        &db,
-        Semantics::Cwa,
-        &WorldOptions::default()
-    )
-    .unwrap());
+    let exists = engine.plan(&unpaid.clone().project(vec![])).unwrap();
+    assert_eq!(exists.certain_true(), Some(true));
     // And the tautology query certainly returns pid1.
     let taut = parse("project[#0](select[#1 = 'oid1' or #1 != 'oid1'](Pay))").unwrap();
-    let certain = certain_answer_worlds(&taut, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
-    assert!(certain.contains(&Tuple::strs(&["pid1"])));
-    assert!(eval_3vl(&taut, &db).unwrap().is_empty());
+    let certain = engine.plan(&taut).unwrap();
+    assert!(certain.answers.contains(&Tuple::strs(&["pid1"])));
+    assert!(engine
+        .baseline_3vl(&taut)
+        .unwrap()
+        .object_answer
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
-fn certain_answers_facade_matches_standalone_functions() {
+fn certain_answers_facade_matches_the_engine() {
     let db = difference_example();
     let q = parse("R union S").unwrap();
     let ca = CertainAnswers::new(Semantics::Cwa);
-    assert_eq!(ca.certain_tuples(&q, &db).unwrap(), certain_answer_naive(&q, &db).unwrap());
+    let engine = exhaustive(&db);
+    assert_eq!(
+        ca.certain_tuples(&q, &db).unwrap(),
+        engine
+            .plan_with(StrategyKind::NaiveExact, &q)
+            .unwrap()
+            .answers
+    );
     assert_eq!(
         ca.ground_truth(&q, &db).unwrap(),
-        certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap()
+        engine.ground_truth(&q).unwrap().answers
     );
     assert!(ca.naive_is_correct(&q, &db).unwrap());
     assert!(ca.naive_answer_is_glb(&q, &db).unwrap());
@@ -120,9 +201,10 @@ fn three_valued_logic_is_sound_for_positive_queries() {
         .ints("R", &[1, 2])
         .tuple("R", vec![Value::int(3), Value::null(0)])
         .build();
+    let engine = exhaustive(&db);
     let q = parse("project[#0](select[#1 = 2](R))").unwrap();
-    let sql = eval_3vl(&q, &db).unwrap();
-    let truth = certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::default()).unwrap();
+    let sql = engine.baseline_3vl(&q).unwrap().answers;
+    let truth = engine.ground_truth(&q).unwrap().answers;
     assert!(sql.is_subset(&truth));
 }
 
@@ -138,11 +220,17 @@ fn division_story_end_to_end() {
         .strs("Part", &["bolt"])
         .strs("Part", &["nut"])
         .build();
+    // Division by a base relation is RA_cwa: the engine dispatches straight to
+    // naïve evaluation under CWA and labels the answer exact.
+    let report = Engine::new(&db).plan_text("Supplies divide Part").unwrap();
+    assert_eq!(report.class, QueryClass::RaCwa);
+    assert_eq!(report.strategy, StrategyKind::NaiveExact);
+    assert_eq!(report.guarantee, Guarantee::Exact);
+    assert_eq!(report.answers.len(), 1);
+    assert!(report.answers.contains(&Tuple::strs(&["acme"])));
+    // The façade agrees with ground truth.
     let q = parse("Supplies divide Part").unwrap();
-    assert_eq!(classify(&q), QueryClass::RaCwa);
     let ca = CertainAnswers::new(Semantics::Cwa);
     assert!(ca.naive_is_correct(&q, &db).unwrap());
-    let answer = ca.certain_tuples(&q, &db).unwrap();
-    assert_eq!(answer.len(), 1);
-    assert!(answer.contains(&Tuple::strs(&["acme"])));
+    assert_eq!(ca.certain_tuples(&q, &db).unwrap(), report.answers);
 }

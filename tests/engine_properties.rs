@@ -1,0 +1,248 @@
+//! Engine-level property tests: on deterministic sweeps of random databases
+//! and queries covering every [`QueryClass`], the engine's answers must match
+//! possible-world ground truth wherever it claims exactness, and **no report
+//! may ever violate its stated guarantee**.
+
+use datagen::random::random_schema;
+use datagen::{
+    random_database, random_division_query, random_positive_query, QueryGenConfig, RandomDbConfig,
+};
+use incomplete_data::prelude::*;
+use releval::worlds::WorldOptions;
+
+fn small_db(seed: u64) -> Database {
+    random_database(&RandomDbConfig {
+        tuples_per_relation: 3,
+        domain_size: 4,
+        distinct_nulls: 2,
+        null_rate_percent: 30,
+        seed,
+    })
+}
+
+/// One random query per class, derived from the seed. Full RA queries are
+/// built as differences of two independent positive queries.
+fn query_for(class: QueryClass, seed: u64) -> RaExpr {
+    let schema = random_schema();
+    match class {
+        QueryClass::Positive => random_positive_query(
+            &schema,
+            &QueryGenConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        QueryClass::RaCwa => random_division_query(
+            &schema,
+            &QueryGenConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        QueryClass::FullRa => {
+            let a = random_positive_query(
+                &schema,
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let b = random_positive_query(
+                &schema,
+                &QueryGenConfig {
+                    seed: seed.wrapping_add(1000),
+                    ..Default::default()
+                },
+            );
+            a.difference(b)
+        }
+    }
+}
+
+const ALL_CLASSES: [QueryClass; 3] = [QueryClass::Positive, QueryClass::RaCwa, QueryClass::FullRa];
+
+const CASES: u64 = 20;
+
+/// The ground truth for checking a report, through the engine's own
+/// ground-truth door. Under CWA the default enumeration *is* the certain
+/// answer; under OWA it only visits minimal worlds, which would make the
+/// oracle as blind as the code under test for non-monotone queries — so the
+/// OWA oracle lets worlds grow by an extra tuple, strictly shrinking the
+/// certain answer and making over-claims visible.
+fn truth(db: &Database, semantics: Semantics, q: &RaExpr) -> Relation {
+    let world_options = match semantics {
+        Semantics::Cwa => WorldOptions::default(),
+        Semantics::Owa => WorldOptions::with_owa_extra(1),
+    };
+    Engine::new(db)
+        .semantics(semantics)
+        .options(EngineOptions::exhaustive().with_world_options(world_options))
+        .ground_truth(q)
+        .unwrap()
+        .answers
+}
+
+/// Asserts that a report's stated guarantee is not violated relative to the
+/// classical certain answer.
+fn assert_guarantee_holds(report: &CertainReport, truth: &Relation, context: &str) {
+    match report.guarantee {
+        Guarantee::Exact => {
+            assert_eq!(&report.answers, truth, "Exact violated: {context}");
+        }
+        Guarantee::Sound => {
+            assert!(report.answers.is_subset(truth), "Sound violated: {context}");
+        }
+        Guarantee::Complete => {
+            assert!(
+                truth.is_subset(&report.answers),
+                "Complete violated: {context}"
+            );
+        }
+        Guarantee::NoGuarantee => {}
+    }
+}
+
+/// In exhaustive mode (budget respected on these tiny instances) the engine's
+/// answer equals possible-world ground truth for *every* query class
+/// under CWA, and its OWA reports — `exact` only for the monotone fragment,
+/// `complete` beyond it — hold against an oracle whose worlds may grow.
+#[test]
+fn exhaustive_engine_matches_ground_truth_for_every_class() {
+    for class in ALL_CLASSES {
+        for seed in 0..CASES {
+            let db = small_db(seed * 37 + 1);
+            let q = query_for(class, seed * 11 + 3);
+            assert_eq!(relalgebra::classify::classify(&q), class);
+            for semantics in [Semantics::Owa, Semantics::Cwa] {
+                let engine = Engine::new(&db)
+                    .semantics(semantics)
+                    .options(EngineOptions::exhaustive());
+                let report = engine.plan(&q).unwrap();
+                assert!(!report.stats.degraded, "tiny instances must fit the budget");
+                let expected = if semantics == Semantics::Cwa || class == QueryClass::Positive {
+                    Guarantee::Exact
+                } else {
+                    // Finite OWA enumeration cannot be exact for
+                    // non-monotone classes; the engine must say so.
+                    Guarantee::Complete
+                };
+                assert_eq!(
+                    report.guarantee, expected,
+                    "guarantee for {q} ({class}, {semantics}, seed {seed})"
+                );
+                assert_guarantee_holds(
+                    &report,
+                    &truth(&db, semantics, &q),
+                    &format!("{q} ({class}, {semantics}, seed {seed})"),
+                );
+            }
+        }
+    }
+}
+
+/// With default options the engine claims `Exact` precisely when the paper's
+/// theorem applies, and every weaker claim it makes instead is honoured.
+#[test]
+fn default_engine_guarantees_are_never_violated() {
+    for class in ALL_CLASSES {
+        for seed in 0..CASES {
+            let db = small_db(seed * 23 + 5);
+            let q = query_for(class, seed * 13 + 7);
+            for semantics in [Semantics::Owa, Semantics::Cwa] {
+                let report = Engine::new(&db).semantics(semantics).plan(&q).unwrap();
+                assert_eq!(
+                    report.guarantee == Guarantee::Exact,
+                    class.naive_evaluation_sound(semantics),
+                    "Exact must coincide with the theorem for {q} under {semantics}"
+                );
+                let t = truth(&db, semantics, &q);
+                assert_guarantee_holds(
+                    &report,
+                    &t,
+                    &format!("{q} ({class}, {semantics}, seed {seed})"),
+                );
+            }
+        }
+    }
+}
+
+/// Forced strategies also honour their reported guarantees — including the
+/// deliberately weak ones (naïve on full RA, the 3VL baseline).
+#[test]
+fn forced_strategies_honour_their_guarantees() {
+    let strategies = [
+        StrategyKind::NaiveExact,
+        StrategyKind::WorldsGroundTruth,
+        StrategyKind::ThreeValuedBaseline,
+        StrategyKind::SoundApproximation,
+    ];
+    for class in ALL_CLASSES {
+        for seed in 0..CASES / 2 {
+            let db = small_db(seed * 53 + 9);
+            let q = query_for(class, seed * 29 + 11);
+            for semantics in [Semantics::Owa, Semantics::Cwa] {
+                let t = truth(&db, semantics, &q);
+                let engine = Engine::new(&db)
+                    .semantics(semantics)
+                    .options(EngineOptions::exhaustive());
+                for strategy in strategies {
+                    let report = engine.plan_with(strategy, &q).unwrap();
+                    assert_eq!(report.strategy, strategy);
+                    assert_guarantee_holds(
+                        &report,
+                        &t,
+                        &format!("forced {strategy} on {q} ({class}, {semantics}, seed {seed})"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// When the world budget is too small, exhaustive mode degrades to the
+/// approximation *explicitly* — the degraded report still honours its
+/// (weaker) guarantee instead of silently over-claiming.
+#[test]
+fn degraded_reports_stay_honest() {
+    for seed in 0..CASES / 2 {
+        let db = small_db(seed * 43 + 13);
+        if db.null_ids().is_empty() {
+            continue;
+        }
+        let q = query_for(QueryClass::FullRa, seed * 31 + 17);
+        let starved = Engine::new(&db).options(EngineOptions::exhaustive().with_max_worlds(1));
+        let report = starved.plan(&q).unwrap();
+        assert!(
+            report.stats.degraded,
+            "a 1-world budget must force degradation"
+        );
+        assert_ne!(report.guarantee, Guarantee::Exact);
+        let t = truth(&db, Semantics::Cwa, &q);
+        assert_guarantee_holds(&report, &t, &format!("degraded on {q} (seed {seed})"));
+    }
+}
+
+/// The OWA over-approximation guarantee for `RA_cwa`: the naïve answer
+/// contains the OWA certain answer even when worlds may grow.
+#[test]
+fn racwa_owa_reports_are_complete_even_with_growing_worlds() {
+    for seed in 0..CASES / 2 {
+        let db = small_db(seed * 61 + 19);
+        let q = query_for(QueryClass::RaCwa, seed * 47 + 23);
+        let report = Engine::new(&db).semantics(Semantics::Owa).plan(&q).unwrap();
+        assert_eq!(report.guarantee, Guarantee::Complete);
+        // Ground truth with worlds allowed to grow by one extra tuple.
+        let grown = Engine::new(&db)
+            .semantics(Semantics::Owa)
+            .options(
+                EngineOptions::exhaustive().with_world_options(WorldOptions::with_owa_extra(1)),
+            )
+            .ground_truth(&q)
+            .unwrap()
+            .answers;
+        assert!(
+            grown.is_subset(&report.answers),
+            "Complete violated under growing worlds for {q} (seed {seed})"
+        );
+    }
+}
