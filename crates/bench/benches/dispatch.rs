@@ -25,14 +25,20 @@ fn main() {
     // A positive join query: the class the engine dispatches to NaiveExact,
     // i.e. the exact path the paper recommends for production traffic.
     let q = parse("project[#1](select[#0 = #4](product(Order, Pay)))").expect("query parses");
-    let budget = Duration::from_millis(500);
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let budget = if smoke {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(500)
+    };
+    let sizes: &[usize] = if smoke { &[50, 200] } else { &[50, 200, 800] };
 
     println!("## engine_dispatch_overhead");
     println!(
         "{:<10}  {:>12}  {:>12}  {:>9}",
         "orders", "direct", "engine", "overhead"
     );
-    for orders in [50usize, 200, 800] {
+    for &orders in sizes {
         let db = orders_database(&OrdersConfig {
             orders,
             payments: orders,
@@ -56,6 +62,13 @@ fn main() {
             orders,
             fmt_duration(direct.median),
             fmt_duration(dispatched.median),
+            overhead_percent(&direct, &dispatched)
+        );
+        println!(
+            "BENCH {{\"bench\":\"dispatch\",\"orders\":{orders},\"direct_ns\":{},\
+             \"engine_ns\":{},\"overhead_pct\":{:.2}}}",
+            direct.median.as_nanos(),
+            dispatched.median.as_nanos(),
             overhead_percent(&direct, &dispatched)
         );
     }

@@ -1,0 +1,191 @@
+//! Streaming vs materializing possible-world ground truth (`cargo bench`).
+//!
+//! The certain-answer oracle used to materialize every possible world into a
+//! `Vec<Database>` before evaluating anything: memory = worlds × database
+//! size, wall-clock = the full `|domain|^|nulls|` enumeration every time.
+//! The streaming engine folds the intersection world-by-world, shards the
+//! valuation space across threads, and exits early the moment the running
+//! intersection empties. This bench quantifies all three effects on a
+//! multi-null workload:
+//!
+//! * `materializing` — the old path, reconstructed from the (retained)
+//!   enumeration API: collect all worlds, then evaluate and intersect;
+//! * `streaming/T` — the streaming fold at T worker threads, on a query
+//!   whose certain answer stays non-empty (no early exit: the comparison is
+//!   enumeration against enumeration);
+//! * `early-exit` — a query with an empty certain answer, where streaming
+//!   stops after a handful of worlds and materializing cannot stop at all.
+//!
+//! Each measurement is also emitted as a machine-readable `BENCH {…}` json
+//! line so CI can scrape results. `BENCH_SMOKE=1` shrinks the workload and
+//! the per-bench time budget so the whole binary finishes in seconds — that
+//! mode exists purely to keep the harness from bit-rotting.
+
+use std::time::Duration;
+
+use bench::harness::{fmt_duration, measure, Measurement};
+use datagen::{random_database, RandomDbConfig};
+use relalgebra::ast::RaExpr;
+use relalgebra::plan::PlannedQuery;
+use releval::complete::eval_complete;
+use releval::worlds::{enumerate_worlds, stream_certain_answer, WorldOptions};
+use relmodel::{Database, Relation, Semantics, Tuple};
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn opts_with_threads(threads: usize) -> WorldOptions {
+    WorldOptions {
+        // One fresh constant keeps the valuation domain (and so the world
+        // count) at a size both paths can enumerate exhaustively.
+        extra_fresh: Some(1),
+        threads: Some(threads),
+        ..WorldOptions::default()
+    }
+}
+
+fn emit(experiment: &str, mode: &str, threads: usize, worlds: u128, m: &Measurement) {
+    println!(
+        "BENCH {{\"bench\":\"worlds\",\"experiment\":\"{experiment}\",\"mode\":\"{mode}\",\
+         \"threads\":{threads},\"worlds\":{worlds},\"median_ns\":{},\"min_ns\":{},\"iters\":{}}}",
+        m.median.as_nanos(),
+        m.min.as_nanos(),
+        m.iters
+    );
+}
+
+/// The old materializing oracle, reconstructed: collect every world, then
+/// evaluate the query in each and intersect.
+fn materializing_certain(q: &RaExpr, db: &Database, opts: &WorldOptions) -> Relation {
+    let worlds = enumerate_worlds(q, db, Semantics::Cwa, opts).expect("within budget");
+    worlds
+        .iter()
+        .map(|w| eval_complete(q, w).expect("worlds are complete"))
+        .reduce(|a, b| a.intersection(&b))
+        .expect("at least one world")
+}
+
+fn main() {
+    let smoke = smoke();
+    let budget = if smoke {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(300)
+    };
+    let db = random_database(&RandomDbConfig {
+        tuples_per_relation: 8,
+        domain_size: 4,
+        distinct_nulls: if smoke { 4 } else { 6 },
+        null_rate_percent: 30,
+        seed: 42,
+    });
+
+    // A query whose certain answer is pinned non-empty by a literal tuple
+    // over an existing constant: the intersection never empties, so early
+    // exit never fires and both paths enumerate the same world space.
+    let pinned = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[0])]))
+        .union(RaExpr::relation("R").project(vec![0]));
+    let plan = PlannedQuery::new(pinned.clone(), db.schema()).expect("query typechecks");
+    let opts = opts_with_threads(1);
+    let worlds = enumerate_worlds(&pinned, &db, Semantics::Cwa, &opts)
+        .expect("within budget")
+        .len() as u128;
+    let exec = stream_certain_answer(&plan, &db, Semantics::Cwa, &opts).expect("streams");
+    assert!(!exec.early_exit, "the pinned query must not early-exit");
+    assert_eq!(
+        exec.answers,
+        materializing_certain(&pinned, &db, &opts),
+        "streaming and materializing must agree before being compared"
+    );
+    let full_space = exec.worlds_visited;
+
+    println!("## worlds_streaming_vs_materializing");
+    println!(
+        "workload: {} nulls, {full_space} valuations, {worlds} distinct worlds",
+        db.null_ids().len()
+    );
+    println!(
+        "{:<16}  {:>12}  {:>12}  {:>9}",
+        "bench", "median", "min", "iters"
+    );
+
+    let mat = measure("materializing", budget, || {
+        materializing_certain(&pinned, &db, &opts)
+    });
+    emit(
+        "streaming_vs_materializing",
+        "materializing",
+        1,
+        full_space,
+        &mat,
+    );
+    println!(
+        "{:<16}  {:>12}  {:>12}  {:>9}",
+        "materializing",
+        fmt_duration(mat.median),
+        fmt_duration(mat.min),
+        mat.iters
+    );
+
+    let mut best_stream = None;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = opts_with_threads(threads);
+        let m = measure(format!("streaming/{threads}"), budget, || {
+            stream_certain_answer(&plan, &db, Semantics::Cwa, &opts).expect("streams")
+        });
+        emit("thread_scaling", "streaming", threads, full_space, &m);
+        println!(
+            "{:<16}  {:>12}  {:>12}  {:>9}",
+            format!("streaming/{threads}"),
+            fmt_duration(m.median),
+            fmt_duration(m.min),
+            m.iters
+        );
+        let ns = m.median.as_nanos();
+        if best_stream.is_none_or(|(_, b)| ns < b) {
+            best_stream = Some((threads, ns));
+        }
+    }
+    let (best_threads, best_ns) = best_stream.expect("at least one streaming config");
+    let speedup = mat.median.as_nanos() as f64 / best_ns.max(1) as f64;
+    println!(
+        "\nstreaming/{best_threads} vs materializing: {speedup:.2}x \
+         (target: streaming+parallel beats materializing on this multi-null workload)"
+    );
+    println!(
+        "BENCH {{\"bench\":\"worlds\",\"experiment\":\"summary\",\"best_threads\":{best_threads},\
+         \"speedup_vs_materializing\":{speedup:.3}}}"
+    );
+
+    // Early exit: a certainly-empty difference stops streaming after a
+    // handful of worlds; materializing has no way to stop.
+    let empty_q = RaExpr::relation("R")
+        .project(vec![0])
+        .difference(RaExpr::relation("R").project(vec![0]));
+    let empty_plan = PlannedQuery::new(empty_q.clone(), db.schema()).expect("typechecks");
+    let opts = opts_with_threads(1);
+    let exec = stream_certain_answer(&empty_plan, &db, Semantics::Cwa, &opts).expect("streams");
+    assert!(exec.early_exit && exec.answers.is_empty());
+    let mat_empty = measure("early/materializing", budget, || {
+        materializing_certain(&empty_q, &db, &opts)
+    });
+    let stream_empty = measure("early/streaming", budget, || {
+        stream_certain_answer(&empty_plan, &db, Semantics::Cwa, &opts).expect("streams")
+    });
+    emit("early_exit", "materializing", 1, full_space, &mat_empty);
+    emit(
+        "early_exit",
+        "streaming",
+        1,
+        exec.worlds_visited,
+        &stream_empty,
+    );
+    println!(
+        "\n## early_exit (certain answer = ∅)\nmaterializing visits {full_space} worlds in {}, \
+         streaming visits {} in {}",
+        fmt_duration(mat_empty.median),
+        exec.worlds_visited,
+        fmt_duration(stream_empty.median)
+    );
+}

@@ -71,7 +71,7 @@ use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
 use releval::approx::eval_approx_unchecked;
 use releval::strategy::{NaiveEvaluation, Strategy, ThreeValuedEvaluation};
-use releval::worlds::{certain_answer_worlds_counted, estimated_world_count};
+use releval::worlds::{estimated_world_count, stream_certain_answer};
 use releval::EvalError;
 use relmodel::{Database, Semantics};
 
@@ -273,7 +273,8 @@ impl<'db> Engine<'db> {
         started: Instant,
     ) -> Result<CertainReport, EngineError> {
         let execute_started = Instant::now();
-        let mut worlds_enumerated = None;
+        // (worlds visited, early exit, threads, peak worlds in flight)
+        let mut world_exec: Option<(u128, bool, usize, usize)> = None;
         let (answers, object_answer) = match decision.strategy {
             StrategyKind::NaiveExact => {
                 let object = NaiveEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
@@ -284,16 +285,22 @@ impl<'db> Engine<'db> {
                 (raw.complete_part(), Some(raw))
             }
             StrategyKind::WorldsGroundTruth => {
-                // Bypasses the `Strategy` facade for the one datum it cannot
-                // carry: the number of worlds actually enumerated.
-                let (answers, count) = certain_answer_worlds_counted(
+                // Bypasses the `Strategy` facade for the telemetry it cannot
+                // carry: worlds visited, early exit, thread count, peak
+                // worlds in flight.
+                let exec = stream_certain_answer(
                     &plan,
                     self.db,
                     self.semantics,
                     &self.options.world_options,
                 )?;
-                worlds_enumerated = Some(count);
-                (answers, None)
+                world_exec = Some((
+                    exec.worlds_visited,
+                    exec.early_exit,
+                    exec.threads,
+                    exec.peak_worlds_in_flight,
+                ));
+                (exec.answers, None)
             }
             StrategyKind::SoundApproximation => {
                 if plan.class() == QueryClass::RaCwa && self.semantics == Semantics::Owa {
@@ -323,8 +330,11 @@ impl<'db> Engine<'db> {
                 total_time: started.elapsed(),
                 nulls: self.db.null_ids().len(),
                 estimated_worlds: decision.estimated_worlds,
-                worlds_enumerated,
+                worlds_enumerated: world_exec.map(|e| e.0),
                 degraded: decision.degraded,
+                world_early_exit: world_exec.is_some_and(|e| e.1),
+                world_threads: world_exec.map(|e| e.2),
+                peak_worlds_in_flight: world_exec.map(|e| e.3),
             },
         })
     }
@@ -434,13 +444,48 @@ mod tests {
         assert_eq!(report.strategy, StrategyKind::SoundApproximation);
         assert!(report.stats.degraded);
         assert!(report.stats.estimated_worlds.unwrap() > 1_000_000);
-        // The forced ground-truth path errs instead of degrading.
-        let q = qparser::parse("R minus S").unwrap();
-        let err = engine.ground_truth(&q).unwrap_err();
+        // The forced ground-truth path errs (rather than degrading) when the
+        // streaming fold cannot converge within the visit budget: `R union S`
+        // keeps the tuple (1) in every world's answer, so the intersection
+        // never empties and no early exit can rescue the enumeration.
+        let starved = Engine::new(&db).options(
+            EngineOptions::exhaustive()
+                .with_max_nulls(4)
+                .with_max_worlds(100),
+        );
+        let err = starved
+            .ground_truth(&qparser::parse("R union S").unwrap())
+            .unwrap_err();
         assert!(matches!(
             err,
             EngineError::Eval(EvalError::WorldBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn early_exit_answers_queries_the_budget_would_refuse() {
+        // Same exponential world space, but the certain answer of `R minus S`
+        // is provably ∅ the moment one world values a null of S to 1 — and
+        // the very first world does. The streaming fold early-exits after a
+        // handful of worlds where the materializing path would have needed
+        // 14^12 of them.
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"]);
+        for i in 0..12u64 {
+            b = b.tuple("S", vec![Value::null(i)]);
+        }
+        b = b.ints("R", &[1]);
+        let db = b.build();
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive().with_max_worlds(100));
+        let report = engine
+            .ground_truth(&qparser::parse("R minus S").unwrap())
+            .unwrap();
+        assert!(report.answers.is_empty());
+        assert!(report.stats.world_early_exit);
+        assert!(report.stats.worlds_enumerated.unwrap() < 100);
+        assert!(report.stats.world_threads.unwrap() >= 1);
+        assert!(report.stats.peak_worlds_in_flight.unwrap() >= report.stats.world_threads.unwrap());
     }
 
     #[test]
@@ -482,10 +527,10 @@ mod tests {
     }
 
     #[test]
-    fn worlds_enumerated_counts_distinct_worlds_not_valuations() {
-        // Two nulls over a one-constant-rich domain: many valuations collapse
-        // to the same world, and the report must count worlds, not
-        // valuations.
+    fn worlds_visited_reflects_early_exit_not_the_estimate() {
+        // `R minus R` is ∅ in the very first world, so the streaming fold
+        // stops immediately: the honest visit count must undercut the
+        // planner's |domain|^|nulls| estimate.
         let db = DatabaseBuilder::new()
             .relation("R", &["a"])
             .tuple("R", vec![Value::null(0)])
@@ -493,11 +538,12 @@ mod tests {
             .build();
         let engine = Engine::new(&db).options(EngineOptions::exhaustive());
         let report = engine.plan_text("R minus R").unwrap();
-        let enumerated = report.stats.worlds_enumerated.unwrap();
+        let visited = report.stats.worlds_enumerated.unwrap();
         let estimated = report.stats.estimated_worlds.unwrap();
+        assert!(report.stats.world_early_exit);
         assert!(
-            enumerated < estimated,
-            "dedup must show: {enumerated} worlds from {estimated} valuations"
+            visited < estimated,
+            "early exit must show: {visited} visited of {estimated} estimated"
         );
     }
 
@@ -567,6 +613,38 @@ mod tests {
             engine.select_strategy(&hard, QueryClass::FullRa),
             (StrategyKind::SoundApproximation, Guarantee::Sound)
         );
+    }
+
+    #[test]
+    fn division_arity_underflow_is_rejected_not_a_panic() {
+        // Regression: `dividend.arity() - divisor.arity()` in the leaf
+        // evaluator would underflow (and panic) if a wider divisor ever
+        // reached it. The type checker must reject such plans — through
+        // every front door — with `InvalidDivision`, never by panicking.
+        let db = DatabaseBuilder::new()
+            .relation("Narrow", &["a"])
+            .relation("Wide", &["a", "b", "c"])
+            .ints("Narrow", &[1])
+            .build();
+        let engine = Engine::new(&db);
+        for query in ["Narrow divide Wide", "Narrow divide Narrow"] {
+            let err = engine.plan_text(query).unwrap_err();
+            assert!(
+                err.to_string().contains("division"),
+                "`{query}` must fail with a division type error, got: {err}"
+            );
+        }
+        // The same guard through the non-textual door, as a typed error.
+        let q = RaExpr::relation("Narrow").divide(RaExpr::relation("Wide"));
+        assert!(matches!(
+            engine.plan(&q),
+            Err(EngineError::Type(
+                relalgebra::typecheck::TypeError::InvalidDivision {
+                    dividend: 1,
+                    divisor: 3
+                }
+            ))
+        ));
     }
 
     #[test]

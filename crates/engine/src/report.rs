@@ -141,11 +141,23 @@ pub struct EngineStats {
     /// The planner's `|domain|^|nulls|` world-count estimate, when ground
     /// truth was considered.
     pub estimated_worlds: Option<u128>,
-    /// Worlds actually enumerated, when the worlds strategy ran.
+    /// Worlds actually **visited** by the streaming fold, when the worlds
+    /// strategy ran. Early exit can make this far smaller than the estimate.
     pub worlds_enumerated: Option<u128>,
     /// True when exhaustive mode was requested but the budget forced the
     /// planner to degrade to the sound approximation.
     pub degraded: bool,
+    /// Did the streaming world fold stop early because its running
+    /// intersection emptied? Early exit only ever fires on an empty certain
+    /// answer, so a `true` here never costs correctness.
+    pub world_early_exit: bool,
+    /// Worker threads the streaming world fold sharded valuations across,
+    /// when the worlds strategy ran.
+    pub world_threads: Option<usize>,
+    /// Upper bound on worlds concurrently materialized by the fold (one per
+    /// worker, plus one OWA extension per worker), when the worlds strategy
+    /// ran — the O(threads) memory face of the streaming engine.
+    pub peak_worlds_in_flight: Option<usize>,
 }
 
 /// The engine's answer to a query: the tuples, the strategy that produced

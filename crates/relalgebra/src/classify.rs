@@ -58,9 +58,20 @@ pub fn classify(expr: &RaExpr) -> QueryClass {
     match expr {
         RaExpr::Relation(_) | RaExpr::Delta => QueryClass::Positive,
         RaExpr::Values(rel) => {
-            // A literal relation behaves like a (constant) positive query.
-            let _ = rel;
-            QueryClass::Positive
+            // A *complete* literal relation behaves like a (constant)
+            // positive query. A literal containing nulls does not: possible
+            // worlds value the nulls of the *database* but leave query
+            // literals untouched, while naïve evaluation happily equates a
+            // literal ⊥ᵢ with a database ⊥ᵢ — an equality that fails in
+            // every world. Claiming the naïve-evaluation theorem for such a
+            // literal over-reports certain answers (see the classifier
+            // tests for a concrete counterexample), so it is classified
+            // conservatively.
+            if rel.is_complete() {
+                QueryClass::Positive
+            } else {
+                QueryClass::FullRa
+            }
         }
         RaExpr::Select(e, p) => {
             let inner = classify(e);
@@ -161,6 +172,32 @@ mod tests {
         assert!(!is_divisor_class(&divisor));
         let q = RaExpr::relation("R").divide(divisor);
         assert_eq!(classify(&q), QueryClass::FullRa);
+    }
+
+    #[test]
+    fn values_with_nulls_are_not_positive() {
+        // Counterexample to "literals are always positive": with
+        // D = { R(1, ⊥0) } and Q = π_{0,3}(σ_{#1 = #2}(R × {(⊥0, 7)})),
+        // naïve evaluation joins the database ⊥0 with the literal ⊥0
+        // syntactically and outputs the complete tuple (1, 7). But every
+        // possible world values the database null to some constant c while
+        // the literal keeps ⊥0, so the join is empty in every world and the
+        // certain answer is ∅. Treating the literal as positive would let a
+        // dispatcher claim that naïve answer "exact"; the classifier must
+        // route it to the conservative fragment instead.
+        let complete = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[1])]));
+        assert_eq!(classify(&complete), QueryClass::Positive);
+        let with_null = RaExpr::values(Relation::from_tuples(
+            2,
+            vec![Tuple::new(vec![Value::null(0), Value::int(7)])],
+        ));
+        assert_eq!(classify(&with_null), QueryClass::FullRa);
+        assert!(!classify(&with_null).naive_evaluation_sound(Semantics::Cwa));
+        let joined = RaExpr::relation("R")
+            .product(with_null)
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+            .project(vec![0, 3]);
+        assert_eq!(classify(&joined), QueryClass::FullRa);
     }
 
     #[test]

@@ -66,7 +66,15 @@ pub fn eval_approx_unchecked(expr: &RaExpr, db: &Database) -> ApproxAnswer {
             }
         }
         RaExpr::Values(rel) => ApproxAnswer {
-            certain: rel.clone(),
+            // Literal nulls are *rigid*: possible worlds value the nulls of
+            // the database, never those of the query, so a literal ⊥ᵢ is
+            // never certainly equal to anything — putting it on the certain
+            // side would let downstream operators (e.g. a selection equating
+            // it with a database ⊥ᵢ) derive complete tuples that hold in no
+            // world. Only the complete literal tuples are certain; the full
+            // literal stays on the possible side, where treating its nulls
+            // as bindable merely over-covers (which is the sound direction).
+            certain: rel.complete_part(),
             possible: rel.clone(),
         },
         RaExpr::Delta => {
@@ -392,6 +400,41 @@ mod tests {
             "positive queries lose nothing in pair evaluation"
         );
         assert_eq!(out.possible, naive);
+    }
+
+    #[test]
+    fn null_bearing_literals_never_reach_the_certain_side() {
+        // D = { R(1, ⊥0) }, Q = π_{0,3}(σ_{#1 = #2}(R × {(⊥0, 7)})): naïve
+        // evaluation equates the database ⊥0 with the rigid literal ⊥0 and
+        // emits the complete tuple (1, 7), which holds in *no* world. The
+        // pair evaluator must keep the literal null off the certain side.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .build();
+        let lit = RaExpr::values(Relation::from_tuples(
+            2,
+            vec![Tuple::new(vec![Value::null(0), Value::int(7)])],
+        ));
+        let q = RaExpr::relation("R")
+            .product(lit)
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+            .project(vec![0, 3]);
+        let naive = crate::naive::eval_naive(&q, &db).unwrap();
+        assert!(naive.contains(&Tuple::ints(&[1, 7])), "naïve over-reports");
+        let out = eval_approx(&q, &db).unwrap();
+        assert!(out.certain.is_empty());
+        let truth = crate::worlds::certain_answer_worlds(
+            &q,
+            &db,
+            relmodel::Semantics::Cwa,
+            &crate::worlds::WorldOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            truth.is_empty(),
+            "ground truth: the join fails in every world"
+        );
     }
 
     #[test]

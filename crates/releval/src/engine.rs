@@ -96,7 +96,20 @@ pub fn eval_unchecked<'a>(expr: &'a RaExpr, db: &'a Database) -> Cow<'a, Relatio
 /// Relational division with syntactic equality: the result contains those
 /// prefix tuples `t` (of arity `dividend.arity() - divisor.arity()`) such that
 /// `(t, s)` is in the dividend for **every** `s` in the divisor.
+///
+/// The divisor must be strictly narrower than the dividend; expressions
+/// reaching this through the evaluators have that guaranteed by
+/// `relalgebra::typecheck` (`TypeError::InvalidDivision`). Calling it
+/// directly with a divisor at least as wide panics with an explicit message
+/// rather than a bare arithmetic underflow.
 pub fn divide(dividend: &Relation, divisor: &Relation) -> Relation {
+    assert!(
+        divisor.arity() < dividend.arity(),
+        "divide: divisor arity {} must be strictly smaller than dividend arity {} \
+         (the type checker rejects such expressions before evaluation)",
+        divisor.arity(),
+        dividend.arity()
+    );
     let prefix_arity = dividend.arity() - divisor.arity();
     let prefix_cols: Vec<usize> = (0..prefix_arity).collect();
     let mut out = Relation::new(prefix_arity);

@@ -24,6 +24,14 @@ pub enum EvalError {
         /// The configured maximum.
         budget: u128,
     },
+    /// The valuation domain is empty while the database has nulls, so there
+    /// are **zero** possible worlds. An intersection over zero worlds is the
+    /// universal relation, not the empty one — silently returning ∅ as "the
+    /// certain answer" would be unsound, so this is an error instead.
+    EmptyDomain {
+        /// Number of distinct nulls that have no constant to be valued to.
+        nulls: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -41,6 +49,13 @@ impl fmt::Display for EvalError {
                 write!(
                     f,
                     "world enumeration needs {worlds} worlds, exceeding the budget of {budget}"
+                )
+            }
+            EvalError::EmptyDomain { nulls } => {
+                write!(
+                    f,
+                    "empty valuation domain with {nulls} null(s): zero possible worlds, \
+                     certain answers are undefined"
                 )
             }
         }
@@ -78,5 +93,7 @@ mod tests {
             budget: 10,
         };
         assert!(e.to_string().contains("budget"));
+        let e = EvalError::EmptyDomain { nulls: 2 };
+        assert!(e.to_string().contains("zero possible worlds"));
     }
 }

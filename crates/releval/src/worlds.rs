@@ -1,17 +1,38 @@
-//! Possible-world (ground-truth) certain answers.
+//! Possible-world (ground-truth) certain answers, computed by **streaming**.
 //!
 //! The classical definition (equation (1) of the paper) is
 //! `certain(Q, D) = ⋂ { Q(D') | D' ∈ [[D]] }`. This module computes it by
-//! explicit enumeration of possible worlds over an adequate finite constant
-//! domain — exponential in the number of nulls, which is precisely the
-//! complexity gap the paper discusses, and the reason this code serves as
-//! *ground truth* for validating the efficient evaluators rather than as a
-//! production algorithm.
+//! folding that intersection world-by-world over a [`relmodel::WorldIter`] —
+//! worlds are never materialized into a `Vec<Database>`. The fold has three
+//! properties the materializing implementation lacked:
+//!
+//! * **O(threads) worlds in memory.** Each worker holds one world (plus one
+//!   OWA extension) at a time; the old path held `|domain|^|nulls|` complete
+//!   databases before evaluating anything.
+//! * **Early exit.** The running intersection only shrinks, so the moment it
+//!   hits ∅ the certain answer *is* ∅ and enumeration stops — on many hard
+//!   queries that happens after a handful of worlds out of millions.
+//! * **Parallelism.** The valuation space is sharded into contiguous ranges
+//!   across `std::thread` workers; each worker folds its shard locally and
+//!   the shard intersections are merged at the join. A worker whose local
+//!   intersection empties signals the others to stop (its local fold is a
+//!   superset of the global one, so ∅ locally proves ∅ globally).
+//!
+//! Enumeration cost is still exponential in the number of nulls — that is
+//! precisely the complexity gap the paper discusses, and the reason this code
+//! serves as *ground truth* for validating the efficient evaluators rather
+//! than as a production algorithm. The [`WorldOptions::max_worlds`] budget
+//! bounds the number of worlds **visited**: with early exit, queries whose
+//! a-priori world count dwarfs the budget can still finish (and finish
+//! correctly) if the intersection collapses early.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use relalgebra::ast::RaExpr;
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::output_arity;
-use relmodel::semantics::{adequate_domain, enumerate_cwa_worlds, enumerate_owa_worlds};
+use relmodel::semantics::{adequate_domain, WorldIter};
 use relmodel::{Database, Relation, Semantics};
 
 use crate::complete::eval_complete;
@@ -27,8 +48,12 @@ pub struct WorldOptions {
     /// Zero is adequate for monotone queries (adding tuples only grows their
     /// answers); larger values let tests probe non-monotone queries.
     pub max_owa_extra: usize,
-    /// Safety budget on the number of valuations enumerated.
+    /// Budget on the number of worlds *visited* by the streaming fold (and,
+    /// for the materializing helpers, on the a-priori valuation count).
     pub max_worlds: u128,
+    /// Worker threads for the streaming fold; `None` chooses automatically
+    /// from the machine's parallelism (small workloads stay single-threaded).
+    pub threads: Option<usize>,
 }
 
 impl Default for WorldOptions {
@@ -37,6 +62,7 @@ impl Default for WorldOptions {
             extra_fresh: None,
             max_owa_extra: 0,
             max_worlds: 5_000_000,
+            threads: None,
         }
     }
 }
@@ -57,6 +83,14 @@ impl WorldOptions {
             ..WorldOptions::default()
         }
     }
+
+    /// Options pinning the streaming fold to a specific worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        WorldOptions {
+            threads: Some(threads.max(1)),
+            ..WorldOptions::default()
+        }
+    }
 }
 
 /// Builds the valuation domain used for world enumeration of `expr` over `db`.
@@ -70,58 +104,368 @@ pub fn valuation_domain(
 }
 
 /// `|domain|^|nulls|`: the valuation count shared by the planner's estimate
-/// and the enumerator's budget check.
+/// and the enumerator's budget check — delegating to relmodel's single
+/// source of truth so the shard partitioning and the enumerator can never
+/// disagree about the space size.
 fn valuation_count(domain_len: usize, nulls: usize) -> u128 {
-    (domain_len as u128).saturating_pow(nulls as u32)
+    relmodel::valuation::valuation_space_size(nulls, domain_len)
 }
 
 /// The number of valuations world enumeration would have to visit for `expr`
 /// over `db` — `|domain|^|nulls|` — without enumerating anything. This is the
 /// planner-side cost estimate that lets callers decide *whether* to pay for
-/// ground truth before committing to it. (Enumeration itself rebuilds the
-/// domain; the duplicate scan is noise next to the enumeration it gates.)
+/// ground truth before committing to it; the streaming fold may visit far
+/// fewer worlds than this upper bound when it exits early.
 pub fn estimated_world_count(expr: &RaExpr, db: &Database, opts: &WorldOptions) -> u128 {
     let domain = valuation_domain(expr, db, opts);
     valuation_count(domain.len(), db.null_ids().len())
 }
 
-/// Enumerates the possible worlds of `db` relevant to `expr` under the given
-/// semantics, respecting the world budget.
-pub fn enumerate_worlds(
+/// The shared enumeration prologue: builds the valuation domain, guards
+/// against the zero-world trap (an empty valuation domain with nulls present
+/// denotes **no** possible worlds, and every "certain answer" over zero
+/// worlds would be vacuously wrong), and resolves the OWA extension bound
+/// for the requested semantics.
+fn enumeration_setup(
     expr: &RaExpr,
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
-) -> Result<Vec<Database>, EvalError> {
+) -> Result<(Vec<relmodel::value::Constant>, usize), EvalError> {
     let domain = valuation_domain(expr, db, opts);
-    let world_count = valuation_count(domain.len(), db.null_ids().len());
+    let nulls = db.null_ids().len();
+    if nulls > 0 && domain.is_empty() {
+        return Err(EvalError::EmptyDomain { nulls });
+    }
+    let max_extra = match semantics {
+        Semantics::Cwa => 0,
+        Semantics::Owa => opts.max_owa_extra,
+    };
+    Ok((domain, max_extra))
+}
+
+/// The a-priori budget check used by the materializing helpers, which must
+/// refuse *before* enumerating: the streaming fold instead bounds worlds
+/// visited (see [`Budgeted`]).
+fn check_apriori_budget(world_count: u128, opts: &WorldOptions) -> Result<(), EvalError> {
     if world_count > opts.max_worlds {
         return Err(EvalError::WorldBudgetExceeded {
             worlds: world_count,
             budget: opts.max_worlds,
         });
     }
-    Ok(match semantics {
-        Semantics::Cwa => enumerate_cwa_worlds(db, &domain),
-        Semantics::Owa => enumerate_owa_worlds(db, &domain, opts.max_owa_extra),
+    Ok(())
+}
+
+/// Iterator adapter enforcing the visited-worlds budget on a world stream:
+/// yields `Ok(world)` until the budget is exceeded, then a single
+/// `Err(WorldBudgetExceeded)`. Single source of truth for the single-threaded
+/// streaming consumers (the sharded fold counts across workers atomically).
+struct Budgeted<I> {
+    inner: I,
+    visited: u128,
+    budget: u128,
+    exhausted: bool,
+}
+
+fn budgeted<I: Iterator<Item = Database>>(inner: I, budget: u128) -> Budgeted<I> {
+    Budgeted {
+        inner,
+        visited: 0,
+        budget,
+        exhausted: false,
+    }
+}
+
+impl<I: Iterator<Item = Database>> Iterator for Budgeted<I> {
+    type Item = Result<Database, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        let world = self.inner.next()?;
+        self.visited += 1;
+        if self.visited > self.budget {
+            self.exhausted = true;
+            return Some(Err(EvalError::WorldBudgetExceeded {
+                worlds: self.visited,
+                budget: self.budget,
+            }));
+        }
+        Some(Ok(world))
+    }
+}
+
+/// Telemetry from one streaming certain-answer execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldExecution {
+    /// The certain answer — `⋂ Q(D')` over the visited worlds.
+    pub answers: Relation,
+    /// Worlds actually evaluated across all workers (before any structural
+    /// dedup; duplicates are harmless to an idempotent ∩ and deduplication
+    /// would cost O(distinct worlds) memory).
+    pub worlds_visited: u128,
+    /// Did enumeration stop early because the intersection emptied? Early
+    /// exit can only fire when the certain answer is ∅.
+    pub early_exit: bool,
+    /// Worker threads used by the fold.
+    pub threads: usize,
+    /// Upper bound on worlds concurrently materialized: one per worker, plus
+    /// one OWA extension per worker when worlds may grow.
+    pub peak_worlds_in_flight: usize,
+}
+
+/// Per-worker fold state collected at the join.
+struct ShardResult {
+    acc: Option<Relation>,
+    early_exit: bool,
+}
+
+/// Shared cross-worker signals.
+struct SharedState {
+    stop: AtomicBool,
+    budget_hit: AtomicBool,
+    visited: AtomicU64,
+    error: Mutex<Option<EvalError>>,
+}
+
+/// How many valuations a workload must have before the *auto* thread choice
+/// spawns workers; below this, spawn overhead dominates. An explicit
+/// [`WorldOptions::threads`] pin is always honoured.
+const PARALLEL_MIN_VALUATIONS: u128 = 128;
+
+fn resolve_threads(opts: &WorldOptions, valuations: u128) -> usize {
+    if let Some(pinned) = opts.threads {
+        return pinned.max(1);
+    }
+    if valuations < PARALLEL_MIN_VALUATIONS {
+        return 1;
+    }
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let max_useful = (valuations / (PARALLEL_MIN_VALUATIONS / 2)).min(64) as usize;
+    auto.clamp(1, max_useful.max(1))
+}
+
+/// Everything a worker needs, shared read-only across the fleet.
+#[derive(Clone, Copy)]
+struct ShardJob<'a> {
+    expr: &'a RaExpr,
+    db: &'a Database,
+    domain: &'a [relmodel::value::Constant],
+    semantics: Semantics,
+    max_extra: usize,
+    budget: u128,
+}
+
+fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> ShardResult {
+    let ShardJob {
+        expr,
+        db,
+        domain,
+        semantics,
+        max_extra,
+        budget,
+    } = job;
+    let worlds = WorldIter::new(db, domain, semantics, max_extra)
+        .without_dedup()
+        .valuation_range(range.0, range.1);
+    let mut acc: Option<Relation> = None;
+    let mut early_exit = false;
+    for world in worlds {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let visited = shared.visited.fetch_add(1, Ordering::Relaxed) + 1;
+        if u128::from(visited) > budget {
+            // This world is discarded unevaluated — uncount it so the
+            // reported figure is exactly the worlds folded.
+            shared.visited.fetch_sub(1, Ordering::Relaxed);
+            shared.budget_hit.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        let answer = match eval_complete(expr, &world) {
+            Ok(a) => a,
+            Err(e) => {
+                let mut slot = shared.error.lock().expect("error mutex");
+                slot.get_or_insert(e);
+                shared.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        };
+        let folded = match acc.take() {
+            None => answer,
+            Some(a) => a.intersection(&answer),
+        };
+        let empty = folded.is_empty();
+        acc = Some(folded);
+        if empty {
+            // The global intersection is a subset of this local one: ∅ here
+            // proves the certain answer is ∅ everywhere. Stop the fleet.
+            early_exit = true;
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    ShardResult { acc, early_exit }
+}
+
+/// The streaming, parallel, early-exiting certain answer for a
+/// pre-typechecked plan: equation (1) computed as a fold, with telemetry.
+///
+/// Errors with [`EvalError::EmptyDomain`] when there are zero possible
+/// worlds, and with [`EvalError::WorldBudgetExceeded`] when more than
+/// [`WorldOptions::max_worlds`] worlds were visited without the fold
+/// converging (early exit beats the budget: a query whose intersection
+/// empties within budget succeeds no matter how large the world space is).
+pub fn stream_certain_answer(
+    plan: &PlannedQuery,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<WorldExecution, EvalError> {
+    stream_certain_answer_inner(plan.expr(), plan.arity(), db, semantics, opts)
+}
+
+/// The fold itself, over an already-typechecked expression of known output
+/// arity (what [`PlannedQuery`] guarantees; [`certain_answer_worlds`] gets
+/// the same guarantee from the type checker alone, without paying for a
+/// plan's clone-and-classify).
+fn stream_certain_answer_inner(
+    expr: &RaExpr,
+    arity: usize,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<WorldExecution, EvalError> {
+    let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
+    let valuations = valuation_count(domain.len(), db.null_ids().len());
+    let threads = resolve_threads(opts, valuations);
+    let shared = SharedState {
+        stop: AtomicBool::new(false),
+        budget_hit: AtomicBool::new(false),
+        visited: AtomicU64::new(0),
+        error: Mutex::new(None),
+    };
+    let job = ShardJob {
+        expr,
+        db,
+        domain: &domain,
+        semantics,
+        max_extra,
+        budget: opts.max_worlds,
+    };
+
+    // `workers` is the number of shards actually run — range chunking can
+    // produce fewer non-empty shards than the resolved thread count, and the
+    // telemetry must report what really happened.
+    let (shard_results, workers): (Vec<ShardResult>, usize) = if threads == 1 {
+        (vec![run_shard(job, (0, valuations), &shared)], 1)
+    } else {
+        let chunk = valuations.div_ceil(threads as u128);
+        // Saturating arithmetic: when the valuation space itself saturates
+        // u128, `(i + 1) * chunk` would overflow for the last shard.
+        let ranges: Vec<(u128, u128)> = (0..threads as u128)
+            .map(|i| {
+                let start = i.saturating_mul(chunk).min(valuations);
+                (start, start.saturating_add(chunk).min(valuations))
+            })
+            .filter(|(s, e)| s < e)
+            .collect();
+        let workers = ranges.len().max(1);
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&range| {
+                    let shared = &shared;
+                    scope.spawn(move || run_shard(job, range, shared))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("world worker panicked"))
+                .collect()
+        });
+        (results, workers)
+    };
+
+    if let Some(e) = shared.error.lock().expect("error mutex").take() {
+        return Err(e);
+    }
+    let early_exit = shard_results.iter().any(|r| r.early_exit);
+    let visited = u128::from(shared.visited.load(Ordering::Relaxed));
+    if !early_exit && shared.budget_hit.load(Ordering::Relaxed) {
+        return Err(EvalError::WorldBudgetExceeded {
+            worlds: visited,
+            budget: opts.max_worlds,
+        });
+    }
+    let answers = if early_exit {
+        Relation::new(arity)
+    } else {
+        let mut acc: Option<Relation> = None;
+        for shard in shard_results {
+            if let Some(local) = shard.acc {
+                acc = Some(match acc.take() {
+                    None => local,
+                    Some(a) => a.intersection(&local),
+                });
+            }
+        }
+        // Zero worlds visited is unreachable: the empty-domain case errored
+        // above and a null-free database has exactly one world. Guard anyway.
+        acc.ok_or(EvalError::EmptyDomain {
+            nulls: db.null_ids().len(),
+        })?
+    };
+    Ok(WorldExecution {
+        answers,
+        worlds_visited: visited,
+        early_exit,
+        threads: workers,
+        peak_worlds_in_flight: workers * (1 + usize::from(max_extra > 0)),
     })
 }
 
+/// Enumerates the possible worlds of `db` relevant to `expr` under the given
+/// semantics, **materialized** into a vector, respecting the (a-priori)
+/// world budget. Retained for tests, examples, and as the baseline the
+/// streaming engine is benchmarked against; the certain-answer path does not
+/// use it.
+pub fn enumerate_worlds(
+    expr: &RaExpr,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<Vec<Database>, EvalError> {
+    let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
+    check_apriori_budget(valuation_count(domain.len(), db.null_ids().len()), opts)?;
+    Ok(WorldIter::new(db, &domain, semantics, max_extra).collect())
+}
+
 /// The multiset `Q([[D]])` restricted to the enumerated worlds: the answer of
-/// the query in every possible world.
+/// the query in every possible (structurally distinct) world. Worlds are
+/// streamed; only the answers are collected.
 pub fn possible_answers(
     expr: &RaExpr,
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<Vec<Relation>, EvalError> {
-    let worlds = enumerate_worlds(expr, db, semantics, opts)?;
-    worlds.iter().map(|w| eval_complete(expr, w)).collect()
+    let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
+    check_apriori_budget(valuation_count(domain.len(), db.null_ids().len()), opts)?;
+    WorldIter::new(db, &domain, semantics, max_extra)
+        .map(|w| eval_complete(expr, &w))
+        .collect()
 }
 
 /// The classical intersection-based certain answer, computed from possible
-/// worlds (equation (1) of the paper). Ground truth, exponential in the
-/// number of nulls.
+/// worlds (equation (1) of the paper) by the streaming fold. Ground truth,
+/// exponential in the number of nulls (but early-exiting).
 pub fn certain_answer_worlds(
     expr: &RaExpr,
     db: &Database,
@@ -129,8 +473,7 @@ pub fn certain_answer_worlds(
     opts: &WorldOptions,
 ) -> Result<Relation, EvalError> {
     let arity = output_arity(expr, db.schema())?;
-    let answers = possible_answers(expr, db, semantics, opts)?;
-    Ok(intersect_answers(arity, answers))
+    Ok(stream_certain_answer_inner(expr, arity, db, semantics, opts)?.answers)
 }
 
 /// [`certain_answer_worlds`] for a pre-typechecked plan: skips the type
@@ -141,52 +484,47 @@ pub fn certain_answer_worlds_planned(
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<Relation, EvalError> {
-    Ok(certain_answer_worlds_counted(plan, db, semantics, opts)?.0)
+    Ok(stream_certain_answer(plan, db, semantics, opts)?.answers)
 }
 
-/// [`certain_answer_worlds_planned`] plus the number of worlds **actually**
-/// enumerated (after deduplication of valuations that produce the same
-/// world) — the honest figure for telemetry, as opposed to the
-/// [`estimated_world_count`] upper bound.
+/// [`certain_answer_worlds_planned`] plus the number of worlds **visited**
+/// by the streaming fold — the honest figure for telemetry, as opposed to
+/// the [`estimated_world_count`] upper bound (early exit can make it much
+/// smaller).
 pub fn certain_answer_worlds_counted(
     plan: &PlannedQuery,
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<(Relation, u128), EvalError> {
-    let worlds = enumerate_worlds(plan.expr(), db, semantics, opts)?;
-    let count = worlds.len() as u128;
-    let answers: Result<Vec<Relation>, EvalError> = worlds
-        .iter()
-        .map(|w| eval_complete(plan.expr(), w))
-        .collect();
-    Ok((intersect_answers(plan.arity(), answers?), count))
-}
-
-fn intersect_answers(arity: usize, answers: Vec<Relation>) -> Relation {
-    let mut iter = answers.into_iter();
-    let first = match iter.next() {
-        Some(r) => r,
-        None => return Relation::new(arity),
-    };
-    iter.fold(first, |acc, r| acc.intersection(&r))
+    let exec = stream_certain_answer(plan, db, semantics, opts)?;
+    Ok((exec.answers, exec.worlds_visited))
 }
 
 /// The certain answer to a Boolean query: true iff the query is nonempty in
-/// every possible world.
+/// every possible world. Streams worlds with early exit on the first world
+/// where the query fails; errors on zero-world inputs instead of vacuously
+/// answering.
 pub fn certain_boolean_worlds(
     expr: &RaExpr,
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<bool, EvalError> {
-    let answers = possible_answers(expr, db, semantics, opts)?;
-    Ok(!answers.is_empty() && answers.iter().all(|r| !r.is_empty()))
+    output_arity(expr, db.schema())?;
+    let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
+    let worlds = WorldIter::new(db, &domain, semantics, max_extra).without_dedup();
+    for world in budgeted(worlds, opts.max_worlds) {
+        if eval_complete(expr, &world?)?.is_empty() {
+            return Ok(false); // fails in this world — certainly-true refuted
+        }
+    }
+    Ok(true)
 }
 
 /// The *possible* (maybe) answers to a query: tuples that appear in the answer
-/// in at least one world. Used by examples to contrast certain and possible
-/// information.
+/// in at least one world, folded as a streaming union. Used by examples to
+/// contrast certain and possible information.
 pub fn possible_answer_union(
     expr: &RaExpr,
     db: &Database,
@@ -194,10 +532,13 @@ pub fn possible_answer_union(
     opts: &WorldOptions,
 ) -> Result<Relation, EvalError> {
     let arity = output_arity(expr, db.schema())?;
-    let answers = possible_answers(expr, db, semantics, opts)?;
-    Ok(answers
-        .into_iter()
-        .fold(Relation::new(arity), |acc, r| acc.union(&r)))
+    let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
+    let mut acc = Relation::new(arity);
+    let worlds = WorldIter::new(db, &domain, semantics, max_extra).without_dedup();
+    for world in budgeted(worlds, opts.max_worlds) {
+        acc = acc.union(&eval_complete(expr, &world?)?);
+    }
+    Ok(acc)
 }
 
 #[cfg(test)]
@@ -206,6 +547,10 @@ mod tests {
     use relalgebra::predicate::{Operand, Predicate};
     use relmodel::builder::{difference_example, orders_and_payments_example};
     use relmodel::{DatabaseBuilder, Tuple, Value};
+
+    fn planned(expr: &RaExpr, db: &Database) -> PlannedQuery {
+        PlannedQuery::new(expr.clone(), db.schema()).unwrap()
+    }
 
     #[test]
     fn unpaid_orders_certain_answer_is_nonempty() {
@@ -318,7 +663,11 @@ mod tests {
     }
 
     #[test]
-    fn world_budget_is_enforced() {
+    fn world_budget_bounds_worlds_visited() {
+        // 20 nulls over a 21-constant domain: the space dwarfs the budget and
+        // the identity query keeps a stable tuple in the intersection for far
+        // longer than 100 worlds, so no early exit can rescue it — the
+        // streaming fold must stop at the budget.
         let mut builder = DatabaseBuilder::new().relation("R", &["a", "b"]);
         for i in 0..10 {
             builder = builder.tuple("R", vec![Value::null(i), Value::null(i + 10)]);
@@ -329,7 +678,164 @@ mod tests {
             ..WorldOptions::default()
         };
         let err = certain_answer_worlds(&RaExpr::relation("R"), &db, Semantics::Cwa, &opts);
-        assert!(matches!(err, Err(EvalError::WorldBudgetExceeded { .. })));
+        match err {
+            Err(EvalError::WorldBudgetExceeded { worlds, budget }) => {
+                assert_eq!(budget, 100);
+                assert!(worlds >= 100, "budget fires only after visiting it");
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_exit_beats_the_budget() {
+        // Same exponential database, but Q = R − R is ∅ in the very first
+        // world: the streaming fold early-exits and succeeds where the
+        // materializing path refused to even start.
+        let mut builder = DatabaseBuilder::new().relation("R", &["a", "b"]);
+        for i in 0..10 {
+            builder = builder.tuple("R", vec![Value::null(i), Value::null(i + 10)]);
+        }
+        let db = builder.build();
+        let q = RaExpr::relation("R").difference(RaExpr::relation("R"));
+        let opts = WorldOptions {
+            max_worlds: 100,
+            ..WorldOptions::default()
+        };
+        let exec = stream_certain_answer(&planned(&q, &db), &db, Semantics::Cwa, &opts).unwrap();
+        assert!(exec.answers.is_empty());
+        assert!(exec.early_exit);
+        assert!(exec.worlds_visited < 100);
+        assert!(exec.peak_worlds_in_flight >= exec.threads);
+    }
+
+    #[test]
+    fn early_exit_never_fires_on_nonempty_certain_answers() {
+        // A literal tuple unioned in keeps the intersection nonempty forever:
+        // the fold must visit the whole (small) space and report no early exit.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .tuple("R", vec![Value::null(0)])
+            .tuple("R", vec![Value::null(1)])
+            .build();
+        let lit = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[77])]));
+        let q = RaExpr::relation("R").union(lit);
+        let exec = stream_certain_answer(
+            &planned(&q, &db),
+            &db,
+            Semantics::Cwa,
+            &WorldOptions::default(),
+        )
+        .unwrap();
+        assert!(!exec.early_exit);
+        assert!(exec.answers.contains(&Tuple::ints(&[77])));
+        // Domain = query constant 77 + (nulls+1 = 3) fresh constants.
+        assert_eq!(exec.worlds_visited, 16, "4-constant domain, 2 nulls");
+    }
+
+    #[test]
+    fn streaming_matches_materializing_fold() {
+        let db = orders_and_payments_example();
+        let q = RaExpr::relation("Order")
+            .project(vec![0])
+            .difference(RaExpr::relation("Pay").project(vec![1]));
+        for semantics in [Semantics::Cwa, Semantics::Owa] {
+            let opts = WorldOptions::default();
+            let streamed = certain_answer_worlds(&q, &db, semantics, &opts).unwrap();
+            // Materializing baseline reconstructed from the enumeration API.
+            let worlds = enumerate_worlds(&q, &db, semantics, &opts).unwrap();
+            let baseline = worlds
+                .iter()
+                .map(|w| eval_complete(&q, w).unwrap())
+                .reduce(|a, b| a.intersection(&b))
+                .unwrap();
+            assert_eq!(
+                streamed, baseline,
+                "streaming == materializing ({semantics})"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_threads_agree_with_single_thread() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::null(0), Value::null(1)])
+            .tuple("R", vec![Value::null(2), Value::int(5)])
+            .tuple("R", vec![Value::int(5), Value::null(3)])
+            .build();
+        let q = RaExpr::relation("R").project(vec![0]);
+        let plan = planned(&q, &db);
+        let single =
+            stream_certain_answer(&plan, &db, Semantics::Cwa, &WorldOptions::with_threads(1))
+                .unwrap();
+        for threads in [2, 4, 7] {
+            let multi = stream_certain_answer(
+                &plan,
+                &db,
+                Semantics::Cwa,
+                &WorldOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(multi.answers, single.answers, "threads = {threads}");
+            assert_eq!(
+                multi.threads, threads,
+                "an explicit thread pin must be honoured even on small workloads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_domain_with_nulls_is_an_error_not_an_empty_answer() {
+        // Regression: a database that is all nulls, a query with no
+        // constants, and zero fresh constants admits *no* valuation — there
+        // are zero worlds, and an intersection over zero worlds is not ∅.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .tuple("R", vec![Value::null(0)])
+            .build();
+        let q = RaExpr::relation("R");
+        let opts = WorldOptions::with_fresh(0);
+        for result in [
+            certain_answer_worlds(&q, &db, Semantics::Cwa, &opts).map(|_| ()),
+            certain_boolean_worlds(&q.clone().project(vec![]), &db, Semantics::Cwa, &opts)
+                .map(|_| ()),
+            possible_answer_union(&q, &db, Semantics::Cwa, &opts).map(|_| ()),
+            possible_answers(&q, &db, Semantics::Cwa, &opts).map(|_| ()),
+            enumerate_worlds(&q, &db, Semantics::Cwa, &opts).map(|_| ()),
+        ] {
+            assert!(
+                matches!(result, Err(EvalError::EmptyDomain { nulls: 1 })),
+                "zero-world inputs must error, got {result:?}"
+            );
+        }
+        // With at least one fresh constant the same input is answerable.
+        assert!(
+            certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::with_fresh(1)).is_ok()
+        );
+    }
+
+    #[test]
+    fn stringly_world_dedup_regression() {
+        // ⊥0 may be valued to Int(1) or Str("1") (both in the domain via S).
+        // The two worlds display identically; the old `to_string()` dedup
+        // merged them, making {(1)} look certain for R ∩ {(1)}. The certain
+        // answer is ∅: in the Str("1") world, R does not contain Int(1).
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .relation("S", &["a"])
+            .tuple("R", vec![Value::null(0)])
+            .tuple("S", vec![Value::int(1)])
+            .tuple("S", vec![Value::str("1")])
+            .build();
+        let lit = RaExpr::values(Relation::from_tuples(1, vec![Tuple::ints(&[1])]));
+        let q = RaExpr::relation("R").intersection(lit);
+        let certain =
+            certain_answer_worlds(&q, &db, Semantics::Cwa, &WorldOptions::with_fresh(0)).unwrap();
+        assert!(
+            certain.is_empty(),
+            "Str(\"1\") and Int(1) are distinct worlds; got {certain}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::value::{Constant, NullId, Value};
 /// * a **Codd database** is one where every null occurs at most once
 ///   ([`Database::is_codd`]) — this models SQL's unmarked `NULL`;
 /// * a **complete database** has no nulls at all ([`Database::is_complete`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Database {
     schema: Schema,

@@ -79,7 +79,7 @@ pub use database::Database;
 pub use error::ModelError;
 pub use relation::Relation;
 pub use schema::{RelationSchema, Schema};
-pub use semantics::Semantics;
+pub use semantics::{Semantics, WorldIter};
 pub use tuple::Tuple;
 pub use valuation::Valuation;
 pub use value::{Constant, NullId, Value};

@@ -56,7 +56,7 @@ impl fmt::Display for RelationSchema {
 
 /// A relational schema: a set of relation names with associated arities (and
 /// attribute names).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     relations: BTreeMap<String, RelationSchema>,

@@ -10,9 +10,20 @@
 //! Both sets are infinite because `Const` is. For *generic* queries it
 //! suffices to range over valuations into a finite domain containing the
 //! constants of interest plus enough fresh constants, and (for OWA) to bound
-//! the number of extra tuples added. [`enumerate_cwa_worlds`] and
-//! [`enumerate_owa_worlds`] implement exactly that; they are the ground truth
-//! used to validate naïve evaluation in the benchmarks and property tests.
+//! the number of extra tuples added.
+//!
+//! Worlds are produced by [`WorldIter`], a **streaming** iterator: it yields
+//! one world at a time instead of materializing the whole (exponential) set,
+//! so consumers that fold over worlds — the certain-answer intersection in
+//! particular — keep O(1) worlds in memory and can stop early. Deduplication
+//! of worlds is **structural** (`Ord`/`Eq` on [`Database`]), never textual:
+//! `Constant::Str("1")` and `Constant::Int(1)` render identically but are
+//! distinct values, and a stringly key would silently merge distinct worlds
+//! (and corrupt any ground truth computed from them).
+//!
+//! [`enumerate_cwa_worlds`] and [`enumerate_owa_worlds`] are the materializing
+//! conveniences built on top, retained for tests and examples that genuinely
+//! want the full set.
 
 use std::collections::BTreeSet;
 
@@ -68,24 +79,184 @@ pub fn adequate_domain(
     domain_with_fresh(&base, fresh)
 }
 
-/// Enumerates all CWA possible worlds `v(D)` with valuations ranging over the
-/// given constant domain.
+/// A streaming iterator over the possible worlds of an incomplete database.
 ///
-/// The number of worlds is `|domain|^|Null(D)|`; distinct valuations may yield
-/// equal worlds, which are deduplicated.
-pub fn enumerate_cwa_worlds(db: &Database, domain: &[Constant]) -> Vec<Database> {
-    let mut out: Vec<Database> = Vec::new();
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-    for v in ValuationEnumerator::new(db.null_ids(), domain.to_vec()) {
-        let world = db
-            .apply(&v)
-            .expect("enumerator covers all nulls of the database");
-        let key = world.to_string();
-        if seen.insert(key) {
-            out.push(world);
+/// Worlds are produced one at a time — the full set is exponential in the
+/// number of nulls and is never materialized here. Under CWA each valuation
+/// of the nulls yields the world `v(D)`; under OWA each such world is further
+/// extended with every subset of at most `max_extra` complete candidate
+/// tuples over the domain.
+///
+/// Deduplication (on by default) is structural: a `BTreeSet<Database>` of
+/// worlds already yielded, compared by `Ord`/`Eq` — **not** by display
+/// strings, which conflate `Constant::Str("1")` with `Constant::Int(1)`.
+/// The dedup set grows with the number of *distinct* worlds; consumers whose
+/// fold is idempotent under duplicates (intersection, union) should switch it
+/// off with [`WorldIter::without_dedup`] to keep memory at O(1) worlds —
+/// that is what the streaming certain-answer engine does.
+#[derive(Debug, Clone)]
+pub struct WorldIter<'a> {
+    db: &'a Database,
+    domain: Vec<Constant>,
+    valuations: ValuationEnumerator,
+    /// OWA extension state: candidate tuples and the per-world bound.
+    owa: Option<OwaExpansion>,
+    /// The base world currently being extended, with the subset cursor.
+    current: Option<(Database, BoundedSubsetIter)>,
+    /// Structural dedup of yielded worlds; `None` when disabled.
+    seen: Option<BTreeSet<Database>>,
+    /// Structural dedup of OWA *base* worlds (populated only when both OWA
+    /// expansion and dedup are active): a duplicate base world would only
+    /// regenerate extensions the main `seen` set rejects one by one, so it
+    /// is cheaper to skip the whole expansion up front.
+    seen_bases: Option<BTreeSet<Database>>,
+}
+
+#[derive(Debug, Clone)]
+struct OwaExpansion {
+    candidates: Vec<(String, Tuple)>,
+    max_extra: usize,
+}
+
+impl<'a> WorldIter<'a> {
+    /// Streams the worlds of `db` under the given semantics; `max_extra` is
+    /// the OWA extension bound (ignored under CWA).
+    pub fn new(
+        db: &'a Database,
+        domain: &[Constant],
+        semantics: Semantics,
+        max_extra: usize,
+    ) -> Self {
+        let owa = match semantics {
+            Semantics::Owa if max_extra > 0 => Some(OwaExpansion {
+                candidates: all_complete_tuples(db, domain),
+                max_extra,
+            }),
+            _ => None,
+        };
+        let seen_bases = owa.as_ref().map(|_| BTreeSet::new());
+        WorldIter {
+            db,
+            domain: domain.to_vec(),
+            valuations: ValuationEnumerator::new(db.null_ids(), domain.to_vec()),
+            owa,
+            current: None,
+            seen: Some(BTreeSet::new()),
+            seen_bases,
         }
     }
-    out
+
+    /// Streams the CWA worlds `v(D)` over the domain.
+    pub fn cwa(db: &'a Database, domain: &[Constant]) -> Self {
+        WorldIter::new(db, domain, Semantics::Cwa, 0)
+    }
+
+    /// Streams the bounded OWA worlds: every CWA world extended with at most
+    /// `max_extra` extra complete tuples over the domain.
+    pub fn owa(db: &'a Database, domain: &[Constant], max_extra: usize) -> Self {
+        WorldIter::new(db, domain, Semantics::Owa, max_extra)
+    }
+
+    /// Disables structural deduplication. Distinct valuations that collapse
+    /// to the same world are then yielded repeatedly, but memory stays at
+    /// O(1) worlds — the right trade for idempotent folds (∩, ∪).
+    pub fn without_dedup(mut self) -> Self {
+        self.seen = None;
+        self.seen_bases = None;
+        self
+    }
+
+    /// Restricts the iterator to the valuations in `[start, end)` of the
+    /// enumeration order. Contiguous ranges partition the valuation space
+    /// exactly, which is how the streaming engine shards worlds across
+    /// threads. (Under OWA, every extension of the in-range base worlds is
+    /// still produced.)
+    pub fn valuation_range(mut self, start: u128, end: u128) -> Self {
+        self.valuations =
+            ValuationEnumerator::with_range(self.db.null_ids(), self.domain.clone(), start, end);
+        self
+    }
+
+    /// Total number of base valuations in the (unsharded) space:
+    /// `|domain|^|nulls|`.
+    pub fn valuation_space(&self) -> u128 {
+        self.valuations.count_total()
+    }
+
+    fn admit(&mut self, world: Database) -> Option<Database> {
+        match &mut self.seen {
+            Some(seen) => {
+                if seen.contains(&world) {
+                    None
+                } else {
+                    seen.insert(world.clone());
+                    Some(world)
+                }
+            }
+            None => Some(world),
+        }
+    }
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        loop {
+            // Drain extensions of the current base world first (OWA only).
+            if let Some((base, subsets)) = self.current.as_mut() {
+                match subsets.next() {
+                    Some(indices) => {
+                        let owa = self.owa.as_ref().expect("current implies OWA expansion");
+                        let mut extended = base.clone();
+                        for &i in &indices {
+                            let (rel, tuple) = &owa.candidates[i];
+                            extended
+                                .insert(rel, tuple.clone())
+                                .expect("candidate tuples respect the schema");
+                        }
+                        if let Some(w) = self.admit(extended) {
+                            return Some(w);
+                        }
+                        continue;
+                    }
+                    None => self.current = None,
+                }
+            }
+            let v = self.valuations.next()?;
+            let world = self
+                .db
+                .apply(&v)
+                .expect("enumerator covers all nulls of the database");
+            match &self.owa {
+                Some(owa) => {
+                    if let Some(bases) = &mut self.seen_bases {
+                        if !bases.insert(world.clone()) {
+                            continue; // extensions of a duplicate base are all duplicates
+                        }
+                    }
+                    let subsets = BoundedSubsetIter::new(owa.candidates.len(), owa.max_extra);
+                    self.current = Some((world, subsets));
+                }
+                None => {
+                    if let Some(w) = self.admit(world) {
+                        return Some(w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates all CWA possible worlds `v(D)` with valuations ranging over the
+/// given constant domain, **materialized** into a vector.
+///
+/// The number of valuations is `|domain|^|nulls|`; distinct valuations may
+/// yield equal worlds, which are deduplicated structurally. Intended for
+/// tests and small examples — streaming consumers should use [`WorldIter`]
+/// directly.
+pub fn enumerate_cwa_worlds(db: &Database, domain: &[Constant]) -> Vec<Database> {
+    WorldIter::cwa(db, domain).collect()
 }
 
 /// Enumerates valuations of `db`'s nulls over the given domain, returning the
@@ -100,9 +271,9 @@ pub fn enumerate_cwa_valuations(db: &Database, domain: &[Constant]) -> Vec<(Valu
         .collect()
 }
 
-/// Enumerates a *bounded* fragment of the OWA possible worlds: every CWA world
-/// extended with at most `max_extra` additional complete tuples drawn from the
-/// given constant domain.
+/// Enumerates a *bounded* fragment of the OWA possible worlds, materialized:
+/// every CWA world extended with at most `max_extra` additional complete
+/// tuples drawn from the given constant domain.
 ///
 /// The full OWA semantics is infinite; for monotone (positive) queries, the
 /// certain answer over this bounded fragment coincides with the certain answer
@@ -111,28 +282,7 @@ pub fn enumerate_cwa_valuations(db: &Database, domain: &[Constant]) -> Vec<(Valu
 /// `max_extra = 0` already suffices). The bound exists so tests can also probe
 /// *non-monotone* queries and exhibit their failures.
 pub fn enumerate_owa_worlds(db: &Database, domain: &[Constant], max_extra: usize) -> Vec<Database> {
-    let base_worlds = enumerate_cwa_worlds(db, domain);
-    if max_extra == 0 {
-        return base_worlds;
-    }
-    let candidate_tuples = all_complete_tuples(db, domain);
-    let mut out: Vec<Database> = Vec::new();
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-    for world in &base_worlds {
-        for subset in bounded_subsets(&candidate_tuples, max_extra) {
-            let mut extended = world.clone();
-            for (rel, tuple) in subset {
-                extended
-                    .insert(&rel, tuple)
-                    .expect("candidate tuples respect the schema");
-            }
-            let key = extended.to_string();
-            if seen.insert(key) {
-                out.push(extended);
-            }
-        }
-    }
-    out
+    WorldIter::owa(db, domain, max_extra).collect()
 }
 
 /// All complete tuples over the domain, for every relation of the schema,
@@ -177,28 +327,68 @@ fn all_complete_tuples(db: &Database, domain: &[Constant]) -> Vec<(String, Tuple
     out
 }
 
-/// All subsets of `items` of size at most `k` (including the empty subset).
-fn bounded_subsets<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
-    fn go<T: Clone>(
-        items: &[T],
-        start: usize,
-        remaining: usize,
-        current: &mut Vec<T>,
-        out: &mut Vec<Vec<T>>,
-    ) {
-        out.push(current.clone());
-        if remaining == 0 {
-            return;
-        }
-        for i in start..items.len() {
-            current.push(items[i].clone());
-            go(items, i + 1, remaining - 1, current, out);
-            current.pop();
+/// Lazily enumerates the index sets of all subsets of `{0, …, n-1}` of size
+/// at most `k`, in the same order the old recursive enumeration used (empty
+/// set first, then lexicographic extension). O(k) state — nothing is
+/// materialized.
+#[derive(Debug, Clone)]
+pub struct BoundedSubsetIter {
+    n: usize,
+    k: usize,
+    stack: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl BoundedSubsetIter {
+    /// Subsets of `{0, …, n-1}` with at most `k` elements.
+    pub fn new(n: usize, k: usize) -> Self {
+        BoundedSubsetIter {
+            n,
+            k,
+            stack: Vec::new(),
+            started: false,
+            done: false,
         }
     }
-    let mut out = Vec::new();
-    go(items, 0, k, &mut Vec::new(), &mut out);
-    out
+}
+
+impl Iterator for BoundedSubsetIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(Vec::new()); // the empty subset
+        }
+        // Extend the current subset if allowed, otherwise backtrack and
+        // advance the deepest extensible element.
+        let next_candidate = self.stack.last().map_or(0, |&top| top + 1);
+        if self.stack.len() < self.k && next_candidate < self.n {
+            self.stack.push(next_candidate);
+            return Some(self.stack.clone());
+        }
+        while let Some(top) = self.stack.pop() {
+            if top + 1 < self.n {
+                self.stack.push(top + 1);
+                return Some(self.stack.clone());
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// All subsets of `items` of size at most `k` (including the empty subset),
+/// materialized. Kept for tests; streaming consumers use
+/// [`BoundedSubsetIter`].
+pub fn bounded_subsets<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    BoundedSubsetIter::new(items.len(), k)
+        .map(|indices| indices.iter().map(|&i| items[i].clone()).collect())
+        .collect()
 }
 
 /// Intersects the instances of a named relation across a set of complete
@@ -265,10 +455,69 @@ mod tests {
     }
 
     #[test]
+    fn dedup_is_structural_not_textual() {
+        // Regression: ⊥0 can be valued to Constant::Int(1) or
+        // Constant::Str("1"), which *display* identically ("1"). A stringly
+        // dedup key merges the two worlds and corrupts any certain answer
+        // computed from the enumeration; structural dedup must keep both.
+        let schema = Schema::builder().relation("R", &["a"]).build();
+        let mut db = Database::new(schema);
+        db.insert("R", Tuple::new(vec![Value::null(0)])).unwrap();
+        let domain = vec![Constant::Int(1), Constant::Str("1".into())];
+        let worlds = enumerate_cwa_worlds(&db, &domain);
+        assert_eq!(
+            worlds.len(),
+            2,
+            "Int(1) and Str(\"1\") worlds display identically but are distinct"
+        );
+        // The two worlds really do render to the same string — the exact trap
+        // the old `to_string()` key fell into.
+        assert_eq!(worlds[0].to_string(), worlds[1].to_string());
+        assert_ne!(worlds[0], worlds[1]);
+        // And the intersection over the *correct* world set is empty: no
+        // single value is certain for ⊥0.
+        let certain = intersect_relation(&worlds, "R").unwrap();
+        assert!(certain.is_empty());
+    }
+
+    #[test]
     fn cwa_valuations_keep_duplicates() {
         let db = single_null_db();
         let domain = vec![Constant::Int(1), Constant::Int(2), Constant::Int(3)];
         assert_eq!(enumerate_cwa_valuations(&db, &domain).len(), 3);
+    }
+
+    #[test]
+    fn world_iter_without_dedup_yields_every_valuation() {
+        // Two nulls over one constant-rich domain: 4 valuations collapse to 3
+        // distinct worlds; the raw stream must still yield all 4.
+        let schema = Schema::builder().relation("R", &["a"]).build();
+        let mut db = Database::new(schema);
+        db.insert("R", Tuple::new(vec![Value::null(0)])).unwrap();
+        db.insert("R", Tuple::new(vec![Value::null(1)])).unwrap();
+        let domain = vec![Constant::Int(1), Constant::Int(2)];
+        assert_eq!(WorldIter::cwa(&db, &domain).count(), 3);
+        assert_eq!(WorldIter::cwa(&db, &domain).without_dedup().count(), 4);
+    }
+
+    #[test]
+    fn world_iter_ranges_partition_the_space() {
+        let schema = Schema::builder().relation("R", &["a", "b"]).build();
+        let mut db = Database::new(schema);
+        db.insert("R", Tuple::new(vec![Value::null(0), Value::null(1)]))
+            .unwrap();
+        let domain = vec![Constant::Int(1), Constant::Int(2), Constant::Int(3)];
+        let full: Vec<Database> = WorldIter::cwa(&db, &domain).without_dedup().collect();
+        assert_eq!(full.len(), 9);
+        let mut sharded: Vec<Database> = Vec::new();
+        for (start, end) in [(0u128, 4u128), (4, 8), (8, 9)] {
+            sharded.extend(
+                WorldIter::cwa(&db, &domain)
+                    .without_dedup()
+                    .valuation_range(start, end),
+            );
+        }
+        assert_eq!(sharded, full, "contiguous shards must partition the space");
     }
 
     #[test]
@@ -307,6 +556,22 @@ mod tests {
         assert_eq!(bounded_subsets(&items, 1).len(), 4);
         assert_eq!(bounded_subsets(&items, 2).len(), 7);
         assert_eq!(bounded_subsets(&items, 3).len(), 8);
+    }
+
+    #[test]
+    fn bounded_subset_iter_streams_all_subsets() {
+        let subsets: Vec<Vec<usize>> = BoundedSubsetIter::new(4, 2).collect();
+        assert_eq!(subsets.len(), 1 + 4 + 6); // ∅, singletons, pairs
+        assert_eq!(subsets[0], Vec::<usize>::new());
+        let unique: BTreeSet<Vec<usize>> = subsets.iter().cloned().collect();
+        assert_eq!(unique.len(), subsets.len(), "no subset repeats");
+        for s in &subsets {
+            assert!(s.len() <= 2);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "indices are ascending");
+        }
+        // Degenerate cases.
+        assert_eq!(BoundedSubsetIter::new(0, 3).count(), 1);
+        assert_eq!(BoundedSubsetIter::new(3, 0).count(), 1);
     }
 
     #[test]

@@ -120,6 +120,8 @@ pub struct ValuationEnumerator {
     /// Mixed-radix counter over the domain, one digit per null; `None` once
     /// exhausted.
     counter: Option<Vec<usize>>,
+    /// Valuations still to be produced (supports range sharding).
+    remaining: u128,
 }
 
 impl ValuationEnumerator {
@@ -132,7 +134,8 @@ impl ValuationEnumerator {
             let set: BTreeSet<NullId> = nulls.into_iter().collect();
             set.into_iter().collect()
         };
-        let counter = if !nulls.is_empty() && domain.is_empty() {
+        let remaining = valuation_space_size(nulls.len(), domain.len());
+        let counter = if remaining == 0 {
             None
         } else {
             Some(vec![0; nulls.len()])
@@ -141,25 +144,78 @@ impl ValuationEnumerator {
             nulls,
             domain,
             counter,
+            remaining,
         }
     }
 
-    /// Total number of valuations that will be produced.
-    pub fn count_total(&self) -> u128 {
-        if self.nulls.is_empty() {
-            return 1;
+    /// Creates an enumerator over the sub-range `[start, end)` of the full
+    /// valuation sequence, in the same order [`ValuationEnumerator::new`]
+    /// uses. Shards of the form `[k·c, (k+1)·c)` therefore partition the
+    /// space exactly, which is how the streaming world engine distributes
+    /// valuations across worker threads.
+    pub fn with_range(
+        nulls: impl IntoIterator<Item = NullId>,
+        domain: Vec<Constant>,
+        start: u128,
+        end: u128,
+    ) -> Self {
+        let mut e = ValuationEnumerator::new(nulls, domain);
+        let total = e.count_total();
+        let end = end.min(total);
+        if start >= end {
+            e.counter = None;
+            e.remaining = 0;
+            return e;
         }
-        if self.domain.is_empty() {
-            return 0;
+        // Decode `start` into mixed-radix digits (least significant first,
+        // matching the advance order of `next`).
+        let radix = e.domain.len() as u128;
+        if let Some(counter) = e.counter.as_mut() {
+            let mut rest = start;
+            for digit in counter.iter_mut() {
+                *digit = (rest % radix) as usize;
+                rest /= radix;
+            }
         }
-        (self.domain.len() as u128).pow(self.nulls.len() as u32)
+        e.remaining = end - start;
+        e
     }
+
+    /// Total number of valuations in the full space `|domain|^|nulls|`
+    /// (regardless of any range restriction).
+    pub fn count_total(&self) -> u128 {
+        valuation_space_size(self.nulls.len(), self.domain.len())
+    }
+
+    /// Number of valuations this enumerator has yet to produce.
+    pub fn count_remaining(&self) -> u128 {
+        self.remaining
+    }
+}
+
+/// `|domain|^|nulls|` (saturating), with the conventions every consumer of
+/// the valuation space must agree on: zero nulls admit exactly one (empty)
+/// valuation, and a nonzero null count over an empty domain admits none.
+/// This is the single source of truth shared by [`ValuationEnumerator`],
+/// world iteration, and the planner-side world-count estimates.
+pub fn valuation_space_size(nulls: usize, domain: usize) -> u128 {
+    if nulls == 0 {
+        return 1;
+    }
+    if domain == 0 {
+        return 0;
+    }
+    (domain as u128).saturating_pow(nulls as u32)
 }
 
 impl Iterator for ValuationEnumerator {
     type Item = Valuation;
 
     fn next(&mut self) -> Option<Valuation> {
+        if self.remaining == 0 {
+            self.counter = None;
+            return None;
+        }
         let counter = self.counter.as_mut()?;
         let valuation = Valuation::from_pairs(
             self.nulls
@@ -167,6 +223,7 @@ impl Iterator for ValuationEnumerator {
                 .zip(counter.iter())
                 .map(|(n, &d)| (*n, self.domain[d].clone())),
         );
+        self.remaining -= 1;
         // advance the mixed-radix counter
         let mut i = 0;
         loop {
@@ -237,6 +294,27 @@ mod tests {
         for v in &all {
             assert!(v.covers(NullId(0)) && v.covers(NullId(1)));
         }
+    }
+
+    #[test]
+    fn ranges_partition_the_valuation_space() {
+        let nulls = vec![NullId(0), NullId(1)];
+        let full: Vec<Valuation> =
+            ValuationEnumerator::new(nulls.clone(), consts(&[1, 2, 3])).collect();
+        assert_eq!(full.len(), 9);
+        let mut sharded: Vec<Valuation> = Vec::new();
+        for (start, end) in [(0u128, 3u128), (3, 6), (6, 200)] {
+            let shard =
+                ValuationEnumerator::with_range(nulls.clone(), consts(&[1, 2, 3]), start, end);
+            sharded.extend(shard);
+        }
+        assert_eq!(sharded, full, "contiguous ranges cover each valuation once");
+        // Degenerate ranges.
+        let empty = ValuationEnumerator::with_range(nulls.clone(), consts(&[1, 2]), 3, 3);
+        assert_eq!(empty.count_remaining(), 0);
+        assert_eq!(empty.count(), 0);
+        let no_nulls = ValuationEnumerator::with_range(vec![], consts(&[1]), 0, 5);
+        assert_eq!(no_nulls.count(), 1, "empty-null space has one valuation");
     }
 
     #[test]
