@@ -4,8 +4,7 @@
 
 use relalgebra::ast::RaExpr;
 use relalgebra::predicate::{Operand, Predicate};
-use relalgebra::typecheck::output_arity;
-use releval::EvalError;
+use relalgebra::typecheck::{output_arity, TypeError};
 use relmodel::value::Value;
 use relmodel::Tuple;
 
@@ -13,15 +12,27 @@ use crate::condition::Condition;
 use crate::ctable::{ConditionalDatabase, ConditionalTable, ConditionalTuple};
 
 /// Evaluates a relational algebra expression over a conditional database,
-/// returning a conditional table `A` with `[[A]]_cwa = Q([[D]]_cwa)`
-/// (relative to the database's global condition, which continues to govern
-/// the answer's worlds).
+/// returning a conditional table `A` with `[[A]]_cwa = Q([[D]]_cwa)`.
+///
+/// The database's global condition is **propagated** into every answer
+/// row's local condition, so the answer table is self-contained: rows never
+/// survive instantiation under a valuation the database itself rules out.
 pub fn eval_ctable(
     expr: &RaExpr,
     cdb: &ConditionalDatabase,
-) -> Result<ConditionalTable, EvalError> {
+) -> Result<ConditionalTable, TypeError> {
     output_arity(expr, cdb.schema())?;
-    Ok(eval_unchecked(expr, cdb).simplify())
+    Ok(eval_ctable_unchecked(expr, cdb))
+}
+
+/// [`eval_ctable`] for an expression that is already known to typecheck
+/// against the database's schema (what `relalgebra::plan::PlannedQuery`
+/// guarantees): skips the type checker, so a dispatching engine never pays
+/// for it twice.
+pub fn eval_ctable_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable {
+    eval_unchecked(expr, cdb)
+        .and_condition(&cdb.global)
+        .simplify()
 }
 
 fn eval_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable {
@@ -314,5 +325,36 @@ mod tests {
     fn type_errors_are_reported() {
         let cdb = ConditionalDatabase::from_database(&difference_example());
         assert!(eval_ctable(&RaExpr::relation("Missing"), &cdb).is_err());
+    }
+
+    #[test]
+    fn global_condition_survives_the_round_trip() {
+        // Regression: lifting a relation with `ConditionalTable::from_relation`
+        // gives every row condition `true`; evaluating the identity query over
+        // a database whose `with_global` condition constrains ⊥0 used to
+        // return those unconditional rows verbatim — the answer table had
+        // forgotten the global condition, so instantiating it at a valuation
+        // the database rules out produced rows from a world that does not
+        // exist. The fix propagates the global condition into every answer
+        // row.
+        let schema = relmodel::Schema::builder().relation("R", &["a"]).build();
+        let rel = relmodel::Relation::from_tuples(1, vec![Tuple::ints(&[1])]);
+        let mut cdb = ConditionalDatabase::new(schema);
+        cdb.set_table("R", ConditionalTable::from_relation(&rel));
+        let cdb = cdb.with_global(Condition::eq(Value::null(0), Value::int(0)));
+
+        let answer = eval_ctable(&RaExpr::relation("R"), &cdb).unwrap();
+        let violating = Valuation::from_pairs(vec![(relmodel::value::NullId(0), Constant::Int(7))]);
+        assert!(
+            answer.instantiate(&violating).is_empty(),
+            "the global condition ⊥0 = 0 must gate the answer rows"
+        );
+        let admissible =
+            Valuation::from_pairs(vec![(relmodel::value::NullId(0), Constant::Int(0))]);
+        assert_eq!(answer.instantiate(&admissible).len(), 1);
+        // ... and with the default global `true` nothing changes.
+        let plain = ConditionalDatabase::from_database(&difference_example());
+        let ans = eval_ctable(&RaExpr::relation("R"), &plain).unwrap();
+        assert!(ans.rows().iter().all(|r| r.condition == Condition::True));
     }
 }

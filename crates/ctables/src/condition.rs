@@ -1,11 +1,13 @@
 //! Conditions of conditional tables: Boolean combinations of equalities
 //! between values (constants and nulls).
 
+pub mod solver;
+
 use std::collections::BTreeSet;
 use std::fmt;
 
 use relmodel::valuation::Valuation;
-use relmodel::value::{NullId, Value};
+use relmodel::value::{Constant, NullId, Value};
 
 /// A condition attached to a conditional tuple or table.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -108,6 +110,35 @@ impl Condition {
         let mut out = BTreeSet::new();
         self.collect_nulls(&mut out);
         out
+    }
+
+    /// Constants mentioned anywhere in the condition (the base of the
+    /// adequate valuation domain used by the enumeration oracles in
+    /// [`solver`]).
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<Constant>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Eq(a, b) | Condition::Neq(a, b) => {
+                if let Value::Const(c) = a {
+                    out.insert(c.clone());
+                }
+                if let Value::Const(c) = b {
+                    out.insert(c.clone());
+                }
+            }
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_constants(out);
+                }
+            }
+            Condition::Not(c) => c.collect_constants(out),
+        }
     }
 
     fn collect_nulls(&self, out: &mut BTreeSet<NullId>) {
@@ -329,6 +360,7 @@ mod tests {
             .and(Condition::neq(Value::null(3), Value::null(0)));
         assert_eq!(c.null_ids().len(), 2);
         assert_eq!(c.atom_count(), 2);
+        assert_eq!(c.constants(), [Constant::Int(1)].into_iter().collect());
     }
 
     #[test]

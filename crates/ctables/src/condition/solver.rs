@@ -1,0 +1,504 @@
+//! The certainty solver: validity, satisfiability and entailment of
+//! [`Condition`]s, decided **without enumerating any valuation domain**.
+//!
+//! Conditions are Boolean combinations of (in)equalities between marked
+//! nulls and constants, interpreted over the infinite domain of all
+//! constants. For that theory the classical decision procedure is complete:
+//! normalize to negation normal form, distribute to DNF (with an explicit
+//! clause budget — the only way the solver ever punts), and check each
+//! conjunctive clause for consistency by congruence closure (union–find).
+//! A clause is satisfiable iff merging its equalities never merges two
+//! distinct constants and no disequality connects two values of the same
+//! class: over an infinite domain nothing else can go wrong, because every
+//! free equivalence class can be assigned its own fresh constant.
+//!
+//! This is what makes symbolic c-table evaluation polynomial-per-tuple
+//! where possible-world enumeration is exponential in the number of nulls:
+//! [`crate::algebra`] produces the conditions, and a certainty question
+//! ("is this tuple in the answer of *every* world?") becomes one validity
+//! query instead of `|domain|^|nulls|` world evaluations.
+//!
+//! The possible-world oracle realizes the same infinite-domain semantics
+//! with *adequate* finite domains (the mentioned constants plus enough
+//! fresh ones), so solver verdicts must agree with brute-force valuation
+//! enumeration — [`valid_by_enumeration`] and [`satisfiable_by_enumeration`]
+//! are the expansion-based oracles the property tests check against, in the
+//! same spirit as [`crate::verify`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use relmodel::valuation::{domain_with_fresh, ValuationEnumerator};
+use relmodel::value::Value;
+
+use super::Condition;
+
+/// Budgets governing how much work the solver may do before punting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Maximum number of DNF clauses a single query may produce. DNF
+    /// distribution is the one exponential step of the procedure (driven by
+    /// query *size*, not by the number of nulls), so it carries the budget.
+    pub max_dnf_clauses: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_dnf_clauses: 16_384,
+        }
+    }
+}
+
+/// Why the solver declined to answer. A punt is not a wrong answer — it is
+/// the explicit signal for callers to fall back to world enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverPunt {
+    /// DNF distribution exceeded [`SolverOptions::max_dnf_clauses`].
+    ClauseBudgetExceeded {
+        /// Clauses produced when the budget fired.
+        clauses: usize,
+        /// The configured maximum.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for SolverPunt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverPunt::ClauseBudgetExceeded { clauses, budget } => write!(
+                f,
+                "DNF conversion produced {clauses} clauses, exceeding the budget of {budget}"
+            ),
+        }
+    }
+}
+
+/// Work counters for one solver, reported by the symbolic strategy as the
+/// honest "units evaluated" figure to compare against worlds visited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Validity / satisfiability / entailment questions asked.
+    pub calls: usize,
+    /// Questions the structural simplifier resolved outright (to a constant
+    /// `true`/`false`), without building any DNF.
+    pub simplification_wins: usize,
+    /// Largest DNF (in clauses) any single question required.
+    pub peak_dnf_clauses: usize,
+}
+
+/// A decision procedure for conditions, carrying its budget and counters.
+#[derive(Debug, Clone, Default)]
+pub struct CertaintySolver {
+    options: SolverOptions,
+    stats: SolverStats,
+}
+
+/// One DNF literal: an equality (`eq = true`) or disequality between two
+/// values (each a constant or a null).
+#[derive(Debug, Clone)]
+struct Literal {
+    eq: bool,
+    lhs: Value,
+    rhs: Value,
+}
+
+/// A conjunctive clause; the empty clause is `true`.
+type Clause = Vec<Literal>;
+
+impl CertaintySolver {
+    /// A solver with the given budget.
+    pub fn new(options: SolverOptions) -> Self {
+        CertaintySolver {
+            options,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// The work counters accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Is the condition true under **every** valuation of its nulls?
+    pub fn is_valid(&mut self, condition: &Condition) -> Result<bool, SolverPunt> {
+        self.stats.calls += 1;
+        match condition.simplify() {
+            Condition::True => {
+                self.stats.simplification_wins += 1;
+                Ok(true)
+            }
+            Condition::False => {
+                self.stats.simplification_wins += 1;
+                Ok(false)
+            }
+            other => Ok(!self.satisfiable_core(other.negate())?),
+        }
+    }
+
+    /// Is the condition true under **some** valuation of its nulls?
+    pub fn is_satisfiable(&mut self, condition: &Condition) -> Result<bool, SolverPunt> {
+        self.stats.calls += 1;
+        match condition.simplify() {
+            Condition::True => {
+                self.stats.simplification_wins += 1;
+                Ok(true)
+            }
+            Condition::False => {
+                self.stats.simplification_wins += 1;
+                Ok(false)
+            }
+            other => self.satisfiable_core(other),
+        }
+    }
+
+    /// Does every valuation satisfying `premise` satisfy `conclusion`?
+    /// (With `premise = true` this is [`CertaintySolver::is_valid`] of the
+    /// conclusion — the form certainty extraction needs when a conditional
+    /// database carries a global condition.)
+    pub fn entails(
+        &mut self,
+        premise: &Condition,
+        conclusion: &Condition,
+    ) -> Result<bool, SolverPunt> {
+        self.stats.calls += 1;
+        let question = premise.clone().and(conclusion.clone().negate());
+        match question.simplify() {
+            Condition::False => {
+                self.stats.simplification_wins += 1;
+                Ok(true)
+            }
+            Condition::True => {
+                self.stats.simplification_wins += 1;
+                Ok(false)
+            }
+            other => Ok(!self.satisfiable_core(other)?),
+        }
+    }
+
+    /// Satisfiability of an already-simplified, non-constant condition.
+    fn satisfiable_core(&mut self, condition: Condition) -> Result<bool, SolverPunt> {
+        let clauses = self.dnf(&nnf(condition))?;
+        Ok(clauses.iter().any(|c| clause_satisfiable(c)))
+    }
+
+    fn check_budget(&self, clauses: usize) -> Result<(), SolverPunt> {
+        if clauses > self.options.max_dnf_clauses {
+            return Err(SolverPunt::ClauseBudgetExceeded {
+                clauses,
+                budget: self.options.max_dnf_clauses,
+            });
+        }
+        Ok(())
+    }
+
+    /// DNF of a negation-normal-form condition, under the clause budget.
+    fn dnf(&mut self, condition: &Condition) -> Result<Vec<Clause>, SolverPunt> {
+        let out = match condition {
+            Condition::True => vec![Vec::new()],
+            Condition::False => Vec::new(),
+            Condition::Eq(a, b) => vec![vec![Literal {
+                eq: true,
+                lhs: a.clone(),
+                rhs: b.clone(),
+            }]],
+            Condition::Neq(a, b) => vec![vec![Literal {
+                eq: false,
+                lhs: a.clone(),
+                rhs: b.clone(),
+            }]],
+            Condition::Or(cs) => {
+                let mut clauses = Vec::new();
+                for c in cs {
+                    clauses.extend(self.dnf(c)?);
+                    self.check_budget(clauses.len())?;
+                }
+                clauses
+            }
+            Condition::And(cs) => {
+                let mut acc: Vec<Clause> = vec![Vec::new()];
+                for c in cs {
+                    let sub = self.dnf(c)?;
+                    let mut next = Vec::new();
+                    for a in &acc {
+                        for s in &sub {
+                            let mut merged = a.clone();
+                            merged.extend(s.iter().cloned());
+                            next.push(merged);
+                            self.check_budget(next.len())?;
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            Condition::Not(_) => unreachable!("negation normal form has no Not nodes"),
+        };
+        self.stats.peak_dnf_clauses = self.stats.peak_dnf_clauses.max(out.len());
+        Ok(out)
+    }
+}
+
+/// Negation normal form: pushes every `Not` down to the atoms (where it
+/// flips `Eq`/`Neq`), leaving only `And`/`Or` combinations of literals.
+fn nnf(condition: Condition) -> Condition {
+    match condition {
+        Condition::Not(inner) => nnf_negated(*inner),
+        Condition::And(cs) => Condition::And(cs.into_iter().map(nnf).collect()),
+        Condition::Or(cs) => Condition::Or(cs.into_iter().map(nnf).collect()),
+        atom => atom,
+    }
+}
+
+fn nnf_negated(condition: Condition) -> Condition {
+    match condition {
+        Condition::True => Condition::False,
+        Condition::False => Condition::True,
+        Condition::Eq(a, b) => Condition::Neq(a, b),
+        Condition::Neq(a, b) => Condition::Eq(a, b),
+        Condition::And(cs) => Condition::Or(cs.into_iter().map(nnf_negated).collect()),
+        Condition::Or(cs) => Condition::And(cs.into_iter().map(nnf_negated).collect()),
+        Condition::Not(inner) => nnf(*inner),
+    }
+}
+
+/// Congruence closure over one conjunctive clause: union the equalities,
+/// then look for a clash — two **distinct constants** in one class (this is
+/// where `Int(1)` and `Str("1")` must stay apart), or a disequality whose
+/// two sides ended up in the same class. Consistent clauses are satisfiable
+/// over the infinite domain: assign every constant-carrying class its
+/// constant and every free class its own fresh constant.
+fn clause_satisfiable(clause: &[Literal]) -> bool {
+    let mut index: BTreeMap<&Value, usize> = BTreeMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+
+    fn term_id<'a>(
+        value: &'a Value,
+        index: &mut BTreeMap<&'a Value, usize>,
+        parent: &mut Vec<usize>,
+    ) -> usize {
+        if let Some(&i) = index.get(value) {
+            return i;
+        }
+        let i = parent.len();
+        parent.push(i);
+        index.insert(value, i);
+        i
+    }
+
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]]; // path halving
+            i = parent[i];
+        }
+        i
+    }
+
+    // Union the equalities.
+    for lit in clause.iter().filter(|l| l.eq) {
+        let a = term_id(&lit.lhs, &mut index, &mut parent);
+        let b = term_id(&lit.rhs, &mut index, &mut parent);
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    // Register the terms of disequalities too (they may be absent above).
+    for lit in clause.iter().filter(|l| !l.eq) {
+        term_id(&lit.lhs, &mut index, &mut parent);
+        term_id(&lit.rhs, &mut index, &mut parent);
+    }
+    // Two distinct constants merged into one class?
+    let mut class_constant: BTreeMap<usize, &Value> = BTreeMap::new();
+    for (value, &i) in &index {
+        if value.is_const() {
+            let root = find(&mut parent, i);
+            match class_constant.get(&root) {
+                Some(&prev) if prev != *value => return false,
+                _ => {
+                    class_constant.insert(root, value);
+                }
+            }
+        }
+    }
+    // A disequality inside one class?
+    for lit in clause.iter().filter(|l| !l.eq) {
+        let a = index[&lit.lhs];
+        let b = index[&lit.rhs];
+        if find(&mut parent, a) == find(&mut parent, b) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Brute-force validity over the condition's *adequate* finite domain — its
+/// constants plus one fresh constant per null plus one, the same domain
+/// shape [`crate::verify`] and the possible-world oracle use. This is the
+/// expansion-based test oracle for [`CertaintySolver::is_valid`]:
+/// exponential in the number of nulls, which is exactly the cost the solver
+/// exists to avoid.
+pub fn valid_by_enumeration(condition: &Condition) -> bool {
+    adequate_enumerator(condition).all(|v| condition.eval(&v))
+}
+
+/// Brute-force satisfiability over the adequate finite domain — the oracle
+/// for [`CertaintySolver::is_satisfiable`].
+pub fn satisfiable_by_enumeration(condition: &Condition) -> bool {
+    adequate_enumerator(condition).any(|v| condition.eval(&v))
+}
+
+fn adequate_enumerator(condition: &Condition) -> ValuationEnumerator {
+    let nulls = condition.null_ids();
+    let domain = domain_with_fresh(&condition.constants(), nulls.len() + 1);
+    ValuationEnumerator::new(nulls, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::value::Value;
+
+    fn solver() -> CertaintySolver {
+        CertaintySolver::new(SolverOptions::default())
+    }
+
+    #[test]
+    fn tautologies_and_contradictions() {
+        let mut s = solver();
+        // ⊥0 = 1 ∨ ⊥0 ≠ 1 is valid; ⊥0 = 1 ∧ ⊥0 ≠ 1 is unsatisfiable.
+        let taut = Condition::eq(Value::null(0), Value::int(1))
+            .or(Condition::neq(Value::null(0), Value::int(1)));
+        assert!(s.is_valid(&taut).unwrap());
+        let contra = Condition::eq(Value::null(0), Value::int(1))
+            .and(Condition::neq(Value::null(0), Value::int(1)));
+        assert!(!s.is_satisfiable(&contra).unwrap());
+        // A lone atom is satisfiable but not valid.
+        let atom = Condition::eq(Value::null(0), Value::int(1));
+        assert!(s.is_satisfiable(&atom).unwrap());
+        assert!(!s.is_valid(&atom).unwrap());
+    }
+
+    #[test]
+    fn congruence_closure_is_transitive() {
+        let mut s = solver();
+        // ⊥0 = ⊥1 ∧ ⊥1 = ⊥2 ∧ ⊥0 ≠ ⊥2 is unsatisfiable only through
+        // transitivity — no single atom is contradictory.
+        let chain = Condition::eq(Value::null(0), Value::null(1))
+            .and(Condition::eq(Value::null(1), Value::null(2)))
+            .and(Condition::neq(Value::null(0), Value::null(2)));
+        assert!(!s.is_satisfiable(&chain).unwrap());
+        // ... and forcing two constants through a null chain clashes.
+        let clash = Condition::eq(Value::null(0), Value::int(1))
+            .and(Condition::eq(Value::null(0), Value::null(1)))
+            .and(Condition::eq(Value::null(1), Value::int(2)));
+        assert!(!s.is_satisfiable(&clash).unwrap());
+    }
+
+    #[test]
+    fn int_and_str_constants_are_distinct() {
+        // The PR 2 regression class: Int(1) and Str("1") display identically
+        // but denote different constants.
+        let mut s = solver();
+        let cross = Condition::eq(Value::int(1), Value::str("1"));
+        assert!(!s.is_satisfiable(&cross).unwrap());
+        assert!(s.is_valid(&cross.clone().negate()).unwrap());
+        let via_null = Condition::eq(Value::null(0), Value::int(1))
+            .and(Condition::eq(Value::null(0), Value::str("1")));
+        assert!(!s.is_satisfiable(&via_null).unwrap());
+        assert!(!satisfiable_by_enumeration(&via_null));
+    }
+
+    #[test]
+    fn infinite_domain_semantics() {
+        let mut s = solver();
+        // ⊥0 ≠ 1 ∧ ⊥0 ≠ 2 ∧ ⊥0 ≠ ⊥1: satisfiable, a fresh constant exists.
+        let c = Condition::neq(Value::null(0), Value::int(1))
+            .and(Condition::neq(Value::null(0), Value::int(2)))
+            .and(Condition::neq(Value::null(0), Value::null(1)));
+        assert!(s.is_satisfiable(&c).unwrap());
+        assert!(satisfiable_by_enumeration(&c));
+        // "⊥0 is 1 or 2" is NOT valid: the domain is not {1, 2}.
+        let closed = Condition::eq(Value::null(0), Value::int(1))
+            .or(Condition::eq(Value::null(0), Value::int(2)));
+        assert!(!s.is_valid(&closed).unwrap());
+        assert!(!valid_by_enumeration(&closed));
+    }
+
+    #[test]
+    fn entailment() {
+        let mut s = solver();
+        let premise = Condition::eq(Value::null(0), Value::int(1));
+        let conclusion = Condition::neq(Value::null(0), Value::int(2));
+        assert!(s.entails(&premise, &conclusion).unwrap());
+        assert!(!s.entails(&conclusion, &premise).unwrap());
+        // true ⊨ c reduces to validity of c.
+        let taut = premise
+            .clone()
+            .or(Condition::neq(Value::null(0), Value::int(1)));
+        assert!(s.entails(&Condition::True, &taut).unwrap());
+    }
+
+    #[test]
+    fn negation_of_nested_conditions() {
+        let mut s = solver();
+        // ¬(⊥0 = 1 ∧ (⊥1 = 2 ∨ ⊥0 ≠ ⊥1)) — De Morgan through NNF.
+        let inner = Condition::eq(Value::null(0), Value::int(1)).and(
+            Condition::eq(Value::null(1), Value::int(2))
+                .or(Condition::neq(Value::null(0), Value::null(1))),
+        );
+        let neg = Condition::Not(Box::new(inner.clone()));
+        // c ∨ ¬c valid, c ∧ ¬c unsat — for a non-trivial c.
+        assert!(s.is_valid(&inner.clone().or(neg.clone())).unwrap());
+        assert!(!s.is_satisfiable(&inner.and(neg)).unwrap());
+    }
+
+    #[test]
+    fn budget_punts_are_explicit() {
+        let mut s = CertaintySolver::new(SolverOptions { max_dnf_clauses: 4 });
+        // (a₀ ∨ b₀) ∧ (a₁ ∨ b₁) ∧ (a₂ ∨ b₂) distributes to 8 > 4 clauses.
+        let mut c = Condition::True;
+        for i in 0..3u64 {
+            c = c.and(
+                Condition::eq(Value::null(i), Value::int(0))
+                    .or(Condition::eq(Value::null(i), Value::int(1))),
+            );
+        }
+        match s.is_satisfiable(&c) {
+            Err(SolverPunt::ClauseBudgetExceeded { clauses, budget }) => {
+                assert_eq!(budget, 4);
+                assert!(clauses > 4);
+            }
+            other => panic!("expected a budget punt, got {other:?}"),
+        }
+        // A generous budget answers the same question.
+        let mut s = solver();
+        assert!(s.is_satisfiable(&c).unwrap());
+        assert!(s.stats().peak_dnf_clauses >= 8);
+    }
+
+    #[test]
+    fn stats_count_calls_and_wins() {
+        let mut s = solver();
+        assert!(s.is_valid(&Condition::True).unwrap());
+        assert!(!s.is_satisfiable(&Condition::False).unwrap());
+        // Ground atoms are simplification wins too.
+        assert!(s
+            .is_valid(&Condition::eq(Value::int(1), Value::int(1)))
+            .unwrap());
+        let real = Condition::eq(Value::null(0), Value::int(1));
+        assert!(s.is_satisfiable(&real).unwrap());
+        let stats = s.stats();
+        assert_eq!(stats.calls, 4);
+        assert_eq!(stats.simplification_wins, 3);
+    }
+
+    #[test]
+    fn punt_displays() {
+        let p = SolverPunt::ClauseBudgetExceeded {
+            clauses: 10,
+            budget: 4,
+        };
+        assert!(p.to_string().contains("budget"));
+    }
+}

@@ -140,6 +140,21 @@ impl ConditionalTable {
         }
     }
 
+    /// The table with `condition` conjoined to every row's local condition —
+    /// how [`crate::algebra::eval_ctable`] propagates a database's global
+    /// condition into the answer it returns. The common `true` case (every
+    /// database lifted from a plain [`Database`]) is a no-op.
+    pub fn and_condition(mut self, condition: &Condition) -> ConditionalTable {
+        if *condition == Condition::True {
+            return self;
+        }
+        for row in &mut self.rows {
+            let local = std::mem::replace(&mut row.condition, Condition::True);
+            row.condition = local.and(condition.clone());
+        }
+        self
+    }
+
     /// The instance of the table in the world described by the valuation:
     /// tuples whose condition holds, with nulls replaced.
     pub fn instantiate(&self, v: &relmodel::Valuation) -> Relation {
@@ -269,19 +284,18 @@ impl ConditionalDatabase {
     }
 
     /// Enumerates the closed-world possible worlds over the given constant
-    /// domain, deduplicated.
+    /// domain, deduplicated **structurally** (by `Ord`/`Eq`, never by display
+    /// strings — `Constant::Str("1")` and `Constant::Int(1)` render
+    /// identically, and a stringly key would silently merge distinct worlds,
+    /// the same collision PR 2 fixed in `relmodel`'s world iterator).
     pub fn worlds(&self, domain: &[Constant]) -> Vec<Database> {
-        let mut out = Vec::new();
-        let mut seen = BTreeSet::new();
+        let mut seen: BTreeSet<Database> = BTreeSet::new();
         for v in ValuationEnumerator::new(self.null_ids(), domain.to_vec()) {
             if let Some(world) = self.instantiate(&v) {
-                let key = world.to_string();
-                if seen.insert(key) {
-                    out.push(world);
-                }
+                seen.insert(world);
             }
         }
-        out
+        seen.into_iter().collect()
     }
 
     /// A valuation domain adequate for comparing this conditional database
@@ -398,6 +412,24 @@ mod tests {
         let worlds = cdb.worlds(&domain);
         let expected = relmodel::semantics::enumerate_cwa_worlds(&db, &domain);
         assert_eq!(worlds.len(), expected.len());
+    }
+
+    #[test]
+    fn world_dedup_is_structural_not_stringly() {
+        // ⊥0 valued to Int(1) and to Str("1") yields two *distinct* worlds
+        // that display identically; a stringly dedup key merges them.
+        let schema = Schema::builder().relation("R", &["a"]).build();
+        let mut cdb = ConditionalDatabase::new(schema);
+        let mut table = ConditionalTable::new(1);
+        table.push(ConditionalTuple::always(Tuple::new(vec![Value::null(0)])));
+        cdb.set_table("R", table);
+        let domain = vec![Constant::Int(1), Constant::Str("1".into())];
+        let worlds = cdb.worlds(&domain);
+        assert_eq!(
+            worlds.len(),
+            2,
+            "Int(1) and Str(\"1\") must stay distinct worlds"
+        );
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //!
 //! * [`condition`] — Boolean conditions over equalities between constants and
 //!   nulls, with simplification and evaluation under valuations;
+//! * [`condition::solver`] — the certainty solver: validity / satisfiability /
+//!   entailment of conditions decided by DNF + congruence closure over the
+//!   infinite constant domain, with **no** valuation enumeration — the
+//!   decision procedure behind the engine's symbolic strategy;
 //! * [`ctable`] — conditional tuples, tables, and databases, with their
 //!   closed-world possible-world expansion;
 //! * [`algebra`] — the Imieliński–Lipski algebra: evaluation of full
 //!   relational algebra directly on conditional databases;
 //! * [`verify`] — expansion-based checking of the strong representation
 //!   property on finite domains (used by tests and experiment E6).
+//!
+//! This crate deliberately depends only on `relmodel` and `relalgebra`, so
+//! the evaluator crate (`releval`) can build its symbolic strategy on top of
+//! it; classical evaluation over the complete worlds [`verify`] expands is
+//! recovered from the c-table algebra itself (ground conditions fold to
+//! `true`/`false`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +39,8 @@ pub mod verify;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::algebra::eval_ctable;
+    pub use crate::algebra::{eval_ctable, eval_ctable_unchecked};
+    pub use crate::condition::solver::{CertaintySolver, SolverOptions, SolverPunt};
     pub use crate::condition::Condition;
     pub use crate::ctable::{ConditionalDatabase, ConditionalTable, ConditionalTuple};
     pub use crate::verify::strong_representation_holds;

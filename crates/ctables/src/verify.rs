@@ -8,13 +8,23 @@
 use std::collections::BTreeSet;
 
 use relalgebra::ast::RaExpr;
-use releval::complete::eval_complete;
-use releval::EvalError;
+use relalgebra::typecheck::TypeError;
 use relmodel::value::Constant;
-use relmodel::Relation;
+use relmodel::{Database, Relation, Valuation};
 
 use crate::algebra::eval_ctable;
 use crate::ctable::ConditionalDatabase;
+
+/// Classical evaluation of `expr` over one **complete** world, through the
+/// c-table algebra itself: lifting a complete database yields only ground
+/// conditions, which the structural simplifier folds to `true`/`false`, so
+/// the conditional answer *is* the classical answer. (Query `Values`
+/// literals may still mention nulls; instantiating under the empty valuation
+/// reproduces the syntactic semantics classical evaluators give them.)
+fn eval_in_world(expr: &RaExpr, world: &Database) -> Result<Relation, TypeError> {
+    let lifted = ConditionalDatabase::from_database(world);
+    Ok(eval_ctable(expr, &lifted)?.instantiate(&Valuation::new()))
+}
 
 /// The two sides of the strong-representation equation, as sets of complete
 /// relations (canonically ordered for comparison).
@@ -41,7 +51,7 @@ pub fn check_strong_representation(
     expr: &RaExpr,
     cdb: &ConditionalDatabase,
     fresh: usize,
-) -> Result<RepresentationCheck, EvalError> {
+) -> Result<RepresentationCheck, TypeError> {
     let domain: Vec<Constant> = cdb.adequate_domain(&expr.constants(), fresh);
 
     // Left-hand side: worlds of the conditional answer. The answer table's
@@ -64,7 +74,7 @@ pub fn check_strong_representation(
     // conditional database.
     let mut query_of_worlds = BTreeSet::new();
     for world in cdb.worlds(&domain) {
-        query_of_worlds.insert(eval_complete(expr, &world)?);
+        query_of_worlds.insert(eval_in_world(expr, &world)?);
     }
 
     Ok(RepresentationCheck {
@@ -78,7 +88,7 @@ pub fn strong_representation_holds(
     expr: &RaExpr,
     cdb: &ConditionalDatabase,
     fresh: usize,
-) -> Result<bool, EvalError> {
+) -> Result<bool, TypeError> {
     Ok(check_strong_representation(expr, cdb, fresh)?.holds())
 }
 

@@ -22,5 +22,7 @@ pub mod queries;
 pub mod random;
 
 pub use orders::{orders_database, OrdersConfig};
-pub use queries::{random_division_query, random_positive_query, QueryGenConfig};
+pub use queries::{
+    random_division_query, random_full_ra_query, random_positive_query, QueryGenConfig,
+};
 pub use random::{random_database, RandomDbConfig};

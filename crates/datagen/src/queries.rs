@@ -108,6 +108,48 @@ pub fn random_division_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr
     dividend.divide(RaExpr::relation(divisor_rel.name.clone()))
 }
 
+/// Generates a random **full RA** query: the difference of two independent
+/// positive blocks, sometimes sharpened with an inequality selection or a
+/// further intersection — the class where naïve evaluation has no guarantee
+/// and the engine must answer symbolically or enumerate worlds. The output
+/// arity is 1.
+pub fn random_full_ra_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x51ed_270b));
+    let left = random_positive_query(
+        schema,
+        &QueryGenConfig {
+            seed: config.seed.wrapping_mul(2).wrapping_add(1),
+            ..*config
+        },
+    );
+    let mut right = random_positive_query(
+        schema,
+        &QueryGenConfig {
+            seed: config.seed.wrapping_mul(2).wrapping_add(0x9000),
+            ..*config
+        },
+    );
+    if rng.gen_bool(0.3) {
+        // A non-positive selection on the subtrahend: still full RA, and it
+        // exercises `Neq` conditions through every evaluator.
+        let value = rng.gen_range(0..config.constant_pool.max(1));
+        right = right.select(Predicate::neq(Operand::col(0), Operand::int(value)));
+    }
+    let diff = left.difference(right);
+    if rng.gen_bool(0.3) {
+        let third = random_positive_query(
+            schema,
+            &QueryGenConfig {
+                seed: config.seed.wrapping_mul(2).wrapping_add(0x7777),
+                ..*config
+            },
+        );
+        diff.intersection(third)
+    } else {
+        diff
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +189,22 @@ mod tests {
                 },
             );
             assert_eq!(classify(&q), QueryClass::RaCwa, "seed {seed} produced {q}");
+            assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
+        }
+    }
+
+    #[test]
+    fn full_ra_queries_are_full_ra_and_well_typed() {
+        let schema = random_schema();
+        for seed in 0..30 {
+            let q = random_full_ra_query(
+                &schema,
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(classify(&q), QueryClass::FullRa, "seed {seed} produced {q}");
             assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
         }
     }

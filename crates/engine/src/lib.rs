@@ -36,21 +36,29 @@
 //! | positive   | OWA / CWA | naïve evaluation        | exact     |
 //! | `RA_cwa`   | CWA       | naïve evaluation        | exact     |
 //! | `RA_cwa`   | OWA       | naïve evaluation        | complete  |
-//! | full RA    | CWA       | certain⁺ pair evaluation| sound     |
+//! | full RA    | CWA       | symbolic c-tables       | exact     |
 //! | full RA    | OWA       | certain⁺ pair evaluation| none      |
 //!
-//! (`certain⁺` is [`releval::approx`]: under/over-approximating pair
-//! evaluation with null unification — polynomial, and sound under CWA where
-//! exact certain answers are coNP-hard.)
+//! The symbolic strategy ([`releval::symbolic`]) evaluates the query with
+//! the Imieliński–Lipski c-table algebra and extracts certain answers with
+//! a certainty solver — exact under CWA for *every* class, polynomial per
+//! output tuple, no world enumerated. It punts explicitly (null-bearing
+//! `Values` literals; solver clause budget), in which case the engine falls
+//! back to the streaming world oracle within the `max_nulls` / `max_worlds`
+//! budget and then to certain⁺ pair evaluation, recording the reason in
+//! [`EngineStats::symbolic_fallback`]. (`certain⁺` is [`releval::approx`]:
+//! under/over-approximating pair evaluation with null unification —
+//! polynomial, and sound under CWA where exact certain answers are
+//! coNP-hard.)
 //!
-//! In [`EngineOptions::exhaustive`] mode the three non-exact rows upgrade to
-//! possible-world enumeration while the database fits the `max_nulls` /
-//! `max_worlds` budget, and degrade back to the table above — with
-//! [`EngineStats::degraded`] set — when it does not. The planner is therefore
-//! never *accidentally* exponential. Enumeration is `exact` under CWA, where
-//! the worlds *are* `[[D]]_cwa`; under OWA only finitely many of the
-//! infinitely many supersets can be visited, so for non-monotone classes the
-//! enumerated intersection is an over-approximation and is reported as
+//! In [`EngineOptions::exhaustive`] mode the remaining non-exact rows
+//! upgrade to possible-world enumeration while the database fits the
+//! `max_nulls` / `max_worlds` budget, and degrade back to the table above —
+//! with [`EngineStats::degraded`] set — when it does not. The planner is
+//! therefore never *accidentally* exponential. Enumeration is `exact` under
+//! CWA, where the worlds *are* `[[D]]_cwa`; under OWA only finitely many of
+//! the infinitely many supersets can be visited, so for non-monotone classes
+//! the enumerated intersection is an over-approximation and is reported as
 //! `complete`, not `exact`.
 
 #![forbid(unsafe_code)]
@@ -66,11 +74,12 @@ use std::fmt;
 use std::time::Instant;
 
 use relalgebra::ast::RaExpr;
-use relalgebra::classify::QueryClass;
+use relalgebra::classify::{has_incomplete_values, QueryClass};
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
 use releval::approx::eval_approx_unchecked;
 use releval::strategy::{NaiveEvaluation, Strategy, ThreeValuedEvaluation};
+use releval::symbolic::{symbolic_certain_answer, PuntReason, SymbolicOutcome};
 use releval::worlds::{estimated_world_count, stream_certain_answer};
 use releval::EvalError;
 use relmodel::{Database, Semantics};
@@ -194,6 +203,8 @@ impl<'db> Engine<'db> {
             guarantee: strategy.guarantee(plan.class(), self.semantics),
             estimated_worlds: None,
             degraded: false,
+            symbolic_fallback: None,
+            forced: true,
         };
         self.execute(plan, decision, plan_time, started)
     }
@@ -232,15 +243,63 @@ impl<'db> Engine<'db> {
                 guarantee: Guarantee::Exact,
                 estimated_worlds: None,
                 degraded: false,
+                symbolic_fallback: None,
+                forced: false,
             };
         }
+        // Beyond the naïve theorem, the symbolic c-table strategy is the
+        // planner's first choice under CWA: exact, polynomial per output
+        // tuple, no world enumeration. (Under OWA its answer is only an
+        // over-approximation for non-monotone classes, so the planner keeps
+        // the pre-symbolic rules there.)
+        if self.options.symbolic && self.semantics == Semantics::Cwa {
+            if !has_incomplete_values(query) {
+                return Decision {
+                    strategy: StrategyKind::SymbolicCTable,
+                    guarantee: StrategyKind::SymbolicCTable.guarantee(class, self.semantics),
+                    estimated_worlds: None,
+                    degraded: false,
+                    symbolic_fallback: None,
+                    forced: false,
+                };
+            }
+            // Null-bearing `Values` literals would make the c-table algebra
+            // conflate literal and database nulls: rule symbolic out at
+            // planning time and record why. The fallback policy is the same
+            // as for an execution-time solver punt — the world oracle within
+            // budget, then the approximation — so both punt kinds honour the
+            // one documented contract.
+            return self.enumerate_or_approximate(
+                query,
+                class,
+                Some(PuntReason::NullValuesLiteral),
+                true,
+            );
+        }
+        self.enumerate_or_approximate(query, class, None, self.options.exhaustive)
+    }
+
+    /// The pre-symbolic decision logic: possible-world enumeration within
+    /// budget when `allow_worlds`, otherwise (or beyond budget, with
+    /// [`EngineStats::degraded`] set) the sound approximation. Also the
+    /// landing path when the symbolic strategy punts — `symbolic_fallback`
+    /// carries the reason into the report.
+    fn enumerate_or_approximate(
+        &self,
+        query: &RaExpr,
+        class: QueryClass,
+        symbolic_fallback: Option<PuntReason>,
+        allow_worlds: bool,
+    ) -> Decision {
         let fallback = StrategyKind::SoundApproximation;
-        if !self.options.exhaustive {
+        if !allow_worlds {
             return Decision {
                 strategy: fallback,
                 guarantee: fallback.guarantee(class, self.semantics),
                 estimated_worlds: None,
                 degraded: false,
+                symbolic_fallback,
+                forced: false,
             };
         }
         let estimate = estimated_world_count(query, self.db, &self.options.world_options);
@@ -252,6 +311,8 @@ impl<'db> Engine<'db> {
                 guarantee: StrategyKind::WorldsGroundTruth.guarantee(class, self.semantics),
                 estimated_worlds: Some(estimate),
                 degraded: false,
+                symbolic_fallback,
+                forced: false,
             }
         } else {
             // The explicit degradation the budget exists for: report the
@@ -261,6 +322,8 @@ impl<'db> Engine<'db> {
                 guarantee: fallback.guarantee(class, self.semantics),
                 estimated_worlds: Some(estimate),
                 degraded: true,
+                symbolic_fallback,
+                forced: false,
             }
         }
     }
@@ -275,7 +338,39 @@ impl<'db> Engine<'db> {
         let execute_started = Instant::now();
         // (worlds visited, early exit, threads, peak worlds in flight)
         let mut world_exec: Option<(u128, bool, usize, usize)> = None;
+        // (condition atoms, solver calls, simplification wins)
+        let mut symbolic_exec: Option<(usize, usize, usize)> = None;
         let (answers, object_answer) = match decision.strategy {
+            StrategyKind::SymbolicCTable => {
+                match symbolic_certain_answer(&plan, self.db, &self.options.symbolic_options) {
+                    SymbolicOutcome::Answered(exec) => {
+                        symbolic_exec = Some((
+                            exec.condition_atoms,
+                            exec.solver_calls,
+                            exec.simplification_wins,
+                        ));
+                        (exec.answers, None)
+                    }
+                    SymbolicOutcome::Punted(reason) => {
+                        if decision.forced {
+                            // The caller asked for symbolic and nothing else:
+                            // surface the punt as a typed error, like the
+                            // forced ground-truth door does with its budget.
+                            return Err(EngineError::Eval(EvalError::SymbolicPunt(reason)));
+                        }
+                        // Fall back to the streaming world oracle within
+                        // budget (then to the sound approximation), with the
+                        // reason on the report.
+                        let fallback = self.enumerate_or_approximate(
+                            plan.expr(),
+                            plan.class(),
+                            Some(reason),
+                            true,
+                        );
+                        return self.execute(plan, fallback, plan_time, started);
+                    }
+                }
+            }
             StrategyKind::NaiveExact => {
                 let object = NaiveEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
                 (object.complete_part(), Some(object))
@@ -335,6 +430,10 @@ impl<'db> Engine<'db> {
                 world_early_exit: world_exec.is_some_and(|e| e.1),
                 world_threads: world_exec.map(|e| e.2),
                 peak_worlds_in_flight: world_exec.map(|e| e.3),
+                condition_atoms: symbolic_exec.map(|e| e.0),
+                solver_calls: symbolic_exec.map(|e| e.1),
+                simplification_wins: symbolic_exec.map(|e| e.2),
+                symbolic_fallback: decision.symbolic_fallback,
             },
         })
     }
@@ -346,6 +445,11 @@ struct Decision {
     guarantee: Guarantee,
     estimated_worlds: Option<u128>,
     degraded: bool,
+    /// Why the symbolic strategy is not the one executing, when it was
+    /// eligible (planning-time rule-out or execution-time punt).
+    symbolic_fallback: Option<PuntReason>,
+    /// Caller-forced strategy: punts become errors instead of fallbacks.
+    forced: bool,
 }
 
 #[cfg(test)]
@@ -393,18 +497,29 @@ mod tests {
     }
 
     #[test]
-    fn full_ra_defaults_to_sound_approximation() {
+    fn full_ra_defaults_to_symbolic_exact_under_cwa() {
         let db = orders_and_payments_example();
         let report = Engine::new(&db)
             .plan_text("project[#0](Order) minus project[#1](Pay)")
             .unwrap();
         assert_eq!(report.class, QueryClass::FullRa);
-        assert_eq!(report.strategy, StrategyKind::SoundApproximation);
-        assert_eq!(report.guarantee, Guarantee::Sound);
-        // The certain answer here is ∅; sound means we must not over-report —
-        // unlike naïve evaluation, which would return both orders.
+        assert_eq!(report.strategy, StrategyKind::SymbolicCTable);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        // The certain answer here is ∅ — and symbolic evaluation proves it
+        // without enumerating a single world.
         assert!(report.answers.is_empty());
-        assert!(report.object_answer.as_ref().unwrap().is_empty());
+        assert!(report.stats.solver_calls.is_some());
+        assert!(report.stats.condition_atoms.unwrap() > 0);
+        assert!(report.stats.worlds_enumerated.is_none());
+        assert!(report.stats.symbolic_fallback.is_none());
+        // Disabling symbolic restores the pre-symbolic sound approximation.
+        let approx = Engine::new(&db)
+            .options(EngineOptions::default().without_symbolic())
+            .plan_text("project[#0](Order) minus project[#1](Pay)")
+            .unwrap();
+        assert_eq!(approx.strategy, StrategyKind::SoundApproximation);
+        assert_eq!(approx.guarantee, Guarantee::Sound);
+        assert!(approx.answers.is_empty());
         let naive = Engine::new(&db)
             .plan_with(
                 StrategyKind::NaiveExact,
@@ -416,9 +531,89 @@ mod tests {
     }
 
     #[test]
+    fn null_values_literals_fall_back_with_a_reason() {
+        // The classifier's counterexample: a literal ⊥0 joined against the
+        // database ⊥0. Symbolic evaluation would conflate them, so the
+        // planner must pass it over — explicitly.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .build();
+        let lit = RaExpr::values(relmodel::Relation::from_tuples(
+            2,
+            vec![Tuple::new(vec![Value::null(0), Value::int(7)])],
+        ));
+        let q = RaExpr::relation("R")
+            .product(lit)
+            .select(relalgebra::predicate::Predicate::eq(
+                relalgebra::predicate::Operand::col(1),
+                relalgebra::predicate::Operand::col(2),
+            ))
+            .project(vec![0, 3]);
+        let report = Engine::new(&db).plan(&q).unwrap();
+        // Same fallback chain as a solver punt: the world oracle, since this
+        // one null fits the budget — exact, with the reason on the report.
+        assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert_eq!(
+            report.stats.symbolic_fallback,
+            Some(releval::symbolic::PuntReason::NullValuesLiteral)
+        );
+        assert!(report.answers.is_empty(), "certain answer is ∅ here");
+        // Beyond the world budget the chain ends at the approximation,
+        // explicitly degraded.
+        let starved = Engine::new(&db)
+            .options(EngineOptions::default().with_max_worlds(1))
+            .plan(&q)
+            .unwrap();
+        assert_eq!(starved.strategy, StrategyKind::SoundApproximation);
+        assert!(starved.stats.degraded);
+        assert_eq!(
+            starved.stats.symbolic_fallback,
+            Some(releval::symbolic::PuntReason::NullValuesLiteral)
+        );
+        // Forcing symbolic on the same query is a typed error, not a lie.
+        let err = Engine::new(&db)
+            .plan_with(StrategyKind::SymbolicCTable, &q)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Eval(EvalError::SymbolicPunt(
+                releval::symbolic::PuntReason::NullValuesLiteral
+            ))
+        ));
+    }
+
+    #[test]
+    fn solver_budget_punt_falls_back_to_worlds_with_a_reason() {
+        // A nested difference tower blows a 1-clause solver budget; the
+        // engine must fall back to the (budgeted) world oracle and still
+        // answer exactly, with the punt on the report.
+        let db = difference_example();
+        let q = qparser::parse("(R minus S) minus (S minus R)").unwrap();
+        let report = Engine::new(&db)
+            .options(EngineOptions::default().with_max_dnf_clauses(1))
+            .plan(&q)
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert!(matches!(
+            report.stats.symbolic_fallback,
+            Some(releval::symbolic::PuntReason::SolverBudget { budget: 1, .. })
+        ));
+        assert!(report.stats.worlds_enumerated.is_some());
+        // With the default budget the same query stays symbolic and agrees.
+        let symbolic = Engine::new(&db).plan(&q).unwrap();
+        assert_eq!(symbolic.strategy, StrategyKind::SymbolicCTable);
+        assert_eq!(symbolic.answers, report.answers);
+    }
+
+    #[test]
     fn exhaustive_mode_upgrades_to_ground_truth_within_budget() {
         let db = orders_and_payments_example();
-        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        // Even in exhaustive mode the symbolic strategy answers first; rule
+        // it out to exercise the enumeration path.
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive().without_symbolic());
         let report = engine
             .plan_text("project[#0](Order) minus project[#1](Pay)")
             .unwrap();
@@ -439,7 +634,11 @@ mod tests {
         }
         b = b.ints("R", &[1]);
         let db = b.build();
-        let engine = Engine::new(&db).options(EngineOptions::exhaustive().with_max_nulls(4));
+        let engine = Engine::new(&db).options(
+            EngineOptions::exhaustive()
+                .with_max_nulls(4)
+                .without_symbolic(),
+        );
         let report = engine.plan_text("R minus S").unwrap();
         assert_eq!(report.strategy, StrategyKind::SoundApproximation);
         assert!(report.stats.degraded);
@@ -536,7 +735,7 @@ mod tests {
             .tuple("R", vec![Value::null(0)])
             .tuple("R", vec![Value::null(1)])
             .build();
-        let engine = Engine::new(&db).options(EngineOptions::exhaustive());
+        let engine = Engine::new(&db).options(EngineOptions::exhaustive().without_symbolic());
         let report = engine.plan_text("R minus R").unwrap();
         let visited = report.stats.worlds_enumerated.unwrap();
         let estimated = report.stats.estimated_worlds.unwrap();
@@ -589,9 +788,18 @@ mod tests {
             .project(vec![]);
         let exhaustive = Engine::new(&db).options(EngineOptions::exhaustive());
         assert_eq!(exhaustive.plan(&q).unwrap().certain_true(), Some(true));
+        // The *default* engine now concludes the same symbolically — the
+        // disjunctive fact world enumeration needed every world for.
+        let default_report = Engine::new(&db).plan(&q).unwrap();
+        assert_eq!(default_report.strategy, StrategyKind::SymbolicCTable);
+        assert_eq!(default_report.certain_true(), Some(true));
         // The sound approximation returns ∅ for this query: too weak to
         // conclude either way, and the report says so.
-        assert_eq!(Engine::new(&db).plan(&q).unwrap().certain_true(), None);
+        let approx = Engine::new(&db)
+            .options(EngineOptions::default().without_symbolic())
+            .plan(&q)
+            .unwrap();
+        assert_eq!(approx.certain_true(), None);
         // SQL's baseline can conclude nothing at all.
         assert_eq!(
             Engine::new(&db).baseline_3vl(&q).unwrap().certain_true(),
@@ -611,7 +819,12 @@ mod tests {
         let hard = qparser::parse("project[#0](Order) minus project[#1](Pay)").unwrap();
         assert_eq!(
             engine.select_strategy(&hard, QueryClass::FullRa),
-            (StrategyKind::SoundApproximation, Guarantee::Sound)
+            (StrategyKind::SymbolicCTable, Guarantee::Exact)
+        );
+        let engine_owa = Engine::new(&db).semantics(Semantics::Owa);
+        assert_eq!(
+            engine_owa.select_strategy(&hard, QueryClass::FullRa),
+            (StrategyKind::SoundApproximation, Guarantee::NoGuarantee)
         );
     }
 

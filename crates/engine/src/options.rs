@@ -1,24 +1,36 @@
 //! Budgets and modes governing the planner's strategy choice.
 
+use releval::symbolic::SymbolicOptions;
 use releval::worlds::WorldOptions;
 
 /// Options controlling how far the engine may go for a query outside the
 /// theorem-backed fragment.
 ///
-/// With the default options the engine is **never exponential**: it answers
-/// exactly where the paper proves naïve evaluation correct, and otherwise
-/// returns an explicitly-labelled approximation. Opting into
-/// [`EngineOptions::exhaustive`] allows possible-world enumeration as the
-/// ground truth for hard queries, *within* the `max_nulls` / `max_worlds`
-/// budget; when the budget would be blown, the planner degrades back to the
-/// sound approximation and says so ([`crate::EngineStats::degraded`]) rather
-/// than hanging.
+/// With the default options the engine answers exactly where the paper
+/// proves naïve evaluation correct, answers **symbolically** (c-tables +
+/// certainty solver — exact, polynomial per output tuple) for the remaining
+/// classes under CWA, and otherwise returns an explicitly-labelled
+/// approximation. When the symbolic solver punts, the engine falls back to
+/// possible-world enumeration *within* the `max_nulls` / `max_worlds`
+/// budget, then to the sound approximation — with
+/// [`crate::EngineStats::symbolic_fallback`] and
+/// [`crate::EngineStats::degraded`] saying so. Opting into
+/// [`EngineOptions::exhaustive`] additionally allows enumeration as the
+/// ground truth where neither theorem nor symbolic strategy applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
-    /// Allow possible-world enumeration for queries whose class has no naïve
-    /// guarantee. Off by default: enumeration is exponential in the number of
-    /// nulls, which is exactly the cost the paper's fix avoids.
+    /// Allow possible-world enumeration for queries no exact polynomial
+    /// strategy covers. Off by default: enumeration is exponential in the
+    /// number of nulls, which is exactly the cost the paper's fix avoids.
     pub exhaustive: bool,
+    /// Allow the symbolic c-table strategy for queries whose class has no
+    /// naïve guarantee under CWA. On by default: it is exact and polynomial
+    /// per output tuple. Disable to reproduce the pre-symbolic planner (the
+    /// benches do, to measure the gap).
+    pub symbolic: bool,
+    /// Solver budget for the symbolic strategy; the engine falls back when
+    /// it fires.
+    pub symbolic_options: SymbolicOptions,
     /// Ground-truth budget: refuse enumeration when the database has more
     /// distinct nulls than this.
     pub max_nulls: usize,
@@ -31,6 +43,8 @@ impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions {
             exhaustive: false,
+            symbolic: true,
+            symbolic_options: SymbolicOptions::default(),
             max_nulls: 8,
             world_options: WorldOptions::default(),
         }
@@ -44,6 +58,19 @@ impl EngineOptions {
             exhaustive: true,
             ..EngineOptions::default()
         }
+    }
+
+    /// Disables the symbolic c-table strategy, restoring the pre-symbolic
+    /// dispatch (approximation by default, enumeration in exhaustive mode).
+    pub fn without_symbolic(mut self) -> Self {
+        self.symbolic = false;
+        self
+    }
+
+    /// Sets the symbolic solver's DNF clause budget.
+    pub fn with_max_dnf_clauses(mut self, max_dnf_clauses: usize) -> Self {
+        self.symbolic_options.max_dnf_clauses = max_dnf_clauses;
+        self
     }
 
     /// Sets the maximum number of nulls for which enumeration is attempted.
@@ -73,6 +100,10 @@ mod tests {
     fn defaults_are_conservative() {
         let opts = EngineOptions::default();
         assert!(!opts.exhaustive);
+        assert!(
+            opts.symbolic,
+            "the exact polynomial strategy is on by default"
+        );
         assert!(opts.max_nulls >= 1);
         assert_eq!(opts.world_options, WorldOptions::default());
     }
@@ -81,9 +112,13 @@ mod tests {
     fn builders_compose() {
         let opts = EngineOptions::exhaustive()
             .with_max_nulls(3)
-            .with_max_worlds(100);
+            .with_max_worlds(100)
+            .with_max_dnf_clauses(7)
+            .without_symbolic();
         assert!(opts.exhaustive);
+        assert!(!opts.symbolic);
         assert_eq!(opts.max_nulls, 3);
         assert_eq!(opts.world_options.max_worlds, 100);
+        assert_eq!(opts.symbolic_options.max_dnf_clauses, 7);
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 use std::time::Duration;
 
 use relalgebra::classify::QueryClass;
+use releval::symbolic::PuntReason;
 use relmodel::{Relation, Semantics};
 
 /// The strategy the engine dispatched a query to.
@@ -26,6 +27,12 @@ pub enum StrategyKind {
     /// CWA — or naïve evaluation alone where that yields a provable
     /// over-approximation (`RA_cwa` under OWA).
     SoundApproximation,
+    /// The symbolic c-table strategy (`releval::symbolic`): lift to a
+    /// conditional database, evaluate with the Imieliński–Lipski algebra,
+    /// extract certain answers with the certainty solver. **Exact** under
+    /// CWA for every query class, polynomial per output tuple; selected by
+    /// default for the classes naïve evaluation cannot cover under CWA.
+    SymbolicCTable,
 }
 
 impl StrategyKind {
@@ -36,6 +43,7 @@ impl StrategyKind {
             StrategyKind::WorldsGroundTruth => "worlds-ground-truth",
             StrategyKind::ThreeValuedBaseline => "sql-3vl-baseline",
             StrategyKind::SoundApproximation => "sound-approximation",
+            StrategyKind::SymbolicCTable => "symbolic-ctable",
         }
     }
 
@@ -65,6 +73,16 @@ impl StrategyKind {
                     Guarantee::NoGuarantee
                 }
             }
+            // The symbolic strategy computes the CWA certain answer exactly
+            // (strong representation + a complete solver). Under OWA that
+            // answer is exact for the monotone fragment (minimal worlds
+            // attain the intersection) and an over-approximation beyond it
+            // (CWA worlds are a subset of OWA worlds), mirroring the
+            // enumeration guarantee row for row.
+            StrategyKind::SymbolicCTable => match (class, semantics) {
+                (_, Semantics::Cwa) | (QueryClass::Positive, Semantics::Owa) => Guarantee::Exact,
+                (_, Semantics::Owa) => Guarantee::Complete,
+            },
             StrategyKind::SoundApproximation => match (class, semantics) {
                 // naïve alone: certain_cwa over-approximates certain_owa.
                 (QueryClass::RaCwa, Semantics::Owa) => Guarantee::Complete,
@@ -158,6 +176,21 @@ pub struct EngineStats {
     /// worker, plus one OWA extension per worker), when the worlds strategy
     /// ran — the O(threads) memory face of the streaming engine.
     pub peak_worlds_in_flight: Option<usize>,
+    /// Condition atoms across the conditional answer table, when the
+    /// symbolic strategy ran — the paper's "hardly meaningful to humans"
+    /// size measure, and the polynomial cost face of the symbolic engine.
+    pub condition_atoms: Option<usize>,
+    /// Certainty-solver questions asked, when the symbolic strategy ran —
+    /// the honest "units evaluated" figure to set against
+    /// [`EngineStats::worlds_enumerated`].
+    pub solver_calls: Option<usize>,
+    /// Solver questions settled by structural simplification alone (no DNF
+    /// built), when the symbolic strategy ran.
+    pub simplification_wins: Option<usize>,
+    /// Why the symbolic strategy was not the one that answered, when it was
+    /// eligible but punted (or was ruled out at planning time): the explicit
+    /// fallback trail. `None` when symbolic answered or was never in play.
+    pub symbolic_fallback: Option<PuntReason>,
 }
 
 /// The engine's answer to a query: the tuples, the strategy that produced

@@ -97,6 +97,27 @@ pub fn classify(expr: &RaExpr) -> QueryClass {
     }
 }
 
+/// Does the expression contain a `Values` literal mentioning marked nulls?
+///
+/// Possible worlds value the nulls of the *database* but leave query
+/// literals untouched, while representation-based evaluators (naïve
+/// evaluation, the c-table algebra) equate a literal `⊥ᵢ` with a database
+/// `⊥ᵢ` syntactically — the classifier's counterexample for why such
+/// literals are not positive. The engine's symbolic c-table strategy uses
+/// this predicate to punt on exactly those queries instead of silently
+/// conflating the two kinds of null.
+pub fn has_incomplete_values(expr: &RaExpr) -> bool {
+    let mut found = false;
+    expr.visit(&mut |e| {
+        if let RaExpr::Values(rel) = e {
+            if !rel.is_complete() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
 /// Is the expression in `RA(Δ, π, ×, ∪)` — the class of admissible divisors in
 /// `RA_cwa` (base relations and `Δ`, closed under projection, product and
 /// union; no selection, difference or division)?
@@ -198,6 +219,21 @@ mod tests {
             .select(Predicate::eq(Operand::col(1), Operand::col(2)))
             .project(vec![0, 3]);
         assert_eq!(classify(&joined), QueryClass::FullRa);
+        assert!(has_incomplete_values(&joined));
+    }
+
+    #[test]
+    fn incomplete_values_detection() {
+        let clean = RaExpr::relation("R").difference(RaExpr::values(Relation::from_tuples(
+            1,
+            vec![Tuple::ints(&[1])],
+        )));
+        assert!(!has_incomplete_values(&clean));
+        let dirty = RaExpr::relation("R").union(RaExpr::values(Relation::from_tuples(
+            1,
+            vec![Tuple::new(vec![Value::null(3)])],
+        )));
+        assert!(has_incomplete_values(&dirty));
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub enum EvalError {
         /// Number of distinct nulls that have no constant to be valued to.
         nulls: usize,
     },
+    /// The symbolic c-table strategy declined to answer — never a wrong
+    /// answer, always a signal to fall back to another strategy (a
+    /// dispatching engine catches this and degrades explicitly; a caller who
+    /// forced the symbolic strategy sees the error).
+    SymbolicPunt(crate::symbolic::PuntReason),
 }
 
 impl fmt::Display for EvalError {
@@ -57,6 +62,9 @@ impl fmt::Display for EvalError {
                     "empty valuation domain with {nulls} null(s): zero possible worlds, \
                      certain answers are undefined"
                 )
+            }
+            EvalError::SymbolicPunt(reason) => {
+                write!(f, "symbolic strategy punted: {reason}")
             }
         }
     }

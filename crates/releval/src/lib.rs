@@ -19,12 +19,18 @@
 //!   number of nulls; used to validate the other evaluators and to exhibit the
 //!   complexity gap.
 //!
-//! Two additions support the dispatching engine built on top of this crate:
+//! Three additions support the dispatching engine built on top of this crate:
 //!
 //! * [`approx`] — certain⁺/possible? *pair evaluation* with marked-null
 //!   unification: a polynomial, CWA-sound approximation of certain answers
 //!   for **full** relational algebra, where naïve evaluation and 3VL are both
 //!   unsound;
+//! * [`symbolic`] — the symbolic c-table strategy: lift the database to a
+//!   conditional database, evaluate with the Imieliński–Lipski algebra, and
+//!   extract **exact** CWA certain answers with a certainty solver
+//!   (`ctables::condition::solver`) — polynomial per output tuple where
+//!   world enumeration is exponential in the number of nulls, punting
+//!   explicitly where it cannot answer;
 //! * [`strategy`] — the [`strategy::Strategy`] trait: all evaluators behind
 //!   one plan-driven interface, so an engine typechecks a query once and
 //!   dispatches freely.
@@ -42,6 +48,7 @@ pub mod error;
 pub mod fo;
 pub mod naive;
 pub mod strategy;
+pub mod symbolic;
 pub mod three_valued;
 pub mod worlds;
 
@@ -54,6 +61,7 @@ pub mod prelude {
     pub use crate::strategy::{
         CompleteEvaluation, NaiveEvaluation, Strategy, ThreeValuedEvaluation, WorldEnumeration,
     };
+    pub use crate::symbolic::{symbolic_certain_answer, CTableStrategy, SymbolicOptions};
     pub use crate::three_valued::eval_3vl;
     pub use crate::worlds::{certain_answer_worlds, possible_answers, WorldOptions};
 }

@@ -4,7 +4,7 @@
 //! Each strategy takes a [`PlannedQuery`] — an expression that has already
 //! been typechecked and classified — so the dispatching engine runs the type
 //! checker exactly once per query, not once per evaluator it consults. The
-//! four implementations correspond to the positions the paper contrasts:
+//! implementations correspond to the positions the paper contrasts:
 //!
 //! | strategy                  | evaluator                | character |
 //! |---------------------------|--------------------------|-----------|
@@ -12,6 +12,7 @@
 //! | [`ThreeValuedEvaluation`] | [`crate::three_valued`]  | what SQL does; no guarantee either way |
 //! | [`WorldEnumeration`]      | [`crate::worlds`]        | ground truth; exponential in #nulls |
 //! | [`CompleteEvaluation`]    | [`crate::complete`]      | textbook evaluation; defined only on complete inputs |
+//! | [`crate::symbolic::CTableStrategy`] | [`crate::symbolic`] | exact CWA certain answers via c-tables + certainty solver; polynomial per output tuple, punts explicitly |
 
 use relalgebra::plan::PlannedQuery;
 use relmodel::{Database, Relation, Semantics};

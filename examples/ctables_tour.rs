@@ -45,4 +45,41 @@ fn main() {
         nested_answer.condition_atoms()
     );
     println!("{nested_answer}");
+
+    // ── Certain answers without enumerating a single world. ───────────────
+    //
+    // The same conditional table, asked a different question: a tuple t is
+    // certain iff ⋁ᵢ (tᵢ = t ∧ cᵢ) holds under EVERY valuation — a validity
+    // question the certainty solver decides by DNF + congruence closure over
+    // the infinite constant domain. This is `releval::symbolic`, the engine's
+    // default strategy for full RA under CWA.
+    use relalgebra::plan::PlannedQuery;
+    use releval::symbolic::{symbolic_certain_answer, SymbolicOptions, SymbolicOutcome};
+
+    println!("── certain answers, symbolically ──");
+    for text in ["R minus S", "R union S", "(R minus S) minus (S minus R)"] {
+        let q = parse(text).unwrap();
+        let plan = PlannedQuery::new(q, db.schema()).unwrap();
+        match symbolic_certain_answer(&plan, &db, &SymbolicOptions::default()) {
+            SymbolicOutcome::Answered(exec) => println!(
+                "certain({text}) = {}   [{} solver call(s), {} condition atoms, 0 worlds]",
+                exec.answers, exec.solver_calls, exec.condition_atoms
+            ),
+            SymbolicOutcome::Punted(reason) => println!("certain({text}): punted — {reason}"),
+        }
+    }
+
+    // A disjunctive certainty the classical intersection needs every world
+    // for: "R − S is nonempty" is certainly true even though no specific
+    // tuple of R − S is certain.
+    let boolean = parse("R minus S").unwrap().project(vec![]);
+    let plan = PlannedQuery::new(boolean, db.schema()).unwrap();
+    if let SymbolicOutcome::Answered(exec) =
+        symbolic_certain_answer(&plan, &db, &SymbolicOptions::default())
+    {
+        println!(
+            "certainly-true(R minus S ≠ ∅) = {}   — proven by one validity query",
+            !exec.answers.is_empty()
+        );
+    }
 }

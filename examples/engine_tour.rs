@@ -54,19 +54,31 @@ fn main() {
         &engine.plan_text("project[#1](Order)").unwrap(),
     );
     show(
-        "full RA → SoundApproximation/sound",
+        "full RA → SymbolicCTable/exact (no worlds enumerated)",
         &engine.plan_prepared(&plan).unwrap(),
     );
 
-    // ── 3. Exhaustive mode: ground truth, within an explicit budget. ───────
+    // ── 3. The pre-symbolic paths are still there, explicitly chosen. ──────
+    let no_symbolic = Engine::new(&db).options(EngineOptions::default().without_symbolic());
+    show(
+        "full RA, symbolic off → SoundApproximation/sound",
+        &no_symbolic.plan_prepared(&plan).unwrap(),
+    );
     let exhaustive = Engine::new(&db).options(EngineOptions::exhaustive());
     show(
-        "full RA, exhaustive → WorldsGroundTruth/exact",
-        &exhaustive.plan_prepared(&plan).unwrap(),
+        "full RA, exhaustive+no symbolic → WorldsGroundTruth/exact",
+        &Engine::new(&db)
+            .options(EngineOptions::exhaustive().without_symbolic())
+            .plan_prepared(&plan)
+            .unwrap(),
     );
 
     // ── 4. Budgets degrade explicitly instead of hanging. ──────────────────
-    let starved = Engine::new(&db).options(EngineOptions::exhaustive().with_max_worlds(1));
+    let starved = Engine::new(&db).options(
+        EngineOptions::exhaustive()
+            .with_max_worlds(1)
+            .without_symbolic(),
+    );
     show(
         "full RA, starved budget → degraded",
         &starved.plan_prepared(&plan).unwrap(),
@@ -90,9 +102,16 @@ fn main() {
         "\n∃ an unpaid order, certainly? {:?}",
         report.certain_true()
     );
-    let weak = engine.plan(&exists_unpaid).unwrap();
+    let symbolic = engine.plan(&exists_unpaid).unwrap();
     println!(
-        "same question, default engine: {:?} (a {} answer cannot settle it)",
+        "same question, default engine: {:?} ({} via {} — no worlds needed)",
+        symbolic.certain_true(),
+        symbolic.guarantee,
+        symbolic.strategy
+    );
+    let weak = no_symbolic.plan(&exists_unpaid).unwrap();
+    println!(
+        "same question, symbolic off: {:?} (a {} answer cannot settle it)",
         weak.certain_true(),
         weak.guarantee
     );

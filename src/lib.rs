@@ -25,17 +25,21 @@
 //! assert_eq!(products.answers.len(), 2);
 //!
 //! // The unpaid-orders query of the paper's introduction is full RA: the
-//! // default engine returns a *sound* approximation and says so …
+//! // default engine answers it *symbolically* — c-tables plus a certainty
+//! // solver — exactly, without enumerating a single possible world …
 //! let unpaid = engine.plan_text("project[#0](Order) minus project[#1](Pay)").unwrap();
-//! assert_eq!(unpaid.guarantee, Guarantee::Sound);
+//! assert_eq!(unpaid.guarantee, Guarantee::Exact);
+//! assert_eq!(unpaid.strategy, StrategyKind::SymbolicCTable);
+//! assert!(unpaid.stats.worlds_enumerated.is_none());
 //!
-//! // … while exhaustive mode buys ground truth within an explicit budget.
+//! // … and the exponential world oracle agrees, when explicitly bought.
 //! let truth = Engine::new(&db)
 //!     .options(EngineOptions::exhaustive())
-//!     .plan_text("project[#0](Order) minus project[#1](Pay)")
+//!     .ground_truth(&incomplete_data::qparser::parse(
+//!         "project[#0](Order) minus project[#1](Pay)").unwrap())
 //!     .unwrap();
-//! assert_eq!(truth.guarantee, Guarantee::Exact);
 //! assert_eq!(truth.strategy, StrategyKind::WorldsGroundTruth);
+//! assert_eq!(truth.answers, unpaid.answers);
 //! ```
 //!
 //! Every answer comes back as a [`engine::CertainReport`]: the tuples, the

@@ -1,0 +1,129 @@
+//! Dispatch-matrix coverage: one table-driven test asserting, for **every**
+//! `QueryClass` × semantics × planner mode, which strategy the engine picks
+//! and which guarantee it reports. This locks the classify-and-dispatch
+//! contract — the one PR 2 had to patch twice — so any future change to the
+//! planner is a *visible* diff in this table, never a silent regression.
+
+use incomplete_data::prelude::*;
+use relalgebra::classify::classify;
+
+/// Representative queries per class over the orders/payments schema.
+fn query_for(class: QueryClass) -> RaExpr {
+    let (text, expected) = match class {
+        QueryClass::Positive => ("project[#0](Order)", QueryClass::Positive),
+        // Division by a base-relation projection is the emblematic RA_cwa
+        // operator.
+        QueryClass::RaCwa => (
+            "product(project[#0](Order), project[#1](Pay)) divide project[#1](Pay)",
+            QueryClass::RaCwa,
+        ),
+        QueryClass::FullRa => (
+            "project[#0](Order) minus project[#1](Pay)",
+            QueryClass::FullRa,
+        ),
+    };
+    let q = incomplete_data::qparser::parse(text).unwrap();
+    assert_eq!(classify(&q), expected, "fixture drift for {text}");
+    q
+}
+
+/// One planner mode of the matrix.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    Default,
+    Exhaustive,
+    DefaultNoSymbolic,
+    ExhaustiveNoSymbolic,
+}
+
+fn options(mode: Mode) -> EngineOptions {
+    match mode {
+        Mode::Default => EngineOptions::default(),
+        Mode::Exhaustive => EngineOptions::exhaustive(),
+        Mode::DefaultNoSymbolic => EngineOptions::default().without_symbolic(),
+        Mode::ExhaustiveNoSymbolic => EngineOptions::exhaustive().without_symbolic(),
+    }
+}
+
+#[test]
+fn the_dispatch_matrix() {
+    use Guarantee::*;
+    use Mode::*;
+    use QueryClass::*;
+    use Semantics::*;
+    use StrategyKind::*;
+
+    // (class, semantics, mode) → (strategy, guarantee). Every row of the
+    // engine's documented dispatch table, plus the symbolic/exhaustive
+    // interactions the docs describe in prose.
+    let matrix: &[(QueryClass, Semantics, Mode, StrategyKind, Guarantee)] = &[
+        // Positive: the naïve theorem covers both semantics, all modes.
+        (Positive, Cwa, Default, NaiveExact, Exact),
+        (Positive, Owa, Default, NaiveExact, Exact),
+        (Positive, Cwa, Exhaustive, NaiveExact, Exact),
+        (Positive, Owa, Exhaustive, NaiveExact, Exact),
+        (Positive, Cwa, DefaultNoSymbolic, NaiveExact, Exact),
+        // RA_cwa: naïve under CWA; approximation (complete) under OWA,
+        // upgrading to enumeration in exhaustive mode.
+        (RaCwa, Cwa, Default, NaiveExact, Exact),
+        (RaCwa, Owa, Default, SoundApproximation, Complete),
+        (RaCwa, Cwa, Exhaustive, NaiveExact, Exact),
+        (RaCwa, Owa, Exhaustive, WorldsGroundTruth, Complete),
+        (RaCwa, Owa, DefaultNoSymbolic, SoundApproximation, Complete),
+        // Full RA: the symbolic strategy owns CWA (in every mode where it is
+        // enabled); OWA keeps the pre-symbolic rules.
+        (FullRa, Cwa, Default, SymbolicCTable, Exact),
+        (FullRa, Cwa, Exhaustive, SymbolicCTable, Exact),
+        (FullRa, Cwa, DefaultNoSymbolic, SoundApproximation, Sound),
+        (FullRa, Cwa, ExhaustiveNoSymbolic, WorldsGroundTruth, Exact),
+        (FullRa, Owa, Default, SoundApproximation, NoGuarantee),
+        (FullRa, Owa, Exhaustive, WorldsGroundTruth, Complete),
+        (
+            FullRa,
+            Owa,
+            DefaultNoSymbolic,
+            SoundApproximation,
+            NoGuarantee,
+        ),
+    ];
+
+    let db = relmodel::builder::orders_and_payments_example();
+    for &(class, semantics, mode, strategy, guarantee) in matrix {
+        let q = query_for(class);
+        let engine = Engine::new(&db).semantics(semantics).options(options(mode));
+        let context = format!("{class:?} × {semantics} × {mode:?}");
+        // The preview and the executed report must agree with the table —
+        // and with each other.
+        assert_eq!(
+            engine.select_strategy(&q, class),
+            (strategy, guarantee),
+            "select_strategy for {context}"
+        );
+        let report = engine.plan(&q).unwrap();
+        assert_eq!(report.strategy, strategy, "executed strategy for {context}");
+        assert_eq!(report.guarantee, guarantee, "guarantee for {context}");
+        assert_eq!(report.class, class, "classified class for {context}");
+        assert!(!report.stats.degraded, "no degradation expected: {context}");
+    }
+}
+
+#[test]
+fn forced_strategies_report_honest_guarantees_per_class() {
+    // plan_with computes the guarantee for the *actual* class, never the
+    // forced strategy's best case.
+    let db = relmodel::builder::orders_and_payments_example();
+    let engine = Engine::new(&db);
+    let full_ra = query_for(QueryClass::FullRa);
+    let cases = [
+        (StrategyKind::NaiveExact, Guarantee::NoGuarantee),
+        (StrategyKind::ThreeValuedBaseline, Guarantee::NoGuarantee),
+        (StrategyKind::SoundApproximation, Guarantee::Sound),
+        (StrategyKind::SymbolicCTable, Guarantee::Exact),
+        (StrategyKind::WorldsGroundTruth, Guarantee::Exact),
+    ];
+    for (strategy, guarantee) in cases {
+        let report = engine.plan_with(strategy, &full_ra).unwrap();
+        assert_eq!(report.strategy, strategy);
+        assert_eq!(report.guarantee, guarantee, "forced {strategy}");
+    }
+}

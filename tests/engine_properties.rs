@@ -140,8 +140,10 @@ fn exhaustive_engine_matches_ground_truth_for_every_class() {
     }
 }
 
-/// With default options the engine claims `Exact` precisely when the paper's
-/// theorem applies, and every weaker claim it makes instead is honoured.
+/// With default options the engine claims `Exact` precisely when a theorem
+/// backs it — naïve evaluation on its fragment, or the symbolic c-table
+/// strategy under CWA (strong representation + a complete certainty
+/// solver) — and every weaker claim it makes instead is honoured.
 #[test]
 fn default_engine_guarantees_are_never_violated() {
     for class in ALL_CLASSES {
@@ -150,10 +152,17 @@ fn default_engine_guarantees_are_never_violated() {
             let q = query_for(class, seed * 13 + 7);
             for semantics in [Semantics::Owa, Semantics::Cwa] {
                 let report = Engine::new(&db).semantics(semantics).plan(&q).unwrap();
+                // NB: this equivalence presumes what the generators deliver:
+                // no null-bearing `Values` literals (symbolic eligible) and
+                // databases small enough that a punt-fallback stays within
+                // the world budget. Outside those bounds the engine degrades
+                // to a weaker (still honoured) guarantee.
+                let theorem_backed =
+                    class.naive_evaluation_sound(semantics) || semantics == Semantics::Cwa;
                 assert_eq!(
                     report.guarantee == Guarantee::Exact,
-                    class.naive_evaluation_sound(semantics),
-                    "Exact must coincide with the theorem for {q} under {semantics}"
+                    theorem_backed,
+                    "Exact must coincide with a theorem for {q} under {semantics}"
                 );
                 let t = truth(&db, semantics, &q);
                 assert_guarantee_holds(
@@ -175,6 +184,7 @@ fn forced_strategies_honour_their_guarantees() {
         StrategyKind::WorldsGroundTruth,
         StrategyKind::ThreeValuedBaseline,
         StrategyKind::SoundApproximation,
+        StrategyKind::SymbolicCTable,
     ];
     for class in ALL_CLASSES {
         for seed in 0..CASES / 2 {
@@ -210,7 +220,13 @@ fn degraded_reports_stay_honest() {
             continue;
         }
         let q = query_for(QueryClass::FullRa, seed * 31 + 17);
-        let starved = Engine::new(&db).options(EngineOptions::exhaustive().with_max_worlds(1));
+        // Symbolic would answer these exactly without any worlds; disable it
+        // to exercise the budget-degradation path it normally shadows.
+        let starved = Engine::new(&db).options(
+            EngineOptions::exhaustive()
+                .with_max_worlds(1)
+                .without_symbolic(),
+        );
         let report = starved.plan(&q).unwrap();
         assert!(
             report.stats.degraded,
