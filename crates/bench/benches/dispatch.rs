@@ -3,10 +3,16 @@
 //! The front-door redesign routes every evaluation through
 //! `Engine::plan` — classify, select a strategy, execute, build a
 //! guarantee-carrying report. This bench measures what that dispatch costs
-//! relative to calling the naïve evaluator directly on the paper's
-//! orders/payments workload. Target: **< 5 % median overhead** at realistic
-//! sizes (the absolute cost is a few typecheck/classify traversals of a
-//! five-node expression plus report assembly, independent of data size).
+//! relative to calling the engine-internal primitive directly — since the
+//! physical-plan refactor that primitive is plan-then-execute
+//! (`PlannedQuery::new` + `exec::execute`), the exact work `Engine::plan`
+//! wraps. Target: **< 5 % median overhead** at realistic sizes (the
+//! absolute cost is a classify traversal plus report assembly, independent
+//! of data size).
+//!
+//! A third row keeps the seed's logical interpreter (`eval_naive`, which
+//! loops over `σ(A×B)`) as a reference: the gap between it and the plan
+//! rows is the hash-join fusion win `benches/join.rs` measures in depth.
 
 use std::time::Duration;
 
@@ -14,6 +20,8 @@ use bench::harness::{fmt_duration, measure, Measurement};
 use datagen::{orders_database, OrdersConfig};
 use engine::Engine;
 use qparser::parse;
+use relalgebra::plan::PlannedQuery;
+use releval::exec;
 use releval::naive::eval_naive;
 
 fn overhead_percent(direct: &Measurement, engine: &Measurement) -> f64 {
@@ -35,8 +43,8 @@ fn main() {
 
     println!("## engine_dispatch_overhead");
     println!(
-        "{:<10}  {:>12}  {:>12}  {:>9}",
-        "orders", "direct", "engine", "overhead"
+        "{:<10}  {:>12}  {:>12}  {:>12}  {:>9}",
+        "orders", "interpreter", "direct", "engine", "overhead"
     );
     for &orders in sizes {
         let db = orders_database(&OrdersConfig {
@@ -45,28 +53,37 @@ fn main() {
             null_rate: 0.1,
             ..OrdersConfig::default()
         });
-        // Direct path: the pre-redesign call sequence (typecheck + evaluate +
-        // keep the complete part). `eval_naive` is the engine-internal
-        // primitive the comparison is *about*, so it is called directly here.
-        let direct = measure(format!("direct/{orders}"), budget, || {
+        // The seed's evaluation path: the logical tree-walking interpreter,
+        // kept as the reference semantics (and as the "before" of the hash
+        // join fusion).
+        let interpreter = measure(format!("interpreter/{orders}"), budget, || {
             eval_naive(&q, &db)
                 .expect("evaluation succeeds")
                 .complete_part()
+        });
+        // Direct path: the engine-internal primitive — typecheck/lower once
+        // per call, execute the physical plan, keep the complete part. This
+        // is exactly the work `Engine::plan` wraps, minus dispatch/report.
+        let direct = measure(format!("direct/{orders}"), budget, || {
+            let plan = PlannedQuery::new(q.clone(), db.schema()).expect("query typechecks");
+            exec::execute(plan.physical(), &db).complete_part()
         });
         let engine = Engine::new(&db);
         let dispatched = measure(format!("engine/{orders}"), budget, || {
             engine.plan(&q).expect("evaluation succeeds")
         });
         println!(
-            "{:<10}  {:>12}  {:>12}  {:>8.2}%",
+            "{:<10}  {:>12}  {:>12}  {:>12}  {:>8.2}%",
             orders,
+            fmt_duration(interpreter.median),
             fmt_duration(direct.median),
             fmt_duration(dispatched.median),
             overhead_percent(&direct, &dispatched)
         );
         println!(
-            "BENCH {{\"bench\":\"dispatch\",\"orders\":{orders},\"direct_ns\":{},\
-             \"engine_ns\":{},\"overhead_pct\":{:.2}}}",
+            "BENCH {{\"bench\":\"dispatch\",\"orders\":{orders},\"interpreter_ns\":{},\
+             \"direct_ns\":{},\"engine_ns\":{},\"overhead_pct\":{:.2}}}",
+            interpreter.median.as_nanos(),
             direct.median.as_nanos(),
             dispatched.median.as_nanos(),
             overhead_percent(&direct, &dispatched)

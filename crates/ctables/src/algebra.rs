@@ -187,8 +187,10 @@ fn eval_unchecked(expr: &RaExpr, cdb: &ConditionalDatabase) -> ConditionalTable 
 }
 
 /// Converts a selection predicate, applied to a concrete (possibly
-/// null-carrying) tuple, into a condition on nulls.
-fn predicate_condition(p: &Predicate, tuple: &Tuple) -> Condition {
+/// null-carrying) tuple, into a condition on nulls. Shared with the
+/// physical-plan c-table executor (`releval::exec`), which evaluates the
+/// same algebra over hash-joined row streams.
+pub fn predicate_condition(p: &Predicate, tuple: &Tuple) -> Condition {
     let resolve = |o: &Operand| -> Value {
         match o {
             Operand::Column(i) => tuple[*i].clone(),

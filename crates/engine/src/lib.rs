@@ -77,8 +77,9 @@ use relalgebra::ast::RaExpr;
 use relalgebra::classify::{has_incomplete_values, QueryClass};
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
-use releval::approx::eval_approx_unchecked;
-use releval::strategy::{NaiveEvaluation, Strategy, ThreeValuedEvaluation};
+use releval::exec::approx::execute_approx_counted;
+use releval::exec::{execute_counted, OpStats};
+use releval::strategy::{Strategy, ThreeValuedEvaluation};
 use releval::symbolic::{symbolic_certain_answer, PuntReason, SymbolicOutcome};
 use releval::worlds::{estimated_world_count, stream_certain_answer};
 use releval::EvalError;
@@ -134,6 +135,12 @@ pub struct Engine<'db> {
     db: &'db Database,
     semantics: Semantics,
     options: EngineOptions,
+    /// Distinct nulls in `db`, counted once at construction: the budget
+    /// checks and report stats need it per query, and re-scanning the
+    /// database per call would dominate dispatch cost on large instances
+    /// (the engine borrows the database immutably, so the count cannot go
+    /// stale).
+    nulls: usize,
 }
 
 impl<'db> Engine<'db> {
@@ -144,6 +151,7 @@ impl<'db> Engine<'db> {
             db,
             semantics: Semantics::Cwa,
             options: EngineOptions::default(),
+            nulls: db.null_ids().len(),
         }
     }
 
@@ -303,7 +311,7 @@ impl<'db> Engine<'db> {
             };
         }
         let estimate = estimated_world_count(query, self.db, &self.options.world_options);
-        let within_budget = self.db.null_ids().len() <= self.options.max_nulls
+        let within_budget = self.nulls <= self.options.max_nulls
             && estimate <= self.options.world_options.max_worlds;
         if within_budget {
             Decision {
@@ -340,6 +348,8 @@ impl<'db> Engine<'db> {
         let mut world_exec: Option<(u128, bool, usize, usize)> = None;
         // (condition atoms, solver calls, simplification wins)
         let mut symbolic_exec: Option<(usize, usize, usize)> = None;
+        // Physical-operator telemetry from whichever executor ran.
+        let mut physical_ops: Option<OpStats> = None;
         let (answers, object_answer) = match decision.strategy {
             StrategyKind::SymbolicCTable => {
                 match symbolic_certain_answer(&plan, self.db, &self.options.symbolic_options) {
@@ -349,6 +359,7 @@ impl<'db> Engine<'db> {
                             exec.solver_calls,
                             exec.simplification_wins,
                         ));
+                        physical_ops = Some(exec.op_stats);
                         (exec.answers, None)
                     }
                     SymbolicOutcome::Punted(reason) => {
@@ -372,7 +383,8 @@ impl<'db> Engine<'db> {
                 }
             }
             StrategyKind::NaiveExact => {
-                let object = NaiveEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
+                let (object, ops) = execute_counted(plan.physical(), self.db);
+                physical_ops = Some(ops);
                 (object.complete_part(), Some(object))
             }
             StrategyKind::ThreeValuedBaseline => {
@@ -395,6 +407,7 @@ impl<'db> Engine<'db> {
                     exec.threads,
                     exec.peak_worlds_in_flight,
                 ));
+                physical_ops = Some(exec.op_stats);
                 (exec.answers, None)
             }
             StrategyKind::SoundApproximation => {
@@ -402,11 +415,13 @@ impl<'db> Engine<'db> {
                     // Naïve evaluation computes the CWA certain answer for
                     // RA_cwa (Section 6.2), which contains the OWA one: a
                     // provable over-approximation, reported as `complete`.
-                    let naive = NaiveEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
+                    let (naive, ops) = execute_counted(plan.physical(), self.db);
+                    physical_ops = Some(ops);
                     (naive.complete_part(), Some(naive))
                 } else {
                     // Pair evaluation: the certain⁺ under-approximation.
-                    let approx = eval_approx_unchecked(plan.expr(), self.db);
+                    let (approx, ops) = execute_approx_counted(plan.physical(), self.db);
+                    physical_ops = Some(ops);
                     (approx.certain.complete_part(), Some(approx.certain))
                 }
             }
@@ -423,7 +438,7 @@ impl<'db> Engine<'db> {
                 plan_time,
                 execute_time,
                 total_time: started.elapsed(),
-                nulls: self.db.null_ids().len(),
+                nulls: self.nulls,
                 estimated_worlds: decision.estimated_worlds,
                 worlds_enumerated: world_exec.map(|e| e.0),
                 degraded: decision.degraded,
@@ -434,6 +449,8 @@ impl<'db> Engine<'db> {
                 solver_calls: symbolic_exec.map(|e| e.1),
                 simplification_wins: symbolic_exec.map(|e| e.2),
                 symbolic_fallback: decision.symbolic_fallback,
+                plan_text: plan.physical().explain(),
+                physical_ops,
             },
         })
     }

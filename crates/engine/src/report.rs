@@ -5,6 +5,7 @@ use std::fmt;
 use std::time::Duration;
 
 use relalgebra::classify::QueryClass;
+use releval::exec::OpStats;
 use releval::symbolic::PuntReason;
 use relmodel::{Relation, Semantics};
 
@@ -191,6 +192,15 @@ pub struct EngineStats {
     /// eligible but punted (or was ruled out at planning time): the explicit
     /// fallback trail. `None` when symbolic answered or was never in play.
     pub symbolic_fallback: Option<PuntReason>,
+    /// The `EXPLAIN` rendering of the physical plan the strategies execute —
+    /// join fusion, pushdowns and all. Filled for every planned query.
+    pub plan_text: String,
+    /// Physical-operator telemetry (operators run, hash joins, build/probe
+    /// rows, symbolic fallback pairs), when a physical-executing strategy
+    /// ran. For the worlds strategy this aggregates across every per-world
+    /// execution; `None` for the 3VL baseline, which keeps its own
+    /// deliberately naïve interpreter.
+    pub physical_ops: Option<OpStats>,
 }
 
 /// The engine's answer to a query: the tuples, the strategy that produced

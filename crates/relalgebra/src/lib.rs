@@ -19,7 +19,11 @@
 //!   used for positive diagrams and the `Pos∀G` fragment;
 //! * [`diagram`] — the logical-theory view of an incomplete database
 //!   (Section 4 of the paper): `δ_D` under OWA (`∃x̄ PosDiag(D)`) and under
-//!   CWA (the diagram plus domain-closure guards).
+//!   CWA (the diagram plus domain-closure guards);
+//! * [`physical`] — physical query plans: join fusion (`σ(A×B)` → hash
+//!   equi-join), selection/projection pushdown, and the `EXPLAIN` rendering;
+//!   [`plan::PlannedQuery`] lowers once and every evaluator executes the
+//!   same plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod classify;
 pub mod cq;
 pub mod diagram;
 pub mod fo;
+pub mod physical;
 pub mod plan;
 pub mod predicate;
 pub mod typecheck;
@@ -41,6 +46,7 @@ pub mod prelude {
     pub use crate::cq::{Atom, ConjunctiveQuery, Term};
     pub use crate::diagram::{cwa_theory, positive_diagram};
     pub use crate::fo::Formula;
+    pub use crate::physical::{PhysNode, PhysOp, PhysicalPlan};
     pub use crate::plan::PlannedQuery;
     pub use crate::predicate::{Operand, Predicate};
     pub use crate::typecheck::output_arity;

@@ -1,11 +1,13 @@
 //! Pre-typechecked, pre-classified query plans.
 //!
-//! A [`PlannedQuery`] bundles a relational algebra expression with the two
-//! facts every evaluator needs and that are wasteful to recompute per
-//! evaluator: its output arity against a fixed schema (the type check) and
-//! its syntactic [`QueryClass`]. The evaluation engine typechecks **once**
-//! when the plan is built; downstream strategies trust the plan and skip the
-//! checker.
+//! A [`PlannedQuery`] bundles a relational algebra expression with the facts
+//! every evaluator needs and that are wasteful to recompute per evaluator:
+//! its output arity against a fixed schema (the type check), its syntactic
+//! [`QueryClass`], and the rewritten [`PhysicalPlan`] the executors run. The
+//! evaluation engine typechecks and lowers **once** when the plan is built;
+//! downstream strategies trust the plan, skip the checker, and share the
+//! physical plan — the worlds strategy in particular lowers once and
+//! executes the same physical plan in every possible world.
 
 use std::fmt;
 
@@ -13,28 +15,36 @@ use relmodel::Schema;
 
 use crate::ast::RaExpr;
 use crate::classify::{classify, QueryClass};
+use crate::physical::PhysicalPlan;
 use crate::typecheck::{output_arity, TypeError};
 
 /// A typechecked and classified query, bound to the schema it was checked
-/// against.
+/// against, carrying its lowered physical plan.
 ///
 /// Construction is the only place arity errors can surface; every accessor is
 /// infallible afterwards. The expression is immutable once planned, so the
-/// recorded arity and class cannot go stale.
+/// recorded arity, class, and physical plan cannot go stale.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlannedQuery {
     expr: RaExpr,
     arity: usize,
     class: QueryClass,
+    physical: PhysicalPlan,
 }
 
 impl PlannedQuery {
-    /// Typechecks `expr` against `schema` and classifies it into the smallest
-    /// fragment of the paper's taxonomy.
+    /// Typechecks `expr` against `schema`, classifies it into the smallest
+    /// fragment of the paper's taxonomy, and lowers it to a physical plan.
     pub fn new(expr: RaExpr, schema: &Schema) -> Result<Self, TypeError> {
         let arity = output_arity(&expr, schema)?;
         let class = classify(&expr);
-        Ok(PlannedQuery { expr, arity, class })
+        let physical = PhysicalPlan::lower_unchecked(&expr, schema);
+        Ok(PlannedQuery {
+            expr,
+            arity,
+            class,
+            physical,
+        })
     }
 
     /// The planned expression.
@@ -50,6 +60,12 @@ impl PlannedQuery {
     /// The syntactic query class (positive / `RA_cwa` / full RA).
     pub fn class(&self) -> QueryClass {
         self.class
+    }
+
+    /// The rewritten physical plan — lowered once at construction, shared by
+    /// every strategy that executes this query.
+    pub fn physical(&self) -> &PhysicalPlan {
+        &self.physical
     }
 
     /// Consumes the plan, returning the underlying expression.
@@ -84,6 +100,8 @@ mod tests {
         assert_eq!(plan.arity(), 1);
         assert_eq!(plan.class(), QueryClass::Positive);
         assert_eq!(plan.expr(), &q);
+        assert_eq!(plan.physical().arity(), 1);
+        assert!(plan.physical().operator_count() >= 2);
         assert_eq!(plan.clone().into_expr(), q);
 
         let div =

@@ -229,24 +229,88 @@ impl Predicate {
     /// written against one operand of a product must apply to the
     /// concatenated tuple.
     pub fn shift_columns(&self, offset: usize) -> Predicate {
-        let shift_op = |o: &Operand| match o {
-            Operand::Column(i) => Operand::Column(i + offset),
+        self.map_columns(&|i| i + offset)
+    }
+
+    /// Rewrites every column reference through `f`; the physical-plan
+    /// rewrites use this to move predicates across projections and products
+    /// (e.g. un-shifting a conjunct pushed to the right operand of a
+    /// product, or routing a predicate through a projection's column list).
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> Predicate {
+        let map_op = |o: &Operand| match o {
+            Operand::Column(i) => Operand::Column(f(*i)),
             c => c.clone(),
         };
         match self {
             Predicate::True => Predicate::True,
             Predicate::False => Predicate::False,
-            Predicate::Eq(a, b) => Predicate::Eq(shift_op(a), shift_op(b)),
-            Predicate::NotEq(a, b) => Predicate::NotEq(shift_op(a), shift_op(b)),
-            Predicate::And(a, b) => Predicate::And(
-                Box::new(a.shift_columns(offset)),
-                Box::new(b.shift_columns(offset)),
-            ),
-            Predicate::Or(a, b) => Predicate::Or(
-                Box::new(a.shift_columns(offset)),
-                Box::new(b.shift_columns(offset)),
-            ),
-            Predicate::Not(p) => Predicate::Not(Box::new(p.shift_columns(offset))),
+            Predicate::Eq(a, b) => Predicate::Eq(map_op(a), map_op(b)),
+            Predicate::NotEq(a, b) => Predicate::NotEq(map_op(a), map_op(b)),
+            Predicate::And(a, b) => {
+                Predicate::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            Predicate::Or(a, b) => {
+                Predicate::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.map_columns(f))),
+        }
+    }
+
+    /// All column indices mentioned anywhere in the predicate. The
+    /// physical-plan rewrites use this to decide which operand of a product
+    /// a conjunct can be pushed into.
+    pub fn columns(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<usize>) {
+        let op = |o: &Operand, out: &mut BTreeSet<usize>| {
+            if let Operand::Column(i) = o {
+                out.insert(*i);
+            }
+        };
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Eq(a, b) | Predicate::NotEq(a, b) => {
+                op(a, out);
+                op(b, out);
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Splits the predicate into its top-level conjuncts (flattening nested
+    /// `And`s); a predicate without `And` is a single conjunct. `True` has
+    /// no conjuncts. The inverse of folding with [`Predicate::and`].
+    pub fn conjuncts(&self) -> Vec<Predicate> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts(&self, out: &mut Vec<Predicate>) {
+        match self {
+            Predicate::True => {}
+            Predicate::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+
+    /// Folds conjuncts back into one predicate (empty list ⇒ `True`).
+    pub fn conjoin(conjuncts: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let mut iter = conjuncts.into_iter();
+        match iter.next() {
+            None => Predicate::True,
+            Some(first) => iter.fold(first, Predicate::and),
         }
     }
 }
@@ -367,5 +431,39 @@ mod tests {
     fn display() {
         let p = Predicate::eq(Operand::col(0), Operand::str("a")).or(Predicate::True.negate());
         assert_eq!(p.to_string(), "(#0 = a OR NOT (true))");
+    }
+
+    #[test]
+    fn columns_collects_every_reference() {
+        let p = Predicate::eq(Operand::col(0), Operand::col(3))
+            .and(Predicate::neq(Operand::col(1), Operand::int(5)).negate());
+        assert_eq!(p.columns().into_iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert!(Predicate::True.columns().is_empty());
+    }
+
+    #[test]
+    fn conjuncts_round_trip() {
+        let a = Predicate::eq(Operand::col(0), Operand::int(1));
+        let b = Predicate::neq(Operand::col(1), Operand::int(2));
+        let c = Predicate::eq(Operand::col(2), Operand::col(3)).or(Predicate::True);
+        let p = a.clone().and(b.clone()).and(c.clone());
+        assert_eq!(p.conjuncts(), vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(Predicate::conjoin(p.conjuncts()), p);
+        assert_eq!(Predicate::True.conjuncts(), Vec::<Predicate>::new());
+        assert_eq!(Predicate::conjoin(Vec::new()), Predicate::True);
+        // An `Or` is one conjunct, not two.
+        assert_eq!(c.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn map_columns_rewrites_through_a_projection() {
+        // σ over π[2,0]: predicate column i refers to projection output i,
+        // which reads input column cols[i].
+        let cols = [2usize, 0usize];
+        let p = Predicate::eq(Operand::col(0), Operand::col(1));
+        let pushed = p.map_columns(&|i| cols[i]);
+        assert_eq!(pushed.to_string(), "#2 = #0");
+        let t = Tuple::ints(&[7, 8, 7]);
+        assert!(pushed.eval_naive(&t));
     }
 }

@@ -11,6 +11,12 @@
 //! `Order minus Pay` therefore copies nothing until an operator actually has
 //! to materialise a new relation, and `π`/`×` materialisations reserve their
 //! output capacity up front.
+//!
+//! Since the physical-plan refactor this tree walk is the **logical
+//! reference semantics**: the strategies execute rewritten physical plans
+//! through [`crate::exec`] (hash joins instead of `σ(A×B)` loops), and the
+//! differential harness (`tests/physical_differential.rs`) holds the two
+//! equal on random workloads.
 
 use std::borrow::Cow;
 

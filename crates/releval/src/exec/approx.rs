@@ -1,0 +1,366 @@
+//! The certain⁺/possible? approximation pair on the physical operator core.
+//!
+//! Same semantics as the logical pair evaluator in [`crate::approx`] —
+//! every operator produces an under-approximating `certain` and an
+//! over-approximating `possible` relation — but run over the rewritten
+//! [`PhysicalPlan`], so equi-joins hash instead of looping:
+//!
+//! * the **certain** side of a hash join is the plain syntactic hash join
+//!   (marked-null three-valued logic calls an equality `True` exactly when
+//!   the two values are syntactically identical), with the residual checked
+//!   under [`Predicate::eval_3vl_marked`];
+//! * the **possible** side must keep every pair some valuation could join,
+//!   so null-bearing keys fall back to the [`SplitIndex`] symbolic
+//!   remainder; each candidate pair is re-checked against the full join
+//!   predicate (`≠ False`), making the hash path a pure skip-non-matches
+//!   optimisation.
+
+use relalgebra::physical::{PhysNode, PhysOp, PhysicalPlan};
+use relmodel::value::Truth;
+use relmodel::{Database, Relation, Tuple};
+
+use super::{join_predicate, syntactic_hash_join, OpStats, SplitIndex};
+use crate::approx::{unifiable, ApproxAnswer};
+
+/// Pair-evaluates a physical plan: the physical counterpart of
+/// [`crate::approx::eval_approx_unchecked`].
+pub fn execute_approx(plan: &PhysicalPlan, db: &Database) -> ApproxAnswer {
+    execute_approx_counted(plan, db).0
+}
+
+/// [`execute_approx`] plus the operator telemetry.
+pub fn execute_approx_counted(plan: &PhysicalPlan, db: &Database) -> (ApproxAnswer, OpStats) {
+    let mut exec = ApproxExec {
+        db,
+        delta: None,
+        stats: OpStats::default(),
+    };
+    let answer = exec.eval(plan.root());
+    (answer, exec.stats)
+}
+
+struct ApproxExec<'a> {
+    db: &'a Database,
+    delta: Option<Relation>,
+    stats: OpStats,
+}
+
+impl ApproxExec<'_> {
+    fn eval(&mut self, node: &PhysNode) -> ApproxAnswer {
+        self.stats.operators += 1;
+        match node.op() {
+            PhysOp::Scan(name) => {
+                let rel = self
+                    .db
+                    .relation(name)
+                    .expect("physical plans are lowered from typechecked queries");
+                ApproxAnswer {
+                    certain: rel.clone(),
+                    possible: rel.clone(),
+                }
+            }
+            // Literal nulls are rigid: only complete literal tuples are
+            // certain (see the logical evaluator for the counterexample).
+            PhysOp::Values(rel) => ApproxAnswer {
+                certain: rel.complete_part(),
+                possible: rel.clone(),
+            },
+            PhysOp::Delta => {
+                let d = self.delta().clone();
+                ApproxAnswer {
+                    certain: d.clone(),
+                    possible: d,
+                }
+            }
+            PhysOp::Filter { input, predicate } => {
+                let input = self.eval(input);
+                let mut certain = Relation::new(input.certain.arity());
+                for t in input.certain.iter() {
+                    if predicate.eval_3vl_marked(t).is_true() {
+                        certain.insert(t.clone());
+                    }
+                }
+                let mut possible = Relation::new(input.possible.arity());
+                for t in input.possible.iter() {
+                    if predicate.eval_3vl_marked(t) != Truth::False {
+                        possible.insert(t.clone());
+                    }
+                }
+                ApproxAnswer { certain, possible }
+            }
+            PhysOp::Project { input, columns } => {
+                let input = self.eval(input);
+                ApproxAnswer {
+                    certain: project(&input.certain, columns),
+                    possible: project(&input.possible, columns),
+                }
+            }
+            PhysOp::NestedProduct { left, right } => {
+                let left = self.eval(left);
+                let right = self.eval(right);
+                ApproxAnswer {
+                    certain: product(&left.certain, &right.certain),
+                    possible: product(&left.possible, &right.possible),
+                }
+            }
+            PhysOp::HashJoin {
+                left,
+                right,
+                keys,
+                residual,
+            } => {
+                let left_arity = left.arity();
+                let l = self.eval(left);
+                let r = self.eval(right);
+                // Certain side: syntactic keys are exactly marked-3VL `True`
+                // equalities, so the shared hash kernel applies verbatim.
+                let left_refs: Vec<&Tuple> = l.certain.iter().collect();
+                let right_refs: Vec<&Tuple> = r.certain.iter().collect();
+                let certain_rows = syntactic_hash_join(
+                    &left_refs,
+                    &right_refs,
+                    keys,
+                    |row| {
+                        residual
+                            .as_ref()
+                            .is_none_or(|p| p.eval_3vl_marked(row).is_true())
+                    },
+                    &mut self.stats,
+                );
+                let certain = Relation::from_tuples(node.arity(), certain_rows);
+                // Possible side: a null key may match anything, so probe the
+                // split index and re-check the full predicate (≠ False).
+                let full = join_predicate(keys, left_arity, residual);
+                let left_cols: Vec<usize> = keys.iter().map(|(lc, _)| *lc).collect();
+                let right_cols: Vec<usize> = keys.iter().map(|(_, rc)| *rc).collect();
+                let index = SplitIndex::build(r.possible.iter(), &right_cols, |t| t);
+                let mut possible = Relation::new(node.arity());
+                for lt in l.possible.iter() {
+                    let candidates = index.candidates(lt, &left_cols);
+                    if lt.key_is_complete(&left_cols) {
+                        self.stats.fallback_pairs += index.symbolic_len();
+                    } else {
+                        self.stats.fallback_pairs += candidates.len();
+                    }
+                    for rt in candidates {
+                        let row = lt.concat(rt);
+                        if full.eval_3vl_marked(&row) != Truth::False {
+                            possible.insert(row);
+                        }
+                    }
+                }
+                ApproxAnswer { certain, possible }
+            }
+            PhysOp::Union { left, right } => {
+                let left = self.eval(left);
+                let right = self.eval(right);
+                ApproxAnswer {
+                    certain: left.certain.union(&right.certain),
+                    possible: left.possible.union(&right.possible),
+                }
+            }
+            PhysOp::Intersect { left, right } => {
+                let left = self.eval(left);
+                let right = self.eval(right);
+                let certain = left.certain.intersection(&right.certain);
+                // Possibly in both: some valuation unifies t with a tuple
+                // possibly on the right. Complete tuples probe the hash
+                // bucket; null-bearing candidates go through `unifiable`.
+                let arity = node.arity();
+                let cols: Vec<usize> = (0..arity).collect();
+                let index = SplitIndex::build(right.possible.iter(), &cols, |t| t);
+                let mut possible = Relation::new(arity);
+                for t in left.possible.iter() {
+                    if index
+                        .candidates(t, &cols)
+                        .into_iter()
+                        .any(|s| unifiable(t, s))
+                    {
+                        possible.insert(t.clone());
+                    }
+                }
+                ApproxAnswer { certain, possible }
+            }
+            PhysOp::Difference { left, right } => {
+                let left = self.eval(left);
+                let right = self.eval(right);
+                let arity = node.arity();
+                let cols: Vec<usize> = (0..arity).collect();
+                // Certainly in A and not even possibly equal to anything
+                // possibly in B.
+                let index = SplitIndex::build(right.possible.iter(), &cols, |t| t);
+                let mut certain = Relation::new(arity);
+                for t in left.certain.iter() {
+                    if !index
+                        .candidates(t, &cols)
+                        .into_iter()
+                        .any(|s| unifiable(t, s))
+                    {
+                        certain.insert(t.clone());
+                    }
+                }
+                // Possibly in A and not certainly in B.
+                let mut possible = Relation::new(arity);
+                for t in left.possible.iter() {
+                    if !right.certain.contains(t) {
+                        possible.insert(t.clone());
+                    }
+                }
+                ApproxAnswer { certain, possible }
+            }
+            PhysOp::Divide { left, right } => {
+                let dividend = self.eval(left);
+                let divisor = self.eval(right);
+                let prefix_arity = node.arity();
+                let prefix_cols: Vec<usize> = (0..prefix_arity).collect();
+                let mut certain = Relation::new(prefix_arity);
+                for t in dividend.certain.iter() {
+                    let prefix = t.project(&prefix_cols);
+                    if divisor
+                        .possible
+                        .iter()
+                        .all(|s| dividend.certain.contains(&prefix.concat(s)))
+                    {
+                        certain.insert(prefix);
+                    }
+                }
+                ApproxAnswer {
+                    certain,
+                    possible: project(&dividend.possible, &prefix_cols),
+                }
+            }
+        }
+    }
+
+    fn delta(&mut self) -> &Relation {
+        if self.delta.is_none() {
+            self.delta = Some(Relation::from_tuples(2, super::delta_diagonal(self.db)));
+        }
+        self.delta.as_ref().expect("just initialised")
+    }
+}
+
+fn project(rel: &Relation, cols: &[usize]) -> Relation {
+    Relation::from_tuples(cols.len(), rel.iter().map(|t| t.project(cols)))
+}
+
+fn product(a: &Relation, b: &Relation) -> Relation {
+    let mut out = Vec::with_capacity(a.len().saturating_mul(b.len()));
+    for l in a.iter() {
+        for r in b.iter() {
+            out.push(l.concat(r));
+        }
+    }
+    Relation::from_tuples(a.arity() + b.arity(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::eval_approx_unchecked;
+    use relalgebra::ast::RaExpr;
+    use relalgebra::plan::PlannedQuery;
+    use relalgebra::predicate::{Operand, Predicate};
+    use relmodel::{DatabaseBuilder, Value};
+
+    fn db() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b", "c"])
+            .relation("U", &["b"])
+            .ints("R", &[1, 10])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .tuple("R", vec![Value::null(1), Value::int(10)])
+            .ints("S", &[10, 100])
+            .tuple("S", vec![Value::null(0), Value::int(200)])
+            .ints("U", &[10])
+            .tuple("U", vec![Value::null(2)])
+            .build()
+    }
+
+    fn assert_matches_logical(expr: &RaExpr) {
+        let d = db();
+        let plan = PlannedQuery::new(expr.clone(), d.schema()).unwrap();
+        let physical = execute_approx(plan.physical(), &d);
+        let logical = eval_approx_unchecked(expr, &d);
+        assert_eq!(
+            physical.certain, logical.certain,
+            "certain side diverged for {expr}"
+        );
+        assert_eq!(
+            physical.possible, logical.possible,
+            "possible side diverged for {expr}"
+        );
+    }
+
+    #[test]
+    fn joins_with_null_keys_keep_the_possible_side_complete() {
+        // R(2,⊥0) can join S(10,100) and S(⊥0,200) in some valuation; the
+        // possible side must keep those pairs even though the hash key ⊥0
+        // matches nothing syntactically except itself.
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)));
+        let d = db();
+        let plan = PlannedQuery::new(q.clone(), d.schema()).unwrap();
+        let (answer, stats) = execute_approx_counted(plan.physical(), &d);
+        assert!(stats.hash_joins >= 1, "certain side must hash");
+        assert!(
+            stats.fallback_pairs > 0,
+            "null keys go through the fallback"
+        );
+        assert!(answer.possible.len() > answer.certain.len());
+        assert_matches_logical(&q);
+    }
+
+    #[test]
+    fn every_operator_matches_the_logical_pair_evaluator() {
+        let r = RaExpr::relation("R");
+        let join = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)));
+        let cases = vec![
+            r.clone(),
+            r.clone().project(vec![0]),
+            r.clone()
+                .select(Predicate::neq(Operand::col(0), Operand::int(1))),
+            join.clone(),
+            join.project(vec![0, 3]),
+            r.clone().project(vec![1]).union(RaExpr::relation("U")),
+            r.clone().project(vec![1]).difference(RaExpr::relation("U")),
+            r.clone()
+                .project(vec![1])
+                .intersection(RaExpr::relation("U")),
+            r.clone().divide(RaExpr::relation("U")),
+            RaExpr::Delta.union(RaExpr::Delta),
+            RaExpr::values(Relation::from_tuples(
+                2,
+                vec![Tuple::new(vec![Value::null(0), Value::int(7)])],
+            ))
+            .union(r.clone()),
+            r.clone()
+                .difference(RaExpr::relation("S"))
+                .select(Predicate::eq(Operand::col(0), Operand::int(2))),
+        ];
+        for q in cases {
+            assert_matches_logical(&q);
+        }
+    }
+
+    #[test]
+    fn fixes_the_naive_difference_failure_like_the_logical_evaluator() {
+        let d = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("S", vec![Value::int(1), Value::null(1)])
+            .build();
+        let q = RaExpr::relation("R")
+            .difference(RaExpr::relation("S"))
+            .project(vec![0]);
+        let plan = PlannedQuery::new(q, d.schema()).unwrap();
+        let out = execute_approx(plan.physical(), &d);
+        assert!(out.certain.is_empty());
+        assert!(out.possible.contains(&Tuple::ints(&[1])));
+    }
+}

@@ -19,8 +19,14 @@
 //!   number of nulls; used to validate the other evaluators and to exhibit the
 //!   complexity gap.
 //!
-//! Three additions support the dispatching engine built on top of this crate:
+//! Four additions support the dispatching engine built on top of this crate:
 //!
+//! * [`exec`] — the physical-plan executor: one hash-join operator core
+//!   (hash equi-join, hash set operators, hash-lookup division) that runs
+//!   plain tuples, the approximation pair, and condition-carrying c-table
+//!   rows over the same [`relalgebra::physical::PhysicalPlan`]. Every
+//!   strategy below executes through it; the worlds strategy lowers once
+//!   and runs the plan per world;
 //! * [`approx`] — certain⁺/possible? *pair evaluation* with marked-null
 //!   unification: a polynomial, CWA-sound approximation of certain answers
 //!   for **full** relational algebra, where naïve evaluation and 3VL are both
@@ -45,6 +51,7 @@ pub mod approx;
 pub mod complete;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod fo;
 pub mod naive;
 pub mod strategy;
@@ -56,6 +63,7 @@ pub mod worlds;
 pub mod prelude {
     pub use crate::complete::eval_complete;
     pub use crate::error::EvalError;
+    pub use crate::exec::{execute, OpStats};
     pub use crate::fo::{eval_sentence, satisfies};
     pub use crate::naive::{certain_answer_naive, eval_naive};
     pub use crate::strategy::{

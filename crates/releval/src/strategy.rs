@@ -19,7 +19,7 @@ use relmodel::{Database, Relation, Semantics};
 
 use crate::error::EvalError;
 use crate::worlds::WorldOptions;
-use crate::{engine, three_valued, worlds};
+use crate::{exec, three_valued, worlds};
 
 /// A query evaluator usable by a dispatching engine: evaluates pre-typechecked
 /// plans without re-running the type checker.
@@ -42,6 +42,7 @@ pub trait Strategy {
 
 /// Naïve evaluation — nulls treated as ordinary values, compared
 /// syntactically. Returns the *object-level* answer (nulls included).
+/// Executes the plan's physical form: hash joins instead of `σ(A×B)` loops.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NaiveEvaluation;
 
@@ -56,7 +57,7 @@ impl Strategy for NaiveEvaluation {
         db: &Database,
         _semantics: Semantics,
     ) -> Result<Relation, EvalError> {
-        Ok(engine::eval_unchecked(plan.expr(), db).into_owned())
+        Ok(exec::execute(plan.physical(), db))
     }
 }
 
@@ -99,7 +100,7 @@ impl Strategy for CompleteEvaluation {
         if nulls > 0 {
             return Err(EvalError::IncompleteInput { nulls });
         }
-        Ok(engine::eval_unchecked(plan.expr(), db).into_owned())
+        Ok(exec::execute(plan.physical(), db))
     }
 }
 

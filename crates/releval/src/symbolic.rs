@@ -40,7 +40,6 @@
 
 use std::collections::BTreeSet;
 
-use ctables::algebra::eval_ctable_unchecked;
 use ctables::condition::solver::{CertaintySolver, SolverPunt};
 use ctables::condition::Condition;
 use ctables::ctable::ConditionalDatabase;
@@ -49,6 +48,8 @@ use relalgebra::plan::PlannedQuery;
 use relmodel::{Database, Relation, Semantics, Tuple};
 
 use crate::error::EvalError;
+use crate::exec::ctable::execute_ctable_counted;
+use crate::exec::OpStats;
 use crate::strategy::Strategy;
 
 /// Options governing the symbolic strategy — exactly the certainty solver's
@@ -105,6 +106,9 @@ pub struct SymbolicExecution {
     pub solver_calls: usize,
     /// Questions the structural simplifier settled without building a DNF.
     pub simplification_wins: usize,
+    /// Physical-operator telemetry from the c-table execution (the algebra
+    /// runs on the same hash-join operator core as every other strategy).
+    pub op_stats: OpStats,
 }
 
 /// The outcome of a symbolic evaluation: an answer, or an explicit punt.
@@ -129,7 +133,10 @@ pub fn symbolic_certain_answer(
         return SymbolicOutcome::Punted(PuntReason::NullValuesLiteral);
     }
     let cdb = ConditionalDatabase::from_database(db);
-    let answer = eval_ctable_unchecked(plan.expr(), &cdb);
+    // The c-table algebra re-expressed on the physical operator core: the
+    // same lowered plan every other strategy runs, with condition-carrying
+    // rows and hash equi-joins on ground keys.
+    let (answer, op_stats) = execute_ctable_counted(plan.physical(), &cdb);
     let mut solver = CertaintySolver::new(*opts);
 
     // Only null-free rows can name certain tuples: a valuation sending every
@@ -174,6 +181,7 @@ pub fn symbolic_certain_answer(
         candidates: candidate_count,
         solver_calls: stats.calls,
         simplification_wins: stats.simplification_wins,
+        op_stats,
     })
 }
 

@@ -25,18 +25,24 @@
 //! bounds the number of worlds **visited**: with early exit, queries whose
 //! a-priori world count dwarfs the budget can still finish (and finish
 //! correctly) if the intersection collapses early.
+//!
+//! Since the physical-plan refactor the fold **lowers the query once** and
+//! executes the shared [`PhysicalPlan`] in every world through
+//! [`crate::exec`]: no per-world re-typechecking, no per-world logical tree
+//! walk, hash joins instead of `σ(A×B)` loops, and the active-domain
+//! diagonal `Δ` computed once per world execution instead of once per `Δ`
+//! node evaluation.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use relalgebra::ast::RaExpr;
+use relalgebra::physical::PhysicalPlan;
 use relalgebra::plan::PlannedQuery;
-use relalgebra::typecheck::output_arity;
 use relmodel::semantics::{adequate_domain, WorldIter};
 use relmodel::{Database, Relation, Semantics};
 
-use crate::complete::eval_complete;
 use crate::error::EvalError;
+use crate::exec::{self, OpStats};
 
 /// Options controlling possible-world enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,20 +220,25 @@ pub struct WorldExecution {
     /// Upper bound on worlds concurrently materialized: one per worker, plus
     /// one OWA extension per worker when worlds may grow.
     pub peak_worlds_in_flight: usize,
+    /// Physical-operator telemetry aggregated across every per-world
+    /// execution and worker shard.
+    pub op_stats: OpStats,
 }
 
 /// Per-worker fold state collected at the join.
 struct ShardResult {
     acc: Option<Relation>,
     early_exit: bool,
+    op_stats: OpStats,
 }
 
-/// Shared cross-worker signals.
+/// Shared cross-worker signals. There is no error channel: physical
+/// execution of a typechecked plan over complete worlds is infallible, so
+/// the only ways a fold ends are completion, early exit, and the budget.
 struct SharedState {
     stop: AtomicBool,
     budget_hit: AtomicBool,
     visited: AtomicU64,
-    error: Mutex<Option<EvalError>>,
 }
 
 /// How many valuations a workload must have before the *auto* thread choice
@@ -250,10 +261,12 @@ fn resolve_threads(opts: &WorldOptions, valuations: u128) -> usize {
     auto.clamp(1, max_useful.max(1))
 }
 
-/// Everything a worker needs, shared read-only across the fleet.
+/// Everything a worker needs, shared read-only across the fleet. The
+/// physical plan is lowered **once** before the fleet starts; every worker
+/// executes the same plan in each of its worlds.
 #[derive(Clone, Copy)]
 struct ShardJob<'a> {
-    expr: &'a RaExpr,
+    plan: &'a PhysicalPlan,
     db: &'a Database,
     domain: &'a [relmodel::value::Constant],
     semantics: Semantics,
@@ -263,7 +276,7 @@ struct ShardJob<'a> {
 
 fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> ShardResult {
     let ShardJob {
-        expr,
+        plan,
         db,
         domain,
         semantics,
@@ -275,6 +288,7 @@ fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> Sh
         .valuation_range(range.0, range.1);
     let mut acc: Option<Relation> = None;
     let mut early_exit = false;
+    let mut op_stats = OpStats::default();
     for world in worlds {
         if shared.stop.load(Ordering::Relaxed) {
             break;
@@ -288,15 +302,7 @@ fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> Sh
             shared.stop.store(true, Ordering::Relaxed);
             break;
         }
-        let answer = match eval_complete(expr, &world) {
-            Ok(a) => a,
-            Err(e) => {
-                let mut slot = shared.error.lock().expect("error mutex");
-                slot.get_or_insert(e);
-                shared.stop.store(true, Ordering::Relaxed);
-                break;
-            }
-        };
+        let answer = exec::execute_into(plan, &world, &mut op_stats);
         let folded = match acc.take() {
             None => answer,
             Some(a) => a.intersection(&answer),
@@ -311,7 +317,11 @@ fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> Sh
             break;
         }
     }
-    ShardResult { acc, early_exit }
+    ShardResult {
+        acc,
+        early_exit,
+        op_stats,
+    }
 }
 
 /// The streaming, parallel, early-exiting certain answer for a
@@ -328,20 +338,22 @@ pub fn stream_certain_answer(
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<WorldExecution, EvalError> {
-    stream_certain_answer_inner(plan.expr(), plan.arity(), db, semantics, opts)
+    stream_certain_answer_inner(plan.expr(), plan.physical(), db, semantics, opts)
 }
 
-/// The fold itself, over an already-typechecked expression of known output
-/// arity (what [`PlannedQuery`] guarantees; [`certain_answer_worlds`] gets
-/// the same guarantee from the type checker alone, without paying for a
-/// plan's clone-and-classify).
+/// The fold itself, over an already-typechecked expression and its lowered
+/// physical plan (what [`PlannedQuery`] carries; [`certain_answer_worlds`]
+/// lowers once itself, without paying for a plan's clone-and-classify). The
+/// expression is only consulted for its constants when building the
+/// valuation domain; every world executes `physical`.
 fn stream_certain_answer_inner(
     expr: &RaExpr,
-    arity: usize,
+    physical: &PhysicalPlan,
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<WorldExecution, EvalError> {
+    let arity = physical.arity();
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
     let valuations = valuation_count(domain.len(), db.null_ids().len());
     let threads = resolve_threads(opts, valuations);
@@ -349,10 +361,9 @@ fn stream_certain_answer_inner(
         stop: AtomicBool::new(false),
         budget_hit: AtomicBool::new(false),
         visited: AtomicU64::new(0),
-        error: Mutex::new(None),
     };
     let job = ShardJob {
-        expr,
+        plan: physical,
         db,
         domain: &domain,
         semantics,
@@ -393,9 +404,6 @@ fn stream_certain_answer_inner(
         (results, workers)
     };
 
-    if let Some(e) = shared.error.lock().expect("error mutex").take() {
-        return Err(e);
-    }
     let early_exit = shard_results.iter().any(|r| r.early_exit);
     let visited = u128::from(shared.visited.load(Ordering::Relaxed));
     if !early_exit && shared.budget_hit.load(Ordering::Relaxed) {
@@ -403,6 +411,10 @@ fn stream_certain_answer_inner(
             worlds: visited,
             budget: opts.max_worlds,
         });
+    }
+    let mut op_stats = OpStats::default();
+    for shard in &shard_results {
+        op_stats.merge(&shard.op_stats);
     }
     let answers = if early_exit {
         Relation::new(arity)
@@ -428,6 +440,7 @@ fn stream_certain_answer_inner(
         early_exit,
         threads: workers,
         peak_worlds_in_flight: workers * (1 + usize::from(max_extra > 0)),
+        op_stats,
     })
 }
 
@@ -449,18 +462,20 @@ pub fn enumerate_worlds(
 
 /// The multiset `Q([[D]])` restricted to the enumerated worlds: the answer of
 /// the query in every possible (structurally distinct) world. Worlds are
-/// streamed; only the answers are collected.
+/// streamed; the query is lowered once and its physical plan executed per
+/// world; only the answers are collected.
 pub fn possible_answers(
     expr: &RaExpr,
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<Vec<Relation>, EvalError> {
+    let physical = PhysicalPlan::lower(expr, db.schema())?;
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
     check_apriori_budget(valuation_count(domain.len(), db.null_ids().len()), opts)?;
-    WorldIter::new(db, &domain, semantics, max_extra)
-        .map(|w| eval_complete(expr, &w))
-        .collect()
+    Ok(WorldIter::new(db, &domain, semantics, max_extra)
+        .map(|w| exec::execute(&physical, &w))
+        .collect())
 }
 
 /// The classical intersection-based certain answer, computed from possible
@@ -472,8 +487,8 @@ pub fn certain_answer_worlds(
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<Relation, EvalError> {
-    let arity = output_arity(expr, db.schema())?;
-    Ok(stream_certain_answer_inner(expr, arity, db, semantics, opts)?.answers)
+    let physical = PhysicalPlan::lower(expr, db.schema())?;
+    Ok(stream_certain_answer_inner(expr, &physical, db, semantics, opts)?.answers)
 }
 
 /// [`certain_answer_worlds`] for a pre-typechecked plan: skips the type
@@ -511,11 +526,11 @@ pub fn certain_boolean_worlds(
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<bool, EvalError> {
-    output_arity(expr, db.schema())?;
+    let physical = PhysicalPlan::lower(expr, db.schema())?;
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
     let worlds = WorldIter::new(db, &domain, semantics, max_extra).without_dedup();
     for world in budgeted(worlds, opts.max_worlds) {
-        if eval_complete(expr, &world?)?.is_empty() {
+        if exec::execute(&physical, &world?).is_empty() {
             return Ok(false); // fails in this world — certainly-true refuted
         }
     }
@@ -531,12 +546,12 @@ pub fn possible_answer_union(
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<Relation, EvalError> {
-    let arity = output_arity(expr, db.schema())?;
+    let physical = PhysicalPlan::lower(expr, db.schema())?;
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
-    let mut acc = Relation::new(arity);
+    let mut acc = Relation::new(physical.arity());
     let worlds = WorldIter::new(db, &domain, semantics, max_extra).without_dedup();
     for world in budgeted(worlds, opts.max_worlds) {
-        acc = acc.union(&eval_complete(expr, &world?)?);
+        acc = acc.union(&exec::execute(&physical, &world?));
     }
     Ok(acc)
 }
@@ -544,6 +559,7 @@ pub fn possible_answer_union(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complete::eval_complete;
     use relalgebra::predicate::{Operand, Predicate};
     use relmodel::builder::{difference_example, orders_and_payments_example};
     use relmodel::{DatabaseBuilder, Tuple, Value};

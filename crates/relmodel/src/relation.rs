@@ -27,21 +27,41 @@ impl Relation {
         }
     }
 
-    /// Creates a relation from tuples; panics if the tuples do not all have
-    /// the stated arity (a programming error in literals).
+    /// Creates a relation from tuples; panics (in debug and test builds) if
+    /// the tuples do not all have the stated arity — a programming error in
+    /// literals.
+    ///
+    /// This is the bulk-construction hot path of the physical operators
+    /// (every projection, product and join output lands here), so the
+    /// per-tuple arity check is a `debug_assert!`: exhaustive in debug and
+    /// test builds, reduced in release builds to a single check of the
+    /// **first input tuple**. A mixed-arity iterator whose first element
+    /// happens to match can therefore slip through in release — callers are
+    /// the evaluators, whose output arities the type checker already
+    /// proved, and the debug/test suites run the exhaustive check.
     pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
         // Collecting through `FromIterator` lets the standard library take its
         // sort-and-bulk-build path for `BTreeSet`, which is markedly faster
         // than tuple-at-a-time insertion for large intermediate results.
+        let mut first_checked = false;
         let tuples: BTreeSet<Tuple> = tuples
             .into_iter()
             .inspect(|t| {
-                assert_eq!(
+                debug_assert_eq!(
                     t.arity(),
                     arity,
                     "tuple {t} has arity {}, relation expects {arity}",
                     t.arity()
-                )
+                );
+                if !first_checked {
+                    first_checked = true;
+                    assert_eq!(
+                        t.arity(),
+                        arity,
+                        "tuple {t} has arity {}, relation expects {arity}",
+                        t.arity()
+                    );
+                }
             })
             .collect();
         Relation { arity, tuples }

@@ -92,6 +92,23 @@ impl Tuple {
         Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
     }
 
+    /// Extracts the values at `positions` as a hashable key vector — the
+    /// build/probe key of the hash-join and hash-division operators.
+    /// Equality of keys is syntactic (`Value` equality), which is exactly
+    /// naïve evaluation's comparison; evaluators with other null semantics
+    /// pair this with [`Tuple::key_is_complete`] to route null-bearing keys
+    /// to their symbolic fallback.
+    pub fn key(&self, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&i| self.0[i].clone()).collect()
+    }
+
+    /// Is every value at `positions` a constant? Hash lookups on such keys
+    /// are exact under every null semantics; keys with nulls only admit
+    /// syntactic hashing.
+    pub fn key_is_complete(&self, positions: &[usize]) -> bool {
+        positions.iter().all(|&i| self.0[i].is_const())
+    }
+
     /// Concatenates two tuples (used by products and joins).
     pub fn concat(&self, other: &Tuple) -> Tuple {
         let mut values = self.0.clone();
@@ -178,6 +195,20 @@ mod tests {
         assert_eq!(t.project(&[]), Tuple::empty());
         let u = Tuple::ints(&[40]);
         assert_eq!(t.concat(&u), Tuple::ints(&[10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn key_extraction_for_hash_operators() {
+        let t = Tuple::new(vec![Value::int(1), Value::null(0), Value::str("x")]);
+        assert_eq!(t.key(&[2, 0]), vec![Value::str("x"), Value::int(1)]);
+        assert!(t.key_is_complete(&[0, 2]));
+        assert!(!t.key_is_complete(&[0, 1]));
+        assert!(t.key_is_complete(&[]));
+        // Keys are plain value vectors: equal keys hash and compare equal.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(t.key(&[0, 1]));
+        assert!(set.contains(&vec![Value::int(1), Value::null(0)]));
     }
 
     #[test]

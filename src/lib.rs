@@ -50,9 +50,12 @@
 //!
 //! - [`relmodel`]: relational model with marked (naïve) nulls and Codd tables
 //! - [`relalgebra`]: relational algebra, CQ/UCQ, `Pos∀G`/`RA_cwa`,
-//!   classification and typechecked plans
-//! - [`releval`]: the four evaluation strategies (complete / naïve / SQL 3VL /
-//!   possible worlds) behind a common [`releval::strategy::Strategy`] trait
+//!   classification, typechecked plans, and physical plans (join fusion,
+//!   pushdowns, `EXPLAIN`)
+//! - [`releval`]: the evaluation strategies (complete / naïve / SQL 3VL /
+//!   possible worlds / certain⁺ / symbolic c-tables) behind a common
+//!   [`releval::strategy::Strategy`] trait, executing one shared physical
+//!   operator core ([`releval::exec`])
 //! - [`engine`]: the classify-and-dispatch front door re-exported above
 //! - [`ctables`]: conditional tables and the Imielinski–Lipski algebra
 //! - [`certain_core`]: information orderings, homomorphisms,
