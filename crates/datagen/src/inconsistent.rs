@@ -1,0 +1,246 @@
+//! Random *inconsistent* databases: declared keys / FDs / denial
+//! constraints with a controllable violation rate — the CQA counterpart of
+//! [`crate::random`].
+//!
+//! The schema keeps the [`crate::random::random_schema`] vocabulary
+//! (`R(a, b)`, `S(a)`, `T(a, b)`) so the existing random query generators
+//! apply unchanged, and adds:
+//!
+//! * a primary key `R(a)` — violated by reusing an existing key with a
+//!   different payload;
+//! * a functional dependency `T: a → b` — violated the same way;
+//! * a unary denial constraint on `S` forbidding the sentinel value
+//!   [`FORBIDDEN`] — violated by inserting it.
+//!
+//! A `null_rate_percent` knob mixes marked nulls into the data, so the
+//! inconsistency × incompleteness composition (repairs that are themselves
+//! incomplete databases) is fuzzable. With `violation_rate_percent = 0` the
+//! generator *guarantees* a consistent database (would-be accidental
+//! violations are re-rolled), so "no violations ⇒ delegate" paths are
+//! testable deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmodel::constraint::CompareOp;
+use relmodel::value::Constant;
+use relmodel::{Database, Schema, Tuple, Value};
+
+/// The sentinel value the denial constraint on `S` forbids. Kept outside
+/// the generator's normal domain so it only appears via deliberate
+/// injection.
+pub const FORBIDDEN: i64 = 666;
+
+/// Configuration for [`random_inconsistent_database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InconsistentDbConfig {
+    /// Tuples per relation.
+    pub tuples_per_relation: usize,
+    /// Size of the constant pool values are drawn from.
+    pub domain_size: usize,
+    /// Per-tuple probability (in percent) of deliberately injecting a
+    /// violation: a key/FD clash on `R`/`T`, the forbidden value on `S`.
+    pub violation_rate_percent: u32,
+    /// Per-position probability (in percent) of placing a marked null.
+    pub null_rate_percent: u32,
+    /// Number of distinct marked nulls available (nulls repeat).
+    pub distinct_nulls: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InconsistentDbConfig {
+    fn default() -> Self {
+        InconsistentDbConfig {
+            tuples_per_relation: 8,
+            domain_size: 6,
+            violation_rate_percent: 25,
+            null_rate_percent: 0,
+            distinct_nulls: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The constrained schema: [`crate::random::random_schema`]'s relations
+/// with `key R(a)`, `fd T: a → b`, and `deny S.a = FORBIDDEN`.
+pub fn inconsistent_schema() -> Schema {
+    Schema::builder()
+        .relation("R", &["a", "b"])
+        .relation("S", &["a"])
+        .relation("T", &["a", "b"])
+        .key("R", &["a"])
+        .fd("T", &["a"], &["b"])
+        .deny("S", "a", CompareOp::Eq, Constant::Int(FORBIDDEN))
+        .build()
+}
+
+/// Generates a random database over [`inconsistent_schema`] with roughly
+/// `violation_rate_percent` of tuples participating in injected violations.
+/// Deterministic per seed; consistent by construction when the rate is 0.
+pub fn random_inconsistent_database(config: &InconsistentDbConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xd1b5_4a32).wrapping_add(7));
+    let schema = inconsistent_schema();
+    let mut db = Database::new(schema.clone());
+    for rs in schema.iter() {
+        for _ in 0..config.tuples_per_relation {
+            let inject = config.violation_rate_percent > 0
+                && rng.gen_range(0..100u32) < config.violation_rate_percent.min(100);
+            let tuple = if inject {
+                violating_tuple(&mut rng, &db, &rs.name, rs.arity(), config)
+            } else {
+                clean_tuple(&mut rng, &db, &rs.name, rs.arity(), config)
+            };
+            if let Some(t) = tuple {
+                db.insert(&rs.name, t)
+                    .expect("generated tuples match the schema");
+            }
+        }
+    }
+    db
+}
+
+/// A tuple engineered to violate the relation's constraint: reuse an
+/// existing key with a fresh payload (`R`, `T`), or the forbidden sentinel
+/// (`S`). Falls back to a clean tuple when there is no key to clash with
+/// yet.
+fn violating_tuple(
+    rng: &mut StdRng,
+    db: &Database,
+    relation: &str,
+    arity: usize,
+    config: &InconsistentDbConfig,
+) -> Option<Tuple> {
+    if relation == "S" {
+        return Some(Tuple::ints(&[FORBIDDEN]));
+    }
+    let existing: Vec<&Tuple> = db
+        .relation(relation)
+        .expect("schema relation")
+        .iter()
+        .collect();
+    if existing.is_empty() {
+        return clean_tuple(rng, db, relation, arity, config);
+    }
+    let victim = existing[rng.gen_range(0..existing.len())];
+    // Same key (column 0), different payload: a key / FD clash. The payload
+    // is drawn outside the normal domain so it cannot collide back into the
+    // victim (set semantics would swallow an identical tuple).
+    let payload = Value::int(config.domain_size as i64 + rng.gen_range(0..100) as i64);
+    Some(Tuple::new(vec![victim.values()[0].clone(), payload]))
+}
+
+/// A tuple that keeps the database consistent: re-rolled (bounded) until it
+/// neither clashes with an existing key nor mentions the forbidden value.
+fn clean_tuple(
+    rng: &mut StdRng,
+    db: &Database,
+    relation: &str,
+    arity: usize,
+    config: &InconsistentDbConfig,
+) -> Option<Tuple> {
+    let rel = db.relation(relation).expect("schema relation");
+    for _ in 0..64 {
+        let t: Tuple = (0..arity).map(|_| random_value(rng, config)).collect();
+        let clashes = match relation {
+            // Key / FD on column 0: a clean tuple must not reuse an existing
+            // key unless it is the identical tuple (set semantics absorbs it).
+            "R" | "T" => rel
+                .iter()
+                .any(|s| s.values()[0] == t.values()[0] && s != &t),
+            _ => t.values()[0] == Value::int(FORBIDDEN),
+        };
+        if !clashes {
+            return Some(t);
+        }
+    }
+    // Domain exhausted (tiny domains at high tuple counts): skip the tuple
+    // rather than emit an accidental violation.
+    None
+}
+
+fn random_value(rng: &mut StdRng, config: &InconsistentDbConfig) -> Value {
+    let use_null =
+        config.distinct_nulls > 0 && rng.gen_range(0..100u32) < config.null_rate_percent.min(100);
+    if use_null {
+        Value::null(rng.gen_range(0..config.distinct_nulls as u64))
+    } else {
+        Value::int(rng.gen_range(0..config.domain_size.max(1) as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_violation_rate_is_consistent_by_construction() {
+        for seed in 0..32 {
+            let db = random_inconsistent_database(&InconsistentDbConfig {
+                violation_rate_percent: 0,
+                null_rate_percent: 30,
+                seed,
+                ..Default::default()
+            });
+            assert!(db.is_consistent(), "seed {seed}:\n{db}");
+        }
+    }
+
+    #[test]
+    fn positive_violation_rate_produces_violations() {
+        let mut dirty = 0;
+        for seed in 0..16 {
+            let db = random_inconsistent_database(&InconsistentDbConfig {
+                violation_rate_percent: 40,
+                seed,
+                ..Default::default()
+            });
+            if !db.is_consistent() {
+                dirty += 1;
+            }
+        }
+        assert!(
+            dirty >= 12,
+            "40% violation rate must usually produce dirt: {dirty}/16"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = InconsistentDbConfig::default();
+        assert_eq!(
+            random_inconsistent_database(&cfg),
+            random_inconsistent_database(&cfg)
+        );
+        assert_ne!(
+            random_inconsistent_database(&cfg),
+            random_inconsistent_database(&InconsistentDbConfig { seed: 99, ..cfg })
+        );
+    }
+
+    #[test]
+    fn null_rate_mixes_incompleteness_in() {
+        let db = random_inconsistent_database(&InconsistentDbConfig {
+            null_rate_percent: 60,
+            distinct_nulls: 3,
+            seed: 5,
+            ..Default::default()
+        });
+        assert!(!db.null_ids().is_empty());
+        assert!(db.null_ids().iter().all(|n| n.0 < 3));
+    }
+
+    #[test]
+    fn schema_matches_the_random_query_vocabulary() {
+        let schema = inconsistent_schema();
+        let plain = crate::random::random_schema();
+        for rs in plain.iter() {
+            assert_eq!(
+                schema.relation(&rs.name).map(|r| r.arity()),
+                Some(rs.arity()),
+                "relation {}",
+                rs.name
+            );
+        }
+        assert_eq!(schema.constraints().len(), 3);
+    }
+}

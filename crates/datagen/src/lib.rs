@@ -8,6 +8,10 @@
 //! * [`random`] — random incomplete databases over simple schemas, with a
 //!   controlled number of marked nulls (the parameter that drives the
 //!   exponential cost of possible-world enumeration);
+//! * [`inconsistent`] — random databases with declared keys / FDs / denial
+//!   constraints and a controllable violation rate (the parameter that
+//!   drives the exponential cost of repair enumeration), plus a null-rate
+//!   knob so inconsistency × incompleteness cases are fuzzable;
 //! * [`queries`] — random positive (UCQ-style) queries and division queries,
 //!   used to validate naïve evaluation broadly rather than on hand-picked
 //!   examples.
@@ -17,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod inconsistent;
 pub mod orders;
 pub mod queries;
 pub mod random;
 
+pub use inconsistent::{inconsistent_schema, random_inconsistent_database, InconsistentDbConfig};
 pub use orders::{orders_database, OrdersConfig};
 pub use queries::{
     random_division_query, random_full_ra_query, random_positive_query, QueryGenConfig,

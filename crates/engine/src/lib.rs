@@ -46,10 +46,31 @@
 //! `Values` literals; solver clause budget), in which case the engine falls
 //! back to the streaming world oracle within the `max_nulls` / `max_worlds`
 //! budget and then to certain⁺ pair evaluation, recording the reason in
-//! [`EngineStats::symbolic_fallback`]. (`certain⁺` is [`releval::approx`]:
+//! [`EngineStats::fallback`]. (`certain⁺` is [`releval::approx`]:
 //! under/over-approximating pair evaluation with null unification —
 //! polynomial, and sound under CWA where exact certain answers are
 //! coNP-hard.)
+//!
+//! ## Consistent query answering
+//!
+//! Inconsistency is incompleteness's twin: a database violating its
+//! schema's integrity constraints denotes the set of its subset-minimal
+//! *repairs*, and [`Semantics::ConsistentAnswers`] asks for what survives
+//! every repair (each repair read under CWA for its nulls). The dispatch
+//! rule has the same classify-and-degrade shape as everything above:
+//!
+//! * **no violations** — the database's only repair is itself: delegate to
+//!   the certain-answer pipeline wholesale (same strategies, same
+//!   guarantees);
+//! * **violations, small conflict graph** — stream the subset-minimal
+//!   repairs ([`StrategyKind::RepairEnumeration`], budget = repairs
+//!   visited, early exit on ∅) and intersect exact per-repair certain
+//!   answers: `Exact`;
+//! * **otherwise** — evaluate once over the repair interval `[conflict-free
+//!   core, db − doomed]` with the certain⁺ pair executor
+//!   ([`StrategyKind::ConflictFreeCore`]): polynomial, `Sound` for every
+//!   class, with the blown budget recorded in [`EngineStats::fallback`]
+//!   exactly like a symbolic punt.
 //!
 //! In [`EngineOptions::exhaustive`] mode the remaining non-exact rows
 //! upgrade to possible-world enumeration while the database fits the
@@ -66,9 +87,13 @@
 
 mod options;
 mod report;
+mod semantics;
 
 pub use options::EngineOptions;
-pub use report::{CertainReport, EngineStats, Guarantee, StrategyKind};
+pub use report::{
+    CertainReport, EngineStats, FallbackReason, Guarantee, RepairAbort, StrategyKind,
+};
+pub use semantics::Semantics;
 
 use std::fmt;
 use std::time::Instant;
@@ -80,10 +105,11 @@ use relalgebra::typecheck::TypeError;
 use releval::exec::approx::execute_approx_counted;
 use releval::exec::{execute_counted, OpStats};
 use releval::strategy::{Strategy, ThreeValuedEvaluation};
-use releval::symbolic::{symbolic_certain_answer, PuntReason, SymbolicOutcome};
+use releval::symbolic::{symbolic_certain_answer, SymbolicOutcome};
 use releval::worlds::{estimated_world_count, stream_certain_answer};
 use releval::EvalError;
-use relmodel::{Database, Semantics};
+use relmodel::Database;
+use repairs::{core_consistent_answer, stream_consistent_answer, ConflictGraph, RepairError};
 
 /// Errors from the engine front door.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +120,9 @@ pub enum EngineError {
     Type(TypeError),
     /// The selected strategy failed (world budget, incomplete input, …).
     Eval(EvalError),
+    /// A forced repair enumeration failed (repair budget, per-repair world
+    /// budget); the planner-chosen path degrades instead of erring.
+    Repair(RepairError),
 }
 
 impl fmt::Display for EngineError {
@@ -102,11 +131,18 @@ impl fmt::Display for EngineError {
             EngineError::Text(e) => write!(f, "{e}"),
             EngineError::Type(e) => write!(f, "type error: {e}"),
             EngineError::Eval(e) => write!(f, "evaluation error: {e}"),
+            EngineError::Repair(e) => write!(f, "consistent-answer error: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<RepairError> for EngineError {
+    fn from(e: RepairError) -> Self {
+        EngineError::Repair(e)
+    }
+}
 
 impl From<qparser::PlanTextError> for EngineError {
     fn from(e: qparser::PlanTextError) -> Self {
@@ -141,6 +177,14 @@ pub struct Engine<'db> {
     /// (the engine borrows the database immutably, so the count cannot go
     /// stale).
     nulls: usize,
+    /// The conflict hypergraph against the schema's integrity constraints,
+    /// built **lazily** on the first consistent-answer dispatch and cached
+    /// for the engine's lifetime (same caching argument as `nulls`, but the
+    /// violation scan — quadratic in the worst key group — is only ever
+    /// consulted under [`Semantics::ConsistentAnswers`], so plain CWA/OWA
+    /// engines over constraint-bearing schemas must not pay for it).
+    /// `Some(None)` once resolved for a constraint-free schema.
+    conflicts: std::sync::OnceLock<Option<ConflictGraph>>,
 }
 
 impl<'db> Engine<'db> {
@@ -152,13 +196,49 @@ impl<'db> Engine<'db> {
             semantics: Semantics::Cwa,
             options: EngineOptions::default(),
             nulls: db.null_ids().len(),
+            conflicts: std::sync::OnceLock::new(),
         }
     }
 
-    /// Selects the possible-world semantics queries are answered under.
-    pub fn semantics(mut self, semantics: Semantics) -> Self {
-        self.semantics = semantics;
+    /// The cached conflict hypergraph; `None` when the schema declares no
+    /// constraints.
+    fn conflict_graph(&self) -> Option<&ConflictGraph> {
+        self.conflicts
+            .get_or_init(|| {
+                self.db
+                    .schema()
+                    .has_constraints()
+                    .then(|| ConflictGraph::build(self.db))
+            })
+            .as_ref()
+    }
+
+    /// Selects the semantics queries are answered under. Accepts the base
+    /// [`relmodel::Semantics`] (CWA / OWA certain answers) or the engine's
+    /// own [`Semantics`] (adding [`Semantics::ConsistentAnswers`]).
+    pub fn semantics(mut self, semantics: impl Into<Semantics>) -> Self {
+        self.semantics = semantics.into();
         self
+    }
+
+    /// Shorthand for `semantics(Semantics::ConsistentAnswers)`: answer with
+    /// what survives every subset-minimal repair of the database.
+    pub fn consistent_answers(self) -> Self {
+        self.semantics(Semantics::ConsistentAnswers)
+    }
+
+    /// The possible-world semantics strategy execution reads nulls under
+    /// (consistent answering evaluates each repair under CWA).
+    fn base(&self) -> relmodel::Semantics {
+        self.semantics.base()
+    }
+
+    /// The engine [`Semantics`] dispatch decisions are taken under: the
+    /// declared one, with `ConsistentAnswers` lowered to `Cwa` when the
+    /// certain-answer pipeline is the delegate (a consistent database's
+    /// only repair is itself).
+    fn dispatch_semantics(&self) -> Semantics {
+        Semantics::from(self.base())
     }
 
     /// Replaces the planner options.
@@ -209,10 +289,8 @@ impl<'db> Engine<'db> {
         let decision = Decision {
             strategy,
             guarantee: strategy.guarantee(plan.class(), self.semantics),
-            estimated_worlds: None,
-            degraded: false,
-            symbolic_fallback: None,
             forced: true,
+            ..Decision::default()
         };
         self.execute(plan, decision, plan_time, started)
     }
@@ -245,14 +323,66 @@ impl<'db> Engine<'db> {
     }
 
     fn decide(&self, query: &RaExpr, class: QueryClass) -> Decision {
-        if class.naive_evaluation_sound(self.semantics) {
+        if self.semantics == Semantics::ConsistentAnswers {
+            return self.decide_consistent(query, class);
+        }
+        self.decide_certain(query, class)
+    }
+
+    /// The consistent-answer dispatch: delegate when the database is clean,
+    /// enumerate repairs while the conflict graph is small, degrade to the
+    /// conflict-free-core approximation (with the reason on the report)
+    /// beyond that.
+    fn decide_consistent(&self, query: &RaExpr, class: QueryClass) -> Decision {
+        let Some(graph) = self.conflict_graph().filter(|g| !g.is_conflict_free()) else {
+            // No violations: the only repair is the database itself, so the
+            // consistent answer *is* the CWA certain answer — delegate to
+            // the whole certain-answer pipeline, guarantees included.
+            let violations = Some(0);
+            return Decision {
+                violations,
+                ..self.decide_certain(query, class)
+            };
+        };
+        let violations = Some(graph.violation_count());
+        let conflict_tuples = Some(graph.conflict_tuples());
+        let estimated = graph.estimated_repairs();
+        let budget = self.options.repair_options.max_repairs;
+        if estimated <= budget {
+            Decision {
+                strategy: StrategyKind::RepairEnumeration,
+                guarantee: StrategyKind::RepairEnumeration.guarantee(class, self.semantics),
+                estimated_repairs: Some(estimated),
+                violations,
+                conflict_tuples,
+                ..Decision::default()
+            }
+        } else {
+            // The explicit degradation the repair budget exists for: one
+            // polynomial pass over the repair interval instead of an
+            // exponential enumeration, labelled `Sound` and explained.
+            Decision {
+                strategy: StrategyKind::ConflictFreeCore,
+                guarantee: StrategyKind::ConflictFreeCore.guarantee(class, self.semantics),
+                estimated_repairs: Some(estimated),
+                violations,
+                conflict_tuples,
+                degraded: true,
+                fallback: Some(FallbackReason::RepairBudget { estimated, budget }),
+                ..Decision::default()
+            }
+        }
+    }
+
+    /// The certain-answer dispatch, taken under [`Engine::dispatch_semantics`]
+    /// (so a consistent-answer delegate behaves exactly like a CWA engine).
+    fn decide_certain(&self, query: &RaExpr, class: QueryClass) -> Decision {
+        let semantics = self.dispatch_semantics();
+        if class.naive_evaluation_sound(self.base()) {
             return Decision {
                 strategy: StrategyKind::NaiveExact,
                 guarantee: Guarantee::Exact,
-                estimated_worlds: None,
-                degraded: false,
-                symbolic_fallback: None,
-                forced: false,
+                ..Decision::default()
             };
         }
         // Beyond the naïve theorem, the symbolic c-table strategy is the
@@ -260,15 +390,12 @@ impl<'db> Engine<'db> {
         // tuple, no world enumeration. (Under OWA its answer is only an
         // over-approximation for non-monotone classes, so the planner keeps
         // the pre-symbolic rules there.)
-        if self.options.symbolic && self.semantics == Semantics::Cwa {
+        if self.options.symbolic && semantics == Semantics::Cwa {
             if !has_incomplete_values(query) {
                 return Decision {
                     strategy: StrategyKind::SymbolicCTable,
-                    guarantee: StrategyKind::SymbolicCTable.guarantee(class, self.semantics),
-                    estimated_worlds: None,
-                    degraded: false,
-                    symbolic_fallback: None,
-                    forced: false,
+                    guarantee: StrategyKind::SymbolicCTable.guarantee(class, semantics),
+                    ..Decision::default()
                 };
             }
             // Null-bearing `Values` literals would make the c-table algebra
@@ -280,7 +407,9 @@ impl<'db> Engine<'db> {
             return self.enumerate_or_approximate(
                 query,
                 class,
-                Some(PuntReason::NullValuesLiteral),
+                Some(FallbackReason::Symbolic(
+                    releval::symbolic::PuntReason::NullValuesLiteral,
+                )),
                 true,
             );
         }
@@ -290,24 +419,23 @@ impl<'db> Engine<'db> {
     /// The pre-symbolic decision logic: possible-world enumeration within
     /// budget when `allow_worlds`, otherwise (or beyond budget, with
     /// [`EngineStats::degraded`] set) the sound approximation. Also the
-    /// landing path when the symbolic strategy punts — `symbolic_fallback`
+    /// landing path when the symbolic strategy punts — the fallback reason
     /// carries the reason into the report.
     fn enumerate_or_approximate(
         &self,
         query: &RaExpr,
         class: QueryClass,
-        symbolic_fallback: Option<PuntReason>,
+        fallback_reason: Option<FallbackReason>,
         allow_worlds: bool,
     ) -> Decision {
+        let semantics = self.dispatch_semantics();
         let fallback = StrategyKind::SoundApproximation;
         if !allow_worlds {
             return Decision {
                 strategy: fallback,
-                guarantee: fallback.guarantee(class, self.semantics),
-                estimated_worlds: None,
-                degraded: false,
-                symbolic_fallback,
-                forced: false,
+                guarantee: fallback.guarantee(class, semantics),
+                fallback: fallback_reason,
+                ..Decision::default()
             };
         }
         let estimate = estimated_world_count(query, self.db, &self.options.world_options);
@@ -316,22 +444,21 @@ impl<'db> Engine<'db> {
         if within_budget {
             Decision {
                 strategy: StrategyKind::WorldsGroundTruth,
-                guarantee: StrategyKind::WorldsGroundTruth.guarantee(class, self.semantics),
+                guarantee: StrategyKind::WorldsGroundTruth.guarantee(class, semantics),
                 estimated_worlds: Some(estimate),
-                degraded: false,
-                symbolic_fallback,
-                forced: false,
+                fallback: fallback_reason,
+                ..Decision::default()
             }
         } else {
             // The explicit degradation the budget exists for: report the
             // approximation instead of hanging on an exponential enumeration.
             Decision {
                 strategy: fallback,
-                guarantee: fallback.guarantee(class, self.semantics),
+                guarantee: fallback.guarantee(class, semantics),
                 estimated_worlds: Some(estimate),
                 degraded: true,
-                symbolic_fallback,
-                forced: false,
+                fallback: fallback_reason,
+                ..Decision::default()
             }
         }
     }
@@ -348,8 +475,14 @@ impl<'db> Engine<'db> {
         let mut world_exec: Option<(u128, bool, usize, usize)> = None;
         // (condition atoms, solver calls, simplification wins)
         let mut symbolic_exec: Option<(usize, usize, usize)> = None;
+        // (repairs visited, early exit)
+        let mut repair_exec: Option<(u128, bool)> = None;
         // Physical-operator telemetry from whichever executor ran.
         let mut physical_ops: Option<OpStats> = None;
+        // The conflict graph the repair strategies run against: the cached
+        // one, or (for a forced repair strategy on a constraint-free
+        // schema) the empty graph, whose single repair is the database.
+        let empty_graph = ConflictGraph::default();
         let (answers, object_answer) = match decision.strategy {
             StrategyKind::SymbolicCTable => {
                 match symbolic_certain_answer(&plan, self.db, &self.options.symbolic_options) {
@@ -375,12 +508,64 @@ impl<'db> Engine<'db> {
                         let fallback = self.enumerate_or_approximate(
                             plan.expr(),
                             plan.class(),
-                            Some(reason),
+                            Some(FallbackReason::Symbolic(reason)),
                             true,
                         );
+                        let fallback = Decision {
+                            violations: decision.violations,
+                            ..fallback
+                        };
                         return self.execute(plan, fallback, plan_time, started);
                     }
                 }
+            }
+            StrategyKind::RepairEnumeration => {
+                let graph = self.conflict_graph().unwrap_or(&empty_graph);
+                match stream_consistent_answer(&plan, self.db, graph, &self.options.repair_options)
+                {
+                    Ok(exec) => {
+                        repair_exec = Some((exec.repairs_visited, exec.early_exit));
+                        physical_ops = Some(exec.op_stats);
+                        (exec.answers, None)
+                    }
+                    Err(e) => {
+                        if decision.forced {
+                            // The caller asked for enumeration and nothing
+                            // else: surface the failure as a typed error.
+                            return Err(EngineError::Repair(e));
+                        }
+                        // Degrade to the polynomial core approximation with
+                        // the abort — and its cause — on the report: the
+                        // runtime twin of the planning-time repair-budget
+                        // fallback.
+                        let abort = match e {
+                            RepairError::BudgetExceeded { repairs, budget } => {
+                                RepairAbort::RepairBudget { repairs, budget }
+                            }
+                            RepairError::Eval(EvalError::WorldBudgetExceeded {
+                                worlds,
+                                budget,
+                            }) => RepairAbort::PerRepairWorldBudget { worlds, budget },
+                            RepairError::Eval(_) => RepairAbort::PerRepairEvaluation,
+                        };
+                        let fallback = Decision {
+                            strategy: StrategyKind::ConflictFreeCore,
+                            guarantee: StrategyKind::ConflictFreeCore
+                                .guarantee(plan.class(), self.semantics),
+                            degraded: true,
+                            fallback: Some(FallbackReason::RepairEnumerationAborted(abort)),
+                            forced: false,
+                            ..decision
+                        };
+                        return self.execute(plan, fallback, plan_time, started);
+                    }
+                }
+            }
+            StrategyKind::ConflictFreeCore => {
+                let graph = self.conflict_graph().unwrap_or(&empty_graph);
+                let exec = core_consistent_answer(&plan, self.db, graph);
+                physical_ops = Some(exec.op_stats);
+                (exec.answers, Some(exec.pair.certain))
             }
             StrategyKind::NaiveExact => {
                 let (object, ops) = execute_counted(plan.physical(), self.db);
@@ -388,7 +573,7 @@ impl<'db> Engine<'db> {
                 (object.complete_part(), Some(object))
             }
             StrategyKind::ThreeValuedBaseline => {
-                let raw = ThreeValuedEvaluation.eval_unchecked(&plan, self.db, self.semantics)?;
+                let raw = ThreeValuedEvaluation.eval_unchecked(&plan, self.db, self.base())?;
                 (raw.complete_part(), Some(raw))
             }
             StrategyKind::WorldsGroundTruth => {
@@ -398,7 +583,7 @@ impl<'db> Engine<'db> {
                 let exec = stream_certain_answer(
                     &plan,
                     self.db,
-                    self.semantics,
+                    self.base(),
                     &self.options.world_options,
                 )?;
                 world_exec = Some((
@@ -411,7 +596,7 @@ impl<'db> Engine<'db> {
                 (exec.answers, None)
             }
             StrategyKind::SoundApproximation => {
-                if plan.class() == QueryClass::RaCwa && self.semantics == Semantics::Owa {
+                if plan.class() == QueryClass::RaCwa && self.base() == relmodel::Semantics::Owa {
                     // Naïve evaluation computes the CWA certain answer for
                     // RA_cwa (Section 6.2), which contains the OWA one: a
                     // provable over-approximation, reported as `complete`.
@@ -448,7 +633,12 @@ impl<'db> Engine<'db> {
                 condition_atoms: symbolic_exec.map(|e| e.0),
                 solver_calls: symbolic_exec.map(|e| e.1),
                 simplification_wins: symbolic_exec.map(|e| e.2),
-                symbolic_fallback: decision.symbolic_fallback,
+                fallback: decision.fallback,
+                violations: decision.violations,
+                conflict_tuples: decision.conflict_tuples,
+                estimated_repairs: decision.estimated_repairs,
+                repairs_enumerated: repair_exec.map(|e| e.0),
+                repair_early_exit: repair_exec.is_some_and(|e| e.1),
                 plan_text: plan.physical().explain(),
                 physical_ops,
             },
@@ -462,11 +652,35 @@ struct Decision {
     guarantee: Guarantee,
     estimated_worlds: Option<u128>,
     degraded: bool,
-    /// Why the symbolic strategy is not the one executing, when it was
-    /// eligible (planning-time rule-out or execution-time punt).
-    symbolic_fallback: Option<PuntReason>,
+    /// Why the planner's first choice is not the one executing (symbolic
+    /// rule-out or punt, repair budget, aborted enumeration).
+    fallback: Option<FallbackReason>,
+    /// Violations witnessed, when consistent answering dispatched.
+    violations: Option<usize>,
+    /// Conflict vertices, when consistent answering dispatched.
+    conflict_tuples: Option<usize>,
+    /// The Moon–Moser repair estimate, when enumeration was considered.
+    estimated_repairs: Option<u128>,
     /// Caller-forced strategy: punts become errors instead of fallbacks.
     forced: bool,
+}
+
+/// The all-`None` baseline every decision starts from; `strategy` and
+/// `guarantee` are always overridden at the construction site.
+impl Default for Decision {
+    fn default() -> Self {
+        Decision {
+            strategy: StrategyKind::NaiveExact,
+            guarantee: Guarantee::NoGuarantee,
+            estimated_worlds: None,
+            degraded: false,
+            fallback: None,
+            violations: None,
+            conflict_tuples: None,
+            estimated_repairs: None,
+            forced: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -528,7 +742,7 @@ mod tests {
         assert!(report.stats.solver_calls.is_some());
         assert!(report.stats.condition_atoms.unwrap() > 0);
         assert!(report.stats.worlds_enumerated.is_none());
-        assert!(report.stats.symbolic_fallback.is_none());
+        assert!(report.stats.fallback.is_none());
         // Disabling symbolic restores the pre-symbolic sound approximation.
         let approx = Engine::new(&db)
             .options(EngineOptions::default().without_symbolic())
@@ -573,8 +787,10 @@ mod tests {
         assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
         assert_eq!(report.guarantee, Guarantee::Exact);
         assert_eq!(
-            report.stats.symbolic_fallback,
-            Some(releval::symbolic::PuntReason::NullValuesLiteral)
+            report.stats.fallback,
+            Some(FallbackReason::Symbolic(
+                releval::symbolic::PuntReason::NullValuesLiteral
+            ))
         );
         assert!(report.answers.is_empty(), "certain answer is ∅ here");
         // Beyond the world budget the chain ends at the approximation,
@@ -586,8 +802,10 @@ mod tests {
         assert_eq!(starved.strategy, StrategyKind::SoundApproximation);
         assert!(starved.stats.degraded);
         assert_eq!(
-            starved.stats.symbolic_fallback,
-            Some(releval::symbolic::PuntReason::NullValuesLiteral)
+            starved.stats.fallback,
+            Some(FallbackReason::Symbolic(
+                releval::symbolic::PuntReason::NullValuesLiteral
+            ))
         );
         // Forcing symbolic on the same query is a typed error, not a lie.
         let err = Engine::new(&db)
@@ -615,8 +833,10 @@ mod tests {
         assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
         assert_eq!(report.guarantee, Guarantee::Exact);
         assert!(matches!(
-            report.stats.symbolic_fallback,
-            Some(releval::symbolic::PuntReason::SolverBudget { budget: 1, .. })
+            report.stats.fallback,
+            Some(FallbackReason::Symbolic(
+                releval::symbolic::PuntReason::SolverBudget { budget: 1, .. }
+            ))
         ));
         assert!(report.stats.worlds_enumerated.is_some());
         // With the default budget the same query stays symbolic and agrees.
@@ -891,6 +1111,188 @@ mod tests {
         ));
         let e = engine.plan_text("Nope").unwrap_err();
         assert!(e.to_string().contains("Nope"));
+    }
+
+    /// R(k, v) with key k: a dirty pair for k = 1, a clean tuple for k = 2.
+    fn dirty_db() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .build()
+    }
+
+    #[test]
+    fn consistent_database_delegates_to_the_certain_pipeline() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[2, 30])
+            .build();
+        let report = Engine::new(&db)
+            .consistent_answers()
+            .plan_text("project[#1](R)")
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::NaiveExact);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert_eq!(report.semantics, Semantics::ConsistentAnswers);
+        assert_eq!(report.stats.violations, Some(0), "checked and clean");
+        assert_eq!(report.answers.len(), 2);
+        // Full RA delegates to symbolic, still exact.
+        let hard = Engine::new(&db)
+            .consistent_answers()
+            .plan_text("project[#0](R) minus project[#1](R)")
+            .unwrap();
+        assert_eq!(hard.strategy, StrategyKind::SymbolicCTable);
+        assert_eq!(hard.guarantee, Guarantee::Exact);
+    }
+
+    #[test]
+    fn violations_dispatch_to_repair_enumeration_exact() {
+        let db = dirty_db();
+        let report = Engine::new(&db)
+            .consistent_answers()
+            .plan_text("project[#1](R)")
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::RepairEnumeration);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert_eq!(report.stats.violations, Some(1));
+        assert_eq!(report.stats.conflict_tuples, Some(2));
+        assert_eq!(report.stats.estimated_repairs, Some(2));
+        assert_eq!(report.stats.repairs_enumerated, Some(2));
+        assert!(!report.stats.degraded);
+        assert!(report.stats.fallback.is_none());
+        // Only v = 30 survives both repairs.
+        assert_eq!(report.answers.len(), 1);
+        assert!(report.answers.contains(&Tuple::ints(&[30])));
+        // The same query under plain CWA sees the dirty data as-is.
+        let cwa = Engine::new(&db).plan_text("project[#1](R)").unwrap();
+        assert_eq!(cwa.answers.len(), 3);
+    }
+
+    #[test]
+    fn repair_budget_degrades_to_the_core_with_a_reason() {
+        let db = dirty_db();
+        let report = Engine::new(&db)
+            .consistent_answers()
+            .options(EngineOptions::default().with_max_repairs(1))
+            .plan_text("project[#1](R)")
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::ConflictFreeCore);
+        assert_eq!(report.guarantee, Guarantee::Sound);
+        assert!(report.stats.degraded);
+        assert_eq!(
+            report.stats.fallback,
+            Some(FallbackReason::RepairBudget {
+                estimated: 2,
+                budget: 1
+            })
+        );
+        // The core answer is a subset of the exact consistent answer — here
+        // it happens to coincide.
+        assert_eq!(report.answers.len(), 1);
+        assert!(report.answers.contains(&Tuple::ints(&[30])));
+        assert!(report.object_answer.is_some());
+    }
+
+    #[test]
+    fn forced_repair_enumeration_errors_instead_of_degrading() {
+        let db = dirty_db();
+        let engine = Engine::new(&db)
+            .consistent_answers()
+            .options(EngineOptions::default().with_max_repairs(1));
+        let err = engine
+            .plan_with(
+                StrategyKind::RepairEnumeration,
+                &qparser::parse("project[#1](R)").unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Repair(repairs::RepairError::BudgetExceeded { budget: 1, .. })
+        ));
+        // On a constraint-free schema a forced enumeration folds the single
+        // trivial repair — the database itself — with no guarantee attached
+        // to the certain-answer question it was not asked.
+        let clean = relmodel::builder::orders_and_payments_example();
+        let report = Engine::new(&clean)
+            .plan_with(
+                StrategyKind::RepairEnumeration,
+                &qparser::parse("project[#0](Order)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(report.stats.repairs_enumerated, Some(1));
+        assert_eq!(report.guarantee, Guarantee::NoGuarantee);
+    }
+
+    #[test]
+    fn aborted_enumeration_degrades_with_its_cause_on_the_report() {
+        // Repairs of this database carry two nulls each, and the null-
+        // bearing Values literal rules symbolic out per repair, so every
+        // per-repair evaluation must go through the world oracle — which a
+        // 1-world budget starves. The engine must degrade to the core with
+        // the per-repair world budget named as the cause.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .tuple("R", vec![Value::int(3), Value::null(1)])
+            .build();
+        let lit = RaExpr::values(relmodel::Relation::from_tuples(
+            2,
+            vec![Tuple::new(vec![Value::null(0), Value::int(7)])],
+        ));
+        // R ∪ literal: the literal keeps every per-repair intersection
+        // nonempty, so no early exit can rescue the starved inner budget.
+        let q = RaExpr::relation("R").union(lit);
+        let mut repair_options = repairs::RepairOptions::default();
+        repair_options.world_options.max_worlds = 1;
+        let report = Engine::new(&db)
+            .consistent_answers()
+            .options(EngineOptions::default().with_repair_options(repair_options))
+            .plan(&q)
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::ConflictFreeCore);
+        assert_eq!(report.guarantee, Guarantee::Sound);
+        assert!(report.stats.degraded);
+        assert!(
+            matches!(
+                report.stats.fallback,
+                Some(FallbackReason::RepairEnumerationAborted(
+                    RepairAbort::PerRepairWorldBudget { budget: 1, .. }
+                ))
+            ),
+            "cause must survive onto the report: {:?}",
+            report.stats.fallback
+        );
+    }
+
+    #[test]
+    fn nulls_and_violations_compose() {
+        // The k = 1 pair conflicts; the surviving repairs each carry a null,
+        // so the per-repair answers flow through the certain-answer
+        // machinery: k = 2 is certain in every world of every repair, while
+        // no v value is.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("R", vec![Value::int(2), Value::null(1)])
+            .build();
+        let engine = Engine::new(&db).consistent_answers();
+        let keys = engine.plan_text("project[#0](R)").unwrap();
+        assert_eq!(keys.strategy, StrategyKind::RepairEnumeration);
+        assert_eq!(keys.guarantee, Guarantee::Exact);
+        assert_eq!(keys.answers.len(), 2);
+        let vals = engine.plan_text("project[#1](R)").unwrap();
+        assert!(vals.answers.is_empty());
+        assert!(vals.stats.repair_early_exit || vals.stats.repairs_enumerated == Some(2));
     }
 
     #[test]

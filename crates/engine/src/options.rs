@@ -2,6 +2,7 @@
 
 use releval::symbolic::SymbolicOptions;
 use releval::worlds::WorldOptions;
+use repairs::RepairOptions;
 
 /// Options controlling how far the engine may go for a query outside the
 /// theorem-backed fragment.
@@ -13,7 +14,7 @@ use releval::worlds::WorldOptions;
 /// approximation. When the symbolic solver punts, the engine falls back to
 /// possible-world enumeration *within* the `max_nulls` / `max_worlds`
 /// budget, then to the sound approximation — with
-/// [`crate::EngineStats::symbolic_fallback`] and
+/// [`crate::EngineStats::fallback`] and
 /// [`crate::EngineStats::degraded`] saying so. Opting into
 /// [`EngineOptions::exhaustive`] additionally allows enumeration as the
 /// ground truth where neither theorem nor symbolic strategy applies.
@@ -37,6 +38,12 @@ pub struct EngineOptions {
     /// Domain construction and world budget for enumeration, shared with
     /// [`releval::worlds`]. Its `max_worlds` field is the second budget axis.
     pub world_options: WorldOptions,
+    /// Budgets for consistent query answering under
+    /// [`crate::Semantics::ConsistentAnswers`]: repair enumeration is
+    /// attempted while the conflict graph's repair estimate fits
+    /// `repair_options.max_repairs`, and degrades to the conflict-free-core
+    /// approximation beyond it.
+    pub repair_options: RepairOptions,
 }
 
 impl Default for EngineOptions {
@@ -47,6 +54,7 @@ impl Default for EngineOptions {
             symbolic_options: SymbolicOptions::default(),
             max_nulls: 8,
             world_options: WorldOptions::default(),
+            repair_options: RepairOptions::default(),
         }
     }
 }
@@ -90,6 +98,18 @@ impl EngineOptions {
         self.world_options = opts;
         self
     }
+
+    /// Sets the repair-visit budget for consistent query answering.
+    pub fn with_max_repairs(mut self, max_repairs: u128) -> Self {
+        self.repair_options.max_repairs = max_repairs;
+        self
+    }
+
+    /// Replaces the whole repair-enumeration configuration.
+    pub fn with_repair_options(mut self, opts: RepairOptions) -> Self {
+        self.repair_options = opts;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -114,11 +134,13 @@ mod tests {
             .with_max_nulls(3)
             .with_max_worlds(100)
             .with_max_dnf_clauses(7)
+            .with_max_repairs(12)
             .without_symbolic();
         assert!(opts.exhaustive);
         assert!(!opts.symbolic);
         assert_eq!(opts.max_nulls, 3);
         assert_eq!(opts.world_options.max_worlds, 100);
         assert_eq!(opts.symbolic_options.max_dnf_clauses, 7);
+        assert_eq!(opts.repair_options.max_repairs, 12);
     }
 }

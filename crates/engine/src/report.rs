@@ -7,7 +7,9 @@ use std::time::Duration;
 use relalgebra::classify::QueryClass;
 use releval::exec::OpStats;
 use releval::symbolic::PuntReason;
-use relmodel::{Relation, Semantics};
+use relmodel::Relation;
+
+use crate::Semantics;
 
 /// The strategy the engine dispatched a query to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +36,17 @@ pub enum StrategyKind {
     /// CWA for every query class, polynomial per output tuple; selected by
     /// default for the classes naïve evaluation cannot cover under CWA.
     SymbolicCTable,
+    /// Consistent answers by streaming enumeration of subset-minimal
+    /// repairs (`repairs::fold`): the certain answer that survives every
+    /// repair. Exact under [`Semantics::ConsistentAnswers`]; selected when
+    /// the database has violations and the conflict graph's repair estimate
+    /// fits the repair budget.
+    RepairEnumeration,
+    /// The conflict-free-core approximation (`repairs::core_approx`):
+    /// certain⁺ pair evaluation over the repair interval `[core, db −
+    /// doomed]` — polynomial and sound for every query class; the fallback
+    /// when the repair space exceeds its budget.
+    ConflictFreeCore,
 }
 
 impl StrategyKind {
@@ -45,12 +58,17 @@ impl StrategyKind {
             StrategyKind::ThreeValuedBaseline => "sql-3vl-baseline",
             StrategyKind::SoundApproximation => "sound-approximation",
             StrategyKind::SymbolicCTable => "symbolic-ctable",
+            StrategyKind::RepairEnumeration => "repair-enumeration",
+            StrategyKind::ConflictFreeCore => "conflict-free-core",
         }
     }
 
     /// The guarantee this strategy can honestly attach to its answer for a
-    /// query of the given class under the given semantics.
-    pub fn guarantee(self, class: QueryClass, semantics: Semantics) -> Guarantee {
+    /// query of the given class under the given semantics. Accepts either
+    /// the engine's [`Semantics`] or the base [`relmodel::Semantics`].
+    pub fn guarantee(self, class: QueryClass, semantics: impl Into<Semantics>) -> Guarantee {
+        use Semantics as S;
+        let semantics = semantics.into();
         match self {
             // Under CWA the enumerated worlds are exactly `[[D]]_cwa`, so the
             // intersection is the certain answer by definition. Under OWA the
@@ -58,16 +76,21 @@ impl StrategyKind {
             // supersets: for monotone (positive) queries the minimal worlds
             // already attain the intersection, but beyond that fragment
             // intersecting *fewer* worlds can only over-approximate — no
-            // false negatives, hence `Complete`.
+            // false negatives, hence `Complete`. Under the consistent-answer
+            // question, an answer computed while ignoring the constraints
+            // promises nothing.
             StrategyKind::WorldsGroundTruth => match (class, semantics) {
-                (_, Semantics::Cwa) | (QueryClass::Positive, Semantics::Owa) => Guarantee::Exact,
-                (_, Semantics::Owa) => Guarantee::Complete,
+                (_, S::Cwa) | (QueryClass::Positive, S::Owa) => Guarantee::Exact,
+                (_, S::Owa) => Guarantee::Complete,
+                (_, S::ConsistentAnswers) => Guarantee::NoGuarantee,
             },
             StrategyKind::ThreeValuedBaseline => Guarantee::NoGuarantee,
             StrategyKind::NaiveExact => {
-                if class.naive_evaluation_sound(semantics) {
+                if semantics == S::ConsistentAnswers {
+                    Guarantee::NoGuarantee
+                } else if class.naive_evaluation_sound(semantics.base()) {
                     Guarantee::Exact
-                } else if class == QueryClass::RaCwa && semantics == Semantics::Owa {
+                } else if class == QueryClass::RaCwa && semantics == S::Owa {
                     // naïve = certain_cwa ⊇ certain_owa: an over-approximation.
                     Guarantee::Complete
                 } else {
@@ -81,18 +104,35 @@ impl StrategyKind {
             // (CWA worlds are a subset of OWA worlds), mirroring the
             // enumeration guarantee row for row.
             StrategyKind::SymbolicCTable => match (class, semantics) {
-                (_, Semantics::Cwa) | (QueryClass::Positive, Semantics::Owa) => Guarantee::Exact,
-                (_, Semantics::Owa) => Guarantee::Complete,
+                (_, S::Cwa) | (QueryClass::Positive, S::Owa) => Guarantee::Exact,
+                (_, S::Owa) => Guarantee::Complete,
+                (_, S::ConsistentAnswers) => Guarantee::NoGuarantee,
             },
             StrategyKind::SoundApproximation => match (class, semantics) {
                 // naïve alone: certain_cwa over-approximates certain_owa.
-                (QueryClass::RaCwa, Semantics::Owa) => Guarantee::Complete,
+                (QueryClass::RaCwa, S::Owa) => Guarantee::Complete,
                 // Under OWA, certain answers for full RA are undecidable; no
                 // finite evaluation can promise anything.
-                (QueryClass::FullRa, Semantics::Owa) => Guarantee::NoGuarantee,
+                (QueryClass::FullRa, S::Owa) => Guarantee::NoGuarantee,
+                // Certain answers over the dirty database say nothing about
+                // what survives its repairs.
+                (_, S::ConsistentAnswers) => Guarantee::NoGuarantee,
                 // Exact fragment (under-claims: the answer is in fact exact
                 // before the ∩) and full RA under CWA.
                 _ => Guarantee::Sound,
+            },
+            // The repair fold intersects exact per-repair CWA certain
+            // answers over the complete repair space: exact for every class
+            // — but only as an answer to the consistent-answer question.
+            StrategyKind::RepairEnumeration => match semantics {
+                S::ConsistentAnswers => Guarantee::Exact,
+                S::Cwa | S::Owa => Guarantee::NoGuarantee,
+            },
+            // Every complete tuple on the interval pair's certain side holds
+            // in every world of every repair: sound for every class.
+            StrategyKind::ConflictFreeCore => match semantics {
+                S::ConsistentAnswers => Guarantee::Sound,
+                S::Cwa | S::Owa => Guarantee::NoGuarantee,
             },
         }
     }
@@ -146,6 +186,97 @@ impl fmt::Display for Guarantee {
     }
 }
 
+/// Why the planner's first-choice strategy is not the one that answered —
+/// one structured enum for every fallback the engine can take, rendered via
+/// [`fmt::Display`] so reports stay readable without tests ever matching on
+/// string fragments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The symbolic c-table strategy was ruled out at planning time or
+    /// punted during execution; the wrapped [`PuntReason`] says why.
+    Symbolic(PuntReason),
+    /// The conflict graph's repair estimate exceeded the repair budget, so
+    /// consistent answering degraded to the conflict-free-core
+    /// approximation without enumerating.
+    RepairBudget {
+        /// The Moon–Moser repair-count estimate.
+        estimated: u128,
+        /// The configured `max_repairs` budget.
+        budget: u128,
+    },
+    /// Repair enumeration was attempted but aborted, and the engine
+    /// degraded to the conflict-free-core approximation; the wrapped
+    /// [`RepairAbort`] says what stopped the fold.
+    RepairEnumerationAborted(RepairAbort),
+}
+
+/// What stopped an attempted repair enumeration mid-fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAbort {
+    /// The repair-visit budget fired. (Unreachable from the planner's own
+    /// dispatch — the Moon–Moser estimate gating enumeration upper-bounds
+    /// the visit count — but an explicitly configured fold can hit it.)
+    RepairBudget {
+        /// Repairs visited when the budget fired.
+        repairs: u128,
+        /// The configured maximum.
+        budget: u128,
+    },
+    /// A per-repair certain-answer evaluation blew its world budget (an
+    /// incomplete repair whose symbolic evaluation punted).
+    PerRepairWorldBudget {
+        /// Worlds visited inside the failing repair.
+        worlds: u128,
+        /// The configured per-repair maximum.
+        budget: u128,
+    },
+    /// A per-repair evaluation failed for another reason (empty valuation
+    /// domain, …).
+    PerRepairEvaluation,
+}
+
+impl fmt::Display for RepairAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairAbort::RepairBudget { repairs, budget } => {
+                write!(f, "{repairs} repairs visited exceed the budget of {budget}")
+            }
+            RepairAbort::PerRepairWorldBudget { worlds, budget } => write!(
+                f,
+                "a repair's world enumeration visited {worlds} worlds, exceeding the budget of {budget}"
+            ),
+            RepairAbort::PerRepairEvaluation => {
+                write!(f, "a per-repair evaluation failed")
+            }
+        }
+    }
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackReason::Symbolic(reason) => write!(f, "symbolic strategy punted: {reason}"),
+            FallbackReason::RepairBudget { estimated, budget } => write!(
+                f,
+                "estimated {estimated} repairs exceed the budget of {budget}"
+            ),
+            FallbackReason::RepairEnumerationAborted(abort) => {
+                write!(f, "repair enumeration aborted: {abort}")
+            }
+        }
+    }
+}
+
+impl FallbackReason {
+    /// The symbolic punt, when that is what the fallback was.
+    pub fn symbolic_punt(&self) -> Option<PuntReason> {
+        match self {
+            FallbackReason::Symbolic(reason) => Some(*reason),
+            _ => None,
+        }
+    }
+}
+
 /// Per-phase timing and planner telemetry for one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -188,10 +319,26 @@ pub struct EngineStats {
     /// Solver questions settled by structural simplification alone (no DNF
     /// built), when the symbolic strategy ran.
     pub simplification_wins: Option<usize>,
-    /// Why the symbolic strategy was not the one that answered, when it was
-    /// eligible but punted (or was ruled out at planning time): the explicit
-    /// fallback trail. `None` when symbolic answered or was never in play.
-    pub symbolic_fallback: Option<PuntReason>,
+    /// Why the planner's first choice was not the strategy that answered —
+    /// a symbolic punt, a blown repair budget, an aborted enumeration: the
+    /// explicit fallback trail. `None` when the first choice answered.
+    pub fallback: Option<FallbackReason>,
+    /// Constraint violations witnessed in the database, when consistent
+    /// answering ran (`Some(0)` means the constraints were checked and the
+    /// database is clean).
+    pub violations: Option<usize>,
+    /// Tuples in at least one binary conflict edge, when consistent
+    /// answering ran.
+    pub conflict_tuples: Option<usize>,
+    /// The planner's Moon–Moser repair-count estimate, when repair
+    /// enumeration was considered.
+    pub estimated_repairs: Option<u128>,
+    /// Repairs actually visited by the streaming fold, when the
+    /// repair-enumeration strategy ran.
+    pub repairs_enumerated: Option<u128>,
+    /// Did the repair fold stop early because its running intersection
+    /// emptied? Early exit only ever fires on an empty consistent answer.
+    pub repair_early_exit: bool,
     /// The `EXPLAIN` rendering of the physical plan the strategies execute —
     /// join fusion, pushdowns and all. Filled for every planned query.
     pub plan_text: String,

@@ -1,0 +1,101 @@
+//! The answer semantics the engine evaluates under.
+//!
+//! [`relmodel::Semantics`] names the two possible-world readings of an
+//! incomplete database (CWA / OWA). The engine adds a third mode on top:
+//! **consistent query answering**, where the world-space is the set of
+//! subset-minimal repairs of a constraint-violating database (each repair
+//! read under CWA for its nulls). The engine enum subsumes the base one —
+//! [`crate::Engine::semantics`] accepts either via `Into`, so existing
+//! `semantics(Semantics::Owa)` call sites keep working unchanged.
+
+use std::fmt;
+
+use relmodel::Semantics as BaseSemantics;
+
+/// What question a query answer is an answer *to*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// Closed-world certain answers: `⋂ Q(v(D))` over valuations `v`.
+    Cwa,
+    /// Open-world certain answers: worlds may also grow new tuples.
+    Owa,
+    /// Consistent answers: `⋂ certain_cwa(Q, R)` over the subset-minimal
+    /// repairs `R` of the database against its schema's integrity
+    /// constraints. On a consistent database this coincides with [`Cwa`]
+    /// (the only repair is the database itself), and the engine delegates
+    /// accordingly.
+    ///
+    /// [`Cwa`]: Semantics::Cwa
+    ConsistentAnswers,
+}
+
+impl Semantics {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::Cwa => BaseSemantics::Cwa.name(),
+            Semantics::Owa => BaseSemantics::Owa.name(),
+            Semantics::ConsistentAnswers => "consistent-answers",
+        }
+    }
+
+    /// The possible-world semantics nulls are read under: consistent
+    /// answering evaluates each repair under CWA.
+    pub fn base(self) -> BaseSemantics {
+        match self {
+            Semantics::Owa => BaseSemantics::Owa,
+            Semantics::Cwa | Semantics::ConsistentAnswers => BaseSemantics::Cwa,
+        }
+    }
+
+    /// Is this the consistent-answers mode?
+    pub fn is_consistent_answers(self) -> bool {
+        matches!(self, Semantics::ConsistentAnswers)
+    }
+}
+
+impl From<BaseSemantics> for Semantics {
+    fn from(s: BaseSemantics) -> Self {
+        match s {
+            BaseSemantics::Cwa => Semantics::Cwa,
+            BaseSemantics::Owa => Semantics::Owa,
+        }
+    }
+}
+
+impl PartialEq<BaseSemantics> for Semantics {
+    fn eq(&self, other: &BaseSemantics) -> bool {
+        *self == Semantics::from(*other)
+    }
+}
+
+impl PartialEq<Semantics> for BaseSemantics {
+    fn eq(&self, other: &Semantics) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_conversions() {
+        assert_eq!(Semantics::from(BaseSemantics::Owa), Semantics::Owa);
+        assert_eq!(Semantics::ConsistentAnswers.base(), BaseSemantics::Cwa);
+        assert_eq!(Semantics::Owa.base(), BaseSemantics::Owa);
+        assert!(Semantics::Cwa == BaseSemantics::Cwa);
+        assert!(BaseSemantics::Owa == Semantics::Owa);
+        assert!(Semantics::ConsistentAnswers != BaseSemantics::Cwa);
+        assert_eq!(
+            Semantics::ConsistentAnswers.to_string(),
+            "consistent-answers"
+        );
+    }
+}

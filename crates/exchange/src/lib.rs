@@ -8,7 +8,7 @@
 //!   `∀x̄ (φ(x̄) → ∃ȳ ψ(x̄, ȳ))`, written with the conjunctive-query atoms of
 //!   `relalgebra`;
 //! * [`mapping`] — schema mappings (source schema, target schema, st-tgds);
-//! * [`chase`] — the naïve chase, producing the canonical target instance
+//! * [`mod@chase`] — the naïve chase, producing the canonical target instance
 //!   with fresh marked nulls for existential variables;
 //! * [`solutions`] — solution and universal-solution checks, and certain
 //!   answers to target queries via naïve evaluation over the chased instance.

@@ -18,7 +18,7 @@
 //! *certainly* in `A − B` only if it is certainly in `A` and **unifies with
 //! nothing possibly in** `B`; it is *possibly* in `A − B` unless it is
 //! certainly in `B`. Selections use the marked-null-aware three-valued
-//! predicate semantics ([`Predicate::eval_3vl_marked`]): its `True` holds
+//! predicate semantics ([`Predicate::eval_3vl_marked`](relalgebra::predicate::Predicate::eval_3vl_marked)): its `True` holds
 //! under every valuation, its `False` under none.
 //!
 //! The classical (null-free) sound certain answer is

@@ -20,7 +20,7 @@
 //! null is just a value), so plain execution is pure build/probe hashing —
 //! hash equi-join, hash union/difference/intersection, hash-lookup division.
 //! Under valuation-aware semantics a key containing a null can match rows a
-//! hash lookup would miss, so the kernel's [`SplitIndex`] partitions rows
+//! hash lookup would miss, so the kernel's `SplitIndex` partitions rows
 //! into hashable ground keys and a (typically small) symbolic remainder that
 //! the model-specific operators handle pair by pair.
 //!

@@ -8,9 +8,9 @@
 //! * the **certain** side of a hash join is the plain syntactic hash join
 //!   (marked-null three-valued logic calls an equality `True` exactly when
 //!   the two values are syntactically identical), with the residual checked
-//!   under [`Predicate::eval_3vl_marked`];
+//!   under [`Predicate::eval_3vl_marked`](relalgebra::predicate::Predicate::eval_3vl_marked);
 //! * the **possible** side must keep every pair some valuation could join,
-//!   so null-bearing keys fall back to the [`SplitIndex`] symbolic
+//!   so null-bearing keys fall back to the `SplitIndex` symbolic
 //!   remainder; each candidate pair is re-checked against the full join
 //!   predicate (`≠ False`), making the hash path a pure skip-non-matches
 //!   optimisation.
@@ -30,9 +30,34 @@ pub fn execute_approx(plan: &PhysicalPlan, db: &Database) -> ApproxAnswer {
 
 /// [`execute_approx`] plus the operator telemetry.
 pub fn execute_approx_counted(plan: &PhysicalPlan, db: &Database) -> (ApproxAnswer, OpStats) {
+    execute_approx_between(plan, db, db)
+}
+
+/// Pair-evaluates a physical plan over an **interval** of databases: the
+/// certain side reads every leaf from `lower`, the possible side from
+/// `upper`. For any database `D` with `lower ⊆ D ⊆ upper` (tuple-wise, same
+/// schema) and any valuation `v`, the invariant `v(certain) ⊆ Q(v(D)) ⊆
+/// v(possible)` holds at every node by the same induction that proves the
+/// single-database pair evaluator sound — only the leaf case changes, and
+/// there `v(lower_R) ⊆ v(D_R) ⊆ v(upper_R)` is immediate.
+///
+/// This is how consistent query answering reuses the certain⁺ executor: a
+/// subset-repair of an inconsistent database always lies between the
+/// conflict-free core (`lower`) and the database minus its doomed tuples
+/// (`upper`), so the certain side's complete tuples are answers in every
+/// world of every repair — a `Sound` approximation of the consistent
+/// answer without enumerating a single repair. With `lower == upper` this
+/// is exactly [`execute_approx_counted`].
+pub fn execute_approx_between(
+    plan: &PhysicalPlan,
+    lower: &Database,
+    upper: &Database,
+) -> (ApproxAnswer, OpStats) {
     let mut exec = ApproxExec {
-        db,
-        delta: None,
+        lower,
+        upper,
+        delta_lower: None,
+        delta_upper: None,
         stats: OpStats::default(),
     };
     let answer = exec.eval(plan.root());
@@ -40,8 +65,10 @@ pub fn execute_approx_counted(plan: &PhysicalPlan, db: &Database) -> (ApproxAnsw
 }
 
 struct ApproxExec<'a> {
-    db: &'a Database,
-    delta: Option<Relation>,
+    lower: &'a Database,
+    upper: &'a Database,
+    delta_lower: Option<Relation>,
+    delta_upper: Option<Relation>,
     stats: OpStats,
 }
 
@@ -50,13 +77,10 @@ impl ApproxExec<'_> {
         self.stats.operators += 1;
         match node.op() {
             PhysOp::Scan(name) => {
-                let rel = self
-                    .db
-                    .relation(name)
-                    .expect("physical plans are lowered from typechecked queries");
+                let expect = "physical plans are lowered from typechecked queries";
                 ApproxAnswer {
-                    certain: rel.clone(),
-                    possible: rel.clone(),
+                    certain: self.lower.relation(name).expect(expect).clone(),
+                    possible: self.upper.relation(name).expect(expect).clone(),
                 }
             }
             // Literal nulls are rigid: only complete literal tuples are
@@ -66,10 +90,19 @@ impl ApproxExec<'_> {
                 possible: rel.clone(),
             },
             PhysOp::Delta => {
-                let d = self.delta().clone();
-                ApproxAnswer {
-                    certain: d.clone(),
-                    possible: d,
+                if std::ptr::eq(self.lower, self.upper) {
+                    // Single-database pair evaluation: one diagonal, built
+                    // once per execution, shared by both sides.
+                    let d = delta_of(&mut self.delta_lower, self.lower).clone();
+                    ApproxAnswer {
+                        certain: d.clone(),
+                        possible: d,
+                    }
+                } else {
+                    ApproxAnswer {
+                        certain: delta_of(&mut self.delta_lower, self.lower).clone(),
+                        possible: delta_of(&mut self.delta_upper, self.upper).clone(),
+                    }
                 }
             }
             PhysOp::Filter { input, predicate } => {
@@ -231,13 +264,14 @@ impl ApproxExec<'_> {
             }
         }
     }
+}
 
-    fn delta(&mut self) -> &Relation {
-        if self.delta.is_none() {
-            self.delta = Some(Relation::from_tuples(2, super::delta_diagonal(self.db)));
-        }
-        self.delta.as_ref().expect("just initialised")
+/// Lazily materializes the active-domain diagonal `Δ` of one side's database.
+fn delta_of<'a>(cache: &'a mut Option<Relation>, db: &Database) -> &'a Relation {
+    if cache.is_none() {
+        *cache = Some(Relation::from_tuples(2, super::delta_diagonal(db)));
     }
+    cache.as_ref().expect("just initialised")
 }
 
 fn project(rel: &Relation, cols: &[usize]) -> Relation {

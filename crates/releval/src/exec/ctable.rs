@@ -9,7 +9,7 @@
 //!   in the hash table: equal keys conjoin their row conditions; unequal
 //!   keys never materialise the unsatisfiable row the logical algebra would
 //!   have carried to its final `simplify()`;
-//! * pairs involving a **null key** fall back to the [`SplitIndex`]
+//! * pairs involving a **null key** fall back to the `SplitIndex`
 //!   symbolic remainder and emit the equality atoms (`⊥ᵢ = c`, `⊥ᵢ = ⊥ⱼ`)
 //!   as conditions, exactly as the logical algebra does.
 //!

@@ -36,6 +36,30 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Declares a primary key on a relation (by attribute names).
+    pub fn key(mut self, relation: &str, columns: &[&str]) -> Self {
+        self.schema = self.schema.key(relation, columns);
+        self
+    }
+
+    /// Declares a functional dependency `lhs → rhs` on a relation.
+    pub fn fd(mut self, relation: &str, lhs: &[&str], rhs: &[&str]) -> Self {
+        self.schema = self.schema.fd(relation, lhs, rhs);
+        self
+    }
+
+    /// Declares a unary denial constraint on a relation.
+    pub fn deny(
+        mut self,
+        relation: &str,
+        column: &str,
+        op: crate::constraint::CompareOp,
+        value: crate::value::Constant,
+    ) -> Self {
+        self.schema = self.schema.deny(relation, column, op, value);
+        self
+    }
+
     /// Adds a tuple to a relation.
     pub fn tuple(mut self, relation: &str, values: Vec<Value>) -> Self {
         self.tuples.push((relation.to_owned(), Tuple::new(values)));
@@ -123,6 +147,18 @@ mod tests {
             .relation("R", &["a"])
             .ints("R", &[1, 2])
             .build();
+    }
+
+    #[test]
+    fn builder_declares_constraints() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .build();
+        assert!(db.schema().has_constraints());
+        assert!(!db.is_consistent());
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Integrity constraints: primary keys, functional dependencies, and unary
+//! denial constraints, declared against a [`Schema`].
+//!
+//! A database that violates its constraints denotes a *set* of worlds just
+//! like an incomplete one does — namely its subset-minimal **repairs** — so
+//! constraints are the second half of the "incomplete data" story: nulls
+//! make single tuples uncertain, violations make the *membership* of tuples
+//! uncertain. The `repairs` crate builds the conflict hypergraph and the
+//! repair enumeration on top of the detection primitives here.
+//!
+//! ## Semantics over marked nulls
+//!
+//! Constraints are checked **syntactically** over naïve tables: a marked
+//! null stands for itself (`⊥ᵢ = ⊥ᵢ`, `⊥ᵢ ≠ ⊥ⱼ` for `i ≠ j`, `⊥ᵢ ≠ c` for
+//! every constant `c`). Two tuples violate a key when their key projections
+//! are syntactically equal and the tuples are distinct; a unary denial
+//! constraint fires only when the compared value is a *constant* satisfying
+//! the comparison. This is the "certain violation under labelled-null
+//! identity" reading: it keeps violation detection polynomial and makes
+//! repairs of an incomplete database incomplete databases themselves, which
+//! the certain-answer machinery then handles world-by-world.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::database::Database;
+use crate::error::ModelError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{Constant, Value};
+
+/// Comparison operators usable in unary denial constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<` (by [`Constant`]'s order: integers before strings)
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates the comparison between two constants.
+    pub fn eval(self, left: &Constant, right: &Constant) -> bool {
+        match self {
+            CompareOp::Eq => left == right,
+            CompareOp::Neq => left != right,
+            CompareOp::Lt => left < right,
+            CompareOp::Le => left <= right,
+            CompareOp::Gt => left > right,
+            CompareOp::Ge => left >= right,
+        }
+    }
+
+    /// The operator's symbol for display.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "≠",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "≤",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => "≥",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An integrity constraint over one relation of a schema.
+///
+/// All three forms are *denial* constraints (they forbid patterns of tuples
+/// rather than requiring new ones), so every inconsistent database has at
+/// least one — and usually many — subset-repairs obtained by deletions only.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Constraint {
+    /// Primary key: no two distinct tuples of `relation` may agree on all
+    /// `columns` (attribute names).
+    Key {
+        /// Relation the key is declared on.
+        relation: String,
+        /// Key attributes.
+        columns: Vec<String>,
+    },
+    /// Functional dependency `lhs → rhs`: any two tuples agreeing on `lhs`
+    /// must agree on `rhs`.
+    FunctionalDependency {
+        /// Relation the dependency is declared on.
+        relation: String,
+        /// Determinant attributes.
+        lhs: Vec<String>,
+        /// Dependent attributes.
+        rhs: Vec<String>,
+    },
+    /// Unary denial constraint: no tuple of `relation` may have a constant
+    /// in `column` for which `column op value` holds. (Nulls never fire a
+    /// denial constraint — see the module docs.)
+    Denial {
+        /// Relation the constraint is declared on.
+        relation: String,
+        /// The constrained attribute.
+        column: String,
+        /// Comparison against the literal.
+        op: CompareOp,
+        /// The forbidden comparison literal.
+        value: Constant,
+    },
+}
+
+impl Constraint {
+    /// The relation the constraint is declared on.
+    pub fn relation(&self) -> &str {
+        match self {
+            Constraint::Key { relation, .. }
+            | Constraint::FunctionalDependency { relation, .. }
+            | Constraint::Denial { relation, .. } => relation,
+        }
+    }
+
+    /// Validates the constraint against a schema: the relation must exist
+    /// and every referenced attribute must be one of its attributes.
+    pub fn validate(&self, schema: &Schema) -> Result<(), ModelError> {
+        let rel = schema.require(self.relation())?;
+        let check = |attrs: &[String]| -> Result<(), ModelError> {
+            for a in attrs {
+                if rel.attribute_index(a).is_none() {
+                    return Err(ModelError::UnknownAttribute {
+                        relation: rel.name.clone(),
+                        attribute: a.clone(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        match self {
+            Constraint::Key { columns, .. } => check(columns),
+            Constraint::FunctionalDependency { lhs, rhs, .. } => {
+                check(lhs)?;
+                check(rhs)
+            }
+            Constraint::Denial { column, .. } => check(std::slice::from_ref(column)),
+        }
+    }
+
+    /// Does the pair / single tuple pattern the constraint forbids involve
+    /// two tuples (keys, FDs) or one (denial)?
+    pub fn is_binary(&self) -> bool {
+        !matches!(self, Constraint::Denial { .. })
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Key { relation, columns } => {
+                write!(f, "key {relation}({})", columns.join(", "))
+            }
+            Constraint::FunctionalDependency { relation, lhs, rhs } => {
+                write!(f, "fd {relation}: {} → {}", lhs.join(", "), rhs.join(", "))
+            }
+            Constraint::Denial {
+                relation,
+                column,
+                op,
+                value,
+            } => write!(f, "deny {relation}.{column} {op} {value}"),
+        }
+    }
+}
+
+/// One witnessed constraint violation: the constraint, the relation, and the
+/// one (denial) or two (key / FD) tuples that jointly violate it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// The violated constraint.
+    pub constraint: Constraint,
+    /// The relation the witnesses live in.
+    pub relation: String,
+    /// The witnessing tuples: one for denial constraints, two for keys and
+    /// functional dependencies.
+    pub tuples: Vec<Tuple>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated by", self.constraint)?;
+        for t in &self.tuples {
+            write!(f, " {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolves attribute names to column indexes; the constraint is assumed
+/// validated (the checked [`Schema`] mutators guarantee it).
+fn indexes(schema: &Schema, relation: &str, attrs: &[String]) -> Vec<usize> {
+    let rel = schema
+        .relation(relation)
+        .expect("constraints are validated against the schema");
+    attrs
+        .iter()
+        .map(|a| {
+            rel.attribute_index(a)
+                .expect("constraints are validated against the schema")
+        })
+        .collect()
+}
+
+/// All violations of `constraint` in `db`, as witness tuples. Key and FD
+/// violations are reported pairwise (a key group of `k` tuples yields
+/// `k·(k−1)/2` violations), in the tuples' natural order.
+pub fn violations_of(constraint: &Constraint, db: &Database) -> Vec<Violation> {
+    let Some(rel) = db.relation(constraint.relation()) else {
+        return Vec::new();
+    };
+    let schema = db.schema();
+    let mut out = Vec::new();
+    match constraint {
+        Constraint::Key { relation, columns } => {
+            let cols = indexes(schema, relation, columns);
+            for group in key_groups(rel.iter(), &cols).values() {
+                for (i, a) in group.iter().enumerate() {
+                    for b in &group[i + 1..] {
+                        out.push(Violation {
+                            constraint: constraint.clone(),
+                            relation: relation.clone(),
+                            tuples: vec![(*a).clone(), (*b).clone()],
+                        });
+                    }
+                }
+            }
+        }
+        Constraint::FunctionalDependency { relation, lhs, rhs } => {
+            let lhs_cols = indexes(schema, relation, lhs);
+            let rhs_cols = indexes(schema, relation, rhs);
+            for group in key_groups(rel.iter(), &lhs_cols).values() {
+                for (i, a) in group.iter().enumerate() {
+                    for b in &group[i + 1..] {
+                        if a.key(&rhs_cols) != b.key(&rhs_cols) {
+                            out.push(Violation {
+                                constraint: constraint.clone(),
+                                relation: relation.clone(),
+                                tuples: vec![(*a).clone(), (*b).clone()],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Constraint::Denial {
+            relation,
+            column,
+            op,
+            value,
+        } => {
+            let col = indexes(schema, relation, std::slice::from_ref(column))[0];
+            for t in rel.iter() {
+                if denies(t, col, *op, value) {
+                    out.push(Violation {
+                        constraint: constraint.clone(),
+                        relation: relation.clone(),
+                        tuples: vec![t.clone()],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does the tuple violate the denial comparison? Nulls never do (the
+/// violation would not be syntactically certain).
+pub(crate) fn denies(tuple: &Tuple, col: usize, op: CompareOp, value: &Constant) -> bool {
+    match tuple.get(col) {
+        Some(Value::Const(c)) => op.eval(c, value),
+        _ => false,
+    }
+}
+
+/// Groups tuples by their (syntactic) projection onto `cols`.
+fn key_groups<'a>(
+    tuples: impl Iterator<Item = &'a Tuple>,
+    cols: &[usize],
+) -> BTreeMap<Vec<Value>, Vec<&'a Tuple>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<&'a Tuple>> = BTreeMap::new();
+    for t in tuples {
+        groups.entry(t.key(cols)).or_default().push(t);
+    }
+    groups
+}
+
+/// Does `db` violate `constraint` anywhere? Early-exits on the first
+/// witness instead of materializing them all.
+pub fn violates(constraint: &Constraint, db: &Database) -> bool {
+    let Some(rel) = db.relation(constraint.relation()) else {
+        return false;
+    };
+    let schema = db.schema();
+    match constraint {
+        Constraint::Key { relation, columns } => {
+            let cols = indexes(schema, relation, columns);
+            key_groups(rel.iter(), &cols).values().any(|g| g.len() >= 2)
+        }
+        Constraint::FunctionalDependency { relation, lhs, rhs } => {
+            let lhs_cols = indexes(schema, relation, lhs);
+            let rhs_cols = indexes(schema, relation, rhs);
+            key_groups(rel.iter(), &lhs_cols)
+                .values()
+                .any(|g| g.iter().any(|t| t.key(&rhs_cols) != g[0].key(&rhs_cols)))
+        }
+        Constraint::Denial {
+            relation,
+            column,
+            op,
+            value,
+        } => {
+            let col = indexes(schema, relation, std::slice::from_ref(column))[0];
+            rel.iter().any(|t| denies(t, col, *op, value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatabaseBuilder;
+    use crate::schema::Schema;
+
+    fn keyed_db() -> Database {
+        let mut db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .build();
+        let schema = db.schema().clone();
+        let mut with = schema;
+        with.add_constraint(Constraint::Key {
+            relation: "R".into(),
+            columns: vec!["k".into()],
+        })
+        .unwrap();
+        db = rebuild(db, with);
+        db
+    }
+
+    /// Rebuilds a database over a schema with constraints added.
+    fn rebuild(db: Database, schema: Schema) -> Database {
+        let mut out = Database::new(schema);
+        for (name, rel) in db.iter() {
+            for t in rel.iter() {
+                out.insert(name, t.clone()).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn key_violations_are_pairwise() {
+        let db = keyed_db();
+        let vs = db.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].tuples.len(), 2);
+        assert!(!db.is_consistent());
+    }
+
+    #[test]
+    fn fd_agreeing_rhs_is_not_a_violation() {
+        let schema = {
+            let mut s = Schema::builder().relation("T", &["a", "b", "c"]).build();
+            s.add_constraint(Constraint::FunctionalDependency {
+                relation: "T".into(),
+                lhs: vec!["a".into()],
+                rhs: vec!["b".into()],
+            })
+            .unwrap();
+            s
+        };
+        let mut db = Database::new(schema);
+        db.insert("T", Tuple::ints(&[1, 5, 100])).unwrap();
+        db.insert("T", Tuple::ints(&[1, 5, 200])).unwrap(); // same b: fine
+        assert!(db.is_consistent());
+        db.insert("T", Tuple::ints(&[1, 6, 300])).unwrap(); // b differs: violation
+        assert!(!db.is_consistent());
+        assert_eq!(db.violations().len(), 2, "(1,5,*) × (1,6,300) pairs");
+    }
+
+    #[test]
+    fn denial_fires_on_constants_only() {
+        let schema = {
+            let mut s = Schema::builder().relation("S", &["a"]).build();
+            s.add_constraint(Constraint::Denial {
+                relation: "S".into(),
+                column: "a".into(),
+                op: CompareOp::Ge,
+                value: Constant::Int(100),
+            })
+            .unwrap();
+            s
+        };
+        let mut db = Database::new(schema);
+        db.insert("S", Tuple::ints(&[5])).unwrap();
+        db.insert("S", Tuple::new(vec![Value::null(0)])).unwrap();
+        assert!(db.is_consistent(), "a null never certainly violates");
+        db.insert("S", Tuple::ints(&[100])).unwrap();
+        let vs = db.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].tuples[0], Tuple::ints(&[100]));
+    }
+
+    #[test]
+    fn nulls_are_syntactic_in_keys() {
+        let schema = {
+            let mut s = Schema::builder().relation("R", &["k", "v"]).build();
+            s.add_constraint(Constraint::Key {
+                relation: "R".into(),
+                columns: vec!["k".into()],
+            })
+            .unwrap();
+            s
+        };
+        let mut db = Database::new(schema);
+        // Same null key ⊥0 twice: a syntactic key violation.
+        db.insert("R", Tuple::new(vec![Value::null(0), Value::int(1)]))
+            .unwrap();
+        db.insert("R", Tuple::new(vec![Value::null(0), Value::int(2)]))
+            .unwrap();
+        // Different nulls: no *certain* violation.
+        db.insert("R", Tuple::new(vec![Value::null(1), Value::int(3)]))
+            .unwrap();
+        let vs = db.violations();
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].tuples.iter().all(|t| !t.is_complete()));
+    }
+
+    #[test]
+    fn validation_rejects_unknown_relations_and_attributes() {
+        let schema = Schema::builder().relation("R", &["a"]).build();
+        let bad_rel = Constraint::Key {
+            relation: "Nope".into(),
+            columns: vec!["a".into()],
+        };
+        assert!(matches!(
+            bad_rel.validate(&schema),
+            Err(ModelError::UnknownRelation(_))
+        ));
+        let bad_attr = Constraint::FunctionalDependency {
+            relation: "R".into(),
+            lhs: vec!["a".into()],
+            rhs: vec!["z".into()],
+        };
+        assert!(matches!(
+            bad_attr.validate(&schema),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let key = Constraint::Key {
+            relation: "R".into(),
+            columns: vec!["k".into()],
+        };
+        assert_eq!(key.to_string(), "key R(k)");
+        let fd = Constraint::FunctionalDependency {
+            relation: "T".into(),
+            lhs: vec!["a".into()],
+            rhs: vec!["b".into()],
+        };
+        assert_eq!(fd.to_string(), "fd T: a → b");
+        let deny = Constraint::Denial {
+            relation: "S".into(),
+            column: "a".into(),
+            op: CompareOp::Eq,
+            value: Constant::Int(0),
+        };
+        assert_eq!(deny.to_string(), "deny S.a = 0");
+    }
+}

@@ -114,6 +114,26 @@ impl Database {
         self.relations.values().map(Relation::len).sum()
     }
 
+    /// All violations of the schema's integrity constraints, as witness
+    /// tuples (see [`crate::constraint`] for the syntactic semantics over
+    /// marked nulls).
+    pub fn violations(&self) -> Vec<crate::constraint::Violation> {
+        self.schema
+            .constraints()
+            .iter()
+            .flat_map(|c| crate::constraint::violations_of(c, self))
+            .collect()
+    }
+
+    /// Does the database satisfy every constraint of its schema?
+    /// Early-exits on the first violation.
+    pub fn is_consistent(&self) -> bool {
+        self.schema
+            .constraints()
+            .iter()
+            .all(|c| !crate::constraint::violates(c, self))
+    }
+
     /// Is every relation free of nulls?
     pub fn is_complete(&self) -> bool {
         self.relations.values().all(Relation::is_complete)

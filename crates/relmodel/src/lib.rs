@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod constraint;
 pub mod database;
 pub mod display;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod value;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::builder::DatabaseBuilder;
+    pub use crate::constraint::{CompareOp, Constraint, Violation};
     pub use crate::database::Database;
     pub use crate::error::ModelError;
     pub use crate::relation::Relation;
@@ -75,6 +77,7 @@ pub mod prelude {
 }
 
 pub use builder::DatabaseBuilder;
+pub use constraint::{CompareOp, Constraint, Violation};
 pub use database::Database;
 pub use error::ModelError;
 pub use relation::Relation;

@@ -3,7 +3,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::constraint::{CompareOp, Constraint};
 use crate::error::ModelError;
+use crate::value::Constant;
 
 /// Schema of a single relation: its name and its attribute names (the arity is
 /// the number of attributes).
@@ -55,11 +57,13 @@ impl fmt::Display for RelationSchema {
 }
 
 /// A relational schema: a set of relation names with associated arities (and
-/// attribute names).
+/// attribute names), plus the integrity constraints declared over them.
 #[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     relations: BTreeMap<String, RelationSchema>,
+    #[cfg_attr(feature = "serde", serde(default))]
+    constraints: Vec<Constraint>,
 }
 
 impl Schema {
@@ -114,7 +118,28 @@ impl Schema {
         self.relations.is_empty()
     }
 
+    /// Declares an integrity constraint, validating it against the schema's
+    /// relations and attributes.
+    pub fn add_constraint(&mut self, constraint: Constraint) -> Result<(), ModelError> {
+        constraint.validate(self)?;
+        if !self.constraints.contains(&constraint) {
+            self.constraints.push(constraint);
+        }
+        Ok(())
+    }
+
+    /// The declared integrity constraints, in declaration order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Does the schema declare any integrity constraints?
+    pub fn has_constraints(&self) -> bool {
+        !self.constraints.is_empty()
+    }
+
     /// Builds the union of two schemas; relations present in both must agree.
+    /// Constraints from both sides are kept (deduplicated).
     pub fn merge(&self, other: &Schema) -> Result<Schema, ModelError> {
         let mut out = self.clone();
         for rel in other.iter() {
@@ -126,6 +151,11 @@ impl Schema {
                 }
             } else {
                 out.add(rel.clone());
+            }
+        }
+        for c in &other.constraints {
+            if !out.constraints.contains(c) {
+                out.constraints.push(c.clone());
             }
         }
         Ok(out)
@@ -142,6 +172,13 @@ impl fmt::Display for Schema {
             write!(f, "{rel}")?;
             first = false;
         }
+        for c in &self.constraints {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
         Ok(())
     }
 }
@@ -150,6 +187,7 @@ impl fmt::Display for Schema {
 #[derive(Debug, Default, Clone)]
 pub struct SchemaBuilder {
     relations: Vec<RelationSchema>,
+    constraints: Vec<Constraint>,
 }
 
 impl SchemaBuilder {
@@ -162,11 +200,49 @@ impl SchemaBuilder {
         self
     }
 
-    /// Finishes building the schema.
+    /// Declares a primary key on a relation (by attribute names).
+    pub fn key(mut self, relation: &str, columns: &[&str]) -> Self {
+        self.constraints.push(Constraint::Key {
+            relation: relation.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+        });
+        self
+    }
+
+    /// Declares a functional dependency `lhs → rhs` on a relation.
+    pub fn fd(mut self, relation: &str, lhs: &[&str], rhs: &[&str]) -> Self {
+        self.constraints.push(Constraint::FunctionalDependency {
+            relation: relation.to_owned(),
+            lhs: lhs.iter().map(|c| (*c).to_owned()).collect(),
+            rhs: rhs.iter().map(|c| (*c).to_owned()).collect(),
+        });
+        self
+    }
+
+    /// Declares a unary denial constraint: no tuple may have a constant in
+    /// `column` satisfying `column op value`.
+    pub fn deny(mut self, relation: &str, column: &str, op: CompareOp, value: Constant) -> Self {
+        self.constraints.push(Constraint::Denial {
+            relation: relation.to_owned(),
+            column: column.to_owned(),
+            op,
+            value,
+        });
+        self
+    }
+
+    /// Finishes building the schema. Panics if a declared constraint does
+    /// not validate against the declared relations (a programming error in
+    /// the schema literal).
     pub fn build(self) -> Schema {
         let mut schema = Schema::new();
         for rel in self.relations {
             schema.add(rel);
+        }
+        for c in self.constraints {
+            schema
+                .add_constraint(c.clone())
+                .unwrap_or_else(|e| panic!("invalid constraint {c}: {e}"));
         }
         schema
     }
@@ -214,6 +290,40 @@ mod tests {
 
         let conflicting = Schema::builder().relation("R", &["a", "b"]).build();
         assert!(a.merge(&conflicting).is_err());
+    }
+
+    #[test]
+    fn constraints_are_validated_kept_and_merged() {
+        let mut schema = Schema::builder()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .build();
+        assert!(schema.has_constraints());
+        assert_eq!(schema.constraints().len(), 1);
+        // Duplicates are kept once; invalid constraints are rejected.
+        schema
+            .add_constraint(Constraint::Key {
+                relation: "R".into(),
+                columns: vec!["k".into()],
+            })
+            .unwrap();
+        assert_eq!(schema.constraints().len(), 1);
+        assert!(schema
+            .add_constraint(Constraint::Key {
+                relation: "R".into(),
+                columns: vec!["nope".into()],
+            })
+            .is_err());
+        // Merge keeps both sides' constraints, deduplicated.
+        let other = Schema::builder()
+            .relation("R", &["k", "v"])
+            .relation("S", &["a"])
+            .key("R", &["k"])
+            .deny("S", "a", CompareOp::Lt, Constant::Int(0))
+            .build();
+        let merged = schema.merge(&other).unwrap();
+        assert_eq!(merged.constraints().len(), 2);
+        assert!(merged.to_string().contains("key R(k)"));
     }
 
     #[test]

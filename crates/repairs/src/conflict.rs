@@ -1,0 +1,316 @@
+//! The conflict hypergraph of an inconsistent database.
+//!
+//! Every constraint form in [`relmodel::constraint`] is a *denial*
+//! constraint, so each minimal violation is witnessed by one tuple (unary
+//! denial constraints) or two (keys, functional dependencies). That makes
+//! the repair structure a hypergraph with edges of size 1 and 2:
+//!
+//! * tuples in a **unary** edge are *doomed* — they appear in no repair;
+//! * tuples in a **binary** edge are *conflict vertices* — a repair keeps a
+//!   maximal independent set of them;
+//! * everything else is the **conflict-free core** — present in *every*
+//!   repair, which is exactly what makes the core a sound evaluation base.
+//!
+//! Conflicts between a doomed tuple and anything else are irrelevant (the
+//! doomed side is always deleted), so they are not recorded — keeping them
+//! would make otherwise-clean tuples look conflicted and shrink the core
+//! for no reason.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use relmodel::constraint::{violations_of, Violation};
+use relmodel::{Database, Tuple};
+
+/// A tuple identified by the relation it lives in.
+pub type Fact = (String, Tuple);
+
+/// The conflict hypergraph of a database against its schema's constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictGraph {
+    /// Tuples violating a unary denial constraint: in no repair.
+    doomed: BTreeSet<Fact>,
+    /// Conflict vertices — tuples in at least one binary edge — in a fixed
+    /// enumeration order.
+    vertices: Vec<Fact>,
+    /// Adjacency lists over vertex indexes (binary conflict edges).
+    adjacency: Vec<Vec<usize>>,
+    /// Number of distinct binary edges.
+    edges: usize,
+    /// Violations found (witness list, for reporting).
+    violations: usize,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict hypergraph of `db` against the constraints its
+    /// schema declares.
+    pub fn build(db: &Database) -> ConflictGraph {
+        let all: Vec<Violation> = db
+            .schema()
+            .constraints()
+            .iter()
+            .flat_map(|c| violations_of(c, db))
+            .collect();
+        Self::from_violations(&all)
+    }
+
+    /// Builds the hypergraph from an explicit violation list.
+    pub fn from_violations(violations: &[Violation]) -> ConflictGraph {
+        let mut doomed: BTreeSet<Fact> = BTreeSet::new();
+        for v in violations {
+            if !v.constraint.is_binary() {
+                doomed.insert((v.relation.clone(), v.tuples[0].clone()));
+            }
+        }
+        let mut index: BTreeMap<Fact, usize> = BTreeMap::new();
+        let mut vertices: Vec<Fact> = Vec::new();
+        let mut edge_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for v in violations {
+            if !v.constraint.is_binary() {
+                continue;
+            }
+            let a = (v.relation.clone(), v.tuples[0].clone());
+            let b = (v.relation.clone(), v.tuples[1].clone());
+            // A pair conflict with a doomed tuple needs no repairing: the
+            // doomed side is deleted in every repair anyway.
+            if doomed.contains(&a) || doomed.contains(&b) {
+                continue;
+            }
+            let mut id_of = |fact: Fact| -> usize {
+                *index.entry(fact.clone()).or_insert_with(|| {
+                    vertices.push(fact);
+                    vertices.len() - 1
+                })
+            };
+            let ia = id_of(a);
+            let ib = id_of(b);
+            if ia != ib {
+                edge_set.insert((ia.min(ib), ia.max(ib)));
+            }
+        }
+        let mut adjacency = vec![Vec::new(); vertices.len()];
+        for &(a, b) in &edge_set {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        ConflictGraph {
+            doomed,
+            vertices,
+            adjacency,
+            edges: edge_set.len(),
+            violations: violations.len(),
+        }
+    }
+
+    /// No violations at all: the database is consistent and its single
+    /// repair is the database itself.
+    pub fn is_conflict_free(&self) -> bool {
+        self.doomed.is_empty() && self.vertices.is_empty()
+    }
+
+    /// Number of conflict vertices (tuples in at least one binary edge).
+    pub fn conflict_tuples(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of doomed tuples (unary denial violations).
+    pub fn doomed_tuples(&self) -> usize {
+        self.doomed.len()
+    }
+
+    /// Number of distinct binary conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of witnessed violations the graph was built from.
+    pub fn violation_count(&self) -> usize {
+        self.violations
+    }
+
+    /// The conflict vertices, in enumeration order.
+    pub fn vertices(&self) -> &[Fact] {
+        &self.vertices
+    }
+
+    /// Neighbors of vertex `v` (binary conflict partners).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// An a-priori upper bound on the number of subset-minimal repairs: the
+    /// Moon–Moser bound on maximal independent sets of a graph with
+    /// [`ConflictGraph::conflict_tuples`] vertices, saturating at
+    /// `u128::MAX`. The planner compares this against its repair budget
+    /// before committing to enumeration — exactly how the world oracle's
+    /// `|domain|^|nulls|` estimate is used.
+    pub fn estimated_repairs(&self) -> u128 {
+        moon_moser(self.vertices.len())
+    }
+
+    /// The conflict-free core: `db` minus doomed tuples minus conflict
+    /// vertices. The core is a sub-instance of **every** repair.
+    pub fn core(&self, db: &Database) -> Database {
+        let vertex_set: BTreeSet<&Fact> = self.vertices.iter().collect();
+        self.retain(db, |fact| !vertex_set.contains(fact))
+    }
+
+    /// The repair upper bound: `db` minus doomed tuples. Every repair is a
+    /// sub-instance of it.
+    pub fn upper(&self, db: &Database) -> Database {
+        self.retain(db, |_| true)
+    }
+
+    /// `db` minus doomed tuples, further filtered by `keep` (which only ever
+    /// sees non-doomed facts).
+    fn retain(&self, db: &Database, keep: impl Fn(&Fact) -> bool) -> Database {
+        let mut out = Database::new(db.schema().clone());
+        for (name, rel) in db.iter() {
+            for t in rel.iter() {
+                let fact = (name.to_owned(), t.clone());
+                if !self.doomed.contains(&fact) && keep(&fact) {
+                    out.insert(name, fact.1).expect("same schema");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The Moon–Moser bound: the maximum number of maximal independent sets in
+/// a graph with `n` vertices, saturating at `u128::MAX`.
+fn moon_moser(n: usize) -> u128 {
+    let pow3 = |k: usize| -> u128 {
+        if k >= 81 {
+            return u128::MAX;
+        }
+        3u128.saturating_pow(k as u32)
+    };
+    match n {
+        0 => 1,
+        1 => 1,
+        2 => 2,
+        _ => match n % 3 {
+            0 => pow3(n / 3),
+            1 => pow3((n - 4) / 3).saturating_mul(4),
+            _ => pow3((n - 2) / 3).saturating_mul(2),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::constraint::CompareOp;
+    use relmodel::value::Constant;
+    use relmodel::{DatabaseBuilder, Value};
+
+    fn keyed_db() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .build()
+    }
+
+    #[test]
+    fn key_conflict_splits_core_and_vertices() {
+        let db = keyed_db();
+        let g = ConflictGraph::build(&db);
+        assert!(!g.is_conflict_free());
+        assert_eq!(g.conflict_tuples(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.doomed_tuples(), 0);
+        let core = g.core(&db);
+        assert_eq!(core.total_tuples(), 1, "only (2,30) is conflict-free");
+        assert!(core.relation("R").unwrap().contains(&Tuple::ints(&[2, 30])));
+        assert_eq!(g.upper(&db).total_tuples(), 3);
+        assert_eq!(g.estimated_repairs(), 2);
+    }
+
+    #[test]
+    fn doomed_tuples_leave_the_upper_bound() {
+        let db = DatabaseBuilder::new()
+            .relation("S", &["a"])
+            .deny("S", "a", CompareOp::Eq, Constant::Int(13))
+            .ints("S", &[1])
+            .ints("S", &[13])
+            .build();
+        let g = ConflictGraph::build(&db);
+        assert_eq!(g.doomed_tuples(), 1);
+        assert_eq!(g.conflict_tuples(), 0);
+        assert_eq!(g.upper(&db).total_tuples(), 1);
+        assert_eq!(g.core(&db).total_tuples(), 1);
+        assert_eq!(
+            g.estimated_repairs(),
+            1,
+            "deleting the doomed tuple is forced"
+        );
+    }
+
+    #[test]
+    fn conflicts_with_doomed_tuples_are_not_edges() {
+        // (1,10) conflicts only with the doomed (1,13): it must stay in the
+        // core, because every repair deletes (1,13) anyway.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .deny("R", "v", CompareOp::Eq, Constant::Int(13))
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 13])
+            .build();
+        let g = ConflictGraph::build(&db);
+        assert_eq!(g.doomed_tuples(), 1);
+        assert_eq!(g.conflict_tuples(), 0);
+        let core = g.core(&db);
+        assert!(core.relation("R").unwrap().contains(&Tuple::ints(&[1, 10])));
+    }
+
+    #[test]
+    fn null_keys_conflict_syntactically() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .tuple("R", vec![Value::null(0), Value::int(1)])
+            .tuple("R", vec![Value::null(0), Value::int(2)])
+            .tuple("R", vec![Value::null(1), Value::int(3)])
+            .build();
+        let g = ConflictGraph::build(&db);
+        assert_eq!(
+            g.conflict_tuples(),
+            2,
+            "⊥0-keyed tuples conflict; ⊥1 does not"
+        );
+        assert_eq!(g.core(&db).total_tuples(), 1);
+    }
+
+    #[test]
+    fn moon_moser_bound() {
+        assert_eq!(moon_moser(0), 1);
+        assert_eq!(moon_moser(1), 1);
+        assert_eq!(moon_moser(2), 2);
+        assert_eq!(moon_moser(3), 3);
+        assert_eq!(moon_moser(4), 4);
+        assert_eq!(moon_moser(5), 6);
+        assert_eq!(moon_moser(6), 9);
+        assert!(
+            moon_moser(400) == u128::MAX,
+            "saturates instead of overflowing"
+        );
+    }
+
+    #[test]
+    fn consistent_database_is_conflict_free() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[2, 20])
+            .build();
+        let g = ConflictGraph::build(&db);
+        assert!(g.is_conflict_free());
+        assert_eq!(g.estimated_repairs(), 1);
+        assert_eq!(g.core(&db), db);
+    }
+}

@@ -1,0 +1,146 @@
+//! The conflict-free-core approximation: polynomial, sound, no repair
+//! enumerated.
+//!
+//! Tuples in no conflict edge survive **every** repair, and every repair is
+//! a sub-instance of the database minus its doomed tuples. A repair `R`
+//! therefore always satisfies `core ⊆ R ⊆ upper`, which is precisely the
+//! interval contract of `releval::exec::approx::execute_approx_between`:
+//! feeding the core through the certain side and the upper bound through
+//! the possible side makes every complete tuple on the certain side an
+//! answer in every world of every repair — a `Sound` under-approximation of
+//! the consistent answer, for **every** query class.
+//!
+//! Evaluating the query over the core alone would *not* be sound beyond the
+//! monotone fragment (deleting a conflicting tuple from the right side of a
+//! difference can add answers the repairs refute) — the same trap naïve
+//! evaluation falls into on incomplete data, resolved the same way: an
+//! explicit under/over pair instead of a single relation.
+
+use relalgebra::plan::PlannedQuery;
+use releval::approx::ApproxAnswer;
+use releval::exec::approx::execute_approx_between;
+use releval::exec::OpStats;
+use relmodel::{Database, Relation};
+
+use crate::conflict::ConflictGraph;
+
+/// Telemetry from one core-approximation execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreExecution {
+    /// The sound consistent-answer under-approximation: complete tuples the
+    /// query returns in every world of every repair.
+    pub answers: Relation,
+    /// The raw certain⁺/possible? pair the interval evaluation produced.
+    pub pair: ApproxAnswer,
+    /// Tuples in the conflict-free core (the certain side's leaf input).
+    pub core_tuples: usize,
+    /// Tuples in the repair upper bound (the possible side's leaf input).
+    pub upper_tuples: usize,
+    /// Physical-operator telemetry.
+    pub op_stats: OpStats,
+}
+
+/// The conflict-free core of `db` under `graph`: the sub-instance present
+/// in every repair.
+pub fn conflict_free_core(db: &Database, graph: &ConflictGraph) -> Database {
+    graph.core(db)
+}
+
+/// Evaluates `plan` over the repair interval `[core, db − doomed]` with the
+/// certain⁺ pair executor: one polynomial pass, `Sound` for every query
+/// class, no repair enumerated.
+pub fn core_consistent_answer(
+    plan: &PlannedQuery,
+    db: &Database,
+    graph: &ConflictGraph,
+) -> CoreExecution {
+    let core = graph.core(db);
+    let upper = graph.upper(db);
+    let (pair, op_stats) = execute_approx_between(plan.physical(), &core, &upper);
+    CoreExecution {
+        answers: pair.certain.complete_part(),
+        core_tuples: core.total_tuples(),
+        upper_tuples: upper.total_tuples(),
+        pair,
+        op_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::{stream_consistent_answer, RepairOptions};
+    use relalgebra::ast::RaExpr;
+    use relmodel::{DatabaseBuilder, Tuple};
+
+    fn planned(expr: &RaExpr, db: &Database) -> PlannedQuery {
+        PlannedQuery::new(expr.clone(), db.schema()).unwrap()
+    }
+
+    #[test]
+    fn core_answers_survive_every_repair() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        let q = RaExpr::relation("R").project(vec![1]);
+        let core = core_consistent_answer(&planned(&q, &db), &db, &graph);
+        assert_eq!(core.core_tuples, 1);
+        assert_eq!(core.upper_tuples, 3);
+        assert!(core.answers.contains(&Tuple::ints(&[30])));
+        let exact =
+            stream_consistent_answer(&planned(&q, &db), &db, &graph, &RepairOptions::default())
+                .unwrap();
+        assert!(core.answers.is_subset(&exact.answers), "sound");
+        assert_eq!(core.answers, exact.answers, "exact here, in fact");
+    }
+
+    #[test]
+    fn difference_over_conflicting_right_side_stays_sound() {
+        // S − π_v(R) with R's v-values in conflict: evaluating over the core
+        // alone would claim {7} (the conflicting values vanish from the
+        // right side), but the repair where v=7 survives refutes it. The
+        // interval pair must keep 7 off the certain side.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .relation("S", &["v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 7])
+            .ints("R", &[1, 8])
+            .ints("S", &[7])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        let q = RaExpr::relation("S").difference(RaExpr::relation("R").project(vec![1]));
+        let plan = planned(&q, &db);
+        let core = core_consistent_answer(&plan, &db, &graph);
+        assert!(
+            core.answers.is_empty(),
+            "7 is refuted by the v=7 repair: {}",
+            core.answers
+        );
+        // And the exact fold agrees that the consistent answer is ∅.
+        let exact =
+            stream_consistent_answer(&plan, &db, &graph, &RepairOptions::default()).unwrap();
+        assert!(exact.answers.is_empty());
+    }
+
+    #[test]
+    fn consistent_database_core_is_plain_pair_evaluation() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[2, 20])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        assert!(graph.is_conflict_free());
+        let q = RaExpr::relation("R").project(vec![0]);
+        let core = core_consistent_answer(&planned(&q, &db), &db, &graph);
+        assert_eq!(core.answers.len(), 2);
+        assert_eq!(core.core_tuples, core.upper_tuples);
+    }
+}

@@ -1,0 +1,299 @@
+//! Streaming enumeration of subset-minimal repairs.
+//!
+//! A subset-repair of a database under denial constraints is exactly the
+//! conflict-free core plus a **maximal independent set** of the binary
+//! conflict graph (doomed tuples appear in no repair; see
+//! [`crate::conflict`]). [`RepairIter`] therefore enumerates maximal
+//! independent sets by depth-first include/exclude decisions over the
+//! conflict vertices in a fixed order, with two prunes:
+//!
+//! * *include* is only feasible when no already-included neighbor exists
+//!   (independence);
+//! * *exclude* is only feasible while some neighbor could still justify it
+//!   (an already-included one, or an undecided one) — a vertex excluded
+//!   with all neighbors excluded can never sit in a *maximal* set.
+//!
+//! Distinct decision vectors are distinct tuple sets, so repairs stream out
+//! **structurally deduplicated by construction** — the property the world
+//! iterator needs a dedup pass for. Sharding falls out of the same shape:
+//! forcing the first `p` decisions to the bits of a shard index partitions
+//! the repair space into `2^p` disjoint shards, the repair-space analogue
+//! of `ValuationEnumerator::with_range`.
+
+use relmodel::Database;
+
+use crate::conflict::ConflictGraph;
+
+/// One DFS decision about a conflict vertex.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Is the vertex included in the candidate repair?
+    include: bool,
+    /// No alternative decision remains to try at this depth.
+    exhausted: bool,
+}
+
+/// Streaming iterator over the subset-minimal repairs of a database, one
+/// [`Database`] at a time. Never materializes the repair set.
+#[derive(Debug, Clone)]
+pub struct RepairIter<'a> {
+    graph: &'a ConflictGraph,
+    /// The conflict-free core all repairs share; yielded repairs are
+    /// `core + included vertices`.
+    core: Database,
+    decisions: Vec<Frame>,
+    /// Forced decisions for the first `prefix_len` vertices (bit `d` of
+    /// `prefix` decides vertex `d`): the sharding handle.
+    prefix: u64,
+    prefix_len: usize,
+    done: bool,
+}
+
+impl<'a> RepairIter<'a> {
+    /// Enumerates every subset-minimal repair of `db` under `graph`.
+    pub fn new(db: &Database, graph: &'a ConflictGraph) -> Self {
+        Self::with_prefix(db, graph, 0, 0)
+    }
+
+    /// Enumerates the shard of repairs whose first `prefix_len` vertex
+    /// decisions match the bits of `prefix` (bit `d` ⇒ vertex `d` included).
+    /// The `2^prefix_len` shards partition the repair space; shards whose
+    /// prefix is infeasible yield nothing. `prefix_len` is clamped to the
+    /// vertex count.
+    pub fn with_prefix(
+        db: &Database,
+        graph: &'a ConflictGraph,
+        prefix: u64,
+        prefix_len: usize,
+    ) -> Self {
+        RepairIter {
+            core: graph.core(db),
+            graph,
+            decisions: Vec::with_capacity(graph.conflict_tuples()),
+            prefix,
+            prefix_len: prefix_len.min(graph.conflict_tuples()).min(63),
+            done: false,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.graph.conflict_tuples()
+    }
+
+    /// May vertex `depth` be included? (No included neighbor so far.)
+    fn include_feasible(&self, depth: usize) -> bool {
+        self.graph
+            .neighbors(depth)
+            .iter()
+            .all(|&u| u >= depth || !self.decisions[u].include)
+    }
+
+    /// May vertex `depth` be excluded? (Some neighbor can still justify the
+    /// exclusion: one already included, or one not yet decided.)
+    fn exclude_feasible(&self, depth: usize) -> bool {
+        self.graph
+            .neighbors(depth)
+            .iter()
+            .any(|&u| u > depth || self.decisions[u].include)
+    }
+
+    /// Is the complete decision vector a *maximal* independent set?
+    fn maximal(&self) -> bool {
+        (0..self.n()).all(|v| {
+            self.decisions[v].include
+                || self
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| self.decisions[u].include)
+        })
+    }
+
+    /// The repair named by the current (complete) decision vector.
+    fn build(&self) -> Database {
+        let mut repair = self.core.clone();
+        for (v, frame) in self.decisions.iter().enumerate() {
+            if frame.include {
+                let (relation, tuple) = &self.graph.vertices()[v];
+                repair
+                    .insert(relation, tuple.clone())
+                    .expect("conflict vertices come from the same schema");
+            }
+        }
+        repair
+    }
+
+    /// Pops decisions until one with an untried alternative is found and
+    /// flips it; returns false when the search space is exhausted.
+    fn backtrack(&mut self) -> bool {
+        while let Some(frame) = self.decisions.pop() {
+            if !frame.exhausted {
+                // The frame had tried `include`; `exclude` is the one
+                // remaining alternative — take it if it is feasible.
+                let depth = self.decisions.len();
+                if self.exclude_feasible(depth) {
+                    self.decisions.push(Frame {
+                        include: false,
+                        exhausted: true,
+                    });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for RepairIter<'_> {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let depth = self.decisions.len();
+            if depth == self.n() {
+                let repair = self.maximal().then(|| self.build());
+                if !self.backtrack() {
+                    self.done = true;
+                }
+                match repair {
+                    Some(r) => return Some(r),
+                    None if self.done => return None,
+                    None => continue,
+                }
+            }
+            let frame = if depth < self.prefix_len {
+                let include = (self.prefix >> depth) & 1 == 1;
+                let feasible = if include {
+                    self.include_feasible(depth)
+                } else {
+                    self.exclude_feasible(depth)
+                };
+                if !feasible {
+                    // The forced prefix is infeasible below this point.
+                    if !self.backtrack() {
+                        self.done = true;
+                        return None;
+                    }
+                    continue;
+                }
+                Frame {
+                    include,
+                    exhausted: true,
+                }
+            } else if self.include_feasible(depth) {
+                Frame {
+                    include: true,
+                    exhausted: false,
+                }
+            } else if self.exclude_feasible(depth) {
+                Frame {
+                    include: false,
+                    exhausted: true,
+                }
+            } else {
+                if !self.backtrack() {
+                    self.done = true;
+                    return None;
+                }
+                continue;
+            };
+            self.decisions.push(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    use relmodel::{DatabaseBuilder, Tuple};
+
+    fn two_conflicts_db() -> Database {
+        // Key k on R: groups {(1,10),(1,20)} and {(2,30),(2,40)} conflict;
+        // (3,50) is core. Repairs: one tuple per group + core = 4 repairs.
+        DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .ints("R", &[2, 40])
+            .ints("R", &[3, 50])
+            .build()
+    }
+
+    #[test]
+    fn enumerates_exactly_the_repairs() {
+        let db = two_conflicts_db();
+        let graph = ConflictGraph::build(&db);
+        let repairs: Vec<Database> = RepairIter::new(&db, &graph).collect();
+        assert_eq!(repairs.len(), 4);
+        for r in &repairs {
+            assert!(r.is_consistent(), "every enumerated repair is consistent");
+            assert!(r.is_subinstance_of(&db));
+            assert_eq!(r.total_tuples(), 3, "one per group + the core tuple");
+            assert!(r.relation("R").unwrap().contains(&Tuple::ints(&[3, 50])));
+        }
+        let distinct: BTreeSet<&Database> = repairs.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            4,
+            "structurally deduplicated by construction"
+        );
+    }
+
+    #[test]
+    fn consistent_database_has_one_repair_itself() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        let repairs: Vec<Database> = RepairIter::new(&db, &graph).collect();
+        assert_eq!(repairs, vec![db]);
+    }
+
+    #[test]
+    fn triangle_conflict_has_three_repairs() {
+        // Three tuples sharing one key form a conflict triangle: each repair
+        // keeps exactly one of them.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[1, 30])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        let repairs: Vec<Database> = RepairIter::new(&db, &graph).collect();
+        assert_eq!(repairs.len(), 3);
+        for r in &repairs {
+            assert_eq!(r.total_tuples(), 1);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_repair_space() {
+        let db = two_conflicts_db();
+        let graph = ConflictGraph::build(&db);
+        let all: BTreeSet<Database> = RepairIter::new(&db, &graph).collect();
+        for prefix_len in [1usize, 2, 3] {
+            let mut sharded: Vec<Database> = Vec::new();
+            for prefix in 0..(1u64 << prefix_len.min(graph.conflict_tuples())) {
+                sharded.extend(RepairIter::with_prefix(&db, &graph, prefix, prefix_len));
+            }
+            assert_eq!(
+                sharded.len(),
+                all.len(),
+                "prefix_len {prefix_len}: disjoint"
+            );
+            let as_set: BTreeSet<Database> = sharded.into_iter().collect();
+            assert_eq!(as_set, all, "prefix_len {prefix_len}: complete");
+        }
+    }
+}

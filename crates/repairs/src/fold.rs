@@ -1,0 +1,551 @@
+//! The streaming consistent-answer fold: `⋂ certain(Q, R)` over every
+//! subset-minimal repair `R`, computed the way `releval::worlds` computes
+//! `⋂ Q(D')` over possible worlds.
+//!
+//! The two world-spaces compose rather than multiply in memory: each repair
+//! of an *incomplete* inconsistent database is itself an incomplete
+//! database, so the per-repair certain answer is delegated to the existing
+//! machinery — the physical executor directly when the repair is complete,
+//! the symbolic c-table strategy when it is not, and the streaming world
+//! oracle when symbolic punts. The outer fold keeps the worlds engine's
+//! contract: O(threads) repairs in flight, early exit the moment the
+//! running intersection empties (∅ in one shard proves ∅ globally), a
+//! budget on repairs **visited**, and sharding via the enumeration-prefix
+//! partition of [`crate::enumerate::RepairIter`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use relalgebra::classify::has_incomplete_values;
+use relalgebra::plan::PlannedQuery;
+use releval::exec::{self, OpStats};
+use releval::symbolic::{symbolic_certain_answer, SymbolicOptions, SymbolicOutcome};
+use releval::worlds::{stream_certain_answer, WorldOptions};
+use releval::EvalError;
+use relmodel::{Database, Relation, Semantics};
+
+use crate::conflict::ConflictGraph;
+use crate::enumerate::RepairIter;
+
+/// Options controlling repair enumeration and the per-repair evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOptions {
+    /// Budget on the number of repairs **visited** by the streaming fold
+    /// (early exit can beat it, exactly like the world budget).
+    pub max_repairs: u128,
+    /// Worker threads for the fold; `None` chooses automatically (the shard
+    /// count is rounded down to a power of two — shards are enumeration-
+    /// prefix partitions). Small conflict graphs stay single-threaded.
+    pub threads: Option<usize>,
+    /// Per-repair world-oracle budget, used when a repair carries nulls and
+    /// the symbolic strategy punts. The fold forces its workers' inner
+    /// enumerations single-threaded; parallelism belongs to the outer fold.
+    pub world_options: WorldOptions,
+    /// Per-repair symbolic solver budget.
+    pub symbolic_options: SymbolicOptions,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            max_repairs: 4096,
+            threads: None,
+            world_options: WorldOptions::default(),
+            symbolic_options: SymbolicOptions::default(),
+        }
+    }
+}
+
+impl RepairOptions {
+    /// Options with a specific repair-visit budget.
+    pub fn with_max_repairs(mut self, max_repairs: u128) -> Self {
+        self.max_repairs = max_repairs;
+        self
+    }
+
+    /// Options pinning the fold to a specific worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+}
+
+/// Errors from the consistent-answer fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// More than [`RepairOptions::max_repairs`] repairs were visited without
+    /// the fold converging.
+    BudgetExceeded {
+        /// Repairs visited when the budget fired.
+        repairs: u128,
+        /// The configured maximum.
+        budget: u128,
+    },
+    /// A per-repair certain-answer evaluation failed (world budget on an
+    /// incomplete repair, empty valuation domain, …).
+    Eval(EvalError),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::BudgetExceeded { repairs, budget } => write!(
+                f,
+                "repair enumeration visited {repairs} repairs, exceeding the budget of {budget}"
+            ),
+            RepairError::Eval(e) => write!(f, "per-repair evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<EvalError> for RepairError {
+    fn from(e: EvalError) -> Self {
+        RepairError::Eval(e)
+    }
+}
+
+/// Telemetry from one streaming consistent-answer execution — the CQA
+/// counterpart of `releval::worlds::WorldExecution`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairExecution {
+    /// The consistent answer — `⋂ certain(Q, R)` over the visited repairs.
+    pub answers: Relation,
+    /// Repairs actually evaluated across all workers.
+    pub repairs_visited: u128,
+    /// Did enumeration stop early because the intersection emptied? Early
+    /// exit can only fire when the consistent answer is ∅.
+    pub early_exit: bool,
+    /// Worker threads used by the fold.
+    pub threads: usize,
+    /// Repairs whose certain answer needed the symbolic c-table strategy
+    /// (the repair carried nulls).
+    pub symbolic_repairs: u128,
+    /// Repairs whose certain answer fell through to the world oracle.
+    pub world_repairs: u128,
+    /// Physical-operator telemetry aggregated across every per-repair
+    /// execution and worker shard.
+    pub op_stats: OpStats,
+}
+
+/// Per-worker fold state collected at the join.
+struct ShardResult {
+    acc: Option<Relation>,
+    early_exit: bool,
+    symbolic_repairs: u64,
+    world_repairs: u64,
+    op_stats: OpStats,
+}
+
+/// Shared cross-worker signals. Unlike the worlds fold, per-repair
+/// evaluation *can* fail (an incomplete repair may blow the inner world
+/// budget), so an error slot is needed.
+struct SharedState {
+    stop: AtomicBool,
+    budget_hit: AtomicBool,
+    visited: AtomicU64,
+    error: Mutex<Option<EvalError>>,
+}
+
+/// Minimum conflict-vertex count before the auto thread choice shards the
+/// enumeration; below it, spawn overhead dominates.
+const PARALLEL_MIN_VERTICES: usize = 10;
+
+/// Resolves the worker count to `(prefix_len, 2^prefix_len)`: the largest
+/// power of two not exceeding the requested thread count (shards are
+/// bit-prefix partitions of the decision space), capped by the vertex count.
+fn resolve_shards(opts: &RepairOptions, vertices: usize) -> (usize, usize) {
+    let requested = match opts.threads {
+        Some(pinned) => pinned.max(1),
+        None if vertices < PARALLEL_MIN_VERTICES => 1,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+    };
+    let mut prefix_len = 0usize;
+    while prefix_len < 6 && (1usize << (prefix_len + 1)) <= requested {
+        prefix_len += 1;
+    }
+    let prefix_len = prefix_len.min(vertices);
+    (prefix_len, 1usize << prefix_len)
+}
+
+/// The certain answer of one repair under CWA: the physical executor when
+/// the repair is complete, the symbolic strategy when it is not, the world
+/// oracle when symbolic punts or is unsound for the query.
+fn repair_certain_answer(
+    plan: &PlannedQuery,
+    repair: &Database,
+    opts: &RepairOptions,
+    null_values_literal: bool,
+    shard: &mut ShardResult,
+) -> Result<Relation, EvalError> {
+    if repair.is_complete() {
+        return Ok(exec::execute_into(
+            plan.physical(),
+            repair,
+            &mut shard.op_stats,
+        ));
+    }
+    if !null_values_literal {
+        match symbolic_certain_answer(plan, repair, &opts.symbolic_options) {
+            SymbolicOutcome::Answered(exec) => {
+                shard.symbolic_repairs += 1;
+                shard.op_stats.merge(&exec.op_stats);
+                return Ok(exec.answers);
+            }
+            SymbolicOutcome::Punted(_) => {}
+        }
+    }
+    let mut world_opts = opts.world_options;
+    world_opts.threads = Some(1);
+    let exec = stream_certain_answer(plan, repair, Semantics::Cwa, &world_opts)?;
+    shard.world_repairs += 1;
+    shard.op_stats.merge(&exec.op_stats);
+    Ok(exec.answers)
+}
+
+/// Everything a worker needs, shared read-only across the fleet.
+#[derive(Clone, Copy)]
+struct ShardJob<'a> {
+    plan: &'a PlannedQuery,
+    db: &'a Database,
+    graph: &'a ConflictGraph,
+    opts: &'a RepairOptions,
+    null_values_literal: bool,
+    prefix_len: usize,
+}
+
+fn run_shard(job: ShardJob<'_>, prefix: u64, shared: &SharedState) -> ShardResult {
+    let mut shard = ShardResult {
+        acc: None,
+        early_exit: false,
+        symbolic_repairs: 0,
+        world_repairs: 0,
+        op_stats: OpStats::default(),
+    };
+    let repairs = RepairIter::with_prefix(job.db, job.graph, prefix, job.prefix_len);
+    for repair in repairs {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let visited = shared.visited.fetch_add(1, Ordering::Relaxed) + 1;
+        if u128::from(visited) > job.opts.max_repairs {
+            // This repair is discarded unevaluated — uncount it so the
+            // reported figure is exactly the repairs folded.
+            shared.visited.fetch_sub(1, Ordering::Relaxed);
+            shared.budget_hit.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        let answer = match repair_certain_answer(
+            job.plan,
+            &repair,
+            job.opts,
+            job.null_values_literal,
+            &mut shard,
+        ) {
+            Ok(a) => a,
+            Err(e) => {
+                let mut slot = shared.error.lock().expect("error slot poisoned");
+                slot.get_or_insert(e);
+                shared.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        };
+        let folded = match shard.acc.take() {
+            None => answer,
+            Some(a) => a.intersection(&answer),
+        };
+        let empty = folded.is_empty();
+        shard.acc = Some(folded);
+        if empty {
+            // The global intersection is a subset of this local one: ∅ here
+            // proves the consistent answer is ∅ everywhere. Stop the fleet.
+            shard.early_exit = true;
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    shard
+}
+
+/// The streaming, parallel, early-exiting consistent answer for a
+/// pre-typechecked plan: the certain answer that survives **every**
+/// subset-minimal repair, with telemetry.
+///
+/// The caller supplies the conflict graph (typically built once per
+/// database and reused across queries). Errors with
+/// [`RepairError::BudgetExceeded`] when more than
+/// [`RepairOptions::max_repairs`] repairs were visited without the fold
+/// converging, and with [`RepairError::Eval`] when a per-repair evaluation
+/// fails; early exit beats both, because ∅ is proven the moment any shard's
+/// intersection empties.
+pub fn stream_consistent_answer(
+    plan: &PlannedQuery,
+    db: &Database,
+    graph: &ConflictGraph,
+    opts: &RepairOptions,
+) -> Result<RepairExecution, RepairError> {
+    let null_values_literal = has_incomplete_values(plan.expr());
+    let (prefix_len, workers) = resolve_shards(opts, graph.conflict_tuples());
+    let shared = SharedState {
+        stop: AtomicBool::new(false),
+        budget_hit: AtomicBool::new(false),
+        visited: AtomicU64::new(0),
+        error: Mutex::new(None),
+    };
+    let job = ShardJob {
+        plan,
+        db,
+        graph,
+        opts,
+        null_values_literal,
+        prefix_len,
+    };
+    let shard_results: Vec<ShardResult> = if workers == 1 {
+        vec![run_shard(job, 0, &shared)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|prefix| {
+                    let shared = &shared;
+                    scope.spawn(move || run_shard(job, prefix, shared))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("repair worker panicked"))
+                .collect()
+        })
+    };
+
+    let early_exit = shard_results.iter().any(|r| r.early_exit);
+    let visited = u128::from(shared.visited.load(Ordering::Relaxed));
+    let mut op_stats = OpStats::default();
+    let mut symbolic_repairs = 0u128;
+    let mut world_repairs = 0u128;
+    for shard in &shard_results {
+        op_stats.merge(&shard.op_stats);
+        symbolic_repairs += u128::from(shard.symbolic_repairs);
+        world_repairs += u128::from(shard.world_repairs);
+    }
+    if !early_exit {
+        // ∅ proven early makes budget and per-repair failures moot; without
+        // it they are fatal, per-repair errors first (they explain *why*).
+        if let Some(e) = shared.error.lock().expect("error slot poisoned").take() {
+            return Err(RepairError::Eval(e));
+        }
+        if shared.budget_hit.load(Ordering::Relaxed) {
+            return Err(RepairError::BudgetExceeded {
+                repairs: visited,
+                budget: opts.max_repairs,
+            });
+        }
+    }
+    let answers = if early_exit {
+        Relation::new(plan.physical().arity())
+    } else {
+        let mut acc: Option<Relation> = None;
+        for shard in shard_results {
+            if let Some(local) = shard.acc {
+                acc = Some(match acc.take() {
+                    None => local,
+                    Some(a) => a.intersection(&local),
+                });
+            }
+        }
+        // Every database has at least one repair, so a completed fold has
+        // folded at least one answer.
+        acc.expect("repair enumeration yields at least one repair")
+    };
+    Ok(RepairExecution {
+        answers,
+        repairs_visited: visited,
+        early_exit,
+        threads: workers,
+        symbolic_repairs,
+        world_repairs,
+        op_stats,
+    })
+}
+
+/// Materializes every subset-minimal repair into a vector, respecting an
+/// a-priori budget. Retained for tests and examples; the consistent-answer
+/// path streams instead.
+pub fn enumerate_repairs(
+    db: &Database,
+    graph: &ConflictGraph,
+    max_repairs: u128,
+) -> Result<Vec<Database>, RepairError> {
+    let mut out = Vec::new();
+    for repair in RepairIter::new(db, graph) {
+        if out.len() as u128 >= max_repairs {
+            return Err(RepairError::BudgetExceeded {
+                repairs: out.len() as u128 + 1,
+                budget: max_repairs,
+            });
+        }
+        out.push(repair);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::ast::RaExpr;
+    use relmodel::{DatabaseBuilder, Tuple, Value};
+
+    fn planned(expr: &RaExpr, db: &Database) -> PlannedQuery {
+        PlannedQuery::new(expr.clone(), db.schema()).unwrap()
+    }
+
+    fn fold(q: &RaExpr, db: &Database, opts: &RepairOptions) -> RepairExecution {
+        let graph = ConflictGraph::build(db);
+        stream_consistent_answer(&planned(q, db), db, &graph, opts).unwrap()
+    }
+
+    #[test]
+    fn consistent_answer_survives_every_repair() {
+        // R keyed on k: (1,10)/(1,20) conflict, (2,30) is core. The key
+        // query: π_v(R) — 30 survives every repair; 10 and 20 do not.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .build();
+        let q = RaExpr::relation("R").project(vec![1]);
+        let exec = fold(&q, &db, &RepairOptions::default());
+        assert_eq!(exec.answers.len(), 1);
+        assert!(exec.answers.contains(&Tuple::ints(&[30])));
+        assert_eq!(exec.repairs_visited, 2);
+        assert!(!exec.early_exit);
+    }
+
+    #[test]
+    fn early_exit_fires_on_empty_consistent_answers() {
+        // Every repair keeps exactly one of the k=1 tuples, so no v value
+        // survives both repairs: the fold may stop after two repairs even if
+        // more conflicts exist elsewhere.
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"]);
+        for k in 0..8i64 {
+            b = b.ints("R", &[k, 10 * k + 1]).ints("R", &[k, 10 * k + 2]);
+        }
+        let db = b.build();
+        let q = RaExpr::relation("R").project(vec![1]);
+        // Single shard: within a shard the prefix-pinned groups keep their
+        // values in the local intersection, so only the unsharded fold is
+        // guaranteed to early-exit here.
+        let exec = fold(&q, &db, &RepairOptions::default().with_threads(1));
+        assert!(exec.answers.is_empty());
+        assert!(exec.early_exit);
+        assert!(
+            exec.repairs_visited < 256,
+            "2^8 repairs exist; visited {}",
+            exec.repairs_visited
+        );
+        // The sharded fold agrees on the answer either way.
+        let sharded = fold(&q, &db, &RepairOptions::default().with_threads(4));
+        assert!(sharded.answers.is_empty());
+    }
+
+    #[test]
+    fn budget_bounds_repairs_visited() {
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[99, 0]);
+        for k in 0..8i64 {
+            b = b.ints("R", &[k, 1]).ints("R", &[k, 2]);
+        }
+        let db = b.build();
+        // π_k(R) keeps every k in every repair: the intersection never
+        // empties, so the fold must hit the budget.
+        let q = RaExpr::relation("R").project(vec![0]);
+        let graph = ConflictGraph::build(&db);
+        let err = stream_consistent_answer(
+            &planned(&q, &db),
+            &db,
+            &graph,
+            &RepairOptions::default().with_max_repairs(10),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RepairError::BudgetExceeded { budget: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn incomplete_repairs_go_through_the_certain_answer_machinery() {
+        // The conflicting pair pins v to 10-or-⊥0; the core tuple (2,⊥1) is
+        // incomplete, so every repair is an incomplete database. π_k is
+        // certain in every world of every repair; π_v is not.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("R", vec![Value::int(2), Value::null(1)])
+            .build();
+        let keys = RaExpr::relation("R").project(vec![0]);
+        let exec = fold(&keys, &db, &RepairOptions::default());
+        assert_eq!(exec.answers.len(), 2, "both keys survive: {}", exec.answers);
+        assert!(
+            exec.symbolic_repairs > 0,
+            "incomplete repairs answered symbolically"
+        );
+
+        let vals = RaExpr::relation("R").project(vec![1]);
+        let exec = fold(&vals, &db, &RepairOptions::default());
+        assert!(
+            exec.answers.is_empty(),
+            "⊥1 makes no value certain: {}",
+            exec.answers
+        );
+    }
+
+    #[test]
+    fn sharded_threads_agree_with_single_thread() {
+        let mut b = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[99, 77]);
+        for k in 0..6i64 {
+            b = b.ints("R", &[k, 1]).ints("R", &[k, 2]);
+        }
+        let db = b.build();
+        let q = RaExpr::relation("R").project(vec![1]);
+        let single = fold(&q, &db, &RepairOptions::default().with_threads(1));
+        for threads in [2, 4, 8] {
+            let multi = fold(&q, &db, &RepairOptions::default().with_threads(threads));
+            assert_eq!(multi.answers, single.answers, "threads = {threads}");
+            assert_eq!(multi.threads, threads);
+        }
+        assert!(single.answers.contains(&Tuple::ints(&[77])));
+    }
+
+    #[test]
+    fn materializing_enumeration_respects_its_budget() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        assert_eq!(enumerate_repairs(&db, &graph, 10).unwrap().len(), 2);
+        assert!(matches!(
+            enumerate_repairs(&db, &graph, 1),
+            Err(RepairError::BudgetExceeded { budget: 1, .. })
+        ));
+    }
+}

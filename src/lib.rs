@@ -57,6 +57,10 @@
 //!   [`releval::strategy::Strategy`] trait, executing one shared physical
 //!   operator core ([`releval::exec`])
 //! - [`engine`]: the classify-and-dispatch front door re-exported above
+//!   (including [`engine::Semantics::ConsistentAnswers`])
+//! - [`repairs`]: consistent query answering — conflict hypergraphs,
+//!   streaming subset-minimal repair enumeration, the conflict-free-core
+//!   approximation
 //! - [`ctables`]: conditional tables and the Imielinski–Lipski algebra
 //! - [`certain_core`]: information orderings, homomorphisms,
 //!   `certainO`/`certainK` (rebuilt on top of the engine)
@@ -74,8 +78,12 @@ pub use qparser;
 pub use relalgebra;
 pub use releval;
 pub use relmodel;
+pub use repairs;
 
-pub use engine::{CertainReport, Engine, EngineError, EngineOptions, Guarantee, StrategyKind};
+pub use engine::{
+    CertainReport, Engine, EngineError, EngineOptions, FallbackReason, Guarantee, RepairAbort,
+    StrategyKind,
+};
 
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
@@ -85,7 +93,8 @@ pub mod prelude {
         CertainAnswers,
     };
     pub use engine::{
-        CertainReport, Engine, EngineError, EngineOptions, EngineStats, Guarantee, StrategyKind,
+        CertainReport, Engine, EngineError, EngineOptions, EngineStats, FallbackReason, Guarantee,
+        RepairAbort, StrategyKind,
     };
     pub use qparser::{parse, parse_and_plan};
     pub use relalgebra::{

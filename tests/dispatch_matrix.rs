@@ -107,6 +107,95 @@ fn the_dispatch_matrix() {
     }
 }
 
+/// The consistent-answers rows of the matrix: clean database → delegate to
+/// the certain pipeline; dirty within the repair budget → repair
+/// enumeration, exact; dirty beyond it → conflict-free core, sound, with
+/// the reason recorded. One row per query class per planner state.
+#[test]
+fn the_consistent_answers_rows() {
+    use engine::Semantics as ES;
+
+    // R(k, v) with key k and S(v), queries covering all three classes.
+    let queries: &[(QueryClass, &str)] = &[
+        (QueryClass::Positive, "project[#1](R)"),
+        (QueryClass::RaCwa, "R divide S"),
+        (QueryClass::FullRa, "project[#1](R) minus S"),
+    ];
+    let clean = relmodel::DatabaseBuilder::new()
+        .relation("R", &["k", "v"])
+        .relation("S", &["v"])
+        .key("R", &["k"])
+        .ints("R", &[1, 10])
+        .ints("R", &[2, 30])
+        .ints("S", &[10])
+        .build();
+    let dirty = relmodel::DatabaseBuilder::new()
+        .relation("R", &["k", "v"])
+        .relation("S", &["v"])
+        .key("R", &["k"])
+        .ints("R", &[1, 10])
+        .ints("R", &[1, 20])
+        .ints("R", &[2, 30])
+        .ints("S", &[10])
+        .build();
+
+    for &(class, text) in queries {
+        let q = incomplete_data::qparser::parse(text).unwrap();
+        assert_eq!(classify(&q), class, "fixture drift for {text}");
+
+        // Clean: delegate — same strategies the CWA table picks, `Exact`.
+        let report = Engine::new(&clean)
+            .semantics(ES::ConsistentAnswers)
+            .plan(&q)
+            .unwrap();
+        let delegate = match class {
+            QueryClass::Positive | QueryClass::RaCwa => StrategyKind::NaiveExact,
+            QueryClass::FullRa => StrategyKind::SymbolicCTable,
+        };
+        assert_eq!(report.strategy, delegate, "clean × {class:?}");
+        assert_eq!(report.guarantee, Guarantee::Exact, "clean × {class:?}");
+        assert_eq!(report.stats.violations, Some(0), "clean × {class:?}");
+
+        // Dirty, within budget: repair enumeration, exact for every class.
+        let report = Engine::new(&dirty)
+            .semantics(ES::ConsistentAnswers)
+            .plan(&q)
+            .unwrap();
+        assert_eq!(
+            report.strategy,
+            StrategyKind::RepairEnumeration,
+            "dirty × {class:?}"
+        );
+        assert_eq!(report.guarantee, Guarantee::Exact, "dirty × {class:?}");
+        assert!(!report.stats.degraded, "dirty × {class:?}");
+
+        // Dirty, starved budget: the sound core with the reason recorded.
+        let report = Engine::new(&dirty)
+            .semantics(ES::ConsistentAnswers)
+            .options(EngineOptions::default().with_max_repairs(1))
+            .plan(&q)
+            .unwrap();
+        assert_eq!(
+            report.strategy,
+            StrategyKind::ConflictFreeCore,
+            "starved × {class:?}"
+        );
+        assert_eq!(report.guarantee, Guarantee::Sound, "starved × {class:?}");
+        assert!(report.stats.degraded, "starved × {class:?}");
+        assert!(
+            matches!(
+                report.stats.fallback,
+                Some(FallbackReason::RepairBudget {
+                    estimated: 2,
+                    budget: 1
+                })
+            ),
+            "starved × {class:?}: {:?}",
+            report.stats.fallback
+        );
+    }
+}
+
 #[test]
 fn forced_strategies_report_honest_guarantees_per_class() {
     // plan_with computes the guarantee for the *actual* class, never the

@@ -1,0 +1,241 @@
+//! Differential fuzz harness for consistent query answering: the streaming
+//! repair fold and the conflict-free-core approximation replayed against a
+//! brute-force oracle on random inconsistent workloads.
+//!
+//! The oracle is maximally independent of the code under test: it
+//! enumerates **every subset** of the database's tuples, keeps the
+//! consistent ones (via `relmodel`'s violation detection only — no conflict
+//! graph), and takes the ⊆-maximal survivors as the repairs; per-repair
+//! certain answers come from the streaming world oracle. Against that
+//! ground truth the harness asserts, seed by seed:
+//!
+//! 1. `RepairIter` yields exactly the oracle's repair set;
+//! 2. the streaming fold's consistent answer equals the oracle's
+//!    `⋂ certain(Q, R)` — for queries of every class, with and without
+//!    nulls in the data;
+//! 3. the conflict-free-core approximation is a **subset** of the exact
+//!    consistent answer (soundness), again for every class;
+//! 4. engine reports under `Semantics::ConsistentAnswers` honour their
+//!    guarantee: `Exact` matches the oracle, `Sound` never overclaims —
+//!    including when a starved repair budget forces the core fallback.
+//!
+//! `FUZZ_CASES` scales the sweep (default: CI-sized smoke);
+//! `FUZZ_CASES=1000 cargo test --release --test repairs_differential` is
+//! the acceptance-grade run.
+
+use std::collections::BTreeSet;
+
+use datagen::{
+    random_division_query, random_full_ra_query, random_inconsistent_database,
+    random_positive_query, InconsistentDbConfig, QueryGenConfig,
+};
+use incomplete_data::prelude::*;
+use incomplete_data::repairs::{
+    core_consistent_answer, enumerate_repairs, stream_consistent_answer, ConflictGraph, RepairIter,
+    RepairOptions,
+};
+use releval::worlds::{certain_answer_worlds, WorldOptions};
+
+fn fuzz_cases() -> u64 {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+const ALL_CLASSES: [QueryClass; 3] = [QueryClass::Positive, QueryClass::RaCwa, QueryClass::FullRa];
+
+/// A random inconsistent database whose shape (size, violation rate, null
+/// rate) varies with the seed — small enough for the all-subsets oracle.
+fn fuzz_db(seed: u64) -> Database {
+    random_inconsistent_database(&InconsistentDbConfig {
+        tuples_per_relation: 2 + (seed % 2) as usize,
+        domain_size: 3 + (seed % 3) as usize,
+        violation_rate_percent: (seed * 17 % 60) as u32,
+        null_rate_percent: (seed * 7 % 35) as u32,
+        distinct_nulls: (seed % 3) as usize,
+        seed: seed.wrapping_mul(0x9e37_79b9),
+    })
+}
+
+fn fuzz_query(class: QueryClass, seed: u64) -> RaExpr {
+    let schema = datagen::inconsistent_schema();
+    let config = QueryGenConfig {
+        seed,
+        ..Default::default()
+    };
+    match class {
+        QueryClass::Positive => random_positive_query(&schema, &config),
+        QueryClass::RaCwa => random_division_query(&schema, &config),
+        QueryClass::FullRa => random_full_ra_query(&schema, &config),
+    }
+}
+
+/// All tuples of the database as (relation, tuple) facts, in a fixed order.
+fn facts(db: &Database) -> Vec<(String, Tuple)> {
+    db.iter()
+        .flat_map(|(name, rel)| rel.iter().map(move |t| (name.to_owned(), t.clone())))
+        .collect()
+}
+
+/// The sub-database selecting the facts whose bit is set in `mask`.
+fn sub_db(db: &Database, facts: &[(String, Tuple)], mask: u64) -> Database {
+    let mut out = Database::new(db.schema().clone());
+    for (i, (name, tuple)) in facts.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            out.insert(name, tuple.clone()).unwrap();
+        }
+    }
+    out
+}
+
+/// Brute-force repair oracle: every subset, filtered to consistent ones,
+/// filtered to ⊆-maximal ones. Exponential and proud of it.
+fn brute_force_repairs(db: &Database) -> BTreeSet<Database> {
+    let fs = facts(db);
+    let n = fs.len();
+    assert!(n <= 16, "oracle workload too large: {n} tuples");
+    let consistent: Vec<u64> = (0..(1u64 << n))
+        .filter(|&mask| sub_db(db, &fs, mask).is_consistent())
+        .collect();
+    consistent
+        .iter()
+        .filter(|&&m| !consistent.iter().any(|&m2| m2 != m && m2 & m == m))
+        .map(|&m| sub_db(db, &fs, m))
+        .collect()
+}
+
+/// The oracle's consistent answer: fold the streaming **world** oracle
+/// (already differentially validated in its own harness) over the
+/// brute-force repair set.
+fn oracle_consistent_answer(q: &RaExpr, repairs: &BTreeSet<Database>) -> Relation {
+    repairs
+        .iter()
+        .map(|r| {
+            certain_answer_worlds(q, r, Semantics::Cwa, &WorldOptions::default())
+                .expect("oracle workloads fit the world budget")
+        })
+        .reduce(|a, b| a.intersection(&b))
+        .expect("every database has at least one repair")
+}
+
+/// Harness part 1: the streaming enumerator yields exactly the brute-force
+/// repair set, and the materializing helper agrees.
+#[test]
+fn repair_enumeration_matches_brute_force() {
+    let cases = fuzz_cases();
+    for seed in 0..cases {
+        let db = fuzz_db(seed);
+        let graph = ConflictGraph::build(&db);
+        let expected = brute_force_repairs(&db);
+        let streamed: BTreeSet<Database> = RepairIter::new(&db, &graph).collect();
+        assert_eq!(
+            streamed, expected,
+            "MISMATCH repair sets (seed {seed}) over\n{db}"
+        );
+        let materialized = enumerate_repairs(&db, &graph, 1 << 16).unwrap();
+        assert_eq!(materialized.len(), expected.len(), "seed {seed}");
+        assert!(
+            expected.len() as u128 <= graph.estimated_repairs(),
+            "Moon–Moser bound must dominate (seed {seed}): {} repairs, bound {}",
+            expected.len(),
+            graph.estimated_repairs()
+        );
+    }
+}
+
+/// Harness part 2 + 3: the streaming fold equals the oracle fold, and the
+/// core approximation is a sound subset — for every query class.
+#[test]
+fn consistent_answers_match_oracle_and_core_is_sound() {
+    let cases = fuzz_cases();
+    for seed in 0..cases {
+        let db = fuzz_db(seed.wrapping_add(0xc0de));
+        let graph = ConflictGraph::build(&db);
+        let repairs = brute_force_repairs(&db);
+        for class in ALL_CLASSES {
+            let q = fuzz_query(class, seed.wrapping_mul(7).wrapping_add(class as u64));
+            assert_eq!(relalgebra::classify::classify(&q), class, "generator drift");
+            let plan = PlannedQuery::new(q.clone(), db.schema()).unwrap();
+            let truth = oracle_consistent_answer(&q, &repairs);
+            let fold =
+                stream_consistent_answer(&plan, &db, &graph, &RepairOptions::default()).unwrap();
+            assert_eq!(
+                fold.answers, truth,
+                "MISMATCH fold vs oracle for {q} ({class}, seed {seed}) over\n{db}"
+            );
+            let core = core_consistent_answer(&plan, &db, &graph);
+            assert!(
+                core.answers.is_subset(&truth),
+                "UNSOUND core for {q} ({class}, seed {seed}): core {} ⊄ exact {} over\n{db}",
+                core.answers,
+                truth
+            );
+        }
+    }
+}
+
+/// Harness part 4: engine reports under `ConsistentAnswers` never violate
+/// their guarantee — on the planner's own dispatch *and* with a starved
+/// repair budget forcing the core fallback.
+#[test]
+fn engine_consistent_guarantees_never_violated() {
+    use incomplete_data::engine::Semantics as EngineSemantics;
+    let cases = fuzz_cases();
+    for seed in 0..cases {
+        let db = fuzz_db(seed.wrapping_add(0xbeef));
+        let repairs = brute_force_repairs(&db);
+        for class in ALL_CLASSES {
+            let q = fuzz_query(class, seed.wrapping_mul(11).wrapping_add(class as u64));
+            let truth = oracle_consistent_answer(&q, &repairs);
+            for options in [
+                EngineOptions::default(),
+                EngineOptions::default().with_max_repairs(1),
+            ] {
+                let report = Engine::new(&db)
+                    .semantics(EngineSemantics::ConsistentAnswers)
+                    .options(options)
+                    .plan(&q)
+                    .unwrap();
+                let context = format!("{q} ({class}, seed {seed})");
+                match report.guarantee {
+                    Guarantee::Exact => {
+                        assert_eq!(report.answers, truth, "Exact violated: {context}")
+                    }
+                    Guarantee::Sound => {
+                        assert!(
+                            report.answers.is_subset(&truth),
+                            "Sound violated: {context}"
+                        )
+                    }
+                    Guarantee::Complete => {
+                        assert!(
+                            truth.is_subset(&report.answers),
+                            "Complete violated: {context}"
+                        )
+                    }
+                    Guarantee::NoGuarantee => {}
+                }
+                // Dispatch bookkeeping: repair strategies only run on dirty
+                // databases; a clean one must have delegated.
+                if db.is_consistent() {
+                    assert!(
+                        !matches!(
+                            report.strategy,
+                            StrategyKind::RepairEnumeration | StrategyKind::ConflictFreeCore
+                        ),
+                        "clean database must delegate: {context}"
+                    );
+                    assert_eq!(report.stats.violations, Some(0), "{context}");
+                } else {
+                    assert!(report.stats.violations.unwrap() > 0, "{context}");
+                    // The degraded core path must say why it degraded.
+                    if report.strategy == StrategyKind::ConflictFreeCore {
+                        assert!(report.stats.fallback.is_some(), "{context}");
+                        assert_eq!(report.guarantee, Guarantee::Sound, "{context}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -153,7 +153,7 @@ fn engine_guarantees_never_violated_across_the_fuzz_sweep() {
                     StrategyKind::SymbolicCTable => {
                         assert!(report.stats.solver_calls.is_some(), "{context}");
                         assert!(report.stats.worlds_enumerated.is_none(), "{context}");
-                        assert!(report.stats.symbolic_fallback.is_none(), "{context}");
+                        assert!(report.stats.fallback.is_none(), "{context}");
                     }
                     StrategyKind::WorldsGroundTruth => {
                         assert!(report.stats.solver_calls.is_none(), "{context}");
@@ -193,8 +193,8 @@ fn engine_symbolic_reports_match_raw_strategy() {
                     "{q} (seed {seed})"
                 );
                 assert_eq!(
-                    report.stats.symbolic_fallback,
-                    Some(reason),
+                    report.stats.fallback,
+                    Some(FallbackReason::Symbolic(reason)),
                     "{q} (seed {seed})"
                 );
                 assert_eq!(report.guarantee, Guarantee::Exact, "{q} (seed {seed})");
