@@ -269,6 +269,36 @@ impl ConditionalDatabase {
             .collect()
     }
 
+    /// The null census of the conditional database, feeding the static
+    /// analyzer ([`relalgebra::analysis`]): a column is nullable when some
+    /// row carries a null in it, and null occurrences in *row conditions*
+    /// count toward the relation's uncertainty too — a table whose tuples
+    /// are complete but whose membership depends on a null is not
+    /// world-invariant.
+    pub fn null_census(&self) -> relalgebra::analysis::NullCensus {
+        let mut builder = relalgebra::analysis::NullCensus::builder();
+        for (name, table) in &self.tables {
+            let mut nullable = vec![false; table.arity()];
+            let mut positions = 0usize;
+            for row in table.rows() {
+                for (i, v) in row.tuple.values().iter().enumerate() {
+                    if v.is_null() {
+                        nullable[i] = true;
+                        positions += 1;
+                    }
+                }
+                positions += row.condition.null_ids().len();
+            }
+            builder = builder.relation(
+                name,
+                nullable,
+                table.null_ids().into_iter().map(|id| id.index()),
+                positions,
+            );
+        }
+        builder.build()
+    }
+
     /// The world described by a valuation satisfying the global condition, or
     /// `None` if the valuation violates it.
     pub fn instantiate(&self, v: &relmodel::Valuation) -> Option<Database> {
@@ -360,6 +390,34 @@ mod tests {
             Condition::eq(Value::null(0), Value::int(0))
                 .or(Condition::eq(Value::null(0), Value::int(1))),
         )
+    }
+
+    #[test]
+    fn null_census_counts_values_and_conditions() {
+        // The disjunction c-table has complete tuples, but membership
+        // depends on ⊥0: the census must not call it null-free.
+        let cdb = disjunction_ctable();
+        let census = cdb.null_census();
+        assert!(!census.relation_null_free("C"));
+        assert!(!census.column_nullable("C", 0), "values are complete");
+        assert_eq!(census.distinct_nulls(), 1);
+
+        // A lifted complete database is null-free everywhere; a lifted
+        // null-bearing one reports the right column.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .ints("R", &[1, 2])
+            .build();
+        let census = ConditionalDatabase::from_database(&db).null_census();
+        assert!(census.database_null_free());
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .tuple("R", vec![Value::int(1), Value::null(3)])
+            .build();
+        let census = ConditionalDatabase::from_database(&db).null_census();
+        assert!(!census.relation_null_free("R"));
+        assert!(!census.column_nullable("R", 0));
+        assert!(census.column_nullable("R", 1));
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod random;
 pub use inconsistent::{inconsistent_schema, random_inconsistent_database, InconsistentDbConfig};
 pub use orders::{orders_database, OrdersConfig};
 pub use queries::{
-    random_division_query, random_full_ra_query, random_positive_query, QueryGenConfig,
+    random_division_query, random_full_ra_query, random_mixed_query, random_positive_query,
+    QueryGenConfig,
 };
-pub use random::{random_database, RandomDbConfig};
+pub use random::{random_database, random_database_with_null_free, RandomDbConfig};

@@ -150,6 +150,42 @@ pub fn random_full_ra_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr 
     }
 }
 
+/// Generates a random **mixed** query: a non-monotone difference core over
+/// `S` and `T` only, under a monotone top (a union with an independent
+/// positive block that may read the nullable `R`). The result is full RA —
+/// naïve evaluation has no guarantee — but when the database keeps `S` and
+/// `T` null-free the core is *ground*, and the static analyzer's subtree
+/// split reduces the query to its positive remainder. This is the workload
+/// the analyzer-driven dispatch upgrade is measured on. The output arity
+/// is 1.
+pub fn random_mixed_query(schema: &Schema, config: &QueryGenConfig) -> RaExpr {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x3c6e_f372));
+    // The core: S − π[i](T), sometimes sharpened by a constant selection.
+    // Everything in it reads only S and T.
+    let i = rng.gen_range(0..2);
+    let mut core = RaExpr::relation("S").difference(RaExpr::relation("T").project(vec![i]));
+    if rng.gen_bool(0.3) {
+        let value = rng.gen_range(0..config.constant_pool.max(1));
+        core = core.select(Predicate::eq(Operand::col(0), Operand::int(value)));
+    }
+    // The monotone top: union with a positive arity-1 block over the whole
+    // schema, always joined by a projection of the nullable R so the query
+    // is genuinely mixed (never fully ground).
+    let block = random_positive_query(
+        schema,
+        &QueryGenConfig {
+            seed: config.seed.wrapping_mul(5).wrapping_add(0xabcd),
+            ..*config
+        },
+    );
+    let block = block.union(RaExpr::relation("R").project(vec![rng.gen_range(0..2)]));
+    if rng.gen_bool(0.5) {
+        core.union(block)
+    } else {
+        block.union(core)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +243,45 @@ mod tests {
             assert_eq!(classify(&q), QueryClass::FullRa, "seed {seed} produced {q}");
             assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
         }
+    }
+
+    #[test]
+    fn mixed_queries_are_full_ra_with_a_ground_core_over_s_and_t() {
+        use relalgebra::analysis::{analyze, NullCensus};
+        // A census where S and T are null-free but R is not — the shape
+        // `random_database_with_null_free(_, &["S", "T"])` produces.
+        let census = NullCensus::builder()
+            .relation("R", vec![true, true], [0], 2)
+            .relation("S", vec![false], [], 0)
+            .relation("T", vec![false, false], [], 0)
+            .build();
+        let schema = random_schema();
+        let mut splittable = 0;
+        for seed in 0..30 {
+            let q = random_mixed_query(
+                &schema,
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(classify(&q), QueryClass::FullRa, "seed {seed} produced {q}");
+            assert_eq!(output_arity(&q, &schema), Ok(1), "seed {seed} produced {q}");
+            let analysis = analyze(&q, &census);
+            // The top always reads the nullable R, so the query is never
+            // ground outright — and the difference core reads only
+            // null-free relations, so the split class always drops to the
+            // naïve-exact fragment.
+            assert!(!analysis.root().ground, "seed {seed} produced {q}");
+            if analysis.has_inlinable_subtree() && analysis.root().split_class != QueryClass::FullRa
+            {
+                splittable += 1;
+            }
+        }
+        assert_eq!(
+            splittable, 30,
+            "every mixed query must be splittable under the shaped census"
+        );
     }
 
     #[test]

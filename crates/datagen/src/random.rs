@@ -44,13 +44,30 @@ pub fn random_schema() -> Schema {
 
 /// Generates a random incomplete database over [`random_schema`].
 pub fn random_database(config: &RandomDbConfig) -> Database {
+    random_database_with_null_free(config, &[])
+}
+
+/// [`random_database`], except the relations named in `null_free` receive no
+/// nulls at all (their positions always draw constants). This gives fuzz
+/// harnesses databases with a *shaped* null census — the input the static
+/// analyzer's groundness reasoning is about: a query whose unsound core
+/// touches only null-free relations is provably world-invariant even though
+/// the database as a whole is incomplete.
+pub fn random_database_with_null_free(config: &RandomDbConfig, null_free: &[&str]) -> Database {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = random_schema();
     let mut db = Database::new(schema.clone());
     for rs in schema.iter() {
+        let complete = null_free.contains(&rs.name.as_str());
         for _ in 0..config.tuples_per_relation {
             let tuple: Tuple = (0..rs.arity())
-                .map(|_| random_value(&mut rng, config))
+                .map(|_| {
+                    if complete {
+                        random_constant(&mut rng, config)
+                    } else {
+                        random_value(&mut rng, config)
+                    }
+                })
                 .collect();
             db.insert(&rs.name, tuple)
                 .expect("generated tuples match the schema");
@@ -65,8 +82,12 @@ fn random_value(rng: &mut StdRng, config: &RandomDbConfig) -> Value {
     if use_null {
         Value::null(rng.gen_range(0..config.distinct_nulls as u64))
     } else {
-        Value::int(rng.gen_range(0..config.domain_size.max(1) as i64))
+        random_constant(rng, config)
     }
+}
+
+fn random_constant(rng: &mut StdRng, config: &RandomDbConfig) -> Value {
+    Value::int(rng.gen_range(0..config.domain_size.max(1) as i64))
 }
 
 #[cfg(test)]
@@ -105,6 +126,28 @@ mod tests {
         };
         let db = random_database(&cfg);
         assert!(db.constants().is_empty());
+    }
+
+    #[test]
+    fn null_free_relations_stay_complete_while_others_carry_nulls() {
+        let cfg = RandomDbConfig {
+            null_rate_percent: 100,
+            distinct_nulls: 4,
+            ..Default::default()
+        };
+        let db = random_database_with_null_free(&cfg, &["S", "T"]);
+        for name in ["S", "T"] {
+            assert!(
+                db.relation(name).unwrap().is_complete(),
+                "{name} was asked to be null-free"
+            );
+        }
+        assert!(!db.relation("R").unwrap().is_complete());
+        // The empty exclusion list is exactly the plain generator.
+        assert_eq!(
+            random_database_with_null_free(&cfg, &[]),
+            random_database(&cfg)
+        );
     }
 
     #[test]

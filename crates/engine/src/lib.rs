@@ -91,19 +91,22 @@ mod semantics;
 
 pub use options::EngineOptions;
 pub use report::{
-    CertainReport, EngineStats, FallbackReason, Guarantee, RepairAbort, StrategyKind,
+    AnalysisReport, AnalyzerStats, CertainReport, EngineStats, FallbackReason, Guarantee,
+    RepairAbort, StrategyKind,
 };
 pub use semantics::Semantics;
 
 use std::fmt;
 use std::time::Instant;
 
+use relalgebra::analysis::{self, NullCensus};
 use relalgebra::ast::RaExpr;
 use relalgebra::classify::{has_incomplete_values, QueryClass};
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
 use releval::exec::approx::execute_approx_counted;
 use releval::exec::{execute_counted, OpStats};
+use releval::split::inline_ground_subtrees;
 use releval::strategy::{Strategy, ThreeValuedEvaluation};
 use releval::symbolic::{symbolic_certain_answer, SymbolicOutcome};
 use releval::worlds::{estimated_world_count, stream_certain_answer};
@@ -177,6 +180,10 @@ pub struct Engine<'db> {
     /// (the engine borrows the database immutably, so the count cannot go
     /// stale).
     nulls: usize,
+    /// The per-relation null census, measured once at construction (same
+    /// staleness argument as `nulls`): the static analyzer's ground truth
+    /// for null-free reach, consulted on every dispatch.
+    census: NullCensus,
     /// The conflict hypergraph against the schema's integrity constraints,
     /// built **lazily** on the first consistent-answer dispatch and cached
     /// for the engine's lifetime (same caching argument as `nulls`, but the
@@ -196,6 +203,7 @@ impl<'db> Engine<'db> {
             semantics: Semantics::Cwa,
             options: EngineOptions::default(),
             nulls: db.null_ids().len(),
+            census: NullCensus::of_database(db),
             conflicts: std::sync::OnceLock::new(),
         }
     }
@@ -289,6 +297,7 @@ impl<'db> Engine<'db> {
         let decision = Decision {
             strategy,
             guarantee: strategy.guarantee(plan.class(), self.semantics),
+            class: plan.class(),
             forced: true,
             ..Decision::default()
         };
@@ -316,10 +325,94 @@ impl<'db> Engine<'db> {
         (decision.strategy, decision.guarantee)
     }
 
-    fn finish(&self, plan: PlannedQuery, started: Instant) -> Result<CertainReport, EngineError> {
-        let plan_time = started.elapsed();
+    /// The dispatch semantics a given (possibly reduced) plan is executed
+    /// under: the declared one, lowered from OWA to CWA when the query is
+    /// monotone (monotonicity makes the two certain answers coincide).
+    fn effective_semantics(&self, query: &RaExpr) -> Semantics {
+        if self.base() == relmodel::Semantics::Owa
+            && analysis::analyze(query, &self.census).root().monotone
+        {
+            Semantics::Cwa
+        } else {
+            self.dispatch_semantics()
+        }
+    }
+
+    /// Statically analyzes `query` against this engine's database — no
+    /// execution. The report carries the analyzer's root facts, the
+    /// dispatch the planner *would* take (strategy and guarantee, identical
+    /// to [`Engine::select_strategy`]), the lint diagnostics (`QL…` codes),
+    /// and an annotated plan rendering.
+    pub fn analyze(&self, query: &RaExpr) -> Result<AnalysisReport, EngineError> {
+        let plan = PlannedQuery::new(query.clone(), self.db.schema())?;
+        Ok(self.analysis_report(&plan))
+    }
+
+    /// [`Engine::analyze`] for textual queries.
+    pub fn analyze_text(&self, query: &str) -> Result<AnalysisReport, EngineError> {
+        let plan = qparser::parse_and_plan(query, self.db.schema())?;
+        Ok(self.analysis_report(&plan))
+    }
+
+    fn analysis_report(&self, plan: &PlannedQuery) -> AnalysisReport {
+        let analysis = analysis::analyze(plan.expr(), &self.census);
+        let facts = analysis.root().clone();
         let decision = self.decide(plan.expr(), plan.class());
+        let diagnostics = analysis::lint(plan.expr(), &self.census, Some(self.db.schema()));
+        let annotated = analysis::annotate(plan.expr(), &self.census);
+        AnalysisReport {
+            class: plan.class(),
+            certainty_preserving: facts.certainty_preserving(self.base()),
+            facts,
+            strategy: decision.strategy,
+            guarantee: decision.guarantee,
+            diagnostics,
+            annotated,
+        }
+    }
+
+    fn finish(&self, plan: PlannedQuery, started: Instant) -> Result<CertainReport, EngineError> {
+        let decision = self.decide(plan.expr(), plan.class());
+        let (plan, decision) = if decision.split {
+            self.inline_ground(plan, decision)
+        } else {
+            (plan, decision)
+        };
+        // Subtree inlining is preparation work, so it counts toward the
+        // plan phase, not strategy execution.
+        let plan_time = started.elapsed();
         self.execute(plan, decision, plan_time, started)
+    }
+
+    /// Performs the subtree split a [`Decision`] with `split` requested:
+    /// evaluates the maximal ground proper subtrees plainly, inlines them as
+    /// complete literals, and re-plans the reduced query. The dispatch is
+    /// **not** revisited — the decision was already taken on the analyzer's
+    /// split class, so preview ([`Engine::select_strategy`]) and execution
+    /// always agree.
+    fn inline_ground(&self, plan: PlannedQuery, decision: Decision) -> (PlannedQuery, Decision) {
+        let outcome = inline_ground_subtrees(plan.expr(), self.db, &self.census);
+        if outcome.inlined == 0 {
+            return (plan, decision);
+        }
+        match PlannedQuery::new(outcome.expr, self.db.schema()) {
+            Ok(reduced) => {
+                let analyzer = decision.analyzer.map(|a| AnalyzerStats {
+                    inlined_subtrees: outcome.inlined,
+                    ..a
+                });
+                (
+                    reduced,
+                    Decision {
+                        analyzer,
+                        ..decision
+                    },
+                )
+            }
+            // Defensive: a subtree of a typechecked query re-plans cleanly;
+            // if it ever did not, run the original plan unchanged.
+            Err(_) => (plan, decision),
+        }
     }
 
     fn decide(&self, query: &RaExpr, class: QueryClass) -> Decision {
@@ -352,6 +445,7 @@ impl<'db> Engine<'db> {
             Decision {
                 strategy: StrategyKind::RepairEnumeration,
                 guarantee: StrategyKind::RepairEnumeration.guarantee(class, self.semantics),
+                class,
                 estimated_repairs: Some(estimated),
                 violations,
                 conflict_tuples,
@@ -364,6 +458,7 @@ impl<'db> Engine<'db> {
             Decision {
                 strategy: StrategyKind::ConflictFreeCore,
                 guarantee: StrategyKind::ConflictFreeCore.guarantee(class, self.semantics),
+                class,
                 estimated_repairs: Some(estimated),
                 violations,
                 conflict_tuples,
@@ -375,26 +470,89 @@ impl<'db> Engine<'db> {
     }
 
     /// The certain-answer dispatch, taken under [`Engine::dispatch_semantics`]
-    /// (so a consistent-answer delegate behaves exactly like a CWA engine).
+    /// (so a consistent-answer delegate behaves exactly like a CWA engine),
+    /// refined by the static analyzer:
+    ///
+    /// * **certainty preservation** — a query the analyzer proves naïve-exact
+    ///   (by class, by groundness under CWA, or by groundness + monotonicity
+    ///   under OWA) dispatches to [`StrategyKind::NaiveExact`] with
+    ///   [`Guarantee::Exact`], even beyond the class-based theorem;
+    /// * **OWA-as-CWA** — a monotone query has `certain_owa = certain_cwa`,
+    ///   so under OWA the planner may use the CWA machinery (symbolic,
+    ///   worlds) at full strength;
+    /// * **subtree splitting** — when the unsound region is a proper subtree,
+    ///   the ground remainder is evaluated plainly and inlined
+    ///   ([`releval::split`]), and the dispatch is taken on the analyzer's
+    ///   [`relalgebra::analysis::NodeFacts::split_class`]: a mixed query
+    ///   whose non-monotone core is ground upgrades all the way to
+    ///   `NaiveExact`/`Exact`.
     fn decide_certain(&self, query: &RaExpr, class: QueryClass) -> Decision {
-        let semantics = self.dispatch_semantics();
-        if class.naive_evaluation_sound(self.base()) {
+        let analysis = analysis::analyze(query, &self.census);
+        let facts = analysis.root();
+        let class_sound = class.naive_evaluation_sound(self.base());
+        let analyzer = AnalyzerStats {
+            ground: facts.ground,
+            monotone: facts.monotone,
+            upgraded: false,
+            owa_as_cwa: false,
+            inlined_subtrees: 0,
+        };
+        if class_sound || facts.certainty_preserving(self.base()) {
             return Decision {
                 strategy: StrategyKind::NaiveExact,
                 guarantee: Guarantee::Exact,
+                class,
+                analyzer: Some(AnalyzerStats {
+                    upgraded: !class_sound,
+                    ..analyzer
+                }),
+                ..Decision::default()
+            };
+        }
+        // For a monotone query the OWA certain answer equals the CWA one,
+        // so the planner may dispatch under the CWA rules at full strength.
+        let owa_as_cwa = self.base() == relmodel::Semantics::Owa && facts.monotone;
+        let semantics = if owa_as_cwa {
+            Semantics::Cwa
+        } else {
+            self.dispatch_semantics()
+        };
+        let analyzer = AnalyzerStats {
+            owa_as_cwa,
+            ..analyzer
+        };
+        // Subtree splitting: sound whenever the split-off region has the
+        // same value in every (effective-CWA) world.
+        let split = semantics == Semantics::Cwa && analysis.has_inlinable_subtree();
+        let dispatch_class = if split { facts.split_class } else { class };
+        if split && dispatch_class.naive_evaluation_sound(relmodel::Semantics::Cwa) {
+            // After inlining the ground regions, what remains is in the
+            // naïve-exact fragment: the mixed-query upgrade.
+            return Decision {
+                strategy: StrategyKind::NaiveExact,
+                guarantee: Guarantee::Exact,
+                class,
+                split: true,
+                analyzer: Some(AnalyzerStats {
+                    upgraded: true,
+                    ..analyzer
+                }),
                 ..Decision::default()
             };
         }
         // Beyond the naïve theorem, the symbolic c-table strategy is the
-        // planner's first choice under CWA: exact, polynomial per output
-        // tuple, no world enumeration. (Under OWA its answer is only an
-        // over-approximation for non-monotone classes, so the planner keeps
-        // the pre-symbolic rules there.)
+        // planner's first choice under (effective) CWA: exact, polynomial
+        // per output tuple, no world enumeration. (Under OWA its answer is
+        // only an over-approximation for non-monotone classes, so the
+        // planner keeps the pre-symbolic rules there.)
         if self.options.symbolic && semantics == Semantics::Cwa {
             if !has_incomplete_values(query) {
                 return Decision {
                     strategy: StrategyKind::SymbolicCTable,
                     guarantee: StrategyKind::SymbolicCTable.guarantee(class, semantics),
+                    class,
+                    split,
+                    analyzer: Some(analyzer),
                     ..Decision::default()
                 };
             }
@@ -404,36 +562,49 @@ impl<'db> Engine<'db> {
             // as for an execution-time solver punt — the world oracle within
             // budget, then the approximation — so both punt kinds honour the
             // one documented contract.
-            return self.enumerate_or_approximate(
-                query,
+            return Decision {
                 class,
-                Some(FallbackReason::Symbolic(
-                    releval::symbolic::PuntReason::NullValuesLiteral,
-                )),
-                true,
-            );
+                split,
+                analyzer: Some(analyzer),
+                ..self.enumerate_or_approximate(
+                    query,
+                    class,
+                    semantics,
+                    Some(FallbackReason::Symbolic(
+                        releval::symbolic::PuntReason::NullValuesLiteral,
+                    )),
+                    true,
+                )
+            };
         }
-        self.enumerate_or_approximate(query, class, None, self.options.exhaustive)
+        Decision {
+            class,
+            split,
+            analyzer: Some(analyzer),
+            ..self.enumerate_or_approximate(query, class, semantics, None, self.options.exhaustive)
+        }
     }
 
     /// The pre-symbolic decision logic: possible-world enumeration within
     /// budget when `allow_worlds`, otherwise (or beyond budget, with
     /// [`EngineStats::degraded`] set) the sound approximation. Also the
     /// landing path when the symbolic strategy punts — the fallback reason
-    /// carries the reason into the report.
+    /// carries the reason into the report. `semantics` is the *effective*
+    /// dispatch semantics (OWA lowered to CWA for monotone queries).
     fn enumerate_or_approximate(
         &self,
         query: &RaExpr,
         class: QueryClass,
+        semantics: Semantics,
         fallback_reason: Option<FallbackReason>,
         allow_worlds: bool,
     ) -> Decision {
-        let semantics = self.dispatch_semantics();
         let fallback = StrategyKind::SoundApproximation;
         if !allow_worlds {
             return Decision {
                 strategy: fallback,
                 guarantee: fallback.guarantee(class, semantics),
+                class,
                 fallback: fallback_reason,
                 ..Decision::default()
             };
@@ -445,6 +616,7 @@ impl<'db> Engine<'db> {
             Decision {
                 strategy: StrategyKind::WorldsGroundTruth,
                 guarantee: StrategyKind::WorldsGroundTruth.guarantee(class, semantics),
+                class,
                 estimated_worlds: Some(estimate),
                 fallback: fallback_reason,
                 ..Decision::default()
@@ -455,6 +627,7 @@ impl<'db> Engine<'db> {
             Decision {
                 strategy: fallback,
                 guarantee: fallback.guarantee(class, semantics),
+                class,
                 estimated_worlds: Some(estimate),
                 degraded: true,
                 fallback: fallback_reason,
@@ -504,14 +677,22 @@ impl<'db> Engine<'db> {
                         }
                         // Fall back to the streaming world oracle within
                         // budget (then to the sound approximation), with the
-                        // reason on the report.
+                        // reason on the report. The guarantee is computed
+                        // under the same effective semantics the symbolic
+                        // choice was (OWA lowered to CWA for a monotone
+                        // plan — re-derived here because `plan` may be the
+                        // reduced, post-inlining query).
+                        let effective = self.effective_semantics(plan.expr());
                         let fallback = self.enumerate_or_approximate(
                             plan.expr(),
                             plan.class(),
+                            effective,
                             Some(FallbackReason::Symbolic(reason)),
                             true,
                         );
                         let fallback = Decision {
+                            class: decision.class,
+                            analyzer: decision.analyzer,
                             violations: decision.violations,
                             ..fallback
                         };
@@ -617,7 +798,7 @@ impl<'db> Engine<'db> {
             object_answer,
             strategy: decision.strategy,
             guarantee: decision.guarantee,
-            class: plan.class(),
+            class: decision.class,
             semantics: self.semantics,
             stats: EngineStats {
                 plan_time,
@@ -641,6 +822,7 @@ impl<'db> Engine<'db> {
                 repair_early_exit: repair_exec.is_some_and(|e| e.1),
                 plan_text: plan.physical().explain(),
                 physical_ops,
+                analyzer: decision.analyzer,
             },
         })
     }
@@ -650,6 +832,14 @@ impl<'db> Engine<'db> {
 struct Decision {
     strategy: StrategyKind,
     guarantee: Guarantee,
+    /// The class of the *original* query — what the report declares, even
+    /// when subtree inlining hands the executor a reduced plan.
+    class: QueryClass,
+    /// Evaluate ground subtrees plainly and inline them before executing
+    /// the strategy ([`releval::split`]).
+    split: bool,
+    /// What the analyzer contributed, for the report.
+    analyzer: Option<AnalyzerStats>,
     estimated_worlds: Option<u128>,
     degraded: bool,
     /// Why the planner's first choice is not the one executing (symbolic
@@ -672,6 +862,9 @@ impl Default for Decision {
         Decision {
             strategy: StrategyKind::NaiveExact,
             guarantee: Guarantee::NoGuarantee,
+            class: QueryClass::FullRa,
+            split: false,
+            analyzer: None,
             estimated_worlds: None,
             degraded: false,
             fallback: None,
@@ -1141,13 +1334,18 @@ mod tests {
         assert_eq!(report.semantics, Semantics::ConsistentAnswers);
         assert_eq!(report.stats.violations, Some(0), "checked and clean");
         assert_eq!(report.answers.len(), 2);
-        // Full RA delegates to symbolic, still exact.
+        // Full RA over a clean *complete* database: the analyzer sees a
+        // ground query, so the delegate upgrades past symbolic all the way
+        // to naïve evaluation — exact, because every world agrees with the
+        // database itself.
         let hard = Engine::new(&db)
             .consistent_answers()
             .plan_text("project[#0](R) minus project[#1](R)")
             .unwrap();
-        assert_eq!(hard.strategy, StrategyKind::SymbolicCTable);
+        assert_eq!(hard.strategy, StrategyKind::NaiveExact);
         assert_eq!(hard.guarantee, Guarantee::Exact);
+        assert!(hard.stats.analyzer.unwrap().ground);
+        assert!(hard.stats.analyzer.unwrap().upgraded);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use relalgebra::analysis::{Diagnostic, NodeFacts};
 use relalgebra::classify::QueryClass;
 use releval::exec::OpStats;
 use releval::symbolic::PuntReason;
@@ -277,6 +278,63 @@ impl FallbackReason {
     }
 }
 
+/// What the static analyzer contributed to one dispatch: the facts the
+/// decision turned on and the upgrades it licensed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalyzerStats {
+    /// The whole query is ground (world-invariant given the null census).
+    pub ground: bool,
+    /// The whole query is instance-monotone.
+    pub monotone: bool,
+    /// The analyzer upgraded the verdict beyond the class-based theorem:
+    /// the class alone did not license `NaiveExact`/`Exact`, but groundness
+    /// (or subtree inlining) did.
+    pub upgraded: bool,
+    /// Under OWA, monotonicity let the planner dispatch with the CWA rules
+    /// (`certain_owa = certain_cwa` for monotone queries).
+    pub owa_as_cwa: bool,
+    /// Ground proper subtrees evaluated plainly and inlined as complete
+    /// literals before strategy execution.
+    pub inlined_subtrees: usize,
+}
+
+/// The result of [`crate::Engine::analyze`]: the static verdict on a query
+/// over this engine's database — no evaluation performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// The syntactic class the classifier assigns.
+    pub class: QueryClass,
+    /// The analyzer's whole-query facts (groundness, monotonicity,
+    /// per-column nullability, split class, …).
+    pub facts: NodeFacts,
+    /// Is naïve evaluation provably exact for this query on this database
+    /// under the engine's semantics?
+    pub certainty_preserving: bool,
+    /// The strategy the planner would dispatch to.
+    pub strategy: StrategyKind,
+    /// The guarantee that dispatch would carry.
+    pub guarantee: Guarantee,
+    /// Lint findings (`QL001` …), plan order, constraint findings last.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The logical plan annotated with per-node facts and lint codes.
+    pub annotated: String,
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "class: {} | dispatch: {} ({})",
+            self.class, self.strategy, self.guarantee
+        )?;
+        write!(f, "{}", self.annotated)?;
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Per-phase timing and planner telemetry for one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -308,6 +366,10 @@ pub struct EngineStats {
     /// worker, plus one OWA extension per worker), when the worlds strategy
     /// ran — the O(threads) memory face of the streaming engine.
     pub peak_worlds_in_flight: Option<usize>,
+    /// The static analyzer's contribution to the dispatch, when the planner
+    /// consulted it (every certain-answer dispatch; `None` for forced
+    /// strategies and the repair strategies).
+    pub analyzer: Option<AnalyzerStats>,
     /// Condition atoms across the conditional answer table, when the
     /// symbolic strategy ran — the paper's "hardly meaningful to humans"
     /// size measure, and the polynomial cost face of the symbolic engine.

@@ -54,47 +54,20 @@ impl fmt::Display for QueryClass {
 
 /// Classifies an expression into the *smallest* fragment containing it
 /// (syntactically — no semantic equivalences are attempted).
+///
+/// A thin wrapper over the static analyzer: classification is the `class`
+/// field of [`crate::analysis::analyze`] run against the pessimistic
+/// (no-information) null census, so the classifier and the analyzer share
+/// one set of transfer functions and can never drift. Notably, a *complete*
+/// `Values` literal is positive while a null-bearing one is full RA:
+/// possible worlds value the nulls of the *database* but leave query
+/// literals untouched, while naïve evaluation happily equates a literal
+/// `⊥ᵢ` with a database `⊥ᵢ` — an equality that fails in every world (see
+/// the classifier tests for a concrete counterexample).
 pub fn classify(expr: &RaExpr) -> QueryClass {
-    match expr {
-        RaExpr::Relation(_) | RaExpr::Delta => QueryClass::Positive,
-        RaExpr::Values(rel) => {
-            // A *complete* literal relation behaves like a (constant)
-            // positive query. A literal containing nulls does not: possible
-            // worlds value the nulls of the *database* but leave query
-            // literals untouched, while naïve evaluation happily equates a
-            // literal ⊥ᵢ with a database ⊥ᵢ — an equality that fails in
-            // every world. Claiming the naïve-evaluation theorem for such a
-            // literal over-reports certain answers (see the classifier
-            // tests for a concrete counterexample), so it is classified
-            // conservatively.
-            if rel.is_complete() {
-                QueryClass::Positive
-            } else {
-                QueryClass::FullRa
-            }
-        }
-        RaExpr::Select(e, p) => {
-            let inner = classify(e);
-            if p.is_positive() {
-                inner
-            } else {
-                QueryClass::FullRa
-            }
-        }
-        RaExpr::Project(e, _) => classify(e),
-        RaExpr::Product(a, b) | RaExpr::Union(a, b) | RaExpr::Intersection(a, b) => {
-            classify(a).max(classify(b))
-        }
-        RaExpr::Difference(_, _) => QueryClass::FullRa,
-        RaExpr::Divide(a, b) => {
-            let dividend = classify(a);
-            if dividend <= QueryClass::RaCwa && is_divisor_class(b) {
-                dividend.max(QueryClass::RaCwa)
-            } else {
-                QueryClass::FullRa
-            }
-        }
-    }
+    crate::analysis::analyze(expr, &crate::analysis::NullCensus::pessimistic())
+        .root()
+        .class
 }
 
 /// Does the expression contain a `Values` literal mentioning marked nulls?
@@ -107,15 +80,9 @@ pub fn classify(expr: &RaExpr) -> QueryClass {
 /// this predicate to punt on exactly those queries instead of silently
 /// conflating the two kinds of null.
 pub fn has_incomplete_values(expr: &RaExpr) -> bool {
-    let mut found = false;
-    expr.visit(&mut |e| {
-        if let RaExpr::Values(rel) = e {
-            if !rel.is_complete() {
-                found = true;
-            }
-        }
-    });
-    found
+    crate::analysis::analyze(expr, &crate::analysis::NullCensus::pessimistic())
+        .root()
+        .has_null_literal
 }
 
 /// Is the expression in `RA(Δ, π, ×, ∪)` — the class of admissible divisors in

@@ -8,6 +8,10 @@
 //! * [`predicate`] — selection conditions: Boolean combinations of equality
 //!   and inequality atoms over columns and constants;
 //! * [`typecheck`] — arity checking of expressions against a schema;
+//! * [`analysis`] — static analysis: a bottom-up abstract interpretation
+//!   computing per-node monotonicity, groundness (null-free reach given a
+//!   [`analysis::NullCensus`]), certainty-preservation and
+//!   duplicate-sensitivity, plus the `QL…` lint framework built on it;
 //! * [`classify`] — the fragments the paper's results speak about:
 //!   positive relational algebra (= UCQ), `RA_cwa` (positive algebra plus
 //!   division by a `RA(Δ,π,×,∪)` relation, = the logical class `Pos∀G`), and
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod classify;
 pub mod cq;
@@ -41,6 +46,9 @@ pub mod ucq;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::analysis::{
+        analyze, Analysis, Diagnostic, DiagnosticCode, NodeFacts, NullCensus,
+    };
     pub use crate::ast::RaExpr;
     pub use crate::classify::{classify, QueryClass};
     pub use crate::cq::{Atom, ConjunctiveQuery, Term};

@@ -39,7 +39,11 @@
 //!   explicitly where it cannot answer;
 //! * [`strategy`] — the [`strategy::Strategy`] trait: all evaluators behind
 //!   one plan-driven interface, so an engine typechecks a query once and
-//!   dispatches freely.
+//!   dispatches freely;
+//! * [`split`] — subtree-split execution: evaluate the analyzer's *ground*
+//!   (world-invariant) plan regions once on the plain executor and inline
+//!   the results as complete literals, so only the genuinely uncertain
+//!   remainder needs symbolic or world-enumeration treatment.
 //!
 //! [`fo`] provides model checking of first-order formulas (the logical-theory
 //! view of Section 4) over complete and naïve databases.
@@ -54,6 +58,7 @@ pub mod error;
 pub mod exec;
 pub mod fo;
 pub mod naive;
+pub mod split;
 pub mod strategy;
 pub mod symbolic;
 pub mod three_valued;
@@ -66,6 +71,7 @@ pub mod prelude {
     pub use crate::exec::{execute, OpStats};
     pub use crate::fo::{eval_sentence, satisfies};
     pub use crate::naive::{certain_answer_naive, eval_naive};
+    pub use crate::split::{inline_ground_subtrees, SplitOutcome};
     pub use crate::strategy::{
         CompleteEvaluation, NaiveEvaluation, Strategy, ThreeValuedEvaluation, WorldEnumeration,
     };

@@ -1,0 +1,174 @@
+//! Subtree-split execution: evaluate the **ground** regions of a plan once
+//! on the plain physical executor and substitute the results as complete
+//! literal relations, leaving only the world-dependent remainder for the
+//! symbolic / enumeration machinery.
+//!
+//! Soundness: a ground subtree (null-free reach, per the analyzer's
+//! [`relalgebra::analysis::NodeFacts::ground`]) evaluates to the *same*
+//! complete relation in every possible world under CWA, so replacing it by
+//! that relation preserves the query's value world-by-world — and hence its
+//! certain answer. Under OWA the engine only performs the split when the
+//! whole query is monotone, where OWA and CWA certain answers coincide.
+//! The rewrite realises the analyzer's
+//! [`relalgebra::analysis::NodeFacts::split_class`]: what is left after
+//! inlining is exactly the fragment that field reports.
+
+use relalgebra::analysis::{analyze, AnalyzedNode, NullCensus};
+use relalgebra::ast::RaExpr;
+use relalgebra::plan::PlannedQuery;
+use relmodel::{Database, Relation};
+
+use crate::exec::execute;
+
+/// The result of [`inline_ground_subtrees`].
+#[derive(Debug, Clone)]
+pub struct SplitOutcome {
+    /// The rewritten query: maximal ground proper subtrees replaced by
+    /// complete `Values` literals.
+    pub expr: RaExpr,
+    /// How many subtrees were evaluated and inlined.
+    pub inlined: usize,
+}
+
+/// Rewrites `expr`, evaluating every **maximal** ground proper subtree
+/// larger than a leaf on the plain executor and inlining the result as a
+/// complete literal relation. The root itself is never inlined (a ground
+/// root means the whole query is naïve-exact; no split is needed).
+pub fn inline_ground_subtrees(expr: &RaExpr, db: &Database, census: &NullCensus) -> SplitOutcome {
+    let analysis = analyze(expr, census);
+    let mut inlined = 0;
+    let expr = rewrite(expr, analysis.node(), db, true, &mut inlined);
+    SplitOutcome { expr, inlined }
+}
+
+fn rewrite(
+    expr: &RaExpr,
+    node: &AnalyzedNode,
+    db: &Database,
+    is_root: bool,
+    inlined: &mut usize,
+) -> RaExpr {
+    if !is_root && node.facts.ground && node.facts.size > 1 {
+        if let Some(rel) = evaluate_ground(expr, db) {
+            *inlined += 1;
+            return RaExpr::values(rel);
+        }
+        // Defensive: an unplannable subtree (cannot happen for a subtree of
+        // a typechecked query) is left in place.
+        return expr.clone();
+    }
+    match expr {
+        RaExpr::Relation(_) | RaExpr::Values(_) | RaExpr::Delta => expr.clone(),
+        RaExpr::Select(e, p) => RaExpr::Select(
+            Box::new(rewrite(e, &node.children[0], db, false, inlined)),
+            p.clone(),
+        ),
+        RaExpr::Project(e, cols) => RaExpr::Project(
+            Box::new(rewrite(e, &node.children[0], db, false, inlined)),
+            cols.clone(),
+        ),
+        RaExpr::Product(a, b) => RaExpr::Product(
+            Box::new(rewrite(a, &node.children[0], db, false, inlined)),
+            Box::new(rewrite(b, &node.children[1], db, false, inlined)),
+        ),
+        RaExpr::Union(a, b) => RaExpr::Union(
+            Box::new(rewrite(a, &node.children[0], db, false, inlined)),
+            Box::new(rewrite(b, &node.children[1], db, false, inlined)),
+        ),
+        RaExpr::Intersection(a, b) => RaExpr::Intersection(
+            Box::new(rewrite(a, &node.children[0], db, false, inlined)),
+            Box::new(rewrite(b, &node.children[1], db, false, inlined)),
+        ),
+        RaExpr::Difference(a, b) => RaExpr::Difference(
+            Box::new(rewrite(a, &node.children[0], db, false, inlined)),
+            Box::new(rewrite(b, &node.children[1], db, false, inlined)),
+        ),
+        RaExpr::Divide(a, b) => RaExpr::Divide(
+            Box::new(rewrite(a, &node.children[0], db, false, inlined)),
+            Box::new(rewrite(b, &node.children[1], db, false, inlined)),
+        ),
+    }
+}
+
+fn evaluate_ground(expr: &RaExpr, db: &Database) -> Option<Relation> {
+    let plan = PlannedQuery::new(expr.clone(), db.schema()).ok()?;
+    Some(execute(plan.physical(), db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalgebra::classify::{classify, QueryClass};
+    use relmodel::{DatabaseBuilder, Value};
+
+    /// R(a,b) with a null; S(a), T(a,b) complete.
+    fn db() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["a"])
+            .relation("T", &["a", "b"])
+            .ints("R", &[1, 10])
+            .tuple("R", vec![Value::int(2), Value::null(0)])
+            .ints("S", &[1])
+            .ints("S", &[5])
+            .ints("T", &[1, 2])
+            .ints("T", &[5, 6])
+            .build()
+    }
+
+    #[test]
+    fn inlines_the_ground_difference_and_leaves_the_rest() {
+        let db = db();
+        let census = NullCensus::of_database(&db);
+        // (S − π#0(T)) ∪ π#0(R): the difference is ground, the union top is
+        // not.
+        let core = RaExpr::relation("S").difference(RaExpr::relation("T").project(vec![0]));
+        let q = core.union(RaExpr::relation("R").project(vec![0]));
+        assert_eq!(classify(&q), QueryClass::FullRa);
+        let outcome = inline_ground_subtrees(&q, &db, &census);
+        assert_eq!(outcome.inlined, 1);
+        // The remainder is positive — exactly the analyzer's split_class.
+        assert_eq!(classify(&outcome.expr), QueryClass::Positive);
+        // And the inlined literal holds S − π#0(T) = ∅ (S ⊆ π#0(T) here is
+        // false: S = {1,5}, π#0(T) = {1,5} → empty difference).
+        match &outcome.expr {
+            RaExpr::Union(a, _) => match a.as_ref() {
+                RaExpr::Values(rel) => {
+                    assert!(rel.is_complete());
+                    assert_eq!(rel.len(), 0);
+                }
+                other => panic!("expected inlined literal, got {other}"),
+            },
+            other => panic!("expected union, got {other}"),
+        }
+    }
+
+    #[test]
+    fn maximal_regions_only_and_no_root_inlining() {
+        let db = db();
+        let census = NullCensus::of_database(&db);
+        // A fully ground query: the root is never inlined, and the maximal
+        // proper subtrees are its two operands.
+        let q = RaExpr::relation("S")
+            .product(RaExpr::relation("T").project(vec![0]))
+            .difference(RaExpr::relation("T"));
+        let outcome = inline_ground_subtrees(&q, &db, &census);
+        // Left operand (product, size 4) and right leaf: only the product
+        // is larger than a leaf, so exactly one inline.
+        assert_eq!(outcome.inlined, 1);
+        assert!(matches!(
+            &outcome.expr,
+            RaExpr::Difference(a, _) if matches!(a.as_ref(), RaExpr::Values(_))
+        ));
+    }
+
+    #[test]
+    fn nothing_to_inline_leaves_the_query_unchanged() {
+        let db = db();
+        let census = NullCensus::of_database(&db);
+        let q = RaExpr::relation("S").difference(RaExpr::relation("R").project(vec![1]));
+        let outcome = inline_ground_subtrees(&q, &db, &census);
+        assert_eq!(outcome.inlined, 0);
+        assert_eq!(outcome.expr, q);
+    }
+}

@@ -50,8 +50,11 @@
 //!
 //! - [`relmodel`]: relational model with marked (naïve) nulls and Codd tables
 //! - [`relalgebra`]: relational algebra, CQ/UCQ, `Pos∀G`/`RA_cwa`,
-//!   classification, typechecked plans, and physical plans (join fusion,
-//!   pushdowns, `EXPLAIN`)
+//!   classification, typechecked plans, physical plans (join fusion,
+//!   pushdowns, `EXPLAIN`), and the static analyzer
+//!   ([`relalgebra::analysis`]: per-node abstract interpretation, `QL…`
+//!   lints, null-census-aware certainty preservation — surfaced through
+//!   [`Engine::analyze`])
 //! - [`releval`]: the evaluation strategies (complete / naïve / SQL 3VL /
 //!   possible worlds / certain⁺ / symbolic c-tables) behind a common
 //!   [`releval::strategy::Strategy`] trait, executing one shared physical
@@ -69,6 +72,9 @@
 //!   engine directly
 //! - [`datagen`]: synthetic workload generators
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use certain_core;
 pub use ctables;
 pub use datagen;
@@ -81,8 +87,8 @@ pub use relmodel;
 pub use repairs;
 
 pub use engine::{
-    CertainReport, Engine, EngineError, EngineOptions, FallbackReason, Guarantee, RepairAbort,
-    StrategyKind,
+    AnalysisReport, AnalyzerStats, CertainReport, Engine, EngineError, EngineOptions,
+    FallbackReason, Guarantee, RepairAbort, StrategyKind,
 };
 
 /// Convenience prelude bringing the most commonly used types into scope.
@@ -93,8 +99,8 @@ pub mod prelude {
         CertainAnswers,
     };
     pub use engine::{
-        CertainReport, Engine, EngineError, EngineOptions, EngineStats, FallbackReason, Guarantee,
-        RepairAbort, StrategyKind,
+        AnalysisReport, AnalyzerStats, CertainReport, Engine, EngineError, EngineOptions,
+        EngineStats, FallbackReason, Guarantee, RepairAbort, StrategyKind,
     };
     pub use qparser::{parse, parse_and_plan};
     pub use relalgebra::{

@@ -1,0 +1,151 @@
+//! Golden-snapshot lane for the analyzer's diagnostics: the rendered
+//! [`AnalysisReport`]s for a set of hand-picked fixtures plus a
+//! deterministic datagen sweep are checked into
+//! `tests/snapshots/analysis.snap`. Any drift in lint codes, severities,
+//! annotation flags, or dispatch verdicts fails the build as a *visible*
+//! diff.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test analysis_snapshots
+//! ```
+//!
+//! The datagen section always renders exactly 64 generated queries
+//! (independent of `FUZZ_CASES`) so the snapshot is stable across CI and
+//! local runs.
+
+use std::fmt::Write as _;
+
+use datagen::random::random_schema;
+use datagen::{
+    random_database_with_null_free, random_division_query, random_full_ra_query,
+    random_mixed_query, random_positive_query, QueryGenConfig, RandomDbConfig,
+};
+use incomplete_data::prelude::*;
+
+const SNAPSHOT_PATH: &str = "tests/snapshots/analysis.snap";
+
+/// The orders/payments database of the paper's introduction plus a shaped
+/// random one: both fixed, so every report below is deterministic.
+fn fixture_section() -> String {
+    let mut out = String::new();
+    let db = relmodel::builder::orders_and_payments_example();
+    let engine = Engine::new(&db);
+    let fixtures: &[(&str, &str)] = &[
+        ("positive projection", "project[#0](Order)"),
+        (
+            "unpaid orders (difference over a null-bearing operand)",
+            "project[#0](Order) minus project[#1](Pay)",
+        ),
+        (
+            "division by a base relation",
+            "product(project[#0](Order), project[#1](Pay)) divide project[#1](Pay)",
+        ),
+        (
+            "ground difference under a nullable union (subtree split)",
+            "(project[#0](Order) minus project[#0](Order)) union project[#1](Pay)",
+        ),
+    ];
+    for (title, text) in fixtures {
+        let report = engine.analyze_text(text).expect("fixture analyzes");
+        let _ = writeln!(out, "== {title}\n-- {text}\n{report}");
+    }
+    // OWA flips the verdicts for the non-monotone fixtures.
+    let owa = Engine::new(&db).semantics(Semantics::Owa);
+    let report = owa
+        .analyze_text("project[#0](Order) minus project[#1](Pay)")
+        .unwrap();
+    let _ = writeln!(
+        out,
+        "== unpaid orders under OWA\n-- project[#0](Order) minus project[#1](Pay)\n{report}"
+    );
+    out
+}
+
+/// Exactly 64 datagen queries (16 seeds × 4 generators) analyzed against a
+/// fixed shaped database, rendered one line per query.
+fn datagen_section() -> String {
+    let mut out = String::new();
+    let schema = random_schema();
+    let db = random_database_with_null_free(
+        &RandomDbConfig {
+            tuples_per_relation: 3,
+            null_rate_percent: 40,
+            seed: 7,
+            ..Default::default()
+        },
+        &["S", "T"],
+    );
+    let engine = Engine::new(&db);
+    type Generator = fn(&relmodel::Schema, &QueryGenConfig) -> RaExpr;
+    let generators: &[(&str, Generator)] = &[
+        ("positive", random_positive_query),
+        ("division", random_division_query),
+        ("full_ra", random_full_ra_query),
+        ("mixed", random_mixed_query),
+    ];
+    for seed in 0..16u64 {
+        for (name, generate) in generators {
+            let q = generate(
+                &schema,
+                &QueryGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let report = engine.analyze(&q).expect("generated queries analyze");
+            let codes: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(|d| format!("{}@{}", d.code.code(), d.path))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{name}/{seed}: class={} split={} ground={} monotone={} \
+                 dispatch={}({}) diags=[{}]",
+                report.facts.class,
+                report.facts.split_class,
+                report.facts.ground,
+                report.facts.monotone,
+                report.strategy,
+                report.guarantee,
+                codes.join(",")
+            );
+        }
+    }
+    out
+}
+
+fn render() -> String {
+    format!(
+        "# Analyzer diagnostics snapshot.\n\
+         # Regenerate with: UPDATE_SNAPSHOTS=1 cargo test --test analysis_snapshots\n\n\
+         [fixtures]\n\n{}\n[datagen 16x4]\n\n{}",
+        fixture_section(),
+        datagen_section()
+    )
+}
+
+#[test]
+fn analyzer_diagnostics_match_the_golden_snapshot() {
+    let rendered = render();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT_PATH);
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::write(&path, &rendered).expect("snapshot is writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {SNAPSHOT_PATH} ({e}); \
+             run UPDATE_SNAPSHOTS=1 cargo test --test analysis_snapshots"
+        )
+    });
+    assert!(
+        rendered == expected,
+        "analyzer diagnostics drifted from {SNAPSHOT_PATH}.\n\
+         If the change is intentional, bless it with \
+         UPDATE_SNAPSHOTS=1 cargo test --test analysis_snapshots.\n\
+         --- expected ---\n{expected}\n--- got ---\n{rendered}"
+    );
+}

@@ -143,16 +143,19 @@ fn the_consistent_answers_rows() {
         let q = incomplete_data::qparser::parse(text).unwrap();
         assert_eq!(classify(&q), class, "fixture drift for {text}");
 
-        // Clean: delegate — same strategies the CWA table picks, `Exact`.
+        // Clean: delegate to the certain pipeline, `Exact`. The clean
+        // database is also *complete*, so the analyzer proves every query
+        // ground and the delegate is naïve evaluation across all classes —
+        // even full RA needs no symbolic machinery when no null exists.
         let report = Engine::new(&clean)
             .semantics(ES::ConsistentAnswers)
             .plan(&q)
             .unwrap();
-        let delegate = match class {
-            QueryClass::Positive | QueryClass::RaCwa => StrategyKind::NaiveExact,
-            QueryClass::FullRa => StrategyKind::SymbolicCTable,
-        };
-        assert_eq!(report.strategy, delegate, "clean × {class:?}");
+        assert_eq!(
+            report.strategy,
+            StrategyKind::NaiveExact,
+            "clean × {class:?}"
+        );
         assert_eq!(report.guarantee, Guarantee::Exact, "clean × {class:?}");
         assert_eq!(report.stats.violations, Some(0), "clean × {class:?}");
 
@@ -193,6 +196,163 @@ fn the_consistent_answers_rows() {
             "starved × {class:?}: {:?}",
             report.stats.fallback
         );
+    }
+}
+
+/// The analyzer rows of the matrix: per query shape × **null census**,
+/// which strategy and guarantee the census-aware dispatch yields. These are
+/// the upgrades (and non-upgrades) the static analyzer adds on top of the
+/// class-based table above — the same query moves between rows as the
+/// database's nulls move.
+#[test]
+fn the_analyzer_rows() {
+    use Guarantee::*;
+    use StrategyKind::*;
+
+    // R(a, b), S(a): one null-free instance, one with a null in R.
+    let complete = relmodel::DatabaseBuilder::new()
+        .relation("R", &["a", "b"])
+        .relation("S", &["a"])
+        .ints("R", &[1, 10])
+        .ints("R", &[2, 20])
+        .ints("S", &[1])
+        .build();
+    let nullbearing = relmodel::DatabaseBuilder::new()
+        .relation("R", &["a", "b"])
+        .relation("S", &["a"])
+        .ints("R", &[1, 10])
+        .tuple("R", vec![relmodel::Value::int(2), relmodel::Value::null(0)])
+        .ints("S", &[1])
+        .build();
+
+    // A non-monotone full-RA query and a monotone one (σ≠ is full RA but
+    // instance-monotone).
+    let difference = "project[#0](R) minus S";
+    let monotone = "project[#0](select[#1 != 3](R))";
+    // A mixed query: ground difference core over S under a union reading
+    // the nullable R.
+    let mixed = "(S minus project[#0](R)) union project[#0](R)";
+    let mixed_ground_core = "(S minus S) union project[#0](R)";
+
+    // (query, db, semantics, no_symbolic, strategy, guarantee, upgraded)
+    let rows: &[(
+        &str,
+        &relmodel::Database,
+        Semantics,
+        bool,
+        StrategyKind,
+        Guarantee,
+        bool,
+    )] = &[
+        // Groundness upgrade: a complete database makes full RA naïve-exact
+        // under CWA — and under OWA it does NOT (supersets can shrink a
+        // difference), so the class rules keep ruling there.
+        (
+            difference,
+            &complete,
+            Semantics::Cwa,
+            false,
+            NaiveExact,
+            Exact,
+            true,
+        ),
+        (
+            difference,
+            &complete,
+            Semantics::Owa,
+            false,
+            SoundApproximation,
+            NoGuarantee,
+            false,
+        ),
+        // With a null in reach, CWA full RA goes symbolic as before.
+        (
+            difference,
+            &nullbearing,
+            Semantics::Cwa,
+            false,
+            SymbolicCTable,
+            Exact,
+            false,
+        ),
+        // Monotonicity upgrade: monotone + ground is exact even under OWA …
+        (
+            monotone,
+            &complete,
+            Semantics::Owa,
+            false,
+            NaiveExact,
+            Exact,
+            true,
+        ),
+        // … and a monotone query over nulls lets OWA borrow the CWA
+        // machinery (symbolic, exact) — the owa-as-cwa rule.
+        (
+            monotone,
+            &nullbearing,
+            Semantics::Owa,
+            false,
+            SymbolicCTable,
+            Exact,
+            false,
+        ),
+        (
+            monotone,
+            &nullbearing,
+            Semantics::Cwa,
+            false,
+            SymbolicCTable,
+            Exact,
+            false,
+        ),
+        // Subtree split: the ground difference core is inlined and the
+        // positive remainder runs naïvely — exact with no symbolic engine
+        // at all.
+        (
+            mixed_ground_core,
+            &nullbearing,
+            Semantics::Cwa,
+            true,
+            NaiveExact,
+            Exact,
+            true,
+        ),
+        // The same shape with the nullable R inside the core cannot split:
+        // the class verdict (sound approximation) stands.
+        (
+            mixed,
+            &nullbearing,
+            Semantics::Cwa,
+            true,
+            SoundApproximation,
+            Sound,
+            false,
+        ),
+    ];
+
+    for &(text, db, semantics, no_symbolic, strategy, guarantee, upgraded) in rows {
+        let q = incomplete_data::qparser::parse(text).unwrap();
+        let options = if no_symbolic {
+            EngineOptions::default().without_symbolic()
+        } else {
+            EngineOptions::default()
+        };
+        let engine = Engine::new(db).semantics(semantics).options(options);
+        let context = format!("{text} × {semantics} × no_symbolic={no_symbolic}");
+        let class = classify(&q);
+        assert_eq!(
+            engine.select_strategy(&q, class),
+            (strategy, guarantee),
+            "select_strategy for {context}"
+        );
+        let report = engine.plan(&q).unwrap();
+        assert_eq!(report.strategy, strategy, "strategy for {context}");
+        assert_eq!(report.guarantee, guarantee, "guarantee for {context}");
+        let analyzer = report
+            .stats
+            .analyzer
+            .expect("analyzer stats are always reported");
+        assert_eq!(analyzer.upgraded, upgraded, "upgrade flag for {context}");
     }
 }
 

@@ -168,7 +168,11 @@ fn engine_guarantees_never_violated_across_the_fuzz_sweep() {
 /// The engine front door and the raw strategy agree on CWA — the dispatch
 /// layer must not perturb answers on the way through, and when the raw
 /// strategy punts, the engine's report must carry the fallback trail (and a
-/// still-exact answer, since the fallback is the world oracle).
+/// still-exact answer, since the fallback is the world oracle). The static
+/// analyzer may legitimately dispatch *past* symbolic — a complete database
+/// proves the query ground, and an inlinable ground core may leave a
+/// naïve-exact remainder — so the strategy assertion accepts the analyzer's
+/// upgrade but demands identical answers in every case.
 #[test]
 fn engine_symbolic_reports_match_raw_strategy() {
     let cases = fuzz_cases().min(64);
@@ -179,24 +183,46 @@ fn engine_symbolic_reports_match_raw_strategy() {
         let plan = relalgebra::plan::PlannedQuery::new(q.clone(), db.schema()).unwrap();
         match CTableStrategy::default().eval_unchecked(&plan, &db, Semantics::Cwa) {
             Ok(raw) => {
-                assert_eq!(
-                    report.strategy,
-                    StrategyKind::SymbolicCTable,
-                    "{q} (seed {seed})"
-                );
+                if report.strategy != StrategyKind::SymbolicCTable {
+                    // Only the analyzer is allowed to pre-empt symbolic, and
+                    // only with a naïve-exact dispatch it can prove.
+                    assert_eq!(
+                        report.strategy,
+                        StrategyKind::NaiveExact,
+                        "{q} (seed {seed})"
+                    );
+                    assert!(report.stats.analyzer.unwrap().upgraded, "{q} (seed {seed})");
+                }
+                assert_eq!(report.guarantee, Guarantee::Exact, "{q} (seed {seed})");
                 assert_eq!(report.answers, raw, "{q} (seed {seed})");
             }
             Err(releval::EvalError::SymbolicPunt(reason)) => {
-                assert_eq!(
-                    report.strategy,
-                    StrategyKind::WorldsGroundTruth,
-                    "{q} (seed {seed})"
-                );
-                assert_eq!(
-                    report.stats.fallback,
-                    Some(FallbackReason::Symbolic(reason)),
-                    "{q} (seed {seed})"
-                );
+                // Subtree inlining can shrink the plan enough that the
+                // engine's symbolic run no longer punts where the raw one
+                // does; otherwise the world-oracle fallback must be on the
+                // report. Either way the answer stays exact.
+                if report
+                    .stats
+                    .analyzer
+                    .is_some_and(|a| a.inlined_subtrees > 0)
+                {
+                    assert!(
+                        report.stats.fallback.is_none()
+                            || report.stats.fallback == Some(FallbackReason::Symbolic(reason)),
+                        "{q} (seed {seed})"
+                    );
+                } else {
+                    assert_eq!(
+                        report.strategy,
+                        StrategyKind::WorldsGroundTruth,
+                        "{q} (seed {seed})"
+                    );
+                    assert_eq!(
+                        report.stats.fallback,
+                        Some(FallbackReason::Symbolic(reason)),
+                        "{q} (seed {seed})"
+                    );
+                }
                 assert_eq!(report.guarantee, Guarantee::Exact, "{q} (seed {seed})");
                 assert_eq!(
                     report.answers,
