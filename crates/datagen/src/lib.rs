@@ -32,4 +32,7 @@ pub use queries::{
     random_division_query, random_full_ra_query, random_mixed_query, random_positive_query,
     QueryGenConfig,
 };
-pub use random::{random_database, random_database_with_null_free, RandomDbConfig};
+pub use random::{
+    null_rate_schema, random_database, random_database_with_null_free,
+    random_database_with_null_rate, RandomDbConfig,
+};

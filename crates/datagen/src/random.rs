@@ -76,6 +76,46 @@ pub fn random_database_with_null_free(config: &RandomDbConfig, null_free: &[&str
     db
 }
 
+/// The join-friendly schema used by [`random_database_with_null_rate`]:
+/// `R(a, b)`, `S(b, c)`, equi-joinable on `b`.
+pub fn null_rate_schema() -> Schema {
+    Schema::builder()
+        .relation("R", &["a", "b"])
+        .relation("S", &["b", "c"])
+        .build()
+}
+
+/// Generates a mostly-ground join workload with a swept null rate: `rows`
+/// tuples `R(i, i)` and `S(i, 2i)` (so `R ⋈ S` on `b` matches 1:1), where
+/// each value position is independently replaced by a marked null with
+/// probability `null_rate_percent`/100, drawn from a pool of `rows/10`
+/// (at least one) distinct nulls.
+///
+/// This is the workload the columnar executor's ground/symbolic run split
+/// is about: at 0–1% nulls nearly every row rides the vectorized hash
+/// path, and the bench sweep in `benches/join.rs` measures how the
+/// advantage decays as the rate climbs toward 50%.
+pub fn random_database_with_null_rate(rows: usize, null_rate_percent: u32, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = null_rate_schema();
+    let mut db = Database::new(schema);
+    let pool = (rows / 10).max(1) as u64;
+    let value = |v: i64, rng: &mut StdRng| {
+        if rng.gen_range(0..100u32) < null_rate_percent.min(100) {
+            Value::null(rng.gen_range(0..pool))
+        } else {
+            Value::int(v)
+        }
+    };
+    for i in 0..rows as i64 {
+        let r = Tuple::new(vec![value(i, &mut rng), value(i, &mut rng)]);
+        db.insert("R", r).expect("R tuples match the schema");
+        let s = Tuple::new(vec![value(i, &mut rng), value(2 * i, &mut rng)]);
+        db.insert("S", s).expect("S tuples match the schema");
+    }
+    db
+}
+
 fn random_value(rng: &mut StdRng, config: &RandomDbConfig) -> Value {
     let use_null =
         config.distinct_nulls > 0 && rng.gen_range(0..100u32) < config.null_rate_percent.min(100);
@@ -147,6 +187,31 @@ mod tests {
         assert_eq!(
             random_database_with_null_free(&cfg, &[]),
             random_database(&cfg)
+        );
+    }
+
+    #[test]
+    fn null_rate_sweep_behaves_at_the_extremes() {
+        let complete = random_database_with_null_rate(100, 0, 7);
+        assert!(complete.is_complete());
+        assert_eq!(complete.relation("R").unwrap().len(), 100);
+        assert_eq!(complete.relation("S").unwrap().len(), 100);
+
+        let sparse = random_database_with_null_rate(100, 1, 7);
+        let nulls = sparse.null_ids().len();
+        assert!(nulls >= 1, "1% of 400 positions should place a null");
+        assert!(nulls <= 10, "pool is bounded by rows/10");
+
+        let half = random_database_with_null_rate(100, 50, 7);
+        assert!(!half.is_complete());
+        // Determinism per seed, sensitivity to it.
+        assert_eq!(
+            random_database_with_null_rate(50, 10, 3),
+            random_database_with_null_rate(50, 10, 3)
+        );
+        assert_ne!(
+            random_database_with_null_rate(50, 10, 3),
+            random_database_with_null_rate(50, 10, 4)
         );
     }
 

@@ -104,8 +104,9 @@ use relalgebra::ast::RaExpr;
 use relalgebra::classify::{has_incomplete_values, QueryClass};
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
-use releval::exec::approx::execute_approx_counted;
-use releval::exec::{execute_counted, OpStats};
+use releval::exec::columnar::approx::execute_approx_counted;
+use releval::exec::columnar::execute_counted;
+use releval::exec::OpStats;
 use releval::split::inline_ground_subtrees;
 use releval::strategy::{Strategy, ThreeValuedEvaluation};
 use releval::symbolic::{symbolic_certain_answer, SymbolicOutcome};

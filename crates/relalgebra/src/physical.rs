@@ -275,6 +275,21 @@ impl PhysicalPlan {
         self.root.render(0, &mut out);
         out
     }
+
+    /// [`PhysicalPlan::explain`] followed by an execution-telemetry footer:
+    /// each line of `footer` is rendered as a `-- ` comment below the plan
+    /// tree. The executor crates use this to attach what actually happened
+    /// (operators run, batches, ground/symbolic run sizes) to the plan text
+    /// without this crate depending on their counter types.
+    pub fn explain_with_footer(&self, footer: &str) -> String {
+        let mut out = self.explain();
+        for line in footer.lines() {
+            out.push_str("-- ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for PhysicalPlan {

@@ -165,14 +165,23 @@ impl Predicate {
     /// naïve evaluation, where nulls are treated as ordinary values and
     /// equality is syntactic).
     pub fn eval_naive(&self, tuple: &Tuple) -> bool {
+        self.eval_naive_on(&|i| &tuple[i])
+    }
+
+    /// [`Predicate::eval_naive`] over a *virtual* row: `at` maps a column
+    /// index to its value in place. The columnar executor evaluates
+    /// predicates directly against batch columns (and against the
+    /// unmaterialized concatenation of a join's build and probe rows)
+    /// through this accessor — no tuple is built and no value is cloned.
+    pub fn eval_naive_on<'a, F: Fn(usize) -> &'a Value>(&self, at: &F) -> bool {
         match self {
             Predicate::True => true,
             Predicate::False => false,
-            Predicate::Eq(a, b) => a.resolve(tuple) == b.resolve(tuple),
-            Predicate::NotEq(a, b) => a.resolve(tuple) != b.resolve(tuple),
-            Predicate::And(a, b) => a.eval_naive(tuple) && b.eval_naive(tuple),
-            Predicate::Or(a, b) => a.eval_naive(tuple) || b.eval_naive(tuple),
-            Predicate::Not(p) => !p.eval_naive(tuple),
+            Predicate::Eq(a, b) => operand_eq_syntactic(a, b, at),
+            Predicate::NotEq(a, b) => !operand_eq_syntactic(a, b, at),
+            Predicate::And(a, b) => a.eval_naive_on(at) && b.eval_naive_on(at),
+            Predicate::Or(a, b) => a.eval_naive_on(at) || b.eval_naive_on(at),
+            Predicate::Not(p) => !p.eval_naive_on(at),
         }
     }
 
@@ -202,26 +211,26 @@ impl Predicate {
     /// `False`s fail in every valuation, which is what the certain⁺/possible?
     /// approximation evaluators need.
     pub fn eval_3vl_marked(&self, tuple: &Tuple) -> relmodel::value::Truth {
+        self.eval_3vl_marked_on(&|i| &tuple[i])
+    }
+
+    /// [`Predicate::eval_3vl_marked`] over a virtual row, as in
+    /// [`Predicate::eval_naive_on`]: the certain⁺/possible? columnar
+    /// operators re-check candidate pairs through this accessor without
+    /// materializing the concatenated row.
+    pub fn eval_3vl_marked_on<'a, F: Fn(usize) -> &'a Value>(
+        &self,
+        at: &F,
+    ) -> relmodel::value::Truth {
         use relmodel::value::Truth;
-        let eq = |a: &Operand, b: &Operand| {
-            let (x, y) = (a.resolve(tuple), b.resolve(tuple));
-            if x == y {
-                // Same constant or the *same* marked null.
-                Truth::True
-            } else if x.is_const() && y.is_const() {
-                Truth::False
-            } else {
-                Truth::Unknown
-            }
-        };
         match self {
             Predicate::True => Truth::True,
             Predicate::False => Truth::False,
-            Predicate::Eq(a, b) => eq(a, b),
-            Predicate::NotEq(a, b) => eq(a, b).not(),
-            Predicate::And(a, b) => a.eval_3vl_marked(tuple).and(b.eval_3vl_marked(tuple)),
-            Predicate::Or(a, b) => a.eval_3vl_marked(tuple).or(b.eval_3vl_marked(tuple)),
-            Predicate::Not(p) => p.eval_3vl_marked(tuple).not(),
+            Predicate::Eq(a, b) => operand_eq_marked(a, b, at),
+            Predicate::NotEq(a, b) => operand_eq_marked(a, b, at).not(),
+            Predicate::And(a, b) => a.eval_3vl_marked_on(at).and(b.eval_3vl_marked_on(at)),
+            Predicate::Or(a, b) => a.eval_3vl_marked_on(at).or(b.eval_3vl_marked_on(at)),
+            Predicate::Not(p) => p.eval_3vl_marked_on(at).not(),
         }
     }
 
@@ -312,6 +321,41 @@ impl Predicate {
             None => Predicate::True,
             Some(first) => iter.fold(first, Predicate::and),
         }
+    }
+}
+
+/// Syntactic equality of two resolved operands, borrow-only: a column reads
+/// through the accessor, a constant compares in place.
+fn operand_eq_syntactic<'a, F: Fn(usize) -> &'a Value>(a: &Operand, b: &Operand, at: &F) -> bool {
+    match (a, b) {
+        (Operand::Column(i), Operand::Column(j)) => at(*i) == at(*j),
+        (Operand::Column(i), Operand::Const(c)) | (Operand::Const(c), Operand::Column(i)) => {
+            matches!(at(*i), Value::Const(x) if x == c)
+        }
+        (Operand::Const(x), Operand::Const(y)) => x == y,
+    }
+}
+
+/// Marked-null three-valued equality of two resolved operands, borrow-only:
+/// syntactically equal values (same constant or the *same* null) are `True`,
+/// distinct constants are `False`, anything else involves a null whose value
+/// depends on the valuation.
+fn operand_eq_marked<'a, F: Fn(usize) -> &'a Value>(
+    a: &Operand,
+    b: &Operand,
+    at: &F,
+) -> relmodel::value::Truth {
+    use relmodel::value::Truth;
+    let is_const = |o: &Operand| match o {
+        Operand::Column(i) => at(*i).is_const(),
+        Operand::Const(_) => true,
+    };
+    if operand_eq_syntactic(a, b, at) {
+        Truth::True
+    } else if is_const(a) && is_const(b) {
+        Truth::False
+    } else {
+        Truth::Unknown
     }
 }
 
@@ -415,6 +459,46 @@ mod tests {
             Predicate::eq(Operand::col(3), Operand::int(2)).eval_3vl_marked(&t),
             Truth::False
         );
+    }
+
+    #[test]
+    fn accessor_evaluation_agrees_with_tuple_evaluation() {
+        // A virtual concatenated row, as the columnar join sees it: two
+        // separate value stores behind one accessor.
+        let left = [Value::int(1), Value::null(0)];
+        let right = [Value::null(0), Value::int(2)];
+        let at = |i: usize| {
+            if i < 2 {
+                &left[i]
+            } else {
+                &right[i - 2]
+            }
+        };
+        let concat = Tuple::new(vec![
+            Value::int(1),
+            Value::null(0),
+            Value::null(0),
+            Value::int(2),
+        ]);
+        let cases = [
+            Predicate::eq(Operand::col(1), Operand::col(2)),
+            Predicate::eq(Operand::col(0), Operand::col(3)),
+            Predicate::neq(Operand::col(0), Operand::int(1)),
+            Predicate::eq(Operand::col(3), Operand::int(2))
+                .and(Predicate::eq(Operand::col(1), Operand::col(2))),
+            Predicate::eq(Operand::str("x"), Operand::str("x"))
+                .or(Predicate::eq(Operand::col(0), Operand::col(1))),
+            Predicate::eq(Operand::col(0), Operand::col(2)).negate(),
+            Predicate::False,
+        ];
+        for p in cases {
+            assert_eq!(p.eval_naive_on(&at), p.eval_naive(&concat), "naive {p}");
+            assert_eq!(
+                p.eval_3vl_marked_on(&at),
+                p.eval_3vl_marked(&concat),
+                "marked {p}"
+            );
+        }
     }
 
     #[test]

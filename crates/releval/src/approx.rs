@@ -218,8 +218,16 @@ pub fn unifiable(t: &Tuple, s: &Tuple) -> bool {
     if t.arity() != s.arity() {
         return false;
     }
+    unifiable_pairs(t.values().iter().zip(s.values().iter()))
+}
+
+/// [`unifiable`] over positionally paired values, without requiring
+/// materialized tuples — the columnar set operators feed batch rows to this
+/// column by column. The caller is responsible for pairing rows of equal
+/// arity.
+pub fn unifiable_pairs<'a>(pairs: impl IntoIterator<Item = (&'a Value, &'a Value)>) -> bool {
     let mut uf = UnionFind::default();
-    for (x, y) in t.values().iter().zip(s.values().iter()) {
+    for (x, y) in pairs {
         let ok = match (x, y) {
             (Value::Const(a), Value::Const(b)) => a == b,
             (Value::Null(n), Value::Const(c)) | (Value::Const(c), Value::Null(n)) => {

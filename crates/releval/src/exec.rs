@@ -34,6 +34,7 @@
 //! [`CertainReport`](../../engine) alongside the plan's `EXPLAIN` text.
 
 pub mod approx;
+pub mod columnar;
 pub mod ctable;
 
 use std::borrow::Cow;
@@ -62,20 +63,105 @@ pub struct OpStats {
     /// outside the hash path. Zero for plain execution, where every key is
     /// syntactically ground.
     pub fallback_pairs: usize,
+    /// Morsel chunks processed by the columnar executors' operator loops.
+    /// Zero for the row-at-a-time reference path.
+    pub batches: usize,
+    /// Probe-side rows routed through the vectorized ground run of a
+    /// run-splitting columnar operator (join, ∪/−/∩ membership, ÷). Under
+    /// syntactic equality every row is ground, so for the plain columnar
+    /// executor this counts all probed rows.
+    pub ground_rows: usize,
+    /// Probe-side rows routed to the per-row symbolic fallback of a
+    /// run-splitting columnar operator. `ground_rows + symbolic_rows` is the
+    /// total probed-row traffic of the batched core.
+    pub symbolic_rows: usize,
 }
 
+/// Number of counters in [`OpStats`] (the length of
+/// [`OpStats::to_array`]).
+pub const OP_STATS_FIELDS: usize = 9;
+
 impl OpStats {
+    /// The counters as a fixed array, in declaration order. Built by
+    /// exhaustive destructuring — adding a counter without updating this
+    /// (and thereby [`OpStats::merge`]) is a compile error, so aggregation
+    /// across worlds shards can never silently drop a field.
+    pub fn to_array(&self) -> [usize; OP_STATS_FIELDS] {
+        let OpStats {
+            operators,
+            hash_joins,
+            build_rows,
+            probe_rows,
+            join_rows_out,
+            fallback_pairs,
+            batches,
+            ground_rows,
+            symbolic_rows,
+        } = *self;
+        [
+            operators,
+            hash_joins,
+            build_rows,
+            probe_rows,
+            join_rows_out,
+            fallback_pairs,
+            batches,
+            ground_rows,
+            symbolic_rows,
+        ]
+    }
+
+    /// Inverse of [`OpStats::to_array`].
+    pub fn from_array(a: [usize; OP_STATS_FIELDS]) -> OpStats {
+        let [operators, hash_joins, build_rows, probe_rows, join_rows_out, fallback_pairs, batches, ground_rows, symbolic_rows] =
+            a;
+        OpStats {
+            operators,
+            hash_joins,
+            build_rows,
+            probe_rows,
+            join_rows_out,
+            fallback_pairs,
+            batches,
+            ground_rows,
+            symbolic_rows,
+        }
+    }
+
     /// Accumulates another execution's counters into this one (used by the
     /// worlds strategy to aggregate across per-world executions and worker
-    /// shards).
+    /// shards). Sums every counter, by construction: the conversion through
+    /// [`OpStats::to_array`] destructures exhaustively.
     pub fn merge(&mut self, other: &OpStats) {
-        self.operators += other.operators;
-        self.hash_joins += other.hash_joins;
-        self.build_rows += other.build_rows;
-        self.probe_rows += other.probe_rows;
-        self.join_rows_out += other.join_rows_out;
-        self.fallback_pairs += other.fallback_pairs;
+        let mut sum = self.to_array();
+        for (s, o) in sum.iter_mut().zip(other.to_array()) {
+            *s += o;
+        }
+        *self = OpStats::from_array(sum);
     }
+
+    /// One-line telemetry rendering, used in EXPLAIN footers and the
+    /// examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "operators {} · hash joins {} · build rows {} · probe rows {} · join rows out {} · fallback pairs {}\nbatches {} · ground rows {} · symbolic rows {}",
+            self.operators,
+            self.hash_joins,
+            self.build_rows,
+            self.probe_rows,
+            self.join_rows_out,
+            self.fallback_pairs,
+            self.batches,
+            self.ground_rows,
+            self.symbolic_rows,
+        )
+    }
+}
+
+/// The plan's EXPLAIN text with the execution telemetry attached as a
+/// footer — what `examples/explain_tour.rs` prints after running a plan.
+pub fn explain_executed(plan: &PhysicalPlan, stats: &OpStats) -> String {
+    plan.explain_with_footer(&stats.summary())
 }
 
 /// Executes a physical plan over a database under **syntactic** value
@@ -448,6 +534,33 @@ mod tests {
         let (physical, _) = run(expr);
         let logical = eval_unchecked(expr, &d).into_owned();
         assert_eq!(physical, logical, "physical != logical for {expr}");
+    }
+
+    /// Merging shard telemetry must sum **every** field — the worlds
+    /// evaluator folds per-shard `OpStats` together, and a field skipped by
+    /// `merge` would silently drift. `to_array`/`from_array` destructure
+    /// exhaustively, so this test plus the `OP_STATS_FIELDS` bound breaks
+    /// at compile time when a counter is added without updating the merge.
+    #[test]
+    fn op_stats_merge_sums_every_field() {
+        // Distinct primes in every slot so a dropped or swapped field is
+        // detected no matter which one it is.
+        let a = OpStats::from_array([2, 3, 5, 7, 11, 13, 17, 19, 23]);
+        assert_eq!(a.to_array(), [2, 3, 5, 7, 11, 13, 17, 19, 23]);
+        let mut merged = OpStats::default();
+        merged.merge(&a);
+        merged.merge(&a);
+        let doubled: Vec<usize> = a.to_array().iter().map(|x| x * 2).collect();
+        assert_eq!(
+            merged.to_array().to_vec(),
+            doubled,
+            "merge must double every field"
+        );
+        // And the batch/run counters land in the summary telemetry.
+        let text = merged.summary();
+        assert!(text.contains("batches 34"), "summary: {text}");
+        assert!(text.contains("ground rows 38"), "summary: {text}");
+        assert!(text.contains("symbolic rows 46"), "summary: {text}");
     }
 
     #[test]

@@ -24,9 +24,15 @@
 //! * [`exec`] — the physical-plan executor: one hash-join operator core
 //!   (hash equi-join, hash set operators, hash-lookup division) that runs
 //!   plain tuples, the approximation pair, and condition-carrying c-table
-//!   rows over the same [`relalgebra::physical::PhysicalPlan`]. Every
-//!   strategy below executes through it; the worlds strategy lowers once
-//!   and runs the plan per world;
+//!   rows over the same [`relalgebra::physical::PhysicalPlan`]. The hot
+//!   path is the **morsel-driven columnar core** ([`exec::columnar`]):
+//!   relations transpose once per execution into
+//!   [`relmodel::batch::ColumnBatch`]es, operators process fixed-size
+//!   morsels with ground rows in tight hash loops and symbolic rows in a
+//!   per-row fallback. The row-at-a-time executors are retained as the
+//!   differential-fuzz reference. Every strategy below executes through
+//!   the batched core; the worlds strategy lowers once and runs the plan
+//!   per world;
 //! * [`approx`] — certain⁺/possible? *pair evaluation* with marked-null
 //!   unification: a polynomial, CWA-sound approximation of certain answers
 //!   for **full** relational algebra, where naïve evaluation and 3VL are both
@@ -68,7 +74,8 @@ pub mod worlds;
 pub mod prelude {
     pub use crate::complete::eval_complete;
     pub use crate::error::EvalError;
-    pub use crate::exec::{execute, OpStats};
+    pub use crate::exec::columnar::execute;
+    pub use crate::exec::OpStats;
     pub use crate::fo::{eval_sentence, satisfies};
     pub use crate::naive::{certain_answer_naive, eval_naive};
     pub use crate::split::{inline_ground_subtrees, SplitOutcome};

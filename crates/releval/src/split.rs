@@ -18,7 +18,7 @@ use relalgebra::ast::RaExpr;
 use relalgebra::plan::PlannedQuery;
 use relmodel::{Database, Relation};
 
-use crate::exec::execute;
+use crate::exec::columnar::execute;
 
 /// The result of [`inline_ground_subtrees`].
 #[derive(Debug, Clone)]

@@ -57,7 +57,7 @@ impl Strategy for NaiveEvaluation {
         db: &Database,
         _semantics: Semantics,
     ) -> Result<Relation, EvalError> {
-        Ok(exec::execute(plan.physical(), db))
+        Ok(exec::columnar::execute(plan.physical(), db))
     }
 }
 
@@ -100,7 +100,7 @@ impl Strategy for CompleteEvaluation {
         if nulls > 0 {
             return Err(EvalError::IncompleteInput { nulls });
         }
-        Ok(exec::execute(plan.physical(), db))
+        Ok(exec::columnar::execute(plan.physical(), db))
     }
 }
 

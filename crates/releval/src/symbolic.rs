@@ -48,7 +48,7 @@ use relalgebra::plan::PlannedQuery;
 use relmodel::{Database, Relation, Semantics, Tuple};
 
 use crate::error::EvalError;
-use crate::exec::ctable::execute_ctable_counted;
+use crate::exec::columnar::ctable::execute_ctable_counted;
 use crate::exec::OpStats;
 use crate::strategy::Strategy;
 

@@ -302,7 +302,7 @@ fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> Sh
             shared.stop.store(true, Ordering::Relaxed);
             break;
         }
-        let answer = exec::execute_into(plan, &world, &mut op_stats);
+        let answer = exec::columnar::execute_into(plan, &world, &mut op_stats);
         let folded = match acc.take() {
             None => answer,
             Some(a) => a.intersection(&answer),
@@ -474,7 +474,7 @@ pub fn possible_answers(
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
     check_apriori_budget(valuation_count(domain.len(), db.null_ids().len()), opts)?;
     Ok(WorldIter::new(db, &domain, semantics, max_extra)
-        .map(|w| exec::execute(&physical, &w))
+        .map(|w| exec::columnar::execute(&physical, &w))
         .collect())
 }
 
@@ -530,7 +530,7 @@ pub fn certain_boolean_worlds(
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
     let worlds = WorldIter::new(db, &domain, semantics, max_extra).without_dedup();
     for world in budgeted(worlds, opts.max_worlds) {
-        if exec::execute(&physical, &world?).is_empty() {
+        if exec::columnar::execute(&physical, &world?).is_empty() {
             return Ok(false); // fails in this world — certainly-true refuted
         }
     }
@@ -551,7 +551,7 @@ pub fn possible_answer_union(
     let mut acc = Relation::new(physical.arity());
     let worlds = WorldIter::new(db, &domain, semantics, max_extra).without_dedup();
     for world in budgeted(worlds, opts.max_worlds) {
-        acc = acc.union(&exec::execute(&physical, &world?));
+        acc = acc.union(&exec::columnar::execute(&physical, &world?));
     }
     Ok(acc)
 }

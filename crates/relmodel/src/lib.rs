@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod builder;
 pub mod constraint;
 pub mod database;
@@ -64,6 +65,7 @@ pub mod value;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::batch::{ColumnBatch, RunSplit};
     pub use crate::builder::DatabaseBuilder;
     pub use crate::constraint::{CompareOp, Constraint, Violation};
     pub use crate::database::Database;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use crate::value::{Constant, NullId, Value};
 }
 
+pub use batch::{ColumnBatch, RunSplit};
 pub use builder::DatabaseBuilder;
 pub use constraint::{CompareOp, Constraint, Violation};
 pub use database::Database;

@@ -4,7 +4,7 @@
 //! Tuples in no conflict edge survive **every** repair, and every repair is
 //! a sub-instance of the database minus its doomed tuples. A repair `R`
 //! therefore always satisfies `core ⊆ R ⊆ upper`, which is precisely the
-//! interval contract of `releval::exec::approx::execute_approx_between`:
+//! interval contract of `releval::exec::columnar::approx::execute_approx_between`:
 //! feeding the core through the certain side and the upper bound through
 //! the possible side makes every complete tuple on the certain side an
 //! answer in every world of every repair — a `Sound` under-approximation of
@@ -18,7 +18,7 @@
 
 use relalgebra::plan::PlannedQuery;
 use releval::approx::ApproxAnswer;
-use releval::exec::approx::execute_approx_between;
+use releval::exec::columnar::approx::execute_approx_between;
 use releval::exec::OpStats;
 use relmodel::{Database, Relation};
 

@@ -184,7 +184,7 @@ fn repair_certain_answer(
     shard: &mut ShardResult,
 ) -> Result<Relation, EvalError> {
     if repair.is_complete() {
-        return Ok(exec::execute_into(
+        return Ok(exec::columnar::execute_into(
             plan.physical(),
             repair,
             &mut shard.op_stats,

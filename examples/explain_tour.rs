@@ -3,8 +3,11 @@
 //!
 //! Every strategy now executes a rewritten physical plan — `σ(A×B)` becomes
 //! a hash equi-join, selections and projections are pushed toward the
-//! leaves — and every `CertainReport` carries the plan's explain text plus
-//! the operator telemetry (`stats.plan_text`, `stats.physical_ops`).
+//! leaves — on the morsel-driven columnar core, and every `CertainReport`
+//! carries the plan's explain text plus the operator telemetry
+//! (`stats.plan_text`, `stats.physical_ops`), including the batch layer's
+//! counters: morsels processed and how probe traffic split into ground
+//! (vectorized hash) vs symbolic (per-row fallback) runs.
 //!
 //! Run with `cargo run --example explain_tour`.
 
@@ -24,16 +27,12 @@ fn show(title: &str, report: &CertainReport) {
         println!("    {line}");
     }
     if let Some(ops) = report.stats.physical_ops {
-        println!(
-            "  operators {} · hash joins {} · build rows {} · probe rows {} \
-             · join rows out {} · fallback pairs {}",
-            ops.operators,
-            ops.hash_joins,
-            ops.build_rows,
-            ops.probe_rows,
-            ops.join_rows_out,
-            ops.fallback_pairs
-        );
+        // `OpStats::summary` renders the same footer `explain_executed`
+        // appends to a plan: one line of operator counters, one line of
+        // batch/run telemetry (morsels processed, ground vs symbolic rows).
+        for line in ops.summary().lines() {
+            println!("  {line}");
+        }
     }
     println!("  answers: {}\n", report.answers);
 }
