@@ -26,7 +26,7 @@ use relmodel::display::render_rows;
 use relmodel::{DatabaseBuilder, Relation, Semantics, Tuple, Value};
 
 /// Engine in exhaustive mode: ground truth within budget, CWA by default.
-fn exhaustive(db: &relmodel::Database) -> Engine<'_> {
+fn exhaustive(db: &relmodel::Database) -> Engine<&relmodel::Database> {
     Engine::new(db).options(EngineOptions::exhaustive())
 }
 

@@ -146,7 +146,7 @@ impl CertainAnswers {
     }
 
     /// The engine this façade evaluates through, borrowing `db`.
-    pub fn engine<'a>(&self, db: &'a Database) -> Engine<'a> {
+    pub fn engine<'a>(&self, db: &'a Database) -> Engine<&'a Database> {
         Engine::new(db)
             .semantics(self.semantics)
             .options(EngineOptions::exhaustive().with_world_options(self.world_options))

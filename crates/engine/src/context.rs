@@ -1,0 +1,137 @@
+//! Per-database dispatch context: the facts the engine precomputes about a
+//! database, factored out of [`crate::Engine`] so they can **outlive** any
+//! one engine.
+//!
+//! A borrow-scoped `Engine::new(&db)` used to own the null count, null
+//! census, and (lazily) the conflict graph itself — so a service answering N
+//! requests over one unchanged database through N short-lived engines
+//! re-scanned the database N times and rebuilt the conflict graph N times.
+//! [`DbContext`] is those facts as a shareable object: a snapshot owns one
+//! `Arc<DbContext>` next to its `Arc<Database>`, every request-scoped engine
+//! is built with [`crate::Engine::with_context`], and the conflict graph is
+//! built **exactly once per snapshot** no matter how many queries run — a
+//! claim [`DbContext::conflict_graph_builds`] lets tests prove by counter
+//! rather than by timing.
+//!
+//! The context is only meaningful for the database it was measured from;
+//! [`crate::Engine::with_context`] documents (and debug-asserts) that
+//! pairing. All fields are immutable after construction except the lazily
+//! initialized conflict graph, which sits behind a [`OnceLock`] so
+//! concurrent readers race safely: one wins the build, everyone shares it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use relalgebra::analysis::NullCensus;
+use relmodel::Database;
+use repairs::ConflictGraph;
+
+/// Precomputed dispatch facts about one database: null count, null census,
+/// and the lazily built, cached conflict graph — shareable across engines so
+/// a snapshot-owning service measures each database exactly once.
+#[derive(Debug, Default)]
+pub struct DbContext {
+    /// Distinct nulls, counted once: budget checks and report stats need it
+    /// per query, and re-scanning the database per call would dominate
+    /// dispatch cost on large instances.
+    nulls: usize,
+    /// The per-relation null census, measured once: the static analyzer's
+    /// ground truth for null-free reach, consulted on every dispatch.
+    census: NullCensus,
+    /// The conflict hypergraph against the schema's integrity constraints,
+    /// built lazily on the first consistent-answer dispatch and shared for
+    /// the context's lifetime. The violation scan — quadratic in the worst
+    /// key group — is only consulted under consistent-answer semantics, so
+    /// plain CWA/OWA traffic over constraint-bearing schemas never pays for
+    /// it. `Some(None)` once resolved for a constraint-free schema.
+    conflicts: OnceLock<Option<ConflictGraph>>,
+    /// How many times the conflict graph was actually built (0 or 1 per
+    /// context; the counter exists so tests can assert the "exactly once
+    /// per snapshot" contract).
+    conflict_builds: AtomicUsize,
+}
+
+impl DbContext {
+    /// Measures `db`: one pass for the null ids, one for the census. The
+    /// conflict graph is *not* built here — it waits for the first
+    /// consistent-answer dispatch.
+    pub fn of(db: &Database) -> Self {
+        DbContext {
+            nulls: db.null_ids().len(),
+            census: NullCensus::of_database(db),
+            conflicts: OnceLock::new(),
+            conflict_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Distinct marked nulls in the measured database.
+    pub fn nulls(&self) -> usize {
+        self.nulls
+    }
+
+    /// The per-relation null census of the measured database.
+    pub fn census(&self) -> &NullCensus {
+        &self.census
+    }
+
+    /// The cached conflict hypergraph of `db` (which must be the database
+    /// this context was measured from); `None` when the schema declares no
+    /// constraints. The first call builds, every later call shares.
+    pub fn conflict_graph(&self, db: &Database) -> Option<&ConflictGraph> {
+        self.conflicts
+            .get_or_init(|| {
+                db.schema().has_constraints().then(|| {
+                    self.conflict_builds.fetch_add(1, Ordering::Relaxed);
+                    ConflictGraph::build(db)
+                })
+            })
+            .as_ref()
+    }
+
+    /// How many times [`DbContext::conflict_graph`] actually ran
+    /// `ConflictGraph::build` — at most 1 for any context, however many
+    /// queries (or threads) asked. Under `OnceLock` contention several
+    /// threads may *compute* candidate values but exactly one is published;
+    /// the counter is incremented inside the initializer, so a transient
+    /// value above 1 is possible only while racers are still inside
+    /// `get_or_init`; after any winning call returns it is stable.
+    pub fn conflict_graph_builds(&self) -> usize {
+        self.conflict_builds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmodel::DatabaseBuilder;
+
+    #[test]
+    fn conflict_graph_builds_once_and_counts() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .build();
+        let ctx = DbContext::of(&db);
+        assert_eq!(ctx.conflict_graph_builds(), 0, "lazy until first use");
+        let first = ctx.conflict_graph(&db).expect("schema has a key");
+        assert_eq!(first.violation_count(), 1);
+        for _ in 0..10 {
+            assert!(ctx.conflict_graph(&db).is_some());
+        }
+        assert_eq!(ctx.conflict_graph_builds(), 1, "ten asks, one build");
+    }
+
+    #[test]
+    fn constraint_free_schema_resolves_to_none() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .build();
+        let ctx = DbContext::of(&db);
+        assert!(ctx.conflict_graph(&db).is_none());
+        assert_eq!(ctx.conflict_graph_builds(), 0, "nothing to build");
+        assert_eq!(ctx.nulls(), 0);
+    }
+}

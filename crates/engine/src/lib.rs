@@ -85,10 +85,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
 mod options;
 mod report;
 mod semantics;
 
+pub use context::DbContext;
 pub use options::EngineOptions;
 pub use report::{
     AnalysisReport, AnalyzerStats, CertainReport, EngineStats, FallbackReason, Guarantee,
@@ -96,16 +98,18 @@ pub use report::{
 };
 pub use semantics::Semantics;
 
+use std::borrow::Borrow;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
-use relalgebra::analysis::{self, NullCensus};
+use relalgebra::analysis;
 use relalgebra::ast::RaExpr;
 use relalgebra::classify::{has_incomplete_values, QueryClass};
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
-use releval::exec::columnar::approx::execute_approx_counted;
-use releval::exec::columnar::execute_counted;
+use releval::exec::columnar::approx::execute_approx_counted_with_morsel;
+use releval::exec::columnar::execute_counted_with_morsel;
 use releval::exec::OpStats;
 use releval::split::inline_ground_subtrees;
 use releval::strategy::{Strategy, ThreeValuedEvaluation};
@@ -168,58 +172,89 @@ impl From<EvalError> for EngineError {
 
 /// The classify-and-dispatch evaluation engine over one database.
 ///
-/// Construction is free; the engine borrows the database and is configured by
+/// The engine is generic over *how it holds* the database: any
+/// `Borrow<Database>` works, so a borrow-scoped `Engine::new(&db)` and a
+/// long-lived `Engine::over(Arc<Database>)` run the identical dispatch. The
+/// precomputed per-database facts (null count, census, lazy conflict graph)
+/// live in an [`Arc<DbContext>`] so a snapshot-owning service can build the
+/// context once and hand it to every request-scoped engine via
+/// [`Engine::with_context`] — N queries on one snapshot then measure the
+/// database once and build the conflict graph exactly once.
+///
+/// Construction via [`Engine::new`]/[`Engine::over`] measures the database
+/// (two linear scans); via [`Engine::with_context`] it is free. Configure by
 /// chaining [`Engine::semantics`] and [`Engine::options`].
 #[derive(Debug, Clone)]
-pub struct Engine<'db> {
-    db: &'db Database,
+pub struct Engine<D: Borrow<Database> = Database> {
+    db: D,
     semantics: Semantics,
     options: EngineOptions,
-    /// Distinct nulls in `db`, counted once at construction: the budget
-    /// checks and report stats need it per query, and re-scanning the
-    /// database per call would dominate dispatch cost on large instances
-    /// (the engine borrows the database immutably, so the count cannot go
-    /// stale).
-    nulls: usize,
-    /// The per-relation null census, measured once at construction (same
-    /// staleness argument as `nulls`): the static analyzer's ground truth
-    /// for null-free reach, consulted on every dispatch.
-    census: NullCensus,
-    /// The conflict hypergraph against the schema's integrity constraints,
-    /// built **lazily** on the first consistent-answer dispatch and cached
-    /// for the engine's lifetime (same caching argument as `nulls`, but the
-    /// violation scan — quadratic in the worst key group — is only ever
-    /// consulted under [`Semantics::ConsistentAnswers`], so plain CWA/OWA
-    /// engines over constraint-bearing schemas must not pay for it).
-    /// `Some(None)` once resolved for a constraint-free schema.
-    conflicts: std::sync::OnceLock<Option<ConflictGraph>>,
+    /// The precomputed dispatch facts for `db` — owned alone by this engine
+    /// when self-measured, shared with a snapshot when injected.
+    ctx: Arc<DbContext>,
 }
 
-impl<'db> Engine<'db> {
-    /// An engine over `db`, defaulting to CWA semantics and the conservative
-    /// default [`EngineOptions`].
+impl<'db> Engine<&'db Database> {
+    /// An engine borrowing `db`, defaulting to CWA semantics and the
+    /// conservative default [`EngineOptions`] — the one-shot front door.
     pub fn new(db: &'db Database) -> Self {
+        Engine::over(db)
+    }
+}
+
+impl<D: Borrow<Database>> Engine<D> {
+    /// An engine over any owned or borrowed database handle (`&Database`,
+    /// `Database`, `Arc<Database>`, …), measuring its dispatch context
+    /// itself.
+    pub fn over(db: D) -> Self {
+        let ctx = Arc::new(DbContext::of(db.borrow()));
+        Engine::with_context(db, ctx)
+    }
+
+    /// An engine over `db` reusing an already measured [`DbContext`].
+    /// Construction does no database work at all — this is the request path
+    /// of a snapshot-owning service. `ctx` **must** have been measured from
+    /// this same database; a mismatched context silently mis-dispatches
+    /// (wrong census, stale conflict graph), so the pairing is the caller's
+    /// contract (a cheap invariant is debug-asserted).
+    pub fn with_context(db: D, ctx: Arc<DbContext>) -> Self {
+        debug_assert_eq!(
+            ctx.nulls(),
+            db.borrow().null_ids().len(),
+            "DbContext must be measured from the engine's own database"
+        );
         Engine {
             db,
             semantics: Semantics::Cwa,
             options: EngineOptions::default(),
-            nulls: db.null_ids().len(),
-            census: NullCensus::of_database(db),
-            conflicts: std::sync::OnceLock::new(),
+            ctx,
         }
+    }
+
+    /// The database behind whatever handle the engine holds.
+    fn db(&self) -> &Database {
+        self.db.borrow()
+    }
+
+    /// The precomputed dispatch context (shared, when the engine was built
+    /// with [`Engine::with_context`]).
+    pub fn context(&self) -> &Arc<DbContext> {
+        &self.ctx
+    }
+
+    /// The morsel size the columnar executors run under: the explicit
+    /// [`EngineOptions::morsel_rows`] when set, else the environment seed
+    /// (re-read per call — services pin it explicitly instead).
+    fn morsel(&self) -> usize {
+        self.options
+            .morsel_rows
+            .unwrap_or_else(relmodel::batch::morsel_rows)
     }
 
     /// The cached conflict hypergraph; `None` when the schema declares no
     /// constraints.
     fn conflict_graph(&self) -> Option<&ConflictGraph> {
-        self.conflicts
-            .get_or_init(|| {
-                self.db
-                    .schema()
-                    .has_constraints()
-                    .then(|| ConflictGraph::build(self.db))
-            })
-            .as_ref()
+        self.ctx.conflict_graph(self.db())
     }
 
     /// Selects the semantics queries are answered under. Accepts the base
@@ -257,14 +292,14 @@ impl<'db> Engine<'db> {
     }
 
     /// The database the engine answers over.
-    pub fn database(&self) -> &'db Database {
-        self.db
+    pub fn database(&self) -> &Database {
+        self.db()
     }
 
     /// Classifies, dispatches, executes, and reports on `query`.
     pub fn plan(&self, query: &RaExpr) -> Result<CertainReport, EngineError> {
         let started = Instant::now();
-        let plan = PlannedQuery::new(query.clone(), self.db.schema())?;
+        let plan = PlannedQuery::new(query.clone(), self.db().schema())?;
         self.finish(plan, started)
     }
 
@@ -272,7 +307,7 @@ impl<'db> Engine<'db> {
     /// dispatch, execute — one call from text to guaranteed answers.
     pub fn plan_text(&self, query: &str) -> Result<CertainReport, EngineError> {
         let started = Instant::now();
-        let plan = qparser::parse_and_plan(query, self.db.schema())?;
+        let plan = qparser::parse_and_plan(query, self.db().schema())?;
         self.finish(plan, started)
     }
 
@@ -293,7 +328,7 @@ impl<'db> Engine<'db> {
         query: &RaExpr,
     ) -> Result<CertainReport, EngineError> {
         let started = Instant::now();
-        let plan = PlannedQuery::new(query.clone(), self.db.schema())?;
+        let plan = PlannedQuery::new(query.clone(), self.db().schema())?;
         let plan_time = started.elapsed();
         let decision = Decision {
             strategy,
@@ -331,7 +366,7 @@ impl<'db> Engine<'db> {
     /// monotone (monotonicity makes the two certain answers coincide).
     fn effective_semantics(&self, query: &RaExpr) -> Semantics {
         if self.base() == relmodel::Semantics::Owa
-            && analysis::analyze(query, &self.census).root().monotone
+            && analysis::analyze(query, self.ctx.census()).root().monotone
         {
             Semantics::Cwa
         } else {
@@ -345,22 +380,22 @@ impl<'db> Engine<'db> {
     /// to [`Engine::select_strategy`]), the lint diagnostics (`QL…` codes),
     /// and an annotated plan rendering.
     pub fn analyze(&self, query: &RaExpr) -> Result<AnalysisReport, EngineError> {
-        let plan = PlannedQuery::new(query.clone(), self.db.schema())?;
+        let plan = PlannedQuery::new(query.clone(), self.db().schema())?;
         Ok(self.analysis_report(&plan))
     }
 
     /// [`Engine::analyze`] for textual queries.
     pub fn analyze_text(&self, query: &str) -> Result<AnalysisReport, EngineError> {
-        let plan = qparser::parse_and_plan(query, self.db.schema())?;
+        let plan = qparser::parse_and_plan(query, self.db().schema())?;
         Ok(self.analysis_report(&plan))
     }
 
     fn analysis_report(&self, plan: &PlannedQuery) -> AnalysisReport {
-        let analysis = analysis::analyze(plan.expr(), &self.census);
+        let analysis = analysis::analyze(plan.expr(), self.ctx.census());
         let facts = analysis.root().clone();
         let decision = self.decide(plan.expr(), plan.class());
-        let diagnostics = analysis::lint(plan.expr(), &self.census, Some(self.db.schema()));
-        let annotated = analysis::annotate(plan.expr(), &self.census);
+        let diagnostics = analysis::lint(plan.expr(), self.ctx.census(), Some(self.db().schema()));
+        let annotated = analysis::annotate(plan.expr(), self.ctx.census());
         AnalysisReport {
             class: plan.class(),
             certainty_preserving: facts.certainty_preserving(self.base()),
@@ -392,11 +427,11 @@ impl<'db> Engine<'db> {
     /// split class, so preview ([`Engine::select_strategy`]) and execution
     /// always agree.
     fn inline_ground(&self, plan: PlannedQuery, decision: Decision) -> (PlannedQuery, Decision) {
-        let outcome = inline_ground_subtrees(plan.expr(), self.db, &self.census);
+        let outcome = inline_ground_subtrees(plan.expr(), self.db(), self.ctx.census());
         if outcome.inlined == 0 {
             return (plan, decision);
         }
-        match PlannedQuery::new(outcome.expr, self.db.schema()) {
+        match PlannedQuery::new(outcome.expr, self.db().schema()) {
             Ok(reduced) => {
                 let analyzer = decision.analyzer.map(|a| AnalyzerStats {
                     inlined_subtrees: outcome.inlined,
@@ -488,7 +523,7 @@ impl<'db> Engine<'db> {
     ///   whose non-monotone core is ground upgrades all the way to
     ///   `NaiveExact`/`Exact`.
     fn decide_certain(&self, query: &RaExpr, class: QueryClass) -> Decision {
-        let analysis = analysis::analyze(query, &self.census);
+        let analysis = analysis::analyze(query, self.ctx.census());
         let facts = analysis.root();
         let class_sound = class.naive_evaluation_sound(self.base());
         let analyzer = AnalyzerStats {
@@ -610,8 +645,8 @@ impl<'db> Engine<'db> {
                 ..Decision::default()
             };
         }
-        let estimate = estimated_world_count(query, self.db, &self.options.world_options);
-        let within_budget = self.nulls <= self.options.max_nulls
+        let estimate = estimated_world_count(query, self.db(), &self.options.world_options);
+        let within_budget = self.ctx.nulls() <= self.options.max_nulls
             && estimate <= self.options.world_options.max_worlds;
         if within_budget {
             Decision {
@@ -659,7 +694,7 @@ impl<'db> Engine<'db> {
         let empty_graph = ConflictGraph::default();
         let (answers, object_answer) = match decision.strategy {
             StrategyKind::SymbolicCTable => {
-                match symbolic_certain_answer(&plan, self.db, &self.options.symbolic_options) {
+                match symbolic_certain_answer(&plan, self.db(), &self.options.symbolic_options) {
                     SymbolicOutcome::Answered(exec) => {
                         symbolic_exec = Some((
                             exec.condition_atoms,
@@ -703,8 +738,12 @@ impl<'db> Engine<'db> {
             }
             StrategyKind::RepairEnumeration => {
                 let graph = self.conflict_graph().unwrap_or(&empty_graph);
-                match stream_consistent_answer(&plan, self.db, graph, &self.options.repair_options)
-                {
+                match stream_consistent_answer(
+                    &plan,
+                    self.db(),
+                    graph,
+                    &self.options.repair_options,
+                ) {
                     Ok(exec) => {
                         repair_exec = Some((exec.repairs_visited, exec.early_exit));
                         physical_ops = Some(exec.op_stats);
@@ -745,17 +784,18 @@ impl<'db> Engine<'db> {
             }
             StrategyKind::ConflictFreeCore => {
                 let graph = self.conflict_graph().unwrap_or(&empty_graph);
-                let exec = core_consistent_answer(&plan, self.db, graph);
+                let exec = core_consistent_answer(&plan, self.db(), graph);
                 physical_ops = Some(exec.op_stats);
                 (exec.answers, Some(exec.pair.certain))
             }
             StrategyKind::NaiveExact => {
-                let (object, ops) = execute_counted(plan.physical(), self.db);
+                let (object, ops) =
+                    execute_counted_with_morsel(plan.physical(), self.db(), self.morsel());
                 physical_ops = Some(ops);
                 (object.complete_part(), Some(object))
             }
             StrategyKind::ThreeValuedBaseline => {
-                let raw = ThreeValuedEvaluation.eval_unchecked(&plan, self.db, self.base())?;
+                let raw = ThreeValuedEvaluation.eval_unchecked(&plan, self.db(), self.base())?;
                 (raw.complete_part(), Some(raw))
             }
             StrategyKind::WorldsGroundTruth => {
@@ -764,7 +804,7 @@ impl<'db> Engine<'db> {
                 // worlds in flight.
                 let exec = stream_certain_answer(
                     &plan,
-                    self.db,
+                    self.db(),
                     self.base(),
                     &self.options.world_options,
                 )?;
@@ -782,12 +822,17 @@ impl<'db> Engine<'db> {
                     // Naïve evaluation computes the CWA certain answer for
                     // RA_cwa (Section 6.2), which contains the OWA one: a
                     // provable over-approximation, reported as `complete`.
-                    let (naive, ops) = execute_counted(plan.physical(), self.db);
+                    let (naive, ops) =
+                        execute_counted_with_morsel(plan.physical(), self.db(), self.morsel());
                     physical_ops = Some(ops);
                     (naive.complete_part(), Some(naive))
                 } else {
                     // Pair evaluation: the certain⁺ under-approximation.
-                    let (approx, ops) = execute_approx_counted(plan.physical(), self.db);
+                    let (approx, ops) = execute_approx_counted_with_morsel(
+                        plan.physical(),
+                        self.db(),
+                        self.morsel(),
+                    );
                     physical_ops = Some(ops);
                     (approx.certain.complete_part(), Some(approx.certain))
                 }
@@ -805,7 +850,7 @@ impl<'db> Engine<'db> {
                 plan_time,
                 execute_time,
                 total_time: started.elapsed(),
-                nulls: self.nulls,
+                nulls: self.ctx.nulls(),
                 estimated_worlds: decision.estimated_worlds,
                 worlds_enumerated: world_exec.map(|e| e.0),
                 degraded: decision.degraded,
@@ -824,6 +869,11 @@ impl<'db> Engine<'db> {
                 plan_text: plan.physical().explain(),
                 physical_ops,
                 analyzer: decision.analyzer,
+                // The serving-layer fields: a direct engine call is always a
+                // fresh computation against no snapshot; `serve` stamps them.
+                cache_hit: false,
+                plan_cache_hit: false,
+                snapshot_version: None,
             },
         })
     }

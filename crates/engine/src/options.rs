@@ -1,5 +1,7 @@
 //! Budgets and modes governing the planner's strategy choice.
 
+use std::hash::{Hash, Hasher};
+
 use releval::symbolic::SymbolicOptions;
 use releval::worlds::WorldOptions;
 use repairs::RepairOptions;
@@ -44,6 +46,11 @@ pub struct EngineOptions {
     /// `repair_options.max_repairs`, and degrades to the conflict-free-core
     /// approximation beyond it.
     pub repair_options: RepairOptions,
+    /// Rows per morsel for the columnar executors. `None` (the default)
+    /// reads the `MORSEL_ROWS` environment variable per call as the seed;
+    /// long-lived services set this explicitly once at construction so
+    /// batching is a per-service decision, not a process-global one.
+    pub morsel_rows: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -55,6 +62,7 @@ impl Default for EngineOptions {
             max_nulls: 8,
             world_options: WorldOptions::default(),
             repair_options: RepairOptions::default(),
+            morsel_rows: None,
         }
     }
 }
@@ -110,6 +118,44 @@ impl EngineOptions {
         self.repair_options = opts;
         self
     }
+
+    /// Pins the columnar executors' morsel size explicitly (services call
+    /// this once with their env-seeded size at construction).
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.morsel_rows = Some(morsel_rows.max(1));
+        self
+    }
+
+    /// A stable fingerprint of **every** option field, for result-cache
+    /// keys: two option sets share a cached answer only when the
+    /// fingerprints match, so a report computed under a starved budget (and
+    /// honestly degraded to `Sound`) can never be served to a caller whose
+    /// larger budget would have earned `Exact`. Equal options always yield
+    /// equal fingerprints; distinct options collide only with ordinary
+    /// 64-bit hash probability.
+    pub fn fingerprint(&self) -> u64 {
+        fn world(h: &mut impl Hasher, w: &WorldOptions) {
+            w.extra_fresh.hash(h);
+            w.max_owa_extra.hash(h);
+            w.max_worlds.hash(h);
+            w.threads.hash(h);
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.exhaustive.hash(&mut h);
+        self.symbolic.hash(&mut h);
+        self.symbolic_options.max_dnf_clauses.hash(&mut h);
+        self.max_nulls.hash(&mut h);
+        world(&mut h, &self.world_options);
+        self.repair_options.max_repairs.hash(&mut h);
+        self.repair_options.threads.hash(&mut h);
+        world(&mut h, &self.repair_options.world_options);
+        self.repair_options
+            .symbolic_options
+            .max_dnf_clauses
+            .hash(&mut h);
+        self.morsel_rows.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +181,7 @@ mod tests {
             .with_max_worlds(100)
             .with_max_dnf_clauses(7)
             .with_max_repairs(12)
+            .with_morsel_rows(64)
             .without_symbolic();
         assert!(opts.exhaustive);
         assert!(!opts.symbolic);
@@ -142,5 +189,36 @@ mod tests {
         assert_eq!(opts.world_options.max_worlds, 100);
         assert_eq!(opts.symbolic_options.max_dnf_clauses, 7);
         assert_eq!(opts.repair_options.max_repairs, 12);
+        assert_eq!(opts.morsel_rows, Some(64));
+        assert_eq!(
+            EngineOptions::default().with_morsel_rows(0).morsel_rows,
+            Some(1),
+            "zero clamps to 1"
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_every_budget_axis() {
+        let base = EngineOptions::default();
+        assert_eq!(base.fingerprint(), EngineOptions::default().fingerprint());
+        let variants = [
+            EngineOptions::exhaustive(),
+            base.without_symbolic(),
+            base.with_max_nulls(3),
+            base.with_max_worlds(100),
+            base.with_max_dnf_clauses(7),
+            base.with_max_repairs(12),
+            base.with_morsel_rows(64),
+        ];
+        for v in &variants {
+            assert_ne!(
+                base.fingerprint(),
+                v.fingerprint(),
+                "changed options must change the fingerprint: {v:?}"
+            );
+        }
+        // The budget-upgrade hazard specifically: a starved world budget and
+        // the default budget must never share a result-cache line.
+        assert_ne!(base.with_max_worlds(1).fingerprint(), base.fingerprint(),);
     }
 }

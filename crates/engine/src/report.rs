@@ -410,6 +410,17 @@ pub struct EngineStats {
     /// execution; `None` for the 3VL baseline, which keeps its own
     /// deliberately naïve interpreter.
     pub physical_ops: Option<OpStats>,
+    /// The report was served from a service's certain-answer result cache
+    /// (no strategy executed for this call; the timing fields describe the
+    /// original computation). Always `false` for a direct [`crate::Engine`]
+    /// call — only `serve::CertainService` sets it.
+    pub cache_hit: bool,
+    /// The plan came from a service's plan cache (parse + typecheck + lower
+    /// were skipped for this call). Always `false` for a direct engine call.
+    pub plan_cache_hit: bool,
+    /// The snapshot version the answer was computed against, when a
+    /// snapshot-versioned service answered. `None` for a direct engine call.
+    pub snapshot_version: Option<u64>,
 }
 
 /// The engine's answer to a query: the tuples, the strategy that produced

@@ -44,6 +44,17 @@ pub fn execute_approx_counted(plan: &PhysicalPlan, db: &Database) -> (ApproxAnsw
     execute_approx_between(plan, db, db)
 }
 
+/// [`execute_approx_counted`] with an explicit morsel size — the engine
+/// threads its configured size through here so long-lived services control
+/// batching per request rather than per process.
+pub fn execute_approx_counted_with_morsel(
+    plan: &PhysicalPlan,
+    db: &Database,
+    morsel: usize,
+) -> (ApproxAnswer, OpStats) {
+    execute_approx_between_with_morsel(plan, db, db, morsel)
+}
+
 /// Pair-evaluates over an **interval** of databases — certain side reads
 /// leaves from `lower`, possible side from `upper` — with the same
 /// soundness invariant as the row version (see

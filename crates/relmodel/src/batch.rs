@@ -22,7 +22,6 @@
 //! the executor's hash-table chains and selection vectors dense.
 
 use std::ops::Range;
-use std::sync::OnceLock;
 
 use crate::relation::Relation;
 use crate::tuple::Tuple;
@@ -35,17 +34,23 @@ pub const MORSEL_ROWS_ENV: &str = "MORSEL_ROWS";
 /// small enough that a morsel's columns stay cache-resident.
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
 
-/// The configured morsel size: `MORSEL_ROWS` from the environment (read
-/// once per process), else [`DEFAULT_MORSEL_ROWS`]. Always at least 1.
+/// The environment-seeded morsel size: `MORSEL_ROWS` from the environment,
+/// else [`DEFAULT_MORSEL_ROWS`]. Always at least 1.
+///
+/// The environment is consulted on **every call** — deliberately not cached
+/// in a process-global `OnceLock`. A global read-once value made a later
+/// `std::env::set_var` silently a no-op and let parallel tests sweeping
+/// morsel sizes race on first-read order. Long-lived services read this once
+/// at *service* construction and thread the size through explicit exec
+/// options (`execute_counted_with_morsel` and friends); the env lookup here
+/// is only the default seed for one-shot callers, and its cost is noise
+/// against any query execution.
 pub fn morsel_rows() -> usize {
-    static MORSEL: OnceLock<usize> = OnceLock::new();
-    *MORSEL.get_or_init(|| {
-        std::env::var(MORSEL_ROWS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(DEFAULT_MORSEL_ROWS)
-    })
+    std::env::var(MORSEL_ROWS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_MORSEL_ROWS)
 }
 
 /// Iterator over the morsel row ranges of a batch of `len` rows: contiguous
@@ -456,6 +461,22 @@ mod tests {
         assert_eq!(morsel_ranges(0, 4).count(), 0);
         assert_eq!(morsel_ranges(3, 0).count(), 3, "zero clamps to 1");
         assert!(morsel_rows() >= 1);
+    }
+
+    #[test]
+    fn morsel_rows_tracks_the_environment() {
+        // Regression: the size was cached in a process-global `OnceLock`, so
+        // a `set_var` after the first read silently no-opped. The env must
+        // act as a live default seed. (Values stay ≥ 1 throughout so the
+        // concurrent `morsel_ranges_cover_exactly` test is unaffected.)
+        std::env::set_var(MORSEL_ROWS_ENV, "7");
+        assert_eq!(morsel_rows(), 7);
+        std::env::set_var(MORSEL_ROWS_ENV, "9");
+        assert_eq!(morsel_rows(), 9, "a later set_var must take effect");
+        std::env::set_var(MORSEL_ROWS_ENV, "0");
+        assert_eq!(morsel_rows(), DEFAULT_MORSEL_ROWS, "zero is rejected");
+        std::env::remove_var(MORSEL_ROWS_ENV);
+        assert_eq!(morsel_rows(), DEFAULT_MORSEL_ROWS);
     }
 
     #[test]

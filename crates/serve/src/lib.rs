@@ -1,0 +1,597 @@
+//! Serving layer: a concurrent, snapshot-versioned certain-answer service.
+//!
+//! [`engine::Engine`] answers one query over one database; `serve` turns it
+//! into a long-lived, thread-shared **service**. A [`CertainService`] owns a
+//! sequence of immutable, versioned database [`Snapshot`]s and answers
+//! textual queries against whichever snapshot is current when the request
+//! arrives, with three layers of reuse stacked on top of the engine:
+//!
+//! * **Snapshot versioning (copy-on-write).** Writers build the next
+//!   database *outside* any lock readers take, then publish it as version
+//!   `v+1` with a pointer swap. Readers never block writers and vice versa;
+//!   an in-flight query keeps its snapshot alive by `Arc` however many
+//!   versions are published meanwhile, so every report is internally
+//!   consistent with the `snapshot_version` it carries.
+//! * **Per-snapshot dispatch context.** The null census and the (lazy)
+//!   conflict graph live on the snapshot, not the request: N queries on one
+//!   snapshot measure the database once and build the conflict graph exactly
+//!   once, however many threads ask ([`Snapshot::conflict_graph_builds`]).
+//! * **Plan + result caches.** Plans are cached by whitespace-normalized
+//!   query text and survive data-only version bumps (they depend only on the
+//!   schema, tracked by epoch); certain-answer reports are cached by
+//!   (query, version, semantics, options-fingerprint), so a version bump
+//!   invalidates every stale answer *by construction* — a stale key can no
+//!   longer match — and callers with different budgets can never share an
+//!   answer (the degradation-correctness guarantee; see
+//!   [`EngineOptions::fingerprint`]).
+//!
+//! Reports come back as the engine's own [`CertainReport`], with the
+//! service-only stats fields filled in: `stats.snapshot_version` says which
+//! snapshot answered, `stats.plan_cache_hit` whether planning was skipped,
+//! and `stats.cache_hit` whether the whole answer came from the result
+//! cache.
+//!
+//! ```
+//! use relmodel::builder::DatabaseBuilder;
+//! use serve::CertainService;
+//!
+//! let service = CertainService::new(
+//!     DatabaseBuilder::new().relation("R", &["a"]).ints("R", &[1]).build(),
+//! );
+//! let cold = service.submit("R").unwrap();
+//! assert!(!cold.stats.cache_hit);
+//! let hot = service.submit("R").unwrap();
+//! assert!(hot.stats.cache_hit && hot.stats.plan_cache_hit);
+//! assert_eq!(hot.answers, cold.answers);
+//!
+//! service.update(|db| {
+//!     db.insert("R", relmodel::Tuple::new(vec![relmodel::Value::int(2)])).unwrap();
+//! });
+//! let fresh = service.submit("R").unwrap();
+//! assert!(!fresh.stats.cache_hit, "the version bump invalidated the cache");
+//! assert_eq!(fresh.stats.snapshot_version, Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod snapshot;
+mod stats;
+
+pub use cache::{normalize, PlanCache, ResultCache, ResultKey};
+pub use snapshot::{Snapshot, SnapshotEngine};
+pub use stats::ServiceTelemetry;
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use engine::{CertainReport, EngineError, EngineOptions, Semantics};
+use relalgebra::plan::PlannedQuery;
+use relmodel::Database;
+
+use cache::{PlanCache as Plans, ResultCache as Results};
+use stats::ServiceStats;
+
+/// Construction-time configuration for a [`CertainService`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The semantics [`CertainService::submit`] answers under
+    /// (`submit_with` overrides per request).
+    pub semantics: Semantics,
+    /// The engine options `submit` runs with. A `morsel_rows` of `None` is
+    /// seeded from the `MORSEL_ROWS` environment variable **once, at service
+    /// construction** — the morsel size is a per-service decision, not a
+    /// per-process global re-read on every call.
+    pub engine_options: EngineOptions,
+    /// Result-cache capacity in reports (FIFO-evicted beyond it).
+    pub max_result_entries: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            semantics: Semantics::Cwa,
+            engine_options: EngineOptions::default(),
+            max_result_entries: 4096,
+        }
+    }
+}
+
+/// A long-lived, thread-shared certain-answer service over snapshot-versioned
+/// databases. See the [module docs](self) for the design; construction is
+/// [`CertainService::new`]/[`CertainService::with_options`], the read path is
+/// [`CertainService::submit`] and friends, the write path is
+/// [`CertainService::update`]/[`CertainService::replace`].
+///
+/// All methods take `&self`: share the service across threads as-is or in an
+/// `Arc`.
+#[derive(Debug)]
+pub struct CertainService {
+    /// The published snapshot. The write lock is held only for the pointer
+    /// swap — never while cloning, mutating, or measuring a database.
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes writers, so concurrent updates compose (each clones the
+    /// latest database) instead of lost-updating each other. Held across the
+    /// whole clone-mutate-measure-publish cycle; readers never take it.
+    writer: Mutex<()>,
+    plans: RwLock<Plans>,
+    results: Mutex<Results>,
+    stats: ServiceStats,
+    semantics: Semantics,
+    engine_options: EngineOptions,
+}
+
+impl CertainService {
+    /// A service over `db` with [`ServeOptions::default`]: CWA semantics,
+    /// default engine budgets, env-seeded morsel size.
+    pub fn new(db: Database) -> Self {
+        CertainService::with_options(db, ServeOptions::default())
+    }
+
+    /// A service over `db` with explicit options. The initial snapshot is
+    /// version 0.
+    pub fn with_options(db: Database, options: ServeOptions) -> Self {
+        let mut engine_options = options.engine_options;
+        if engine_options.morsel_rows.is_none() {
+            // Read the environment seed exactly once, here: every query this
+            // service ever runs uses this morsel size, no matter what the
+            // process environment does later.
+            engine_options = engine_options.with_morsel_rows(relmodel::batch::morsel_rows());
+        }
+        CertainService {
+            current: RwLock::new(Arc::new(Snapshot::new(0, 0, db))),
+            writer: Mutex::new(()),
+            plans: RwLock::new(Plans::default()),
+            results: Mutex::new(Results::new(options.max_result_entries)),
+            stats: ServiceStats::default(),
+            semantics: options.semantics,
+            engine_options,
+        }
+    }
+
+    /// The current snapshot. The returned `Arc` pins it: queries answered
+    /// through it stay on this version even while writers publish newer ones.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The current snapshot version (0 at construction, +1 per publish).
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// The engine options `submit`/`submit_batch` run with (morsel size
+    /// already pinned).
+    pub fn engine_options(&self) -> &EngineOptions {
+        &self.engine_options
+    }
+
+    /// Answers `query` on the current snapshot under the service's default
+    /// semantics and options.
+    pub fn submit(&self, query: &str) -> Result<CertainReport, EngineError> {
+        self.submit_with(query, self.semantics, self.engine_options)
+    }
+
+    /// Answers `query` on the current snapshot under caller-chosen semantics
+    /// and options. Distinct options never share cached answers — asking
+    /// with a bigger budget recomputes rather than inheriting a degraded
+    /// report.
+    pub fn submit_with(
+        &self,
+        query: &str,
+        semantics: Semantics,
+        options: EngineOptions,
+    ) -> Result<CertainReport, EngineError> {
+        self.answer_on(&self.snapshot(), query, semantics, options)
+    }
+
+    /// Answers a batch of queries against **one** snapshot (all reports
+    /// carry the same `snapshot_version`, even if a writer publishes
+    /// mid-batch), under the service's default semantics and options.
+    ///
+    /// Batch members share everything the service shares — repeated queries
+    /// share one plan lowering via the plan cache, and under
+    /// [`Semantics::ConsistentAnswers`] the whole batch shares the
+    /// snapshot's one conflict-graph build.
+    pub fn submit_batch(&self, queries: &[&str]) -> Vec<Result<CertainReport, EngineError>> {
+        self.submit_batch_with(queries, self.semantics, self.engine_options)
+    }
+
+    /// [`CertainService::submit_batch`] with caller-chosen semantics and
+    /// options.
+    pub fn submit_batch_with(
+        &self,
+        queries: &[&str],
+        semantics: Semantics,
+        options: EngineOptions,
+    ) -> Vec<Result<CertainReport, EngineError>> {
+        ServiceStats::bump(&self.stats.batches);
+        let snap = self.snapshot();
+        queries
+            .iter()
+            .map(|q| self.answer_on(&snap, q, semantics, options))
+            .collect()
+    }
+
+    /// The cache-through read path: result cache, then plan cache, then the
+    /// engine, all against the one snapshot the caller pinned.
+    fn answer_on(
+        &self,
+        snap: &Snapshot,
+        query: &str,
+        semantics: Semantics,
+        options: EngineOptions,
+    ) -> Result<CertainReport, EngineError> {
+        ServiceStats::bump(&self.stats.queries);
+        let normalized = normalize(query);
+        let key = ResultKey {
+            query: normalized,
+            version: snap.version(),
+            semantics,
+            options_fp: options.fingerprint(),
+        };
+
+        if let Some(cached) = self
+            .results
+            .lock()
+            .expect("result cache lock poisoned")
+            .get(&key)
+        {
+            ServiceStats::bump(&self.stats.result_hits);
+            // Plan lookup was skipped along with everything else.
+            ServiceStats::bump(&self.stats.plan_hits);
+            let mut report = (*cached).clone();
+            report.stats.cache_hit = true;
+            report.stats.plan_cache_hit = true;
+            return Ok(report);
+        }
+        ServiceStats::bump(&self.stats.result_misses);
+
+        let (plan, plan_cache_hit) = self.plan_on(snap, query, &key.query)?;
+        // Errors (here and in planning above) are returned, never cached: a
+        // transient budget error must not shadow a later successful answer.
+        let mut report = snap.engine(semantics, options).plan_prepared(&plan)?;
+        report.stats.snapshot_version = Some(snap.version());
+        report.stats.plan_cache_hit = plan_cache_hit;
+        self.results
+            .lock()
+            .expect("result cache lock poisoned")
+            .insert(key, Arc::new(report.clone()));
+        Ok(report)
+    }
+
+    /// Parse + typecheck + lower `query` against the snapshot's schema, or
+    /// reuse the cached plan when the snapshot's schema epoch has one.
+    fn plan_on(
+        &self,
+        snap: &Snapshot,
+        query: &str,
+        normalized: &str,
+    ) -> Result<(Arc<PlannedQuery>, bool), EngineError> {
+        let epoch = snap.schema_epoch();
+        if let Some(plan) = self
+            .plans
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(epoch, normalized)
+        {
+            ServiceStats::bump(&self.stats.plan_hits);
+            return Ok((plan, true));
+        }
+        ServiceStats::bump(&self.stats.plan_misses);
+        // Plan the ORIGINAL text (normalization is a cache key, not a
+        // rewrite), against the pinned snapshot's schema.
+        let plan = Arc::new(qparser::parse_and_plan(query, snap.database().schema())?);
+        let plan = self
+            .plans
+            .write()
+            .expect("plan cache lock poisoned")
+            .insert(epoch, normalized.to_owned(), plan);
+        Ok((plan, false))
+    }
+
+    /// Publishes the next snapshot: clones the current database, applies
+    /// `mutate`, and swaps it in as version `current + 1`. Returns the new
+    /// version.
+    ///
+    /// The clone, the mutation, and the (two-linear-scan) measurement all
+    /// happen outside the snapshot lock — readers keep answering on the old
+    /// version throughout and switch atomically at the pointer swap. A
+    /// schema-changing mutation additionally starts a new plan-cache epoch.
+    pub fn update(&self, mutate: impl FnOnce(&mut Database)) -> u64 {
+        let _writing = self.writer.lock().expect("writer lock poisoned");
+        let prev = self.snapshot();
+        let mut db = (**prev.database()).clone();
+        mutate(&mut db);
+        self.publish(&prev, db)
+    }
+
+    /// Publishes `db` wholesale as the next snapshot (schema may differ
+    /// arbitrarily from the current one). Returns the new version.
+    pub fn replace(&self, db: Database) -> u64 {
+        let _writing = self.writer.lock().expect("writer lock poisoned");
+        let prev = self.snapshot();
+        self.publish(&prev, db)
+    }
+
+    /// The shared tail of [`CertainService::update`]/[`CertainService::replace`]:
+    /// caller holds the writer lock and `prev` is the latest snapshot.
+    fn publish(&self, prev: &Snapshot, db: Database) -> u64 {
+        let schema_changed = db.schema() != prev.database().schema();
+        let epoch = prev.schema_epoch() + u64::from(schema_changed);
+        let version = prev.version() + 1;
+        // The expensive part — measuring the census — runs before any reader
+        // is blocked.
+        let next = Arc::new(Snapshot::new(version, epoch, db));
+        *self.current.write().expect("snapshot lock poisoned") = next;
+        if schema_changed {
+            self.plans
+                .write()
+                .expect("plan cache lock poisoned")
+                .reset(epoch);
+        }
+        // Invalidation proper is by key (stale versions can't match); this
+        // only reclaims their memory.
+        self.results
+            .lock()
+            .expect("result cache lock poisoned")
+            .retain_version(version);
+        ServiceStats::bump(&self.stats.updates);
+        version
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn telemetry(&self) -> ServiceTelemetry {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use engine::{FallbackReason, Guarantee, StrategyKind};
+    use relmodel::builder::DatabaseBuilder;
+    use relmodel::{Tuple, Value};
+
+    fn ints(values: &[i64]) -> relmodel::Relation {
+        let mut rel = relmodel::Relation::new(1);
+        for v in values {
+            rel.insert(Tuple::new(vec![Value::int(*v)]));
+        }
+        rel
+    }
+
+    fn one_relation() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["a"])
+            .ints("R", &[1])
+            .ints("R", &[2])
+            .build()
+    }
+
+    /// Two tuples sharing key 1 → two repairs; enumeration is exact, the
+    /// starved budget degrades to the conflict-free core.
+    fn dirty() -> Database {
+        DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .build()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CertainService>();
+        assert_send_sync::<Arc<Snapshot>>();
+    }
+
+    #[test]
+    fn repeated_query_hits_both_caches() {
+        let service = CertainService::new(one_relation());
+        let cold = service.submit("R").unwrap();
+        assert!(!cold.stats.cache_hit);
+        assert!(!cold.stats.plan_cache_hit);
+        assert_eq!(cold.stats.snapshot_version, Some(0));
+        assert_eq!(cold.answers, ints(&[1, 2]));
+
+        let hot = service.submit("R").unwrap();
+        assert!(hot.stats.cache_hit, "identical resubmit hits the cache");
+        assert!(hot.stats.plan_cache_hit);
+        assert_eq!(hot.answers, cold.answers);
+        assert_eq!(hot.guarantee, cold.guarantee);
+
+        // Whitespace variants share both caches.
+        let spaced = service.submit("  R \n").unwrap();
+        assert!(spaced.stats.cache_hit);
+
+        let t = service.telemetry();
+        assert_eq!(t.queries, 3);
+        assert_eq!(t.result_hits, 2);
+        assert_eq!(t.result_misses, 1);
+        assert_eq!(t.plan_misses, 1);
+    }
+
+    #[test]
+    fn version_bump_invalidates_results_but_not_plans() {
+        let service = CertainService::new(one_relation());
+        assert_eq!(service.version(), 0);
+        service.submit("R").unwrap();
+
+        let v = service.update(|db| {
+            db.insert("R", Tuple::new(vec![Value::int(3)])).unwrap();
+        });
+        assert_eq!(v, 1);
+        assert_eq!(service.version(), 1);
+
+        let fresh = service.submit("R").unwrap();
+        assert!(
+            !fresh.stats.cache_hit,
+            "a result computed on version 0 must not answer version 1"
+        );
+        assert!(
+            fresh.stats.plan_cache_hit,
+            "a data-only bump keeps the schema, hence the plan"
+        );
+        assert_eq!(fresh.stats.snapshot_version, Some(1));
+        assert_eq!(fresh.answers, ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn starved_budget_report_is_never_served_to_a_bigger_budget() {
+        let service = CertainService::with_options(
+            dirty(),
+            ServeOptions {
+                semantics: Semantics::ConsistentAnswers,
+                ..ServeOptions::default()
+            },
+        );
+        let starved = service
+            .submit_with(
+                "R",
+                Semantics::ConsistentAnswers,
+                EngineOptions::default().with_max_repairs(1),
+            )
+            .unwrap();
+        assert_eq!(starved.strategy, StrategyKind::ConflictFreeCore);
+        assert_eq!(starved.guarantee, Guarantee::Sound);
+        assert!(matches!(
+            starved.stats.fallback,
+            Some(FallbackReason::RepairBudget { .. })
+        ));
+
+        // Same query, same snapshot, default (bigger) budget: the degraded
+        // report must not come back.
+        let full = service.submit("R").unwrap();
+        assert!(
+            !full.stats.cache_hit,
+            "distinct options fingerprints must not share a cache line"
+        );
+        assert_eq!(full.strategy, StrategyKind::RepairEnumeration);
+        assert_eq!(full.guarantee, Guarantee::Exact);
+        // Tuple (2,30) is in every repair; neither key-1 tuple is.
+        assert_eq!(full.answers.len(), 1);
+
+        // And each budget is hot for itself afterwards.
+        let starved_again = service
+            .submit_with(
+                "R",
+                Semantics::ConsistentAnswers,
+                EngineOptions::default().with_max_repairs(1),
+            )
+            .unwrap();
+        assert!(starved_again.stats.cache_hit);
+        assert_eq!(starved_again.guarantee, Guarantee::Sound);
+        let full_again = service.submit("R").unwrap();
+        assert!(full_again.stats.cache_hit);
+        assert_eq!(full_again.guarantee, Guarantee::Exact);
+    }
+
+    #[test]
+    fn one_snapshot_builds_the_conflict_graph_exactly_once() {
+        let service = CertainService::with_options(
+            dirty(),
+            ServeOptions {
+                semantics: Semantics::ConsistentAnswers,
+                ..ServeOptions::default()
+            },
+        );
+        let snap = service.snapshot();
+        assert_eq!(snap.conflict_graph_builds(), 0, "lazy until first use");
+
+        // Cold + hot submits and a batch of distinct queries: one build.
+        service.submit("R").unwrap();
+        service.submit("R").unwrap();
+        for result in service.submit_batch(&["R", "R union R", "R intersect R"]) {
+            result.unwrap();
+        }
+        assert_eq!(snap.conflict_graph_builds(), 1);
+
+        // The *next* snapshot measures its own graph — exactly once too.
+        service.update(|db| {
+            db.insert("R", Tuple::new(vec![Value::int(9), Value::int(9)]))
+                .unwrap();
+        });
+        let snap2 = service.snapshot();
+        service.submit("R").unwrap();
+        service.submit("R union R").unwrap();
+        assert_eq!(snap2.conflict_graph_builds(), 1);
+        assert_eq!(snap.conflict_graph_builds(), 1, "old snapshot untouched");
+    }
+
+    #[test]
+    fn schema_change_starts_a_new_plan_epoch() {
+        let service = CertainService::new(one_relation());
+        service.submit("R").unwrap();
+        let before = service.telemetry();
+        assert_eq!(before.plan_misses, 1);
+
+        let v = service.replace(
+            DatabaseBuilder::new()
+                .relation("R", &["a"])
+                .relation("S", &["a"])
+                .ints("R", &[7])
+                .ints("S", &[7])
+                .build(),
+        );
+        assert_eq!(v, 1);
+
+        // "S" only typechecks against the new schema; "R" must re-plan (its
+        // cached plan belonged to the old epoch).
+        let s = service.submit("S").unwrap();
+        assert!(!s.stats.plan_cache_hit);
+        assert_eq!(s.answers, ints(&[7]));
+        let r = service.submit("R").unwrap();
+        assert!(!r.stats.plan_cache_hit, "old-epoch plans were dropped");
+        assert_eq!(r.answers, ints(&[7]));
+        assert_eq!(service.telemetry().plan_misses, 3);
+    }
+
+    #[test]
+    fn batch_pins_one_snapshot_and_reports_it() {
+        let service = CertainService::new(one_relation());
+        service.update(|_| {});
+        let reports = service.submit_batch(&["R", "R union R"]);
+        for report in reports {
+            let report = report.unwrap();
+            assert_eq!(report.stats.snapshot_version, Some(1));
+        }
+        let t = service.telemetry();
+        assert_eq!(t.batches, 1);
+        assert_eq!(t.queries, 2);
+    }
+
+    #[test]
+    fn errors_are_returned_and_not_cached() {
+        let service = CertainService::new(one_relation());
+        assert!(service.submit("NoSuchRelation").is_err());
+        assert!(service.submit("NoSuchRelation").is_err());
+        let t = service.telemetry();
+        assert_eq!(t.result_hits, 0, "errors never populate the cache");
+        assert_eq!(t.result_misses, 2);
+    }
+
+    #[test]
+    fn in_flight_snapshot_outlives_publishes() {
+        let service = CertainService::new(one_relation());
+        let pinned = service.snapshot();
+        service.update(|db| {
+            db.insert("R", Tuple::new(vec![Value::int(3)])).unwrap();
+        });
+        service.update(|db| {
+            db.insert("R", Tuple::new(vec![Value::int(4)])).unwrap();
+        });
+        // The pinned snapshot still answers with its own version's data.
+        let old = service
+            .answer_on(&pinned, "R", Semantics::Cwa, *service.engine_options())
+            .unwrap();
+        assert_eq!(old.stats.snapshot_version, Some(0));
+        assert_eq!(old.answers, ints(&[1, 2]));
+        let new = service.submit("R").unwrap();
+        assert_eq!(new.stats.snapshot_version, Some(2));
+        assert_eq!(new.answers, ints(&[1, 2, 3, 4]));
+    }
+}

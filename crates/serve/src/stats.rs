@@ -1,0 +1,122 @@
+//! Lock-free service telemetry: monotone counters the hot path bumps with
+//! relaxed atomics (they order nothing — each is an independent tally), read
+//! out as a consistent-enough [`ServiceTelemetry`] copy on demand.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The service's live counters. Internal; callers read
+/// [`ServiceTelemetry`] via `CertainService::telemetry`.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceStats {
+    pub queries: AtomicU64,
+    pub batches: AtomicU64,
+    pub updates: AtomicU64,
+    pub result_hits: AtomicU64,
+    pub result_misses: AtomicU64,
+    pub plan_hits: AtomicU64,
+    pub plan_misses: AtomicU64,
+}
+
+impl ServiceStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceTelemetry {
+        ServiceTelemetry {
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters.
+///
+/// Counters are sampled individually (relaxed loads), so a copy taken while
+/// requests are in flight can be off by the requests straddling the read —
+/// fine for telemetry, not an audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceTelemetry {
+    /// Queries submitted (each batch member counts once).
+    pub queries: u64,
+    /// `submit_batch` calls.
+    pub batches: u64,
+    /// Snapshots published after the initial one.
+    pub updates: u64,
+    /// Queries answered from the result cache.
+    pub result_hits: u64,
+    /// Queries that had to execute a strategy.
+    pub result_misses: u64,
+    /// Queries whose plan came from the plan cache.
+    pub plan_hits: u64,
+    /// Queries that parsed + typechecked + lowered afresh.
+    pub plan_misses: u64,
+}
+
+impl ServiceTelemetry {
+    /// Result-cache hit rate in `[0, 1]`; 0 before any query.
+    pub fn result_hit_rate(&self) -> f64 {
+        rate(self.result_hits, self.result_misses)
+    }
+
+    /// Plan-cache hit rate in `[0, 1]`; 0 before any query.
+    pub fn plan_hit_rate(&self) -> f64 {
+        rate(self.plan_hits, self.plan_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for ServiceTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queries={} batches={} updates={} result-cache {}/{} ({:.0}%) plan-cache {}/{} ({:.0}%)",
+            self.queries,
+            self.batches,
+            self.updates,
+            self.result_hits,
+            self.result_hits + self.result_misses,
+            100.0 * self.result_hit_rate(),
+            self.plan_hits,
+            self.plan_hits + self.plan_misses,
+            100.0 * self.plan_hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_copies_and_rates() {
+        let stats = ServiceStats::default();
+        assert_eq!(stats.snapshot().result_hit_rate(), 0.0);
+        ServiceStats::bump(&stats.queries);
+        ServiceStats::bump(&stats.result_hits);
+        ServiceStats::bump(&stats.queries);
+        ServiceStats::bump(&stats.result_misses);
+        ServiceStats::bump(&stats.result_hits);
+        let t = stats.snapshot();
+        assert_eq!(t.queries, 2);
+        assert_eq!(t.result_hits, 2);
+        assert_eq!(t.result_misses, 1);
+        assert!((t.result_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let line = t.to_string();
+        assert!(line.contains("result-cache 2/3"), "got: {line}");
+    }
+}

@@ -70,6 +70,10 @@
 //! - [`exchange`]: schema mappings, the chase, data exchange
 //! - [`qparser`]: a small textual query language; `parse_and_plan` feeds the
 //!   engine directly
+//! - [`serve`]: the serving layer — a concurrent, snapshot-versioned
+//!   [`serve::CertainService`] wrapping the engine with copy-on-write
+//!   database versions, a plan cache, and a version-keyed certain-answer
+//!   result cache
 //! - [`datagen`]: synthetic workload generators
 
 #![forbid(unsafe_code)]
@@ -85,6 +89,7 @@ pub use relalgebra;
 pub use releval;
 pub use relmodel;
 pub use repairs;
+pub use serve;
 
 pub use engine::{
     AnalysisReport, AnalyzerStats, CertainReport, Engine, EngineError, EngineOptions,
@@ -110,4 +115,5 @@ pub mod prelude {
         database::Database, relation::Relation, schema::Schema, semantics::Semantics, tuple::Tuple,
         value::Value,
     };
+    pub use serve::{CertainService, ServeOptions, ServiceTelemetry};
 }

@@ -8,7 +8,7 @@ use relmodel::builder::{difference_example, orders_and_payments_example};
 use relmodel::DatabaseBuilder;
 
 /// Exhaustive engine over `db` (ground truth allowed within budget).
-fn exhaustive(db: &Database) -> Engine<'_> {
+fn exhaustive(db: &Database) -> Engine<&Database> {
     Engine::new(db).options(EngineOptions::exhaustive())
 }
 

@@ -1,0 +1,210 @@
+//! Thread-stress for the serving layer: writers publish snapshot versions
+//! while readers query concurrently, and every report must be internally
+//! consistent with the `snapshot_version` it claims — no torn reads, no
+//! answer computed half on one version and half on the next.
+//!
+//! The invariant engine: the served database holds `R = {(v)}` where `v` is
+//! exactly the snapshot version, so *the certain answer encodes the
+//! version*. A report whose answers disagree with its `stats.snapshot_version`
+//! is a torn read by construction. A second pass differentially checks the
+//! service (caches and all) against fresh one-shot [`Engine`] runs on pinned
+//! snapshots of every version.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use incomplete_data::prelude::*;
+use incomplete_data::serve::{CertainService, Snapshot};
+use relmodel::builder::DatabaseBuilder;
+
+fn versioned_db(v: i64) -> Database {
+    DatabaseBuilder::new()
+        .relation("R", &["v"])
+        .ints("R", &[v])
+        .build()
+}
+
+fn singleton(v: i64) -> Relation {
+    let mut rel = Relation::new(1);
+    rel.insert(Tuple::new(vec![Value::int(v)]));
+    rel
+}
+
+/// The version a report's answer set encodes (the single value in `R`).
+fn answered_version(report: &CertainReport) -> i64 {
+    assert_eq!(report.answers.len(), 1, "R always holds exactly one tuple");
+    let tuple = report.answers.iter().next().unwrap();
+    match tuple.values()[0] {
+        Value::Const(relmodel::Constant::Int(v)) => v,
+        ref other => panic!("R holds ints, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_readers_never_see_torn_snapshots() {
+    const READERS: usize = 4;
+    const QUERIES_PER_READER: usize = 200;
+    const VERSIONS: u64 = 20;
+
+    let service = Arc::new(CertainService::new(versioned_db(0)));
+    // Every version's snapshot, pinned for the differential pass below.
+    let archive: Arc<Mutex<Vec<Arc<Snapshot>>>> = Arc::new(Mutex::new(vec![service.snapshot()]));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let service = Arc::clone(&service);
+        let archive = Arc::clone(&archive);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            for v in 1..=VERSIONS {
+                let published = service.update(|db| {
+                    let rel = db.relation_mut("R").unwrap();
+                    *rel = singleton(v as i64);
+                });
+                assert_eq!(published, v, "versions are monotone by one");
+                archive.lock().unwrap().push(service.snapshot());
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|reader| {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut submitted = 0usize;
+                let mut hits = 0usize;
+                while submitted < QUERIES_PER_READER || !done.load(Ordering::Acquire) {
+                    // Mix the entry points: single submits (hot + cold — the
+                    // same text repeats, so the caches are exercised under
+                    // contention) and batches pinning one snapshot.
+                    let reports: Vec<CertainReport> = if reader % 2 == 0 {
+                        vec![service.submit("R").unwrap()]
+                    } else {
+                        service
+                            .submit_batch(&["R", " R "])
+                            .into_iter()
+                            .map(|r| r.unwrap())
+                            .collect()
+                    };
+                    let batch_versions: Vec<Option<u64>> =
+                        reports.iter().map(|r| r.stats.snapshot_version).collect();
+                    assert!(
+                        batch_versions.windows(2).all(|w| w[0] == w[1]),
+                        "a batch answers on ONE snapshot, got {batch_versions:?}"
+                    );
+                    for report in reports {
+                        let claimed = report
+                            .stats
+                            .snapshot_version
+                            .expect("service reports always carry a version");
+                        // THE torn-read check: the answer must encode the
+                        // exact version the report claims.
+                        assert_eq!(
+                            answered_version(&report) as u64,
+                            claimed,
+                            "answer tuples and snapshot_version disagree"
+                        );
+                        assert_eq!(report.guarantee, Guarantee::Exact);
+                        submitted += 1;
+                        if report.stats.cache_hit {
+                            hits += 1;
+                        }
+                    }
+                }
+                (submitted, hits)
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    let mut total = 0;
+    let mut total_hits = 0;
+    for reader in readers {
+        let (submitted, hits) = reader.join().unwrap();
+        total += submitted;
+        total_hits += hits;
+    }
+    assert!(total >= READERS * QUERIES_PER_READER);
+    assert!(
+        total_hits > 0,
+        "with {total} repeated submits across {VERSIONS} versions, some must hit the cache"
+    );
+    assert_eq!(service.version(), VERSIONS);
+
+    // Differential pass: for every archived version, the service's answer on
+    // the pinned snapshot (possibly cached) must equal a fresh, cache-free
+    // engine run on that snapshot's own database.
+    let archive = archive.lock().unwrap();
+    assert_eq!(archive.len() as u64, VERSIONS + 1);
+    for snap in archive.iter() {
+        let served = snap
+            .engine(relmodel::Semantics::Cwa.into(), *service.engine_options())
+            .plan_text("R")
+            .unwrap();
+        let fresh = Engine::new(snap.database()).plan_text("R").unwrap();
+        assert_eq!(
+            served.answers,
+            fresh.answers,
+            "version {} diverged from a fresh engine",
+            snap.version()
+        );
+        assert_eq!(served.answers, singleton(snap.version() as i64));
+    }
+
+    let telemetry = service.telemetry();
+    assert_eq!(telemetry.updates, VERSIONS);
+    assert!(telemetry.result_hits >= total_hits as u64);
+}
+
+#[test]
+fn concurrent_consistent_answers_share_one_conflict_graph_build() {
+    // A dirty database under consistent-answer semantics, hammered by
+    // threads: the snapshot's conflict graph must be built exactly once.
+    let db = DatabaseBuilder::new()
+        .relation("R", &["k", "v"])
+        .key("R", &["k"])
+        .ints("R", &[1, 10])
+        .ints("R", &[1, 20])
+        .ints("R", &[2, 30])
+        .build();
+    let service = Arc::new(CertainService::with_options(
+        db,
+        incomplete_data::serve::ServeOptions {
+            semantics: relmodel::Semantics::Cwa.into(),
+            ..Default::default()
+        },
+    ));
+    let snap = service.snapshot();
+    assert_eq!(snap.conflict_graph_builds(), 0);
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                for _ in 0..25 {
+                    let report = service
+                        .submit_with(
+                            "R",
+                            incomplete_data::engine::Semantics::ConsistentAnswers,
+                            *service.engine_options(),
+                        )
+                        .unwrap();
+                    assert_eq!(report.guarantee, Guarantee::Exact);
+                    assert_eq!(report.answers.len(), 1, "only (2,30) survives all repairs");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(
+        snap.conflict_graph_builds(),
+        1,
+        "100 consistent-answer queries across 4 threads: one build"
+    );
+}
