@@ -11,9 +11,10 @@
 //!   result caches absorb everything after the first request.
 //!
 //! The acceptance bar is `service-hot` ≥10× faster than `uncached`. A client
-//! sweep then drives the hot path from 1/2/4 threads sharing one service to
-//! show the read path scales (the result cache is a mutex, but the critical
-//! section is a hash lookup + clone).
+//! sweep then drives the hot path from 1/2/4/8 threads sharing one service
+//! to show the read path scales (the result cache is hash-sharded across
+//! [`serve::RESULT_SHARDS`] locks, so hits on distinct queries rarely
+//! contend; each critical section is a hash lookup + clone).
 //!
 //! Each measurement is emitted as a machine-readable `BENCH {…}` json line;
 //! `BENCH_SMOKE=1` shrinks the workload so CI can keep the harness alive.
@@ -143,7 +144,7 @@ fn main() {
     let per_client = if smoke { 50 } else { 200 };
     let shared = Arc::new(CertainService::new(db.clone()));
     shared.submit(QUERY).expect("warm the caches");
-    for threads in [1usize, 2, 4] {
+    for threads in [1usize, 2, 4, 8] {
         let m = measure(format!("clients/{threads}"), budget, || {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {

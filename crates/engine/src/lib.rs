@@ -680,12 +680,13 @@ impl<D: Borrow<Database>> Engine<D> {
         started: Instant,
     ) -> Result<CertainReport, EngineError> {
         let execute_started = Instant::now();
-        // (worlds visited, early exit, threads, peak worlds in flight)
-        let mut world_exec: Option<(u128, bool, usize, usize)> = None;
+        // (worlds visited, early exit, threads, peak worlds in flight,
+        // worlds batched)
+        let mut world_exec: Option<(u128, bool, usize, usize, u128)> = None;
         // (condition atoms, solver calls, simplification wins)
         let mut symbolic_exec: Option<(usize, usize, usize)> = None;
-        // (repairs visited, early exit)
-        let mut repair_exec: Option<(u128, bool)> = None;
+        // (repairs visited, early exit, repairs batched)
+        let mut repair_exec: Option<(u128, bool, u128)> = None;
         // Physical-operator telemetry from whichever executor ran.
         let mut physical_ops: Option<OpStats> = None;
         // The conflict graph the repair strategies run against: the cached
@@ -745,7 +746,8 @@ impl<D: Borrow<Database>> Engine<D> {
                     &self.options.repair_options,
                 ) {
                     Ok(exec) => {
-                        repair_exec = Some((exec.repairs_visited, exec.early_exit));
+                        repair_exec =
+                            Some((exec.repairs_visited, exec.early_exit, exec.repairs_batched));
                         physical_ops = Some(exec.op_stats);
                         (exec.answers, None)
                     }
@@ -813,6 +815,7 @@ impl<D: Borrow<Database>> Engine<D> {
                     exec.early_exit,
                     exec.threads,
                     exec.peak_worlds_in_flight,
+                    exec.worlds_batched,
                 ));
                 physical_ops = Some(exec.op_stats);
                 (exec.answers, None)
@@ -853,6 +856,7 @@ impl<D: Borrow<Database>> Engine<D> {
                 nulls: self.ctx.nulls(),
                 estimated_worlds: decision.estimated_worlds,
                 worlds_enumerated: world_exec.map(|e| e.0),
+                worlds_batched: world_exec.map(|e| e.4),
                 degraded: decision.degraded,
                 world_early_exit: world_exec.is_some_and(|e| e.1),
                 world_threads: world_exec.map(|e| e.2),
@@ -865,6 +869,7 @@ impl<D: Borrow<Database>> Engine<D> {
                 conflict_tuples: decision.conflict_tuples,
                 estimated_repairs: decision.estimated_repairs,
                 repairs_enumerated: repair_exec.map(|e| e.0),
+                repairs_batched: repair_exec.map(|e| e.2),
                 repair_early_exit: repair_exec.is_some_and(|e| e.1),
                 plan_text: plan.physical().explain(),
                 physical_ops,
@@ -1166,6 +1171,10 @@ mod tests {
         assert!(report.stats.worlds_enumerated.unwrap() < 100);
         assert!(report.stats.world_threads.unwrap() >= 1);
         assert!(report.stats.peak_worlds_in_flight.unwrap() >= report.stats.world_threads.unwrap());
+        assert_eq!(
+            report.stats.worlds_batched, report.stats.worlds_enumerated,
+            "every visited world went through the batched overlay path"
+        );
     }
 
     #[test]
@@ -1412,6 +1421,11 @@ mod tests {
         assert_eq!(report.stats.conflict_tuples, Some(2));
         assert_eq!(report.stats.estimated_repairs, Some(2));
         assert_eq!(report.stats.repairs_enumerated, Some(2));
+        assert_eq!(
+            report.stats.repairs_batched,
+            Some(2),
+            "complete input: both repairs take the mask path"
+        );
         assert!(!report.stats.degraded);
         assert!(report.stats.fallback.is_none());
         // Only v = 30 survives both repairs.

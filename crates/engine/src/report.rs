@@ -352,6 +352,12 @@ pub struct EngineStats {
     /// Worlds actually **visited** by the streaming fold, when the worlds
     /// strategy ran. Early exit can make this far smaller than the estimate.
     pub worlds_enumerated: Option<u128>,
+    /// Of the visited worlds, how many were evaluated as valuation overlays
+    /// through the batched split executor (stable subresults and hash
+    /// tables shared across the shard) rather than materialized databases,
+    /// when the worlds strategy ran. Equal to
+    /// [`EngineStats::worlds_enumerated`] on the default path.
+    pub worlds_batched: Option<u128>,
     /// True when exhaustive mode was requested but the budget forced the
     /// planner to degrade to the sound approximation.
     pub degraded: bool,
@@ -398,6 +404,11 @@ pub struct EngineStats {
     /// Repairs actually visited by the streaming fold, when the
     /// repair-enumeration strategy ran.
     pub repairs_enumerated: Option<u128>,
+    /// Of the visited repairs, how many were evaluated as survival masks
+    /// through the batched split executor, when the repair-enumeration
+    /// strategy ran. Equal to [`EngineStats::repairs_enumerated`] for
+    /// complete inputs; zero when nulls force the materializing path.
+    pub repairs_batched: Option<u128>,
     /// Did the repair fold stop early because its running intersection
     /// emptied? Early exit only ever fires on an empty consistent answer.
     pub repair_early_exit: bool,

@@ -75,11 +75,21 @@ pub struct OpStats {
     /// run-splitting columnar operator. `ground_rows + symbolic_rows` is the
     /// total probed-row traffic of the batched core.
     pub symbolic_rows: usize,
+    /// Hash tables (join build sides, membership / dedup tables) actually
+    /// constructed. The batched enumeration folds build tables over the
+    /// world-invariant runs once per shard, so across an enumeration this
+    /// stays near the per-shard table count.
+    pub tables_built: usize,
+    /// Cache hits on those tables: evaluations served by a table built for
+    /// an earlier world/repair of the same shard instead of rebuilding.
+    /// `tables_reused / (tables_built + tables_reused)` is the reuse rate
+    /// the bench gate tracks.
+    pub tables_reused: usize,
 }
 
 /// Number of counters in [`OpStats`] (the length of
 /// [`OpStats::to_array`]).
-pub const OP_STATS_FIELDS: usize = 9;
+pub const OP_STATS_FIELDS: usize = 11;
 
 impl OpStats {
     /// The counters as a fixed array, in declaration order. Built by
@@ -97,6 +107,8 @@ impl OpStats {
             batches,
             ground_rows,
             symbolic_rows,
+            tables_built,
+            tables_reused,
         } = *self;
         [
             operators,
@@ -108,12 +120,14 @@ impl OpStats {
             batches,
             ground_rows,
             symbolic_rows,
+            tables_built,
+            tables_reused,
         ]
     }
 
     /// Inverse of [`OpStats::to_array`].
     pub fn from_array(a: [usize; OP_STATS_FIELDS]) -> OpStats {
-        let [operators, hash_joins, build_rows, probe_rows, join_rows_out, fallback_pairs, batches, ground_rows, symbolic_rows] =
+        let [operators, hash_joins, build_rows, probe_rows, join_rows_out, fallback_pairs, batches, ground_rows, symbolic_rows, tables_built, tables_reused] =
             a;
         OpStats {
             operators,
@@ -125,6 +139,8 @@ impl OpStats {
             batches,
             ground_rows,
             symbolic_rows,
+            tables_built,
+            tables_reused,
         }
     }
 
@@ -144,7 +160,7 @@ impl OpStats {
     /// examples.
     pub fn summary(&self) -> String {
         format!(
-            "operators {} · hash joins {} · build rows {} · probe rows {} · join rows out {} · fallback pairs {}\nbatches {} · ground rows {} · symbolic rows {}",
+            "operators {} · hash joins {} · build rows {} · probe rows {} · join rows out {} · fallback pairs {}\nbatches {} · ground rows {} · symbolic rows {} · tables built {} · tables reused {}",
             self.operators,
             self.hash_joins,
             self.build_rows,
@@ -154,6 +170,8 @@ impl OpStats {
             self.batches,
             self.ground_rows,
             self.symbolic_rows,
+            self.tables_built,
+            self.tables_reused,
         )
     }
 }
@@ -545,8 +563,8 @@ mod tests {
     fn op_stats_merge_sums_every_field() {
         // Distinct primes in every slot so a dropped or swapped field is
         // detected no matter which one it is.
-        let a = OpStats::from_array([2, 3, 5, 7, 11, 13, 17, 19, 23]);
-        assert_eq!(a.to_array(), [2, 3, 5, 7, 11, 13, 17, 19, 23]);
+        let a = OpStats::from_array([2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]);
+        assert_eq!(a.to_array(), [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]);
         let mut merged = OpStats::default();
         merged.merge(&a);
         merged.merge(&a);
@@ -561,6 +579,8 @@ mod tests {
         assert!(text.contains("batches 34"), "summary: {text}");
         assert!(text.contains("ground rows 38"), "summary: {text}");
         assert!(text.contains("symbolic rows 46"), "summary: {text}");
+        assert!(text.contains("tables built 58"), "summary: {text}");
+        assert!(text.contains("tables reused 62"), "summary: {text}");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod approx;
 pub mod ctable;
+pub mod split;
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -388,6 +389,7 @@ pub(crate) fn project_dedup(
 ) -> ColumnBatch {
     let out_cols: Vec<usize> = (0..cols.len()).collect();
     let mut out = ColumnBatch::with_capacity(cols.len(), input.len());
+    stats.tables_built += 1;
     let mut table = RowTable::with_capacity(input.len());
     for range in morsel_ranges(input.len(), morsel) {
         stats.batches += 1;
@@ -452,6 +454,7 @@ pub(crate) fn syntactic_join(
     stats.probe_rows += probe.len();
     // Syntactic equality: every probed row takes the ground path.
     stats.ground_rows += probe.len();
+    stats.tables_built += 1;
     let table = build_key_table(build, build_cols);
     let mut out = ColumnBatch::with_capacity(l.arity() + r.arity(), probe.len());
     for range in morsel_ranges(probe.len(), morsel) {
@@ -493,6 +496,7 @@ pub(crate) fn union_batches(
         return r.clone();
     }
     let all_cols: Vec<usize> = (0..l.arity()).collect();
+    stats.tables_built += 1;
     let table = build_key_table(l, &all_cols);
     stats.ground_rows += r.len();
     let mut out = l.clone();
@@ -519,6 +523,7 @@ pub(crate) fn membership_keep(
     stats: &mut OpStats,
 ) -> Vec<u32> {
     let all_cols: Vec<usize> = (0..l.arity()).collect();
+    stats.tables_built += 1;
     let table = build_key_table(r, &all_cols);
     stats.ground_rows += l.len();
     let mut out = Vec::new();
@@ -551,6 +556,7 @@ pub(crate) fn divide_syntactic(
     stats.ground_rows += dividend.len();
     // Distinct prefixes, in first-occurrence order.
     let mut reps: Vec<u32> = Vec::new();
+    stats.tables_built += 1;
     let mut prefixes = RowTable::with_capacity(dividend.len());
     for range in morsel_ranges(dividend.len(), morsel) {
         stats.batches += 1;
@@ -565,6 +571,7 @@ pub(crate) fn divide_syntactic(
             }
         }
     }
+    stats.tables_built += 1;
     let full = build_key_table(dividend, &all_cols);
     let mut out = ColumnBatch::with_capacity(prefix_arity, reps.len());
     for &rep in &reps {

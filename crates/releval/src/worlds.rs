@@ -32,16 +32,38 @@
 //! walk, hash joins instead of `σ(A×B)` loops, and the active-domain
 //! diagonal `Δ` computed once per world execution instead of once per `Δ`
 //! node evaluation.
+//!
+//! Since the morsel-native refactor the fold is **batched**: a world is
+//! never materialized as a `Database` at all. Each worker partitions every
+//! relation once into an [`OverlayBatch`] — the ground rows (identical in
+//! every world) and the symbolic remainder — and per world only resolves
+//! the symbolic rows into a reused scratch batch, executing the shared plan
+//! through [`crate::exec::columnar::split::ShardExec`]. Stable subresults
+//! and the hash tables over them (join build sides, membership tables) are
+//! computed for the first world of a shard and reused by every later one,
+//! so the marginal cost of a world is proportional to its handful of
+//! volatile rows. The intersection itself distributes the same way: with
+//! every world's answer of the form `S ∪ Vᵢ` for a shard-constant `S`,
+//! `⋂ᵢ (S ∪ Vᵢ) = S ∪ ⋂ᵢ Vᵢ` — the fold intersects only the volatile
+//! parts and unions `S` in once, at the end of the shard. The row fold is
+//! retained as [`stream_certain_answer_rows`], the differential reference
+//! and benchmark baseline.
 
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use relalgebra::ast::RaExpr;
 use relalgebra::physical::PhysicalPlan;
 use relalgebra::plan::PlannedQuery;
-use relmodel::semantics::{adequate_domain, WorldIter};
-use relmodel::{Database, Relation, Semantics};
+use relmodel::batch::{morsel_rows, ColumnBatch, OverlayBatch};
+use relmodel::semantics::{adequate_domain, all_complete_tuples, BoundedSubsetIter, WorldIter};
+use relmodel::valuation::ValuationEnumerator;
+use relmodel::value::{Constant, NullId, Value};
+use relmodel::{Database, Relation, Semantics, Tuple};
 
 use crate::error::EvalError;
+use crate::exec::columnar::split::{ElementInput, ShardExec, ShardSetup};
 use crate::exec::{self, OpStats};
 
 /// Options controlling possible-world enumeration.
@@ -212,6 +234,11 @@ pub struct WorldExecution {
     /// dedup; duplicates are harmless to an idempotent ∩ and deduplication
     /// would cost O(distinct worlds) memory).
     pub worlds_visited: u128,
+    /// Of the visited worlds, how many went through the batched split
+    /// executor (overlay resolution into reused scratch batches) instead of
+    /// materializing a row `Database`. The default fold batches everything;
+    /// the [`stream_certain_answer_rows`] reference reports zero.
+    pub worlds_batched: u128,
     /// Did enumeration stop early because the intersection emptied? Early
     /// exit can only fire when the certain answer is ∅.
     pub early_exit: bool,
@@ -230,6 +257,7 @@ struct ShardResult {
     acc: Option<Relation>,
     early_exit: bool,
     op_stats: OpStats,
+    worlds_batched: u128,
 }
 
 /// Shared cross-worker signals. There is no error channel: physical
@@ -274,7 +302,10 @@ struct ShardJob<'a> {
     budget: u128,
 }
 
-fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> ShardResult {
+/// The row-instantiating reference fold: materializes each world as a
+/// `Database` and executes the plan from scratch in it. Retained as the
+/// differential baseline for the batched shard runner below.
+fn run_shard_rows(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> ShardResult {
     let ShardJob {
         plan,
         db,
@@ -321,6 +352,175 @@ fn run_shard(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> Sh
         acc,
         early_exit,
         op_stats,
+        worlds_batched: 0,
+    }
+}
+
+/// The batched shard runner: enumerates the same worlds as
+/// [`run_shard_rows`] — identical `(valuation, extension-subset)` order,
+/// budget, and stop discipline — but never materializes a `Database`.
+/// Per world it refills one set of per-worker scratch batches (the overlay
+/// images of the symbolic rows, the chosen OWA extension tuples, and the Δ
+/// diagonal of any world-introduced constants) and evaluates the shared
+/// plan through the caching split executor. The fold then exploits
+/// `⋂ᵢ (S ∪ Vᵢ) = S ∪ ⋂ᵢ Vᵢ`: only the volatile answer parts are
+/// intersected per world, and the shard-constant stable part `S` is
+/// converted and unioned in once.
+fn run_shard_batched(job: ShardJob<'_>, range: (u128, u128), shared: &SharedState) -> ShardResult {
+    let ShardJob {
+        plan,
+        db,
+        domain,
+        semantics: _,
+        max_extra,
+        budget,
+    } = job;
+
+    // ---- shard-invariant setup: overlays, stable leaves, OWA candidates ----
+    let nulls: Vec<NullId> = db.null_ids().into_iter().collect();
+    let base_consts: BTreeSet<Constant> = db.constants();
+    let mut setup = ShardSetup::default();
+    let mut overlays: Vec<(String, OverlayBatch)> = Vec::new();
+    for rs in db.schema().iter() {
+        let rel = db.relation(&rs.name).expect("schema lists the relation");
+        let overlay = OverlayBatch::new(&ColumnBatch::from_relation(rel));
+        setup
+            .static_scans
+            .insert(rs.name.clone(), overlay.is_all_ground() && max_extra == 0);
+        setup
+            .stable_scans
+            .insert(rs.name.clone(), Rc::new(overlay.stable().clone()));
+        overlays.push((rs.name.clone(), overlay));
+    }
+    let base_diag: Vec<Tuple> = base_consts
+        .iter()
+        .map(|c| Tuple::new(vec![Value::Const(c.clone()), Value::Const(c.clone())]))
+        .collect();
+    setup.stable_delta = Rc::new(ColumnBatch::from_rows(2, base_diag.iter()));
+    setup.static_delta = nulls.is_empty() && max_extra == 0;
+    // Mirrors WorldIter's extension candidates: every complete tuple over
+    // the valuation domain, enumerated in the same order.
+    let candidates: Vec<(String, Tuple)> = if max_extra > 0 {
+        all_complete_tuples(db, domain)
+    } else {
+        Vec::new()
+    };
+
+    // One scratch batch per relation that can ever receive volatile rows,
+    // cleared and refilled per world — no per-world allocation.
+    let mut volatile_scans: HashMap<String, Rc<ColumnBatch>> = HashMap::new();
+    for (name, overlay) in &overlays {
+        if !overlay.is_all_ground() || max_extra > 0 {
+            volatile_scans.insert(
+                name.clone(),
+                Rc::new(ColumnBatch::new(overlay.stable().arity())),
+            );
+        }
+    }
+    let mut volatile_delta = Rc::new(ColumnBatch::new(2));
+    let mut extra_consts: BTreeSet<Constant> = BTreeSet::new();
+
+    let mut exec = ShardExec::new(plan, morsel_rows(), setup);
+    let mut stable_rel: Option<Relation> = None;
+    let mut acc_v: Option<Relation> = None;
+    let mut early_exit = false;
+    let mut worlds_batched: u128 = 0;
+
+    let valuations =
+        ValuationEnumerator::with_range(nulls.iter().copied(), domain.to_vec(), range.0, range.1);
+    'outer: for v in valuations {
+        // Every extension subset of this valuation is one world; the empty
+        // subset (the unextended world) comes first, exactly as WorldIter
+        // yields them.
+        for subset in BoundedSubsetIter::new(candidates.len(), max_extra) {
+            if shared.stop.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let visited = shared.visited.fetch_add(1, Ordering::Relaxed) + 1;
+            if u128::from(visited) > budget {
+                // This world is discarded unevaluated — uncount it so the
+                // reported figure is exactly the worlds folded.
+                shared.visited.fetch_sub(1, Ordering::Relaxed);
+                shared.budget_hit.store(true, Ordering::Relaxed);
+                shared.stop.store(true, Ordering::Relaxed);
+                break 'outer;
+            }
+
+            // Refill the scratches with this world's volatile rows.
+            for batch in volatile_scans.values_mut() {
+                Rc::make_mut(batch).clear();
+            }
+            extra_consts.clear();
+            for (name, overlay) in &overlays {
+                if overlay.is_all_ground() {
+                    continue;
+                }
+                let out = volatile_scans
+                    .get_mut(name.as_str())
+                    .expect("scratch exists for every overlay relation");
+                overlay.resolve_into(&v, Rc::make_mut(out));
+            }
+            for &ci in &subset {
+                let (name, tuple) = &candidates[ci];
+                let out = volatile_scans
+                    .get_mut(name.as_str())
+                    .expect("scratch exists under OWA extension");
+                Rc::make_mut(out).push_tuple(tuple);
+                for val in tuple.values() {
+                    if let Some(c) = val.as_const() {
+                        if !base_consts.contains(c) {
+                            extra_consts.insert(c.clone());
+                        }
+                    }
+                }
+            }
+            // Δ gains a diagonal row for every world-introduced constant.
+            for (_, c) in v.iter() {
+                if !base_consts.contains(c) {
+                    extra_consts.insert(c.clone());
+                }
+            }
+            if !extra_consts.is_empty() {
+                let delta = Rc::make_mut(&mut volatile_delta);
+                delta.clear();
+                for c in &extra_consts {
+                    delta.push_row([Value::Const(c.clone()), Value::Const(c.clone())]);
+                }
+            } else if !volatile_delta.is_empty() {
+                Rc::make_mut(&mut volatile_delta).clear();
+            }
+
+            worlds_batched += 1;
+            let split = exec.eval_element(&ElementInput {
+                volatile_scans: &volatile_scans,
+                volatile_delta: &volatile_delta,
+            });
+            let s_rel = stable_rel.get_or_insert_with(|| split.stable.to_relation());
+            let answer_v = split.volatile.to_relation();
+            let folded = match acc_v.take() {
+                None => answer_v,
+                Some(a) => a.intersection(&answer_v),
+            };
+            // `⋂ (S ∪ Vᵢ)` is empty iff `S` and `⋂ Vᵢ` both are — the
+            // early exit fires on exactly the same world as the row fold.
+            let empty = s_rel.is_empty() && folded.is_empty();
+            acc_v = Some(folded);
+            if empty {
+                early_exit = true;
+                shared.stop.store(true, Ordering::Relaxed);
+                break 'outer;
+            }
+        }
+    }
+    let acc = match (stable_rel, acc_v) {
+        (Some(s), Some(v)) => Some(s.union(&v)),
+        _ => None,
+    };
+    ShardResult {
+        acc,
+        early_exit,
+        op_stats: exec.stats,
+        worlds_batched,
     }
 }
 
@@ -338,7 +538,43 @@ pub fn stream_certain_answer(
     semantics: Semantics,
     opts: &WorldOptions,
 ) -> Result<WorldExecution, EvalError> {
-    stream_certain_answer_inner(plan.expr(), plan.physical(), db, semantics, opts)
+    stream_certain_answer_inner(
+        plan.expr(),
+        plan.physical(),
+        db,
+        semantics,
+        opts,
+        FoldMode::Batched,
+    )
+}
+
+/// [`stream_certain_answer`] on the row-instantiating reference fold: each
+/// world is materialized as a `Database` and the plan executed from scratch
+/// in it. Same answers, same visit/budget/early-exit discipline — kept as
+/// the differential-fuzz baseline and the benchmark's "before" lane.
+pub fn stream_certain_answer_rows(
+    plan: &PlannedQuery,
+    db: &Database,
+    semantics: Semantics,
+    opts: &WorldOptions,
+) -> Result<WorldExecution, EvalError> {
+    stream_certain_answer_inner(
+        plan.expr(),
+        plan.physical(),
+        db,
+        semantics,
+        opts,
+        FoldMode::Rows,
+    )
+}
+
+/// Which shard runner a streaming fold uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FoldMode {
+    /// The split executor over overlay/mask scratches (the default).
+    Batched,
+    /// The row-instantiating reference.
+    Rows,
 }
 
 /// The fold itself, over an already-typechecked expression and its lowered
@@ -352,7 +588,12 @@ fn stream_certain_answer_inner(
     db: &Database,
     semantics: Semantics,
     opts: &WorldOptions,
+    mode: FoldMode,
 ) -> Result<WorldExecution, EvalError> {
+    let run_shard = match mode {
+        FoldMode::Batched => run_shard_batched,
+        FoldMode::Rows => run_shard_rows,
+    };
     let arity = physical.arity();
     let (domain, max_extra) = enumeration_setup(expr, db, semantics, opts)?;
     let valuations = valuation_count(domain.len(), db.null_ids().len());
@@ -413,8 +654,10 @@ fn stream_certain_answer_inner(
         });
     }
     let mut op_stats = OpStats::default();
+    let mut worlds_batched: u128 = 0;
     for shard in &shard_results {
         op_stats.merge(&shard.op_stats);
+        worlds_batched += shard.worlds_batched;
     }
     let answers = if early_exit {
         Relation::new(arity)
@@ -437,6 +680,7 @@ fn stream_certain_answer_inner(
     Ok(WorldExecution {
         answers,
         worlds_visited: visited,
+        worlds_batched,
         early_exit,
         threads: workers,
         peak_worlds_in_flight: workers * (1 + usize::from(max_extra > 0)),
@@ -488,7 +732,10 @@ pub fn certain_answer_worlds(
     opts: &WorldOptions,
 ) -> Result<Relation, EvalError> {
     let physical = PhysicalPlan::lower(expr, db.schema())?;
-    Ok(stream_certain_answer_inner(expr, &physical, db, semantics, opts)?.answers)
+    Ok(
+        stream_certain_answer_inner(expr, &physical, db, semantics, opts, FoldMode::Batched)?
+            .answers,
+    )
 }
 
 /// [`certain_answer_worlds`] for a pre-typechecked plan: skips the type
@@ -799,6 +1046,96 @@ mod tests {
                 "an explicit thread pin must be honoured even on small workloads"
             );
         }
+    }
+
+    #[test]
+    fn batched_fold_matches_row_fold() {
+        // The default (batched) fold and the row reference must agree on
+        // answers, visit counts, and early-exit behaviour — across CWA, OWA,
+        // and OWA with extensions, on a query mixing every volatile shape.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b"])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .tuple("R", vec![Value::int(2), Value::int(5)])
+            .tuple("S", vec![Value::int(5)])
+            .tuple("S", vec![Value::null(1)])
+            .build();
+        let queries = [
+            RaExpr::relation("R")
+                .project(vec![1])
+                .difference(RaExpr::relation("S")),
+            RaExpr::relation("R")
+                .product(RaExpr::relation("S"))
+                .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+                .project(vec![0])
+                .union(RaExpr::values(Relation::from_tuples(
+                    1,
+                    vec![Tuple::ints(&[9])],
+                ))),
+            RaExpr::relation("R").intersection(RaExpr::relation("R")),
+        ];
+        let cases = [
+            (Semantics::Cwa, WorldOptions::default()),
+            (Semantics::Owa, WorldOptions::default()),
+            (Semantics::Owa, WorldOptions::with_owa_extra(1)),
+        ];
+        for q in &queries {
+            let plan = planned(q, &db);
+            for (semantics, opts) in &cases {
+                let batched = stream_certain_answer(&plan, &db, *semantics, opts).unwrap();
+                let rows = stream_certain_answer_rows(&plan, &db, *semantics, opts).unwrap();
+                assert_eq!(batched.answers, rows.answers, "{q:?} under {semantics}");
+                assert_eq!(batched.worlds_visited, rows.worlds_visited);
+                assert_eq!(batched.early_exit, rows.early_exit);
+                assert_eq!(
+                    batched.worlds_batched, batched.worlds_visited,
+                    "every world of the default fold goes through the split executor"
+                );
+                assert_eq!(rows.worlds_batched, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fold_reuses_hash_tables_across_worlds() {
+        // A join over a mostly-ground database: the build-side tables over
+        // the ground runs must be constructed once per shard and probed by
+        // every later world.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["a", "b"])
+            .relation("S", &["b", "c"])
+            .ints("R", &[1, 10])
+            .ints("R", &[2, 20])
+            .ints("R", &[3, 30])
+            .tuple("R", vec![Value::int(4), Value::null(0)])
+            .ints("S", &[10, 100])
+            .ints("S", &[20, 200])
+            .tuple("S", vec![Value::null(1), Value::int(300)])
+            .build();
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(Predicate::eq(Operand::col(1), Operand::col(2)))
+            .project(vec![0, 3])
+            .union(RaExpr::values(Relation::from_tuples(
+                2,
+                vec![Tuple::ints(&[0, 0])],
+            )));
+        let exec = stream_certain_answer(
+            &planned(&q, &db),
+            &db,
+            Semantics::Cwa,
+            &WorldOptions::with_threads(1),
+        )
+        .unwrap();
+        assert!(!exec.early_exit, "the literal union defeats early exit");
+        assert!(exec.worlds_visited > 1);
+        assert_eq!(exec.worlds_batched, exec.worlds_visited);
+        assert!(
+            exec.op_stats.tables_reused > 0,
+            "worlds after the first must hit cached tables: {:?}",
+            exec.op_stats
+        );
     }
 
     #[test]

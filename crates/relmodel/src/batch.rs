@@ -25,6 +25,7 @@ use std::ops::Range;
 
 use crate::relation::Relation;
 use crate::tuple::Tuple;
+use crate::valuation::Valuation;
 use crate::value::Value;
 
 /// Environment knob naming the morsel size (rows per execution chunk).
@@ -100,6 +101,18 @@ impl Column {
             self.null_rows.push(self.values.len() as u32);
         }
         self.values.push(v);
+    }
+
+    fn clear(&mut self) {
+        self.values.clear();
+        self.null_rows.clear();
+    }
+
+    fn append(&mut self, other: &Column) {
+        let offset = self.values.len() as u32;
+        self.null_rows
+            .extend(other.null_rows.iter().map(|&r| r + offset));
+        self.values.extend(other.values.iter().cloned());
     }
 }
 
@@ -328,13 +341,39 @@ impl ColumnBatch {
     /// (the selection-vector materialization step).
     pub fn gather(&self, rows: &[u32]) -> ColumnBatch {
         let mut out = ColumnBatch::with_capacity(self.arity(), rows.len());
+        self.gather_into(rows, &mut out);
+        out
+    }
+
+    /// Appends the given rows of this batch onto `out`, in the given order —
+    /// the **selection-mask** application step, into a caller-owned scratch
+    /// batch so per-element loops (one mask per repair) reuse one allocation.
+    pub fn gather_into(&self, rows: &[u32], out: &mut ColumnBatch) {
+        debug_assert_eq!(self.arity(), out.arity());
         for (c, src) in out.columns.iter_mut().zip(&self.columns) {
             for &r in rows {
                 c.push(src.values[r as usize].clone());
             }
         }
-        out.len = rows.len();
-        out
+        out.len += rows.len();
+    }
+
+    /// Appends every row of `other` (same arity) onto this batch.
+    pub fn append(&mut self, other: &ColumnBatch) {
+        debug_assert_eq!(self.arity(), other.arity());
+        for (c, src) in self.columns.iter_mut().zip(&other.columns) {
+            c.append(src);
+        }
+        self.len += other.len;
+    }
+
+    /// Drops every row, keeping column capacity — the scratch-batch reset
+    /// between elements of a per-world/per-repair loop.
+    pub fn clear(&mut self) {
+        for c in &mut self.columns {
+            c.clear();
+        }
+        self.len = 0;
     }
 
     /// Materializes one row as a tuple (used off the hot path: symbolic
@@ -347,6 +386,72 @@ impl ColumnBatch {
     /// conversion; duplicates, if any, merge here).
     pub fn to_relation(&self) -> Relation {
         Relation::from_tuples(self.arity(), (0..self.len).map(|r| self.tuple_at(r)))
+    }
+}
+
+/// The valuation-overlay view of a relation's batch: the rows partitioned
+/// **once** into the ground part (world-invariant — every CWA/OWA world
+/// contains these rows verbatim) and the symbolic part (rows carrying marked
+/// nulls, whose image varies per valuation).
+///
+/// This is the enumeration-side analogue of [`RunSplit`]: instead of routing
+/// morsels inside one execution, it lets a *fold over worlds* execute the
+/// ground part once and re-derive only the symbolic image per world —
+/// [`OverlayBatch::resolve_into`] writes `v(symbolic rows)` into a
+/// caller-owned scratch batch, so the per-world cost is `O(symbolic rows)`,
+/// not `O(batch)`.
+#[derive(Debug, Clone)]
+pub struct OverlayBatch {
+    stable: ColumnBatch,
+    symbolic: ColumnBatch,
+}
+
+impl OverlayBatch {
+    /// Partitions `base` into its ground (stable) and symbolic rows.
+    pub fn new(base: &ColumnBatch) -> Self {
+        let all: Vec<usize> = (0..base.arity()).collect();
+        match base.ground_split(&all) {
+            RunSplit::AllGround => OverlayBatch {
+                stable: base.clone(),
+                symbolic: ColumnBatch::new(base.arity()),
+            },
+            RunSplit::Mixed { ground, symbolic } => OverlayBatch {
+                stable: base.gather(&ground),
+                symbolic: base.gather(&symbolic),
+            },
+        }
+    }
+
+    /// The ground rows — identical in every world.
+    pub fn stable(&self) -> &ColumnBatch {
+        &self.stable
+    }
+
+    /// The null-carrying rows, unresolved.
+    pub fn symbolic(&self) -> &ColumnBatch {
+        &self.symbolic
+    }
+
+    /// Does the base batch carry no nulls at all?
+    pub fn is_all_ground(&self) -> bool {
+        self.symbolic.is_empty()
+    }
+
+    /// Appends the valuation image of every symbolic row onto `out` (the
+    /// caller's scratch). The valuation must cover every null of the batch.
+    /// No deduplication happens here — resolved rows may collide with stable
+    /// rows or each other exactly as [`crate::database::Database::apply`]'s
+    /// set semantics would merge them; set-level consumers dedup downstream.
+    pub fn resolve_into(&self, v: &Valuation, out: &mut ColumnBatch) {
+        debug_assert_eq!(self.symbolic.arity(), out.arity());
+        for row in 0..self.symbolic.len() {
+            out.push_row(
+                self.symbolic
+                    .columns
+                    .iter()
+                    .map(|c| v.apply_value(&c.values[row])),
+            );
+        }
     }
 }
 
@@ -477,6 +582,47 @@ mod tests {
         assert_eq!(morsel_rows(), DEFAULT_MORSEL_ROWS, "zero is rejected");
         std::env::remove_var(MORSEL_ROWS_ENV);
         assert_eq!(morsel_rows(), DEFAULT_MORSEL_ROWS);
+    }
+
+    #[test]
+    fn gather_into_append_and_clear_reuse_scratch() {
+        let b = batch();
+        let mut scratch = ColumnBatch::new(2);
+        b.gather_into(&[2], &mut scratch);
+        b.gather_into(&[1], &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch.tuple_at(0), Tuple::ints(&[3, 30]));
+        assert_eq!(scratch.column(1).null_rows(), &[1], "sidecar offsets hold");
+        let mut out = b.clone();
+        out.append(&scratch);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.column(1).null_rows(), &[1, 4]);
+        scratch.clear();
+        assert!(scratch.is_empty());
+        assert!(scratch.column(1).is_ground(), "clear drops the sidecar too");
+    }
+
+    #[test]
+    fn overlay_batch_partitions_and_resolves_per_valuation() {
+        use crate::valuation::Valuation;
+        use crate::value::{Constant, NullId};
+
+        let overlay = OverlayBatch::new(&batch());
+        assert_eq!(overlay.stable().len(), 2, "rows 0 and 2 are ground");
+        assert_eq!(overlay.symbolic().len(), 1);
+        assert!(!overlay.is_all_ground());
+        let v = Valuation::from_pairs([(NullId(0), Constant::Int(99))]);
+        let mut scratch = ColumnBatch::new(2);
+        overlay.resolve_into(&v, &mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(scratch.tuple_at(0), Tuple::ints(&[2, 99]));
+        // The scratch accumulates across calls until cleared.
+        overlay.resolve_into(&v, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+
+        let ground = OverlayBatch::new(&ColumnBatch::from_rows(1, [Tuple::ints(&[5])].iter()));
+        assert!(ground.is_all_ground());
+        assert_eq!(ground.stable().len(), 1);
     }
 
     #[test]

@@ -286,9 +286,11 @@ pub fn enumerate_owa_worlds(db: &Database, domain: &[Constant], max_extra: usize
 }
 
 /// All complete tuples over the domain, for every relation of the schema,
-/// tagged with the relation name. Exponential in the arity; intended for tiny
-/// schemas/domains in tests.
-fn all_complete_tuples(db: &Database, domain: &[Constant]) -> Vec<(String, Tuple)> {
+/// tagged with the relation name — the OWA extension candidates [`WorldIter`]
+/// draws bounded subsets from. Public so batched enumeration folds can mirror
+/// the exact candidate order without instantiating the iterator's databases.
+/// Exponential in the arity; intended for tiny schemas/domains.
+pub fn all_complete_tuples(db: &Database, domain: &[Constant]) -> Vec<(String, Tuple)> {
     let mut out = Vec::new();
     for rs in db.schema().iter() {
         let arity = rs.arity();

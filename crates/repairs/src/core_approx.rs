@@ -15,6 +15,13 @@
 //! difference can add answers the repairs refute) — the same trap naïve
 //! evaluation falls into on incomplete data, resolved the same way: an
 //! explicit under/over pair instead of a single relation.
+//!
+//! The same core/conflict split powers the exact fold too: the batched
+//! [`crate::fold::stream_consistent_answer`] evaluates the core **once** per
+//! shard as the stable scan set and replays only the surviving conflict
+//! vertices per repair. The approximation here is what you run when even the
+//! batched enumeration is too expensive; its certain side is always a subset
+//! of the fold's answer.
 
 use relalgebra::plan::PlannedQuery;
 use releval::approx::ApproxAnswer;
@@ -126,6 +133,46 @@ mod tests {
         let exact =
             stream_consistent_answer(&plan, &db, &graph, &RepairOptions::default()).unwrap();
         assert!(exact.answers.is_empty());
+    }
+
+    #[test]
+    fn core_approximation_is_sound_against_both_fold_paths() {
+        // The certain side must be a subset of the exact consistent answer
+        // whichever shard runner computes it — the batched mask path and the
+        // row-materializing reference agree, and the core stays below both.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .relation("S", &["v", "w"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .ints("S", &[10, 100])
+            .ints("S", &[30, 300])
+            .build();
+        let graph = ConflictGraph::build(&db);
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(relalgebra::predicate::Predicate::eq(
+                relalgebra::predicate::Operand::col(1),
+                relalgebra::predicate::Operand::col(2),
+            ))
+            .project(vec![3]);
+        let plan = planned(&q, &db);
+        let core = core_consistent_answer(&plan, &db, &graph);
+        let batched =
+            stream_consistent_answer(&plan, &db, &graph, &RepairOptions::default()).unwrap();
+        let rows = crate::fold::stream_consistent_answer_rows(
+            &plan,
+            &db,
+            &graph,
+            &RepairOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(batched.answers, rows.answers);
+        assert_eq!(batched.repairs_batched, batched.repairs_visited);
+        assert!(core.answers.is_subset(&batched.answers), "sound");
+        assert!(batched.answers.contains(&Tuple::ints(&[300])));
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct RepairIter<'a> {
     /// `prefix` decides vertex `d`): the sharding handle.
     prefix: u64,
     prefix_len: usize,
+    /// The previous [`Self::next_repair`] left a complete decision vector
+    /// in place (so [`Self::included`] can read it); backtrack past it
+    /// before searching on.
+    pending_backtrack: bool,
     done: bool,
 }
 
@@ -72,8 +76,26 @@ impl<'a> RepairIter<'a> {
             decisions: Vec::with_capacity(graph.conflict_tuples()),
             prefix,
             prefix_len: prefix_len.min(graph.conflict_tuples()).min(63),
+            pending_backtrack: false,
             done: false,
         }
+    }
+
+    /// The conflict-free core every repair of this iterator shares.
+    pub fn core(&self) -> &Database {
+        &self.core
+    }
+
+    /// The conflict vertices included by the current decision vector —
+    /// indices into [`ConflictGraph::vertices`]. Meaningful only after
+    /// [`Self::next_repair`] returned `true`. Together with [`Self::core`]
+    /// this *is* the repair, as a tuple-survival mask: batched consumers
+    /// read it directly instead of materializing a [`Database`].
+    pub fn included(&self) -> impl Iterator<Item = usize> + '_ {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter_map(|(v, frame)| frame.include.then_some(v))
     }
 
     fn n(&self) -> usize {
@@ -144,25 +166,37 @@ impl<'a> RepairIter<'a> {
     }
 }
 
-impl Iterator for RepairIter<'_> {
-    type Item = Database;
-
-    fn next(&mut self) -> Option<Database> {
+impl RepairIter<'_> {
+    /// Advances to the next maximal decision vector; `false` once the
+    /// search space is exhausted. On `true` the current repair is readable
+    /// through [`Self::core`] + [`Self::included`] without materializing
+    /// anything — the [`Iterator`] impl wraps this with the private
+    /// `build` step that assembles the repair `Database`.
+    pub fn next_repair(&mut self) -> bool {
         if self.done {
-            return None;
+            return false;
+        }
+        if self.pending_backtrack {
+            self.pending_backtrack = false;
+            if !self.backtrack() {
+                self.done = true;
+                return false;
+            }
         }
         loop {
             let depth = self.decisions.len();
             if depth == self.n() {
-                let repair = self.maximal().then(|| self.build());
+                if self.maximal() {
+                    // Leave the vector in place for the accessors; the next
+                    // call resumes by backtracking past it.
+                    self.pending_backtrack = true;
+                    return true;
+                }
                 if !self.backtrack() {
                     self.done = true;
+                    return false;
                 }
-                match repair {
-                    Some(r) => return Some(r),
-                    None if self.done => return None,
-                    None => continue,
-                }
+                continue;
             }
             let frame = if depth < self.prefix_len {
                 let include = (self.prefix >> depth) & 1 == 1;
@@ -175,7 +209,7 @@ impl Iterator for RepairIter<'_> {
                     // The forced prefix is infeasible below this point.
                     if !self.backtrack() {
                         self.done = true;
-                        return None;
+                        return false;
                     }
                     continue;
                 }
@@ -196,12 +230,20 @@ impl Iterator for RepairIter<'_> {
             } else {
                 if !self.backtrack() {
                     self.done = true;
-                    return None;
+                    return false;
                 }
                 continue;
             };
             self.decisions.push(frame);
         }
+    }
+}
+
+impl Iterator for RepairIter<'_> {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        self.next_repair().then(|| self.build())
     }
 }
 

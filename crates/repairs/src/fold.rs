@@ -13,17 +13,37 @@
 //! budget on repairs **visited**, and sharding via the enumeration-prefix
 //! partition of [`crate::enumerate::RepairIter`].
 
+//!
+//! Since the morsel-native refactor, a repair of a **complete** database is
+//! never materialized as a `Database` either: it is the conflict-free core
+//! (shard-invariant) plus a tuple-survival mask over the conflict vertices,
+//! read straight off [`RepairIter::included`]. Each worker feeds the mask's
+//! rows into reused scratch batches and evaluates the shared plan through
+//! the caching split executor
+//! ([`releval::exec::columnar::split::ShardExec`]); stable subresults and
+//! their hash tables are built on the first repair of a shard and reused by
+//! every later one, and only the volatile answer parts are intersected
+//! (`⋂ᵢ (S ∪ Vᵢ) = S ∪ ⋂ᵢ Vᵢ`). Incomplete databases keep the row path —
+//! their repairs need the full certain-answer machinery anyway — and
+//! [`stream_consistent_answer_rows`] forces it everywhere as the
+//! differential reference.
+
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use relalgebra::classify::has_incomplete_values;
 use relalgebra::plan::PlannedQuery;
+use releval::exec::columnar::split::{ElementInput, ShardExec, ShardSetup};
 use releval::exec::{self, OpStats};
 use releval::symbolic::{symbolic_certain_answer, SymbolicOptions, SymbolicOutcome};
 use releval::worlds::{stream_certain_answer, WorldOptions};
 use releval::EvalError;
-use relmodel::{Database, Relation, Semantics};
+use relmodel::batch::{morsel_rows, ColumnBatch};
+use relmodel::value::Constant;
+use relmodel::{Database, Relation, Semantics, Tuple, Value};
 
 use crate::conflict::ConflictGraph;
 use crate::enumerate::RepairIter;
@@ -115,6 +135,12 @@ pub struct RepairExecution {
     pub answers: Relation,
     /// Repairs actually evaluated across all workers.
     pub repairs_visited: u128,
+    /// Of the visited repairs, how many were evaluated as survival masks
+    /// through the batched split executor instead of materialized
+    /// `Database`s. The whole fold batches when the input database is
+    /// complete; incomplete inputs (and the
+    /// [`stream_consistent_answer_rows`] reference) report zero.
+    pub repairs_batched: u128,
     /// Did enumeration stop early because the intersection emptied? Early
     /// exit can only fire when the consistent answer is ∅.
     pub early_exit: bool,
@@ -136,6 +162,7 @@ struct ShardResult {
     early_exit: bool,
     symbolic_repairs: u64,
     world_repairs: u64,
+    repairs_batched: u64,
     op_stats: OpStats,
 }
 
@@ -219,12 +246,169 @@ struct ShardJob<'a> {
     prefix_len: usize,
 }
 
-fn run_shard(job: ShardJob<'_>, prefix: u64, shared: &SharedState) -> ShardResult {
+/// Which shard runner the fold uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FoldMode {
+    /// Survival-mask evaluation through the split executor wherever the
+    /// input database permits it (the default).
+    Batched,
+    /// The row-materializing reference, forced everywhere.
+    Rows,
+}
+
+fn run_shard(job: ShardJob<'_>, prefix: u64, shared: &SharedState, mode: FoldMode) -> ShardResult {
+    // The mask path covers complete databases only: their repairs are
+    // complete too, so the per-repair certain answer *is* plan execution —
+    // no symbolic/world-oracle dispatch to thread through. Incomplete
+    // inputs keep the row path.
+    if mode == FoldMode::Batched && job.db.is_complete() {
+        run_shard_batched(job, prefix, shared)
+    } else {
+        run_shard_rows(job, prefix, shared)
+    }
+}
+
+/// The batched shard runner: the same repairs in the same order as
+/// [`run_shard_rows`] — identical budget and stop discipline — but each
+/// repair is consumed as core + survival mask. Scratch batches are refilled
+/// per repair; stable subresults and hash tables are cached across the
+/// whole shard; only volatile answer parts are intersected per repair.
+fn run_shard_batched(job: ShardJob<'_>, prefix: u64, shared: &SharedState) -> ShardResult {
     let mut shard = ShardResult {
         acc: None,
         early_exit: false,
         symbolic_repairs: 0,
         world_repairs: 0,
+        repairs_batched: 0,
+        op_stats: OpStats::default(),
+    };
+    let mut iter = RepairIter::with_prefix(job.db, job.graph, prefix, job.prefix_len);
+    let vertices = job.graph.vertices();
+    let volatile_relations: BTreeSet<&str> = vertices.iter().map(|(r, _)| r.as_str()).collect();
+
+    // Shard-invariant setup: the conflict-free core rows are the stable
+    // scans; a relation is static iff no conflict vertex lives in it.
+    let mut setup = ShardSetup::default();
+    let core_consts: BTreeSet<Constant> = {
+        let core = iter.core();
+        for rs in core.schema().iter() {
+            let rel = core.relation(&rs.name).expect("schema lists the relation");
+            setup
+                .stable_scans
+                .insert(rs.name.clone(), Rc::new(ColumnBatch::from_relation(rel)));
+            setup.static_scans.insert(
+                rs.name.clone(),
+                !volatile_relations.contains(rs.name.as_str()),
+            );
+        }
+        core.constants()
+    };
+    let diag: Vec<Tuple> = core_consts
+        .iter()
+        .map(|c| Tuple::new(vec![Value::Const(c.clone()), Value::Const(c.clone())]))
+        .collect();
+    setup.stable_delta = Rc::new(ColumnBatch::from_rows(2, diag.iter()));
+    setup.static_delta = vertices.is_empty();
+
+    // One scratch batch per conflict-bearing relation, refilled per repair.
+    let mut volatile_scans: HashMap<String, Rc<ColumnBatch>> = HashMap::new();
+    for name in &volatile_relations {
+        let arity = job
+            .db
+            .schema()
+            .relation(name)
+            .expect("conflict vertices come from the schema")
+            .arity();
+        volatile_scans.insert((*name).to_string(), Rc::new(ColumnBatch::new(arity)));
+    }
+    let mut volatile_delta = Rc::new(ColumnBatch::new(2));
+    let mut extra_consts: BTreeSet<Constant> = BTreeSet::new();
+
+    let mut exec = ShardExec::new(job.plan.physical(), morsel_rows(), setup);
+    let mut stable_rel: Option<Relation> = None;
+    let mut acc_v: Option<Relation> = None;
+
+    while iter.next_repair() {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let visited = shared.visited.fetch_add(1, Ordering::Relaxed) + 1;
+        if u128::from(visited) > job.opts.max_repairs {
+            // This repair is discarded unevaluated — uncount it so the
+            // reported figure is exactly the repairs folded.
+            shared.visited.fetch_sub(1, Ordering::Relaxed);
+            shared.budget_hit.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+
+        // Refill the scratches with the surviving conflict vertices.
+        for batch in volatile_scans.values_mut() {
+            Rc::make_mut(batch).clear();
+        }
+        extra_consts.clear();
+        for v in iter.included() {
+            let (relation, tuple) = &vertices[v];
+            let out = volatile_scans
+                .get_mut(relation.as_str())
+                .expect("scratch exists for every conflict relation");
+            Rc::make_mut(out).push_tuple(tuple);
+            for val in tuple.values() {
+                if let Some(c) = val.as_const() {
+                    if !core_consts.contains(c) {
+                        extra_consts.insert(c.clone());
+                    }
+                }
+            }
+        }
+        // Δ gains a diagonal row for every repair-introduced constant.
+        if !extra_consts.is_empty() {
+            let delta = Rc::make_mut(&mut volatile_delta);
+            delta.clear();
+            for c in &extra_consts {
+                delta.push_row([Value::Const(c.clone()), Value::Const(c.clone())]);
+            }
+        } else if !volatile_delta.is_empty() {
+            Rc::make_mut(&mut volatile_delta).clear();
+        }
+
+        shard.repairs_batched += 1;
+        let split = exec.eval_element(&ElementInput {
+            volatile_scans: &volatile_scans,
+            volatile_delta: &volatile_delta,
+        });
+        let s_rel = stable_rel.get_or_insert_with(|| split.stable.to_relation());
+        let answer_v = split.volatile.to_relation();
+        let folded = match acc_v.take() {
+            None => answer_v,
+            Some(a) => a.intersection(&answer_v),
+        };
+        // `⋂ (S ∪ Vᵢ)` is empty iff `S` and `⋂ Vᵢ` both are — the early
+        // exit fires on exactly the same repair as the row fold.
+        let empty = s_rel.is_empty() && folded.is_empty();
+        acc_v = Some(folded);
+        if empty {
+            shard.early_exit = true;
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    shard.op_stats.merge(&exec.stats);
+    shard.acc = match (stable_rel, acc_v) {
+        (Some(s), Some(v)) => Some(s.union(&v)),
+        _ => None,
+    };
+    shard
+}
+
+/// The row-materializing reference shard runner.
+fn run_shard_rows(job: ShardJob<'_>, prefix: u64, shared: &SharedState) -> ShardResult {
+    let mut shard = ShardResult {
+        acc: None,
+        early_exit: false,
+        symbolic_repairs: 0,
+        world_repairs: 0,
+        repairs_batched: 0,
         op_stats: OpStats::default(),
     };
     let repairs = RepairIter::with_prefix(job.db, job.graph, prefix, job.prefix_len);
@@ -290,6 +474,29 @@ pub fn stream_consistent_answer(
     graph: &ConflictGraph,
     opts: &RepairOptions,
 ) -> Result<RepairExecution, RepairError> {
+    stream_consistent_answer_inner(plan, db, graph, opts, FoldMode::Batched)
+}
+
+/// [`stream_consistent_answer`] with the row-materializing shard runner
+/// forced everywhere: every repair is built as a `Database` and evaluated
+/// from scratch. Kept public as the differential-testing reference for the
+/// batched mask path; not intended for production use.
+pub fn stream_consistent_answer_rows(
+    plan: &PlannedQuery,
+    db: &Database,
+    graph: &ConflictGraph,
+    opts: &RepairOptions,
+) -> Result<RepairExecution, RepairError> {
+    stream_consistent_answer_inner(plan, db, graph, opts, FoldMode::Rows)
+}
+
+fn stream_consistent_answer_inner(
+    plan: &PlannedQuery,
+    db: &Database,
+    graph: &ConflictGraph,
+    opts: &RepairOptions,
+    mode: FoldMode,
+) -> Result<RepairExecution, RepairError> {
     let null_values_literal = has_incomplete_values(plan.expr());
     let (prefix_len, workers) = resolve_shards(opts, graph.conflict_tuples());
     let shared = SharedState {
@@ -307,13 +514,13 @@ pub fn stream_consistent_answer(
         prefix_len,
     };
     let shard_results: Vec<ShardResult> = if workers == 1 {
-        vec![run_shard(job, 0, &shared)]
+        vec![run_shard(job, 0, &shared, mode)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers as u64)
                 .map(|prefix| {
                     let shared = &shared;
-                    scope.spawn(move || run_shard(job, prefix, shared))
+                    scope.spawn(move || run_shard(job, prefix, shared, mode))
                 })
                 .collect();
             handles
@@ -328,10 +535,12 @@ pub fn stream_consistent_answer(
     let mut op_stats = OpStats::default();
     let mut symbolic_repairs = 0u128;
     let mut world_repairs = 0u128;
+    let mut repairs_batched = 0u128;
     for shard in &shard_results {
         op_stats.merge(&shard.op_stats);
         symbolic_repairs += u128::from(shard.symbolic_repairs);
         world_repairs += u128::from(shard.world_repairs);
+        repairs_batched += u128::from(shard.repairs_batched);
     }
     if !early_exit {
         // ∅ proven early makes budget and per-repair failures moot; without
@@ -365,6 +574,7 @@ pub fn stream_consistent_answer(
     Ok(RepairExecution {
         answers,
         repairs_visited: visited,
+        repairs_batched,
         early_exit,
         threads: workers,
         symbolic_repairs,
@@ -531,6 +741,110 @@ mod tests {
             assert_eq!(multi.threads, threads);
         }
         assert!(single.answers.contains(&Tuple::ints(&[77])));
+    }
+
+    fn fold_rows(q: &RaExpr, db: &Database, opts: &RepairOptions) -> RepairExecution {
+        let graph = ConflictGraph::build(db);
+        stream_consistent_answer_rows(&planned(q, db), db, &graph, opts).unwrap()
+    }
+
+    #[test]
+    fn batched_fold_matches_row_fold() {
+        // Complete but inconsistent: the default path batches every repair.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .ints("R", &[3, 30])
+            .build();
+        let queries = [
+            RaExpr::relation("R").project(vec![1]),
+            RaExpr::relation("R").project(vec![0]).difference(
+                RaExpr::relation("R")
+                    .select(relalgebra::predicate::Predicate::eq(
+                        relalgebra::predicate::Operand::col(1),
+                        relalgebra::predicate::Operand::int(10),
+                    ))
+                    .project(vec![0]),
+            ),
+            RaExpr::relation("R")
+                .project(vec![1])
+                .intersection(RaExpr::values(Relation::from_tuples(
+                    1,
+                    vec![Tuple::ints(&[30]), Tuple::ints(&[10])],
+                ))),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            for threads in [1usize, 4] {
+                let opts = RepairOptions::default().with_threads(threads);
+                let batched = fold(q, &db, &opts);
+                let rows = fold_rows(q, &db, &opts);
+                assert_eq!(
+                    batched.answers, rows.answers,
+                    "query {i}, {threads} threads"
+                );
+                assert_eq!(batched.repairs_visited, rows.repairs_visited, "query {i}");
+                assert_eq!(batched.early_exit, rows.early_exit, "query {i}");
+                assert_eq!(
+                    batched.repairs_batched, batched.repairs_visited,
+                    "complete input: every visited repair goes through the mask path"
+                );
+                assert_eq!(rows.repairs_batched, 0, "rows reference never batches");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_inputs_fall_back_to_the_row_path() {
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .tuple("R", vec![Value::int(1), Value::null(0)])
+            .build();
+        let q = RaExpr::relation("R").project(vec![0]);
+        let exec = fold(&q, &db, &RepairOptions::default());
+        assert_eq!(
+            exec.repairs_batched, 0,
+            "nulls force the materializing path"
+        );
+        assert_eq!(exec.answers.len(), 1);
+    }
+
+    #[test]
+    fn batched_fold_reuses_hash_tables_across_repairs() {
+        // S is conflict-free (fully static); the R ⋈ S hash join builds S's
+        // key table on the first repair of the shard and reuses it after.
+        let db = DatabaseBuilder::new()
+            .relation("R", &["k", "v"])
+            .key("R", &["k"])
+            .ints("R", &[1, 10])
+            .ints("R", &[1, 20])
+            .ints("R", &[2, 30])
+            .relation("S", &["v", "w"])
+            .ints("S", &[10, 100])
+            .ints("S", &[20, 200])
+            .ints("S", &[30, 300])
+            .build();
+        let q = RaExpr::relation("R")
+            .product(RaExpr::relation("S"))
+            .select(relalgebra::predicate::Predicate::eq(
+                relalgebra::predicate::Operand::col(1),
+                relalgebra::predicate::Operand::col(2),
+            ))
+            .project(vec![3]);
+        let exec = fold(&q, &db, &RepairOptions::default().with_threads(1));
+        assert!(!exec.early_exit, "300 survives both repairs");
+        assert_eq!(exec.repairs_visited, 2);
+        assert_eq!(exec.repairs_batched, 2);
+        assert!(exec.answers.contains(&Tuple::ints(&[300])));
+        assert!(
+            exec.op_stats.tables_reused > 0,
+            "build-side tables are reused across repairs: {:?}",
+            exec.op_stats
+        );
     }
 
     #[test]

@@ -69,5 +69,6 @@ pub use conflict::ConflictGraph;
 pub use core_approx::{conflict_free_core, core_consistent_answer, CoreExecution};
 pub use enumerate::RepairIter;
 pub use fold::{
-    enumerate_repairs, stream_consistent_answer, RepairError, RepairExecution, RepairOptions,
+    enumerate_repairs, stream_consistent_answer, stream_consistent_answer_rows, RepairError,
+    RepairExecution, RepairOptions,
 };

@@ -18,9 +18,17 @@
 //! Memory is bounded two ways: stale-version entries are pruned when a new
 //! version is published (writers pay, readers never do), and within a
 //! version a FIFO capacity evicts the oldest entries.
+//!
+//! Under many concurrent clients a single result-cache mutex becomes the
+//! service's hottest lock — every submit takes it at least once even on a
+//! pure hit. [`ShardedResultCache`] splits the key space across
+//! [`RESULT_SHARDS`] independently locked FIFO caches by key hash, so
+//! unrelated queries contend only `1/RESULT_SHARDS` of the time while each
+//! shard keeps the same keying, eviction, and version-pruning story.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use engine::{CertainReport, Semantics};
 use relalgebra::plan::PlannedQuery;
@@ -175,6 +183,81 @@ impl ResultCache {
     }
 }
 
+/// Lock shards in a [`ShardedResultCache`]. A small power of two: enough to
+/// spread a client fleet, few enough that per-shard FIFO capacity stays
+/// meaningful.
+pub const RESULT_SHARDS: usize = 8;
+
+/// A concurrency-sharded [`ResultCache`]: [`RESULT_SHARDS`] independently
+/// locked FIFO caches, with keys routed by hash. Capacity is divided evenly
+/// across shards (so the total bound is preserved up to rounding); eviction
+/// and publish-time version pruning are per shard.
+///
+/// All methods take `&self` — the locks live inside.
+#[derive(Debug)]
+pub struct ShardedResultCache {
+    shards: Vec<Mutex<ResultCache>>,
+}
+
+impl ShardedResultCache {
+    /// An empty sharded cache holding at most ~`capacity` reports in total
+    /// (each shard gets `⌈capacity / RESULT_SHARDS⌉`, minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(RESULT_SHARDS).max(1);
+        ShardedResultCache {
+            shards: (0..RESULT_SHARDS)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &ResultKey) -> &Mutex<ResultCache> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// The cached report for a key, if its shard has it.
+    pub fn get(&self, key: &ResultKey) -> Option<Arc<CertainReport>> {
+        self.shard(key)
+            .lock()
+            .expect("result cache shard poisoned")
+            .get(key)
+    }
+
+    /// Caches a report in the key's shard, evicting FIFO beyond the shard
+    /// capacity.
+    pub fn insert(&self, key: ResultKey, report: Arc<CertainReport>) {
+        self.shard(&key)
+            .lock()
+            .expect("result cache shard poisoned")
+            .insert(key, report);
+    }
+
+    /// Drops every entry (in every shard) not computed against `version`.
+    pub fn retain_version(&self, version: u64) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("result cache shard poisoned")
+                .retain_version(version);
+        }
+    }
+
+    /// Cached reports across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("result cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Is every shard empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +318,46 @@ mod tests {
         cache.insert(key("c", 2), report("c", 2));
         cache.insert(key("d", 2), report("d", 2));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sharded_cache_keeps_the_keying_and_pruning_story() {
+        let cache = ShardedResultCache::new(64);
+        let key = |q: &str, v: u64| ResultKey {
+            query: q.into(),
+            version: v,
+            semantics: Semantics::Cwa,
+            options_fp: 0,
+        };
+        let report = || {
+            Arc::new(CertainReport {
+                answers: relmodel::Relation::new(0),
+                object_answer: None,
+                strategy: engine::StrategyKind::NaiveExact,
+                guarantee: engine::Guarantee::Exact,
+                class: relalgebra::classify::QueryClass::Positive,
+                semantics: Semantics::Cwa,
+                stats: engine::EngineStats::default(),
+            })
+        };
+        // Keys land across shards but every one is findable again.
+        for i in 0..32 {
+            cache.insert(key(&format!("q{i}"), 1), report());
+        }
+        assert_eq!(cache.len(), 32);
+        for i in 0..32 {
+            assert!(cache.get(&key(&format!("q{i}"), 1)).is_some(), "q{i}");
+        }
+        assert!(cache.get(&key("q0", 2)).is_none(), "version is in the key");
+        // Publish-time pruning reaches every shard.
+        cache.insert(key("fresh", 2), report());
+        cache.retain_version(2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("fresh", 2)).is_some());
+        // A tiny total capacity still leaves one slot per shard.
+        let tiny = ShardedResultCache::new(1);
+        tiny.insert(key("a", 1), report());
+        assert!(tiny.get(&key("a", 1)).is_some());
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod cache;
 mod snapshot;
 mod stats;
 
-pub use cache::{normalize, PlanCache, ResultCache, ResultKey};
+pub use cache::{normalize, PlanCache, ResultCache, ResultKey, ShardedResultCache, RESULT_SHARDS};
 pub use snapshot::{Snapshot, SnapshotEngine};
 pub use stats::ServiceTelemetry;
 
@@ -69,7 +69,7 @@ use engine::{CertainReport, EngineError, EngineOptions, Semantics};
 use relalgebra::plan::PlannedQuery;
 use relmodel::Database;
 
-use cache::{PlanCache as Plans, ResultCache as Results};
+use cache::{PlanCache as Plans, ShardedResultCache as Results};
 use stats::ServiceStats;
 
 /// Construction-time configuration for a [`CertainService`].
@@ -115,7 +115,9 @@ pub struct CertainService {
     /// whole clone-mutate-measure-publish cycle; readers never take it.
     writer: Mutex<()>,
     plans: RwLock<Plans>,
-    results: Mutex<Results>,
+    /// Hash-sharded: unrelated queries take different locks, so a client
+    /// fleet of cache hits doesn't serialize on one mutex.
+    results: Results,
     stats: ServiceStats,
     semantics: Semantics,
     engine_options: EngineOptions,
@@ -142,7 +144,7 @@ impl CertainService {
             current: RwLock::new(Arc::new(Snapshot::new(0, 0, db))),
             writer: Mutex::new(()),
             plans: RwLock::new(Plans::default()),
-            results: Mutex::new(Results::new(options.max_result_entries)),
+            results: Results::new(options.max_result_entries),
             stats: ServiceStats::default(),
             semantics: options.semantics,
             engine_options,
@@ -231,12 +233,7 @@ impl CertainService {
             options_fp: options.fingerprint(),
         };
 
-        if let Some(cached) = self
-            .results
-            .lock()
-            .expect("result cache lock poisoned")
-            .get(&key)
-        {
+        if let Some(cached) = self.results.get(&key) {
             ServiceStats::bump(&self.stats.result_hits);
             // Plan lookup was skipped along with everything else.
             ServiceStats::bump(&self.stats.plan_hits);
@@ -253,10 +250,7 @@ impl CertainService {
         let mut report = snap.engine(semantics, options).plan_prepared(&plan)?;
         report.stats.snapshot_version = Some(snap.version());
         report.stats.plan_cache_hit = plan_cache_hit;
-        self.results
-            .lock()
-            .expect("result cache lock poisoned")
-            .insert(key, Arc::new(report.clone()));
+        self.results.insert(key, Arc::new(report.clone()));
         Ok(report)
     }
 
@@ -332,10 +326,7 @@ impl CertainService {
         }
         // Invalidation proper is by key (stale versions can't match); this
         // only reclaims their memory.
-        self.results
-            .lock()
-            .expect("result cache lock poisoned")
-            .retain_version(version);
+        self.results.retain_version(version);
         ServiceStats::bump(&self.stats.updates);
         version
     }
