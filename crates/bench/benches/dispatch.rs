@@ -142,4 +142,86 @@ fn main() {
         "\ntarget: analysis < 5% of the dispatched evaluation (one query-sized tree walk, \
          data-size independent; the engine rows above already include it)"
     );
+
+    // Observability cost: the same dispatched evaluation with per-query span
+    // tracing off (the default — the engine rows above) versus on. The
+    // disabled path is a few bool branches, and even the enabled path only
+    // adds a handful of timer reads and one small span tree per query, so
+    // the gap must stay under the 5 % gate; the largest size is asserted
+    // (the absolute tracing cost is constant, so its share only shrinks
+    // from there).
+    println!("\n## tracing_overhead");
+    println!(
+        "{:<10}  {:>12}  {:>12}  {:>9}",
+        "orders", "trace-off", "trace-on", "overhead"
+    );
+    let largest = *sizes.last().expect("sizes is non-empty");
+    for &orders in sizes {
+        let db = orders_database(&OrdersConfig {
+            orders,
+            payments: orders,
+            null_rate: 0.1,
+            ..OrdersConfig::default()
+        });
+        let engine_off = Engine::new(&db);
+        let off = measure(format!("trace-off/{orders}"), budget, || {
+            engine_off.plan(&q).expect("evaluation succeeds")
+        });
+        let engine_on = Engine::new(&db).options(engine::EngineOptions::default().with_trace(true));
+        let on = measure(format!("trace-on/{orders}"), budget, || {
+            let report = engine_on.plan(&q).expect("evaluation succeeds");
+            assert!(report.stats.trace.is_some(), "tracing was on");
+            report
+        });
+        let pct = overhead_percent(&off, &on);
+        println!(
+            "{:<10}  {:>12}  {:>12}  {:>8.2}%",
+            orders,
+            fmt_duration(off.median),
+            fmt_duration(on.median),
+            pct
+        );
+        println!(
+            "BENCH {{\"bench\":\"tracing\",\"orders\":{orders},\"trace_off_ns\":{},\
+             \"trace_on_ns\":{},\"overhead_pct\":{:.2}}}",
+            off.median.as_nanos(),
+            on.median.as_nanos(),
+            pct
+        );
+        if orders == largest {
+            assert!(
+                pct < 5.0,
+                "tracing overhead {pct:.2}% at {orders} orders breaches the 5% gate"
+            );
+        }
+    }
+    println!("\ntarget: tracing < 5% overhead at the largest size (asserted)");
+
+    // Serve-layer metrics as a BENCH artifact: run a short mixed workload
+    // through a CertainService and emit its latency grid + gauges as one
+    // JSON line, so CI archives real quantiles alongside the bench numbers.
+    let db = orders_database(&OrdersConfig {
+        orders: largest,
+        payments: largest,
+        null_rate: 0.1,
+        ..OrdersConfig::default()
+    });
+    let service = serve::CertainService::with_options(
+        db,
+        serve::ServeOptions {
+            slow_query_threshold: Some(Duration::from_millis(250)),
+            ..serve::ServeOptions::default()
+        },
+    );
+    let text = "project[#1](select[#0 = #4](product(Order, Pay)))";
+    for _ in 0..20 {
+        service.submit(text).expect("workload query succeeds");
+        service.submit("Order").expect("workload query succeeds");
+    }
+    println!("\n## serve_metrics");
+    print!("{}", service.metrics_text());
+    println!(
+        "BENCH {{\"bench\":\"serve_metrics\",\"metrics\":{}}}",
+        service.metrics_json()
+    );
 }

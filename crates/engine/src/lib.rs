@@ -93,15 +93,16 @@ mod semantics;
 pub use context::DbContext;
 pub use options::EngineOptions;
 pub use report::{
-    AnalysisReport, AnalyzerStats, CertainReport, EngineStats, FallbackReason, Guarantee,
-    RepairAbort, StrategyKind,
+    AnalysisReport, AnalyzerStats, CertainReport, EngineStats, ExplainAnalyze, FallbackReason,
+    Guarantee, RepairAbort, StrategyKind,
 };
 pub use semantics::Semantics;
 
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use relalgebra::analysis;
 use relalgebra::ast::RaExpr;
@@ -109,12 +110,12 @@ use relalgebra::classify::{has_incomplete_values, QueryClass};
 use relalgebra::plan::PlannedQuery;
 use relalgebra::typecheck::TypeError;
 use releval::exec::columnar::approx::execute_approx_counted_with_morsel;
-use releval::exec::columnar::execute_counted_with_morsel;
-use releval::exec::OpStats;
+use releval::exec::columnar::{execute_counted_with_morsel, execute_profiled_with_morsel};
+use releval::exec::{NodeProfile, OpStats};
 use releval::split::inline_ground_subtrees;
 use releval::strategy::{Strategy, ThreeValuedEvaluation};
 use releval::symbolic::{symbolic_certain_answer, SymbolicOutcome};
-use releval::worlds::{estimated_world_count, stream_certain_answer};
+use releval::worlds::{estimated_world_count, stream_certain_answer, ShardProfile};
 use releval::EvalError;
 use relmodel::Database;
 use repairs::{core_consistent_answer, stream_consistent_answer, ConflictGraph, RepairError};
@@ -337,7 +338,11 @@ impl<D: Borrow<Database>> Engine<D> {
             forced: true,
             ..Decision::default()
         };
-        self.execute(plan, decision, plan_time, started)
+        let mut report = self.execute(plan, decision, plan_time, started)?;
+        // Forced dispatch skips the analyzer, so there is no dispatch phase
+        // to time inside the plan span.
+        wrap_trace(&mut report, None);
+        Ok(report)
     }
 
     /// The paper's "what SQL does" baseline through the front door: evaluates
@@ -408,7 +413,11 @@ impl<D: Borrow<Database>> Engine<D> {
     }
 
     fn finish(&self, plan: PlannedQuery, started: Instant) -> Result<CertainReport, EngineError> {
+        // Tracing disabled costs exactly this branch: no timers start, no
+        // spans allocate anywhere below.
+        let decide_started = self.options.trace.then(Instant::now);
         let decision = self.decide(plan.expr(), plan.class());
+        let dispatch_time = decide_started.map(|t| t.elapsed());
         let (plan, decision) = if decision.split {
             self.inline_ground(plan, decision)
         } else {
@@ -417,7 +426,9 @@ impl<D: Borrow<Database>> Engine<D> {
         // Subtree inlining is preparation work, so it counts toward the
         // plan phase, not strategy execution.
         let plan_time = started.elapsed();
-        self.execute(plan, decision, plan_time, started)
+        let mut report = self.execute(plan, decision, plan_time, started)?;
+        wrap_trace(&mut report, dispatch_time);
+        Ok(report)
     }
 
     /// Performs the subtree split a [`Decision`] with `split` requested:
@@ -689,6 +700,8 @@ impl<D: Borrow<Database>> Engine<D> {
         let mut repair_exec: Option<(u128, bool, u128)> = None;
         // Physical-operator telemetry from whichever executor ran.
         let mut physical_ops: Option<OpStats> = None;
+        // Per-worker wall-clock of an enumeration fold, for the trace.
+        let mut shard_profiles: Vec<ShardProfile> = Vec::new();
         // The conflict graph the repair strategies run against: the cached
         // one, or (for a forced repair strategy on a constraint-free
         // schema) the empty graph, whose single repair is the database.
@@ -749,6 +762,7 @@ impl<D: Borrow<Database>> Engine<D> {
                         repair_exec =
                             Some((exec.repairs_visited, exec.early_exit, exec.repairs_batched));
                         physical_ops = Some(exec.op_stats);
+                        shard_profiles = exec.shards;
                         (exec.answers, None)
                     }
                     Err(e) => {
@@ -818,6 +832,7 @@ impl<D: Borrow<Database>> Engine<D> {
                     exec.worlds_batched,
                 ));
                 physical_ops = Some(exec.op_stats);
+                shard_profiles = exec.shards;
                 (exec.answers, None)
             }
             StrategyKind::SoundApproximation => {
@@ -842,6 +857,44 @@ impl<D: Borrow<Database>> Engine<D> {
             }
         };
         let execute_time = execute_started.elapsed();
+        // The execute span is assembled here, at the literal the fallback
+        // recursions bottom out in, so a degraded run traces the strategy
+        // that actually answered. The entry points wrap it into the root
+        // "query" span after this returns.
+        let trace = self.options.trace.then(|| {
+            let mut strategy = obs::Span::with_duration(decision.strategy.name(), execute_time);
+            if let Some((visited, early_exit, threads, _, batched)) = world_exec {
+                strategy.push_field("worlds_visited", clamp_u64(visited));
+                strategy.push_field("worlds_batched", clamp_u64(batched));
+                strategy.push_field("world_threads", threads as u64);
+                strategy.push_field("world_early_exit", u64::from(early_exit));
+            }
+            if let Some((atoms, calls, wins)) = symbolic_exec {
+                strategy.push_field("condition_atoms", atoms as u64);
+                strategy.push_field("solver_calls", calls as u64);
+                strategy.push_field("simplification_wins", wins as u64);
+            }
+            if let Some((visited, early_exit, batched)) = repair_exec {
+                strategy.push_field("repairs_visited", clamp_u64(visited));
+                strategy.push_field("repairs_batched", clamp_u64(batched));
+                strategy.push_field("repair_early_exit", u64::from(early_exit));
+            }
+            if let Some(ops) = &physical_ops {
+                strategy.push_field("operators", ops.operators as u64);
+                strategy.push_field("batches", ops.batches as u64);
+                strategy.push_field("tables_built", ops.tables_built as u64);
+                strategy.push_field("tables_reused", ops.tables_reused as u64);
+            }
+            for (index, shard) in shard_profiles.iter().enumerate() {
+                let mut span = obs::Span::with_duration("shard", Duration::from_nanos(shard.nanos));
+                span.push_field("index", index as u64);
+                span.push_field("units_batched", clamp_u64(shard.units));
+                strategy.push_child(span);
+            }
+            let mut execute_span = obs::Span::with_duration("execute", execute_time);
+            execute_span.push_child(strategy);
+            execute_span
+        });
         Ok(CertainReport {
             answers,
             object_answer,
@@ -879,8 +932,93 @@ impl<D: Borrow<Database>> Engine<D> {
                 cache_hit: false,
                 plan_cache_hit: false,
                 snapshot_version: None,
+                trace,
             },
         })
+    }
+
+    /// `EXPLAIN ANALYZE`: lowers the query, runs it once through the
+    /// profiled columnar executor, and returns the plan annotated with
+    /// measured per-node rows, batches, table reuse, and inclusive
+    /// wall-clock (Postgres-style: a parent's time covers its children's,
+    /// so the root's time is the whole execution).
+    ///
+    /// The measured run is the shared ground physical core — the executor
+    /// behind [`StrategyKind::NaiveExact`] and the naïve branch of
+    /// [`StrategyKind::SoundApproximation`] — regardless of what the
+    /// planner would dispatch this query to; it answers "where does the
+    /// plan spend its time", not "what is the certain answer".
+    pub fn explain_analyze(&self, query: &RaExpr) -> Result<ExplainAnalyze, EngineError> {
+        let plan = PlannedQuery::new(query.clone(), self.db().schema())?;
+        Ok(self.explain_analyze_prepared(&plan))
+    }
+
+    /// [`Engine::explain_analyze`] for textual queries.
+    pub fn explain_analyze_text(&self, query: &str) -> Result<ExplainAnalyze, EngineError> {
+        let plan = qparser::parse_and_plan(query, self.db().schema())?;
+        Ok(self.explain_analyze_prepared(&plan))
+    }
+
+    /// [`Engine::explain_analyze`] for an already-planned query.
+    pub fn explain_analyze_prepared(&self, plan: &PlannedQuery) -> ExplainAnalyze {
+        let execute_started = Instant::now();
+        let (answers, op_stats, profiles) =
+            execute_profiled_with_morsel(plan.physical(), self.db(), self.morsel());
+        let execute_time = execute_started.elapsed();
+        let by_id: HashMap<u32, &NodeProfile> = profiles.iter().map(|p| (p.id, p)).collect();
+        let mut annotated = plan.physical().explain_annotated(&mut |node| {
+            by_id.get(&node.id()).map(|p| {
+                format!(
+                    "(rows={}, batches={}, tables_reused={}, time={:?})",
+                    p.rows,
+                    p.batches,
+                    p.tables_reused,
+                    Duration::from_nanos(p.nanos)
+                )
+            })
+        });
+        let footer = format!(
+            "execute {:?} · {} answer row(s)\n{}",
+            execute_time,
+            answers.len(),
+            op_stats.summary()
+        );
+        for line in footer.lines() {
+            annotated.push_str("-- ");
+            annotated.push_str(line);
+            annotated.push('\n');
+        }
+        ExplainAnalyze {
+            annotated,
+            profiles,
+            op_stats,
+            execute_time,
+            rows: answers.len(),
+        }
+    }
+}
+
+/// Saturating narrowing for trace fields (`u128` world/repair counters).
+fn clamp_u64(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// Wraps a recorded execute span into the root `query` span, with the plan
+/// phase (and the analyze + dispatch slice, when timed) attached — called by
+/// the entry points once `execute` has returned, because fallback paths
+/// recurse through `execute` and only the outermost call knows the whole
+/// query's shape. No-op when tracing is off.
+fn wrap_trace(report: &mut CertainReport, dispatch_time: Option<Duration>) {
+    if let Some(execute_span) = report.stats.trace.take() {
+        let mut plan_span = obs::Span::with_duration("plan", report.stats.plan_time);
+        plan_span.push_field("nulls", report.stats.nulls as u64);
+        if let Some(d) = dispatch_time {
+            plan_span.push_child(obs::Span::with_duration("analyze+dispatch", d));
+        }
+        let mut root = obs::Span::with_duration("query", report.stats.total_time);
+        root.push_child(plan_span);
+        root.push_child(execute_span);
+        report.stats.trace = Some(root);
     }
 }
 
@@ -1565,5 +1703,122 @@ mod tests {
         assert_eq!(report.stats.nulls, 1);
         assert!(report.stats.total_time >= report.stats.execute_time);
         assert!(report.to_string().contains("naive-exact"));
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_records_phase_spans_when_on() {
+        let db = orders_and_payments_example();
+        let untraced = Engine::new(&db).plan_text("project[#0](Order)").unwrap();
+        assert!(untraced.stats.trace.is_none(), "tracing is opt-in");
+
+        let engine = Engine::new(&db).options(EngineOptions::default().with_trace(true));
+        for (query, strategy) in [
+            ("project[#0](Order)", StrategyKind::NaiveExact),
+            (
+                "project[#0](Order) minus project[#1](Pay)",
+                StrategyKind::SymbolicCTable,
+            ),
+        ] {
+            let report = engine.plan_text(query).unwrap();
+            assert_eq!(report.strategy, strategy);
+            let trace = report.stats.trace.as_ref().expect("trace requested");
+            assert_eq!(trace.name, "query");
+            let plan = trace.find("plan").expect("plan phase span");
+            assert_eq!(plan.field_value("nulls"), Some(1));
+            assert!(
+                plan.find("analyze+dispatch").is_some(),
+                "planner dispatch is timed inside the plan span"
+            );
+            let execute = trace.find("execute").expect("execute phase span");
+            assert!(
+                execute.find(strategy.name()).is_some(),
+                "the strategy that answered names its span: {trace:?}"
+            );
+            assert!(trace.duration >= execute.duration);
+            assert_eq!(trace.duration, report.stats.total_time);
+        }
+    }
+
+    #[test]
+    fn worlds_trace_carries_per_shard_spans() {
+        let db = orders_and_payments_example();
+        let report = Engine::new(&db)
+            .options(EngineOptions::exhaustive().with_trace(true))
+            .ground_truth(&qparser::parse("project[#0](Order)").unwrap())
+            .unwrap();
+        assert_eq!(report.strategy, StrategyKind::WorldsGroundTruth);
+        let trace = report.stats.trace.as_ref().expect("trace requested");
+        let strategy = trace
+            .find("worlds-ground-truth")
+            .expect("strategy span present");
+        assert_eq!(
+            strategy.field_value("worlds_visited"),
+            report.stats.worlds_enumerated.map(|w| w as u64)
+        );
+        let shards: Vec<_> = strategy
+            .children
+            .iter()
+            .filter(|s| s.name == "shard")
+            .collect();
+        assert_eq!(
+            shards.len(),
+            report.stats.world_threads.unwrap(),
+            "one shard span per worker"
+        );
+        assert_eq!(shards[0].field_value("index"), Some(0));
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_node_and_times_nest() {
+        let db = orders_and_payments_example();
+        let engine = Engine::new(&db);
+        let ea = engine
+            .explain_analyze_text("project[#0](select[#0 = #2](product(Order, Pay)))")
+            .unwrap();
+        // Every operator line carries a measurement annotation.
+        for line in ea.annotated.lines().filter(|l| !l.starts_with("-- ")) {
+            assert!(
+                line.contains("(rows=") && line.contains("time="),
+                "unannotated operator line: {line}"
+            );
+        }
+        assert!(ea.annotated.contains("-- execute"));
+        // Profiles cover the whole plan; the root (id 0) completes last and
+        // its inclusive time bounds every node's and sits within the
+        // measured execution.
+        let root = *ea.root_profile().expect("non-empty plan");
+        assert_eq!(root.id, 0);
+        assert_eq!(
+            ea.profiles.len(),
+            ea.annotated
+                .lines()
+                .filter(|l| !l.starts_with("-- "))
+                .count()
+        );
+        for p in &ea.profiles {
+            assert!(p.nanos <= root.nanos, "inclusive times nest: {p:?}");
+        }
+        assert!(root.nanos <= ea.execute_time.as_nanos() as u64);
+        assert_eq!(root.rows, ea.rows);
+        // The measured run is the naïve ground core: its answer matches the
+        // naïve dispatch for this (exact-fragment) query.
+        let report = engine
+            .plan_text("project[#0](select[#0 = #2](product(Order, Pay)))")
+            .unwrap();
+        assert_eq!(ea.rows, report.answers.len());
+    }
+
+    #[test]
+    fn summaries_render_on_one_line() {
+        let db = orders_and_payments_example();
+        let report = Engine::new(&db)
+            .plan_text("project[#0](Order) minus project[#1](Pay)")
+            .unwrap();
+        let line = report.summary();
+        assert!(line.contains("symbolic-ctable"));
+        assert!(line.contains("exact"));
+        assert!(line.contains("solver calls"));
+        assert!(!line.contains('\n'));
+        assert!(!report.stats.summary().contains('\n'));
     }
 }

@@ -51,6 +51,11 @@ pub struct EngineOptions {
     /// long-lived services set this explicitly once at construction so
     /// batching is a per-service decision, not a process-global one.
     pub morsel_rows: Option<usize>,
+    /// Record a per-query span tree ([`obs::Span`]) into
+    /// [`crate::EngineStats::trace`]. Off by default: the disabled path is
+    /// a handful of `bool` branches at phase boundaries — no timers, no
+    /// allocation (the bench lane asserts < 5 % dispatch overhead).
+    pub trace: bool,
 }
 
 impl Default for EngineOptions {
@@ -63,6 +68,7 @@ impl Default for EngineOptions {
             world_options: WorldOptions::default(),
             repair_options: RepairOptions::default(),
             morsel_rows: None,
+            trace: false,
         }
     }
 }
@@ -126,6 +132,13 @@ impl EngineOptions {
         self
     }
 
+    /// Turns per-query trace recording on or off (see
+    /// [`EngineOptions::trace`]).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// A stable fingerprint of **every** option field, for result-cache
     /// keys: two option sets share a cached answer only when the
     /// fingerprints match, so a report computed under a starved budget (and
@@ -154,6 +167,7 @@ impl EngineOptions {
             .max_dnf_clauses
             .hash(&mut h);
         self.morsel_rows.hash(&mut h);
+        self.trace.hash(&mut h);
         h.finish()
     }
 }
@@ -172,6 +186,7 @@ mod tests {
         );
         assert!(opts.max_nulls >= 1);
         assert_eq!(opts.world_options, WorldOptions::default());
+        assert!(!opts.trace, "tracing is opt-in");
     }
 
     #[test]
@@ -182,9 +197,11 @@ mod tests {
             .with_max_dnf_clauses(7)
             .with_max_repairs(12)
             .with_morsel_rows(64)
+            .with_trace(true)
             .without_symbolic();
         assert!(opts.exhaustive);
         assert!(!opts.symbolic);
+        assert!(opts.trace);
         assert_eq!(opts.max_nulls, 3);
         assert_eq!(opts.world_options.max_worlds, 100);
         assert_eq!(opts.symbolic_options.max_dnf_clauses, 7);
@@ -209,6 +226,7 @@ mod tests {
             base.with_max_dnf_clauses(7),
             base.with_max_repairs(12),
             base.with_morsel_rows(64),
+            base.with_trace(true),
         ];
         for v in &variants {
             assert_ne!(

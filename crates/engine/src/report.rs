@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use relalgebra::analysis::{Diagnostic, NodeFacts};
 use relalgebra::classify::QueryClass;
-use releval::exec::OpStats;
+use releval::exec::{NodeProfile, OpStats};
 use releval::symbolic::PuntReason;
 use relmodel::Relation;
 
@@ -51,6 +51,18 @@ pub enum StrategyKind {
 }
 
 impl StrategyKind {
+    /// Every strategy, in declaration order — the registry the serving
+    /// layer's metrics pre-allocate their per-strategy histograms over.
+    pub const ALL: [StrategyKind; 7] = [
+        StrategyKind::NaiveExact,
+        StrategyKind::WorldsGroundTruth,
+        StrategyKind::ThreeValuedBaseline,
+        StrategyKind::SoundApproximation,
+        StrategyKind::SymbolicCTable,
+        StrategyKind::RepairEnumeration,
+        StrategyKind::ConflictFreeCore,
+    ];
+
     /// A short stable name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -432,6 +444,81 @@ pub struct EngineStats {
     /// The snapshot version the answer was computed against, when a
     /// snapshot-versioned service answered. `None` for a direct engine call.
     pub snapshot_version: Option<u64>,
+    /// The query's span tree — phase timings (plan, analyze + dispatch,
+    /// execute), the executed strategy with its counters as span fields, and
+    /// one child span per worker shard of an enumeration fold. Recorded only
+    /// when [`crate::EngineOptions::trace`] is on; `None` otherwise, so the
+    /// disabled path allocates nothing.
+    pub trace: Option<obs::Span>,
+}
+
+impl EngineStats {
+    /// A one-line rendering of the run: phase times, enumeration/cache
+    /// flags, and the degradation marker — the log-line counterpart of the
+    /// full `Debug` dump, used by the serve tour and the bench harness.
+    pub fn summary(&self) -> String {
+        use fmt::Write as _;
+        let mut out = format!(
+            "plan {:?} · exec {:?} · total {:?}",
+            self.plan_time, self.execute_time, self.total_time
+        );
+        if let Some(worlds) = self.worlds_enumerated {
+            let _ = write!(out, " · worlds {worlds}");
+        }
+        if let Some(calls) = self.solver_calls {
+            let _ = write!(out, " · solver calls {calls}");
+        }
+        if let Some(repairs) = self.repairs_enumerated {
+            let _ = write!(out, " · repairs {repairs}");
+        }
+        if self.degraded {
+            out.push_str(" · degraded");
+        }
+        if self.cache_hit {
+            out.push_str(" · cache hit");
+        } else if self.plan_cache_hit {
+            out.push_str(" · plan cache hit");
+        }
+        if let Some(version) = self.snapshot_version {
+            let _ = write!(out, " · v{version}");
+        }
+        out
+    }
+}
+
+/// The result of [`crate::Engine::explain_analyze`]: the physical plan with
+/// measured per-node execution spliced into each operator line, plus the raw
+/// profiles for programmatic use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainAnalyze {
+    /// The annotated `EXPLAIN` rendering — each operator line carries
+    /// `(rows=…, batches=…, tables_reused=…, time=…)` — followed by a
+    /// `-- `-prefixed footer with the whole run's time, answer size, and
+    /// aggregate operator telemetry.
+    pub annotated: String,
+    /// The per-node profiles, in completion (post) order — the root last.
+    /// Times are inclusive of each node's subtree.
+    pub profiles: Vec<NodeProfile>,
+    /// Aggregate operator telemetry for the measured run.
+    pub op_stats: OpStats,
+    /// Wall-clock of the measured execution (the root profile's time is
+    /// within this; the difference is final result materialization).
+    pub execute_time: Duration,
+    /// Rows in the measured (naïve, set-semantics) answer.
+    pub rows: usize,
+}
+
+impl ExplainAnalyze {
+    /// The profile of the plan's root node, when the plan is non-empty.
+    pub fn root_profile(&self) -> Option<&NodeProfile> {
+        self.profiles.last()
+    }
+}
+
+impl fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.annotated)
+    }
 }
 
 /// The engine's answer to a query: the tuples, the strategy that produced
@@ -474,6 +561,19 @@ impl CertainReport {
         } else {
             None
         }
+    }
+
+    /// One line saying what was answered and how: strategy, guarantee,
+    /// answer size, and the stats summary. The serve and observe tours print
+    /// this instead of hand-assembling the same fields.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | {} | {} tuple(s) | {}",
+            self.strategy,
+            self.guarantee,
+            self.answers.len(),
+            self.stats.summary()
+        )
     }
 }
 

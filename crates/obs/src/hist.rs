@@ -1,0 +1,241 @@
+//! Lock-free log-bucketed histograms for latency recording.
+//!
+//! Values (nanoseconds, by convention) land in power-of-two buckets: bucket
+//! 0 holds exactly 0, bucket `i ≥ 1` holds `[2^(i-1), 2^i - 1]`. Recording
+//! is one relaxed `fetch_add` on an `AtomicU64` — no locks, no tearing, no
+//! lost counts under contention — and quantile queries walk a point-in-time
+//! [`HistogramSnapshot`]. A log bucket's relative error is bounded by 2×,
+//! which is exactly what p50/p95/p99 tail tracking needs and nothing more.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero, one per power of two up to `2^63`, and
+/// a top bucket for `[2^63, u64::MAX]`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, `floor(log2(v)) + 1` otherwise.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[low, high]` range of values a bucket holds.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket {index} out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A lock-free log-bucketed histogram. Record from any thread; snapshot for
+/// quantiles.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed atomics; nothing to contend on).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the bucket counts. Buckets are sampled
+    /// individually, so a snapshot taken mid-record can be off by the
+    /// records straddling it — fine for telemetry, not an audit log.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (out, c) in counts.iter_mut().zip(&self.counts) {
+            *out = c.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total values in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The count in one bucket (for tests and exporters).
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), reported as the **upper bound** of
+    /// the bucket holding the rank — an over-estimate by at most 2×, and
+    /// monotone in `q` by construction (ranks only grow, and bucket upper
+    /// bounds grow with the bucket index). Returns 0 on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The 1-based rank of the quantile value among the sorted records.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (upper bucket bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Zero is its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        // 1 starts bucket 1; every power of two starts a fresh bucket and
+        // the value below it ends the previous one.
+        assert_eq!(bucket_index(1), 1);
+        for i in 1..=62usize {
+            let low = 1u64 << (i - 1);
+            assert_eq!(bucket_index(low), i, "2^{} starts bucket {i}", i - 1);
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, low);
+            assert_eq!(hi, (1 << i) - 1);
+            assert_eq!(bucket_index(hi), i, "top of bucket {i} stays inside");
+            assert_eq!(bucket_index(hi + 1), i + 1, "one past rolls over");
+        }
+        // The top bucket swallows everything from 2^63 up.
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn records_land_in_their_buckets() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.bucket_count(0), 1); // 0
+        assert_eq!(s.bucket_count(1), 1); // 1
+        assert_eq!(s.bucket_count(2), 2); // 2, 3
+        assert_eq!(s.bucket_count(3), 1); // 4
+        assert_eq!(s.bucket_count(bucket_index(1000)), 1);
+        assert_eq!(s.bucket_count(64), 1); // u64::MAX
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // A deterministic spread across many buckets.
+                        h.record(((t * PER_THREAD + i) as u64 * 2654435761) % 1_000_000);
+                    }
+                });
+            }
+        });
+        // Serial reference: identical records, one thread.
+        let reference = Histogram::new();
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                reference.record(((t * PER_THREAD + i) as u64 * 2654435761) % 1_000_000);
+            }
+        }
+        let got = h.snapshot();
+        let want = reference.snapshot();
+        assert_eq!(got.count(), (THREADS * PER_THREAD) as u64);
+        assert_eq!(got, want, "concurrent and serial recording agree exactly");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 37 % 50_000);
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let values: Vec<u64> = qs.iter().map(|&q| s.quantile(q)).collect();
+        for pair in values.windows(2) {
+            assert!(pair[0] <= pair[1], "quantile snapshot must be monotone");
+        }
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+    }
+
+    #[test]
+    fn quantile_edges_and_empty() {
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.p99(), 0);
+        let h = Histogram::new();
+        h.record(7);
+        let s = h.snapshot();
+        // One record: every quantile reports its bucket's upper bound.
+        assert_eq!(s.quantile(0.0), bucket_bounds(bucket_index(7)).1);
+        assert_eq!(s.quantile(1.0), bucket_bounds(bucket_index(7)).1);
+        assert_eq!(s.sum(), 7);
+    }
+}

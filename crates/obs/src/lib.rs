@@ -1,0 +1,41 @@
+//! Observability substrate for the certain-answer engine and serving layer.
+//!
+//! The engine spans five strategies, a split executor, and a concurrent
+//! serving layer; this crate is the shared vocabulary for seeing what all of
+//! that actually did:
+//!
+//! * [`Span`] — a tree of named phases with wall times and integer fields,
+//!   the unit of a **query trace**. The engine records one per traced call
+//!   (`parse` / `plan` / `execute` / per-shard fold spans); the serving layer
+//!   keeps the slow ones.
+//! * [`Recorder`] — the cheap on/off handle the engine threads through its
+//!   phases. Disabled, every operation is a branch on a `bool` and allocates
+//!   nothing, which is what keeps tracing-off overhead under the 5% gate the
+//!   dispatch bench asserts.
+//! * [`Histogram`] — a lock-free, log-bucketed latency histogram
+//!   (power-of-two buckets, relaxed atomic counters) with p50/p95/p99
+//!   [`Histogram::snapshot`]s; safe to record into from any number of
+//!   threads with no tearing and no lost counts.
+//! * [`MetricsRegistry`] — a fixed-at-construction set of labelled
+//!   histograms and gauges, rendered as a Prometheus-style text page
+//!   ([`MetricsRegistry::render_text`]) or a single BENCH-compatible JSON
+//!   line ([`MetricsRegistry::render_json`]).
+//! * [`SlowQueryRing`] — a bounded ring of the last N slow entries, each
+//!   pushed whole under one short lock so concurrent readers never observe
+//!   a torn trace.
+//!
+//! Everything here is `std`-only and unsafe-free; the histograms are plain
+//! `AtomicU64` arrays, not platform tricks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod ring;
+mod span;
+
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricsRegistry, RegistryBuilder};
+pub use ring::SlowQueryRing;
+pub use span::{Recorder, Span, SpanTimer};

@@ -1,0 +1,323 @@
+//! A fixed-shape metrics registry: labelled latency histograms plus gauges,
+//! exported as Prometheus-style text or one BENCH-compatible JSON line.
+//!
+//! The label space is declared once, at construction, which is what keeps
+//! the hot path lock-free: recording scans an immutable vector of entries
+//! (a dozen for the serving layer's {strategy} × {hit, miss} grid) and
+//! bumps atomics. There is no dynamic label interning and no hashing —
+//! deliberately, because a serving layer knows its strategies up front.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::Histogram;
+
+struct HistEntry {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+    hist: Histogram,
+}
+
+struct GaugeEntry {
+    name: &'static str,
+    /// `f64` bits; gauges are set, not accumulated.
+    value: AtomicU64,
+}
+
+/// Declares the shape of a [`MetricsRegistry`] before any recording starts.
+#[derive(Default)]
+pub struct RegistryBuilder {
+    hists: Vec<HistEntry>,
+    gauges: Vec<GaugeEntry>,
+}
+
+impl RegistryBuilder {
+    /// Declares a histogram under `name` with a fixed label set.
+    pub fn histogram(
+        mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> RegistryBuilder {
+        self.hists.push(HistEntry {
+            name,
+            labels: labels.iter().map(|(k, v)| (*k, (*v).to_owned())).collect(),
+            hist: Histogram::new(),
+        });
+        self
+    }
+
+    /// Declares a gauge under `name`, initially 0.
+    pub fn gauge(mut self, name: &'static str) -> RegistryBuilder {
+        self.gauges.push(GaugeEntry {
+            name,
+            value: AtomicU64::new(0f64.to_bits()),
+        });
+        self
+    }
+
+    /// Freezes the shape.
+    pub fn build(self) -> MetricsRegistry {
+        MetricsRegistry {
+            hists: self.hists,
+            gauges: self.gauges,
+        }
+    }
+}
+
+/// A frozen set of labelled histograms and gauges. All methods take `&self`;
+/// share it across threads as-is.
+pub struct MetricsRegistry {
+    hists: Vec<HistEntry>,
+    gauges: Vec<GaugeEntry>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("histograms", &self.hists.len())
+            .field("gauges", &self.gauges.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Starts declaring a registry.
+    pub fn builder() -> RegistryBuilder {
+        RegistryBuilder::default()
+    }
+
+    /// Records `value` into the histogram with exactly these labels.
+    /// Unknown (name, labels) combinations are dropped silently — the shape
+    /// was frozen at construction, and a telemetry path must never panic a
+    /// query.
+    pub fn record(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if let Some(entry) = self.find(name, labels) {
+            entry.hist.record(value);
+        }
+    }
+
+    /// Total values recorded into the histogram with these labels.
+    pub fn histogram_count(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.find(name, labels).map_or(0, |e| e.hist.count())
+    }
+
+    /// A quantile snapshot of the histogram with these labels:
+    /// `(p50, p95, p99)` in recorded units. All zeros when empty or unknown.
+    pub fn quantiles(&self, name: &str, labels: &[(&str, &str)]) -> (u64, u64, u64) {
+        self.find(name, labels).map_or((0, 0, 0), |e| {
+            let s = e.hist.snapshot();
+            (s.p50(), s.p95(), s.p99())
+        })
+    }
+
+    /// Sets a gauge (no-op for names not declared at construction).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.iter().find(|g| g.name == name) {
+            g.value.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a gauge back.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| f64::from_bits(g.value.load(Ordering::Relaxed)))
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistEntry> {
+        self.hists.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+        })
+    }
+
+    /// The Prometheus-style text page: per histogram, `quantile`-labelled
+    /// gauge lines plus `_count`/`_sum`; then the plain gauges. Histograms
+    /// with no records are omitted (scrapes stay readable; the shape is
+    /// still queryable programmatically).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.hists {
+            let snap = e.hist.snapshot();
+            if snap.count() == 0 {
+                continue;
+            }
+            for (q, v) in [
+                ("0.5", snap.p50()),
+                ("0.95", snap.p95()),
+                ("0.99", snap.p99()),
+            ] {
+                let _ = writeln!(out, "{}{} {}", e.name, render_labels(&e.labels, Some(q)), v);
+            }
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                e.name,
+                render_labels(&e.labels, None),
+                snap.count()
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                e.name,
+                render_labels(&e.labels, None),
+                snap.sum()
+            );
+        }
+        for g in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{} {}",
+                g.name,
+                f64::from_bits(g.value.load(Ordering::Relaxed))
+            );
+        }
+        out
+    }
+
+    /// One JSON object on one line — the shape the bench lanes emit as
+    /// `BENCH {…}` artifact lines. Empty histograms are omitted, like the
+    /// text page.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"histograms\":[");
+        let mut first = true;
+        for e in &self.hists {
+            let snap = e.hist.snapshot();
+            if snap.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{{\"name\":\"{}\",\"labels\":{{", e.name);
+            for (i, (k, v)) in e.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":\"{v}\"");
+            }
+            let _ = write!(
+                out,
+                "}},\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                snap.count(),
+                snap.sum(),
+                snap.p50(),
+                snap.p95(),
+                snap.p99()
+            );
+        }
+        out.push_str("],\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{}",
+                g.name,
+                f64::from_bits(g.value.load(Ordering::Relaxed))
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn render_labels(labels: &[(&'static str, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> MetricsRegistry {
+        MetricsRegistry::builder()
+            .histogram("latency_ns", &[("strategy", "naive"), ("cache", "hit")])
+            .histogram("latency_ns", &[("strategy", "naive"), ("cache", "miss")])
+            .gauge("snapshot_age_seconds")
+            .build()
+    }
+
+    #[test]
+    fn records_route_by_label_and_unknowns_drop() {
+        let reg = grid();
+        reg.record(
+            "latency_ns",
+            &[("strategy", "naive"), ("cache", "hit")],
+            100,
+        );
+        reg.record(
+            "latency_ns",
+            &[("strategy", "naive"), ("cache", "hit")],
+            200,
+        );
+        reg.record(
+            "latency_ns",
+            &[("strategy", "naive"), ("cache", "miss")],
+            1000,
+        );
+        // Unknown strategy: dropped, not panicked.
+        reg.record("latency_ns", &[("strategy", "other"), ("cache", "hit")], 5);
+        assert_eq!(
+            reg.histogram_count("latency_ns", &[("strategy", "naive"), ("cache", "hit")]),
+            2
+        );
+        assert_eq!(
+            reg.histogram_count("latency_ns", &[("strategy", "naive"), ("cache", "miss")]),
+            1
+        );
+        let (p50, p95, p99) =
+            reg.quantiles("latency_ns", &[("strategy", "naive"), ("cache", "miss")]);
+        assert!((1000..=2048).contains(&p50));
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn gauges_set_and_read() {
+        let reg = grid();
+        assert_eq!(reg.gauge("snapshot_age_seconds"), Some(0.0));
+        reg.set_gauge("snapshot_age_seconds", 2.5);
+        assert_eq!(reg.gauge("snapshot_age_seconds"), Some(2.5));
+        reg.set_gauge("nope", 1.0);
+        assert_eq!(reg.gauge("nope"), None);
+    }
+
+    #[test]
+    fn text_and_json_render_recorded_series() {
+        let reg = grid();
+        reg.record(
+            "latency_ns",
+            &[("strategy", "naive"), ("cache", "hit")],
+            100,
+        );
+        reg.set_gauge("snapshot_age_seconds", 1.5);
+        let text = reg.render_text();
+        assert!(
+            text.contains("latency_ns{strategy=\"naive\",cache=\"hit\",quantile=\"0.5\"}"),
+            "got: {text}"
+        );
+        assert!(text.contains("latency_ns_count{strategy=\"naive\",cache=\"hit\"} 1"));
+        assert!(text.contains("snapshot_age_seconds 1.5"));
+        // The empty miss histogram is omitted.
+        assert!(!text.contains("cache=\"miss\""));
+        let json = reg.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'), "one line for BENCH artifacts");
+        assert!(json.contains("\"count\":1"), "got: {json}");
+        assert!(json.contains("\"snapshot_age_seconds\":1.5"), "got: {json}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Query-trace spans: a tree of named phases with wall times and counters.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One phase of a traced query: a name, how long it took, integer fields
+/// (the engine attaches its existing counters — worlds visited, solver
+/// calls, batches — as fields), and child phases.
+///
+/// Spans are plain data: building them is explicit, cloning them is cheap
+/// relative to the work they describe, and they derive `Eq` so reports that
+/// carry them stay comparable in tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (`"query"`, `"plan"`, `"execute"`, a strategy name,
+    /// `"shard"`, …). Static so building a span never allocates for the
+    /// name.
+    pub name: &'static str,
+    /// Wall time the phase took.
+    pub duration: Duration,
+    /// Counters attached to the phase, in insertion order.
+    pub fields: Vec<(&'static str, u64)>,
+    /// Sub-phases, in execution order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// An empty span with a name and no duration yet.
+    pub fn new(name: &'static str) -> Span {
+        Span {
+            name,
+            ..Span::default()
+        }
+    }
+
+    /// A span with a name and a measured duration.
+    pub fn with_duration(name: &'static str, duration: Duration) -> Span {
+        Span {
+            name,
+            duration,
+            ..Span::default()
+        }
+    }
+
+    /// Attaches a counter field (builder style).
+    pub fn field(mut self, key: &'static str, value: u64) -> Span {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Attaches a counter field in place.
+    pub fn push_field(&mut self, key: &'static str, value: u64) {
+        self.fields.push((key, value));
+    }
+
+    /// Appends a child phase.
+    pub fn push_child(&mut self, child: Span) {
+        self.children.push(child);
+    }
+
+    /// Depth-first search for the first span named `name` (including self).
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// The value of the first field named `key` on this span.
+    pub fn field_value(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Total spans in the tree rooted here (including self).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(Span::span_count).sum::<usize>()
+    }
+
+    /// Renders the tree as indented text, one span per line:
+    /// `name  1.23ms  [key=value, …]`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, indent: usize, out: &mut String) {
+        use fmt::Write as _;
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        let _ = write!(out, "{}  {:?}", self.name, self.duration);
+        if !self.fields.is_empty() {
+            let fields: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let _ = write!(out, "  [{}]", fields.join(", "));
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(indent + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The on/off handle traced code paths branch on. `Copy` and two bytes big:
+/// passing it around costs nothing, and every operation on a disabled
+/// recorder is a single branch with no allocation — the property the
+/// dispatch bench's <5% tracing-off overhead gate rests on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Recorder {
+    enabled: bool,
+}
+
+impl Recorder {
+    /// A recorder that records.
+    pub fn enabled() -> Recorder {
+        Recorder { enabled: true }
+    }
+
+    /// A recorder on which every operation is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder { enabled: false }
+    }
+
+    /// A recorder that records iff `enabled`.
+    pub fn when(enabled: bool) -> Recorder {
+        Recorder { enabled }
+    }
+
+    /// Is this recorder recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing a span. Disabled, the returned timer holds nothing and
+    /// [`SpanTimer::finish`] returns `None` without ever reading the clock.
+    pub fn start(&self, name: &'static str) -> SpanTimer {
+        SpanTimer {
+            inner: self.enabled.then(|| (name, Instant::now())),
+        }
+    }
+}
+
+/// An in-flight span: created by [`Recorder::start`], turned into a [`Span`]
+/// by [`SpanTimer::finish`]. Holds `None` when the recorder was disabled.
+#[derive(Debug)]
+pub struct SpanTimer {
+    inner: Option<(&'static str, Instant)>,
+}
+
+impl SpanTimer {
+    /// Stops the clock and builds the span; `None` when tracing is off.
+    pub fn finish(self) -> Option<Span> {
+        self.inner
+            .map(|(name, started)| Span::with_duration(name, started.elapsed()))
+    }
+
+    /// Is this timer actually timing?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_build_and_render_as_a_tree() {
+        let mut root = Span::with_duration("query", Duration::from_millis(3));
+        let plan = Span::with_duration("plan", Duration::from_millis(1)).field("nulls", 2);
+        let mut exec = Span::with_duration("execute", Duration::from_millis(2));
+        exec.push_child(Span::with_duration("shard", Duration::from_millis(1)).field("index", 0));
+        root.push_child(plan);
+        root.push_child(exec);
+
+        assert_eq!(root.span_count(), 4);
+        assert_eq!(root.find("shard").unwrap().field_value("index"), Some(0));
+        assert!(root.find("nope").is_none());
+        let text = root.render();
+        assert!(text.starts_with("query"), "got: {text}");
+        assert!(text.contains("[nulls=2]"), "got: {text}");
+        let shard_line = text.lines().find(|l| l.contains("shard")).unwrap();
+        assert!(
+            shard_line.starts_with("    "),
+            "shard is two levels deep: {shard_line:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_produces_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let timer = rec.start("phase");
+        assert!(!timer.is_recording());
+        assert_eq!(timer.finish(), None);
+    }
+
+    #[test]
+    fn enabled_recorder_times_a_span() {
+        let rec = Recorder::when(true);
+        let timer = rec.start("phase");
+        assert!(timer.is_recording());
+        let span = timer.finish().unwrap();
+        assert_eq!(span.name, "phase");
+    }
+}

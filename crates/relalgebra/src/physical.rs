@@ -34,11 +34,15 @@ use crate::predicate::{Operand, Predicate};
 use crate::typecheck::{output_arity, TypeError};
 
 /// A node of the physical operator tree: the operator plus its output arity
-/// (annotated during lowering so rewrites and executors never re-derive it).
+/// (annotated during lowering so rewrites and executors never re-derive it)
+/// and a plan-unique node id (assigned in preorder after rewriting, for
+/// trace/profile attribution — `EXPLAIN ANALYZE` joins per-node timings back
+/// to the plan by this id).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysNode {
     op: PhysOp,
     arity: usize,
+    id: u32,
 }
 
 /// A physical operator. Children are boxed [`PhysNode`]s.
@@ -126,8 +130,50 @@ impl PhysNode {
         self.arity
     }
 
+    /// The node's plan-unique id: preorder position in the **rewritten**
+    /// plan, assigned by [`PhysicalPlan::lower_unchecked`]. Deterministic
+    /// for a given query and schema, so equal plans carry equal ids.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The node's direct children, left to right.
+    pub fn children(&self) -> Vec<&PhysNode> {
+        match &self.op {
+            PhysOp::Scan(_) | PhysOp::Values(_) | PhysOp::Delta => Vec::new(),
+            PhysOp::Filter { input, .. } | PhysOp::Project { input, .. } => vec![input],
+            PhysOp::NestedProduct { left, right }
+            | PhysOp::HashJoin { left, right, .. }
+            | PhysOp::Union { left, right }
+            | PhysOp::Difference { left, right }
+            | PhysOp::Intersect { left, right }
+            | PhysOp::Divide { left, right } => vec![left, right],
+        }
+    }
+
     fn new(op: PhysOp, arity: usize) -> Self {
-        PhysNode { op, arity }
+        PhysNode { op, arity, id: 0 }
+    }
+
+    /// Preorder id assignment over the rewritten tree.
+    fn assign_ids(&mut self, next: &mut u32) {
+        self.id = *next;
+        *next += 1;
+        match &mut self.op {
+            PhysOp::Scan(_) | PhysOp::Values(_) | PhysOp::Delta => {}
+            PhysOp::Filter { input, .. } | PhysOp::Project { input, .. } => {
+                input.assign_ids(next);
+            }
+            PhysOp::NestedProduct { left, right }
+            | PhysOp::HashJoin { left, right, .. }
+            | PhysOp::Union { left, right }
+            | PhysOp::Difference { left, right }
+            | PhysOp::Intersect { left, right }
+            | PhysOp::Divide { left, right } => {
+                left.assign_ids(next);
+                right.assign_ids(next);
+            }
+        }
     }
 
     /// Number of operator nodes in the subtree rooted here.
@@ -144,74 +190,53 @@ impl PhysNode {
         }
     }
 
-    fn render(&self, indent: usize, out: &mut String) {
-        use fmt::Write as _;
-        for _ in 0..indent {
-            out.push_str("  ");
-        }
+    /// The one-line `EXPLAIN` label for this operator (no children, no
+    /// indentation) — the exact strings the plain rendering has always used.
+    pub fn op_label(&self) -> String {
         match &self.op {
-            PhysOp::Scan(name) => {
-                let _ = writeln!(out, "scan {name}");
-            }
+            PhysOp::Scan(name) => format!("scan {name}"),
             PhysOp::Values(rel) => {
-                let _ = writeln!(out, "values [{} col(s), {} row(s)]", rel.arity(), rel.len());
+                format!("values [{} col(s), {} row(s)]", rel.arity(), rel.len())
             }
-            PhysOp::Delta => {
-                let _ = writeln!(out, "Δ");
-            }
-            PhysOp::Filter { input, predicate } => {
-                let _ = writeln!(out, "σ[{predicate}]");
-                input.render(indent + 1, out);
-            }
-            PhysOp::Project { input, columns } => {
+            PhysOp::Delta => "Δ".to_string(),
+            PhysOp::Filter { predicate, .. } => format!("σ[{predicate}]"),
+            PhysOp::Project { columns, .. } => {
                 let cols: Vec<String> = columns.iter().map(|c| format!("#{c}")).collect();
-                let _ = writeln!(out, "π[{}]", cols.join(","));
-                input.render(indent + 1, out);
+                format!("π[{}]", cols.join(","))
             }
-            PhysOp::NestedProduct { left, right } => {
-                let _ = writeln!(out, "×");
-                left.render(indent + 1, out);
-                right.render(indent + 1, out);
-            }
-            PhysOp::HashJoin {
-                left,
-                right,
-                keys,
-                residual,
-            } => {
+            PhysOp::NestedProduct { .. } => "×".to_string(),
+            PhysOp::HashJoin { keys, residual, .. } => {
                 let keys: Vec<String> =
                     keys.iter().map(|(l, r)| format!("l#{l} = r#{r}")).collect();
                 match residual {
-                    Some(p) => {
-                        let _ = writeln!(out, "hash-join [{}] residual σ[{p}]", keys.join(", "));
-                    }
-                    None => {
-                        let _ = writeln!(out, "hash-join [{}]", keys.join(", "));
-                    }
+                    Some(p) => format!("hash-join [{}] residual σ[{p}]", keys.join(", ")),
+                    None => format!("hash-join [{}]", keys.join(", ")),
                 }
-                left.render(indent + 1, out);
-                right.render(indent + 1, out);
             }
-            PhysOp::Union { left, right } => {
-                let _ = writeln!(out, "∪");
-                left.render(indent + 1, out);
-                right.render(indent + 1, out);
-            }
-            PhysOp::Difference { left, right } => {
-                let _ = writeln!(out, "−");
-                left.render(indent + 1, out);
-                right.render(indent + 1, out);
-            }
-            PhysOp::Intersect { left, right } => {
-                let _ = writeln!(out, "∩");
-                left.render(indent + 1, out);
-                right.render(indent + 1, out);
-            }
-            PhysOp::Divide { left, right } => {
-                let _ = writeln!(out, "÷");
-                left.render(indent + 1, out);
-                right.render(indent + 1, out);
-            }
+            PhysOp::Union { .. } => "∪".to_string(),
+            PhysOp::Difference { .. } => "−".to_string(),
+            PhysOp::Intersect { .. } => "∩".to_string(),
+            PhysOp::Divide { .. } => "÷".to_string(),
+        }
+    }
+
+    fn render(
+        &self,
+        indent: usize,
+        out: &mut String,
+        annotate: &mut dyn FnMut(&PhysNode) -> Option<String>,
+    ) {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        out.push_str(&self.op_label());
+        if let Some(note) = annotate(self) {
+            out.push(' ');
+            out.push_str(&note);
+        }
+        out.push('\n');
+        for child in self.children() {
+            child.render(indent + 1, out, annotate);
         }
     }
 }
@@ -232,9 +257,13 @@ impl PhysicalPlan {
     /// Lowers an expression already known to typecheck against `schema`
     /// (what [`crate::plan::PlannedQuery`] guarantees).
     pub fn lower_unchecked(expr: &RaExpr, schema: &Schema) -> PhysicalPlan {
-        PhysicalPlan {
-            root: optimize(translate(expr, schema)),
-        }
+        let mut root = optimize(translate(expr, schema));
+        // Ids are assigned in preorder over the *rewritten* tree, so every
+        // node carries a stable, plan-unique handle for profile attribution
+        // and equal plans (same query, same schema) get equal ids.
+        let mut next = 0u32;
+        root.assign_ids(&mut next);
+        PhysicalPlan { root }
     }
 
     /// The root operator.
@@ -272,7 +301,21 @@ impl PhysicalPlan {
     /// The indented `EXPLAIN` rendering of the operator tree.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.root.render(0, &mut out);
+        self.root.render(0, &mut out, &mut |_| None);
+        out
+    }
+
+    /// The `EXPLAIN` rendering with a per-node annotation appended to each
+    /// operator line (when `annotate` returns `Some`). This is the hook
+    /// `EXPLAIN ANALYZE` uses to splice measured row counts and timings into
+    /// the plan text: the callback receives each node (with its
+    /// [`PhysNode::id`]) in render order and returns the suffix for its line.
+    pub fn explain_annotated(
+        &self,
+        annotate: &mut dyn FnMut(&PhysNode) -> Option<String>,
+    ) -> String {
+        let mut out = String::new();
+        self.root.render(0, &mut out, annotate);
         out
     }
 
@@ -750,5 +793,39 @@ mod tests {
     fn true_filters_disappear() {
         let q = RaExpr::relation("R").select(Predicate::True);
         assert_eq!(lower(&q).explain(), "scan R\n");
+    }
+
+    #[test]
+    fn node_ids_are_preorder_and_stable() {
+        let q = RaExpr::relation("R")
+            .equi_join(RaExpr::relation("S"), &[(1, 0)], 2)
+            .project(vec![0]);
+        let plan = lower(&q);
+        // Preorder: root gets 0, ids cover 0..operator_count contiguously.
+        let mut seen = Vec::new();
+        fn walk(node: &PhysNode, seen: &mut Vec<u32>) {
+            seen.push(node.id());
+            for child in node.children() {
+                walk(child, seen);
+            }
+        }
+        walk(plan.root(), &mut seen);
+        let expected: Vec<u32> = (0..plan.operator_count() as u32).collect();
+        assert_eq!(seen, expected);
+        // Same query, same schema → same ids (derived PartialEq still holds).
+        assert_eq!(plan, lower(&q));
+    }
+
+    #[test]
+    fn explain_annotated_splices_per_node_suffixes() {
+        let q = RaExpr::relation("R").equi_join(RaExpr::relation("S"), &[(1, 0)], 2);
+        let plan = lower(&q);
+        // Annotating nothing reproduces the plain rendering exactly.
+        assert_eq!(plan.explain_annotated(&mut |_| None), plan.explain());
+        let annotated = plan.explain_annotated(&mut |node| Some(format!("(#{})", node.id())));
+        assert_eq!(
+            annotated,
+            "hash-join [l#1 = r#0] (#0)\n  scan R (#1)\n  scan S (#2)\n"
+        );
     }
 }

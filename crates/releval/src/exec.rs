@@ -182,6 +182,32 @@ pub fn explain_executed(plan: &PhysicalPlan, stats: &OpStats) -> String {
     plan.explain_with_footer(&stats.summary())
 }
 
+/// What one physical operator did during a profiled execution — the
+/// per-node record behind `EXPLAIN ANALYZE`.
+///
+/// All counters are **inclusive** of the node's subtree (Postgres-style):
+/// a parent's `nanos` covers its children's, so sibling subtrees can be
+/// compared directly and the root's time is the whole execution. Wall-clock
+/// lives here and deliberately **not** in [`OpStats`], which the
+/// differential tests compare with `Eq` across executors and must stay
+/// deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// The plan-unique preorder id of the node
+    /// ([`relalgebra::physical::PhysNode::id`]).
+    pub id: u32,
+    /// Rows the node emitted (post-dedup, pre-parent).
+    pub rows: usize,
+    /// Morsel chunks processed in the subtree rooted here.
+    pub batches: usize,
+    /// Hash tables constructed in the subtree rooted here.
+    pub tables_built: usize,
+    /// Hash-table cache hits in the subtree rooted here.
+    pub tables_reused: usize,
+    /// Inclusive wall-clock for the subtree, in nanoseconds.
+    pub nanos: u64,
+}
+
 /// Executes a physical plan over a database under **syntactic** value
 /// equality (nulls are ordinary values) — the evaluation the naïve,
 /// complete, and per-world strategies share.
@@ -581,6 +607,20 @@ mod tests {
         assert!(text.contains("symbolic rows 46"), "summary: {text}");
         assert!(text.contains("tables built 58"), "summary: {text}");
         assert!(text.contains("tables reused 62"), "summary: {text}");
+        // The array conversions are inverses — a reordered destructuring
+        // would survive the doubling check above but not this roundtrip.
+        assert_eq!(OpStats::from_array(a.to_array()), a);
+        // The same summary (table counters included) reaches the
+        // `explain_executed` footer verbatim, `-- `-prefixed per line.
+        let d = db();
+        let plan = PlannedQuery::new(RaExpr::relation("R"), d.schema()).unwrap();
+        let footer = explain_executed(plan.physical(), &merged);
+        for line in merged.summary().lines() {
+            assert!(
+                footer.contains(&format!("-- {line}")),
+                "footer must carry every summary line: {footer}"
+            );
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ use relmodel::batch::{morsel_ranges, morsel_rows, ColumnBatch};
 use relmodel::value::{Constant, Value};
 use relmodel::{Database, Relation};
 
-use super::OpStats;
+use super::{NodeProfile, OpStats};
 
 /// Executes a physical plan over a database under **syntactic** value
 /// equality, on the batched core — the columnar counterpart of
@@ -75,9 +75,36 @@ pub fn execute_counted_with_morsel(
         delta: None,
         morsel: morsel.max(1),
         stats: OpStats::default(),
+        profile: None,
     };
     let out = exec.eval(plan.root());
     (out.to_relation(), exec.stats)
+}
+
+/// [`execute_counted_with_morsel`] plus a per-node [`NodeProfile`] for every
+/// operator in the plan — the measurement pass behind `EXPLAIN ANALYZE`.
+///
+/// Profiles are **inclusive** (a node's time/batches cover its whole
+/// subtree, Postgres-style) and keyed by [`PhysNode::id`]; they are emitted
+/// in completion (post) order, so the root is last. Wall-clock lives here
+/// and *not* in [`OpStats`], which stays deterministic and `Eq`-comparable
+/// across executors.
+pub fn execute_profiled_with_morsel(
+    plan: &PhysicalPlan,
+    db: &Database,
+    morsel: usize,
+) -> (Relation, OpStats, Vec<NodeProfile>) {
+    let mut exec = ColumnarExec {
+        db,
+        scans: HashMap::new(),
+        delta: None,
+        morsel: morsel.max(1),
+        stats: OpStats::default(),
+        profile: Some(Vec::with_capacity(plan.operator_count())),
+    };
+    let out = exec.eval(plan.root());
+    let profiles = exec.profile.take().expect("profiling was requested");
+    (out.to_relation(), exec.stats, profiles)
 }
 
 /// [`execute`] with a caller-provided stats accumulator — the worlds
@@ -97,12 +124,41 @@ struct ColumnarExec<'a> {
     delta: Option<Rc<ColumnBatch>>,
     morsel: usize,
     stats: OpStats,
+    /// When `Some`, every `eval` appends an inclusive [`NodeProfile`] for
+    /// the node it just finished. `None` costs one branch per operator —
+    /// nothing on the per-row path.
+    profile: Option<Vec<NodeProfile>>,
 }
 
 impl<'a> ColumnarExec<'a> {
-    /// Evaluates a node to a duplicate-free batch (leaves are sets; every
-    /// operator preserves the invariant, deduplicating where it must).
+    /// Evaluates a node to a duplicate-free batch, recording an inclusive
+    /// per-node profile when profiling is on.
     fn eval(&mut self, node: &'a PhysNode) -> Rc<ColumnBatch> {
+        if self.profile.is_none() {
+            return self.eval_op(node);
+        }
+        let batches_before = self.stats.batches;
+        let built_before = self.stats.tables_built;
+        let reused_before = self.stats.tables_reused;
+        let started = std::time::Instant::now();
+        let out = self.eval_op(node);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stats = &self.stats;
+        let sample = NodeProfile {
+            id: node.id(),
+            rows: out.len(),
+            batches: stats.batches - batches_before,
+            tables_built: stats.tables_built - built_before,
+            tables_reused: stats.tables_reused - reused_before,
+            nanos,
+        };
+        self.profile.as_mut().expect("checked above").push(sample);
+        out
+    }
+
+    /// The operator dispatch proper (leaves are sets; every operator
+    /// preserves the duplicate-free invariant, deduplicating where it must).
+    fn eval_op(&mut self, node: &'a PhysNode) -> Rc<ColumnBatch> {
         self.stats.operators += 1;
         match node.op() {
             PhysOp::Scan(name) => {
@@ -684,6 +740,7 @@ mod tests {
             delta: None,
             morsel: 1024,
             stats: OpStats::default(),
+            profile: None,
         };
         exec.eval(plan.physical().root());
         assert_eq!(exec.scans.len(), 1);

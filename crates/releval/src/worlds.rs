@@ -250,6 +250,21 @@ pub struct WorldExecution {
     /// Physical-operator telemetry aggregated across every per-world
     /// execution and worker shard.
     pub op_stats: OpStats,
+    /// Wall-clock and work volume per worker shard, in spawn order — what
+    /// the engine's query trace renders as per-shard spans.
+    pub shards: Vec<ShardProfile>,
+}
+
+/// Wall-clock and work volume of one worker shard of an enumeration fold.
+/// Shared by the worlds fold here and the repairs fold in the `repairs`
+/// crate (the same shard-and-merge shape).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Wall-clock the shard ran for, in nanoseconds.
+    pub nanos: u64,
+    /// Worlds (or repairs) the shard folded through the batched split
+    /// executor; zero under the row-instantiating reference fold.
+    pub units: u128,
 }
 
 /// Per-worker fold state collected at the join.
@@ -615,8 +630,16 @@ fn stream_certain_answer_inner(
     // `workers` is the number of shards actually run — range chunking can
     // produce fewer non-empty shards than the resolved thread count, and the
     // telemetry must report what really happened.
-    let (shard_results, workers): (Vec<ShardResult>, usize) = if threads == 1 {
-        (vec![run_shard(job, (0, valuations), &shared)], 1)
+    // Shards are timed at the spawn boundary: wall-clock per worker, without
+    // touching the fold's inner loop.
+    let timed_shard = |range: (u128, u128), shared: &SharedState| {
+        let started = std::time::Instant::now();
+        let result = run_shard(job, range, shared);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (result, nanos)
+    };
+    let (shard_results, workers): (Vec<(ShardResult, u64)>, usize) = if threads == 1 {
+        (vec![timed_shard((0, valuations), &shared)], 1)
     } else {
         let chunk = valuations.div_ceil(threads as u128);
         // Saturating arithmetic: when the valuation space itself saturates
@@ -634,7 +657,8 @@ fn stream_certain_answer_inner(
                 .iter()
                 .map(|&range| {
                     let shared = &shared;
-                    scope.spawn(move || run_shard(job, range, shared))
+                    let timed_shard = &timed_shard;
+                    scope.spawn(move || timed_shard(range, shared))
                 })
                 .collect();
             handles
@@ -645,7 +669,7 @@ fn stream_certain_answer_inner(
         (results, workers)
     };
 
-    let early_exit = shard_results.iter().any(|r| r.early_exit);
+    let early_exit = shard_results.iter().any(|(r, _)| r.early_exit);
     let visited = u128::from(shared.visited.load(Ordering::Relaxed));
     if !early_exit && shared.budget_hit.load(Ordering::Relaxed) {
         return Err(EvalError::WorldBudgetExceeded {
@@ -655,15 +679,20 @@ fn stream_certain_answer_inner(
     }
     let mut op_stats = OpStats::default();
     let mut worlds_batched: u128 = 0;
-    for shard in &shard_results {
+    let mut shards = Vec::with_capacity(shard_results.len());
+    for (shard, nanos) in &shard_results {
         op_stats.merge(&shard.op_stats);
         worlds_batched += shard.worlds_batched;
+        shards.push(ShardProfile {
+            nanos: *nanos,
+            units: shard.worlds_batched,
+        });
     }
     let answers = if early_exit {
         Relation::new(arity)
     } else {
         let mut acc: Option<Relation> = None;
-        for shard in shard_results {
+        for (shard, _) in shard_results {
             if let Some(local) = shard.acc {
                 acc = Some(match acc.take() {
                     None => local,
@@ -685,6 +714,7 @@ fn stream_certain_answer_inner(
         threads: workers,
         peak_worlds_in_flight: workers * (1 + usize::from(max_extra > 0)),
         op_stats,
+        shards,
     })
 }
 

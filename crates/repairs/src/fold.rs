@@ -39,7 +39,7 @@ use relalgebra::plan::PlannedQuery;
 use releval::exec::columnar::split::{ElementInput, ShardExec, ShardSetup};
 use releval::exec::{self, OpStats};
 use releval::symbolic::{symbolic_certain_answer, SymbolicOptions, SymbolicOutcome};
-use releval::worlds::{stream_certain_answer, WorldOptions};
+use releval::worlds::{stream_certain_answer, ShardProfile, WorldOptions};
 use releval::EvalError;
 use relmodel::batch::{morsel_rows, ColumnBatch};
 use relmodel::value::Constant;
@@ -154,6 +154,10 @@ pub struct RepairExecution {
     /// Physical-operator telemetry aggregated across every per-repair
     /// execution and worker shard.
     pub op_stats: OpStats,
+    /// Wall-clock and work volume per worker shard, in spawn order (the
+    /// same [`ShardProfile`] the worlds fold reports; `units` counts this
+    /// shard's batched repairs).
+    pub shards: Vec<ShardProfile>,
 }
 
 /// Per-worker fold state collected at the join.
@@ -513,14 +517,23 @@ fn stream_consistent_answer_inner(
         null_values_literal,
         prefix_len,
     };
-    let shard_results: Vec<ShardResult> = if workers == 1 {
-        vec![run_shard(job, 0, &shared, mode)]
+    // Shards are timed at the spawn boundary: wall-clock per worker, without
+    // touching the fold's inner loop.
+    let timed_shard = |prefix: u64, shared: &SharedState| {
+        let started = std::time::Instant::now();
+        let result = run_shard(job, prefix, shared, mode);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (result, nanos)
+    };
+    let shard_results: Vec<(ShardResult, u64)> = if workers == 1 {
+        vec![timed_shard(0, &shared)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers as u64)
                 .map(|prefix| {
                     let shared = &shared;
-                    scope.spawn(move || run_shard(job, prefix, shared, mode))
+                    let timed_shard = &timed_shard;
+                    scope.spawn(move || timed_shard(prefix, shared))
                 })
                 .collect();
             handles
@@ -530,17 +543,22 @@ fn stream_consistent_answer_inner(
         })
     };
 
-    let early_exit = shard_results.iter().any(|r| r.early_exit);
+    let early_exit = shard_results.iter().any(|(r, _)| r.early_exit);
     let visited = u128::from(shared.visited.load(Ordering::Relaxed));
     let mut op_stats = OpStats::default();
     let mut symbolic_repairs = 0u128;
     let mut world_repairs = 0u128;
     let mut repairs_batched = 0u128;
-    for shard in &shard_results {
+    let mut shards = Vec::with_capacity(shard_results.len());
+    for (shard, nanos) in &shard_results {
         op_stats.merge(&shard.op_stats);
         symbolic_repairs += u128::from(shard.symbolic_repairs);
         world_repairs += u128::from(shard.world_repairs);
         repairs_batched += u128::from(shard.repairs_batched);
+        shards.push(ShardProfile {
+            nanos: *nanos,
+            units: u128::from(shard.repairs_batched),
+        });
     }
     if !early_exit {
         // ∅ proven early makes budget and per-repair failures moot; without
@@ -559,7 +577,7 @@ fn stream_consistent_answer_inner(
         Relation::new(plan.physical().arity())
     } else {
         let mut acc: Option<Relation> = None;
-        for shard in shard_results {
+        for (shard, _) in shard_results {
             if let Some(local) = shard.acc {
                 acc = Some(match acc.take() {
                     None => local,
@@ -580,6 +598,7 @@ fn stream_consistent_answer_inner(
         symbolic_repairs,
         world_repairs,
         op_stats,
+        shards,
     })
 }
 

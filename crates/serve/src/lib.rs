@@ -24,6 +24,13 @@
 //!   longer match — and callers with different budgets can never share an
 //!   answer (the degradation-correctness guarantee; see
 //!   [`EngineOptions::fingerprint`]).
+//! * **Observability.** Every answered query lands in a lock-free latency
+//!   histogram grid keyed by (strategy, cache outcome) — rendered by
+//!   [`CertainService::metrics_text`] (Prometheus-style) and
+//!   [`CertainService::metrics_json`] (one BENCH-compatible line) — and
+//!   arming [`ServeOptions::slow_query_threshold`] captures the last N slow
+//!   queries with their full engine span trees
+//!   ([`CertainService::slow_queries`]).
 //!
 //! Reports come back as the engine's own [`CertainReport`], with the
 //! service-only stats fields filled in: `stats.snapshot_version` says which
@@ -64,8 +71,10 @@ pub use snapshot::{Snapshot, SnapshotEngine};
 pub use stats::ServiceTelemetry;
 
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
-use engine::{CertainReport, EngineError, EngineOptions, Semantics};
+use engine::{CertainReport, EngineError, EngineOptions, Semantics, StrategyKind};
+use obs::{MetricsRegistry, SlowQueryRing};
 use relalgebra::plan::PlannedQuery;
 use relmodel::Database;
 
@@ -85,6 +94,14 @@ pub struct ServeOptions {
     pub engine_options: EngineOptions,
     /// Result-cache capacity in reports (FIFO-evicted beyond it).
     pub max_result_entries: usize,
+    /// Arm the slow-query ring: queries whose end-to-end service latency
+    /// reaches the threshold are captured (with their full [`obs::Span`]
+    /// trace — the service forces [`EngineOptions::trace`] on when this is
+    /// set) and readable via [`CertainService::slow_queries`]. `None` (the
+    /// default) records nothing and forces nothing.
+    pub slow_query_threshold: Option<Duration>,
+    /// How many slow queries the ring retains (oldest evicted beyond it).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -93,8 +110,30 @@ impl Default for ServeOptions {
             semantics: Semantics::Cwa,
             engine_options: EngineOptions::default(),
             max_result_entries: 4096,
+            slow_query_threshold: None,
+            slow_query_capacity: 32,
         }
     }
+}
+
+/// One query captured by the service's slow-query ring: everything needed
+/// to understand it after the fact, including the engine's full span tree.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The query as submitted (original text, not the normalized cache key).
+    pub query: String,
+    /// The strategy that answered it.
+    pub strategy: StrategyKind,
+    /// End-to-end service latency: cache lookups, planning, and execution.
+    pub latency: Duration,
+    /// The snapshot version that answered.
+    pub version: u64,
+    /// Whether the answer came from the result cache (the trace then
+    /// describes the original computation, not this lookup).
+    pub cache_hit: bool,
+    /// The engine's span tree for the query (present whenever the ring is
+    /// armed, because the service forces tracing on).
+    pub trace: Option<obs::Span>,
 }
 
 /// A long-lived, thread-shared certain-answer service over snapshot-versioned
@@ -121,6 +160,35 @@ pub struct CertainService {
     stats: ServiceStats,
     semantics: Semantics,
     engine_options: EngineOptions,
+    /// Latency histograms over the frozen {strategy} × {hit, miss} grid plus
+    /// cache/snapshot gauges; recording is lock-free (see [`obs::registry`]).
+    metrics: MetricsRegistry,
+    /// The last N queries at or over `slow_threshold`, span trees included.
+    slow: SlowQueryRing<SlowQuery>,
+    slow_threshold: Option<Duration>,
+    /// When the current snapshot was published (construction counts), for
+    /// the snapshot-age gauge.
+    published_at: Mutex<Instant>,
+}
+
+/// The frozen metrics shape: one latency histogram per (strategy, cache
+/// outcome) pair the engine can ever report, plus the service gauges.
+fn build_metrics() -> MetricsRegistry {
+    let mut builder = MetricsRegistry::builder();
+    for kind in StrategyKind::ALL {
+        for cache in ["hit", "miss"] {
+            builder = builder.histogram(
+                "serve_query_latency_ns",
+                &[("strategy", kind.name()), ("cache", cache)],
+            );
+        }
+    }
+    builder
+        .gauge("serve_result_hit_rate")
+        .gauge("serve_plan_hit_rate")
+        .gauge("serve_snapshot_version")
+        .gauge("serve_snapshot_age_seconds")
+        .build()
 }
 
 impl CertainService {
@@ -148,6 +216,10 @@ impl CertainService {
             stats: ServiceStats::default(),
             semantics: options.semantics,
             engine_options,
+            metrics: build_metrics(),
+            slow: SlowQueryRing::new(options.slow_query_capacity),
+            slow_threshold: options.slow_query_threshold,
+            published_at: Mutex::new(Instant::now()),
         }
     }
 
@@ -216,8 +288,60 @@ impl CertainService {
     }
 
     /// The cache-through read path: result cache, then plan cache, then the
-    /// engine, all against the one snapshot the caller pinned.
+    /// engine, all against the one snapshot the caller pinned — wrapped in
+    /// the service's latency metrics and slow-query capture.
     fn answer_on(
+        &self,
+        snap: &Snapshot,
+        query: &str,
+        semantics: Semantics,
+        mut options: EngineOptions,
+    ) -> Result<CertainReport, EngineError> {
+        if self.slow_threshold.is_some() {
+            // Force tracing *before* the cache key is computed: an armed
+            // service has one fingerprint per caller-option set, so traced
+            // and untraced runs of the same query never share a cache line
+            // and every cached report carries a span tree.
+            options = options.with_trace(true);
+        }
+        let started = Instant::now();
+        let result = self.answer_uninstrumented(snap, query, semantics, options);
+        if let Ok(report) = &result {
+            self.observe(query, report, started.elapsed());
+        }
+        result
+    }
+
+    /// Records a finished query into the latency grid and, at or over the
+    /// threshold, the slow-query ring.
+    fn observe(&self, query: &str, report: &CertainReport, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let cache = if report.stats.cache_hit {
+            "hit"
+        } else {
+            "miss"
+        };
+        self.metrics.record(
+            "serve_query_latency_ns",
+            &[("strategy", report.strategy.name()), ("cache", cache)],
+            nanos,
+        );
+        let Some(threshold) = self.slow_threshold else {
+            return;
+        };
+        if latency >= threshold {
+            self.slow.push(SlowQuery {
+                query: query.to_owned(),
+                strategy: report.strategy,
+                latency,
+                version: report.stats.snapshot_version.unwrap_or_default(),
+                cache_hit: report.stats.cache_hit,
+                trace: report.stats.trace.clone(),
+            });
+        }
+    }
+
+    fn answer_uninstrumented(
         &self,
         snap: &Snapshot,
         query: &str,
@@ -328,12 +452,61 @@ impl CertainService {
         // only reclaims their memory.
         self.results.retain_version(version);
         ServiceStats::bump(&self.stats.updates);
+        *self.published_at.lock().expect("publish clock poisoned") = Instant::now();
+        self.metrics
+            .set_gauge("serve_snapshot_version", version as f64);
         version
     }
 
     /// A point-in-time copy of the service counters.
     pub fn telemetry(&self) -> ServiceTelemetry {
         self.stats.snapshot()
+    }
+
+    /// The service's metrics registry (latency histograms per
+    /// {strategy, cache outcome}, plus gauges). Gauges are refreshed by the
+    /// render methods; read through this for programmatic access to the
+    /// histograms.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The Prometheus-style metrics page: latency quantiles per recorded
+    /// (strategy, cache) pair, cache hit-rate gauges, snapshot version and
+    /// age. Gauges are refreshed at call time.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.metrics.render_text()
+    }
+
+    /// The same metrics as one BENCH-compatible JSON line.
+    pub fn metrics_json(&self) -> String {
+        self.refresh_gauges();
+        self.metrics.render_json()
+    }
+
+    fn refresh_gauges(&self) {
+        let t = self.telemetry();
+        self.metrics
+            .set_gauge("serve_result_hit_rate", t.result_hit_rate());
+        self.metrics
+            .set_gauge("serve_plan_hit_rate", t.plan_hit_rate());
+        self.metrics
+            .set_gauge("serve_snapshot_version", self.version() as f64);
+        let age = self
+            .published_at
+            .lock()
+            .expect("publish clock poisoned")
+            .elapsed();
+        self.metrics
+            .set_gauge("serve_snapshot_age_seconds", age.as_secs_f64());
+    }
+
+    /// The captured slow queries, oldest first — empty unless
+    /// [`ServeOptions::slow_query_threshold`] armed the ring. Each entry
+    /// carries the full span tree of its query.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.snapshot()
     }
 }
 
@@ -563,6 +736,78 @@ mod tests {
         let t = service.telemetry();
         assert_eq!(t.result_hits, 0, "errors never populate the cache");
         assert_eq!(t.result_misses, 2);
+    }
+
+    #[test]
+    fn metrics_grid_records_latencies_and_gauges() {
+        let service = CertainService::new(one_relation());
+        service.submit("R").unwrap();
+        service.submit("R").unwrap();
+        let grid = |cache| {
+            service.metrics().histogram_count(
+                "serve_query_latency_ns",
+                &[("strategy", "naive-exact"), ("cache", cache)],
+            )
+        };
+        assert_eq!(grid("miss"), 1, "cold submit recorded as a miss");
+        assert_eq!(grid("hit"), 1, "hot submit recorded as a hit");
+
+        let text = service.metrics_text();
+        assert!(
+            text.contains(
+                "serve_query_latency_ns{strategy=\"naive-exact\",cache=\"hit\",quantile=\"0.5\"}"
+            ),
+            "got: {text}"
+        );
+        assert!(text.contains("serve_result_hit_rate 0.5"), "got: {text}");
+        assert!(text.contains("serve_snapshot_version 0"), "got: {text}");
+
+        let json = service.metrics_json();
+        assert!(!json.contains('\n'), "one line for BENCH artifacts");
+        assert!(json.contains("\"serve_snapshot_version\":0"), "got: {json}");
+        service.update(|_| {});
+        let json = service.metrics_json();
+        assert!(json.contains("\"serve_snapshot_version\":1"), "got: {json}");
+    }
+
+    #[test]
+    fn armed_slow_query_ring_captures_full_traces() {
+        let service = CertainService::with_options(
+            one_relation(),
+            ServeOptions {
+                slow_query_threshold: Some(std::time::Duration::ZERO),
+                slow_query_capacity: 4,
+                ..ServeOptions::default()
+            },
+        );
+        service.submit("R").unwrap();
+        service.submit("R").unwrap();
+        let slow = service.slow_queries();
+        assert_eq!(slow.len(), 2, "zero threshold captures everything");
+
+        let cold = &slow[0];
+        assert_eq!(cold.query, "R");
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.strategy, StrategyKind::NaiveExact);
+        assert_eq!(cold.version, 0);
+        let trace = cold.trace.as_ref().expect("armed ring forces tracing");
+        assert_eq!(trace.name, "query");
+        assert!(trace.find("plan").is_some());
+        assert!(trace.find("execute").is_some());
+        assert!(trace.find("naive-exact").is_some());
+
+        let hot = &slow[1];
+        assert!(hot.cache_hit);
+        assert!(
+            hot.trace.is_some(),
+            "a cached report keeps the trace of the original computation"
+        );
+
+        // An unarmed service forces nothing and captures nothing.
+        let plain = CertainService::new(one_relation());
+        let report = plain.submit("R").unwrap();
+        assert!(report.stats.trace.is_none());
+        assert!(plain.slow_queries().is_empty());
     }
 
     #[test]

@@ -69,6 +69,22 @@ impl ServiceTelemetry {
     pub fn plan_hit_rate(&self) -> f64 {
         rate(self.plan_hits, self.plan_misses)
     }
+
+    /// The counter deltas since `earlier` (field-wise saturating
+    /// subtraction): sample telemetry periodically and `diff` consecutive
+    /// copies to get interval rates instead of since-boot totals. The hit
+    /// rates and `Display` of the result describe the interval.
+    pub fn diff(&self, earlier: &ServiceTelemetry) -> ServiceTelemetry {
+        ServiceTelemetry {
+            queries: self.queries.saturating_sub(earlier.queries),
+            batches: self.batches.saturating_sub(earlier.batches),
+            updates: self.updates.saturating_sub(earlier.updates),
+            result_hits: self.result_hits.saturating_sub(earlier.result_hits),
+            result_misses: self.result_misses.saturating_sub(earlier.result_misses),
+            plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
+        }
+    }
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -118,5 +134,28 @@ mod tests {
         assert!((t.result_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         let line = t.to_string();
         assert!(line.contains("result-cache 2/3"), "got: {line}");
+    }
+
+    #[test]
+    fn diff_yields_interval_deltas() {
+        let a = ServiceTelemetry {
+            queries: 10,
+            result_hits: 4,
+            result_misses: 6,
+            ..ServiceTelemetry::default()
+        };
+        let b = ServiceTelemetry {
+            queries: 16,
+            result_hits: 9,
+            result_misses: 7,
+            ..ServiceTelemetry::default()
+        };
+        let d = b.diff(&a);
+        assert_eq!(d.queries, 6);
+        assert_eq!(d.result_hits, 5);
+        assert_eq!(d.result_misses, 1);
+        assert!((d.result_hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+        // Backwards diffs saturate rather than wrap.
+        assert_eq!(a.diff(&b).queries, 0);
     }
 }

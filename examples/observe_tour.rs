@@ -1,0 +1,94 @@
+//! A tour of the observability layer: per-query span traces, EXPLAIN
+//! ANALYZE, the serving layer's latency metrics page, and the slow-query
+//! ring — the four ways to see *where a certain answer's time went*.
+//!
+//! Run with `cargo run --example observe_tour`.
+
+use std::time::Duration;
+
+use incomplete_data::prelude::*;
+use relmodel::builder::DatabaseBuilder;
+
+fn orders() -> Database {
+    // Order(o_id, total) ⋈ Pay(o_id, amount), with a null amount: enough
+    // structure for a join plan and a non-trivial dispatch decision.
+    DatabaseBuilder::new()
+        .relation("Order", &["o_id", "total"])
+        .ints("Order", &[1, 100])
+        .ints("Order", &[2, 250])
+        .ints("Order", &[3, 75])
+        .relation("Pay", &["p_id", "amount"])
+        .ints("Pay", &[1, 100])
+        .tuple("Pay", vec![Value::int(2), Value::null(0)])
+        .build()
+}
+
+fn main() {
+    let db = orders();
+    let query = "project[#0](select[#0 = #2](product(Order, Pay)))";
+
+    // 1. Span traces: opt in per engine with `with_trace(true)` and every
+    //    report carries a tree of phase spans — plan (with the analyzer
+    //    inside), then execute (with the strategy underneath), wall times
+    //    and the engine's counters attached as span fields.
+    let engine = Engine::new(&db).options(EngineOptions::default().with_trace(true));
+    let report = engine.plan_text(query).expect("query evaluates");
+    println!("— span trace ({})\n", report.summary());
+    let trace = report.stats.trace.as_ref().expect("tracing was on");
+    for line in trace.render().lines() {
+        println!("  {line}");
+    }
+
+    // 2. EXPLAIN ANALYZE: the physical plan annotated with *measured*
+    //    per-operator rows, batches, table reuse, and time — what actually
+    //    happened, not what the planner predicted.
+    let analyzed = engine.explain_analyze_text(query).expect("query evaluates");
+    println!("\n— explain analyze\n");
+    for line in analyzed.to_string().lines() {
+        println!("  {line}");
+    }
+
+    // 3. A served workload: arm the slow-query ring (zero threshold here,
+    //    so every query is captured — production would use milliseconds)
+    //    and run the query cold, then hot.
+    let service = CertainService::with_options(
+        orders(),
+        ServeOptions {
+            slow_query_threshold: Some(Duration::ZERO),
+            slow_query_capacity: 8,
+            ..ServeOptions::default()
+        },
+    );
+    let before = service.telemetry();
+    let cold = service.submit(query).expect("query evaluates");
+    let hot = service.submit(query).expect("query evaluates");
+    println!("\n— served: cold then hot");
+    println!("  cold: {}", cold.summary());
+    println!("  hot:  {}", hot.summary());
+
+    // 4. The slow-query ring: the last N captured queries, each with its
+    //    full span tree — the first line of each trace shown here.
+    println!("\n— slow queries (threshold 0 ⇒ everything captured)");
+    for slow in service.slow_queries() {
+        let root = slow.trace.as_ref().expect("armed ring forces tracing");
+        println!(
+            "  {:?} {} cache_hit={} | root span: {} ({:?}, {} spans)",
+            slow.latency,
+            slow.strategy,
+            slow.cache_hit,
+            root.name,
+            root.duration,
+            root.span_count(),
+        );
+    }
+
+    // 5. The metrics page: latency quantiles per (strategy, cache outcome),
+    //    hit-rate and snapshot gauges — and the interval view via
+    //    `ServiceTelemetry::diff`.
+    println!("\n— metrics page\n");
+    for line in service.metrics_text().lines() {
+        println!("  {line}");
+    }
+    let interval = service.telemetry().diff(&before);
+    println!("\n— telemetry over this tour: {interval}");
+}

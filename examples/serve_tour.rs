@@ -11,17 +11,9 @@ use relmodel::display::render_relation;
 
 fn show(title: &str, report: &CertainReport) {
     println!("— {title}");
-    println!(
-        "  version {:?} | cache_hit={} plan_cache_hit={} | {} ({})",
-        report
-            .stats
-            .snapshot_version
-            .expect("service reports carry a version"),
-        report.stats.cache_hit,
-        report.stats.plan_cache_hit,
-        report.strategy,
-        report.guarantee,
-    );
+    // One line per report: strategy | guarantee | answer count | timings,
+    // cache hits, and the snapshot version, all from `summary()`.
+    println!("  {}", report.summary());
     for line in render_relation(&["product"], &report.answers).lines() {
         println!("  {line}");
     }

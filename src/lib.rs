@@ -74,6 +74,11 @@
 //!   [`serve::CertainService`] wrapping the engine with copy-on-write
 //!   database versions, a plan cache, and a version-keyed certain-answer
 //!   result cache
+//! - [`obs`]: the observability substrate — query-trace [`obs::Span`]s,
+//!   lock-free latency [`obs::Histogram`]s, the serve-layer
+//!   [`obs::MetricsRegistry`], and the slow-query ring (surfaced through
+//!   [`engine::EngineOptions`]'s `trace` flag, `Engine::explain_analyze`,
+//!   and `serve::CertainService::{metrics_text, metrics_json, slow_queries}`)
 //! - [`datagen`]: synthetic workload generators
 
 #![forbid(unsafe_code)]
@@ -84,6 +89,7 @@ pub use ctables;
 pub use datagen;
 pub use engine;
 pub use exchange;
+pub use obs;
 pub use qparser;
 pub use relalgebra;
 pub use releval;
@@ -115,5 +121,5 @@ pub mod prelude {
         database::Database, relation::Relation, schema::Schema, semantics::Semantics, tuple::Tuple,
         value::Value,
     };
-    pub use serve::{CertainService, ServeOptions, ServiceTelemetry};
+    pub use serve::{CertainService, ServeOptions, ServiceTelemetry, SlowQuery};
 }

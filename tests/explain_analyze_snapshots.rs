@@ -1,0 +1,113 @@
+//! Golden-snapshot lane for EXPLAIN ANALYZE: the annotated physical plans
+//! for a set of fixtures over the paper's orders/payments database are
+//! checked into `tests/snapshots/explain_analyze.snap`. Row counts, batch
+//! counts, and table-reuse accounting are exact and must not drift; the
+//! measured times are nondeterministic by nature and are redacted to `<t>`
+//! before comparison — but each fixture still asserts the timing invariant
+//! (every per-node inclusive time fits inside the root's, which fits inside
+//! `execute_time`) on the live values.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test explain_analyze_snapshots
+//! ```
+
+use std::fmt::Write as _;
+
+use incomplete_data::prelude::*;
+
+const SNAPSHOT_PATH: &str = "tests/snapshots/explain_analyze.snap";
+
+/// Replaces every measured duration with `<t>`: the `time=…)` suffix of a
+/// node annotation, and the duration in the `-- execute …` footer line.
+fn redact(rendered: &str) -> String {
+    let mut out = String::new();
+    for line in rendered.lines() {
+        if let Some(idx) = line.find("time=") {
+            let _ = writeln!(out, "{}time=<t>)", &line[..idx]);
+        } else if let Some(rest) = line.strip_prefix("-- execute ") {
+            let tail = rest.split_once(" · ").map_or(rest, |(_, tail)| tail);
+            let _ = writeln!(out, "-- execute <t> · {tail}");
+        } else {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+fn render() -> String {
+    let db = relmodel::builder::orders_and_payments_example();
+    // Pin the morsel size so batch counts don't follow the MORSEL_ROWS
+    // environment variable into the snapshot.
+    let engine = Engine::new(&db).options(EngineOptions::default().with_morsel_rows(1024));
+    let fixtures: &[(&str, &str)] = &[
+        ("scan", "Order"),
+        ("positive projection", "project[#0](Order)"),
+        (
+            "fused hash join",
+            "project[#1](select[#0 = #2](product(Order, Pay)))",
+        ),
+        (
+            "difference of projections",
+            "project[#0](Order) minus project[#1](Pay)",
+        ),
+        (
+            "self-product reuses the build table",
+            "select[#0 = #2](product(Order, Order))",
+        ),
+    ];
+    let mut out = String::from(
+        "# EXPLAIN ANALYZE snapshot (times redacted).\n\
+         # Regenerate with: UPDATE_SNAPSHOTS=1 cargo test --test explain_analyze_snapshots\n\n",
+    );
+    for (title, text) in fixtures {
+        let ea = engine
+            .explain_analyze_text(text)
+            .expect("fixture evaluates");
+
+        // The timing invariant, checked on the live (unredacted) values:
+        // profiles are inclusive, so the root bounds every node and the
+        // whole measured execution bounds the root.
+        let root = ea.root_profile().expect("plans have at least one node");
+        for profile in &ea.profiles {
+            assert!(
+                profile.nanos <= root.nanos,
+                "{title}: node {} ({} ns) exceeds the root ({} ns)",
+                profile.id,
+                profile.nanos,
+                root.nanos
+            );
+        }
+        assert!(
+            u128::from(root.nanos) <= ea.execute_time.as_nanos(),
+            "{title}: root time exceeds execute_time"
+        );
+
+        let _ = writeln!(out, "== {title}\n-- {text}\n{}", redact(&ea.to_string()));
+    }
+    out
+}
+
+#[test]
+fn explain_analyze_matches_the_golden_snapshot() {
+    let rendered = render();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT_PATH);
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::write(&path, &rendered).expect("snapshot is writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {SNAPSHOT_PATH} ({e}); \
+             run UPDATE_SNAPSHOTS=1 cargo test --test explain_analyze_snapshots"
+        )
+    });
+    assert!(
+        rendered == expected,
+        "explain analyze drifted from {SNAPSHOT_PATH}.\n\
+         If the change is intentional, bless it with \
+         UPDATE_SNAPSHOTS=1 cargo test --test explain_analyze_snapshots.\n\
+         --- expected ---\n{expected}\n--- got ---\n{rendered}"
+    );
+}

@@ -161,6 +161,85 @@ fn concurrent_readers_never_see_torn_snapshots() {
 }
 
 #[test]
+fn slow_query_ring_survives_concurrent_stress_with_untorn_traces() {
+    // Zero threshold → every query is "slow": four readers and a publishing
+    // writer hammer the ring, and every captured entry must carry a complete,
+    // untorn span tree whose strategy span matches the entry's own strategy.
+    const READERS: usize = 4;
+    const QUERIES_PER_READER: usize = 50;
+    const CAPACITY: usize = 16;
+
+    let service = Arc::new(CertainService::with_options(
+        versioned_db(0),
+        incomplete_data::serve::ServeOptions {
+            slow_query_threshold: Some(std::time::Duration::ZERO),
+            slow_query_capacity: CAPACITY,
+            ..Default::default()
+        },
+    ));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|reader| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                for i in 0..QUERIES_PER_READER {
+                    let query = if (reader + i) % 2 == 0 {
+                        "R"
+                    } else {
+                        "R union R"
+                    };
+                    service.submit(query).unwrap();
+                    // Concurrent readers may also snapshot mid-stress; a torn
+                    // push would surface here as a half-built trace.
+                    if i % 10 == 0 {
+                        for entry in service.slow_queries() {
+                            assert!(entry.trace.is_some(), "entry published without trace");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let service = Arc::clone(&service);
+        thread::spawn(move || {
+            for v in 1..=5 {
+                service.update(|db| {
+                    let rel = db.relation_mut("R").unwrap();
+                    *rel = singleton(v);
+                });
+                thread::yield_now();
+            }
+        })
+    };
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    writer.join().unwrap();
+
+    let slow = service.slow_queries();
+    assert_eq!(slow.len(), CAPACITY, "zero threshold fills the ring");
+    for entry in &slow {
+        assert!(entry.query == "R" || entry.query == "R union R");
+        let trace = entry.trace.as_ref().expect("armed ring forces tracing on");
+        assert_eq!(trace.name, "query", "trace root must be the query span");
+        let plan = trace.find("plan").expect("trace lost its plan span");
+        assert!(plan.duration <= trace.duration, "child outlived its root");
+        let execute = trace.find("execute").expect("trace lost its execute span");
+        assert!(execute.duration <= trace.duration);
+        trace
+            .find(entry.strategy.name())
+            .expect("strategy span must match the entry's own strategy");
+        if !entry.cache_hit {
+            assert!(
+                entry.latency >= trace.duration,
+                "service latency envelops the engine's own measurement"
+            );
+        }
+    }
+}
+
+#[test]
 fn concurrent_consistent_answers_share_one_conflict_graph_build() {
     // A dirty database under consistent-answer semantics, hammered by
     // threads: the snapshot's conflict graph must be built exactly once.
